@@ -1,0 +1,23 @@
+//! # hydro-analysis
+//!
+//! Static analyses over HydroLogic programs, implementing the paper's
+//! "compiler that can typecheck monotonicity" agenda (§8.2) and the
+//! consistency-facet analyses of §7:
+//!
+//! * [`tone`] — polarity/tone inference for expressions, comprehensions,
+//!   and (recursive) views: the `monotone` type modifier made checkable.
+//! * [`calm`] — CALM classification of handlers into coordination-free
+//!   (monotone) vs. coordination-required, with human-readable findings;
+//!   plus an empirical confluence checker that validates the verdicts by
+//!   permuting delivery schedules (experiment E3/E11).
+//! * [`meta`] — metaconsistency: conservative dataflow over handler sends
+//!   to find composition paths whose weakest hop undercuts an endpoint's
+//!   declared guarantee, with suggested repairs.
+
+pub mod calm;
+pub mod meta;
+pub mod tone;
+
+pub use calm::{check_confluent, check_invariant_confluent, classify, standard_orders, CalmReport, HandlerClass};
+pub use meta::{analyze as metaconsistency, MetaReport};
+pub use tone::{expr_tone, relation_tone, select_tone, StateProfile, Tone};

@@ -1,0 +1,244 @@
+//! Metaconsistency analysis (§7.2): is the composition of heterogeneous
+//! consistency specs itself consistent?
+//!
+//! "Servicing a single public API call may require crossing multiple
+//! internal endpoints with different consistency specifications." The first
+//! step is identifying composition paths — a conservative dataflow analysis
+//! over handler `send`s — and the second is checking that the guarantee a
+//! client observes at a public endpoint is at least the endpoint's declared
+//! level. End-to-end, a path is only as strong as its weakest hop.
+
+use hydro_core::ast::{Program, Stmt};
+use hydro_core::facets::ConsistencyLevel;
+use std::collections::BTreeMap;
+
+/// A hop-by-hop composition path between handlers.
+pub type Path = Vec<String>;
+
+/// A metaconsistency violation: an endpoint promises more than some path
+/// through it can deliver.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The endpoint whose declaration is broken.
+    pub endpoint: String,
+    /// Its declared level.
+    pub declared: ConsistencyLevel,
+    /// The weakest level found along the offending path.
+    pub provided: ConsistencyLevel,
+    /// The path (endpoint first).
+    pub path: Path,
+    /// The hop that weakens the path.
+    pub weakest_hop: String,
+}
+
+/// Result of the analysis.
+#[derive(Clone, Debug, Default)]
+pub struct MetaReport {
+    /// The handler call graph: sender → downstream handlers it sends to.
+    pub call_graph: BTreeMap<String, Vec<String>>,
+    /// All violations found.
+    pub violations: Vec<Violation>,
+}
+
+impl MetaReport {
+    /// Whether the program composes consistently.
+    pub fn consistent(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Suggested repair: the minimum level each handler must be raised to
+    /// so that every endpoint's declaration holds. (The "white-box
+    /// flexibility" §7.2 points out: we can change internal specs.)
+    pub fn suggested_levels(&self) -> BTreeMap<String, ConsistencyLevel> {
+        let mut suggest: BTreeMap<String, ConsistencyLevel> = BTreeMap::new();
+        for v in &self.violations {
+            let e = suggest
+                .entry(v.weakest_hop.clone())
+                .or_insert(ConsistencyLevel::Eventual);
+            *e = (*e).max(v.declared);
+        }
+        suggest
+    }
+}
+
+fn sends_of(stmts: &[Stmt], out: &mut Vec<String>) {
+    for s in stmts {
+        match s {
+            Stmt::Send { mailbox, .. } => out.push(mailbox.clone()),
+            Stmt::If { then, els, .. } => {
+                sends_of(then, out);
+                sends_of(els, out);
+            }
+            Stmt::ForEach { stmts, .. } => sends_of(stmts, out),
+            _ => {}
+        }
+    }
+}
+
+/// Build the handler call graph and check every acyclic composition path.
+pub fn analyze(program: &Program) -> MetaReport {
+    let mut report = MetaReport::default();
+    let handler_names: Vec<String> = program.handlers.iter().map(|h| h.name.clone()).collect();
+    for h in &program.handlers {
+        let mut sends = Vec::new();
+        sends_of(&h.body, &mut sends);
+        let targets: Vec<String> = sends
+            .into_iter()
+            .filter(|m| handler_names.contains(m))
+            .collect();
+        report.call_graph.insert(h.name.clone(), targets);
+    }
+
+    // DFS all simple paths from each endpoint; compare declared level with
+    // the min level en route.
+    for h in &program.handlers {
+        let declared = program.consistency_of(&h.name).level;
+        let mut path = vec![h.name.clone()];
+        dfs(program, &report.call_graph, declared, &mut path, &mut report.violations);
+    }
+    report
+        .violations
+        .sort_by_key(|a| (a.endpoint.clone(), a.path.clone()));
+    report.violations.dedup();
+    report
+}
+
+fn dfs(
+    program: &Program,
+    graph: &BTreeMap<String, Vec<String>>,
+    declared: ConsistencyLevel,
+    path: &mut Path,
+    violations: &mut Vec<Violation>,
+) {
+    let current = path.last().expect("path non-empty").clone();
+    for next in graph.get(&current).into_iter().flatten() {
+        if path.contains(next) {
+            continue; // simple paths only
+        }
+        path.push(next.clone());
+        // The weakest hop *downstream of the endpoint* bounds what the
+        // endpoint can promise its own callers.
+        let (weakest_hop, provided) = path[1..]
+            .iter()
+            .map(|h| (h.clone(), program.consistency_of(h).level))
+            .min_by_key(|(_, l)| *l)
+            .expect("path[1..] non-empty here");
+        if provided < declared {
+            violations.push(Violation {
+                endpoint: path[0].clone(),
+                declared,
+                provided,
+                path: path.clone(),
+                weakest_hop,
+            });
+        }
+        dfs(program, graph, declared, path, violations);
+        path.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydro_core::builder::dsl::*;
+    use hydro_core::builder::ProgramBuilder;
+    use hydro_core::facets::ConsistencyReq;
+    use hydro_core::value::LatticeKind;
+
+    /// A two-hop program: strong front-end calling a weak back-end.
+    fn front_back(front: ConsistencyLevel, back: ConsistencyLevel) -> Program {
+        let mk = |level| {
+            Some(ConsistencyReq {
+                level,
+                invariants: vec![],
+            })
+        };
+        ProgramBuilder::new()
+            .lattice_var("log", LatticeKind::SetUnion)
+            .on_with(
+                "front",
+                &["x"],
+                vec![send_row("back", vec![v("x")])],
+                mk(front),
+            )
+            .on_with(
+                "back",
+                &["x"],
+                vec![merge_scalar("log", v("x"))],
+                mk(back),
+            )
+            .build()
+    }
+
+    #[test]
+    fn weak_backend_violates_strong_frontend() {
+        let p = front_back(ConsistencyLevel::Serializable, ConsistencyLevel::Eventual);
+        let report = analyze(&p);
+        assert!(!report.consistent());
+        let v = &report.violations[0];
+        assert_eq!(v.endpoint, "front");
+        assert_eq!(v.weakest_hop, "back");
+        assert_eq!(v.provided, ConsistencyLevel::Eventual);
+        // Repair: raise `back` to serializable.
+        assert_eq!(
+            report.suggested_levels().get("back"),
+            Some(&ConsistencyLevel::Serializable)
+        );
+    }
+
+    #[test]
+    fn equal_or_stronger_backend_is_fine() {
+        for back in [ConsistencyLevel::Causal, ConsistencyLevel::Serializable] {
+            let p = front_back(ConsistencyLevel::Causal, back);
+            assert!(analyze(&p).consistent(), "back={back:?}");
+        }
+    }
+
+    #[test]
+    fn covid_program_composes_consistently() {
+        // Its only internal sends go to external mailboxes (alert), so no
+        // composition paths exist and every declaration trivially holds.
+        let report = analyze(&hydro_core::examples::covid_program());
+        assert!(report.consistent());
+        assert!(report.call_graph["diagnosed"].is_empty());
+    }
+
+    #[test]
+    fn three_hop_path_reports_weakest_link() {
+        let mk = |level| {
+            Some(ConsistencyReq {
+                level,
+                invariants: vec![],
+            })
+        };
+        let p = ProgramBuilder::new()
+            .lattice_var("log", LatticeKind::SetUnion)
+            .on_with(
+                "api",
+                &["x"],
+                vec![send_row("mid", vec![v("x")])],
+                mk(ConsistencyLevel::Sequential),
+            )
+            .on_with(
+                "mid",
+                &["x"],
+                vec![send_row("store", vec![v("x")])],
+                mk(ConsistencyLevel::Sequential),
+            )
+            .on_with(
+                "store",
+                &["x"],
+                vec![merge_scalar("log", v("x"))],
+                mk(ConsistencyLevel::Causal),
+            )
+            .build();
+        let report = analyze(&p);
+        let api_violation = report
+            .violations
+            .iter()
+            .find(|v| v.endpoint == "api" && v.path.len() == 3)
+            .expect("api→mid→store path flagged");
+        assert_eq!(api_violation.weakest_hop, "store");
+        assert_eq!(api_violation.provided, ConsistencyLevel::Causal);
+    }
+}

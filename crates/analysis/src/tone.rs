@@ -1,0 +1,456 @@
+//! Tone analysis: the "explicit monotone type modifier" of §8.2.
+//!
+//! Every expression is assigned a *tone* describing how its value moves as
+//! program state grows (tables gain rows, lattices climb): [`Tone::Constant`]
+//! (state-independent), [`Tone::Monotone`] (only grows), [`Tone::Antitone`]
+//! (only shrinks), or [`Tone::NonMonotone`] (anything). The analysis is a
+//! standard polarity propagation: each operator has a polarity per argument,
+//! and composition multiplies polarities.
+//!
+//! Tones are relative to a [`StateProfile`] of the program: reading a table
+//! that is never deleted from is monotone, but the same read becomes
+//! non-monotone if any handler can delete rows — the analysis is
+//! whole-program, which is what lets it bless `HasKey` in programs like the
+//! COVID tracker while damning it elsewhere.
+
+use hydro_core::ast::{BodyAtom, ColumnKind, Expr, Program, Select, Stmt};
+use rustc_hash::FxHashSet;
+
+/// How a value can move as state grows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Tone {
+    /// Independent of state (message parameters, literals).
+    Constant,
+    /// Grows (in its lattice order) as state grows.
+    Monotone,
+    /// Shrinks as state grows.
+    Antitone,
+    /// No guarantee.
+    NonMonotone,
+}
+
+impl Tone {
+    /// Least upper bound in the tone lattice
+    /// (`Constant ⊑ {Monotone, Antitone} ⊑ NonMonotone`).
+    pub fn join(self, other: Tone) -> Tone {
+        use Tone::*;
+        match (self, other) {
+            (Constant, t) | (t, Constant) => t,
+            (Monotone, Monotone) => Monotone,
+            (Antitone, Antitone) => Antitone,
+            _ => NonMonotone,
+        }
+    }
+
+    /// Flip polarity (negation, subtraction's right argument).
+    pub fn flip(self) -> Tone {
+        match self {
+            Tone::Monotone => Tone::Antitone,
+            Tone::Antitone => Tone::Monotone,
+            t => t,
+        }
+    }
+
+    /// Whether this tone is safe for a coordination-free merge/send.
+    pub fn is_monotone(self) -> bool {
+        matches!(self, Tone::Constant | Tone::Monotone)
+    }
+}
+
+/// Whole-program facts the tone analysis conditions on.
+#[derive(Clone, Debug, Default)]
+pub struct StateProfile {
+    /// Tables some handler deletes from (their key-sets are not monotone).
+    pub deleted_tables: FxHashSet<String>,
+    /// `(table, column)` pairs some handler assigns (vs merges).
+    pub assigned_fields: FxHashSet<(String, String)>,
+    /// Bare scalars some handler assigns.
+    pub assigned_scalars: FxHashSet<String>,
+    /// Mailboxes some handler clears.
+    pub cleared_mailboxes: FxHashSet<String>,
+}
+
+impl StateProfile {
+    /// Scan a program for the non-monotone acts each handler performs.
+    pub fn of(program: &Program) -> Self {
+        let mut p = StateProfile::default();
+        for h in &program.handlers {
+            scan_stmts(&h.body, program, &mut p);
+        }
+        p
+    }
+}
+
+fn scan_stmts(stmts: &[Stmt], program: &Program, p: &mut StateProfile) {
+    for s in stmts {
+        match s {
+            Stmt::Assign(target, _) => match target {
+                hydro_core::ast::AssignTarget::Scalar(name) => {
+                    p.assigned_scalars.insert(name.clone());
+                }
+                hydro_core::ast::AssignTarget::TableField { table, field, .. } => {
+                    p.assigned_fields.insert((table.clone(), field.clone()));
+                }
+            },
+            Stmt::Delete { table, .. } => {
+                p.deleted_tables.insert(table.clone());
+            }
+            Stmt::ClearMailbox(name) => {
+                p.cleared_mailboxes.insert(name.clone());
+            }
+            Stmt::Insert { table, values } => {
+                // Upserting a non-constant atom column can overwrite.
+                if let Some(decl) = program.table(table) {
+                    for (i, col) in decl.columns.iter().enumerate() {
+                        let is_key = decl.key.contains(&i);
+                        if !is_key
+                            && matches!(col.kind, ColumnKind::Atom)
+                            && !matches!(values.get(i), Some(Expr::Const(_)))
+                        {
+                            p.assigned_fields.insert((table.clone(), col.name.clone()));
+                        }
+                    }
+                }
+            }
+            Stmt::If { then, els, .. } => {
+                scan_stmts(then, program, p);
+                scan_stmts(els, program, p);
+            }
+            Stmt::ForEach { stmts, .. } => scan_stmts(stmts, program, p),
+            Stmt::Merge(..) | Stmt::Send { .. } | Stmt::Return(_) => {}
+        }
+    }
+}
+
+/// The tone of an expression under a program/state profile.
+pub fn expr_tone(expr: &Expr, program: &Program, profile: &StateProfile) -> Tone {
+    use Tone::*;
+    match expr {
+        Expr::Const(_) | Expr::Var(_) => Constant,
+        Expr::Scalar(name) => {
+            if profile.assigned_scalars.contains(name) {
+                return NonMonotone;
+            }
+            match program.scalar(name) {
+                // A lattice scalar that is never assigned only climbs.
+                Some(decl) if decl.lattice.is_some() => Monotone,
+                // A bare scalar never assigned anywhere is effectively
+                // constant after initialization.
+                Some(_) => Constant,
+                None => NonMonotone,
+            }
+        }
+        Expr::Cmp(op, l, r) => {
+            use hydro_core::ast::CmpOp::*;
+            let lt = expr_tone(l, program, profile);
+            let rt = expr_tone(r, program, profile);
+            match op {
+                // A threshold test is monotone in its growing side and
+                // antitone in the other; equality is neither.
+                Ge | Gt => lt.join(rt.flip()),
+                Le | Lt => lt.flip().join(rt),
+                Eq | Ne => {
+                    if lt == Constant && rt == Constant {
+                        Constant
+                    } else {
+                        NonMonotone
+                    }
+                }
+            }
+        }
+        Expr::Arith(op, l, r) => {
+            use hydro_core::ast::ArithOp::*;
+            let lt = expr_tone(l, program, profile);
+            let rt = expr_tone(r, program, profile);
+            match op {
+                Add => lt.join(rt),
+                Sub => lt.join(rt.flip()),
+                // Sign-dependent; be conservative unless both constant.
+                Mul | Div | Mod => {
+                    if lt == Constant && rt == Constant {
+                        Constant
+                    } else {
+                        NonMonotone
+                    }
+                }
+            }
+        }
+        Expr::Not(e) => expr_tone(e, program, profile).flip(),
+        Expr::And(l, r) | Expr::Or(l, r) => {
+            expr_tone(l, program, profile).join(expr_tone(r, program, profile))
+        }
+        Expr::Tuple(items) | Expr::SetBuild(items) => items
+            .iter()
+            .map(|e| expr_tone(e, program, profile))
+            .fold(Constant, Tone::join),
+        Expr::Index(e, _) => expr_tone(e, program, profile),
+        Expr::Contains(set, item) => {
+            let st = expr_tone(set, program, profile);
+            let it = expr_tone(item, program, profile);
+            if it == Constant {
+                st // membership grows with the set
+            } else {
+                NonMonotone
+            }
+        }
+        Expr::Len(e) => expr_tone(e, program, profile),
+        Expr::FieldOf { table, key, field } => {
+            field_read_tone(table, key, Some(field), program, profile)
+        }
+        Expr::RowOf { table, key } => field_read_tone(table, key, None, program, profile),
+        Expr::HasKey { table, key } => {
+            if expr_tone(key, program, profile) != Constant {
+                return NonMonotone;
+            }
+            if profile.deleted_tables.contains(table) {
+                NonMonotone
+            } else {
+                Monotone // insert-only table: key presence only grows
+            }
+        }
+        // UDFs are black boxes (§3.1): assume the worst.
+        Expr::Call(..) => NonMonotone,
+        Expr::CollectSet(select) => select_tone(select, program, profile),
+    }
+}
+
+fn field_read_tone(
+    table: &str,
+    key: &Expr,
+    field: Option<&str>,
+    program: &Program,
+    profile: &StateProfile,
+) -> Tone {
+    if expr_tone(key, program, profile) != Tone::Constant {
+        return Tone::NonMonotone;
+    }
+    if profile.deleted_tables.contains(table) {
+        return Tone::NonMonotone;
+    }
+    let Some(decl) = program.table(table) else {
+        return Tone::NonMonotone;
+    };
+    let cols: Vec<&hydro_core::ast::Column> = match field {
+        Some(f) => decl.columns.iter().filter(|c| c.name == f).collect(),
+        None => decl.columns.iter().collect(),
+    };
+    let mut tone = Tone::Monotone; // appearance of the row itself is growth
+    for c in cols {
+        let assigned = profile
+            .assigned_fields
+            .contains(&(table.to_string(), c.name.clone()));
+        let col_tone = match (&c.kind, assigned) {
+            (_, true) => Tone::NonMonotone,
+            (ColumnKind::Lattice(_), false) => Tone::Monotone,
+            // Unassigned atoms are written once at insert; reading them is
+            // monotone-with-the-row (Null → value, never changes after).
+            (ColumnKind::Atom, false) => Tone::Monotone,
+        };
+        tone = tone.join(col_tone);
+    }
+    tone
+}
+
+/// The tone of a comprehension's result set.
+pub fn select_tone(select: &Select, program: &Program, profile: &StateProfile) -> Tone {
+    let mut tone = Tone::Constant;
+    for atom in &select.body {
+        tone = tone.join(match atom {
+            BodyAtom::Scan { rel, .. } => relation_tone(rel, program, profile),
+            // Negation observes absence: antitone in the negated relation,
+            // hence non-monotone for the comprehension as a whole unless
+            // the relation can never grow (we stay conservative).
+            BodyAtom::Neg { .. } => Tone::NonMonotone,
+            BodyAtom::Guard(e) | BodyAtom::Let { expr: e, .. } => {
+                let t = expr_tone(e, program, profile);
+                // A monotone guard admits more matches as state grows; an
+                // antitone or unknown guard can retract matches.
+                if t.is_monotone() {
+                    Tone::Monotone
+                } else {
+                    Tone::NonMonotone
+                }
+            }
+            BodyAtom::Flatten { set, .. } => expr_tone(set, program, profile),
+        });
+    }
+    for e in &select.projection {
+        tone = tone.join(expr_tone(e, program, profile));
+    }
+    tone
+}
+
+/// The tone of scanning a relation: base tables grow unless deleted-from;
+/// views inherit from their defining rules (computed transitively).
+pub fn relation_tone(rel: &str, program: &Program, profile: &StateProfile) -> Tone {
+    relation_tone_rec(rel, program, profile, &mut FxHashSet::default())
+}
+
+fn relation_tone_rec(
+    rel: &str,
+    program: &Program,
+    profile: &StateProfile,
+    visiting: &mut FxHashSet<String>,
+) -> Tone {
+    if program.table(rel).is_some() {
+        return if profile.deleted_tables.contains(rel) {
+            Tone::NonMonotone
+        } else {
+            Tone::Monotone
+        };
+    }
+    if program.mailboxes.iter().any(|m| m.name == rel)
+        || program.handlers.iter().any(|h| h.name == rel)
+    {
+        return if profile.cleared_mailboxes.contains(rel) {
+            Tone::NonMonotone
+        } else {
+            // Handler mailboxes drain each tick, but *within* a tick (the
+            // scope of query evaluation) they only reveal messages:
+            // monotone in the snapshot sense used here.
+            Tone::Monotone
+        };
+    }
+    // A view: join over its defining rules.
+    if !visiting.insert(rel.to_string()) {
+        // Recursive occurrence: recursion through positive atoms is
+        // monotone; treat the back-edge as monotone and let negation in
+        // the same cycle surface through the other atoms.
+        return Tone::Monotone;
+    }
+    let mut tone = Tone::Constant;
+    let mut found = false;
+    for rule in program.rules.iter().filter(|r| r.head == rel) {
+        found = true;
+        for atom in &rule.body {
+            tone = tone.join(match atom {
+                BodyAtom::Scan { rel: r, .. } => relation_tone_rec(r, program, profile, visiting),
+                BodyAtom::Neg { .. } => Tone::NonMonotone,
+                BodyAtom::Guard(e) | BodyAtom::Let { expr: e, .. } => {
+                    if expr_tone(e, program, profile).is_monotone() {
+                        Tone::Monotone
+                    } else {
+                        Tone::NonMonotone
+                    }
+                }
+                BodyAtom::Flatten { set, .. } => expr_tone(set, program, profile),
+            });
+        }
+        for e in &rule.head_exprs {
+            tone = tone.join(expr_tone(e, program, profile));
+        }
+    }
+    for rule in program.agg_rules.iter().filter(|r| r.head == rel) {
+        found = true;
+        use hydro_core::ast::AggFun;
+        // Count/Sum/Max/CollectSet grow with their (monotone) input; Min
+        // shrinks. Any aggregate over a non-monotone body is unknown.
+        let mut body_tone = Tone::Constant;
+        for atom in &rule.body {
+            body_tone = body_tone.join(match atom {
+                BodyAtom::Scan { rel: r, .. } => relation_tone_rec(r, program, profile, visiting),
+                BodyAtom::Neg { .. } => Tone::NonMonotone,
+                BodyAtom::Guard(e) | BodyAtom::Let { expr: e, .. } => {
+                    if expr_tone(e, program, profile).is_monotone() {
+                        Tone::Monotone
+                    } else {
+                        Tone::NonMonotone
+                    }
+                }
+                BodyAtom::Flatten { set, .. } => expr_tone(set, program, profile),
+            });
+        }
+        let agg_tone = match rule.agg {
+            AggFun::Count | AggFun::Sum | AggFun::Max | AggFun::CollectSet => body_tone,
+            AggFun::Min => body_tone.flip(),
+        };
+        tone = tone.join(agg_tone);
+    }
+    visiting.remove(rel);
+    if found {
+        tone
+    } else {
+        Tone::NonMonotone // unknown relation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydro_core::builder::dsl::*;
+    use hydro_core::examples::covid_program;
+
+    #[test]
+    fn literals_and_params_are_constant() {
+        let p = covid_program();
+        let profile = StateProfile::of(&p);
+        assert_eq!(expr_tone(&i(3), &p, &profile), Tone::Constant);
+        assert_eq!(expr_tone(&v("pid"), &p, &profile), Tone::Constant);
+    }
+
+    #[test]
+    fn lattice_field_reads_are_monotone() {
+        let p = covid_program();
+        let profile = StateProfile::of(&p);
+        let covid_flag = field("people", v("pid"), "covid");
+        assert_eq!(expr_tone(&covid_flag, &p, &profile), Tone::Monotone);
+    }
+
+    #[test]
+    fn assigned_scalar_reads_are_non_monotone() {
+        let p = covid_program();
+        let profile = StateProfile::of(&p);
+        // vaccinate assigns vaccine_count, so reading it is unordered.
+        assert_eq!(
+            expr_tone(&scalar("vaccine_count"), &p, &profile),
+            Tone::NonMonotone
+        );
+    }
+
+    #[test]
+    fn negation_poisons_selects() {
+        let p = covid_program();
+        let profile = StateProfile::of(&p);
+        let sel = select(
+            vec![
+                scan("transitive", &["a", "b"]),
+                neg("transitive", vec![v("b"), v("a")]),
+            ],
+            vec![v("a")],
+        );
+        assert_eq!(select_tone(&sel, &p, &profile), Tone::NonMonotone);
+    }
+
+    #[test]
+    fn recursive_view_is_monotone() {
+        let p = covid_program();
+        let profile = StateProfile::of(&p);
+        assert_eq!(relation_tone("transitive", &p, &profile), Tone::Monotone);
+    }
+
+    #[test]
+    fn threshold_polarity() {
+        let p = covid_program();
+        let profile = StateProfile::of(&p);
+        // len(contacts) >= 3 : monotone (can only become true).
+        let grows = ge(Expr_len_contacts(), i(3));
+        assert_eq!(expr_tone(&grows, &p, &profile), Tone::Monotone);
+        // len(contacts) < 3 : antitone (can only become false).
+        let shrinks = lt(Expr_len_contacts(), i(3));
+        assert_eq!(expr_tone(&shrinks, &p, &profile), Tone::Antitone);
+    }
+
+    #[allow(non_snake_case)]
+    fn Expr_len_contacts() -> hydro_core::ast::Expr {
+        hydro_core::ast::Expr::Len(Box::new(field("people", v("pid"), "contacts")))
+    }
+
+    #[test]
+    fn tone_join_table() {
+        use Tone::*;
+        assert_eq!(Constant.join(Monotone), Monotone);
+        assert_eq!(Monotone.join(Antitone), NonMonotone);
+        assert_eq!(Antitone.flip(), Monotone);
+        assert_eq!(NonMonotone.flip(), NonMonotone);
+    }
+}

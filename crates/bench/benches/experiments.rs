@@ -1,0 +1,294 @@
+//! Criterion wrappers around the timing-sensitive experiments.
+//!
+//! One group per experiment id; the `report` binary prints the full sweep
+//! tables, these benches give statistically robust timings for the hot
+//! kernels of each experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hydro_bench::{
+    e03_calm, e05_availability, e06_target, e07_collectives, e10_cart, e11_typecheck,
+};
+use hydro_core::examples::covid_program;
+use hydro_core::interp::Transducer;
+use hydro_core::Value;
+use hydro_kvs::sharded::{run_workload, ShardedKvs, WorkloadSpec};
+use hydrolysis::chestnut::{synthesize, OpPattern, Store, Workload};
+use hydrolysis::LayoutPlan;
+
+fn ints(row: &[i64]) -> Vec<Value> {
+    row.iter().map(|x| Value::Int(*x)).collect()
+}
+
+/// E1: one diagnosed-tick over a 100-person contact chain. The naive
+/// interpreter re-derives the whole contact closure, so one iteration costs
+/// ~0.5 s — keep the sample count low.
+fn bench_e01(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e01_covid");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(10));
+    g.bench_function("e01_covid_diagnosed_tick", |b| {
+        b.iter_batched(
+            || {
+                let mut app = Transducer::new(covid_program()).unwrap();
+                for p in 1..=100i64 {
+                    app.enqueue_ok("add_person", ints(&[p]));
+                }
+                app.tick().unwrap();
+                for p in 1..100i64 {
+                    app.enqueue_ok("add_contact", ints(&[p, p + 1]));
+                }
+                app.tick().unwrap();
+                app.enqueue_ok("diagnosed", ints(&[1]));
+                app
+            },
+            |mut app| app.tick().unwrap(),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+/// E4: indexed vs scan lookups on the synthesized layout.
+fn bench_e04(c: &mut Criterion) {
+    let n = 50_000i64;
+    let workload = Workload {
+        ops: vec![(OpPattern::LookupEq(0), 95.0), (OpPattern::Insert, 5.0)],
+        expected_rows: n as u64,
+    };
+    let plan = synthesize(3, &workload, 2).plan;
+    let mut fast = Store::new(plan);
+    let mut slow = Store::new(LayoutPlan::row_list());
+    for k in 0..n {
+        let row = vec![Value::Int(k), Value::Int(k % 97), Value::Int(k * 3)];
+        fast.insert(row.clone());
+        slow.insert(row);
+    }
+    let mut g = c.benchmark_group("e04_chestnut_lookup");
+    g.bench_function("synthesized", |b| {
+        let mut k = 0i64;
+        b.iter(|| {
+            k = (k + 7919) % n;
+            std::hint::black_box(fast.lookup_eq(0, &Value::Int(k)))
+        })
+    });
+    g.bench_function("rowlist_scan", |b| {
+        let mut k = 0i64;
+        b.iter(|| {
+            k = (k + 7919) % n;
+            std::hint::black_box(slow.lookup_eq(0, &Value::Int(k)))
+        })
+    });
+    g.finish();
+}
+
+/// E7: allreduce schedule generation cost by topology (message planning).
+fn bench_e07(c: &mut Criterion) {
+    use hydro_lift::mpi::{allreduce_schedule, Topology};
+    let mut g = c.benchmark_group("e07_allreduce_schedule");
+    for p in [8usize, 64] {
+        for topo in [Topology::Flat, Topology::Tree, Topology::Ring] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{topo:?}"), p),
+                &p,
+                |b, &p| b.iter(|| std::hint::black_box(allreduce_schedule(topo, p))),
+            );
+        }
+    }
+    g.finish();
+}
+
+/// E8: compiled semi-naive vs interpreted naive transitive closure.
+fn bench_e08(c: &mut Criterion) {
+    use hydro_core::builder::dsl::*;
+    use hydro_core::builder::ProgramBuilder;
+    let program = ProgramBuilder::new()
+        .mailbox("edges", 2)
+        .rule("tc", vec![v("a"), v("b")], vec![scan("edges", &["a", "b"])])
+        .rule(
+            "tc",
+            vec![v("a"), v("c")],
+            vec![scan("tc", &["a", "b"]), scan("edges", &["b", "c"])],
+        )
+        .build();
+    let n = 60i64;
+    let edges: Vec<Vec<Value>> = (1..n).map(|a| ints(&[a, a + 1])).collect();
+    let mut g = c.benchmark_group("e08_transitive_closure");
+    g.bench_function("compiled_seminaive", |b| {
+        b.iter(|| {
+            let mut compiled = hydrolysis::compile_queries(&program).unwrap();
+            let mut base = std::collections::BTreeMap::new();
+            base.insert("edges".to_string(), edges.clone());
+            std::hint::black_box(compiled.run(&base))
+        })
+    });
+    g.bench_function("interpreted_naive", |b| {
+        b.iter(|| {
+            let mut db = hydro_core::eval::Database::default();
+            db.insert(
+                "edges".to_string(),
+                hydro_core::eval::Relation::from_rows(edges.clone()),
+            );
+            std::hint::black_box(
+                hydro_core::eval::evaluate_views(
+                    &program,
+                    &db,
+                    &Default::default(),
+                    &mut hydro_core::eval::UdfHost::new(),
+                )
+                .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+/// E9: KVS put throughput at 1 and 4 shards.
+fn bench_e09(c: &mut Criterion) {
+    let spec = WorkloadSpec {
+        ops: 50_000,
+        keys: 4_096,
+        zipf_exponent: 0.9,
+        write_fraction: 1.0,
+        seed: 7,
+    };
+    let ops = spec.generate();
+    let mut g = c.benchmark_group("e09_kvs_puts");
+    g.sample_size(10);
+    for shards in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, &s| {
+            b.iter(|| {
+                let kvs = ShardedKvs::new(s);
+                run_workload(&kvs, &ops, s);
+                kvs.shutdown()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// E13: Logoot hot paths — position allocation under append-heavy typing
+/// and under worst-case (insert-at-front) churn, plus whole-cluster
+/// convergence.
+fn bench_e13(c: &mut Criterion) {
+    use hydro_collab::{Cluster, CollabConfig};
+    use hydro_lattice::logoot::Editor;
+
+    let mut g = c.benchmark_group("e13_collab");
+    g.bench_function("logoot_append_1k", |b| {
+        b.iter(|| {
+            let mut ed = Editor::new(1);
+            for i in 0..1_000 {
+                ed.insert(i, 'x');
+            }
+            std::hint::black_box(ed.doc().len())
+        })
+    });
+    g.bench_function("logoot_prepend_1k", |b| {
+        b.iter(|| {
+            let mut ed = Editor::new(1);
+            for _ in 0..1_000 {
+                ed.insert(0, 'x');
+            }
+            std::hint::black_box(ed.doc().len())
+        })
+    });
+    g.sample_size(10);
+    g.bench_function("cluster_3_editors_converge", |b| {
+        b.iter(|| {
+            let mut c = Cluster::new(3, CollabConfig::default());
+            c.insert_str(0, 0, "aaaaaaaa");
+            c.insert_str(1, 0, "bbbbbbbb");
+            c.insert_str(2, 0, "cccccccc");
+            c.run_for(5_000_000);
+            assert!(c.converged());
+        })
+    });
+    g.finish();
+}
+
+/// E14: one autoscaler step (monitor roll + drift check) and a full-day
+/// adaptive run.
+fn bench_e14(c: &mut Criterion) {
+    use hydrolysis::adaptive::{diurnal_trace, AdaptiveConfig, Autoscaler};
+    use hydrolysis::ImplVariant;
+    use std::collections::BTreeMap;
+
+    let variants = BTreeMap::from([(
+        "api".to_string(),
+        vec![ImplVariant {
+            name: "compiled".into(),
+            service_ms: 8.0,
+            needs_gpu: false,
+        }],
+    )]);
+    let targets = hydro_core::facets::TargetSpec {
+        default: hydro_core::facets::TargetReq {
+            latency_ms: Some(40),
+            cost_milli: None,
+            processor: None,
+        },
+        per_handler: Default::default(),
+    };
+    let trace = diurnal_trace(48, 10.0, 1000.0, Some(30), 3.0);
+    c.bench_function("e14_adaptive_day", |b| {
+        b.iter(|| {
+            let mut scaler = Autoscaler::new(
+                hydrolysis::demo_catalog(),
+                targets.clone(),
+                variants.clone(),
+                AdaptiveConfig::default(),
+            );
+            for (i, &rps) in trace.iter().enumerate() {
+                scaler.monitor.observe("api", (rps * 1800.0) as u64);
+                scaler.step(i as f64 * 1800.0, 1800.0).unwrap();
+            }
+            std::hint::black_box(scaler.replans.len())
+        })
+    });
+}
+
+/// Front-end: lex+parse+resolve the full Figure 3 text.
+fn bench_lang(c: &mut Criterion) {
+    let src = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/covid.hydro"
+    ))
+    .expect("covid.hydro readable");
+    c.bench_function("lang_parse_figure3", |b| {
+        b.iter(|| std::hint::black_box(hydro_lang::parse_program(&src).unwrap()))
+    });
+}
+
+/// The simulator-heavy experiments (E2/E3/E5/E6/E10/E11/E13/E14) run as
+/// whole scenarios; keep sample counts low — each iteration is a full
+/// simulation.
+fn bench_scenarios(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scenario_experiments");
+    g.sample_size(10);
+    // E1's hot kernel is bench_e01 and E2's sweep lives in the report
+    // binary — their full tables cost 10–25 s per iteration, too heavy for
+    // a statistics-gathering harness.
+    g.bench_function("e03_calm", |b| b.iter(e03_calm));
+    g.bench_function("e05_availability", |b| b.iter(e05_availability));
+    g.bench_function("e06_target_ilp", |b| b.iter(e06_target));
+    g.bench_function("e07_collectives_table", |b| b.iter(e07_collectives));
+    g.bench_function("e10_cart_seal", |b| b.iter(e10_cart));
+    g.bench_function("e11_typecheck", |b| b.iter(e11_typecheck));
+    g.bench_function("e13_collab_table", |b| b.iter(hydro_bench::e13_collab));
+    g.bench_function("e14_adaptive_table", |b| b.iter(hydro_bench::e14_adaptive));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_e01,
+    bench_e04,
+    bench_e07,
+    bench_e08,
+    bench_e09,
+    bench_e13,
+    bench_e14,
+    bench_lang,
+    bench_scenarios
+);
+criterion_main!(benches);

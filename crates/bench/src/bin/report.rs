@@ -1,0 +1,45 @@
+//! Regenerate every experiment table from EXPERIMENTS.md.
+//!
+//! Usage: `cargo run --release -p hydro-bench --bin report [--json] [e01 e07 ...]`
+//!
+//! Tables stream as each experiment finishes, with wall-clock time per
+//! experiment. Passing experiment ids (e.g. `e04 e09`) runs only those.
+//! With `--json`, a machine-readable dump follows the tables so
+//! EXPERIMENTS.md numbers can be traced to a concrete run.
+
+use hydro_bench::{experiment_registry, Table};
+use std::io::Write;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let selected: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with('-')).map(String::as_str).collect();
+
+    let mut dump = Vec::new();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for (id, run) in experiment_registry() {
+        if !selected.is_empty() && !selected.contains(&id) {
+            continue;
+        }
+        let t0 = Instant::now();
+        let table: Table = run();
+        writeln!(out, "{}[{id} regenerated in {:.2?}]\n", table.render(), t0.elapsed())
+            .expect("stdout writable");
+        out.flush().expect("stdout flushable");
+        if json {
+            dump.push(serde_json::json!({
+                "id": id,
+                "title": table.title,
+                "headers": table.headers,
+                "rows": table.rows,
+            }));
+        }
+    }
+    if json {
+        writeln!(out, "{}", serde_json::to_string_pretty(&dump).expect("serializable"))
+            .expect("stdout writable");
+    }
+}

@@ -1,0 +1,1064 @@
+//! The twelve experiments of EXPERIMENTS.md, as callable workloads.
+//!
+//! Each `eNN_*` function runs one experiment's sweep and returns rows of
+//! `(label, columns…)` for the report binary to print. Workloads are
+//! seeded and deterministic except where wall-clock timing is the measured
+//! quantity (E4 store timings, E8/E9 throughput).
+
+use hydro_analysis::{check_confluent, classify};
+use hydro_core::examples::{cart_program, covid_program, covid_program_with_vaccines};
+use hydro_core::interp::Transducer;
+use hydro_core::Value;
+use hydro_deploy::deploy as deploy_program;
+use hydro_deploy::DeployConfig;
+use hydro_kvs::gossip::{GossipConfig, GossipKvs};
+use hydro_kvs::sharded::{run_workload, ShardedKvs, WorkloadSpec};
+use hydro_lift::mpi::{allreduce_schedule, rounds, Topology};
+use hydro_lift::verified::lift_loop;
+use hydro_net::{DomainPath, LinkModel, Sim};
+use hydrolysis::chestnut::{synthesize, OpPattern, Store, Workload};
+use hydrolysis::target::{demo_catalog, solve, HandlerLoad, ImplVariant};
+use hydrolysis::LayoutPlan;
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, SeedableRng};
+use std::time::Instant;
+
+/// A printable experiment table.
+pub struct Table {
+    /// Experiment id and title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = format!("## {}\n", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn ints(row: &[i64]) -> Vec<Value> {
+    row.iter().map(|x| Value::Int(*x)).collect()
+}
+
+/// E1: COVID tracker end-to-end — Hydro vs the Fig.2 sequential baseline,
+/// plus tick-throughput for growing populations.
+pub fn e01_covid() -> Table {
+    let mut rows = Vec::new();
+    // Chain diameter drives the interpreter's naive fixpoint cubically;
+    // n=100 already costs ~10 s. Larger graphs belong to the compiled
+    // semi-naive path measured in E8.
+    for n in [25i64, 50, 100] {
+        // Build population with a contact chain plus random extra edges.
+        let mut app = Transducer::new(covid_program()).unwrap();
+        for p in 1..=n {
+            app.enqueue_ok("add_person", ints(&[p]));
+        }
+        let t0 = Instant::now();
+        app.tick().unwrap();
+        for p in 1..n {
+            app.enqueue_ok("add_contact", ints(&[p, p + 1]));
+        }
+        app.tick().unwrap();
+        app.enqueue_ok("diagnosed", ints(&[1]));
+        let out = app.tick().unwrap();
+        let elapsed = t0.elapsed();
+        let alerts = out.sends.iter().filter(|s| s.mailbox == "alert").count();
+        // Sequential reference: everyone transitively reachable from 1.
+        let expected = (n - 1) as usize;
+        rows.push(vec![
+            n.to_string(),
+            alerts.to_string(),
+            expected.to_string(),
+            (alerts == expected || alerts == expected + 1).to_string(),
+            format!("{elapsed:.2?}"),
+        ]);
+    }
+    Table {
+        title: "E1 COVID tracker end-to-end (alerts = sequential reference)".into(),
+        headers: ["people", "alerts", "expected", "match", "3-tick time"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    }
+}
+
+/// E2: coordination cost — eventual (monotone) vs serializable handlers on
+/// the deployed simulator, median latency and messages per request. Two
+/// network profiles: a same-metro link (where the 1 ms tick hides the
+/// sequencer hop) and a WAN link (where coordination's extra round trip
+/// is visible in the median).
+pub fn e02_coordination() -> Table {
+    let mut rows = Vec::new();
+    let wan = LinkModel {
+        base_us: 500,
+        hierarchy_penalty_us: 20_000,
+        jitter_us: 200,
+        drop_prob: 0.0,
+    };
+    for (label, handler, payloads, link) in [
+        ("metro eventual add_contact", "add_contact", true, LinkModel::default()),
+        ("metro serializable vaccinate", "vaccinate", false, LinkModel::default()),
+        ("wan   eventual add_contact", "add_contact", true, wan),
+        ("wan   serializable vaccinate", "vaccinate", false, wan),
+    ] {
+        let program = covid_program_with_vaccines(1_000_000);
+        // On the WAN profile, message latency (not the tick) dominates; a
+        // coarser tick keeps the discrete-event count tractable.
+        let wan_profile = link.hierarchy_penalty_us > 1_000;
+        let config = DeployConfig {
+            link,
+            tick_every_us: if wan_profile { 5_000 } else { 1_000 },
+            ..DeployConfig::default()
+        };
+        let mut d = deploy_program(&program, config, |_| {});
+        for p in 1..=20i64 {
+            d.client_request("add_person", ints(&[p]));
+        }
+        d.run_for(if wan_profile { 1_000_000 } else { 200_000 });
+        let before = d.sim.stats().sent;
+        let mut measured_ids = Vec::with_capacity(20);
+        for k in 0..20i64 {
+            let id = if payloads {
+                d.client_request(handler, ints(&[(k % 20) + 1, ((k + 1) % 20) + 1]))
+            } else {
+                d.client_request(handler, ints(&[(k % 20) + 1]))
+            };
+            measured_ids.push(id);
+        }
+        d.run_for(if wan_profile { 3_000_000 } else { 500_000 });
+        let msgs = (d.sim.stats().sent - before) as f64 / 20.0;
+        // Median over the measured phase only — the warm-up add_person
+        // calls would otherwise dilute both arms identically.
+        let mut lats: Vec<u64> = measured_ids.iter().filter_map(|&id| d.latency_of(id)).collect();
+        lats.sort_unstable();
+        let median = lats.get(lats.len() / 2).copied().unwrap_or(0);
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.1}", msgs),
+            format!("{median}"),
+            d.replicas_converged().to_string(),
+        ]);
+    }
+    Table {
+        title: "E2 coordination-free vs coordinated handlers (3 replicas)".into(),
+        headers: ["handler", "msgs/req", "median µs", "replicas converged"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    }
+}
+
+/// E3: CALM — divergence rate under random delivery orders, monotone vs
+/// non-monotone message mixes.
+pub fn e03_calm() -> Table {
+    let mut rng = StdRng::seed_from_u64(99);
+    let trials = 20;
+    let mut rows = Vec::new();
+    for (label, vaccines, include_vaccinate) in [
+        ("monotone only", 10, false),
+        ("with vaccinate (1 dose)", 1, true),
+    ] {
+        let program = covid_program_with_vaccines(vaccines);
+        let mut msgs: Vec<(String, Vec<Value>)> = vec![
+            ("add_person".into(), ints(&[1])),
+            ("add_person".into(), ints(&[2])),
+            ("add_contact".into(), ints(&[1, 2])),
+            ("diagnosed".into(), ints(&[1])),
+        ];
+        if include_vaccinate {
+            msgs.push(("vaccinate".into(), ints(&[1])));
+            msgs.push(("vaccinate".into(), ints(&[2])));
+        }
+        let mut diverged = 0;
+        for _ in 0..trials {
+            let mut order: Vec<usize> = (0..msgs.len()).collect();
+            order.shuffle(&mut rng);
+            let identity: Vec<usize> = (0..msgs.len()).collect();
+            if !check_confluent(&program, &msgs, &[identity, order], |_| {}).unwrap() {
+                diverged += 1;
+            }
+        }
+        rows.push(vec![
+            label.to_string(),
+            trials.to_string(),
+            diverged.to_string(),
+            format!("{:.0}%", 100.0 * diverged as f64 / trials as f64),
+        ]);
+    }
+    Table {
+        title: "E3 CALM: divergence under random delivery orders".into(),
+        headers: ["workload", "trials", "diverged", "rate"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    }
+}
+
+/// E4: Chestnut data-layout synthesis — measured lookup speedup of the
+/// synthesized layout vs the row-list scan baseline.
+pub fn e04_chestnut() -> Table {
+    let mut rows = Vec::new();
+    for n in [1_000i64, 10_000, 100_000] {
+        let workload = Workload {
+            ops: vec![
+                (OpPattern::LookupEq(0), 90.0),
+                (OpPattern::Insert, 9.0),
+                (OpPattern::FullScan, 1.0),
+            ],
+            expected_rows: n as u64,
+        };
+        let synthesis = synthesize(3, &workload, 2);
+        let data: Vec<Vec<Value>> = (0..n)
+            .map(|k| vec![Value::Int(k), Value::Int(k % 97), Value::Int(k * 3)])
+            .collect();
+        let mut fast = Store::new(synthesis.plan.clone());
+        let mut slow = Store::new(LayoutPlan::row_list());
+        for r in &data {
+            fast.insert(r.clone());
+            slow.insert(r.clone());
+        }
+        let probes: Vec<i64> = (0..200).map(|i| (i * 37) % n).collect();
+        let t0 = Instant::now();
+        for &p in &probes {
+            std::hint::black_box(fast.lookup_eq(0, &Value::Int(p)));
+        }
+        let fast_t = t0.elapsed();
+        let t1 = Instant::now();
+        for &p in &probes {
+            std::hint::black_box(slow.lookup_eq(0, &Value::Int(p)));
+        }
+        let slow_t = t1.elapsed();
+        let speedup = slow_t.as_secs_f64() / fast_t.as_secs_f64().max(1e-12);
+        rows.push(vec![
+            n.to_string(),
+            format!("{:?}", synthesis.plan.primary),
+            format!("{:.1}", synthesis.modeled_speedup()),
+            format!("{speedup:.1}"),
+        ]);
+    }
+    Table {
+        title: "E4 layout synthesis speedup (paper claim: up to 42x)".into(),
+        headers: ["rows", "chosen layout", "modeled x", "measured x"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    }
+}
+
+/// E5: availability — request success under f AZ failures, and the
+/// latency overhead of replication.
+pub fn e05_availability() -> Table {
+    let mut rows = Vec::new();
+    for f_kill in [0u32, 1, 2, 3] {
+        let mut d = deploy_program(&covid_program(), DeployConfig::default(), |_| {});
+        for az in 0..f_kill {
+            d.sim.kill_az(az);
+        }
+        for p in 1..=10i64 {
+            d.client_request("add_person", ints(&[p]));
+        }
+        d.run_for(300_000);
+        let ok = d.answered();
+        rows.push(vec![
+            f_kill.to_string(),
+            format!("{ok}/10"),
+            d.median_latency_us()
+                .map_or("-".into(), |l| l.to_string()),
+            (ok == 10).to_string(),
+        ]);
+    }
+    Table {
+        title: "E5 availability: f AZ failures against f=2 spec (3 replicas)".into(),
+        headers: ["AZs killed", "answered", "median µs", "available"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    }
+}
+
+/// E6: the target-facet integer program on Fig. 3's targets.
+pub fn e06_target() -> Table {
+    let program = covid_program();
+    let catalog = demo_catalog();
+    let mk_loads = |rps: f64| -> Vec<HandlerLoad> {
+        vec![
+            HandlerLoad {
+                handler: "add_person".into(),
+                demand_rps: rps,
+                variants: vec![ImplVariant {
+                    name: "compiled".into(),
+                    service_ms: 2.0,
+                    needs_gpu: false,
+                }],
+            },
+            HandlerLoad {
+                handler: "diagnosed".into(),
+                demand_rps: rps / 5.0,
+                variants: vec![
+                    ImplVariant {
+                        name: "interpreted".into(),
+                        service_ms: 300.0,
+                        needs_gpu: false,
+                    },
+                    ImplVariant {
+                        name: "compiled+seminaive".into(),
+                        service_ms: 12.0,
+                        needs_gpu: false,
+                    },
+                ],
+            },
+            HandlerLoad {
+                handler: "likelihood".into(),
+                demand_rps: rps / 10.0,
+                variants: vec![ImplVariant {
+                    name: "ml-model".into(),
+                    service_ms: 60.0,
+                    needs_gpu: true,
+                }],
+            },
+        ]
+    };
+    let mut rows = Vec::new();
+    for rps in [100.0, 1000.0] {
+        match solve(&catalog, &mk_loads(rps), &program.targets, 256, None) {
+            Ok(alloc) => {
+                for h in &alloc.handlers {
+                    rows.push(vec![
+                        format!("{rps:.0}"),
+                        h.handler.clone(),
+                        h.machine.clone(),
+                        h.instances.to_string(),
+                        h.variant.clone(),
+                        format!("{:.1}", h.est_latency_ms),
+                        h.backtracks.to_string(),
+                    ]);
+                }
+            }
+            Err(e) => rows.push(vec![format!("{rps:.0}"), format!("INFEASIBLE: {e}")]),
+        }
+    }
+    Table {
+        title: "E6 target-facet ILP on Fig. 3 targets (GPU pinned, backtracking)".into(),
+        headers: ["rps", "handler", "machine", "n", "variant", "lat ms", "backtracks"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    }
+}
+
+/// E7: MPI collectives on the simulator — allreduce messages/rounds/latency
+/// by topology.
+pub fn e07_collectives() -> Table {
+    struct Sink;
+    impl hydro_net::NodeLogic<u64> for Sink {
+        fn on_message(&mut self, _: &mut hydro_net::Ctx<u64>, _: usize, _: u64) {}
+    }
+    let mut rows = Vec::new();
+    for p in [4usize, 8, 16, 32, 64] {
+        for topo in [Topology::Flat, Topology::Tree, Topology::Ring] {
+            let schedule = allreduce_schedule(topo, p);
+            // Replay the schedule on the simulator round by round to get a
+            // latency figure under the link model.
+            let mut sim: Sim<u64> = Sim::new(LinkModel::default(), 3);
+            for n in 0..p {
+                sim.add_node(Sink, DomainPath::new(n as u32 % 4, (n / 4) as u32, 0));
+            }
+            let total_rounds = rounds(&schedule);
+            let mut t_elapsed = 0u64;
+            for r in 0..total_rounds {
+                let start = sim.now();
+                for &(round, src, dst) in &schedule {
+                    if round == r {
+                        sim.send_internal(src, dst, 1);
+                    }
+                }
+                sim.run_to_quiescence(100_000);
+                t_elapsed += sim.now() - start;
+            }
+            rows.push(vec![
+                p.to_string(),
+                format!("{topo:?}"),
+                schedule.len().to_string(),
+                total_rounds.to_string(),
+                t_elapsed.to_string(),
+            ]);
+        }
+    }
+    Table {
+        title: "E7 allreduce by topology (naive flat vs tree vs ring)".into(),
+        headers: ["p", "topology", "msgs", "rounds", "sim latency µs"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    }
+}
+
+/// E8: Hydroflow micro — compiled semi-naive transitive closure vs the
+/// interpreter's naive fixpoint, work and wall-clock.
+pub fn e08_flow() -> Table {
+    use hydro_core::builder::dsl::*;
+    use hydro_core::builder::ProgramBuilder;
+    let program = ProgramBuilder::new()
+        .mailbox("edges", 2)
+        .rule("tc", vec![v("a"), v("b")], vec![scan("edges", &["a", "b"])])
+        .rule(
+            "tc",
+            vec![v("a"), v("c")],
+            vec![scan("tc", &["a", "b"]), scan("edges", &["b", "c"])],
+        )
+        .build();
+    let mut rows = Vec::new();
+    for n in [50i64, 100, 200] {
+        // A chain graph: TC has n(n-1)/2 pairs, forcing deep recursion.
+        let edges: Vec<Vec<Value>> = (1..n).map(|a| ints(&[a, a + 1])).collect();
+
+        // Compiled (semi-naive).
+        let mut compiled = hydrolysis::compile_queries(&program).unwrap();
+        let mut base = std::collections::BTreeMap::new();
+        base.insert("edges".to_string(), edges.clone());
+        let t0 = Instant::now();
+        let out = compiled.run(&base);
+        let compiled_t = t0.elapsed();
+        let compiled_count = out["tc"].len();
+
+        // Interpreter (naive re-derivation each round).
+        let mut db = hydro_core::eval::Database::default();
+        db.insert(
+            "edges".to_string(),
+            hydro_core::eval::Relation::from_rows(edges),
+        );
+        let t1 = Instant::now();
+        let views = hydro_core::eval::evaluate_views(
+            &program,
+            &db,
+            &Default::default(),
+            &mut hydro_core::eval::UdfHost::new(),
+        )
+        .unwrap();
+        let interp_t = t1.elapsed();
+        assert_eq!(views["tc"].len(), compiled_count);
+
+        rows.push(vec![
+            n.to_string(),
+            compiled_count.to_string(),
+            format!("{compiled_t:.2?}"),
+            format!("{interp_t:.2?}"),
+            format!(
+                "{:.1}",
+                interp_t.as_secs_f64() / compiled_t.as_secs_f64().max(1e-12)
+            ),
+        ]);
+    }
+    Table {
+        title: "E8 semi-naive (compiled) vs naive (interpreted) transitive closure".into(),
+        headers: ["chain n", "|tc|", "compiled", "interpreted", "speedup x"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    }
+}
+
+/// E9: Anna-style KVS throughput scaling with shard threads.
+pub fn e09_kvs() -> Table {
+    let spec = WorkloadSpec {
+        ops: 200_000,
+        keys: 10_000,
+        zipf_exponent: 0.9,
+        write_fraction: 1.0,
+        seed: 7,
+    };
+    let ops = spec.generate();
+    let mut rows = Vec::new();
+    let mut base_mops = 0.0;
+    for shards in [1usize, 2, 4, 8] {
+        let kvs = ShardedKvs::new(shards);
+        let took = run_workload(&kvs, &ops, shards);
+        kvs.shutdown();
+        let mops = ops.len() as f64 / took.as_secs_f64() / 1e6;
+        if shards == 1 {
+            base_mops = mops;
+        }
+        rows.push(vec![
+            shards.to_string(),
+            format!("{took:.2?}"),
+            format!("{mops:.2}"),
+            format!("{:.2}", mops / base_mops),
+        ]);
+    }
+    // Gossip convergence datapoint.
+    let mut g = GossipKvs::new(4, GossipConfig::default());
+    for k in 0..50 {
+        g.put_at((k % 4) as usize, k, k, 0, k);
+    }
+    g.run_for(200_000);
+    rows.push(vec![
+        "4 (gossip)".into(),
+        format!("{} digests", g.sim.stats().delivered),
+        "-".into(),
+        format!("converged={}", g.converged()),
+    ]);
+    Table {
+        title: "E9 Anna-style KVS: put throughput vs shards (+gossip convergence)".into(),
+        headers: ["shards", "duration", "Mops/s", "scale x"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    }
+}
+
+/// E10: shopping-cart sealing vs 2PC-coordinated checkout — messages per
+/// checkout.
+pub fn e10_cart() -> Table {
+    let mut rows = Vec::new();
+    // Client-side sealing on the deployed cart.
+    let mut d = deploy_program(&cart_program(), DeployConfig::default(), |_| {});
+    let session = Value::from("s");
+    d.client_request("add_item", vec![session.clone(), Value::from("a")]);
+    d.client_request("add_item", vec![session.clone(), Value::from("b")]);
+    d.run_for(60_000);
+    let before = d.sim.stats().sent;
+    let manifest = Value::set_of([Value::from("a"), Value::from("b")]);
+    d.client_request("checkout", vec![session, manifest]);
+    d.run_for(60_000);
+    let seal_msgs = d.sim.stats().sent - before;
+    let confirms = d
+        .external_sends()
+        .iter()
+        .filter(|(m, _)| m == "checkout_ok")
+        .count();
+    rows.push(vec![
+        "client-seal".into(),
+        d.replicas.len().to_string(),
+        seal_msgs.to_string(),
+        "0".into(),
+        format!("{confirms} replicas confirmed"),
+    ]);
+
+    // 2PC baseline for the same decision across 3 participants.
+    use hydro_deploy::node::NetMsg;
+    use hydro_deploy::twopc::{register_tx, Coordinator, Participant};
+    let mut sim: Sim<NetMsg> = Sim::new(LinkModel::default(), 4);
+    let mut participants = Vec::new();
+    for az in 0..3 {
+        participants.push(sim.add_node(
+            Participant::new(|_, _| true, |_, _| {}),
+            DomainPath::new(az, 0, 0),
+        ));
+    }
+    let mut coord = Coordinator::new();
+    register_tx(&mut coord, 1, participants.clone(), 0);
+    let ledger = coord.ledger();
+    let coord_id = sim.add_node(coord, DomainPath::new(9, 0, 0));
+    let before = sim.stats().sent;
+    sim.send_external(
+        coord_id,
+        NetMsg::Request {
+            request_id: 1,
+            mailbox: "checkout".into(),
+            row: vec![Value::from("s")],
+            reply_to: coord_id,
+        },
+    );
+    sim.run_to_quiescence(10_000);
+    let tpc_msgs = sim.stats().sent - before;
+    rows.push(vec![
+        "2PC".into(),
+        "3".into(),
+        tpc_msgs.to_string(),
+        "2".into(),
+        format!("committed={}", ledger.borrow()[&1].committed),
+    ]);
+    Table {
+        title: "E10 checkout: client-side sealing vs 2PC coordination".into(),
+        headers: ["design", "replicas", "msgs/checkout", "coord rounds", "outcome"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    }
+}
+
+/// E11: the monotonicity typechecker over a labeled handler corpus
+/// (including the Fig. 4 bug class).
+pub fn e11_typecheck() -> Table {
+    let mut rows = Vec::new();
+    let programs: Vec<(&str, hydro_core::Program, Vec<(&str, bool)>)> = vec![
+        (
+            "covid (Fig. 3)",
+            covid_program(),
+            vec![
+                ("add_person", true),
+                ("add_contact", true),
+                ("trace", true),
+                ("diagnosed", true),
+                ("likelihood", false), // black-box UDF output
+                ("vaccinate", false),  // the `:=` of Fig. 3 line 34
+            ],
+        ),
+        (
+            "cart (§7.1)",
+            cart_program(),
+            vec![("add_item", true), ("checkout", false)],
+        ),
+        (
+            "fig4-style buggy merge",
+            fig4_program(),
+            vec![("toggle", false)], // a "merge" of a negated flag
+        ),
+    ];
+    let mut correct = 0;
+    let mut total = 0;
+    for (name, program, expectations) in programs {
+        let report = classify(&program);
+        for (handler, expect_free) in expectations {
+            let got = report
+                .for_handler(handler)
+                .is_some_and(|c| c.coordination_free());
+            total += 1;
+            if got == expect_free {
+                correct += 1;
+            }
+            rows.push(vec![
+                name.to_string(),
+                handler.to_string(),
+                expect_free.to_string(),
+                got.to_string(),
+                (got == expect_free).to_string(),
+            ]);
+        }
+    }
+    rows.push(vec![
+        "TOTAL".into(),
+        format!("{total} handlers"),
+        String::new(),
+        String::new(),
+        format!("{correct}/{total} correct"),
+    ]);
+    Table {
+        title: "E11 monotonicity typechecker vs ground-truth labels (Fig. 4)".into(),
+        headers: ["program", "handler", "expected free", "classified free", "ok"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    }
+}
+
+/// The Fig. 4 bug class: an update presented as a merge whose value is
+/// non-monotone (a toggle) — manual reasoning often blesses this; the
+/// typechecker must not.
+fn fig4_program() -> hydro_core::Program {
+    use hydro_core::builder::dsl::*;
+    use hydro_core::builder::ProgramBuilder;
+    use hydro_core::value::LatticeKind;
+    ProgramBuilder::new()
+        .table(
+            "flags",
+            vec![("id", atom()), ("set", lat(LatticeKind::BoolOr))],
+            &["id"],
+            None,
+        )
+        .on(
+            "toggle",
+            &["id"],
+            vec![merge_field(
+                "flags",
+                v("id"),
+                "set",
+                hydro_core::ast::Expr::Not(Box::new(field("flags", v("id"), "set"))),
+            )],
+        )
+        .build()
+}
+
+/// E12: lifting overhead & equivalence — lifted actors vs native runtime;
+/// verified-lifting search effort.
+pub fn e12_lifting() -> Table {
+    use hydro_lift::actors::{bank_actor, lift_actor, ActorRuntime};
+    let mut rows = Vec::new();
+
+    // Actor equivalence + relative speed over a deposit storm.
+    let class = bank_actor();
+    let n_ops = 2_000i64;
+    let t0 = Instant::now();
+    let mut native = ActorRuntime::new(class.clone());
+    native.spawn(1);
+    for k in 0..n_ops {
+        native.send(1, "deposit", vec![k]);
+    }
+    native.run(10 * n_ops as usize);
+    let native_t = t0.elapsed();
+
+    let t1 = Instant::now();
+    let mut lifted = Transducer::new(lift_actor(&class)).unwrap();
+    lifted.enqueue_ok("spawn", ints(&[1]));
+    lifted.tick().unwrap();
+    for k in 0..n_ops {
+        lifted.enqueue_ok("Account::deposit", ints(&[1, k]));
+        // One message per tick preserves the sequential assignment
+        // semantics of the actor (deposits are `:=` reads of a snapshot).
+        lifted.tick().unwrap();
+    }
+    let lifted_t = t1.elapsed();
+    let native_balance = native.field(1, "balance").unwrap();
+    let lifted_balance = lifted.row("Account_actors", &[Value::Int(1)]).unwrap()[1]
+        .as_int()
+        .unwrap();
+    rows.push(vec![
+        "actors: 2k deposits".into(),
+        (native_balance == lifted_balance).to_string(),
+        format!("{native_t:.2?}"),
+        format!("{lifted_t:.2?}"),
+        format!(
+            "{:.0}x",
+            lifted_t.as_secs_f64() / native_t.as_secs_f64().max(1e-12)
+        ),
+    ]);
+
+    // Verified lifting effort.
+    let cases: Vec<(&str, Box<dyn Fn(&[i64]) -> i64>)> = vec![
+        ("sum", Box::new(|xs: &[i64]| xs.iter().sum())),
+        (
+            "filtered 2x sum",
+            Box::new(|xs: &[i64]| xs.iter().filter(|x| **x > 0).map(|x| 2 * x).sum()),
+        ),
+        (
+            "count evens",
+            Box::new(|xs: &[i64]| xs.iter().filter(|x| *x % 2 == 0).count() as i64),
+        ),
+        (
+            "order-sensitive (must refuse)",
+            Box::new(|xs: &[i64]| xs.iter().enumerate().map(|(i, x)| i as i64 * x).sum()),
+        ),
+    ];
+    for (name, f) in cases {
+        let t = Instant::now();
+        let lift = lift_loop(&*f, 42);
+        let took = t.elapsed();
+        rows.push(vec![
+            format!("lift: {name}"),
+            lift.is_some().to_string(),
+            lift.as_ref()
+                .map_or("-".into(), |l| l.candidates_tried.to_string()),
+            lift.as_ref()
+                .map_or("-".into(), |l| l.tests_passed.to_string()),
+            format!("{took:.2?}"),
+        ]);
+    }
+    Table {
+        title: "E12 lifting: actor equivalence + verified-lifting search".into(),
+        headers: ["case", "equivalent/lifted", "native t | cands", "lifted t | tests", "overhead/time"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    }
+}
+
+/// E13: collaborative editing (§1.2/§7.1) — the Logoot CRDT cluster
+/// preserves every concurrent keystroke without coordination; the
+/// last-writer-wins baseline converges too, but by discarding work.
+pub fn e13_collab() -> Table {
+    use hydro_collab::baseline::LwwCluster;
+    use hydro_collab::{Cluster, CollabConfig};
+
+    let link = LinkModel {
+        drop_prob: 0.0,
+        ..LinkModel::default()
+    };
+    let mut rows = Vec::new();
+    for editors in [2usize, 3, 5] {
+        // Each editor types its own 8-char word concurrently.
+        let words: Vec<String> = (0..editors)
+            .map(|i| {
+                let c = (b'a' + i as u8) as char;
+                std::iter::repeat_n(c, 8).collect()
+            })
+            .collect();
+        let typed: String = words.concat();
+
+        let mut crdt = Cluster::new(
+            editors,
+            CollabConfig {
+                link,
+                seed: 42,
+                gossip_period_us: Some(20_000),
+            },
+        );
+        for (i, w) in words.iter().enumerate() {
+            crdt.insert_str(i, 0, w);
+        }
+        crdt.run_for(5_000_000);
+        let crdt_msgs = crdt.sim.stats().sent;
+        let crdt_survive = crdt.text(0).len();
+
+        let mut lww = LwwCluster::new(editors, link, 42);
+        for (i, w) in words.iter().enumerate() {
+            lww.insert_str(i, 0, w);
+        }
+        lww.run_for(5_000_000);
+        let lww_survive = lww.surviving_chars(&typed);
+
+        rows.push(vec![
+            editors.to_string(),
+            typed.len().to_string(),
+            format!("{} ({})", crdt_survive, crdt.converged()),
+            format!("{} ({})", lww_survive, lww.converged()),
+            crdt_msgs.to_string(),
+        ]);
+    }
+
+    // Partition tolerance: edits on both sides of a partition all survive
+    // after healing — zero coordination messages, pure merges.
+    let mut c = Cluster::new(
+        4,
+        CollabConfig {
+            link,
+            seed: 7,
+            gossip_period_us: Some(20_000),
+        },
+    );
+    c.insert_str(0, 0, "base");
+    c.run_for(1_000_000);
+    c.partition_at(2);
+    c.insert_str(0, 4, "AAAA");
+    c.insert_str(3, 4, "BBBB");
+    c.run_for(1_000_000);
+    let diverged = !c.converged();
+    c.heal();
+    c.run_for(8_000_000);
+    rows.push(vec![
+        "partition(4)".into(),
+        "12".into(),
+        format!("{} ({})", c.text(0).len(), c.converged()),
+        "n/a".into(),
+        format!("diverged during: {diverged}"),
+    ]);
+
+    Table {
+        title: "E13 collaborative editing: CRDT (keeps all keystrokes) vs LWW (loses work)"
+            .into(),
+        headers: [
+            "editors",
+            "chars typed",
+            "crdt survive (conv)",
+            "lww survive (conv)",
+            "crdt msgs",
+        ]
+        .map(String::from)
+        .to_vec(),
+        rows,
+    }
+}
+
+/// E14: adaptive re-optimization (§9.2) — the autoscaler follows a diurnal
+/// trace whose demand swings 100× plus a flash crowd, replanning only on
+/// sustained drift; the no-hysteresis ablation flaps.
+pub fn e14_adaptive() -> Table {
+    use hydrolysis::adaptive::{diurnal_trace, AdaptiveConfig, Autoscaler};
+    use std::collections::BTreeMap;
+
+    let variants = BTreeMap::from([(
+        "api".to_string(),
+        vec![ImplVariant {
+            name: "compiled".into(),
+            service_ms: 8.0,
+            needs_gpu: false,
+        }],
+    )]);
+    let targets = hydro_core::facets::TargetSpec {
+        default: hydro_core::facets::TargetReq {
+            latency_ms: Some(40),
+            cost_milli: None,
+            processor: None,
+        },
+        per_handler: Default::default(),
+    };
+
+    // 48 half-hour windows over a day; 10 → 1000 rps with a 3× flash crowd
+    // at window 30 ("workloads grow and shrink by orders of magnitude").
+    let trace = diurnal_trace(48, 10.0, 1000.0, Some(30), 3.0);
+    let window_s = 1800.0;
+
+    let run = |config: AdaptiveConfig| -> (Autoscaler, usize, usize) {
+        let mut scaler = Autoscaler::new(demo_catalog(), targets.clone(), variants.clone(), config);
+        let mut slo_misses = 0;
+        let mut checks = 0;
+        for (i, &rps) in trace.iter().enumerate() {
+            scaler.monitor.observe("api", (rps * window_s) as u64);
+            scaler
+                .step(i as f64 * window_s, window_s)
+                .expect("diurnal trace stays feasible");
+            checks += 1;
+            match scaler.modeled_latency_ms("api", rps) {
+                Some(l) if l <= 40.0 => {}
+                _ => slo_misses += 1,
+            }
+        }
+        (scaler, slo_misses, checks)
+    };
+
+    let (adaptive, misses, checks) = run(AdaptiveConfig {
+        cooldown_s: 1800.0,
+        drift_threshold: 0.3,
+        ewma_alpha: 0.7,
+        headroom: 2.0,
+        ..AdaptiveConfig::default()
+    });
+    let (flappy, _, _) = run(AdaptiveConfig {
+        cooldown_s: 0.0,
+        drift_threshold: 0.0,
+        ..AdaptiveConfig::default()
+    });
+    let (frozen, frozen_misses, _) = {
+        // Ablation 2: plan once at the midnight trough, never adapt.
+        let mut scaler = Autoscaler::new(
+            demo_catalog(),
+            targets.clone(),
+            variants.clone(),
+            AdaptiveConfig {
+                drift_threshold: f64::INFINITY,
+                ..AdaptiveConfig::default()
+            },
+        );
+        let mut misses = 0;
+        for (i, &rps) in trace.iter().enumerate() {
+            scaler.monitor.observe("api", (rps * window_s) as u64);
+            scaler.step(i as f64 * window_s, window_s).expect("feasible");
+            match scaler.modeled_latency_ms("api", rps) {
+                Some(l) if l <= 40.0 => {}
+                _ => misses += 1,
+            }
+        }
+        (scaler, misses, 0)
+    };
+
+    let mut rows = Vec::new();
+    // A few representative windows from the adaptive run.
+    for &i in &[0usize, 12, 24, 30, 47] {
+        let machines_at = adaptive
+            .replans
+            .iter().rfind(|r| r.at_s <= i as f64 * window_s)
+            .map_or(0, |r| r.machines.1);
+        rows.push(vec![
+            format!("hour {:>2}", i / 2),
+            format!("{:.0} rps", trace[i]),
+            machines_at.to_string(),
+            String::new(),
+            String::new(),
+        ]);
+    }
+    rows.push(vec![
+        "adaptive (drift 30%, 30min cooldown, 2x headroom)".into(),
+        String::new(),
+        String::new(),
+        adaptive.replans.len().to_string(),
+        format!("{misses}/{checks}"),
+    ]);
+    rows.push(vec![
+        "ablation: no hysteresis".into(),
+        String::new(),
+        String::new(),
+        flappy.replans.len().to_string(),
+        "-".into(),
+    ]);
+    rows.push(vec![
+        "ablation: plan once at trough".into(),
+        String::new(),
+        String::new(),
+        frozen.replans.len().to_string(),
+        format!("{frozen_misses}/{checks}"),
+    ]);
+    Table {
+        title: "E14 adaptive reoptimization over a 100x diurnal trace (+3x flash crowd)".into(),
+        headers: ["window/policy", "offered", "machines", "replans", "SLO misses"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    }
+}
+
+/// Name → runner for every experiment, in EXPERIMENTS.md order.
+///
+/// The report binary iterates this so tables stream as they finish and
+/// individual experiments can be re-run by id.
+pub fn experiment_registry() -> Vec<(&'static str, fn() -> Table)> {
+    vec![
+        ("e01", e01_covid as fn() -> Table),
+        ("e02", e02_coordination),
+        ("e03", e03_calm),
+        ("e04", e04_chestnut),
+        ("e05", e05_availability),
+        ("e06", e06_target),
+        ("e07", e07_collectives),
+        ("e08", e08_flow),
+        ("e09", e09_kvs),
+        ("e10", e10_cart),
+        ("e11", e11_typecheck),
+        ("e12", e12_lifting),
+        ("e13", e13_collab),
+        ("e14", e14_adaptive),
+    ]
+}
+
+/// Run every experiment and return the tables in order.
+pub fn all_experiments() -> Vec<Table> {
+    experiment_registry().into_iter().map(|(_, run)| run()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_experiment_produces_rows() {
+        // Smoke: the smaller experiments run inside the test budget.
+        for table in [e03_calm(), e05_availability(), e06_target(), e10_cart(), e11_typecheck()] {
+            assert!(!table.rows.is_empty(), "{} has rows", table.title);
+            assert!(!table.render().is_empty());
+        }
+    }
+
+    #[test]
+    fn typechecker_scores_perfectly_on_the_corpus() {
+        let t = e11_typecheck();
+        let last = t.rows.last().unwrap();
+        assert!(last[4].contains("9/9"), "got {:?}", last[4]);
+    }
+
+    #[test]
+    fn calm_divergence_is_one_sided() {
+        let t = e03_calm();
+        assert_eq!(t.rows[0][3], "0%", "monotone workload never diverges");
+        assert_ne!(t.rows[1][3], "0%", "non-monotone workload diverges");
+    }
+
+    #[test]
+    fn standard_orders_helper_reexported() {
+        assert!(hydro_analysis::standard_orders(3).len() >= 3);
+    }
+}

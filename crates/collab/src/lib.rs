@@ -1,0 +1,353 @@
+//! # hydro-collab
+//!
+//! Coordination-free collaborative text editing over the simulated
+//! cluster — the paper's flagship "monotonic design pattern" application
+//! (§1.2 cites Logoot-style collaborative editing; §7 lists it among the
+//! clever application-level consistency designs).
+//!
+//! Two replication designs share one workload API so experiments can
+//! contrast them:
+//!
+//! * [`Cluster`] — each replica runs a [`hydro_lattice::logoot`] editor;
+//!   edits broadcast as CRDT operations and a periodic anti-entropy digest
+//!   covers dropped messages. Convergence needs **no coordination**: every
+//!   mutation is a lattice merge (CALM's monotone case).
+//! * [`baseline::LwwCluster`] — the non-monotone strawman: replicas ship
+//!   whole-document last-writer-wins snapshots. It also "converges", but by
+//!   *discarding* concurrent work — the experiment counts the lost edits.
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+
+use hydro_lattice::logoot::{Editor, LogootDoc, Op};
+use hydro_net::{Ctx, DomainPath, LinkModel, NodeId, NodeLogic, Sim, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Messages between editor replicas.
+#[derive(Clone, Debug)]
+pub enum EditMsg {
+    /// One CRDT edit operation (idempotent, commutative).
+    Op(Op),
+    /// Anti-entropy: a full lattice digest of the sender's document.
+    Digest(LogootDoc),
+}
+
+/// Inspectable replica state.
+#[derive(Debug)]
+pub struct EditState {
+    /// The replica's editor (site id = node id + 1).
+    pub editor: Editor,
+    /// Operations applied from remote peers.
+    pub remote_ops: u64,
+    /// Digests merged that actually changed state.
+    pub effective_digests: u64,
+}
+
+const GOSSIP_TIMER: u64 = 11;
+
+struct EditorNode {
+    state: Rc<RefCell<EditState>>,
+    peers: Vec<NodeId>,
+    next_peer: usize,
+    gossip_period_us: Option<SimTime>,
+}
+
+impl NodeLogic<EditMsg> for EditorNode {
+    fn on_message(&mut self, _ctx: &mut Ctx<EditMsg>, _src: NodeId, msg: EditMsg) {
+        let mut st = self.state.borrow_mut();
+        match msg {
+            EditMsg::Op(op) => {
+                st.editor.apply(&op);
+                st.remote_ops += 1;
+            }
+            EditMsg::Digest(doc) => {
+                if st.editor.merge_state(doc) {
+                    st.effective_digests += 1;
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<EditMsg>, timer: u64) {
+        if timer != GOSSIP_TIMER {
+            return;
+        }
+        let Some(period) = self.gossip_period_us else {
+            return;
+        };
+        if !self.peers.is_empty() {
+            let target = self.peers[self.next_peer % self.peers.len()];
+            self.next_peer = self.next_peer.wrapping_add(1);
+            let digest = self.state.borrow().editor.doc().clone();
+            ctx.send(target, EditMsg::Digest(digest));
+        }
+        ctx.set_timer(period, GOSSIP_TIMER);
+    }
+}
+
+/// Configuration for a collaborative-editing cluster.
+#[derive(Clone, Copy, Debug)]
+pub struct CollabConfig {
+    /// Link model for the simulated network.
+    pub link: LinkModel,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Anti-entropy period; `None` disables gossip (op broadcast only).
+    pub gossip_period_us: Option<SimTime>,
+}
+
+impl Default for CollabConfig {
+    fn default() -> Self {
+        CollabConfig {
+            link: LinkModel::default(),
+            seed: 0,
+            gossip_period_us: Some(20_000),
+        }
+    }
+}
+
+/// N collaborating editor replicas on the simulator.
+pub struct Cluster {
+    /// The underlying simulator (exposed for failure injection).
+    pub sim: Sim<EditMsg>,
+    nodes: Vec<NodeId>,
+    states: Vec<Rc<RefCell<EditState>>>,
+}
+
+impl Cluster {
+    /// Build `n` replicas, one per simulated node, each in its own AZ.
+    pub fn new(n: usize, config: CollabConfig) -> Self {
+        assert!(n >= 1);
+        let mut sim = Sim::new(config.link, config.seed);
+        let all: Vec<NodeId> = (0..n).collect();
+        let mut nodes = Vec::with_capacity(n);
+        let mut states = Vec::with_capacity(n);
+        for i in 0..n {
+            let state = Rc::new(RefCell::new(EditState {
+                editor: Editor::new(i as u64 + 1),
+                remote_ops: 0,
+                effective_digests: 0,
+            }));
+            let peers: Vec<NodeId> = all.iter().copied().filter(|&p| p != i).collect();
+            let id = sim.add_node(
+                EditorNode {
+                    state: Rc::clone(&state),
+                    peers,
+                    next_peer: i, // stagger round-robin starting points
+                    gossip_period_us: config.gossip_period_us,
+                },
+                DomainPath::new(i as u32, 0, 0),
+            );
+            nodes.push(id);
+            states.push(state);
+        }
+        if let Some(period) = config.gossip_period_us {
+            for (i, &id) in nodes.iter().enumerate() {
+                // Stagger timers so digests do not all fire at once.
+                sim.start_timer(id, GOSSIP_TIMER, period + (i as SimTime) * 97);
+            }
+        }
+        Cluster { sim, nodes, states }
+    }
+
+    /// Number of replicas.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the cluster has no replicas (never true after `new`).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn broadcast(&mut self, from: usize, op: Op) {
+        for peer in 0..self.nodes.len() {
+            if peer != from {
+                self.sim
+                    .send_internal(self.nodes[from], self.nodes[peer], EditMsg::Op(op.clone()));
+            }
+        }
+    }
+
+    /// Replica `node` inserts `ch` at visible index `index`.
+    pub fn insert(&mut self, node: usize, index: usize, ch: char) {
+        let op = self.states[node].borrow_mut().editor.insert(index, ch);
+        self.broadcast(node, op);
+    }
+
+    /// Replica `node` types `s` starting at visible index `index`.
+    pub fn insert_str(&mut self, node: usize, index: usize, s: &str) {
+        let ops = self.states[node].borrow_mut().editor.insert_str(index, s);
+        for op in ops {
+            self.broadcast(node, op);
+        }
+    }
+
+    /// Replica `node` deletes the visible character at `index`.
+    pub fn delete(&mut self, node: usize, index: usize) {
+        let op = self.states[node].borrow_mut().editor.delete(index);
+        if let Some(op) = op {
+            self.broadcast(node, op);
+        }
+    }
+
+    /// Current text at a replica.
+    pub fn text(&self, node: usize) -> String {
+        self.states[node].borrow().editor.text()
+    }
+
+    /// Inspect a replica's counters.
+    pub fn state(&self, node: usize) -> std::cell::Ref<'_, EditState> {
+        self.states[node].borrow()
+    }
+
+    /// All replicas show identical text.
+    pub fn converged(&self) -> bool {
+        let first = self.text(0);
+        (1..self.len()).all(|i| self.text(i) == first)
+    }
+
+    /// Run the simulation for `us` microseconds of virtual time.
+    pub fn run_for(&mut self, us: SimTime) {
+        let deadline = self.sim.now() + us;
+        self.sim.run_until(deadline);
+    }
+
+    /// Partition the first `k` replicas from the rest.
+    pub fn partition_at(&mut self, k: usize) {
+        let (a, b) = self.nodes.split_at(k);
+        let a = a.to_vec();
+        let b = b.to_vec();
+        self.sim.partition(&a, &b);
+    }
+
+    /// Heal all partitions.
+    pub fn heal(&mut self) {
+        self.sim.heal();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_link() -> LinkModel {
+        LinkModel {
+            drop_prob: 0.0,
+            ..LinkModel::default()
+        }
+    }
+
+    #[test]
+    fn three_editors_converge() {
+        let mut c = Cluster::new(
+            3,
+            CollabConfig {
+                link: quiet_link(),
+                ..CollabConfig::default()
+            },
+        );
+        c.insert_str(0, 0, "hello ");
+        c.insert_str(1, 0, "world");
+        c.insert_str(2, 0, "!!");
+        c.run_for(2_000_000);
+        assert!(c.converged(), "{:?}", (c.text(0), c.text(1), c.text(2)));
+        assert_eq!(c.text(0).len(), 13);
+    }
+
+    #[test]
+    fn concurrent_edits_all_survive() {
+        let mut c = Cluster::new(
+            2,
+            CollabConfig {
+                link: quiet_link(),
+                ..CollabConfig::default()
+            },
+        );
+        c.insert_str(0, 0, "aaa");
+        c.insert_str(1, 0, "bbb");
+        c.run_for(2_000_000);
+        assert!(c.converged());
+        let t = c.text(0);
+        assert_eq!(t.matches('a').count(), 3, "{t}");
+        assert_eq!(t.matches('b').count(), 3, "{t}");
+    }
+
+    #[test]
+    fn partition_heals_without_coordination() {
+        let mut c = Cluster::new(
+            4,
+            CollabConfig {
+                link: quiet_link(),
+                ..CollabConfig::default()
+            },
+        );
+        c.insert_str(0, 0, "base");
+        c.run_for(1_000_000);
+        assert!(c.converged());
+
+        c.partition_at(2);
+        c.insert_str(0, 4, " left");
+        c.insert_str(3, 4, " right");
+        c.run_for(1_000_000);
+        assert!(!c.converged(), "partition keeps sides apart");
+
+        c.heal();
+        c.run_for(3_000_000);
+        assert!(c.converged(), "{:?}", (c.text(0), c.text(3)));
+        // Concurrent runs may interleave (a known Logoot property), but no
+        // character is lost and each side's typing order survives as a
+        // subsequence.
+        let t = c.text(0);
+        assert_eq!(t.len(), "base left right".len(), "{t}");
+        for side in ["left", "right"] {
+            let mut chars = t.chars();
+            assert!(
+                side.chars().all(|w| chars.any(|c| c == w)),
+                "{side:?} not a subsequence of {t:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn gossip_repairs_dropped_ops() {
+        // A very lossy network: op broadcast alone would miss edits; the
+        // anti-entropy digests must repair them.
+        let mut c = Cluster::new(
+            3,
+            CollabConfig {
+                link: LinkModel {
+                    drop_prob: 0.4,
+                    ..LinkModel::default()
+                },
+                seed: 7,
+                gossip_period_us: Some(10_000),
+            },
+        );
+        for (i, word) in ["abc", "def", "ghi"].iter().enumerate() {
+            c.insert_str(i, 0, word);
+        }
+        c.run_for(20_000_000);
+        assert!(c.converged(), "{:?}", (c.text(0), c.text(1), c.text(2)));
+        assert_eq!(c.text(0).len(), 9);
+    }
+
+    #[test]
+    fn deletes_replicate() {
+        let mut c = Cluster::new(
+            2,
+            CollabConfig {
+                link: quiet_link(),
+                ..CollabConfig::default()
+            },
+        );
+        c.insert_str(0, 0, "xy");
+        c.run_for(1_000_000);
+        c.delete(1, 0);
+        c.run_for(1_000_000);
+        assert!(c.converged());
+        assert_eq!(c.text(0), "y");
+    }
+}

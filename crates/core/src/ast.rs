@@ -1,0 +1,562 @@
+//! The HydroLogic program representation (§3).
+//!
+//! A [`Program`] bundles the four PACT facets: the **P**rogram-semantics
+//! facet (data model declarations, queries, handlers), and the
+//! **A**vailability, **C**onsistency and **T**argets facets (see
+//! [`crate::facets`]). Programs are plain data — they can be built
+//! programmatically, lifted from legacy paradigms by `hydro-lift`, analyzed
+//! by `hydro-analysis`, and lowered to Hydroflow by `hydrolysis`.
+//!
+//! The statement forms mirror §3.1 exactly:
+//!
+//! * **Queries** are named, Datalog-style rules over the snapshot, with
+//!   recursion, stratified negation, and stratified aggregation
+//!   ([`Rule`]/[`AggRule`]).
+//! * **Mutations** are deferred to end-of-tick; lattice merges
+//!   ([`Stmt::Merge`], [`Stmt::Insert`]) are monotone, bare assignment
+//!   ([`Stmt::Assign`]) and deletion ([`Stmt::Delete`]) are not.
+//! * **Handlers** (`on …`) map statements over a mailbox of messages.
+//! * **Sends** are asynchronous merges into mailboxes, visible only at some
+//!   later tick.
+//! * **UDFs** are black-box functions invoked once per distinct input per
+//!   tick (memoized), in arbitrary order.
+
+use crate::facets::{AvailabilitySpec, ConsistencyReq, TargetSpec};
+use crate::value::{LatticeKind, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A column in a table declaration.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    /// Column name (used by field mutations and [`Expr::FieldOf`]).
+    pub name: String,
+    /// Merge discipline for the column.
+    pub kind: ColumnKind,
+}
+
+/// How a non-key column behaves under concurrent mutation.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ColumnKind {
+    /// Plain value: only assignable (non-monotone to mutate).
+    Atom,
+    /// Lattice-valued: mergeable (monotone to mutate).
+    Lattice(LatticeKind),
+}
+
+/// A functional dependency over a table's columns — §5's "relational
+/// constraints, such as functional dependencies". Rows that agree on every
+/// determinant column must agree on every dependent column.
+///
+/// FDs are checked at end-of-tick by the transducer: handlers running
+/// transactionally (with invariants) roll back on violation; otherwise a
+/// violation is surfaced as a tick warning.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fd {
+    /// Indexes of the determining columns (the left side of `a -> b`).
+    pub determinant: Vec<usize>,
+    /// Indexes of the determined columns (the right side).
+    pub dependent: Vec<usize>,
+}
+
+/// A persistent table declaration (Fig. 3 lines 1–4).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableDecl {
+    /// Table name.
+    pub name: String,
+    /// Columns in positional order.
+    pub columns: Vec<Column>,
+    /// Indexes of the key columns (row identity).
+    pub key: Vec<usize>,
+    /// Optional partition-hint column (Fig. 3's `partition=country`);
+    /// consumed by the deployment planner, not by single-node semantics.
+    pub partition_by: Option<usize>,
+    /// Declared functional dependencies (§5).
+    pub fds: Vec<Fd>,
+}
+
+impl TableDecl {
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Extract the key of a row (the key columns in declared order).
+    pub fn key_of(&self, row: &[Value]) -> Vec<Value> {
+        self.key.iter().map(|&i| row[i].clone()).collect()
+    }
+
+    /// Check one functional dependency over `rows`; returns the first pair
+    /// of rows that agree on the determinant but differ on a dependent
+    /// column. Rows shorter than the table arity are skipped (defensive:
+    /// the transducer never stores them).
+    pub fn fd_violation<'r>(
+        &self,
+        fd: &Fd,
+        rows: impl Iterator<Item = &'r [Value]>,
+    ) -> Option<(Vec<Value>, Vec<Value>)> {
+        let project =
+            |row: &[Value], cols: &[usize]| -> Vec<Value> { cols.iter().map(|&i| row[i].clone()).collect() };
+        let mut seen: BTreeMap<Vec<Value>, &'r [Value]> = BTreeMap::new();
+        for row in rows {
+            if row.len() < self.columns.len() {
+                continue;
+            }
+            let det = project(row, &fd.determinant);
+            match seen.get(&det) {
+                Some(prior) => {
+                    if project(prior, &fd.dependent) != project(row, &fd.dependent) {
+                        return Some((prior.to_vec(), row.to_vec()));
+                    }
+                }
+                None => {
+                    seen.insert(det, row);
+                }
+            }
+        }
+        None
+    }
+
+    /// Human-readable rendering of an FD (`a, b -> c`) using column names.
+    pub fn fd_display(&self, fd: &Fd) -> String {
+        let names = |cols: &[usize]| {
+            cols.iter()
+                .map(|&i| self.columns[i].name.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        format!("{} -> {}", names(&fd.determinant), names(&fd.dependent))
+    }
+}
+
+/// A scalar variable declaration (`var vaccine_count`).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScalarDecl {
+    /// Variable name.
+    pub name: String,
+    /// `Some(kind)` makes the variable lattice-typed (merge-only);
+    /// `None` makes it a bare, assignable variable (non-monotone).
+    pub lattice: Option<LatticeKind>,
+    /// Initial value.
+    pub init: Value,
+}
+
+/// A mailbox declaration for message collections *without* a handler (e.g.
+/// the `futures` mailbox in the promises pattern, Appendix A.2). Handler
+/// mailboxes are implicit.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MailboxDecl {
+    /// Mailbox name.
+    pub name: String,
+    /// Message arity.
+    pub arity: usize,
+}
+
+/// Positional binding pattern for a scanned relation.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Term {
+    /// Bind (or check, if already bound) a variable.
+    Var(String),
+    /// Match a constant.
+    Const(Value),
+    /// Ignore the position.
+    Wildcard,
+}
+
+/// One conjunct of a rule body, evaluated left-to-right with binding
+/// propagation.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BodyAtom {
+    /// Scan a table, view, or mailbox relation and unify positionally.
+    Scan {
+        /// Relation name.
+        rel: String,
+        /// Positional patterns (must match the relation's arity).
+        terms: Vec<Term>,
+    },
+    /// Stratified negation: succeed when the tuple of evaluated expressions
+    /// is absent from the relation. All variables must already be bound.
+    Neg {
+        /// Relation name.
+        rel: String,
+        /// Tuple to test for absence.
+        args: Vec<Expr>,
+    },
+    /// Boolean guard over bound variables.
+    Guard(Expr),
+    /// Bind a fresh variable to an expression.
+    Let {
+        /// Variable to bind.
+        var: String,
+        /// Defining expression.
+        expr: Expr,
+    },
+    /// Iterate the elements of a set-valued expression, binding each to
+    /// `var` — how Fig. 3's `for p1 in p.contacts` is expressed.
+    Flatten {
+        /// Variable bound to each element.
+        var: String,
+        /// Set-valued expression.
+        set: Expr,
+    },
+}
+
+/// A (possibly recursive) Datalog-style rule deriving `head`.
+///
+/// Multiple rules may share a head name; their results are implicitly
+/// unioned, "as in Datalog" (§3.1).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rule {
+    /// Derived relation name.
+    pub head: String,
+    /// Projection producing the head tuple from bindings.
+    pub head_exprs: Vec<Expr>,
+    /// Body conjuncts.
+    pub body: Vec<BodyAtom>,
+}
+
+/// Aggregation functions for [`AggRule`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggFun {
+    /// Number of derived rows per group.
+    Count,
+    /// Integer sum.
+    Sum,
+    /// Integer minimum.
+    Min,
+    /// Integer maximum.
+    Max,
+    /// Collect values into a set.
+    CollectSet,
+}
+
+/// A stratified aggregation rule: groups body matches by `group_exprs` and
+/// folds `over` with `agg`, deriving `head(group…, agg)`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AggRule {
+    /// Derived relation name.
+    pub head: String,
+    /// Grouping key expressions.
+    pub group_exprs: Vec<Expr>,
+    /// Aggregate function.
+    pub agg: AggFun,
+    /// Aggregated expression.
+    pub over: Expr,
+    /// Body conjuncts.
+    pub body: Vec<BodyAtom>,
+}
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Arithmetic operators over `Int`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArithOp {
+    /// Addition.
+    Add,
+    /// Subtraction (antitone in its right argument — the typechecker cares).
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Euclidean division; division by zero is an evaluation error.
+    Div,
+    /// Remainder.
+    Mod,
+}
+
+/// Expressions, evaluated against handler bindings plus the tick snapshot.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Literal.
+    Const(Value),
+    /// Bound variable (handler parameter, `Let`, or scan binding).
+    Var(String),
+    /// Read a scalar variable from the snapshot.
+    Scalar(String),
+    /// Comparison.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Arithmetic.
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// Logical negation (non-monotone).
+    Not(Box<Expr>),
+    /// Short-circuit conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Short-circuit disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Build a tuple.
+    Tuple(Vec<Expr>),
+    /// Project a tuple element.
+    Index(Box<Expr>, usize),
+    /// Build a set.
+    SetBuild(Vec<Expr>),
+    /// Set membership test.
+    Contains(Box<Expr>, Box<Expr>),
+    /// Set cardinality.
+    Len(Box<Expr>),
+    /// Read field `field` of the row of `table` keyed by `key`
+    /// (`people[pid].covid`). `Null` when the key is absent.
+    FieldOf {
+        /// Table name.
+        table: String,
+        /// Key expression (single-column keys take the value directly;
+        /// multi-column keys take a tuple).
+        key: Box<Expr>,
+        /// Column name.
+        field: String,
+    },
+    /// The whole row of `table` keyed by `key`, as a tuple; `Null` if
+    /// absent. Used to pass records to UDFs (`covid_predict(people[pid])`).
+    RowOf {
+        /// Table name.
+        table: String,
+        /// Key expression.
+        key: Box<Expr>,
+    },
+    /// Key-presence test (`people.has_key(pid)`).
+    HasKey {
+        /// Table name.
+        table: String,
+        /// Key expression.
+        key: Box<Expr>,
+    },
+    /// Invoke a registered UDF (black box; memoized once per input per
+    /// tick, §3.1).
+    Call(String, Vec<Expr>),
+    /// Evaluate a comprehension to a set value: `{proj for body}`.
+    CollectSet(Box<Select>),
+}
+
+impl Expr {
+    /// Convenience: integer literal.
+    pub fn int(v: i64) -> Expr {
+        Expr::Const(Value::Int(v))
+    }
+
+    /// Convenience: variable reference.
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(name.to_string())
+    }
+}
+
+/// A comprehension: body conjuncts producing bindings, and a projection.
+/// With an empty body it denotes the single row `projection` evaluated under
+/// the current bindings.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Select {
+    /// Body conjuncts (may be empty).
+    pub body: Vec<BodyAtom>,
+    /// Projected expressions per result row.
+    pub projection: Vec<Expr>,
+}
+
+/// Targets of a `merge` mutation.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MergeTarget {
+    /// Merge into a lattice-typed scalar.
+    Scalar(String),
+    /// Merge into a lattice column of the row keyed by `key`.
+    TableField {
+        /// Table name.
+        table: String,
+        /// Key expression.
+        key: Expr,
+        /// Column name.
+        field: String,
+    },
+}
+
+/// Targets of a bare (non-monotone) assignment.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AssignTarget {
+    /// Assign a bare scalar.
+    Scalar(String),
+    /// Overwrite a column of the row keyed by `key`.
+    TableField {
+        /// Table name.
+        table: String,
+        /// Key expression.
+        key: Expr,
+        /// Column name.
+        field: String,
+    },
+}
+
+/// Handler-body statements (§3.1's mutation/send forms plus control sugar).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// Monotone lattice merge, deferred to end-of-tick.
+    Merge(MergeTarget, Expr),
+    /// Non-monotone assignment, deferred to end-of-tick.
+    Assign(AssignTarget, Expr),
+    /// Insert/merge a full row into a table (monotone when all non-key
+    /// columns are lattice-typed).
+    Insert {
+        /// Table name.
+        table: String,
+        /// Row expressions, one per column.
+        values: Vec<Expr>,
+    },
+    /// Delete the row keyed by `key` (non-monotone).
+    Delete {
+        /// Table name.
+        table: String,
+        /// Key expression.
+        key: Expr,
+    },
+    /// Asynchronous send of each projected row into a mailbox; appears at
+    /// an unbounded later tick (§3.1 "sends capture unbounded network
+    /// delay").
+    Send {
+        /// Destination mailbox.
+        mailbox: String,
+        /// Rows to send.
+        select: Select,
+    },
+    /// Respond to the message being handled (sugar for a send to the
+    /// implicit `<handler>@response` mailbox keyed by message id).
+    Return(Expr),
+    /// Conditional execution (sugar; guards each branch's statements).
+    If {
+        /// Condition over bindings and snapshot.
+        cond: Expr,
+        /// Statements when true.
+        then: Vec<Stmt>,
+        /// Statements when false.
+        els: Vec<Stmt>,
+    },
+    /// Execute statements once per comprehension match (statement-level
+    /// quantification; how handlers desugar, per §3.1's `add_person`
+    /// example).
+    ForEach {
+        /// Comprehension producing bindings; its projection is ignored.
+        select: Select,
+        /// Statements run under each binding.
+        stmts: Vec<Stmt>,
+    },
+    /// Clear a declared (handler-less) mailbox at end-of-tick — the
+    /// `futures.delete()` idiom of Appendix A.2.
+    ClearMailbox(String),
+}
+
+/// What causes a handler to run in a tick.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Trigger {
+    /// Run once per message in the handler's mailbox (the `on h(args)`
+    /// form).
+    OnMessage,
+    /// Run once per tick when the condition holds over the snapshot (the
+    /// `on futures(…).len() >= 4` form of Appendix A.2).
+    OnCondition(Expr),
+}
+
+/// An event handler (`on name(params): body`).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Handler {
+    /// Handler (and mailbox) name.
+    pub name: String,
+    /// Parameter names bound from each message, positionally.
+    pub params: Vec<String>,
+    /// Activation condition.
+    pub trigger: Trigger,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Per-handler consistency requirement (None = program default).
+    pub consistency: Option<ConsistencyReq>,
+}
+
+/// A complete HydroLogic program: the P facet plus the A/C/T facets.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// Persistent tables.
+    pub tables: Vec<TableDecl>,
+    /// Scalar variables.
+    pub scalars: Vec<ScalarDecl>,
+    /// Handler-less mailboxes.
+    pub mailboxes: Vec<MailboxDecl>,
+    /// Derived views.
+    pub rules: Vec<Rule>,
+    /// Stratified aggregations.
+    pub agg_rules: Vec<AggRule>,
+    /// Event handlers.
+    pub handlers: Vec<Handler>,
+    /// Availability facet (§6).
+    pub availability: AvailabilitySpec,
+    /// Program-default consistency (§7); per-handler overrides live on the
+    /// handlers.
+    pub default_consistency: ConsistencyReq,
+    /// Targets facet (§9).
+    pub targets: TargetSpec,
+    /// Names of UDFs the program imports (bound at runtime).
+    pub udfs: Vec<String>,
+}
+
+impl Program {
+    /// Find a table by name.
+    pub fn table(&self, name: &str) -> Option<&TableDecl> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// Find a scalar by name.
+    pub fn scalar(&self, name: &str) -> Option<&ScalarDecl> {
+        self.scalars.iter().find(|s| s.name == name)
+    }
+
+    /// Find a handler by name.
+    pub fn handler(&self, name: &str) -> Option<&Handler> {
+        self.handlers.iter().find(|h| h.name == name)
+    }
+
+    /// The effective consistency requirement for a handler.
+    pub fn consistency_of(&self, handler: &str) -> &ConsistencyReq {
+        self.handler(handler)
+            .and_then(|h| h.consistency.as_ref())
+            .unwrap_or(&self.default_consistency)
+    }
+
+    /// All names usable as scan relations: tables, views, and mailboxes
+    /// (handler mailboxes included), with their arities.
+    pub fn relation_arities(&self) -> BTreeMap<String, usize> {
+        let mut m = BTreeMap::new();
+        for t in &self.tables {
+            m.insert(t.name.clone(), t.arity());
+        }
+        for mb in &self.mailboxes {
+            m.insert(mb.name.clone(), mb.arity);
+        }
+        for h in &self.handlers {
+            m.insert(h.name.clone(), h.params.len());
+        }
+        for r in &self.rules {
+            m.insert(r.head.clone(), r.head_exprs.len());
+        }
+        for r in &self.agg_rules {
+            m.insert(r.head.clone(), r.group_exprs.len() + 1);
+        }
+        m
+    }
+}
+
+/// The implicit response mailbox for a handler (§3.1's
+/// `add_person<response>`).
+pub fn response_mailbox(handler: &str) -> String {
+    format!("{handler}@response")
+}

@@ -1,0 +1,471 @@
+//! Ergonomic construction of HydroLogic programs.
+//!
+//! The IR is plain data (see [`crate::ast`]); this module is the "pythonic
+//! syntax" stand-in of Fig. 3 — a fluent builder plus a [`dsl`] vocabulary
+//! of constructors so programs read close to the paper's listings.
+
+use crate::ast::{
+    AggFun, AggRule, BodyAtom, Column, ColumnKind, Expr, Handler, MailboxDecl, Program, Rule,
+    ScalarDecl, Select, Stmt, TableDecl, Term, Trigger,
+};
+use crate::facets::{AvailReq, ConsistencyReq, TargetReq};
+use crate::value::{LatticeKind, Value};
+
+/// Fluent builder for [`Program`].
+#[derive(Default)]
+pub struct ProgramBuilder {
+    program: Program,
+}
+
+impl ProgramBuilder {
+    /// Start an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a table. `key` and `partition` name columns.
+    pub fn table(
+        mut self,
+        name: &str,
+        columns: Vec<(&str, ColumnKind)>,
+        key: &[&str],
+        partition: Option<&str>,
+    ) -> Self {
+        let cols: Vec<Column> = columns
+            .into_iter()
+            .map(|(n, kind)| Column {
+                name: n.to_string(),
+                kind,
+            })
+            .collect();
+        let key_ix = key
+            .iter()
+            .map(|k| {
+                cols.iter()
+                    .position(|c| c.name == *k)
+                    .unwrap_or_else(|| panic!("key column {k:?} not declared in table {name:?}"))
+            })
+            .collect();
+        let partition_by = partition.map(|p| {
+            cols.iter()
+                .position(|c| c.name == p)
+                .unwrap_or_else(|| panic!("partition column {p:?} not declared in table {name:?}"))
+        });
+        self.program.tables.push(TableDecl {
+            name: name.to_string(),
+            columns: cols,
+            key: key_ix,
+            partition_by,
+            fds: Vec::new(),
+        });
+        self
+    }
+
+    /// Declare a functional dependency `determinant -> dependent` on an
+    /// already-declared table (§5's relational constraints).
+    pub fn fd(mut self, table: &str, determinant: &[&str], dependent: &[&str]) -> Self {
+        let decl = self
+            .program
+            .tables
+            .iter_mut()
+            .find(|t| t.name == table)
+            .unwrap_or_else(|| panic!("fd on undeclared table {table:?}"));
+        let resolve = |cols: &[&str]| {
+            cols.iter()
+                .map(|c| {
+                    decl.columns
+                        .iter()
+                        .position(|col| col.name == *c)
+                        .unwrap_or_else(|| panic!("fd column {c:?} not declared in table {table:?}"))
+                })
+                .collect::<Vec<usize>>()
+        };
+        let fd = crate::ast::Fd {
+            determinant: resolve(determinant),
+            dependent: resolve(dependent),
+        };
+        assert!(
+            !fd.determinant.is_empty() && !fd.dependent.is_empty(),
+            "fd on table {table:?} needs columns on both sides"
+        );
+        decl.fds.push(fd);
+        self
+    }
+
+    /// Declare a lattice-typed scalar (merge-only).
+    pub fn lattice_var(mut self, name: &str, kind: LatticeKind) -> Self {
+        let init = kind.bottom();
+        self.program.scalars.push(ScalarDecl {
+            name: name.to_string(),
+            lattice: Some(kind),
+            init,
+        });
+        self
+    }
+
+    /// Declare a bare scalar (assignable, non-monotone).
+    pub fn var(mut self, name: &str, init: Value) -> Self {
+        self.program.scalars.push(ScalarDecl {
+            name: name.to_string(),
+            lattice: None,
+            init,
+        });
+        self
+    }
+
+    /// Declare a handler-less mailbox.
+    pub fn mailbox(mut self, name: &str, arity: usize) -> Self {
+        self.program.mailboxes.push(MailboxDecl {
+            name: name.to_string(),
+            arity,
+        });
+        self
+    }
+
+    /// Add a derivation rule.
+    pub fn rule(mut self, head: &str, head_exprs: Vec<Expr>, body: Vec<BodyAtom>) -> Self {
+        self.program.rules.push(Rule {
+            head: head.to_string(),
+            head_exprs,
+            body,
+        });
+        self
+    }
+
+    /// Add a stratified aggregation rule.
+    pub fn agg_rule(
+        mut self,
+        head: &str,
+        group_exprs: Vec<Expr>,
+        agg: AggFun,
+        over: Expr,
+        body: Vec<BodyAtom>,
+    ) -> Self {
+        self.program.agg_rules.push(AggRule {
+            head: head.to_string(),
+            group_exprs,
+            agg,
+            over,
+            body,
+        });
+        self
+    }
+
+    /// Add a message handler with default consistency.
+    pub fn on(self, name: &str, params: &[&str], body: Vec<Stmt>) -> Self {
+        self.on_with(name, params, body, None)
+    }
+
+    /// Add a message handler with an explicit consistency requirement.
+    pub fn on_with(
+        mut self,
+        name: &str,
+        params: &[&str],
+        body: Vec<Stmt>,
+        consistency: Option<ConsistencyReq>,
+    ) -> Self {
+        self.program.handlers.push(Handler {
+            name: name.to_string(),
+            params: params.iter().map(|p| p.to_string()).collect(),
+            trigger: Trigger::OnMessage,
+            body,
+            consistency,
+        });
+        self
+    }
+
+    /// Add a condition-triggered handler (runs once per tick while the
+    /// guard holds — Appendix A.2's `on futures(…).len() >= 4`).
+    pub fn on_condition(mut self, name: &str, cond: Expr, body: Vec<Stmt>) -> Self {
+        self.program.handlers.push(Handler {
+            name: name.to_string(),
+            params: Vec::new(),
+            trigger: Trigger::OnCondition(cond),
+            body,
+            consistency: None,
+        });
+        self
+    }
+
+    /// Set the default availability requirement.
+    pub fn availability_default(mut self, req: AvailReq) -> Self {
+        self.program.availability.default = req;
+        self
+    }
+
+    /// Override availability for one handler.
+    pub fn availability_for(mut self, handler: &str, req: AvailReq) -> Self {
+        self.program
+            .availability
+            .per_handler
+            .insert(handler.to_string(), req);
+        self
+    }
+
+    /// Set default targets.
+    pub fn target_default(mut self, req: TargetReq) -> Self {
+        self.program.targets.default = req;
+        self
+    }
+
+    /// Override targets for one handler.
+    pub fn target_for(mut self, handler: &str, req: TargetReq) -> Self {
+        self.program
+            .targets
+            .per_handler
+            .insert(handler.to_string(), req);
+        self
+    }
+
+    /// Import a UDF by name (bind it with
+    /// [`crate::interp::Transducer::register_udf`]).
+    pub fn udf(mut self, name: &str) -> Self {
+        self.program.udfs.push(name.to_string());
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Program {
+        self.program
+    }
+}
+
+/// Constructor vocabulary for terse program texts.
+pub mod dsl {
+    use super::*;
+
+    /// Variable reference expression.
+    pub fn v(name: &str) -> Expr {
+        Expr::Var(name.to_string())
+    }
+
+    /// Integer literal.
+    pub fn i(x: i64) -> Expr {
+        Expr::Const(Value::Int(x))
+    }
+
+    /// String literal.
+    pub fn s(x: &str) -> Expr {
+        Expr::Const(Value::Str(x.to_string()))
+    }
+
+    /// Boolean literal.
+    pub fn b(x: bool) -> Expr {
+        Expr::Const(Value::Bool(x))
+    }
+
+    /// Scalar read.
+    pub fn scalar(name: &str) -> Expr {
+        Expr::Scalar(name.to_string())
+    }
+
+    /// `table[key].field` read.
+    pub fn field(table: &str, key: Expr, fieldname: &str) -> Expr {
+        Expr::FieldOf {
+            table: table.to_string(),
+            key: Box::new(key),
+            field: fieldname.to_string(),
+        }
+    }
+
+    /// Whole-row read.
+    pub fn row(table: &str, key: Expr) -> Expr {
+        Expr::RowOf {
+            table: table.to_string(),
+            key: Box::new(key),
+        }
+    }
+
+    /// Key-presence test.
+    pub fn has_key(table: &str, key: Expr) -> Expr {
+        Expr::HasKey {
+            table: table.to_string(),
+            key: Box::new(key),
+        }
+    }
+
+    /// Scan atom; `"_"` is a wildcard, `"name"` binds a variable.
+    pub fn scan(rel: &str, terms: &[&str]) -> BodyAtom {
+        BodyAtom::Scan {
+            rel: rel.to_string(),
+            terms: terms
+                .iter()
+                .map(|t| {
+                    if *t == "_" {
+                        Term::Wildcard
+                    } else {
+                        Term::Var(t.to_string())
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Scan atom with explicit term patterns.
+    pub fn scan_terms(rel: &str, terms: Vec<Term>) -> BodyAtom {
+        BodyAtom::Scan {
+            rel: rel.to_string(),
+            terms,
+        }
+    }
+
+    /// Negation atom.
+    pub fn neg(rel: &str, args: Vec<Expr>) -> BodyAtom {
+        BodyAtom::Neg {
+            rel: rel.to_string(),
+            args,
+        }
+    }
+
+    /// Guard atom.
+    pub fn guard(e: Expr) -> BodyAtom {
+        BodyAtom::Guard(e)
+    }
+
+    /// Let-binding atom.
+    pub fn let_(var: &str, e: Expr) -> BodyAtom {
+        BodyAtom::Let {
+            var: var.to_string(),
+            expr: e,
+        }
+    }
+
+    /// Set-flattening atom.
+    pub fn flatten(var: &str, set: Expr) -> BodyAtom {
+        BodyAtom::Flatten {
+            var: var.to_string(),
+            set,
+        }
+    }
+
+    /// Comprehension.
+    pub fn select(body: Vec<BodyAtom>, projection: Vec<Expr>) -> Select {
+        Select { body, projection }
+    }
+
+    /// Merge into a lattice scalar.
+    pub fn merge_scalar(name: &str, e: Expr) -> Stmt {
+        Stmt::Merge(crate::ast::MergeTarget::Scalar(name.to_string()), e)
+    }
+
+    /// Merge into a lattice table field.
+    pub fn merge_field(table: &str, key: Expr, fieldname: &str, e: Expr) -> Stmt {
+        Stmt::Merge(
+            crate::ast::MergeTarget::TableField {
+                table: table.to_string(),
+                key,
+                field: fieldname.to_string(),
+            },
+            e,
+        )
+    }
+
+    /// Assign a bare scalar.
+    pub fn assign_scalar(name: &str, e: Expr) -> Stmt {
+        Stmt::Assign(crate::ast::AssignTarget::Scalar(name.to_string()), e)
+    }
+
+    /// Overwrite a table field.
+    pub fn assign_field(table: &str, key: Expr, fieldname: &str, e: Expr) -> Stmt {
+        Stmt::Assign(
+            crate::ast::AssignTarget::TableField {
+                table: table.to_string(),
+                key,
+                field: fieldname.to_string(),
+            },
+            e,
+        )
+    }
+
+    /// Insert/upsert a row.
+    pub fn insert(table: &str, values: Vec<Expr>) -> Stmt {
+        Stmt::Insert {
+            table: table.to_string(),
+            values,
+        }
+    }
+
+    /// Delete a row by key.
+    pub fn delete(table: &str, key: Expr) -> Stmt {
+        Stmt::Delete {
+            table: table.to_string(),
+            key,
+        }
+    }
+
+    /// Asynchronous send of comprehension results.
+    pub fn send(mailbox: &str, sel: Select) -> Stmt {
+        Stmt::Send {
+            mailbox: mailbox.to_string(),
+            select: sel,
+        }
+    }
+
+    /// Send a single row built from expressions.
+    pub fn send_row(mailbox: &str, exprs: Vec<Expr>) -> Stmt {
+        send(mailbox, select(vec![], exprs))
+    }
+
+    /// Return a value to the caller.
+    pub fn ret(e: Expr) -> Stmt {
+        Stmt::Return(e)
+    }
+
+    /// Conditional.
+    pub fn if_(cond: Expr, then: Vec<Stmt>, els: Vec<Stmt>) -> Stmt {
+        Stmt::If { cond, then, els }
+    }
+
+    /// Statement-level quantification.
+    pub fn for_each(sel: Select, stmts: Vec<Stmt>) -> Stmt {
+        Stmt::ForEach {
+            select: sel,
+            stmts,
+        }
+    }
+
+    /// Equality comparison.
+    pub fn eq(l: Expr, r: Expr) -> Expr {
+        Expr::Cmp(crate::ast::CmpOp::Eq, Box::new(l), Box::new(r))
+    }
+
+    /// `>=` comparison.
+    pub fn ge(l: Expr, r: Expr) -> Expr {
+        Expr::Cmp(crate::ast::CmpOp::Ge, Box::new(l), Box::new(r))
+    }
+
+    /// `<` comparison.
+    pub fn lt(l: Expr, r: Expr) -> Expr {
+        Expr::Cmp(crate::ast::CmpOp::Lt, Box::new(l), Box::new(r))
+    }
+
+    /// Addition.
+    pub fn add(l: Expr, r: Expr) -> Expr {
+        Expr::Arith(crate::ast::ArithOp::Add, Box::new(l), Box::new(r))
+    }
+
+    /// Subtraction.
+    pub fn sub(l: Expr, r: Expr) -> Expr {
+        Expr::Arith(crate::ast::ArithOp::Sub, Box::new(l), Box::new(r))
+    }
+
+    /// UDF call.
+    pub fn call(name: &str, args: Vec<Expr>) -> Expr {
+        Expr::Call(name.to_string(), args)
+    }
+
+    /// Comprehension-to-set expression.
+    pub fn collect_set(sel: Select) -> Expr {
+        Expr::CollectSet(Box::new(sel))
+    }
+
+    /// Atom (assign-only) column kind.
+    pub fn atom() -> ColumnKind {
+        ColumnKind::Atom
+    }
+
+    /// Lattice column kind.
+    pub fn lat(kind: LatticeKind) -> ColumnKind {
+        ColumnKind::Lattice(kind)
+    }
+}

@@ -1,0 +1,1048 @@
+//! Within-tick query evaluation: stratified, recursive, to fixpoint (§3.1).
+//!
+//! Each tick, every declared view is computed from the snapshot database
+//! (tables + mailbox relations). Rules are stratified — negation and
+//! aggregation may not be entered recursively — and each stratum is run to
+//! fixpoint, so "the results of a tick are independent of the order in which
+//! statements appear in the program".
+//!
+//! The interpreter here evaluates rules *naively* (full re-derivation per
+//! fixpoint round); the Hydroflow lowering in `hydrolysis` evaluates the
+//! same rules *semi-naively*. Experiment E8 compares the two, and the
+//! compiler's differential tests check they agree.
+
+use crate::ast::{AggFun, AggRule, BodyAtom, ArithOp, CmpOp, Expr, Program, Rule, Select, Term};
+use crate::value::Value;
+use rustc_hash::{FxHashMap, FxHashSet};
+use std::collections::BTreeSet;
+
+/// A tuple of values.
+pub type Row = Vec<Value>;
+
+/// A deduplicated relation preserving insertion order (for deterministic
+/// iteration).
+#[derive(Clone, Debug, Default)]
+pub struct Relation {
+    rows: Vec<Row>,
+    index: FxHashSet<Row>,
+}
+
+impl Relation {
+    /// Empty relation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from rows, deduplicating.
+    pub fn from_rows(rows: impl IntoIterator<Item = Row>) -> Self {
+        let mut r = Relation::new();
+        for row in rows {
+            r.insert(row);
+        }
+        r
+    }
+
+    /// Insert a row; returns `true` if new.
+    pub fn insert(&mut self, row: Row) -> bool {
+        if self.index.insert(row.clone()) {
+            self.rows.push(row);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, row: &[Value]) -> bool {
+        self.index.contains(row)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterate rows in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Row> {
+        self.rows.iter()
+    }
+
+    /// Row at insertion position `i` (for index-driven access paths).
+    pub fn row(&self, i: usize) -> &Row {
+        &self.rows[i]
+    }
+
+    /// Rows as a sorted set (for order-insensitive comparisons in tests).
+    pub fn to_set(&self) -> BTreeSet<Row> {
+        self.rows.iter().cloned().collect()
+    }
+}
+
+/// A named collection of relations.
+pub type Database = FxHashMap<String, Relation>;
+
+/// Errors surfaced during evaluation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// Referenced an unbound variable.
+    UnboundVar(String),
+    /// Referenced an unknown relation.
+    UnknownRelation(String),
+    /// Referenced an unknown scalar.
+    UnknownScalar(String),
+    /// Referenced an unknown table.
+    UnknownTable(String),
+    /// Referenced an unknown column.
+    UnknownColumn {
+        /// Table name.
+        table: String,
+        /// Column name.
+        column: String,
+    },
+    /// Called an unregistered UDF.
+    UnknownUdf(String),
+    /// A scan pattern's arity disagrees with the relation.
+    ArityMismatch {
+        /// Relation name.
+        rel: String,
+        /// Arity expected by the pattern.
+        expected: usize,
+        /// Actual relation arity.
+        actual: usize,
+    },
+    /// A value had the wrong type for an operation.
+    Type {
+        /// What the operation needed.
+        expected: &'static str,
+        /// Rendering of what it got.
+        got: String,
+    },
+    /// Integer division or remainder by zero.
+    DivByZero,
+    /// The rule set cannot be stratified (negation/aggregation in a cycle).
+    NotStratifiable(String),
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::UnboundVar(v) => write!(f, "unbound variable {v:?}"),
+            EvalError::UnknownRelation(r) => write!(f, "unknown relation {r:?}"),
+            EvalError::UnknownScalar(s) => write!(f, "unknown scalar {s:?}"),
+            EvalError::UnknownTable(t) => write!(f, "unknown table {t:?}"),
+            EvalError::UnknownColumn { table, column } => {
+                write!(f, "unknown column {column:?} of table {table:?}")
+            }
+            EvalError::UnknownUdf(u) => write!(f, "unknown UDF {u:?}"),
+            EvalError::ArityMismatch {
+                rel,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "arity mismatch scanning {rel:?}: pattern has {expected}, relation has {actual}"
+            ),
+            EvalError::Type { expected, got } => {
+                write!(f, "type error: expected {expected}, got {got}")
+            }
+            EvalError::DivByZero => write!(f, "division by zero"),
+            EvalError::NotStratifiable(head) => {
+                write!(f, "rules for {head:?} use negation/aggregation recursively")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Host for user-defined functions: black boxes, possibly stateful,
+/// memoized once per distinct input per tick (§3.1).
+#[derive(Default)]
+pub struct UdfHost {
+    fns: FxHashMap<String, Box<dyn FnMut(&[Value]) -> Value>>,
+    memo: FxHashMap<(String, Vec<Value>), Value>,
+    /// Count of actual (non-memoized) invocations, per UDF.
+    invocations: FxHashMap<String, u64>,
+}
+
+impl UdfHost {
+    /// Empty host.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a UDF under a name.
+    pub fn register(&mut self, name: impl Into<String>, f: impl FnMut(&[Value]) -> Value + 'static) {
+        self.fns.insert(name.into(), Box::new(f));
+    }
+
+    /// Whether a UDF is registered.
+    pub fn has(&self, name: &str) -> bool {
+        self.fns.contains_key(name)
+    }
+
+    /// Invoke (memoized within the current tick).
+    pub fn call(&mut self, name: &str, args: &[Value]) -> Result<Value, EvalError> {
+        let key = (name.to_string(), args.to_vec());
+        if let Some(v) = self.memo.get(&key) {
+            return Ok(v.clone());
+        }
+        let f = self
+            .fns
+            .get_mut(name)
+            .ok_or_else(|| EvalError::UnknownUdf(name.to_string()))?;
+        let v = f(args);
+        *self.invocations.entry(name.to_string()).or_default() += 1;
+        self.memo.insert(key, v.clone());
+        Ok(v)
+    }
+
+    /// Clear per-tick memoization (called by the transducer at tick start).
+    pub fn start_tick(&mut self) {
+        self.memo.clear();
+    }
+
+    /// Non-memoized invocation count for a UDF.
+    pub fn invocation_count(&self, name: &str) -> u64 {
+        self.invocations.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// Variable bindings during body evaluation.
+pub type Bindings = FxHashMap<String, Value>;
+
+/// Lazily-built equality indexes over snapshot relations, keyed by
+/// `(relation, column)`. An [`EvalCtx`] owns one cache; because the context
+/// immutably borrows the database for its whole lifetime, the cached
+/// indexes can never go stale — a fresh context (and hence a fresh cache)
+/// is required to observe a mutated database.
+#[derive(Default)]
+pub struct ScanCache {
+    indexes: FxHashMap<String, FxHashMap<usize, std::rc::Rc<FxHashMap<Value, Vec<usize>>>>>,
+}
+
+impl ScanCache {
+    /// The index of `relation` on `col`, building it on first use.
+    fn index_for(
+        &mut self,
+        rel: &str,
+        col: usize,
+        relation: &Relation,
+    ) -> std::rc::Rc<FxHashMap<Value, Vec<usize>>> {
+        if let Some(idx) = self.indexes.get(rel).and_then(|m| m.get(&col)) {
+            return std::rc::Rc::clone(idx);
+        }
+        let mut map: FxHashMap<Value, Vec<usize>> = FxHashMap::default();
+        for (i, row) in relation.iter().enumerate() {
+            map.entry(row[col].clone()).or_default().push(i);
+        }
+        let rc = std::rc::Rc::new(map);
+        self.indexes
+            .entry(rel.to_string())
+            .or_default()
+            .insert(col, std::rc::Rc::clone(&rc));
+        rc
+    }
+}
+
+/// Evaluation context: the snapshot database (tables, mailboxes, and
+/// already-computed views), table key indexes, scalars, and the UDF host.
+pub struct EvalCtx<'a> {
+    /// The program (for table metadata).
+    pub program: &'a Program,
+    /// Snapshot relations.
+    pub db: &'a Database,
+    /// Snapshot scalar values.
+    pub scalars: &'a FxHashMap<String, Value>,
+    /// Key → row indexes for tables, built once per tick.
+    pub key_index: &'a FxHashMap<String, FxHashMap<Row, Row>>,
+    /// UDF host (mutable: stateful, memoized).
+    pub udfs: &'a mut UdfHost,
+    /// Lazily-built scan indexes over the snapshot (see [`ScanCache`]).
+    pub scan_cache: ScanCache,
+}
+
+impl<'a> EvalCtx<'a> {
+    fn lookup_row(&self, table: &str, key: &Value) -> Result<Option<&Row>, EvalError> {
+        let idx = self
+            .key_index
+            .get(table)
+            .ok_or_else(|| EvalError::UnknownTable(table.to_string()))?;
+        let key_row: Row = match key {
+            Value::Tuple(parts) => parts.clone(),
+            single => vec![single.clone()],
+        };
+        Ok(idx.get(&key_row))
+    }
+}
+
+/// Build the per-tick key indexes for all tables.
+pub fn build_key_indexes(program: &Program, db: &Database) -> FxHashMap<String, FxHashMap<Row, Row>> {
+    let mut out = FxHashMap::default();
+    for t in &program.tables {
+        let mut idx = FxHashMap::default();
+        if let Some(rel) = db.get(&t.name) {
+            for row in rel.iter() {
+                idx.insert(t.key_of(row), row.clone());
+            }
+        }
+        out.insert(t.name.clone(), idx);
+    }
+    out
+}
+
+/// Evaluate an expression under bindings.
+pub fn eval_expr(expr: &Expr, b: &Bindings, ctx: &mut EvalCtx<'_>) -> Result<Value, EvalError> {
+    match expr {
+        Expr::Const(v) => Ok(v.clone()),
+        Expr::Var(name) => b
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EvalError::UnboundVar(name.clone())),
+        Expr::Scalar(name) => ctx
+            .scalars
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EvalError::UnknownScalar(name.clone())),
+        Expr::Cmp(op, l, r) => {
+            let l = eval_expr(l, b, ctx)?;
+            let r = eval_expr(r, b, ctx)?;
+            let res = match op {
+                CmpOp::Eq => l == r,
+                CmpOp::Ne => l != r,
+                CmpOp::Lt => l < r,
+                CmpOp::Le => l <= r,
+                CmpOp::Gt => l > r,
+                CmpOp::Ge => l >= r,
+            };
+            Ok(Value::Bool(res))
+        }
+        Expr::Arith(op, l, r) => {
+            let l = int_of(eval_expr(l, b, ctx)?)?;
+            let r = int_of(eval_expr(r, b, ctx)?)?;
+            let v = match op {
+                ArithOp::Add => l.wrapping_add(r),
+                ArithOp::Sub => l.wrapping_sub(r),
+                ArithOp::Mul => l.wrapping_mul(r),
+                ArithOp::Div => {
+                    if r == 0 {
+                        return Err(EvalError::DivByZero);
+                    }
+                    l.wrapping_div(r)
+                }
+                ArithOp::Mod => {
+                    if r == 0 {
+                        return Err(EvalError::DivByZero);
+                    }
+                    l.wrapping_rem(r)
+                }
+            };
+            Ok(Value::Int(v))
+        }
+        Expr::Not(e) => Ok(Value::Bool(!bool_of(eval_expr(e, b, ctx)?)?)),
+        Expr::And(l, r) => {
+            if bool_of(eval_expr(l, b, ctx)?)? {
+                eval_expr(r, b, ctx)
+            } else {
+                Ok(Value::Bool(false))
+            }
+        }
+        Expr::Or(l, r) => {
+            if bool_of(eval_expr(l, b, ctx)?)? {
+                Ok(Value::Bool(true))
+            } else {
+                eval_expr(r, b, ctx)
+            }
+        }
+        Expr::Tuple(items) => Ok(Value::Tuple(
+            items
+                .iter()
+                .map(|e| eval_expr(e, b, ctx))
+                .collect::<Result<_, _>>()?,
+        )),
+        Expr::Index(e, i) => {
+            let v = eval_expr(e, b, ctx)?;
+            let t = v.as_tuple().ok_or_else(|| EvalError::Type {
+                expected: "tuple",
+                got: format!("{v:?}"),
+            })?;
+            t.get(*i).cloned().ok_or(EvalError::Type {
+                expected: "tuple index in range",
+                got: format!("index {i} of arity {}", t.len()),
+            })
+        }
+        Expr::SetBuild(items) => Ok(Value::Set(
+            items
+                .iter()
+                .map(|e| eval_expr(e, b, ctx))
+                .collect::<Result<_, _>>()?,
+        )),
+        Expr::Contains(set, item) => {
+            let s = eval_expr(set, b, ctx)?;
+            let item = eval_expr(item, b, ctx)?;
+            let set = s.as_set().ok_or_else(|| EvalError::Type {
+                expected: "set",
+                got: format!("{s:?}"),
+            })?;
+            Ok(Value::Bool(set.contains(&item)))
+        }
+        Expr::Len(e) => {
+            let v = eval_expr(e, b, ctx)?;
+            match &v {
+                Value::Set(s) => Ok(Value::Int(s.len() as i64)),
+                Value::Tuple(t) => Ok(Value::Int(t.len() as i64)),
+                other => Err(EvalError::Type {
+                    expected: "set or tuple",
+                    got: format!("{other:?}"),
+                }),
+            }
+        }
+        Expr::FieldOf { table, key, field } => {
+            let k = eval_expr(key, b, ctx)?;
+            let t = ctx
+                .program
+                .table(table)
+                .ok_or_else(|| EvalError::UnknownTable(table.clone()))?;
+            let col = t.column_index(field).ok_or_else(|| EvalError::UnknownColumn {
+                table: table.clone(),
+                column: field.clone(),
+            })?;
+            Ok(match ctx.lookup_row(table, &k)? {
+                Some(row) => row[col].clone(),
+                None => Value::Null,
+            })
+        }
+        Expr::RowOf { table, key } => {
+            let k = eval_expr(key, b, ctx)?;
+            Ok(match ctx.lookup_row(table, &k)? {
+                Some(row) => Value::Tuple(row.clone()),
+                None => Value::Null,
+            })
+        }
+        Expr::HasKey { table, key } => {
+            let k = eval_expr(key, b, ctx)?;
+            Ok(Value::Bool(ctx.lookup_row(table, &k)?.is_some()))
+        }
+        Expr::Call(name, args) => {
+            let args: Vec<Value> = args
+                .iter()
+                .map(|e| eval_expr(e, b, ctx))
+                .collect::<Result<_, _>>()?;
+            ctx.udfs.call(name, &args)
+        }
+        Expr::CollectSet(select) => {
+            let rows = eval_select(select, b, ctx)?;
+            Ok(Value::Set(
+                rows.into_iter()
+                    .map(|mut r| {
+                        if r.len() == 1 {
+                            r.pop().expect("len checked")
+                        } else {
+                            Value::Tuple(r)
+                        }
+                    })
+                    .collect(),
+            ))
+        }
+    }
+}
+
+fn int_of(v: Value) -> Result<i64, EvalError> {
+    v.as_int().ok_or_else(|| EvalError::Type {
+        expected: "int",
+        got: format!("{v:?}"),
+    })
+}
+
+fn bool_of(v: Value) -> Result<bool, EvalError> {
+    v.as_bool().ok_or_else(|| EvalError::Type {
+        expected: "bool",
+        got: format!("{v:?}"),
+    })
+}
+
+/// Evaluate a comprehension to its projected rows (duplicates preserved;
+/// callers dedup as needed).
+pub fn eval_select(
+    select: &Select,
+    base: &Bindings,
+    ctx: &mut EvalCtx<'_>,
+) -> Result<Vec<Row>, EvalError> {
+    let mut out = Vec::new();
+    let mut bindings = base.clone();
+    eval_body(&select.body, 0, &mut bindings, ctx, &mut |b, ctx| {
+        let row = select
+            .projection
+            .iter()
+            .map(|e| eval_expr(e, b, ctx))
+            .collect::<Result<Row, _>>()?;
+        out.push(row);
+        Ok(())
+    })?;
+    Ok(out)
+}
+
+/// Recursive left-to-right body evaluation with binding propagation.
+fn eval_body(
+    body: &[BodyAtom],
+    pos: usize,
+    bindings: &mut Bindings,
+    ctx: &mut EvalCtx<'_>,
+    emit: &mut dyn FnMut(&Bindings, &mut EvalCtx<'_>) -> Result<(), EvalError>,
+) -> Result<(), EvalError> {
+    let Some(atom) = body.get(pos) else {
+        return emit(bindings, ctx);
+    };
+    match atom {
+        BodyAtom::Scan { rel, terms } => {
+            // Copy the shared database reference out of `ctx` so the row
+            // borrows below do not pin `ctx`, which the recursion needs
+            // mutably.
+            let db: &Database = ctx.db;
+            let relation = db
+                .get(rel)
+                .ok_or_else(|| EvalError::UnknownRelation(rel.clone()))?;
+            if let Some(first) = relation.iter().next() {
+                if first.len() != terms.len() {
+                    return Err(EvalError::ArityMismatch {
+                        rel: rel.clone(),
+                        expected: terms.len(),
+                        actual: first.len(),
+                    });
+                }
+            }
+            // Access-path selection: when some term is already bound
+            // (a constant, or a variable bound by an earlier atom), probe a
+            // hash index on that column instead of scanning every row. Both
+            // paths enumerate matches in insertion order, so derived-view
+            // row order is unchanged.
+            let probe = terms.iter().enumerate().find_map(|(i, t)| match t {
+                Term::Const(c) => Some((i, c.clone())),
+                Term::Var(name) => bindings.get(name).map(|v| (i, v.clone())),
+                Term::Wildcard => None,
+            });
+            match probe {
+                Some((col, key)) => {
+                    let index = ctx.scan_cache.index_for(rel, col, relation);
+                    if let Some(ids) = index.get(&key) {
+                        for &i in ids {
+                            scan_row(body, pos, terms, relation.row(i), bindings, ctx, emit)?;
+                        }
+                    }
+                }
+                None => {
+                    for row in relation.iter() {
+                        scan_row(body, pos, terms, row, bindings, ctx, emit)?;
+                    }
+                }
+            }
+            Ok(())
+        }
+        BodyAtom::Neg { rel, args } => {
+            let tuple: Row = args
+                .iter()
+                .map(|e| eval_expr(e, bindings, ctx))
+                .collect::<Result<_, _>>()?;
+            let relation = ctx
+                .db
+                .get(rel)
+                .ok_or_else(|| EvalError::UnknownRelation(rel.clone()))?;
+            if relation.contains(&tuple) {
+                Ok(())
+            } else {
+                eval_body(body, pos + 1, bindings, ctx, emit)
+            }
+        }
+        BodyAtom::Guard(expr) => {
+            if bool_of(eval_expr(expr, bindings, ctx)?)? {
+                eval_body(body, pos + 1, bindings, ctx, emit)
+            } else {
+                Ok(())
+            }
+        }
+        BodyAtom::Let { var, expr } => {
+            let v = eval_expr(expr, bindings, ctx)?;
+            let prior = bindings.insert(var.clone(), v);
+            eval_body(body, pos + 1, bindings, ctx, emit)?;
+            match prior {
+                Some(p) => {
+                    bindings.insert(var.clone(), p);
+                }
+                None => {
+                    bindings.remove(var);
+                }
+            }
+            Ok(())
+        }
+        BodyAtom::Flatten { var, set } => {
+            let v = eval_expr(set, bindings, ctx)?;
+            // Flattening Null (e.g. a missing row's field) yields nothing,
+            // which makes queries over optional structure total.
+            let items: Vec<Value> = match &v {
+                Value::Set(s) => s.iter().cloned().collect(),
+                Value::Null => Vec::new(),
+                other => {
+                    return Err(EvalError::Type {
+                        expected: "set",
+                        got: format!("{other:?}"),
+                    })
+                }
+            };
+            let prior = bindings.remove(var);
+            for item in items {
+                bindings.insert(var.clone(), item);
+                eval_body(body, pos + 1, bindings, ctx, emit)?;
+            }
+            match prior {
+                Some(p) => {
+                    bindings.insert(var.clone(), p);
+                }
+                None => {
+                    bindings.remove(var);
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Match one scanned row against a scan's terms, extending `bindings`; on a
+/// full match, continue body evaluation at `pos + 1`. All bindings this row
+/// introduced are removed again before returning — including on a mismatch
+/// part-way through the terms (a constant mismatch after a fresh variable
+/// binding must not leak that binding into the next candidate row).
+fn scan_row(
+    body: &[BodyAtom],
+    pos: usize,
+    terms: &[Term],
+    row: &Row,
+    bindings: &mut Bindings,
+    ctx: &mut EvalCtx<'_>,
+    emit: &mut dyn FnMut(&Bindings, &mut EvalCtx<'_>) -> Result<(), EvalError>,
+) -> Result<(), EvalError> {
+    let mut newly_bound: Vec<&str> = Vec::new();
+    for (term, v) in terms.iter().zip(row.iter()) {
+        let matched = match term {
+            Term::Wildcard => true,
+            Term::Const(c) => c == v,
+            Term::Var(name) => match bindings.get(name) {
+                Some(bound) => bound == v,
+                None => {
+                    bindings.insert(name.clone(), v.clone());
+                    newly_bound.push(name);
+                    true
+                }
+            },
+        };
+        if !matched {
+            for n in newly_bound {
+                bindings.remove(n);
+            }
+            return Ok(());
+        }
+    }
+    eval_body(body, pos + 1, bindings, ctx, emit)?;
+    for n in newly_bound {
+        bindings.remove(n);
+    }
+    Ok(())
+}
+
+/// Collect the view names a set of body atoms depends on, tagging negative
+/// (stratum-raising) dependencies.
+fn body_deps(body: &[BodyAtom], views: &FxHashSet<String>, deps: &mut Vec<(String, bool)>) {
+    for atom in body {
+        match atom {
+            BodyAtom::Scan { rel, .. } => {
+                if views.contains(rel) {
+                    deps.push((rel.clone(), false));
+                }
+            }
+            BodyAtom::Neg { rel, args } => {
+                if views.contains(rel) {
+                    deps.push((rel.clone(), true));
+                }
+                for e in args {
+                    expr_deps(e, views, deps);
+                }
+            }
+            BodyAtom::Guard(e) => expr_deps(e, views, deps),
+            BodyAtom::Let { expr, .. } => expr_deps(expr, views, deps),
+            BodyAtom::Flatten { set, .. } => expr_deps(set, views, deps),
+        }
+    }
+}
+
+fn expr_deps(expr: &Expr, views: &FxHashSet<String>, deps: &mut Vec<(String, bool)>) {
+    match expr {
+        Expr::CollectSet(select) => {
+            // A nested comprehension reads its relations "all at once", so
+            // treat its view dependencies as negative (stratum-raising).
+            let mut inner = Vec::new();
+            body_deps(&select.body, views, &mut inner);
+            for e in &select.projection {
+                expr_deps(e, views, &mut inner);
+            }
+            deps.extend(inner.into_iter().map(|(r, _)| (r, true)));
+        }
+        Expr::Cmp(_, l, r) | Expr::Arith(_, l, r) | Expr::And(l, r) | Expr::Or(l, r) => {
+            expr_deps(l, views, deps);
+            expr_deps(r, views, deps);
+        }
+        Expr::Contains(l, r) => {
+            expr_deps(l, views, deps);
+            expr_deps(r, views, deps);
+        }
+        Expr::Not(e) | Expr::Len(e) | Expr::Index(e, _) => expr_deps(e, views, deps),
+        Expr::Tuple(items) | Expr::SetBuild(items) | Expr::Call(_, items) => {
+            for e in items {
+                expr_deps(e, views, deps);
+            }
+        }
+        Expr::FieldOf { key, .. } | Expr::RowOf { key, .. } | Expr::HasKey { key, .. } => {
+            expr_deps(key, views, deps)
+        }
+        Expr::Const(_) | Expr::Var(_) | Expr::Scalar(_) => {}
+    }
+}
+
+/// Assign a stratum to every view. Aggregation heads depend on their body
+/// views negatively (they read them "all at once"). Errors if negation or
+/// aggregation occurs in a recursive cycle.
+pub fn stratify(program: &Program) -> Result<FxHashMap<String, usize>, EvalError> {
+    let views: FxHashSet<String> = program
+        .rules
+        .iter()
+        .map(|r| r.head.clone())
+        .chain(program.agg_rules.iter().map(|r| r.head.clone()))
+        .collect();
+
+    // edges: head -> (dep, negative). The sentinel `__base__` stands for
+    // all base relations at stratum 0, so that negation/aggregation over a
+    // base relation still raises the head's stratum (the flow lowering
+    // needs the antijoin/fold strictly above its blocking inputs).
+    const BASE: &str = "__base__";
+    let mut edges: Vec<(String, String, bool)> = Vec::new();
+    for rule in &program.rules {
+        let mut deps = Vec::new();
+        body_deps(&rule.body, &views, &mut deps);
+        for e in &rule.head_exprs {
+            expr_deps(e, &views, &mut deps);
+        }
+        for (dep, neg) in deps {
+            edges.push((rule.head.clone(), dep, neg));
+        }
+        if rule
+            .body
+            .iter()
+            .any(|a| matches!(a, BodyAtom::Neg { rel, .. } if !views.contains(rel)))
+        {
+            edges.push((rule.head.clone(), BASE.to_string(), true));
+        }
+    }
+    for rule in &program.agg_rules {
+        let mut deps = Vec::new();
+        body_deps(&rule.body, &views, &mut deps);
+        expr_deps(&rule.over, &views, &mut deps);
+        for e in &rule.group_exprs {
+            expr_deps(e, &views, &mut deps);
+        }
+        // Aggregation is stratum-raising over all its dependencies, and
+        // always sits at least one stratum above the base relations it
+        // folds over.
+        for (dep, _) in deps {
+            edges.push((rule.head.clone(), dep, true));
+        }
+        edges.push((rule.head.clone(), BASE.to_string(), true));
+    }
+
+    let mut stratum: FxHashMap<String, usize> = views.iter().map(|v| (v.clone(), 0)).collect();
+    stratum.insert(BASE.to_string(), 0);
+    let n = views.len().max(1);
+    // Bellman-Ford-style relaxation; a stratum exceeding the view count
+    // implies a negative cycle, i.e. unstratifiable rules.
+    for _round in 0..=n {
+        let mut changed = false;
+        for (head, dep, neg) in &edges {
+            let need = stratum[dep] + usize::from(*neg);
+            if stratum[head] < need {
+                stratum.insert(head.clone(), need);
+                changed = true;
+            }
+        }
+        if !changed {
+            stratum.remove(BASE);
+            return Ok(stratum);
+        }
+        if _round == n {
+            break;
+        }
+    }
+    // Find a culprit for the error message.
+    let culprit = edges
+        .iter()
+        .find(|(h, d, neg)| *neg && stratum[h] > n.min(stratum[d]))
+        .map(|(h, _, _)| h.clone())
+        .unwrap_or_else(|| "<unknown>".to_string());
+    Err(EvalError::NotStratifiable(culprit))
+}
+
+/// Compute all views over the base database, stratum by stratum, each
+/// stratum to fixpoint. Returns the database extended with every view.
+pub fn evaluate_views(
+    program: &Program,
+    base: &Database,
+    scalars: &FxHashMap<String, Value>,
+    udfs: &mut UdfHost,
+) -> Result<Database, EvalError> {
+    let strata = stratify(program)?;
+    let max_stratum = strata.values().copied().max().unwrap_or(0);
+
+    let mut db: Database = base.clone();
+    // Views whose rules derive nothing must still exist (empty).
+    for r in &program.rules {
+        db.entry(r.head.clone()).or_default();
+    }
+    for r in &program.agg_rules {
+        db.entry(r.head.clone()).or_default();
+    }
+
+    let key_index = build_key_indexes(program, base);
+
+    for s in 0..=max_stratum {
+        // Aggregations of this stratum run once, over completed lower strata.
+        let agg_rules: Vec<&AggRule> = program
+            .agg_rules
+            .iter()
+            .filter(|r| strata[&r.head] == s)
+            .collect();
+        for rule in agg_rules {
+            let rows = {
+                let mut ctx = EvalCtx {
+                    program,
+                    db: &db,
+                    scalars,
+                    key_index: &key_index,
+                    udfs,
+                    scan_cache: Default::default(),
+                };
+                eval_agg_rule(rule, &mut ctx)?
+            };
+            let rel = db.entry(rule.head.clone()).or_default();
+            for row in rows {
+                rel.insert(row);
+            }
+        }
+
+        // Plain rules of this stratum run to fixpoint (handles recursion).
+        let rules: Vec<&Rule> = program
+            .rules
+            .iter()
+            .filter(|r| strata[&r.head] == s)
+            .collect();
+        if rules.is_empty() {
+            continue;
+        }
+        loop {
+            let mut derived: Vec<(String, Row)> = Vec::new();
+            {
+                let mut ctx = EvalCtx {
+                    program,
+                    db: &db,
+                    scalars,
+                    key_index: &key_index,
+                    udfs,
+                    scan_cache: Default::default(),
+                };
+                for rule in &rules {
+                    let select = Select {
+                        body: rule.body.clone(),
+                        projection: rule.head_exprs.clone(),
+                    };
+                    for row in eval_select(&select, &Bindings::default(), &mut ctx)? {
+                        derived.push((rule.head.clone(), row));
+                    }
+                }
+            }
+            let mut changed = false;
+            for (head, row) in derived {
+                changed |= db.entry(head).or_default().insert(row);
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+    Ok(db)
+}
+
+fn eval_agg_rule(rule: &AggRule, ctx: &mut EvalCtx<'_>) -> Result<Vec<Row>, EvalError> {
+    // Gather (group_key, over_value) pairs.
+    let select = Select {
+        body: rule.body.clone(),
+        projection: rule
+            .group_exprs
+            .iter()
+            .cloned()
+            .chain(std::iter::once(rule.over.clone()))
+            .collect(),
+    };
+    let matches = eval_select(&select, &Bindings::default(), ctx)?;
+    let mut groups: FxHashMap<Row, Vec<Value>> = FxHashMap::default();
+    for mut row in matches {
+        let over = row.pop().expect("projection includes `over`");
+        groups.entry(row).or_default().push(over);
+    }
+    let mut out = Vec::new();
+    let mut keys: Vec<Row> = groups.keys().cloned().collect();
+    keys.sort();
+    for key in keys {
+        let values = &groups[&key];
+        let agg = match rule.agg {
+            AggFun::Count => Value::Int(values.len() as i64),
+            AggFun::Sum => {
+                let mut total = 0i64;
+                for v in values {
+                    total = total.wrapping_add(int_of(v.clone())?);
+                }
+                Value::Int(total)
+            }
+            AggFun::Min => values.iter().min().cloned().unwrap_or(Value::Null),
+            AggFun::Max => values.iter().max().cloned().unwrap_or(Value::Null),
+            AggFun::CollectSet => Value::Set(values.iter().cloned().collect()),
+        };
+        let mut row = key;
+        row.push(agg);
+        out.push(row);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::dsl::{scan, scan_terms, select, v};
+    use crate::builder::ProgramBuilder;
+
+    fn int_rows(rows: &[&[i64]]) -> Relation {
+        Relation::from_rows(
+            rows.iter()
+                .map(|r| r.iter().map(|x| Value::Int(*x)).collect::<Row>()),
+        )
+    }
+
+    fn run_select(sel: &Select, db: &Database) -> Vec<Row> {
+        let program = ProgramBuilder::new().build();
+        let mut udfs = UdfHost::new();
+        let mut ctx = EvalCtx {
+            program: &program,
+            db,
+            scalars: &Default::default(),
+            key_index: &Default::default(),
+            udfs: &mut udfs,
+            scan_cache: Default::default(),
+        };
+        eval_select(sel, &Bindings::default(), &mut ctx).unwrap()
+    }
+
+    /// Regression: a constant mismatch *after* a variable binding in the
+    /// same scan pattern must undo that binding. The original evaluator
+    /// leaked it, silently filtering later candidate rows.
+    #[test]
+    fn const_mismatch_after_var_does_not_leak_binding() {
+        let mut db = Database::default();
+        db.insert("r".into(), int_rows(&[&[1, 5], &[2, 6], &[3, 5]]));
+        let sel = select(
+            vec![scan_terms(
+                "r",
+                vec![Term::Var("x".into()), Term::Const(Value::Int(5))],
+            )],
+            vec![v("x")],
+        );
+        let got = run_select(&sel, &db);
+        assert_eq!(got, vec![vec![Value::Int(1)], vec![Value::Int(3)]]);
+    }
+
+    /// The indexed probe path must produce the same matches, in the same
+    /// order, as the full-scan path. The first atom leaves `b` bound, so
+    /// the second scan takes the index path.
+    #[test]
+    fn indexed_probe_matches_full_scan_semantics() {
+        let mut db = Database::default();
+        db.insert("edge".into(), int_rows(&[&[1, 2], &[2, 3], &[2, 4], &[3, 4]]));
+        let sel = select(
+            vec![scan("edge", &["a", "b"]), scan("edge", &["b", "c"])],
+            vec![v("a"), v("c")],
+        );
+        let got = run_select(&sel, &db);
+        let expect: Vec<Row> = [[1, 3], [1, 4], [2, 4]]
+            .iter()
+            .map(|r| r.iter().map(|x| Value::Int(*x)).collect())
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    /// Probing a key absent from the index yields no matches (and no error).
+    #[test]
+    fn indexed_probe_on_absent_key_is_empty() {
+        let mut db = Database::default();
+        db.insert("r".into(), int_rows(&[&[1, 10]]));
+        let sel = select(
+            vec![scan_terms(
+                "r",
+                vec![Term::Const(Value::Int(99)), Term::Var("y".into())],
+            )],
+            vec![v("y")],
+        );
+        assert!(run_select(&sel, &db).is_empty());
+    }
+
+    /// Repeated variables within one pattern still enforce equality on the
+    /// indexed path (`r(x, x)` only matches the diagonal).
+    #[test]
+    fn repeated_variable_enforces_equality() {
+        let mut db = Database::default();
+        db.insert("r".into(), int_rows(&[&[1, 1], &[1, 2], &[3, 3]]));
+        // Bind x first via a scan of `s`, forcing the probe path on `r`.
+        db.insert("s".into(), int_rows(&[&[1], &[3]]));
+        let sel = select(
+            vec![scan("s", &["x"]), scan("r", &["x", "x"])],
+            vec![v("x")],
+        );
+        let got = run_select(&sel, &db);
+        assert_eq!(got, vec![vec![Value::Int(1)], vec![Value::Int(3)]]);
+    }
+
+    /// One relation may be indexed on several columns within one context.
+    #[test]
+    fn scan_cache_indexes_multiple_columns() {
+        let mut db = Database::default();
+        db.insert("r".into(), int_rows(&[&[1, 20], &[2, 10], &[1, 10]]));
+        // Probe column 0 then column 1 in a single select: both index paths.
+        let sel = select(
+            vec![
+                scan_terms(
+                    "r",
+                    vec![Term::Const(Value::Int(1)), Term::Var("y".into())],
+                ),
+                scan_terms(
+                    "r",
+                    vec![Term::Var("z".into()), Term::Const(Value::Int(10))],
+                ),
+            ],
+            vec![v("y"), v("z")],
+        );
+        let got = run_select(&sel, &db);
+        // y ∈ {20, 10} (insertion order), z ∈ {2, 1} (insertion order).
+        let expect: Vec<Row> = [[20, 2], [20, 1], [10, 2], [10, 1]]
+            .iter()
+            .map(|r| r.iter().map(|x| Value::Int(*x)).collect())
+            .collect();
+        assert_eq!(got, expect);
+    }
+}

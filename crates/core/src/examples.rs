@@ -1,0 +1,371 @@
+//! The paper's running examples as library fixtures.
+//!
+//! [`covid_program`] is Figure 3 — the COVID-19 tracker in HydroLogic —
+//! complete with its consistency, availability and target facets.
+//! [`cart_program`] is the §7.1 shopping-cart whose checkout is made
+//! coordination-free by client-side sealing. Both are used across the test
+//! suites, examples, and benchmarks (experiments E1, E2, E6, E10).
+
+use crate::ast::{Expr, Program};
+use crate::builder::dsl::*;
+use crate::builder::ProgramBuilder;
+use crate::facets::{
+    AvailReq, ConsistencyReq, FailureDomain, Invariant, Processor, TargetReq,
+};
+use crate::value::{LatticeKind, Value};
+
+/// Figure 3: the COVID-19 tracker.
+///
+/// * `people(pid, country, contacts, covid, vaccinated)` keyed by `pid`,
+///   partitioned by `country`; `contacts` is a set lattice and the two
+///   flags are boolean-or lattices.
+/// * `transitive` is the recursive contact closure (monotone query).
+/// * `vaccinate` is the one serializable handler, with the
+///   `vaccine_count >= 0` and `people.has_key(pid)` invariants.
+/// * Availability: tolerate 2 AZ failures by default, 1 for the
+///   GPU-hungry `likelihood`.
+/// * Targets: 100 ms / 0.01 units default; GPU and 0.1 units for
+///   `likelihood`.
+///
+/// The `covid_predict` UDF must be registered on the transducer before
+/// `likelihood` is invoked.
+pub fn covid_program() -> Program {
+    covid_program_with_vaccines(100)
+}
+
+/// [`covid_program`] with a configurable initial vaccine inventory.
+pub fn covid_program_with_vaccines(vaccine_count: i64) -> Program {
+    ProgramBuilder::new()
+        .table(
+            "people",
+            vec![
+                ("pid", atom()),
+                ("country", atom()),
+                ("contacts", lat(LatticeKind::SetUnion)),
+                ("covid", lat(LatticeKind::BoolOr)),
+                ("vaccinated", lat(LatticeKind::BoolOr)),
+            ],
+            &["pid"],
+            Some("country"),
+        )
+        .var("vaccine_count", Value::Int(vaccine_count))
+        // query transitive: base case over direct contacts...
+        .rule(
+            "contact_pairs",
+            vec![v("p"), v("p1")],
+            vec![
+                scan("people", &["p", "_", "cs", "_", "_"]),
+                flatten("p1", v("cs")),
+            ],
+        )
+        .rule(
+            "transitive",
+            vec![v("p"), v("p1")],
+            vec![scan("contact_pairs", &["p", "p1"])],
+        )
+        // ...and the inductive case (recursive, still monotone).
+        .rule(
+            "transitive",
+            vec![v("p"), v("p2")],
+            vec![
+                scan("transitive", &["p", "p1"]),
+                scan("contact_pairs", &["p1", "p2"]),
+            ],
+        )
+        .on(
+            "add_person",
+            &["pid"],
+            vec![
+                // people.merge(Person(pid)) — monotonic mutation.
+                insert(
+                    "people",
+                    vec![
+                        v("pid"),
+                        s(""),
+                        Expr::Const(Value::empty_set()),
+                        b(false),
+                        b(false),
+                    ],
+                ),
+                ret(Expr::Const(Value::ok())),
+            ],
+        )
+        .on(
+            "add_contact",
+            &["id1", "id2"],
+            vec![
+                // p.contacts.merge(p1); p1.contacts.merge(p) — monotonic.
+                merge_field("people", v("id1"), "contacts", v("id2")),
+                merge_field("people", v("id2"), "contacts", v("id1")),
+                ret(Expr::Const(Value::ok())),
+            ],
+        )
+        .on(
+            "trace",
+            &["pid"],
+            vec![ret(collect_set(select(
+                vec![scan("transitive", &["pid", "p2"])],
+                vec![v("p2")],
+            )))],
+        )
+        .on(
+            "diagnosed",
+            &["pid"],
+            vec![
+                merge_field("people", v("pid"), "covid", b(true)),
+                // send alert {p for p in trace(pid)} — asynchronous.
+                send(
+                    "alert",
+                    select(vec![scan("transitive", &["pid", "p2"])], vec![v("p2")]),
+                ),
+                ret(Expr::Const(Value::ok())),
+            ],
+        )
+        .on(
+            "likelihood",
+            &["pid"],
+            vec![ret(call("covid_predict", vec![row("people", v("pid"))]))],
+        )
+        .on_with(
+            "vaccinate",
+            &["pid"],
+            vec![
+                merge_field("people", v("pid"), "vaccinated", b(true)), // monotonic
+                assign_scalar("vaccine_count", sub(scalar("vaccine_count"), i(1))), // NON-monotonic
+                ret(Expr::Const(Value::ok())),
+            ],
+            Some(ConsistencyReq::serializable(vec![
+                Invariant::NonNegative("vaccine_count".to_string()),
+                Invariant::HasKey {
+                    table: "people".to_string(),
+                    key_param: "pid".to_string(),
+                },
+            ])),
+        )
+        .availability_default(AvailReq {
+            domain: FailureDomain::Az,
+            failures: 2,
+        })
+        .availability_for(
+            "likelihood",
+            AvailReq {
+                domain: FailureDomain::Az,
+                failures: 1,
+            },
+        )
+        .target_default(TargetReq {
+            latency_ms: Some(100),
+            cost_milli: Some(10),
+            processor: None,
+        })
+        .target_for(
+            "likelihood",
+            TargetReq {
+                latency_ms: None,
+                cost_milli: Some(100),
+                processor: Some(Processor::Gpu),
+            },
+        )
+        .udf("covid_predict")
+        .build()
+}
+
+/// §7.1's shopping cart with client-side sealing.
+///
+/// * `add_item(session, item)` grows the cart monotonically.
+/// * `checkout(session, manifest)` carries the client's sealed manifest; a
+///   replica confirms unilaterally once its own grown cart matches — no
+///   replica coordination. While the replica lags the manifest, the request
+///   re-queues itself (`checkout_wait`), modelling "each replica can
+///   eagerly move to checkout once its contents match the manifest".
+pub fn cart_program() -> Program {
+    ProgramBuilder::new()
+        .table(
+            "carts",
+            vec![("session", atom()), ("items", lat(LatticeKind::SetUnion))],
+            &["session"],
+            None,
+        )
+        .on(
+            "add_item",
+            &["session", "item"],
+            vec![
+                insert(
+                    "carts",
+                    vec![v("session"), Expr::SetBuild(vec![v("item")])],
+                ),
+                ret(Expr::Const(Value::ok())),
+            ],
+        )
+        .on(
+            "checkout",
+            &["session", "manifest"],
+            vec![if_(
+                eq(field("carts", v("session"), "items"), v("manifest")),
+                vec![send_row("checkout_ok", vec![v("session"), v("manifest")])],
+                vec![send_row("checkout_wait", vec![v("session"), v("manifest")])],
+            )],
+        )
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Transducer;
+
+    fn person(app: &mut Transducer, pid: i64) {
+        app.enqueue_ok("add_person", vec![Value::Int(pid)]);
+    }
+
+    fn contact(app: &mut Transducer, a: i64, b: i64) {
+        app.enqueue_ok("add_contact", vec![Value::Int(a), Value::Int(b)]);
+    }
+
+    #[test]
+    fn covid_end_to_end_matches_fig2_semantics() {
+        let mut app = Transducer::new(covid_program()).unwrap();
+        for pid in 1..=4 {
+            person(&mut app, pid);
+        }
+        app.tick().unwrap();
+        assert_eq!(app.table_len("people"), 4);
+
+        // Chain 1-2-3; 4 isolated.
+        contact(&mut app, 1, 2);
+        contact(&mut app, 2, 3);
+        app.tick().unwrap();
+
+        // Diagnose 1: alerts must reach 2 and 3 (transitively) but not 4.
+        app.enqueue_ok("diagnosed", vec![Value::Int(1)]);
+        let out = app.tick().unwrap();
+        let alerted: std::collections::BTreeSet<i64> = out
+            .sends
+            .iter()
+            .filter(|s| s.mailbox == "alert")
+            .filter_map(|s| s.row[0].as_int())
+            .collect();
+        assert!(alerted.contains(&2) && alerted.contains(&3));
+        assert!(!alerted.contains(&4));
+        // covid flag merged at end of tick.
+        assert_eq!(
+            app.row("people", &[Value::Int(1)]).unwrap()[3],
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn trace_returns_transitive_set() {
+        let mut app = Transducer::new(covid_program()).unwrap();
+        for pid in 1..=3 {
+            person(&mut app, pid);
+        }
+        app.tick().unwrap();
+        contact(&mut app, 1, 2);
+        contact(&mut app, 2, 3);
+        app.tick().unwrap();
+        app.enqueue_ok("trace", vec![Value::Int(1)]);
+        let out = app.tick().unwrap();
+        let resp = &out.responses[0];
+        let set = resp.value.as_set().unwrap();
+        // 1's transitive contacts: 2, 3 — and 1 itself via the symmetric
+        // edge back (1-2-1), matching the recursive query's semantics.
+        assert!(set.contains(&Value::Int(2)));
+        assert!(set.contains(&Value::Int(3)));
+    }
+
+    #[test]
+    fn vaccinate_enforces_inventory_invariant() {
+        let mut app = Transducer::new(covid_program_with_vaccines(1)).unwrap();
+        person(&mut app, 1);
+        person(&mut app, 2);
+        app.tick().unwrap();
+
+        app.enqueue_ok("vaccinate", vec![Value::Int(1)]);
+        app.enqueue_ok("vaccinate", vec![Value::Int(2)]);
+        let out = app.tick().unwrap();
+        let oks = out
+            .responses
+            .iter()
+            .filter(|r| r.handler == "vaccinate" && r.value == Value::ok())
+            .count();
+        let aborts = out
+            .responses
+            .iter()
+            .filter(|r| r.handler == "vaccinate" && r.value == Value::from("ABORT"))
+            .count();
+        // Only one dose existed: exactly one succeeds, one aborts.
+        assert_eq!((oks, aborts), (1, 1));
+        assert_eq!(app.scalar("vaccine_count"), Some(&Value::Int(0)));
+    }
+
+    #[test]
+    fn vaccinate_requires_existing_person() {
+        let mut app = Transducer::new(covid_program()).unwrap();
+        app.enqueue_ok("vaccinate", vec![Value::Int(99)]);
+        let out = app.tick().unwrap();
+        assert_eq!(out.responses[0].value, Value::from("ABORT"));
+        // Inventory untouched by the aborted attempt.
+        assert_eq!(app.scalar("vaccine_count"), Some(&Value::Int(100)));
+    }
+
+    #[test]
+    fn likelihood_invokes_registered_udf() {
+        let mut app = Transducer::new(covid_program()).unwrap();
+        app.register_udf("covid_predict", |args| {
+            // Model: non-null row → likelihood 87.
+            if args[0] == Value::Null {
+                Value::Int(0)
+            } else {
+                Value::Int(87)
+            }
+        });
+        person(&mut app, 7);
+        app.tick().unwrap();
+        app.enqueue_ok("likelihood", vec![Value::Int(7)]);
+        let out = app.tick().unwrap();
+        assert_eq!(out.responses[0].value, Value::Int(87));
+    }
+
+    #[test]
+    fn facets_match_figure_3() {
+        let p = covid_program();
+        assert_eq!(p.availability.for_handler("add_contact").failures, 2);
+        assert_eq!(p.availability.for_handler("likelihood").failures, 1);
+        let t = p.targets.for_handler("likelihood");
+        assert_eq!(t.processor, Some(Processor::Gpu));
+        assert_eq!(t.cost_milli, Some(100));
+        assert_eq!(t.latency_ms, Some(100)); // inherited default
+        assert_eq!(
+            p.consistency_of("vaccinate").level,
+            crate::facets::ConsistencyLevel::Serializable
+        );
+        assert_eq!(
+            p.consistency_of("add_person").level,
+            crate::facets::ConsistencyLevel::Eventual
+        );
+    }
+
+    #[test]
+    fn cart_checkout_seals_when_manifest_matches() {
+        let mut app = Transducer::new(cart_program()).unwrap();
+        app.enqueue_ok("add_item", vec![Value::from("s1"), Value::from("apple")]);
+        app.enqueue_ok("add_item", vec![Value::from("s1"), Value::from("pear")]);
+        app.tick().unwrap();
+
+        let manifest = Value::set_of([Value::from("apple"), Value::from("pear")]);
+        app.enqueue_ok("checkout", vec![Value::from("s1"), manifest.clone()]);
+        let out = app.tick().unwrap();
+        assert!(out.sends.iter().any(|s| s.mailbox == "checkout_ok"));
+
+        // A manifest the replica hasn't caught up to waits instead.
+        let bigger = Value::set_of([
+            Value::from("apple"),
+            Value::from("pear"),
+            Value::from("plum"),
+        ]);
+        app.enqueue_ok("checkout", vec![Value::from("s1"), bigger]);
+        let out2 = app.tick().unwrap();
+        assert!(out2.sends.iter().any(|s| s.mailbox == "checkout_wait"));
+    }
+}

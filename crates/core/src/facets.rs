@@ -1,0 +1,242 @@
+//! The A, C and T facets: availability, consistency, targets (§6, §7, §9).
+//!
+//! These are *declarations*, deliberately separated from program semantics:
+//! the compiler stages in `hydrolysis` and the deployment machinery in
+//! `hydro-deploy` consume them to synthesize replication, coordination, and
+//! placement — the developer states *what*, never *how*.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Failure domains across which availability is measured (§6: "VMs, data
+/// centers, availability zones, etc."), ordered by containment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FailureDomain {
+    /// A single virtual machine.
+    Vm,
+    /// A rack of machines.
+    Rack,
+    /// A data center.
+    DataCenter,
+    /// An availability zone.
+    Az,
+}
+
+/// An availability requirement: survive `failures` independent failures
+/// across the given domain kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AvailReq {
+    /// Failure-domain granularity defining independence.
+    pub domain: FailureDomain,
+    /// Number of tolerated independent failures (`f`).
+    pub failures: u32,
+}
+
+impl AvailReq {
+    /// Minimum number of replicas needed: `f + 1`.
+    pub fn replicas_needed(&self) -> u32 {
+        self.failures + 1
+    }
+}
+
+impl Default for AvailReq {
+    fn default() -> Self {
+        AvailReq {
+            domain: FailureDomain::Az,
+            failures: 0,
+        }
+    }
+}
+
+/// The availability facet: a default plus per-handler overrides (Fig. 3
+/// lines 37–39).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct AvailabilitySpec {
+    /// Default requirement for all handlers.
+    pub default: AvailReq,
+    /// Per-handler overrides.
+    pub per_handler: BTreeMap<String, AvailReq>,
+}
+
+impl AvailabilitySpec {
+    /// The effective requirement for a handler.
+    pub fn for_handler(&self, name: &str) -> AvailReq {
+        self.per_handler.get(name).copied().unwrap_or(self.default)
+    }
+}
+
+/// History-based consistency guarantees, ordered by strength (§7.1).
+///
+/// The order is the one used by the metaconsistency analysis: a path
+/// through the program provides the *weakest* level among its hops, and an
+/// endpoint's declared level is satisfied only if every path to it provides
+/// at least that level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum ConsistencyLevel {
+    /// Convergence only.
+    #[default]
+    Eventual,
+    /// Reads respect causality.
+    Causal,
+    /// Operations see a consistent snapshot.
+    Snapshot,
+    /// Operations appear in some total order.
+    Sequential,
+    /// Transactions appear in a serial order (we group the strongest
+    /// history guarantees — serializable/linearizable — at the top as the
+    /// paper's `vaccinate` example does).
+    Serializable,
+}
+
+
+/// Application-centric invariants (§7.1's second annotation type):
+/// predicates on visible state the system must never expose a violation of.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Invariant {
+    /// A scalar must remain `>= 0` (Fig. 3's `vaccine_count >= 0`).
+    NonNegative(String),
+    /// A referenced key must exist (`people.has_key(pid)`); referential
+    /// integrity.
+    HasKey {
+        /// Table name.
+        table: String,
+        /// Handler parameter holding the key.
+        key_param: String,
+    },
+}
+
+/// A handler's consistency requirement: a history-based level plus
+/// application invariants (Fig. 3 line 31).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConsistencyReq {
+    /// History-based guarantee.
+    pub level: ConsistencyLevel,
+    /// Application-centric invariants.
+    pub invariants: Vec<Invariant>,
+}
+
+impl ConsistencyReq {
+    /// Plain eventual consistency (the program default).
+    pub fn eventual() -> Self {
+        Self::default()
+    }
+
+    /// Serializable with invariants.
+    pub fn serializable(invariants: Vec<Invariant>) -> Self {
+        ConsistencyReq {
+            level: ConsistencyLevel::Serializable,
+            invariants,
+        }
+    }
+}
+
+/// Machine capabilities a handler can demand (Fig. 3's `processor=GPU`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Processor {
+    /// General-purpose CPU machines.
+    Cpu,
+    /// GPU-equipped machines.
+    Gpu,
+}
+
+/// Per-handler performance/cost targets (Fig. 3 lines 41–43). Money is in
+/// integer milli-units so specs stay `Eq`/hashable.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TargetReq {
+    /// Latency bound in milliseconds.
+    pub latency_ms: Option<u64>,
+    /// Per-call cost bound in milli-units (0.01 units → 10).
+    pub cost_milli: Option<u64>,
+    /// Required processor class.
+    pub processor: Option<Processor>,
+}
+
+/// The targets facet: default plus per-handler overrides.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TargetSpec {
+    /// Default targets.
+    pub default: TargetReq,
+    /// Per-handler overrides (absent fields fall back to the default).
+    pub per_handler: BTreeMap<String, TargetReq>,
+}
+
+impl TargetSpec {
+    /// The effective targets for a handler, with field-level fallback.
+    pub fn for_handler(&self, name: &str) -> TargetReq {
+        let d = self.default;
+        match self.per_handler.get(name) {
+            None => d,
+            Some(o) => TargetReq {
+                latency_ms: o.latency_ms.or(d.latency_ms),
+                cost_milli: o.cost_milli.or(d.cost_milli),
+                processor: o.processor.or(d.processor),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avail_replicas() {
+        let r = AvailReq {
+            domain: FailureDomain::Az,
+            failures: 2,
+        };
+        assert_eq!(r.replicas_needed(), 3);
+    }
+
+    #[test]
+    fn consistency_levels_are_ordered() {
+        assert!(ConsistencyLevel::Eventual < ConsistencyLevel::Causal);
+        assert!(ConsistencyLevel::Causal < ConsistencyLevel::Serializable);
+    }
+
+    #[test]
+    fn target_field_fallback() {
+        let mut spec = TargetSpec {
+            default: TargetReq {
+                latency_ms: Some(100),
+                cost_milli: Some(10),
+                processor: None,
+            },
+            ..TargetSpec::default()
+        };
+        spec.per_handler.insert(
+            "likelihood".into(),
+            TargetReq {
+                latency_ms: None,
+                cost_milli: Some(100),
+                processor: Some(Processor::Gpu),
+            },
+        );
+        let t = spec.for_handler("likelihood");
+        assert_eq!(t.latency_ms, Some(100)); // fell back
+        assert_eq!(t.cost_milli, Some(100)); // overridden
+        assert_eq!(t.processor, Some(Processor::Gpu));
+        assert_eq!(spec.for_handler("add_person").cost_milli, Some(10));
+    }
+
+    #[test]
+    fn per_handler_availability_override() {
+        let mut spec = AvailabilitySpec {
+            default: AvailReq {
+                domain: FailureDomain::Az,
+                failures: 2,
+            },
+            ..AvailabilitySpec::default()
+        };
+        spec.per_handler.insert(
+            "likelihood".into(),
+            AvailReq {
+                domain: FailureDomain::Az,
+                failures: 1,
+            },
+        );
+        assert_eq!(spec.for_handler("likelihood").failures, 1);
+        assert_eq!(spec.for_handler("anything_else").failures, 2);
+    }
+}

@@ -1,0 +1,1054 @@
+//! The transducer interpreter: HydroLogic's event loop (§3.1).
+//!
+//! Each [`Transducer::tick`]:
+//!
+//! 1. snapshots program state (tables, scalars, pending mailboxes);
+//! 2. evaluates every declared view over the snapshot to fixpoint
+//!    (stratified; see [`crate::eval`]);
+//! 3. runs handlers over their mailboxes — message handlers once per
+//!    pending message, condition handlers once if their guard holds —
+//!    *reading only the snapshot* and recording mutations/sends as effects;
+//! 4. applies the recorded mutations atomically at end-of-tick; handlers
+//!    never observe each other's writes within a tick, so "handlers do not
+//!    experience race conditions within a tick" (§2.3);
+//! 5. emits responses and asynchronous sends. Sends are *not* delivered
+//!    locally: delivery timing belongs to the network (simulated with
+//!    unbounded, nondeterministic delay in `hydro-deploy`), which is the
+//!    only source of nondeterminism in the model.
+//!
+//! Handlers whose consistency facet declares invariants get *transactional*
+//! per-message effect groups: a group that would violate an invariant is
+//! rolled back and its message answered `ABORT`. On a single node this is
+//! enough for serializability (ticks already execute sequentially);
+//! distributed enforcement is synthesized in `hydro-deploy`.
+
+use crate::ast::{
+    response_mailbox, AssignTarget, ColumnKind, Handler, MergeTarget, Program, Select, Stmt,
+    Trigger,
+};
+use crate::eval::{
+    build_key_indexes, eval_expr, eval_select, evaluate_views, stratify, Bindings, Database,
+    EvalError, Relation, Row, UdfHost,
+};
+use crate::facets::Invariant;
+use crate::value::Value;
+use rustc_hash::FxHashMap;
+use std::collections::BTreeMap;
+
+/// A message waiting in a mailbox.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Message {
+    /// Unique id assigned at enqueue time (drives response correlation).
+    pub id: u64,
+    /// Payload row.
+    pub row: Row,
+}
+
+/// A handler's reply to a specific message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// Responding handler.
+    pub handler: String,
+    /// The message being answered.
+    pub message_id: u64,
+    /// Reply payload.
+    pub value: Value,
+}
+
+/// An asynchronous send emitted by a tick.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SendOut {
+    /// Destination mailbox (may be another node's handler, a declared
+    /// mailbox, or an external endpoint like `alert`).
+    pub mailbox: String,
+    /// Payload row.
+    pub row: Row,
+}
+
+/// Everything a tick produced.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TickOutput {
+    /// Per-message handler replies.
+    pub responses: Vec<Response>,
+    /// Asynchronous sends (undelivered; routing is the deployment's job).
+    pub sends: Vec<SendOut>,
+    /// Non-fatal runtime warnings (e.g. merge into a missing row).
+    pub warnings: Vec<String>,
+    /// Number of messages consumed this tick.
+    pub messages_processed: usize,
+}
+
+/// Validation / runtime errors from the transducer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransducerError {
+    /// Query or expression evaluation failed.
+    Eval(EvalError),
+    /// A merge targeted a non-lattice scalar or column.
+    NotMergeable(String),
+    /// A statement referenced an unknown name.
+    Unknown(String),
+    /// An insert's value count disagrees with the table arity.
+    InsertArity {
+        /// Table name.
+        table: String,
+        /// Values provided.
+        given: usize,
+        /// Columns declared.
+        expected: usize,
+    },
+    /// Enqueue targeted a mailbox that is neither a handler nor declared.
+    NoSuchMailbox(String),
+}
+
+impl From<EvalError> for TransducerError {
+    fn from(e: EvalError) -> Self {
+        TransducerError::Eval(e)
+    }
+}
+
+impl std::fmt::Display for TransducerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransducerError::Eval(e) => write!(f, "evaluation error: {e}"),
+            TransducerError::NotMergeable(t) => {
+                write!(f, "merge into non-lattice target {t:?} (use assignment)")
+            }
+            TransducerError::Unknown(n) => write!(f, "unknown name {n:?}"),
+            TransducerError::InsertArity {
+                table,
+                given,
+                expected,
+            } => write!(
+                f,
+                "insert into {table:?} has {given} values, table has {expected} columns"
+            ),
+            TransducerError::NoSuchMailbox(m) => write!(f, "no such mailbox {m:?}"),
+        }
+    }
+}
+
+impl std::error::Error for TransducerError {}
+
+/// A deferred state mutation, tagged with its effect group (handler
+/// invocation) for transactional invariant enforcement.
+#[derive(Clone, Debug)]
+enum Effect {
+    MergeScalar(String, Value),
+    AssignScalar(String, Value),
+    MergeField {
+        table: String,
+        key: Row,
+        col: usize,
+        value: Value,
+    },
+    AssignField {
+        table: String,
+        key: Row,
+        col: usize,
+        value: Value,
+    },
+    InsertRow {
+        table: String,
+        row: Row,
+    },
+    DeleteRow {
+        table: String,
+        key: Row,
+    },
+    ClearMailbox(String),
+}
+
+/// Tables a set of effects writes (the scope of end-of-tick FD checks).
+fn touched_tables(effects: &[Effect]) -> std::collections::BTreeSet<String> {
+    let mut out = std::collections::BTreeSet::new();
+    for e in effects {
+        match e {
+            Effect::MergeField { table, .. }
+            | Effect::AssignField { table, .. }
+            | Effect::InsertRow { table, .. }
+            | Effect::DeleteRow { table, .. } => {
+                out.insert(table.clone());
+            }
+            Effect::MergeScalar(..) | Effect::AssignScalar(..) | Effect::ClearMailbox(..) => {}
+        }
+    }
+    out
+}
+
+/// One handler invocation's worth of effects plus its invariants.
+struct EffectGroup {
+    handler: String,
+    message_id: Option<u64>,
+    effects: Vec<Effect>,
+    invariants: Vec<Invariant>,
+    /// Bindings captured for invariant parameters (e.g. `HasKey.key_param`).
+    bindings: Bindings,
+}
+
+/// Mutable program state: keyed tables and scalars.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct State {
+    /// Table name → key → row. `BTreeMap` gives deterministic iteration.
+    pub tables: BTreeMap<String, BTreeMap<Row, Row>>,
+    /// Scalar name → value.
+    pub scalars: BTreeMap<String, Value>,
+}
+
+/// The HydroLogic interpreter for one logical node.
+pub struct Transducer {
+    program: Program,
+    state: State,
+    mailboxes: BTreeMap<String, Vec<Message>>,
+    udfs: UdfHost,
+    next_msg_id: u64,
+    tick_no: u64,
+}
+
+impl Transducer {
+    /// Validate a program and build its transducer. Runs stratification so
+    /// unstratifiable programs are rejected up front.
+    pub fn new(program: Program) -> Result<Self, TransducerError> {
+        stratify(&program)?;
+        let mut state = State::default();
+        for t in &program.tables {
+            state.tables.insert(t.name.clone(), BTreeMap::new());
+        }
+        for s in &program.scalars {
+            state.scalars.insert(s.name.clone(), s.init.clone());
+        }
+        let mut mailboxes = BTreeMap::new();
+        for h in &program.handlers {
+            mailboxes.insert(h.name.clone(), Vec::new());
+        }
+        for m in &program.mailboxes {
+            mailboxes.insert(m.name.clone(), Vec::new());
+        }
+        Ok(Transducer {
+            program,
+            state,
+            mailboxes,
+            udfs: UdfHost::new(),
+            next_msg_id: 1,
+            tick_no: 0,
+        })
+    }
+
+    /// The program being interpreted.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Register a UDF implementation.
+    pub fn register_udf(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&[Value]) -> Value + 'static,
+    ) {
+        self.udfs.register(name, f);
+    }
+
+    /// Direct read access to current state (between ticks).
+    pub fn state(&self) -> &State {
+        &self.state
+    }
+
+    /// Lifetime count of real (non-memoized) invocations of a UDF —
+    /// observable evidence for the §3.1 "once per input per tick" contract.
+    pub fn udf_invocations(&self, name: &str) -> u64 {
+        self.udfs.invocation_count(name)
+    }
+
+    /// Read a scalar's current value.
+    pub fn scalar(&self, name: &str) -> Option<&Value> {
+        self.state.scalars.get(name)
+    }
+
+    /// Read a table row by key.
+    pub fn row(&self, table: &str, key: &[Value]) -> Option<&Row> {
+        self.state.tables.get(table)?.get(key)
+    }
+
+    /// Number of rows in a table.
+    pub fn table_len(&self, table: &str) -> usize {
+        self.state.tables.get(table).map_or(0, BTreeMap::len)
+    }
+
+    /// Ticks executed so far.
+    pub fn tick_no(&self) -> u64 {
+        self.tick_no
+    }
+
+    /// Messages currently pending in a mailbox.
+    pub fn pending(&self, mailbox: &str) -> usize {
+        self.mailboxes.get(mailbox).map_or(0, Vec::len)
+    }
+
+    /// Enqueue a message; returns its id. The message becomes visible at
+    /// the *next* tick (it joins the snapshot then).
+    pub fn enqueue(&mut self, mailbox: &str, row: Row) -> Result<u64, TransducerError> {
+        let q = self
+            .mailboxes
+            .get_mut(mailbox)
+            .ok_or_else(|| TransducerError::NoSuchMailbox(mailbox.to_string()))?;
+        let id = self.next_msg_id;
+        self.next_msg_id += 1;
+        q.push(Message { id, row });
+        Ok(id)
+    }
+
+    /// Enqueue, panicking on unknown mailbox — for tests and examples.
+    pub fn enqueue_ok(&mut self, mailbox: &str, row: Row) -> u64 {
+        self.enqueue(mailbox, row).expect("known mailbox")
+    }
+
+    /// Whether a mailbox exists on this transducer (handler or declared).
+    pub fn has_mailbox(&self, name: &str) -> bool {
+        self.mailboxes.contains_key(name)
+    }
+
+    /// Build the snapshot database: tables + mailbox relations.
+    fn snapshot_db(&self) -> Database {
+        let mut db = Database::default();
+        for (name, rows) in &self.state.tables {
+            db.insert(
+                name.clone(),
+                Relation::from_rows(rows.values().cloned()),
+            );
+        }
+        for (name, msgs) in &self.mailboxes {
+            db.insert(
+                name.clone(),
+                Relation::from_rows(msgs.iter().map(|m| m.row.clone())),
+            );
+        }
+        db
+    }
+
+    /// Execute one tick of the transducer loop.
+    pub fn tick(&mut self) -> Result<TickOutput, TransducerError> {
+        self.tick_no += 1;
+        self.udfs.start_tick();
+
+        // 1–2: snapshot + views to fixpoint.
+        let base = self.snapshot_db();
+        let scalars: FxHashMap<String, Value> = self
+            .state
+            .scalars
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        let db = evaluate_views(&self.program, &base, &scalars, &mut self.udfs)?;
+        let key_index = build_key_indexes(&self.program, &base);
+
+        // 3: run handlers against the snapshot, recording effects. Tables
+        // written anywhere this tick are collected for FD monitoring.
+        let mut groups: Vec<EffectGroup> = Vec::new();
+        let mut touched: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        let mut out = TickOutput::default();
+        let handlers: Vec<Handler> = self.program.handlers.clone();
+        for handler in &handlers {
+            let consistency = self.program.consistency_of(&handler.name).clone();
+            let invariants = consistency.invariants.clone();
+            // Serializable handlers (and any handler carrying invariants)
+            // execute *serially against current state*, each message seeing
+            // the committed effects of the previous one — the enforcement
+            // mechanism §7 says the compiler must interpose. Everything
+            // else reads the tick-start snapshot and defers its effects.
+            let serial = consistency.level == crate::facets::ConsistencyLevel::Serializable
+                || !invariants.is_empty();
+            match &handler.trigger {
+                Trigger::OnMessage => {
+                    let msgs = self
+                        .mailboxes
+                        .get(&handler.name)
+                        .cloned()
+                        .unwrap_or_default();
+                    for msg in &msgs {
+                        let mut bindings = Bindings::default();
+                        for (p, v) in handler.params.iter().zip(msg.row.iter()) {
+                            bindings.insert(p.clone(), v.clone());
+                        }
+                        bindings.insert("__msg_id".to_string(), Value::Int(msg.id as i64));
+                        let mut group = EffectGroup {
+                            handler: handler.name.clone(),
+                            message_id: Some(msg.id),
+                            effects: Vec::new(),
+                            invariants: invariants.clone(),
+                            bindings: bindings.clone(),
+                        };
+                        if serial {
+                            // Fresh view of scalars/table keys including
+                            // prior serialized commits of this tick.
+                            let base_now = self.snapshot_db();
+                            let scalars_now: FxHashMap<String, Value> = self
+                                .state
+                                .scalars
+                                .iter()
+                                .map(|(k, v)| (k.clone(), v.clone()))
+                                .collect();
+                            let key_index_now = build_key_indexes(&self.program, &base_now);
+                            self.exec_stmts(
+                                &handler.body,
+                                &mut bindings,
+                                &db,
+                                &scalars_now,
+                                &key_index_now,
+                                &mut group,
+                                &mut out,
+                                handler,
+                                Some(msg.id),
+                            )?;
+                            // Commit immediately (transactionally if
+                            // invariants are present).
+                            touched.extend(touched_tables(&group.effects));
+                            self.apply_group(group, &mut out)?;
+                        } else {
+                            self.exec_stmts(
+                                &handler.body,
+                                &mut bindings,
+                                &db,
+                                &scalars,
+                                &key_index,
+                                &mut group,
+                                &mut out,
+                                handler,
+                                Some(msg.id),
+                            )?;
+                            groups.push(group);
+                        }
+                        out.messages_processed += 1;
+                    }
+                    // Message handlers consume their mailbox at end of tick.
+                    if let Some(q) = self.mailboxes.get_mut(&handler.name) {
+                        q.clear();
+                    }
+                }
+                Trigger::OnCondition(cond) => {
+                    let mut bindings = Bindings::default();
+                    let fire = {
+                        let mut ctx = crate::eval::EvalCtx {
+                            program: &self.program,
+                            db: &db,
+                            scalars: &scalars,
+                            key_index: &key_index,
+                            udfs: &mut self.udfs,
+                            scan_cache: Default::default(),
+                        };
+                        eval_expr(cond, &bindings, &mut ctx)?
+                            .as_bool()
+                            .unwrap_or(false)
+                    };
+                    if fire {
+                        let mut group = EffectGroup {
+                            handler: handler.name.clone(),
+                            message_id: None,
+                            effects: Vec::new(),
+                            invariants: invariants.clone(),
+                            bindings: bindings.clone(),
+                        };
+                        self.exec_stmts(
+                            &handler.body,
+                            &mut bindings,
+                            &db,
+                            &scalars,
+                            &key_index,
+                            &mut group,
+                            &mut out,
+                            handler,
+                            None,
+                        )?;
+                        groups.push(group);
+                    }
+                }
+            }
+        }
+
+        // 4: apply effects atomically; invariant groups transactionally.
+        for group in &groups {
+            touched.extend(touched_tables(&group.effects));
+        }
+        for group in groups {
+            self.apply_group(group, &mut out)?;
+        }
+
+        // 5: functional dependencies (§5 relational constraints) are
+        // monitored on every table written this tick. Transactional
+        // handlers already rolled back on violation (see
+        // `postconditions_hold`); anything that slipped through an
+        // eventually-consistent handler is surfaced as a warning rather
+        // than silently accepted.
+        for table in touched {
+            out.warnings.extend(self.fd_warnings(&table));
+        }
+
+        Ok(out)
+    }
+
+    /// Check every FD of `table` against current state; one message per
+    /// violated dependency.
+    fn fd_warnings(&self, table: &str) -> Vec<String> {
+        let Some(decl) = self.program.table(table) else {
+            return Vec::new();
+        };
+        if decl.fds.is_empty() {
+            return Vec::new();
+        }
+        let Some(rows) = self.state.tables.get(table) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for fd in &decl.fds {
+            if let Some((a, b)) = decl.fd_violation(fd, rows.values().map(|r| r.as_slice())) {
+                out.push(format!(
+                    "table {table:?}: functional dependency `{}` violated by rows {a:?} and {b:?}",
+                    decl.fd_display(fd)
+                ));
+            }
+        }
+        out
+    }
+
+    /// Convenience driver: repeatedly tick, re-delivering any sends whose
+    /// mailbox exists locally (immediate, in-order delivery — the
+    /// zero-delay schedule). External sends accumulate in the returned
+    /// output. Stops when quiescent or after `max_ticks`.
+    pub fn run_to_quiescence(&mut self, max_ticks: usize) -> Result<TickOutput, TransducerError> {
+        let mut all = TickOutput::default();
+        for _ in 0..max_ticks {
+            let pending: usize = self.mailboxes.values().map(Vec::len).sum();
+            if pending == 0 {
+                break;
+            }
+            let out = self.tick()?;
+            all.responses.extend(out.responses);
+            all.warnings.extend(out.warnings);
+            all.messages_processed += out.messages_processed;
+            for send in out.sends {
+                if self.has_mailbox(&send.mailbox) {
+                    self.enqueue(&send.mailbox, send.row)?;
+                } else {
+                    all.sends.push(send);
+                }
+            }
+        }
+        Ok(all)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_stmts(
+        &mut self,
+        stmts: &[Stmt],
+        bindings: &mut Bindings,
+        db: &Database,
+        scalars: &FxHashMap<String, Value>,
+        key_index: &FxHashMap<String, FxHashMap<Row, Row>>,
+        group: &mut EffectGroup,
+        out: &mut TickOutput,
+        handler: &Handler,
+        msg_id: Option<u64>,
+    ) -> Result<(), TransducerError> {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Merge(target, expr) => {
+                    let value = self.eval(expr, bindings, db, scalars, key_index)?;
+                    match target {
+                        MergeTarget::Scalar(name) => {
+                            group.effects.push(Effect::MergeScalar(name.clone(), value));
+                        }
+                        MergeTarget::TableField { table, key, field } => {
+                            let (key, col) =
+                                self.resolve_field(table, key, field, bindings, db, scalars, key_index)?;
+                            group.effects.push(Effect::MergeField {
+                                table: table.clone(),
+                                key,
+                                col,
+                                value,
+                            });
+                        }
+                    }
+                }
+                Stmt::Assign(target, expr) => {
+                    let value = self.eval(expr, bindings, db, scalars, key_index)?;
+                    match target {
+                        AssignTarget::Scalar(name) => {
+                            group
+                                .effects
+                                .push(Effect::AssignScalar(name.clone(), value));
+                        }
+                        AssignTarget::TableField { table, key, field } => {
+                            let (key, col) =
+                                self.resolve_field(table, key, field, bindings, db, scalars, key_index)?;
+                            group.effects.push(Effect::AssignField {
+                                table: table.clone(),
+                                key,
+                                col,
+                                value,
+                            });
+                        }
+                    }
+                }
+                Stmt::Insert { table, values } => {
+                    let decl = self
+                        .program
+                        .table(table)
+                        .ok_or_else(|| TransducerError::Unknown(table.clone()))?
+                        .clone();
+                    if values.len() != decl.arity() {
+                        return Err(TransducerError::InsertArity {
+                            table: table.clone(),
+                            given: values.len(),
+                            expected: decl.arity(),
+                        });
+                    }
+                    let row: Row = values
+                        .iter()
+                        .map(|e| self.eval(e, bindings, db, scalars, key_index))
+                        .collect::<Result<_, _>>()?;
+                    group.effects.push(Effect::InsertRow {
+                        table: table.clone(),
+                        row,
+                    });
+                }
+                Stmt::Delete { table, key } => {
+                    let k = self.eval(key, bindings, db, scalars, key_index)?;
+                    let key_row = key_row_of(k);
+                    group.effects.push(Effect::DeleteRow {
+                        table: table.clone(),
+                        key: key_row,
+                    });
+                }
+                Stmt::Send { mailbox, select } => {
+                    let rows = self.eval_select_rows(select, bindings, db, scalars, key_index)?;
+                    for row in rows {
+                        out.sends.push(SendOut {
+                            mailbox: mailbox.clone(),
+                            row,
+                        });
+                    }
+                }
+                Stmt::Return(expr) => {
+                    let value = self.eval(expr, bindings, db, scalars, key_index)?;
+                    if let Some(id) = msg_id {
+                        out.responses.push(Response {
+                            handler: handler.name.clone(),
+                            message_id: id,
+                            value: value.clone(),
+                        });
+                        out.sends.push(SendOut {
+                            mailbox: response_mailbox(&handler.name),
+                            row: vec![Value::Int(id as i64), value],
+                        });
+                    }
+                }
+                Stmt::If { cond, then, els } => {
+                    let c = self
+                        .eval(cond, bindings, db, scalars, key_index)?
+                        .as_bool()
+                        .unwrap_or(false);
+                    let branch = if c { then } else { els };
+                    self.exec_stmts(
+                        branch, bindings, db, scalars, key_index, group, out, handler, msg_id,
+                    )?;
+                }
+                Stmt::ForEach { select, stmts } => {
+                    // Evaluate the comprehension's bindings, then run the
+                    // nested statements once per match.
+                    let matches =
+                        self.eval_select_bindings(select, bindings, db, scalars, key_index)?;
+                    for mut m in matches {
+                        self.exec_stmts(
+                            stmts, &mut m, db, scalars, key_index, group, out, handler, msg_id,
+                        )?;
+                    }
+                }
+                Stmt::ClearMailbox(name) => {
+                    group.effects.push(Effect::ClearMailbox(name.clone()));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn eval(
+        &mut self,
+        expr: &crate::ast::Expr,
+        bindings: &Bindings,
+        db: &Database,
+        scalars: &FxHashMap<String, Value>,
+        key_index: &FxHashMap<String, FxHashMap<Row, Row>>,
+    ) -> Result<Value, TransducerError> {
+        let mut ctx = crate::eval::EvalCtx {
+            program: &self.program,
+            db,
+            scalars,
+            key_index,
+            udfs: &mut self.udfs,
+            scan_cache: Default::default(),
+        };
+        Ok(eval_expr(expr, bindings, &mut ctx)?)
+    }
+
+    fn eval_select_rows(
+        &mut self,
+        select: &Select,
+        bindings: &Bindings,
+        db: &Database,
+        scalars: &FxHashMap<String, Value>,
+        key_index: &FxHashMap<String, FxHashMap<Row, Row>>,
+    ) -> Result<Vec<Row>, TransducerError> {
+        let mut ctx = crate::eval::EvalCtx {
+            program: &self.program,
+            db,
+            scalars,
+            key_index,
+            udfs: &mut self.udfs,
+            scan_cache: Default::default(),
+        };
+        Ok(eval_select(select, bindings, &mut ctx)?)
+    }
+
+    /// Like [`eval_select`] but returning the binding environments of each
+    /// match (for `ForEach`).
+    fn eval_select_bindings(
+        &mut self,
+        select: &Select,
+        base: &Bindings,
+        db: &Database,
+        scalars: &FxHashMap<String, Value>,
+        key_index: &FxHashMap<String, FxHashMap<Row, Row>>,
+    ) -> Result<Vec<Bindings>, TransducerError> {
+        // Project every variable we can see by reusing eval_select with a
+        // synthetic projection of all bound names is awkward; instead reuse
+        // the body-walk by projecting nothing and capturing bindings via a
+        // Let trick: evaluate with projection of referenced vars. Simpler
+        // and fully general: run eval_select with an empty projection but
+        // capture clone of bindings through a guard would require engine
+        // support — so we just re-run the body via eval_select projecting
+        // the variables mentioned in the nested statements. To stay simple
+        // and correct we capture *all* scan/let/flatten-introduced names.
+        let mut vars: Vec<String> = Vec::new();
+        collect_bound_vars(&select.body, &mut vars);
+        let proj: Vec<crate::ast::Expr> =
+            vars.iter().map(|v| crate::ast::Expr::var(v)).collect();
+        let rows = self.eval_select_rows(
+            &Select {
+                body: select.body.clone(),
+                projection: proj,
+            },
+            base,
+            db,
+            scalars,
+            key_index,
+        )?;
+        Ok(rows
+            .into_iter()
+            .map(|row| {
+                let mut b = base.clone();
+                for (name, v) in vars.iter().zip(row) {
+                    b.insert(name.clone(), v);
+                }
+                b
+            })
+            .collect())
+    }
+
+    /// Resolve a `table[key].field` target to (key row, column index).
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_field(
+        &mut self,
+        table: &str,
+        key: &crate::ast::Expr,
+        field: &str,
+        bindings: &Bindings,
+        db: &Database,
+        scalars: &FxHashMap<String, Value>,
+        key_index: &FxHashMap<String, FxHashMap<Row, Row>>,
+    ) -> Result<(Row, usize), TransducerError> {
+        let decl = self
+            .program
+            .table(table)
+            .ok_or_else(|| TransducerError::Unknown(table.to_string()))?;
+        let col = decl
+            .column_index(field)
+            .ok_or_else(|| TransducerError::Unknown(format!("{table}.{field}")))?;
+        let k = self.eval(key, bindings, db, scalars, key_index)?;
+        Ok((key_row_of(k), col))
+    }
+
+    /// Apply one effect group; transactional if it carries invariants.
+    fn apply_group(
+        &mut self,
+        mut group: EffectGroup,
+        out: &mut TickOutput,
+    ) -> Result<(), TransducerError> {
+        if group.invariants.is_empty() {
+            let effects = std::mem::take(&mut group.effects);
+            for e in effects {
+                self.apply_effect(e, out)?;
+            }
+            return Ok(());
+        }
+        // Preconditions (referential integrity) are checked against the
+        // pre-state: a merge must not be allowed to conjure the row that
+        // would justify it.
+        if !self.preconditions_hold(&group)? {
+            self.reject_group(&group, out);
+            return Ok(());
+        }
+        // Transactional: snapshot, apply, check postconditions,
+        // commit-or-rollback. Declared functional dependencies on the
+        // tables this group wrote count as postconditions.
+        let touched = touched_tables(&group.effects);
+        let saved = self.state.clone();
+        let effects = std::mem::take(&mut group.effects);
+        for e in effects {
+            self.apply_effect(e, out)?;
+        }
+        if self.postconditions_hold(&group)?
+            && touched.iter().all(|t| self.fd_warnings(t).is_empty())
+        {
+            return Ok(());
+        }
+        self.state = saved;
+        self.reject_group(&group, out);
+        Ok(())
+    }
+
+    /// Replace any optimistic OK response for this message with ABORT and
+    /// record a warning.
+    fn reject_group(&mut self, group: &EffectGroup, out: &mut TickOutput) {
+        if let Some(id) = group.message_id {
+            for r in &mut out.responses {
+                if r.message_id == id && r.handler == group.handler {
+                    r.value = Value::Str("ABORT".to_string());
+                }
+            }
+        }
+        out.warnings.push(format!(
+            "handler {:?} message {:?}: invariant violated, effects rolled back",
+            group.handler, group.message_id
+        ));
+    }
+
+    /// Referential-integrity preconditions, evaluated on the pre-state.
+    fn preconditions_hold(&self, group: &EffectGroup) -> Result<bool, TransducerError> {
+        for inv in &group.invariants {
+            if let Invariant::HasKey { table, key_param } = inv {
+                let key = group
+                    .bindings
+                    .get(key_param)
+                    .cloned()
+                    .unwrap_or(Value::Null);
+                let key_row = key_row_of(key);
+                let present = self
+                    .state
+                    .tables
+                    .get(table)
+                    .is_some_and(|t| t.contains_key(&key_row));
+                if !present {
+                    return Ok(false);
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Value-range postconditions, evaluated on the post-state.
+    fn postconditions_hold(&self, group: &EffectGroup) -> Result<bool, TransducerError> {
+        for inv in &group.invariants {
+            if let Invariant::NonNegative(scalar) = inv {
+                let v = self
+                    .state
+                    .scalars
+                    .get(scalar)
+                    .ok_or_else(|| TransducerError::Unknown(scalar.clone()))?;
+                if v.as_int().is_some_and(|i| i < 0) {
+                    return Ok(false);
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    fn apply_effect(&mut self, effect: Effect, out: &mut TickOutput) -> Result<(), TransducerError> {
+        match effect {
+            Effect::MergeScalar(name, value) => {
+                let decl = self
+                    .program
+                    .scalar(&name)
+                    .ok_or_else(|| TransducerError::Unknown(name.clone()))?;
+                let Some(kind) = decl.lattice.clone() else {
+                    return Err(TransducerError::NotMergeable(name));
+                };
+                let slot = self
+                    .state
+                    .scalars
+                    .get_mut(&name)
+                    .ok_or_else(|| TransducerError::Unknown(name.clone()))?;
+                kind.merge(slot, value)
+                    .map_err(|e| TransducerError::Eval(EvalError::Type {
+                        expected: "lattice-shaped value",
+                        got: e.to_string(),
+                    }))?;
+            }
+            Effect::AssignScalar(name, value) => {
+                let slot = self
+                    .state
+                    .scalars
+                    .get_mut(&name)
+                    .ok_or_else(|| TransducerError::Unknown(name.clone()))?;
+                *slot = value;
+            }
+            Effect::MergeField {
+                table,
+                key,
+                col,
+                value,
+            } => {
+                let decl = self
+                    .program
+                    .table(&table)
+                    .ok_or_else(|| TransducerError::Unknown(table.clone()))?
+                    .clone();
+                let ColumnKind::Lattice(kind) = &decl.columns[col].kind else {
+                    return Err(TransducerError::NotMergeable(format!(
+                        "{table}.{}",
+                        decl.columns[col].name
+                    )));
+                };
+                // MapUnion semantics: merging into an absent key creates
+                // the row at lattice bottom first, keeping merges total and
+                // order-insensitive (required for CALM confluence).
+                let tab = self
+                    .state
+                    .tables
+                    .get_mut(&table)
+                    .ok_or_else(|| TransducerError::Unknown(table.clone()))?;
+                let row = tab
+                    .entry(key.clone())
+                    .or_insert_with(|| bottom_row(&decl, &key));
+                kind.merge(&mut row[col], value).map_err(|e| {
+                    TransducerError::Eval(EvalError::Type {
+                        expected: "lattice-shaped value",
+                        got: e.to_string(),
+                    })
+                })?;
+            }
+            Effect::AssignField {
+                table,
+                key,
+                col,
+                value,
+            } => {
+                match self
+                    .state
+                    .tables
+                    .get_mut(&table)
+                    .and_then(|t| t.get_mut(&key))
+                {
+                    Some(row) => row[col] = value,
+                    None => out.warnings.push(format!(
+                        "assign into missing row {key:?} of {table:?} ignored"
+                    )),
+                }
+            }
+            Effect::InsertRow { table, row } => {
+                let decl = self
+                    .program
+                    .table(&table)
+                    .ok_or_else(|| TransducerError::Unknown(table.clone()))?
+                    .clone();
+                let key = decl.key_of(&row);
+                let slot = self
+                    .state
+                    .tables
+                    .get_mut(&table)
+                    .ok_or_else(|| TransducerError::Unknown(table.clone()))?;
+                match slot.entry(key) {
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert(row);
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut e) => {
+                        // Upsert: lattice columns merge; atom columns
+                        // overwrite (a non-monotone act the typechecker
+                        // flags when it can happen).
+                        let existing = e.get_mut();
+                        for (i, v) in row.into_iter().enumerate() {
+                            match &decl.columns[i].kind {
+                                ColumnKind::Lattice(kind) => {
+                                    kind.merge(&mut existing[i], v).map_err(|err| {
+                                        TransducerError::Eval(EvalError::Type {
+                                            expected: "lattice-shaped value",
+                                            got: err.to_string(),
+                                        })
+                                    })?;
+                                }
+                                ColumnKind::Atom => existing[i] = v,
+                            }
+                        }
+                    }
+                }
+            }
+            Effect::DeleteRow { table, key } => {
+                if let Some(t) = self.state.tables.get_mut(&table) {
+                    t.remove(&key);
+                }
+            }
+            Effect::ClearMailbox(name) => {
+                if let Some(q) = self.mailboxes.get_mut(&name) {
+                    q.clear();
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A fresh row at lattice bottom for a table: key columns take the key's
+/// values, lattice columns their bottoms, atom columns `Null`.
+fn bottom_row(decl: &crate::ast::TableDecl, key: &[Value]) -> Row {
+    let mut row: Row = decl
+        .columns
+        .iter()
+        .map(|c| match &c.kind {
+            ColumnKind::Lattice(kind) => kind.bottom(),
+            ColumnKind::Atom => Value::Null,
+        })
+        .collect();
+    for (slot, v) in decl.key.iter().zip(key.iter()) {
+        row[*slot] = v.clone();
+    }
+    row
+}
+
+/// Normalize a key expression value into a key row: tuples spread into
+/// multi-column keys, anything else is a single-column key.
+fn key_row_of(v: Value) -> Row {
+    match v {
+        Value::Tuple(parts) => parts,
+        single => vec![single],
+    }
+}
+
+fn collect_bound_vars(body: &[crate::ast::BodyAtom], vars: &mut Vec<String>) {
+    use crate::ast::{BodyAtom, Term};
+    for atom in body {
+        match atom {
+            BodyAtom::Scan { terms, .. } => {
+                for t in terms {
+                    if let Term::Var(v) = t {
+                        if !vars.contains(v) {
+                            vars.push(v.clone());
+                        }
+                    }
+                }
+            }
+            BodyAtom::Let { var, .. } | BodyAtom::Flatten { var, .. } => {
+                if !vars.contains(var) {
+                    vars.push(var.clone());
+                }
+            }
+            BodyAtom::Neg { .. } | BodyAtom::Guard(_) => {}
+        }
+    }
+}

@@ -1,0 +1,404 @@
+//! The dynamic value model of the HydroLogic IR.
+//!
+//! HydroLogic programs are data: they are constructed, analyzed, lowered and
+//! deployed at runtime. Their values therefore use a self-describing
+//! [`Value`] enum rather than Rust generics; the statically-typed lattice
+//! layer (`hydro-lattice`) sits underneath, and [`LatticeKind`] names which
+//! lattice discipline governs a given variable or column so that `merge`
+//! mutations (§3.1) have well-defined, ACI semantics over `Value`s.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A dynamically typed HydroLogic value.
+///
+/// `Value` is totally ordered (derive `Ord`) so values can live in sets and
+/// serve as keys; the ordering is structural and has no semantic meaning
+/// beyond determinism.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// Absent/unit value.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit integer (HydroLogic's only numeric type; targets-facet money
+    /// is expressed in integer milli-units to stay `Eq`).
+    Int(i64),
+    /// UTF-8 string.
+    Str(String),
+    /// Fixed-arity tuple.
+    Tuple(Vec<Value>),
+    /// Set of values.
+    Set(BTreeSet<Value>),
+    /// String-keyed map.
+    Map(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The conventional "OK" status value returned by handlers (Fig. 3).
+    pub fn ok() -> Value {
+        Value::Str("OK".to_string())
+    }
+
+    /// An empty set.
+    pub fn empty_set() -> Value {
+        Value::Set(BTreeSet::new())
+    }
+
+    /// Build a set from values.
+    pub fn set_of(items: impl IntoIterator<Item = Value>) -> Value {
+        Value::Set(items.into_iter().collect())
+    }
+
+    /// Build a tuple from values.
+    pub fn tuple(items: impl IntoIterator<Item = Value>) -> Value {
+        Value::Tuple(items.into_iter().collect())
+    }
+
+    /// Read as integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Read as boolean. Integers are *not* coerced.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Read as string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Read as set.
+    pub fn as_set(&self) -> Option<&BTreeSet<Value>> {
+        match self {
+            Value::Set(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Read as tuple.
+    pub fn as_tuple(&self) -> Option<&[Value]> {
+        match self {
+            Value::Tuple(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Truthiness for guards: `Bool(b)` is `b`; everything else is an error
+    /// surfaced by the evaluator, so this returns `Option`.
+    pub fn truthy(&self) -> Option<bool> {
+        self.as_bool()
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// The lattice discipline governing a mergeable variable or column.
+///
+/// This is the IR-level counterpart of the typed lattices in
+/// `hydro-lattice`; the monotonicity typechecker (in `hydro-analysis`)
+/// treats a `merge` into any of these as a monotone mutation, and the
+/// runtime enforces the corresponding join when applying end-of-tick
+/// effects.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum LatticeKind {
+    /// `Max` over integers.
+    MaxInt,
+    /// `Min` over integers (dual order: numerically smaller is "bigger").
+    MinInt,
+    /// Boolean-or (a.k.a. `Max<bool>`): one-way flags like `covid`.
+    BoolOr,
+    /// Grow-only set union.
+    SetUnion,
+    /// Map union with a uniform value lattice.
+    MapUnion(Box<LatticeKind>),
+    /// Last-writer-wins register encoded as `Tuple[ts, writer, value]`.
+    Lww,
+    /// Grow-only counter encoded as `Map<writer, Int>`; read = sum.
+    GCounter,
+}
+
+/// Errors from dynamic lattice operations over [`Value`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LatticeValueError {
+    /// The value's shape does not match the declared lattice kind.
+    Shape {
+        /// The lattice kind expected.
+        kind: LatticeKind,
+        /// Rendering of the offending value.
+        value: String,
+    },
+}
+
+impl std::fmt::Display for LatticeValueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LatticeValueError::Shape { kind, value } => {
+                write!(f, "value {value} does not inhabit lattice {kind:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LatticeValueError {}
+
+impl LatticeKind {
+    /// The bottom element of this lattice, used to initialize declared
+    /// variables and freshly inserted lattice columns.
+    pub fn bottom(&self) -> Value {
+        match self {
+            LatticeKind::MaxInt => Value::Int(i64::MIN),
+            LatticeKind::MinInt => Value::Int(i64::MAX),
+            LatticeKind::BoolOr => Value::Bool(false),
+            LatticeKind::SetUnion => Value::empty_set(),
+            LatticeKind::MapUnion(_) | LatticeKind::GCounter => Value::Map(BTreeMap::new()),
+            LatticeKind::Lww => Value::Tuple(vec![Value::Int(i64::MIN), Value::Int(0), Value::Null]),
+        }
+    }
+
+    fn shape_err(&self, v: &Value) -> LatticeValueError {
+        LatticeValueError::Shape {
+            kind: self.clone(),
+            value: format!("{v:?}"),
+        }
+    }
+
+    /// Merge `delta` into `target` under this lattice; returns whether
+    /// `target` changed. This is the dynamic mirror of
+    /// [`hydro_lattice::Lattice::merge`] and obeys the same ACI laws
+    /// (property-tested below and in `hydro-analysis`).
+    pub fn merge(&self, target: &mut Value, delta: Value) -> Result<bool, LatticeValueError> {
+        match self {
+            LatticeKind::MaxInt => {
+                let (Value::Int(t), Value::Int(d)) = (&mut *target, &delta) else {
+                    return Err(self.shape_err(target));
+                };
+                if d > t {
+                    *t = *d;
+                    Ok(true)
+                } else {
+                    Ok(false)
+                }
+            }
+            LatticeKind::MinInt => {
+                let (Value::Int(t), Value::Int(d)) = (&mut *target, &delta) else {
+                    return Err(self.shape_err(target));
+                };
+                if d < t {
+                    *t = *d;
+                    Ok(true)
+                } else {
+                    Ok(false)
+                }
+            }
+            LatticeKind::BoolOr => {
+                let (Value::Bool(t), Value::Bool(d)) = (&mut *target, &delta) else {
+                    return Err(self.shape_err(target));
+                };
+                if *d && !*t {
+                    *t = true;
+                    Ok(true)
+                } else {
+                    Ok(false)
+                }
+            }
+            LatticeKind::SetUnion => {
+                let Value::Set(t) = target else {
+                    return Err(self.shape_err(target));
+                };
+                // A non-set delta is treated as a singleton insertion, which
+                // is the common `s.merge(x)` idiom of Fig. 3.
+                match delta {
+                    Value::Set(d) => {
+                        let mut changed = false;
+                        for v in d {
+                            changed |= t.insert(v);
+                        }
+                        Ok(changed)
+                    }
+                    other => Ok(t.insert(other)),
+                }
+            }
+            LatticeKind::MapUnion(inner) => {
+                let Value::Map(t) = target else {
+                    return Err(self.shape_err(target));
+                };
+                let Value::Map(d) = delta else {
+                    return Err(self.shape_err(&delta));
+                };
+                let mut changed = false;
+                for (k, v) in d {
+                    match t.entry(k) {
+                        std::collections::btree_map::Entry::Vacant(e) => {
+                            e.insert(v);
+                            changed = true;
+                        }
+                        std::collections::btree_map::Entry::Occupied(mut e) => {
+                            changed |= inner.merge(e.get_mut(), v)?;
+                        }
+                    }
+                }
+                Ok(changed)
+            }
+            LatticeKind::GCounter => {
+                LatticeKind::MapUnion(Box::new(LatticeKind::MaxInt)).merge(target, delta)
+            }
+            LatticeKind::Lww => {
+                let (Some(t), Some(d)) = (target.as_tuple(), delta.as_tuple()) else {
+                    return Err(self.shape_err(target));
+                };
+                if t.len() != 3 || d.len() != 3 {
+                    return Err(self.shape_err(target));
+                }
+                // Compare (ts, writer) lexicographically; bigger stamp wins.
+                let t_stamp = (t[0].clone(), t[1].clone());
+                let d_stamp = (d[0].clone(), d[1].clone());
+                if d_stamp > t_stamp {
+                    *target = delta;
+                    Ok(true)
+                } else {
+                    Ok(false)
+                }
+            }
+        }
+    }
+
+    /// The observable reading of a lattice value (e.g. a `GCounter` map
+    /// reads as the sum of its slots).
+    pub fn read(&self, v: &Value) -> Value {
+        match (self, v) {
+            (LatticeKind::GCounter, Value::Map(m)) => {
+                Value::Int(m.values().filter_map(Value::as_int).sum())
+            }
+            (LatticeKind::Lww, Value::Tuple(t)) if t.len() == 3 => t[2].clone(),
+            _ => v.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bottoms_are_identities() {
+        for kind in [
+            LatticeKind::MaxInt,
+            LatticeKind::BoolOr,
+            LatticeKind::SetUnion,
+            LatticeKind::GCounter,
+        ] {
+            let mut b = kind.bottom();
+            let before = b.clone();
+            assert!(!kind.merge(&mut b, before.clone()).unwrap());
+            assert_eq!(b, before);
+        }
+    }
+
+    #[test]
+    fn set_merge_accepts_singletons() {
+        let mut s = Value::empty_set();
+        assert!(LatticeKind::SetUnion.merge(&mut s, Value::Int(3)).unwrap());
+        assert!(!LatticeKind::SetUnion.merge(&mut s, Value::Int(3)).unwrap());
+        assert_eq!(s, Value::set_of([Value::Int(3)]));
+    }
+
+    #[test]
+    fn lww_bigger_stamp_wins() {
+        let mut r = LatticeKind::Lww.bottom();
+        let w1 = Value::tuple([Value::Int(5), Value::Int(1), Value::from("a")]);
+        let w2 = Value::tuple([Value::Int(5), Value::Int(2), Value::from("b")]);
+        LatticeKind::Lww.merge(&mut r, w1).unwrap();
+        LatticeKind::Lww.merge(&mut r, w2).unwrap();
+        assert_eq!(LatticeKind::Lww.read(&r), Value::from("b"));
+    }
+
+    #[test]
+    fn gcounter_reads_as_sum() {
+        let mut c = LatticeKind::GCounter.bottom();
+        let delta = Value::Map(
+            [("1".to_string(), Value::Int(4)), ("2".to_string(), Value::Int(2))]
+                .into_iter()
+                .collect(),
+        );
+        LatticeKind::GCounter.merge(&mut c, delta.clone()).unwrap();
+        LatticeKind::GCounter.merge(&mut c, delta).unwrap(); // redelivery
+        assert_eq!(LatticeKind::GCounter.read(&c), Value::Int(6));
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        let mut b = Value::Bool(false);
+        let err = LatticeKind::MaxInt.merge(&mut b, Value::Int(1));
+        assert!(err.is_err());
+    }
+
+    fn arb_set() -> impl Strategy<Value = Value> {
+        proptest::collection::btree_set(0i64..20, 0..8)
+            .prop_map(|s| Value::Set(s.into_iter().map(Value::Int).collect()))
+    }
+
+    proptest! {
+        #[test]
+        fn dynamic_set_lattice_is_aci(a in arb_set(), b in arb_set(), c in arb_set()) {
+            let k = LatticeKind::SetUnion;
+            // associativity & commutativity via both groupings
+            let mut ab_c = a.clone();
+            k.merge(&mut ab_c, b.clone()).unwrap();
+            k.merge(&mut ab_c, c.clone()).unwrap();
+            let mut bc = b.clone();
+            k.merge(&mut bc, c.clone()).unwrap();
+            let mut a_bc = a.clone();
+            k.merge(&mut a_bc, bc).unwrap();
+            prop_assert_eq!(&ab_c, &a_bc);
+            // idempotence
+            let mut aa = a.clone();
+            prop_assert!(!k.merge(&mut aa, a.clone()).unwrap());
+            prop_assert_eq!(&aa, &a);
+        }
+
+        #[test]
+        fn dynamic_maxint_is_aci(a in any::<i32>(), b in any::<i32>(), c in any::<i32>()) {
+            let k = LatticeKind::MaxInt;
+            let (a, b, c) = (Value::Int(a.into()), Value::Int(b.into()), Value::Int(c.into()));
+            let mut x = a.clone();
+            k.merge(&mut x, b.clone()).unwrap();
+            k.merge(&mut x, c.clone()).unwrap();
+            let mut y = b;
+            k.merge(&mut y, c).unwrap();
+            k.merge(&mut y, a).unwrap();
+            prop_assert_eq!(x, y);
+        }
+    }
+}

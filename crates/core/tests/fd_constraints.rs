@@ -1,0 +1,199 @@
+//! Functional-dependency constraints (§5: "relational constraints, such as
+//! functional dependencies").
+//!
+//! Enforcement strength follows the consistency facet: transactional
+//! handlers (those carrying invariants) treat a declared FD as a
+//! postcondition and roll back on violation; eventually-consistent
+//! handlers get end-of-tick *detection* — the violation is committed but
+//! surfaced as a tick warning. These tests pin both behaviours plus the
+//! pure violation-finding logic and the interaction with keyed upserts.
+
+use hydro_core::builder::dsl::*;
+use hydro_core::builder::ProgramBuilder;
+use hydro_core::facets::{ConsistencyReq, Invariant};
+use hydro_core::interp::Transducer;
+use hydro_core::Value;
+use proptest::prelude::*;
+
+fn ints(row: &[i64]) -> Vec<Value> {
+    row.iter().map(|x| Value::Int(*x)).collect()
+}
+
+/// employees(id, dept, region) with dept -> region.
+fn emp_program(strict: bool) -> hydro_core::ast::Program {
+    let b = ProgramBuilder::new()
+        .table(
+            "emp",
+            vec![("id", atom()), ("dept", atom()), ("region", atom())],
+            &["id"],
+            None,
+        )
+        .fd("emp", &["dept"], &["region"])
+        .var("guard", Value::Int(0));
+    let body = vec![
+        insert("emp", vec![v("id"), v("dept"), v("region")]),
+        ret(Expr::Const(Value::ok())),
+    ];
+    if strict {
+        // Any invariant makes the handler transactional; `guard >= 0`
+        // always holds, so the only postcondition that can fail is the FD.
+        b.on_with(
+            "hire",
+            &["id", "dept", "region"],
+            body,
+            Some(ConsistencyReq::serializable(vec![Invariant::NonNegative(
+                "guard".into(),
+            )])),
+        )
+        .build()
+    } else {
+        b.on("hire", &["id", "dept", "region"], body).build()
+    }
+}
+
+use hydro_core::ast::Expr;
+
+#[test]
+fn fd_violation_finds_the_offending_pair() {
+    let program = emp_program(false);
+    let decl = program.table("emp").unwrap();
+    let fd = &decl.fds[0];
+    let rows: Vec<Vec<Value>> = vec![ints(&[1, 10, 100]), ints(&[2, 20, 200]), ints(&[3, 10, 999])];
+    let hit = decl
+        .fd_violation(fd, rows.iter().map(|r| r.as_slice()))
+        .expect("rows 1 and 3 disagree on region for dept 10");
+    assert_eq!(hit.0, ints(&[1, 10, 100]));
+    assert_eq!(hit.1, ints(&[3, 10, 999]));
+
+    let ok_rows: Vec<Vec<Value>> = vec![ints(&[1, 10, 100]), ints(&[3, 10, 100])];
+    assert!(decl
+        .fd_violation(fd, ok_rows.iter().map(|r| r.as_slice()))
+        .is_none());
+}
+
+#[test]
+fn fd_display_uses_column_names() {
+    let program = emp_program(false);
+    let decl = program.table("emp").unwrap();
+    assert_eq!(decl.fd_display(&decl.fds[0]), "dept -> region");
+}
+
+#[test]
+fn eventual_handler_detects_violations_as_warnings() {
+    let mut app = Transducer::new(emp_program(false)).unwrap();
+    app.enqueue_ok("hire", vec![Value::Int(1), Value::Int(10), Value::Int(100)]);
+    let out = app.tick().unwrap();
+    assert!(out.warnings.is_empty());
+
+    // Same dept, different region: committed (eventual), but flagged.
+    app.enqueue_ok("hire", vec![Value::Int(2), Value::Int(10), Value::Int(999)]);
+    let out = app.tick().unwrap();
+    assert_eq!(app.table_len("emp"), 2, "eventual writes still commit");
+    assert_eq!(out.warnings.len(), 1);
+    assert!(out.warnings[0].contains("functional dependency"), "{}", out.warnings[0]);
+    assert!(out.warnings[0].contains("dept -> region"), "{}", out.warnings[0]);
+}
+
+#[test]
+fn transactional_handler_rolls_back_fd_violations() {
+    let mut app = Transducer::new(emp_program(true)).unwrap();
+    app.enqueue_ok("hire", vec![Value::Int(1), Value::Int(10), Value::Int(100)]);
+    let out = app.tick().unwrap();
+    assert!(out.warnings.is_empty());
+    assert_eq!(app.table_len("emp"), 1);
+
+    app.enqueue_ok("hire", vec![Value::Int(2), Value::Int(10), Value::Int(999)]);
+    let out = app.tick().unwrap();
+    assert_eq!(app.table_len("emp"), 1, "violating insert must roll back");
+    assert_eq!(out.responses[0].value, Value::Str("ABORT".into()));
+    // Post-rollback state satisfies the FD, so no end-of-tick warning.
+    assert!(
+        out.warnings.iter().any(|w| w.contains("rolled back")),
+        "{:?}",
+        out.warnings
+    );
+    assert!(
+        !out.warnings.iter().any(|w| w.contains("functional dependency")),
+        "{:?}",
+        out.warnings
+    );
+}
+
+#[test]
+fn consistent_writes_raise_no_warnings_in_either_mode() {
+    for strict in [false, true] {
+        let mut app = Transducer::new(emp_program(strict)).unwrap();
+        for (id, dept, region) in [(1, 10, 100), (2, 10, 100), (3, 20, 200)] {
+            app.enqueue_ok(
+                "hire",
+                vec![Value::Int(id), Value::Int(dept), Value::Int(region)],
+            );
+        }
+        let out = app.tick().unwrap();
+        assert!(out.warnings.is_empty(), "strict={strict}: {:?}", out.warnings);
+        assert_eq!(app.table_len("emp"), 3);
+    }
+}
+
+#[test]
+fn two_handlers_jointly_violating_are_detected() {
+    // Each tick-deferred group alone is FD-consistent; together they
+    // violate. The end-of-tick sweep catches the composition.
+    let program = ProgramBuilder::new()
+        .table(
+            "emp",
+            vec![("id", atom()), ("dept", atom()), ("region", atom())],
+            &["id"],
+            None,
+        )
+        .fd("emp", &["dept"], &["region"])
+        .on(
+            "hire_us",
+            &["id", "dept"],
+            vec![insert("emp", vec![v("id"), v("dept"), i(100)])],
+        )
+        .on(
+            "hire_eu",
+            &["id", "dept"],
+            vec![insert("emp", vec![v("id"), v("dept"), i(200)])],
+        )
+        .build();
+    let mut app = Transducer::new(program).unwrap();
+    app.enqueue_ok("hire_us", vec![Value::Int(1), Value::Int(10)]);
+    app.enqueue_ok("hire_eu", vec![Value::Int(2), Value::Int(10)]);
+    let out = app.tick().unwrap();
+    assert_eq!(out.warnings.len(), 1, "{:?}", out.warnings);
+    assert!(out.warnings[0].contains("dept -> region"));
+}
+
+proptest! {
+    /// An FD whose determinant contains the whole key can never be
+    /// violated: keyed inserts are upserts, so at most one row exists per
+    /// determinant value.
+    #[test]
+    fn key_determined_fds_hold_by_construction(
+        writes in proptest::collection::vec((0i64..8, 0i64..8, 0i64..8), 0..40)
+    ) {
+        let program = ProgramBuilder::new()
+            .table(
+                "t",
+                vec![("k", atom()), ("a", atom()), ("b", atom())],
+                &["k"],
+                None,
+            )
+            .fd("t", &["k"], &["a", "b"])
+            .on("put", &["k", "a", "b"], vec![
+                insert("t", vec![v("k"), v("a"), v("b")]),
+            ])
+            .build();
+        let mut app = Transducer::new(program).unwrap();
+        for (k, a, b) in writes {
+            app.enqueue_ok("put", ints(&[k, a, b]));
+            let out = app.tick().unwrap();
+            prop_assert!(
+                out.warnings.iter().all(|w| !w.contains("functional dependency")),
+                "{:?}", out.warnings
+            );
+        }
+    }
+}

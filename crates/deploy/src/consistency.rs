@@ -1,0 +1,266 @@
+//! Client-centric consistency checking (§1.2, §7.2).
+//!
+//! The paper leans on the authors' client-centric consistency work: specify
+//! guarantees by *what a calling client could observe*, not by low-level
+//! histories. This module implements observational checkers over recorded
+//! operation histories:
+//!
+//! * [`read_your_writes`] — a client's reads reflect its own completed
+//!   writes;
+//! * [`monotonic_reads`] — a client's successive reads never go back in
+//!   time;
+//! * [`linearizable`] — there exists a total order of operations,
+//!   consistent with real-time precedence, under which every read returns
+//!   the latest preceding write (Wing–Gong style search, exact for the
+//!   small histories our simulations produce).
+//!
+//! The deploy tests and experiment E2 use these to demonstrate the paper's
+//! point: monotone endpoints give convergence (eventual) without
+//! coordination, and the stronger checkers only pass once the sequencer is
+//! interposed.
+
+use rustc_hash::FxHashSet;
+
+/// One operation observed at a client.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Op {
+    /// Issuing client.
+    pub client: u64,
+    /// Invocation time.
+    pub invoke: u64,
+    /// Completion time (must be ≥ invoke).
+    pub complete: u64,
+    /// The operation.
+    pub kind: OpKind,
+}
+
+/// Register operations over a single key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// Write a value.
+    Put(i64),
+    /// Read, observing a value (`None` = initial/unset).
+    Get(Option<i64>),
+}
+
+/// Check read-your-writes: every read by a client returns either the
+/// client's most recent completed write, or some write that is *newer in
+/// that client's view* (i.e. not an older value than its own last write).
+/// Writes are assumed distinct-valued, as our generators guarantee.
+pub fn read_your_writes(history: &[Op]) -> bool {
+    let mut clients: FxHashSet<u64> = FxHashSet::default();
+    for op in history {
+        clients.insert(op.client);
+    }
+    for c in clients {
+        let mut ops: Vec<&Op> = history.iter().filter(|o| o.client == c).collect();
+        ops.sort_by_key(|o| o.invoke);
+        let mut last_write: Option<i64> = None;
+        let mut writes_seen: Vec<i64> = Vec::new();
+        for op in ops {
+            match op.kind {
+                OpKind::Put(v) => {
+                    last_write = Some(v);
+                    writes_seen.push(v);
+                }
+                OpKind::Get(observed) => {
+                    if let Some(lw) = last_write {
+                        match observed {
+                            // Reading one's own last write is fine; reading
+                            // an *earlier* own write is a violation.
+                            Some(v) => {
+                                if v != lw && writes_seen.contains(&v) {
+                                    return false;
+                                }
+                            }
+                            None => return false, // lost its own write
+                        }
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Check monotonic reads: per client, once a value with a higher version
+/// is observed, older values never reappear. Versions are the written
+/// values themselves, which our generators make monotonically increasing
+/// per key.
+pub fn monotonic_reads(history: &[Op]) -> bool {
+    let mut clients: FxHashSet<u64> = FxHashSet::default();
+    for op in history {
+        clients.insert(op.client);
+    }
+    for c in clients {
+        let mut reads: Vec<(u64, Option<i64>)> = history
+            .iter()
+            .filter(|o| o.client == c)
+            .filter_map(|o| match o.kind {
+                OpKind::Get(v) => Some((o.invoke, v)),
+                OpKind::Put(_) => None,
+            })
+            .collect();
+        reads.sort_by_key(|(t, _)| *t);
+        let mut high: Option<i64> = None;
+        for (_, v) in reads {
+            match (high, v) {
+                (Some(h), Some(x)) if x < h => return false,
+                (Some(_), None) => return false,
+                (_, Some(x)) => high = Some(x),
+                _ => {}
+            }
+        }
+    }
+    true
+}
+
+/// Exact linearizability check for a single register (Wing–Gong search
+/// with memoization). Exponential worst case; intended for the ≤ ~20-op
+/// histories the simulator experiments record.
+pub fn linearizable(history: &[Op]) -> bool {
+    let n = history.len();
+    assert!(n <= 62, "history too large for the exact checker");
+    let mut seen: FxHashSet<(u64, i64)> = FxHashSet::default();
+    // Register starts unset, encoded as i64::MIN.
+    search(history, 0u64, i64::MIN, &mut seen)
+}
+
+fn search(history: &[Op], taken: u64, reg: i64, seen: &mut FxHashSet<(u64, i64)>) -> bool {
+    let n = history.len();
+    if taken.count_ones() as usize == n {
+        return true;
+    }
+    if !seen.insert((taken, reg)) {
+        return false;
+    }
+    // An op may be linearized next only if no *untaken* op completed
+    // before it was invoked (real-time order would be violated).
+    let min_complete = history
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| taken & (1 << i) == 0)
+        .map(|(_, o)| o.complete)
+        .min()
+        .unwrap_or(u64::MAX);
+    for (i, op) in history.iter().enumerate() {
+        if taken & (1 << i) != 0 {
+            continue;
+        }
+        if op.invoke > min_complete {
+            continue;
+        }
+        match op.kind {
+            OpKind::Put(v) => {
+                if search(history, taken | (1 << i), v, seen) {
+                    return true;
+                }
+            }
+            OpKind::Get(observed) => {
+                let matches = match observed {
+                    None => reg == i64::MIN,
+                    Some(v) => reg == v,
+                };
+                if matches && search(history, taken | (1 << i), reg, seen) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn put(client: u64, t0: u64, t1: u64, v: i64) -> Op {
+        Op {
+            client,
+            invoke: t0,
+            complete: t1,
+            kind: OpKind::Put(v),
+        }
+    }
+
+    fn get(client: u64, t0: u64, t1: u64, v: Option<i64>) -> Op {
+        Op {
+            client,
+            invoke: t0,
+            complete: t1,
+            kind: OpKind::Get(v),
+        }
+    }
+
+    #[test]
+    fn sequential_history_is_linearizable() {
+        let h = vec![
+            put(1, 0, 10, 1),
+            get(2, 20, 30, Some(1)),
+            put(1, 40, 50, 2),
+            get(2, 60, 70, Some(2)),
+        ];
+        assert!(linearizable(&h));
+        assert!(read_your_writes(&h));
+        assert!(monotonic_reads(&h));
+    }
+
+    #[test]
+    fn stale_read_after_completion_is_not_linearizable() {
+        // Write of 2 completes at t=50; a read invoked at t=60 returning
+        // the old value 1 violates real-time order.
+        let h = vec![
+            put(1, 0, 10, 1),
+            put(1, 40, 50, 2),
+            get(2, 60, 70, Some(1)),
+        ];
+        assert!(!linearizable(&h));
+    }
+
+    #[test]
+    fn concurrent_reads_may_split() {
+        // A read overlapping the write may see either value.
+        let h_old = vec![put(1, 0, 100, 7), get(2, 10, 20, None)];
+        let h_new = vec![put(1, 0, 100, 7), get(2, 10, 20, Some(7))];
+        assert!(linearizable(&h_old));
+        assert!(linearizable(&h_new));
+    }
+
+    #[test]
+    fn ryw_violation_detected() {
+        let h = vec![
+            put(1, 0, 10, 1),
+            put(1, 20, 30, 2),
+            get(1, 40, 50, Some(1)), // reads its own older write
+        ];
+        assert!(!read_your_writes(&h));
+        assert!(!linearizable(&h));
+    }
+
+    #[test]
+    fn monotonic_reads_violation_detected() {
+        let h = vec![
+            get(2, 0, 5, Some(3)),
+            get(2, 10, 15, Some(1)), // goes back in time
+        ];
+        assert!(!monotonic_reads(&h));
+    }
+
+    #[test]
+    fn lost_write_detected() {
+        let h = vec![put(1, 0, 10, 5), get(1, 20, 30, None)];
+        assert!(!read_your_writes(&h));
+        assert!(!linearizable(&h));
+    }
+
+    #[test]
+    fn interleaved_clients_linearize_when_consistent() {
+        let h = vec![
+            put(1, 0, 10, 1),
+            put(2, 5, 15, 2),
+            get(1, 20, 30, Some(2)),
+            get(2, 20, 30, Some(2)),
+        ];
+        assert!(linearizable(&h));
+    }
+}

@@ -1,0 +1,351 @@
+//! Deployment synthesis from the availability + consistency facets.
+//!
+//! Given a HydroLogic program, [`deploy`] synthesizes the §6.1 pattern: the
+//! endpoint is replicated `f+1` times across distinct failure domains
+//! (AZs), fronted by a load-balancing proxy that fans each request to every
+//! replica and returns the first reply. Handlers whose consistency facet
+//! demands serializability are additionally routed through a total-order
+//! sequencer (the §7.2 "heavyweight" mechanism), while CALM-monotone
+//! handlers go straight to the replicas coordination-free — the same
+//! program, two wire protocols, chosen per-endpoint by analysis.
+
+use crate::node::{
+    ledger, NetMsg, ProxyLedger, ProxyNode, SequencerNode, TransducerHandle, TransducerNode,
+    TICK_TIMER,
+};
+use hydro_analysis::classify;
+use hydro_core::ast::Program;
+use hydro_core::eval::Row;
+use hydro_core::facets::ConsistencyLevel;
+use hydro_core::interp::Transducer;
+use hydro_core::Value;
+use hydro_net::{DomainPath, LinkModel, NodeId, Sim, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Deployment knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct DeployConfig {
+    /// Network model.
+    pub link: LinkModel,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Transducer tick period (µs of virtual time).
+    pub tick_every_us: SimTime,
+    /// Force coordination (sequencer) for *all* handlers — the
+    /// "conservative baseline" arm of experiments E2/E10.
+    pub coordinate_everything: bool,
+}
+
+impl Default for DeployConfig {
+    fn default() -> Self {
+        DeployConfig {
+            link: LinkModel::default(),
+            seed: 0,
+            tick_every_us: 1_000,
+            coordinate_everything: false,
+        }
+    }
+}
+
+/// A running deployment of one HydroLogic program.
+pub struct Deployment {
+    /// The simulated cluster.
+    pub sim: Sim<NetMsg>,
+    /// The client-facing proxy node.
+    pub proxy: NodeId,
+    /// Replica nodes (one per failure domain).
+    pub replicas: Vec<NodeId>,
+    /// The sequencer node, when any handler needs total order.
+    pub sequencer: Option<NodeId>,
+    /// Handles to replica transducers (state inspection).
+    pub replica_handles: Vec<TransducerHandle>,
+    /// Handles to replica external sends.
+    pub external_handles: Vec<Rc<RefCell<Vec<(String, Row)>>>>,
+    /// Proxy request ledger.
+    pub ledger: ProxyLedger,
+    next_request: u64,
+    /// Handler names routed through the sequencer.
+    pub serialized_handlers: Vec<String>,
+}
+
+/// Build and start a deployment of `program`.
+///
+/// Replication factor = `max(f)+1` over the availability facet; placement
+/// is one replica per AZ so the tolerated failures are independent.
+/// Serializable handlers (or all handlers, under
+/// [`DeployConfig::coordinate_everything`]) are routed via a sequencer.
+/// `register_udfs` is called once per replica to bind UDF implementations.
+pub fn deploy(
+    program: &Program,
+    config: DeployConfig,
+    register_udfs: impl Fn(&mut Transducer),
+) -> Deployment {
+    let mut sim = Sim::new(config.link, config.seed);
+
+    let f = program
+        .handlers
+        .iter()
+        .map(|h| program.availability.for_handler(&h.name).failures)
+        .max()
+        .unwrap_or(0);
+    let replica_count = f + 1;
+
+    let serialized_handlers: Vec<String> = if config.coordinate_everything {
+        program.handlers.iter().map(|h| h.name.clone()).collect()
+    } else {
+        // The consistency facet names them; the CALM report agrees (its
+        // coordinated() set) — both views are available, the facet wins.
+        let calm = classify(program);
+        program
+            .handlers
+            .iter()
+            .filter(|h| {
+                program.consistency_of(&h.name).level >= ConsistencyLevel::Serializable
+                    || !program.consistency_of(&h.name).invariants.is_empty()
+            })
+            .map(|h| h.name.clone())
+            .chain(
+                // Also surface what analysis says needs coordination, for
+                // diagnostics; routing still follows declarations.
+                calm.coordinated().filter_map(|_| None),
+            )
+            .collect()
+    };
+
+    let mut replicas = Vec::new();
+    let mut replica_handles = Vec::new();
+    let mut external_handles = Vec::new();
+    for az in 0..replica_count {
+        let mut t = Transducer::new(program.clone()).expect("program validated");
+        register_udfs(&mut t);
+        let node = TransducerNode::new(Rc::new(RefCell::new(t)), config.tick_every_us);
+        replica_handles.push(node.handle());
+        external_handles.push(node.external_handle());
+        let id = sim.add_node(node, DomainPath::new(az, 0, 0));
+        replicas.push(id);
+    }
+
+    // The proxy is *client-side* infrastructure (§6.1: "a load-balancing
+    // client proxy module") and the sequencer is coordination
+    // infrastructure; neither belongs to the service's replica failure
+    // domains, so they live in a reserved AZ that the availability
+    // experiments never kill. (Making the sequencer itself fault-tolerant
+    // needs consensus — exactly the §7.2 "heavyweight" cost.)
+    const INFRA_AZ: u32 = u32::MAX;
+    let sequencer = if serialized_handlers.is_empty() {
+        None
+    } else {
+        Some(sim.add_node(
+            SequencerNode::new(replicas.clone()),
+            DomainPath::new(INFRA_AZ, 1, 0),
+        ))
+    };
+
+    let mut proxy_node = ProxyNode::new(replicas.clone());
+    if let Some(seq) = sequencer {
+        proxy_node = proxy_node.with_sequencer(seq, serialized_handlers.clone());
+    }
+    let ledger = proxy_node.ledger();
+    let proxy = sim.add_node(proxy_node, DomainPath::new(INFRA_AZ, 2, 0));
+
+    // Start the tick loops.
+    for &r in &replicas {
+        sim.start_timer(r, TICK_TIMER, config.tick_every_us);
+    }
+
+    Deployment {
+        sim,
+        proxy,
+        replicas,
+        sequencer,
+        replica_handles,
+        external_handles,
+        ledger,
+        next_request: 0,
+        serialized_handlers,
+    }
+}
+
+impl Deployment {
+    /// Submit a client request; returns its request id.
+    pub fn client_request(&mut self, mailbox: &str, row: Row) -> u64 {
+        let request_id = self.next_request;
+        self.next_request += 1;
+        self.sim.send_external(
+            self.proxy,
+            NetMsg::Request {
+                request_id,
+                mailbox: mailbox.to_string(),
+                row,
+                reply_to: self.proxy,
+            },
+        );
+        request_id
+    }
+
+    /// Advance virtual time.
+    pub fn run_for(&mut self, duration_us: SimTime) {
+        let deadline = self.sim.now() + duration_us;
+        self.sim.run_until(deadline);
+    }
+
+    /// Requests answered so far.
+    pub fn answered(&self) -> usize {
+        ledger::answered(&self.ledger)
+    }
+
+    /// Requests submitted so far.
+    pub fn submitted(&self) -> usize {
+        self.next_request as usize
+    }
+
+    /// Reply value for a request.
+    pub fn reply(&self, request_id: u64) -> Option<Value> {
+        ledger::reply(&self.ledger, request_id)
+    }
+
+    /// Sorted request latencies (µs).
+    pub fn latencies_us(&self) -> Vec<u64> {
+        ledger::latencies_us(&self.ledger)
+    }
+
+    /// Latency (µs) of a specific answered request.
+    pub fn latency_of(&self, request_id: u64) -> Option<u64> {
+        ledger::latency_of(&self.ledger, request_id)
+    }
+
+    /// Median request latency (µs), if any requests completed.
+    pub fn median_latency_us(&self) -> Option<u64> {
+        let l = self.latencies_us();
+        if l.is_empty() {
+            None
+        } else {
+            Some(l[l.len() / 2])
+        }
+    }
+
+    /// Whether every live replica has identical state — the convergence
+    /// check behind experiments E2/E3.
+    pub fn replicas_converged(&self) -> bool {
+        let live: Vec<&TransducerHandle> = self
+            .replicas
+            .iter()
+            .zip(&self.replica_handles)
+            .filter(|(id, _)| self.sim.is_alive(**id))
+            .map(|(_, h)| h)
+            .collect();
+        live.windows(2)
+            .all(|w| w[0].borrow().state() == w[1].borrow().state())
+    }
+
+    /// External sends (e.g. `alert`s) collected from all replicas, deduped.
+    pub fn external_sends(&self) -> Vec<(String, Row)> {
+        let mut all: Vec<(String, Row)> = Vec::new();
+        for h in &self.external_handles {
+            for item in h.borrow().iter() {
+                if !all.contains(item) {
+                    all.push(item.clone());
+                }
+            }
+        }
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydro_core::examples::{covid_program, covid_program_with_vaccines};
+
+    fn int(v: i64) -> Value {
+        Value::Int(v)
+    }
+
+    #[test]
+    fn deployed_covid_serves_requests_and_converges() {
+        let mut d = deploy(&covid_program(), DeployConfig::default(), |_| {});
+        assert_eq!(d.replicas.len(), 3); // f=2 ⇒ 3 replicas
+        for pid in 1..=4 {
+            d.client_request("add_person", vec![int(pid)]);
+        }
+        d.run_for(50_000);
+        d.client_request("add_contact", vec![int(1), int(2)]);
+        d.client_request("add_contact", vec![int(2), int(3)]);
+        d.run_for(50_000);
+        assert_eq!(d.answered(), 6);
+        assert!(d.replicas_converged());
+        // Every replica has all four people.
+        for h in &d.replica_handles {
+            assert_eq!(h.borrow().table_len("people"), 4);
+        }
+    }
+
+    #[test]
+    fn alerts_surface_as_external_sends() {
+        let mut d = deploy(&covid_program(), DeployConfig::default(), |_| {});
+        for pid in 1..=3 {
+            d.client_request("add_person", vec![int(pid)]);
+        }
+        d.run_for(30_000);
+        d.client_request("add_contact", vec![int(1), int(2)]);
+        d.run_for(30_000);
+        d.client_request("diagnosed", vec![int(1)]);
+        d.run_for(30_000);
+        let alerts = d.external_sends();
+        assert!(alerts.iter().any(|(m, row)| m == "alert" && row[0] == int(2)));
+    }
+
+    #[test]
+    fn f_failures_tolerated_for_monotone_endpoints() {
+        let mut d = deploy(&covid_program(), DeployConfig::default(), |_| {});
+        d.client_request("add_person", vec![int(1)]);
+        d.run_for(30_000);
+        // Kill 2 of the 3 AZs — the declared tolerance (f = 2).
+        d.sim.kill_az(1);
+        d.sim.kill_az(2);
+        d.client_request("add_person", vec![int(2)]);
+        d.client_request("trace", vec![int(1)]);
+        d.run_for(50_000);
+        assert_eq!(d.answered(), 3, "all requests answered despite 2 AZ failures");
+    }
+
+    #[test]
+    fn serializable_vaccinate_agrees_across_replicas() {
+        // Inventory of ONE dose, two concurrent vaccinations: with the
+        // sequencer, every replica picks the same winner; exactly one OK.
+        let program = covid_program_with_vaccines(1);
+        let mut d = deploy(&program, DeployConfig::default(), |_| {});
+        assert!(d.sequencer.is_some());
+        d.client_request("add_person", vec![int(1)]);
+        d.client_request("add_person", vec![int(2)]);
+        d.run_for(50_000);
+        let r1 = d.client_request("vaccinate", vec![int(1)]);
+        let r2 = d.client_request("vaccinate", vec![int(2)]);
+        d.run_for(100_000);
+        assert!(d.replicas_converged(), "sequenced replicas must agree");
+        let oks = [r1, r2]
+            .iter()
+            .filter(|r| d.reply(**r) == Some(Value::ok()))
+            .count();
+        assert_eq!(oks, 1, "exactly one dose handed out");
+        for h in &d.replica_handles {
+            assert_eq!(h.borrow().scalar("vaccine_count"), Some(&Value::Int(0)));
+        }
+    }
+
+    #[test]
+    fn coordinate_everything_baseline_still_correct_but_single_ordered() {
+        let cfg = DeployConfig {
+            coordinate_everything: true,
+            ..DeployConfig::default()
+        };
+        let mut d = deploy(&covid_program(), cfg, |_| {});
+        assert_eq!(d.serialized_handlers.len(), 6);
+        d.client_request("add_person", vec![int(1)]);
+        d.client_request("add_person", vec![int(2)]);
+        d.run_for(60_000);
+        assert_eq!(d.answered(), 2);
+        assert!(d.replicas_converged());
+    }
+}

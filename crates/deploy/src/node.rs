@@ -1,0 +1,433 @@
+//! Deployed transducers: HydroLogic nodes on the simulated network.
+//!
+//! A [`TransducerNode`] wraps a `hydro_core::Transducer` as a
+//! `hydro_net::NodeLogic`: inbound requests land in mailboxes, a periodic
+//! timer drives the tick loop, responses flow back to the requester, and
+//! asynchronous sends are routed by a placement map — or surface as
+//! external outputs (e.g. the COVID app's `alert`s). This realizes §3.1's
+//! contract that *sends capture unbounded network delay*: delivery times
+//! come from the simulator's latency model, not the program.
+
+use hydro_core::eval::Row;
+use hydro_core::interp::Transducer;
+use hydro_core::Value;
+use hydro_net::{Ctx, NodeId, NodeLogic};
+use rustc_hash::FxHashMap;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Shared handle to a deployed transducer, for state inspection between
+/// simulator events (single-threaded, so `Rc<RefCell>` suffices).
+pub type TransducerHandle = Rc<RefCell<Transducer>>;
+
+/// Shared view of a proxy's request ledger.
+pub type ProxyLedger = Rc<RefCell<FxHashMap<u64, (u64, Option<(u64, Value)>)>>>;
+
+/// The wire message type shared by all deployed Hydro protocols.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NetMsg {
+    /// A client/proxy request into a handler mailbox, expecting a reply.
+    Request {
+        /// Correlates the eventual [`NetMsg::Reply`].
+        request_id: u64,
+        /// Destination mailbox (handler name).
+        mailbox: String,
+        /// Payload row.
+        row: Row,
+        /// Where the reply should go.
+        reply_to: NodeId,
+    },
+    /// A handler's reply to a request.
+    Reply {
+        /// The request being answered.
+        request_id: u64,
+        /// Which node answered (proxies dedup by request, keep first).
+        replica: NodeId,
+        /// Reply payload.
+        value: Value,
+    },
+    /// A routed asynchronous send (no reply expected).
+    Forward {
+        /// Destination mailbox.
+        mailbox: String,
+        /// Payload row.
+        row: Row,
+    },
+    /// Submit an operation to a sequencer for total ordering.
+    SeqSubmit {
+        /// Request id for the eventual reply.
+        request_id: u64,
+        /// Destination mailbox.
+        mailbox: String,
+        /// Payload row.
+        row: Row,
+        /// Final reply destination.
+        reply_to: NodeId,
+    },
+    /// A sequenced operation broadcast to replicas in a fixed order.
+    SeqOrder {
+        /// Position in the total order.
+        seq_no: u64,
+        /// Request id.
+        request_id: u64,
+        /// Destination mailbox.
+        mailbox: String,
+        /// Payload row.
+        row: Row,
+        /// Reply destination.
+        reply_to: NodeId,
+    },
+    /// Two-phase commit: coordinator asks a participant to prepare.
+    Prepare {
+        /// Transaction id.
+        txid: u64,
+        /// Operation payload the participant will apply on commit.
+        mailbox: String,
+        /// Payload row.
+        row: Row,
+    },
+    /// Participant's vote.
+    Vote {
+        /// Transaction id.
+        txid: u64,
+        /// Yes/no.
+        commit: bool,
+    },
+    /// Coordinator's decision.
+    Decide {
+        /// Transaction id.
+        txid: u64,
+        /// Commit or abort.
+        commit: bool,
+    },
+    /// 2PC participant acknowledgment of a decision.
+    Ack {
+        /// Transaction id.
+        txid: u64,
+    },
+}
+
+/// Timer id used for the transducer tick loop.
+pub const TICK_TIMER: u64 = 1;
+
+/// A transducer hosted on a simulated node.
+pub struct TransducerNode {
+    transducer: TransducerHandle,
+    /// Mailbox name → nodes hosting it (for routing async sends).
+    placement: FxHashMap<String, Vec<NodeId>>,
+    /// Sends to mailboxes not in the placement map (external endpoints).
+    external: Rc<RefCell<Vec<(String, Row)>>>,
+    /// Pending replies: message id → (request id, reply node).
+    pending: FxHashMap<u64, (u64, NodeId)>,
+    /// Sequencer ordering state: next sequence number expected.
+    next_seq: u64,
+    /// Out-of-order sequenced operations buffered until their turn.
+    seq_buffer: FxHashMap<u64, (u64, String, Row, NodeId)>,
+    tick_every_us: u64,
+    /// Count of ticks executed.
+    pub ticks: u64,
+}
+
+impl TransducerNode {
+    /// Host `transducer`, ticking every `tick_every_us` of virtual time.
+    pub fn new(transducer: TransducerHandle, tick_every_us: u64) -> Self {
+        TransducerNode {
+            transducer,
+            placement: FxHashMap::default(),
+            external: Rc::new(RefCell::new(Vec::new())),
+            pending: FxHashMap::default(),
+            next_seq: 0,
+            seq_buffer: FxHashMap::default(),
+            tick_every_us,
+            ticks: 0,
+        }
+    }
+
+    /// Route async sends to `mailbox` toward `nodes`.
+    pub fn route(&mut self, mailbox: &str, nodes: Vec<NodeId>) {
+        self.placement.insert(mailbox.to_string(), nodes);
+    }
+
+    /// Shared handle to the wrapped transducer.
+    pub fn handle(&self) -> TransducerHandle {
+        Rc::clone(&self.transducer)
+    }
+
+    /// Shared handle to externally-addressed sends.
+    pub fn external_handle(&self) -> Rc<RefCell<Vec<(String, Row)>>> {
+        Rc::clone(&self.external)
+    }
+
+    fn enqueue_request(&mut self, request_id: u64, mailbox: &str, row: Row, reply_to: NodeId) {
+        if let Ok(msg_id) = self.transducer.borrow_mut().enqueue(mailbox, row) {
+            self.pending.insert(msg_id, (request_id, reply_to));
+        }
+    }
+
+    fn run_tick(&mut self, ctx: &mut Ctx<NetMsg>) {
+        let Ok(out) = self.transducer.borrow_mut().tick() else {
+            return;
+        };
+        self.ticks += 1;
+        for resp in out.responses {
+            if let Some((request_id, reply_to)) = self.pending.remove(&resp.message_id) {
+                ctx.send(
+                    reply_to,
+                    NetMsg::Reply {
+                        request_id,
+                        replica: ctx.self_id,
+                        value: resp.value,
+                    },
+                );
+            }
+        }
+        for send in out.sends {
+            // Response mailboxes were already answered above.
+            if send.mailbox.ends_with("@response") {
+                continue;
+            }
+            match self.placement.get(&send.mailbox) {
+                Some(nodes) => {
+                    for &n in nodes {
+                        ctx.send(
+                            n,
+                            NetMsg::Forward {
+                                mailbox: send.mailbox.clone(),
+                                row: send.row.clone(),
+                            },
+                        );
+                    }
+                }
+                None => self.external.borrow_mut().push((send.mailbox, send.row)),
+            }
+        }
+    }
+}
+
+impl NodeLogic<NetMsg> for TransducerNode {
+    fn on_message(&mut self, _ctx: &mut Ctx<NetMsg>, _src: NodeId, msg: NetMsg) {
+        match msg {
+            NetMsg::Request {
+                request_id,
+                mailbox,
+                row,
+                reply_to,
+            } => self.enqueue_request(request_id, &mailbox, row, reply_to),
+            NetMsg::Forward { mailbox, row } => {
+                let _ = self.transducer.borrow_mut().enqueue(&mailbox, row);
+            }
+            NetMsg::SeqOrder {
+                seq_no,
+                request_id,
+                mailbox,
+                row,
+                reply_to,
+            } => {
+                // Replicas apply sequenced operations strictly in order:
+                // buffer gaps, then drain.
+                self.seq_buffer
+                    .insert(seq_no, (request_id, mailbox, row, reply_to));
+                while let Some((rid, mb, r, rt)) = self.seq_buffer.remove(&self.next_seq) {
+                    self.enqueue_request(rid, &mb, r, rt);
+                    self.next_seq += 1;
+                }
+            }
+            // Transducer replicas ignore protocol traffic not meant for
+            // them; coordination roles live in dedicated node types.
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<NetMsg>, timer: u64) {
+        if timer == TICK_TIMER {
+            self.run_tick(ctx);
+            ctx.set_timer(self.tick_every_us, TICK_TIMER);
+        }
+    }
+}
+
+/// A client-facing load-balancing proxy (§6.1): forwards each request to
+/// `f+1` (here: all) replicas of the endpoint and "makes sure that a
+/// response gets to the client" — the first reply wins, duplicates are
+/// dropped.
+pub struct ProxyNode {
+    /// Replicas of the service, in placement order.
+    pub replicas: Vec<NodeId>,
+    /// Sequencer node for serializable handlers, if any.
+    pub sequencer: Option<NodeId>,
+    /// Handler names that must be routed through the sequencer.
+    pub serialized_handlers: Vec<String>,
+    /// request id → (submit time, first reply time+value). Shared with the
+    /// deployment for inspection.
+    completed: ProxyLedger,
+}
+
+impl ProxyNode {
+    /// A proxy over `replicas`.
+    pub fn new(replicas: Vec<NodeId>) -> Self {
+        ProxyNode {
+            replicas,
+            sequencer: None,
+            serialized_handlers: Vec::new(),
+            completed: Rc::new(RefCell::new(FxHashMap::default())),
+        }
+    }
+
+    /// Shared handle to the request ledger.
+    pub fn ledger(&self) -> ProxyLedger {
+        Rc::clone(&self.completed)
+    }
+
+    /// Route the named handlers through a sequencer node.
+    pub fn with_sequencer(mut self, sequencer: NodeId, handlers: Vec<String>) -> Self {
+        self.sequencer = Some(sequencer);
+        self.serialized_handlers = handlers;
+        self
+    }
+
+}
+
+impl NodeLogic<NetMsg> for ProxyNode {
+    fn on_message(&mut self, ctx: &mut Ctx<NetMsg>, _src: NodeId, msg: NetMsg) {
+        match msg {
+            // Clients inject `Request`s with ids of their choosing; the
+            // proxy records them and fans out (or serializes).
+            NetMsg::Request {
+                request_id,
+                mailbox,
+                row,
+                ..
+            } => {
+                self.completed
+                    .borrow_mut()
+                    .insert(request_id, (ctx.now, None));
+                if self.serialized_handlers.contains(&mailbox) {
+                    if let Some(seq) = self.sequencer {
+                        ctx.send(
+                            seq,
+                            NetMsg::SeqSubmit {
+                                request_id,
+                                mailbox,
+                                row,
+                                reply_to: ctx.self_id,
+                            },
+                        );
+                        return;
+                    }
+                }
+                for &r in &self.replicas {
+                    ctx.send(
+                        r,
+                        NetMsg::Request {
+                            request_id,
+                            mailbox: mailbox.clone(),
+                            row: row.clone(),
+                            reply_to: ctx.self_id,
+                        },
+                    );
+                }
+            }
+            NetMsg::Reply {
+                request_id, value, ..
+            } => {
+                if let Some((_, reply)) = self.completed.borrow_mut().get_mut(&request_id) {
+                    if reply.is_none() {
+                        *reply = Some((ctx.now, value));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Read-side helpers over a [`ProxyLedger`].
+pub mod ledger {
+    use super::*;
+
+    /// Number of requests answered.
+    pub fn answered(l: &ProxyLedger) -> usize {
+        l.borrow().values().filter(|(_, r)| r.is_some()).count()
+    }
+
+    /// Number of requests submitted.
+    pub fn submitted(l: &ProxyLedger) -> usize {
+        l.borrow().len()
+    }
+
+    /// Sorted latencies (µs) of answered requests.
+    pub fn latencies_us(l: &ProxyLedger) -> Vec<u64> {
+        let mut v: Vec<u64> = l
+            .borrow()
+            .values()
+            .filter_map(|(t0, r)| r.as_ref().map(|(t1, _)| t1.saturating_sub(*t0)))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Reply value for a request, if answered.
+    pub fn reply(l: &ProxyLedger, request_id: u64) -> Option<Value> {
+        l.borrow()
+            .get(&request_id)
+            .and_then(|(_, r)| r.as_ref().map(|(_, v)| v.clone()))
+    }
+
+    /// Latency (µs) of one answered request.
+    pub fn latency_of(l: &ProxyLedger, request_id: u64) -> Option<u64> {
+        l.borrow()
+            .get(&request_id)
+            .and_then(|(t0, r)| r.as_ref().map(|(t1, _)| t1.saturating_sub(*t0)))
+    }
+}
+
+/// A total-order sequencer (§7.2's "heavyweight" coordination mechanism,
+/// in its simplest form): stamps submissions with consecutive sequence
+/// numbers and broadcasts them to all replicas, which apply them in order.
+pub struct SequencerNode {
+    /// Replicas receiving the ordered stream.
+    pub replicas: Vec<NodeId>,
+    next_seq: u64,
+}
+
+impl SequencerNode {
+    /// A sequencer broadcasting to `replicas`.
+    pub fn new(replicas: Vec<NodeId>) -> Self {
+        SequencerNode {
+            replicas,
+            next_seq: 0,
+        }
+    }
+
+    /// Operations sequenced so far.
+    pub fn sequenced(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+impl NodeLogic<NetMsg> for SequencerNode {
+    fn on_message(&mut self, ctx: &mut Ctx<NetMsg>, _src: NodeId, msg: NetMsg) {
+        if let NetMsg::SeqSubmit {
+            request_id,
+            mailbox,
+            row,
+            reply_to,
+        } = msg
+        {
+            let seq_no = self.next_seq;
+            self.next_seq += 1;
+            for &r in &self.replicas {
+                ctx.send(
+                    r,
+                    NetMsg::SeqOrder {
+                        seq_no,
+                        request_id,
+                        mailbox: mailbox.clone(),
+                        row: row.clone(),
+                        reply_to,
+                    },
+                );
+            }
+        }
+    }
+}

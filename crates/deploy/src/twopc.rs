@@ -1,0 +1,386 @@
+//! Two-phase commit: the traditional coordination building block (§7.2).
+//!
+//! The paper's consistency facet lists "transaction protocols" among the
+//! heavyweight enforcement mechanisms a compiler may interpose. This is a
+//! small, generic 2PC over the simulated network: a coordinator collects
+//! votes from participants and broadcasts the decision; participants vote
+//! through a pluggable predicate and apply through a pluggable action.
+//! Experiments use it as the *coordinated baseline* against which
+//! coordination-free designs (sealing, CALM handlers) are measured —
+//! message counts and latency per transaction are the figures of merit.
+
+use crate::node::NetMsg;
+use hydro_core::eval::Row;
+use hydro_net::{Ctx, NodeId, NodeLogic};
+use rustc_hash::FxHashMap;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Outcome record of one transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TxOutcome {
+    /// Whether the transaction committed.
+    pub committed: bool,
+    /// Virtual time at decision.
+    pub decided_at: u64,
+}
+
+/// Shared ledger of transaction outcomes.
+pub type TxLedger = Rc<RefCell<FxHashMap<u64, TxOutcome>>>;
+
+struct TxState {
+    participants: Vec<NodeId>,
+    yes_votes: usize,
+    no_vote: bool,
+    decided: bool,
+    started_at: u64,
+}
+
+/// The 2PC coordinator.
+pub struct Coordinator {
+    transactions: FxHashMap<u64, TxState>,
+    outcomes: TxLedger,
+}
+
+impl Coordinator {
+    /// A fresh coordinator.
+    pub fn new() -> Self {
+        Coordinator {
+            transactions: FxHashMap::default(),
+            outcomes: Rc::new(RefCell::new(FxHashMap::default())),
+        }
+    }
+
+    /// Shared outcome ledger.
+    pub fn ledger(&self) -> TxLedger {
+        Rc::clone(&self.outcomes)
+    }
+
+    /// Begin transaction `txid`: ask every participant to prepare `op`.
+    /// Called from outside the simulator via a queued `Request` carrying
+    /// the op — see the coordinator driver in this module. Exposed for
+    /// direct drivers.
+    pub fn begin(
+        &mut self,
+        ctx: &mut Ctx<NetMsg>,
+        txid: u64,
+        participants: &[NodeId],
+        mailbox: &str,
+        row: Row,
+    ) {
+        self.transactions.insert(
+            txid,
+            TxState {
+                participants: participants.to_vec(),
+                yes_votes: 0,
+                no_vote: false,
+                decided: false,
+                started_at: ctx.now,
+            },
+        );
+        for &p in participants {
+            ctx.send(
+                p,
+                NetMsg::Prepare {
+                    txid,
+                    mailbox: mailbox.to_string(),
+                    row: row.clone(),
+                },
+            );
+        }
+    }
+}
+
+impl Default for Coordinator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NodeLogic<NetMsg> for Coordinator {
+    fn on_message(&mut self, ctx: &mut Ctx<NetMsg>, _src: NodeId, msg: NetMsg) {
+        match msg {
+            // A client starts a transaction by sending the op as a Request;
+            // the request id doubles as the transaction id.
+            NetMsg::Request {
+                request_id,
+                mailbox,
+                row,
+                ..
+            } => {
+                let participants: Vec<NodeId> = self
+                    .transactions
+                    .get(&request_id)
+                    .map(|t| t.participants.clone())
+                    .unwrap_or_default();
+                if participants.is_empty() {
+                    // Participants must have been registered by the driver.
+                    return;
+                }
+                for &p in &participants {
+                    ctx.send(
+                        p,
+                        NetMsg::Prepare {
+                            txid: request_id,
+                            mailbox: mailbox.clone(),
+                            row: row.clone(),
+                        },
+                    );
+                }
+            }
+            NetMsg::Vote { txid, commit } => {
+                let Some(tx) = self.transactions.get_mut(&txid) else {
+                    return;
+                };
+                if tx.decided {
+                    return;
+                }
+                if commit {
+                    tx.yes_votes += 1;
+                } else {
+                    tx.no_vote = true;
+                }
+                let all_in = tx.yes_votes + usize::from(tx.no_vote) >= tx.participants.len();
+                if tx.no_vote || all_in {
+                    let commit = !tx.no_vote && tx.yes_votes == tx.participants.len();
+                    tx.decided = true;
+                    let _ = tx.started_at;
+                    for &p in &tx.participants.clone() {
+                        ctx.send(p, NetMsg::Decide { txid, commit });
+                    }
+                    self.outcomes.borrow_mut().insert(
+                        txid,
+                        TxOutcome {
+                            committed: commit,
+                            decided_at: ctx.now,
+                        },
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Pre-register a transaction's participant set with a coordinator before
+/// injecting its `Request` — the driver-side half of the protocol.
+pub fn register_tx(coordinator: &mut Coordinator, txid: u64, participants: Vec<NodeId>, now: u64) {
+    coordinator.transactions.insert(
+        txid,
+        TxState {
+            participants,
+            yes_votes: 0,
+            no_vote: false,
+            decided: false,
+            started_at: now,
+        },
+    );
+}
+
+/// A 2PC participant with pluggable vote and apply behavior.
+pub struct Participant {
+    /// Votes yes/no on a prepared op.
+    vote: Box<dyn FnMut(&str, &Row) -> bool>,
+    /// Applies a committed op.
+    apply: Box<dyn FnMut(&str, &Row)>,
+    /// Ops held in the prepared state, keyed by txid.
+    prepared: FxHashMap<u64, (String, Row)>,
+    /// Count of commits applied.
+    pub committed: u64,
+    /// Count of aborts observed.
+    pub aborted: u64,
+}
+
+impl Participant {
+    /// A participant with the given vote predicate and apply action.
+    pub fn new(
+        vote: impl FnMut(&str, &Row) -> bool + 'static,
+        apply: impl FnMut(&str, &Row) + 'static,
+    ) -> Self {
+        Participant {
+            vote: Box::new(vote),
+            apply: Box::new(apply),
+            prepared: FxHashMap::default(),
+            committed: 0,
+            aborted: 0,
+        }
+    }
+}
+
+impl NodeLogic<NetMsg> for Participant {
+    fn on_message(&mut self, ctx: &mut Ctx<NetMsg>, src: NodeId, msg: NetMsg) {
+        match msg {
+            NetMsg::Prepare { txid, mailbox, row } => {
+                let yes = (self.vote)(&mailbox, &row);
+                if yes {
+                    self.prepared.insert(txid, (mailbox, row));
+                }
+                ctx.send(src, NetMsg::Vote { txid, commit: yes });
+            }
+            NetMsg::Decide { txid, commit } => {
+                if let Some((mailbox, row)) = self.prepared.remove(&txid) {
+                    if commit {
+                        (self.apply)(&mailbox, &row);
+                        self.committed += 1;
+                    } else {
+                        self.aborted += 1;
+                    }
+                } else if !commit {
+                    self.aborted += 1;
+                }
+                ctx.send(src, NetMsg::Ack { txid });
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydro_core::Value;
+    use hydro_net::{DomainPath, LinkModel, Sim};
+
+    fn setup(
+        veto_on: Option<i64>,
+    ) -> (
+        Sim<NetMsg>,
+        NodeId,
+        Vec<NodeId>,
+        TxLedger,
+        Rc<RefCell<Vec<i64>>>,
+    ) {
+        let mut sim = Sim::new(LinkModel::default(), 9);
+        let applied = Rc::new(RefCell::new(Vec::new()));
+        let mut participants = Vec::new();
+        for az in 0..3 {
+            let applied2 = Rc::clone(&applied);
+            let p = Participant::new(
+                move |_mb, row| veto_on.is_none_or(|v| row[0].as_int() != Some(v)),
+                move |_mb, row| {
+                    if let Some(x) = row[0].as_int() {
+                        applied2.borrow_mut().push(x);
+                    }
+                },
+            );
+            participants.push(sim.add_node(p, DomainPath::new(az, 0, 0)));
+        }
+        let coord = Coordinator::new();
+        let ledger = coord.ledger();
+        let coord_id = sim.add_node(coord, DomainPath::new(0, 1, 0));
+        (sim, coord_id, participants, ledger, applied)
+    }
+
+    fn run_tx(
+        sim: &mut Sim<NetMsg>,
+        coord: NodeId,
+        participants: &[NodeId],
+        txid: u64,
+        value: i64,
+    ) {
+        // Registration happens through a zero-participant Request trick:
+        // we pre-register then inject the op.
+        // (Direct access to the coordinator's logic is not available once
+        // it is owned by the sim, so registration rides on a first event.)
+        sim.send_external(
+            coord,
+            NetMsg::Request {
+                request_id: txid,
+                mailbox: "op".into(),
+                row: vec![Value::Int(value)],
+                reply_to: coord,
+            },
+        );
+        let _ = participants;
+    }
+
+    #[test]
+    fn unanimous_yes_commits_everywhere() {
+        let (mut sim, coord, participants, ledger, applied) = setup(None);
+        // Pre-register the participant set by reaching into the node.
+        // We rebuild the coordinator with registration instead:
+        let mut c = Coordinator::new();
+        register_tx(&mut c, 1, participants.clone(), 0);
+        let ledger2 = c.ledger();
+        let coord2 = sim.add_node(c, DomainPath::new(1, 1, 0));
+        run_tx(&mut sim, coord2, &participants, 1, 42);
+        sim.run_to_quiescence(200);
+        assert!(ledger2.borrow()[&1].committed);
+        assert_eq!(&*applied.borrow(), &vec![42, 42, 42]);
+        let _ = (coord, ledger);
+    }
+
+    #[test]
+    fn single_veto_aborts_globally() {
+        let (mut sim, _coord, participants, _ledger, applied) = setup(Some(13));
+        let mut c = Coordinator::new();
+        register_tx(&mut c, 7, participants.clone(), 0);
+        let ledger = c.ledger();
+        let coord = sim.add_node(c, DomainPath::new(1, 1, 0));
+        run_tx(&mut sim, coord, &participants, 7, 13);
+        sim.run_to_quiescence(200);
+        assert!(!ledger.borrow()[&7].committed);
+        assert!(applied.borrow().is_empty(), "no partial application");
+    }
+
+    #[test]
+    fn message_cost_is_linear_in_participants() {
+        // 2PC costs ~4 messages per participant (prepare, vote, decide,
+        // ack) — the coordination price E10 compares against sealing.
+        let (mut sim, _c, participants, _l, _a) = setup(None);
+        let mut c = Coordinator::new();
+        register_tx(&mut c, 1, participants.clone(), 0);
+        let coord = sim.add_node(c, DomainPath::new(1, 1, 0));
+        let before = sim.stats().sent;
+        run_tx(&mut sim, coord, &participants, 1, 5);
+        sim.run_to_quiescence(200);
+        let msgs = sim.stats().sent - before;
+        assert_eq!(msgs, 4 * participants.len() as u64);
+    }
+
+    #[test]
+    fn participant_crash_blocks_the_transaction() {
+        // The textbook 2PC weakness (and one reason §7 prefers
+        // coordination-free designs where possible): with a participant
+        // down before voting, the coordinator can neither commit nor
+        // abort — the transaction stays undecided and nothing is applied
+        // anywhere.
+        let (mut sim, _c, participants, _l, applied) = setup(None);
+        let mut c = Coordinator::new();
+        register_tx(&mut c, 1, participants.clone(), 0);
+        let ledger = c.ledger();
+        let coord = sim.add_node(c, DomainPath::new(1, 1, 0));
+        sim.kill(participants[2]);
+        run_tx(&mut sim, coord, &participants, 1, 8);
+        sim.run_to_quiescence(500);
+        assert!(
+            !ledger.borrow().contains_key(&1),
+            "no decision with a dead participant"
+        );
+        assert!(applied.borrow().is_empty(), "no partial application");
+    }
+
+    #[test]
+    fn crash_after_decision_still_commits_survivors() {
+        // A participant dying *after* the decision broadcast does not
+        // hurt the others: they commit; the dead node simply misses its
+        // apply (recovery/replay is the availability facet's job, §6).
+        let (mut sim, _c, participants, _l, applied) = setup(None);
+        let mut c = Coordinator::new();
+        register_tx(&mut c, 1, participants.clone(), 0);
+        let ledger = c.ledger();
+        let coord = sim.add_node(c, DomainPath::new(1, 1, 0));
+        run_tx(&mut sim, coord, &participants, 1, 9);
+        // Let prepares and votes flow; kill one participant right as the
+        // decision is being delivered.
+        sim.run_until(1_500);
+        sim.kill(participants[0]);
+        sim.run_to_quiescence(500);
+        assert!(ledger.borrow()[&1].committed, "decision was already made");
+        let applied = applied.borrow();
+        assert!(
+            applied.iter().filter(|&&x| x == 9).count() >= 2,
+            "survivors applied: {applied:?}"
+        );
+    }
+}

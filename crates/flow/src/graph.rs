@@ -1,0 +1,350 @@
+//! Operator-graph construction: the Hydroflow algebra's surface.
+//!
+//! A graph is a set of operators connected by directed edges that carry
+//! batches of data. Operators are assigned to *strata*: non-monotone
+//! operators (negation, aggregation) may only consume from strictly lower
+//! strata on their blocking ports, which is the classic stratified-negation
+//! condition lifted from Datalog to the Hydroflow algebra (§8.1). Cycles are
+//! permitted *within* a stratum — that is how recursive queries run — and
+//! [`Persistence::Tick`]-scoped `Distinct` operators guarantee the fixpoint
+//! terminates while also providing semi-naive evaluation for free: an
+//! already-seen tuple is never re-circulated.
+
+use crate::Data;
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// Identifies an operator in a graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(pub(crate) usize);
+
+/// Which input port of an operator an edge delivers to.
+///
+/// Most operators have a single port; `Join` distinguishes left/right and
+/// `AntiJoin` distinguishes the streaming positive side from the blocking
+/// negative side.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Port {
+    /// The default (only) input.
+    Single,
+    /// Left input of a join.
+    Left,
+    /// Right input of a join.
+    Right,
+    /// Positive (streaming) input of an antijoin.
+    Pos,
+    /// Negative (blocking) input of an antijoin.
+    Neg,
+}
+
+/// Lifetime of operator state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Persistence {
+    /// State is cleared at the start of every tick (derived views).
+    Tick,
+    /// State persists across ticks (materialized tables, running lattices).
+    Mutable,
+}
+
+/// The operators of the Hydroflow algebra.
+pub(crate) enum OpKind<D: Data> {
+    /// External input: batches pushed between ticks appear here.
+    Source { name: String },
+    /// One-to-one transform.
+    Map(Box<dyn FnMut(D) -> D>),
+    /// Predicate filter.
+    Filter(Box<dyn FnMut(&D) -> bool>),
+    /// One-to-many transform.
+    FlatMap(Box<dyn FnMut(D) -> Vec<D>>),
+    /// Combined filter+map.
+    FilterMap(Box<dyn FnMut(D) -> Option<D>>),
+    /// N-ary union: passes everything through (inputs distinguished only by
+    /// edge).
+    Union,
+    /// Suppress duplicates; the engine's source of semi-naive evaluation.
+    Distinct {
+        seen: FxHashSet<D>,
+        persist: Persistence,
+    },
+    /// Binary hash equijoin. `key` projects the join key from each side;
+    /// `output` combines a matched pair.
+    Join {
+        left_key: Box<dyn Fn(&D) -> D>,
+        right_key: Box<dyn Fn(&D) -> D>,
+        output: Box<dyn Fn(&D, &D) -> D>,
+        left_state: FxHashMap<D, Vec<D>>,
+        right_state: FxHashMap<D, Vec<D>>,
+        persist: Persistence,
+    },
+    /// Emit positive-side data whose key has no match in the (complete)
+    /// negative side. The negative port blocks: its producers must live in
+    /// strictly lower strata.
+    AntiJoin {
+        pos_key: Box<dyn Fn(&D) -> D>,
+        neg_key: Box<dyn Fn(&D) -> D>,
+        neg_state: FxHashSet<D>,
+        persist: Persistence,
+    },
+    /// Grouped fold, emitted only at the end of the operator's stratum.
+    /// `key` groups inputs; `init` seeds each group; `acc` folds a datum in;
+    /// `output` renders `(key, accumulator)` into an output datum.
+    Fold {
+        key: Box<dyn Fn(&D) -> D>,
+        init: Box<dyn Fn(&D) -> D>,
+        acc: Box<dyn FnMut(&mut D, D)>,
+        output: Box<dyn Fn(&D, &D) -> D>,
+        groups: FxHashMap<D, D>,
+        persist: Persistence,
+    },
+    /// A reactive lattice cell embedded in the flow: merges inputs into a
+    /// running value via `merge` (returning whether it changed) and emits
+    /// the new value downstream on change — lattice points "pipeline in the
+    /// same fashion as a set" (§8.1).
+    LatticeCell {
+        state: D,
+        merge: Box<dyn FnMut(&mut D, D) -> bool>,
+        persist: Persistence,
+        initial: D,
+    },
+    /// Side-effect observer (diagnostics, monitoring hooks of §2.2).
+    Inspect(Box<dyn FnMut(&D)>),
+    /// Terminal collector; read back per tick by sink name.
+    Sink { name: String },
+}
+
+pub(crate) struct OpNode<D: Data> {
+    pub(crate) kind: OpKind<D>,
+    pub(crate) stratum: usize,
+    /// Outgoing edges as `(target, port)` pairs.
+    pub(crate) outs: Vec<(OpId, Port)>,
+}
+
+/// Errors raised while assembling or validating a graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge references an operator id that does not exist.
+    UnknownOp(usize),
+    /// A blocking port receives data from an operator in the same or a
+    /// higher stratum (unstratifiable negation/aggregation).
+    UnstratifiedBlockingEdge {
+        /// Producer operator.
+        from: usize,
+        /// Consumer (blocking) operator.
+        to: usize,
+    },
+    /// A fold's output is consumed within its own stratum.
+    FoldConsumedInOwnStratum {
+        /// The fold operator.
+        fold: usize,
+        /// The same-stratum consumer.
+        consumer: usize,
+    },
+    /// Two sources or two sinks share a name.
+    DuplicateName(String),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::UnknownOp(id) => write!(f, "unknown operator id {id}"),
+            GraphError::UnstratifiedBlockingEdge { from, to } => write!(
+                f,
+                "blocking port of op {to} fed from op {from} not in a lower stratum"
+            ),
+            GraphError::FoldConsumedInOwnStratum { fold, consumer } => write!(
+                f,
+                "fold op {fold} consumed by op {consumer} in the same stratum"
+            ),
+            GraphError::DuplicateName(n) => write!(f, "duplicate source/sink name {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Builder for [`crate::FlowGraph`]s.
+///
+/// Operators are added with an explicit stratum; edges connect them. Call
+/// [`GraphBuilder::finish`] to validate stratification and obtain a runnable
+/// graph.
+pub struct GraphBuilder<D: Data> {
+    pub(crate) ops: Vec<OpNode<D>>,
+}
+
+impl<D: Data> Default for GraphBuilder<D> {
+    fn default() -> Self {
+        GraphBuilder { ops: Vec::new() }
+    }
+}
+
+impl<D: Data> GraphBuilder<D> {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, kind: OpKind<D>, stratum: usize) -> OpId {
+        let id = OpId(self.ops.len());
+        self.ops.push(OpNode {
+            kind,
+            stratum,
+            outs: Vec::new(),
+        });
+        id
+    }
+
+    /// Add an external-input source.
+    pub fn source(&mut self, name: impl Into<String>, stratum: usize) -> OpId {
+        self.push(
+            OpKind::Source { name: name.into() },
+            stratum,
+        )
+    }
+
+    /// Add a one-to-one transform.
+    pub fn map(&mut self, stratum: usize, f: impl FnMut(D) -> D + 'static) -> OpId {
+        self.push(OpKind::Map(Box::new(f)), stratum)
+    }
+
+    /// Add a predicate filter.
+    pub fn filter(&mut self, stratum: usize, f: impl FnMut(&D) -> bool + 'static) -> OpId {
+        self.push(OpKind::Filter(Box::new(f)), stratum)
+    }
+
+    /// Add a one-to-many transform.
+    pub fn flat_map(&mut self, stratum: usize, f: impl FnMut(D) -> Vec<D> + 'static) -> OpId {
+        self.push(OpKind::FlatMap(Box::new(f)), stratum)
+    }
+
+    /// Add a combined filter+map.
+    pub fn filter_map(
+        &mut self,
+        stratum: usize,
+        f: impl FnMut(D) -> Option<D> + 'static,
+    ) -> OpId {
+        self.push(OpKind::FilterMap(Box::new(f)), stratum)
+    }
+
+    /// Add an n-ary union (pass-through merge point).
+    pub fn union(&mut self, stratum: usize) -> OpId {
+        self.push(OpKind::Union, stratum)
+    }
+
+    /// Add a duplicate-suppression operator.
+    pub fn distinct(&mut self, stratum: usize, persist: Persistence) -> OpId {
+        self.push(
+            OpKind::Distinct {
+                seen: FxHashSet::default(),
+                persist,
+            },
+            stratum,
+        )
+    }
+
+    /// Add a binary hash equijoin.
+    pub fn join(
+        &mut self,
+        stratum: usize,
+        persist: Persistence,
+        left_key: impl Fn(&D) -> D + 'static,
+        right_key: impl Fn(&D) -> D + 'static,
+        output: impl Fn(&D, &D) -> D + 'static,
+    ) -> OpId {
+        self.push(
+            OpKind::Join {
+                left_key: Box::new(left_key),
+                right_key: Box::new(right_key),
+                output: Box::new(output),
+                left_state: FxHashMap::default(),
+                right_state: FxHashMap::default(),
+                persist,
+            },
+            stratum,
+        )
+    }
+
+    /// Add an antijoin (stratified negation).
+    pub fn antijoin(
+        &mut self,
+        stratum: usize,
+        persist: Persistence,
+        pos_key: impl Fn(&D) -> D + 'static,
+        neg_key: impl Fn(&D) -> D + 'static,
+    ) -> OpId {
+        self.push(
+            OpKind::AntiJoin {
+                pos_key: Box::new(pos_key),
+                neg_key: Box::new(neg_key),
+                neg_state: FxHashSet::default(),
+                persist,
+            },
+            stratum,
+        )
+    }
+
+    /// Add a grouped fold (stratified aggregation).
+    pub fn fold(
+        &mut self,
+        stratum: usize,
+        persist: Persistence,
+        key: impl Fn(&D) -> D + 'static,
+        init: impl Fn(&D) -> D + 'static,
+        acc: impl FnMut(&mut D, D) + 'static,
+        output: impl Fn(&D, &D) -> D + 'static,
+    ) -> OpId {
+        self.push(
+            OpKind::Fold {
+                key: Box::new(key),
+                init: Box::new(init),
+                acc: Box::new(acc),
+                output: Box::new(output),
+                groups: FxHashMap::default(),
+                persist,
+            },
+            stratum,
+        )
+    }
+
+    /// Add a reactive lattice cell with initial state and a merge function.
+    pub fn lattice_cell(
+        &mut self,
+        stratum: usize,
+        persist: Persistence,
+        initial: D,
+        merge: impl FnMut(&mut D, D) -> bool + 'static,
+    ) -> OpId {
+        self.push(
+            OpKind::LatticeCell {
+                state: initial.clone(),
+                merge: Box::new(merge),
+                persist,
+                initial,
+            },
+            stratum,
+        )
+    }
+
+    /// Add a side-effect observer.
+    pub fn inspect(&mut self, stratum: usize, f: impl FnMut(&D) + 'static) -> OpId {
+        self.push(OpKind::Inspect(Box::new(f)), stratum)
+    }
+
+    /// Add a named terminal sink.
+    pub fn sink(&mut self, name: impl Into<String>, stratum: usize) -> OpId {
+        self.push(OpKind::Sink { name: name.into() }, stratum)
+    }
+
+    /// Connect `from` to the default port of `to`.
+    pub fn edge(&mut self, from: OpId, to: OpId) {
+        self.edge_port(from, to, Port::Single);
+    }
+
+    /// Connect `from` to a specific port of `to`.
+    pub fn edge_port(&mut self, from: OpId, to: OpId, port: Port) {
+        self.ops[from.0].outs.push((to, port));
+    }
+
+    /// Validate stratification and produce a runnable graph.
+    pub fn finish(self) -> Result<crate::FlowGraph<D>, GraphError> {
+        crate::FlowGraph::from_builder(self)
+    }
+}

@@ -1,0 +1,47 @@
+//! # hydro-flow
+//!
+//! **Hydroflow**: the single-node, flow-based execution layer of the Hydro
+//! stack (§2.3, §8 of the CIDR 2021 paper).
+//!
+//! The paper asks for a runtime that *unifies dataflow, lattices, and
+//! reactive programming* under the transducer event model: all computation
+//! within a "tick" runs to fixpoint over a snapshot of state, state updates
+//! are deferred to end-of-tick, and non-determinism enters only through
+//! explicitly asynchronous messages.
+//!
+//! This crate provides the two execution substrates:
+//!
+//! * [`graph`] / [`run`] — a dataflow **operator graph** generic over the
+//!   datum type, with relational operators (map/filter/join/…), stratified
+//!   non-monotone operators (antijoin, fold/aggregate) that block at stratum
+//!   boundaries, within-stratum cycles for recursive queries evaluated
+//!   *semi-naively* (only never-before-seen tuples circulate), and
+//!   tick-scoped vs. persistent operator state. The Hydrolysis compiler
+//!   lowers HydroLogic rules onto this graph.
+//! * [`reactive`] — a **reactive lattice-propagation network**: typed cells
+//!   holding lattice points connected by (claimed-)monotone edges, with
+//!   change-driven propagation to fixpoint. This is the "React.js/Rx meets
+//!   lattices" half of §8.1, used by the KVS and by reactive examples.
+//!
+//! Scheduling is single-threaded and deterministic, in keeping with the
+//! paper's observation (via Anna) that thread-local, coordination-free state
+//! plus explicit messaging outperforms shared-memory synchronization.
+
+// Dataflow builders and pluggable node logic are callback-heavy; the
+// closure/handle types read clearer inline than behind aliases.
+#![allow(clippy::type_complexity)]
+pub mod graph;
+pub mod reactive;
+pub mod run;
+
+pub use graph::{GraphBuilder, OpId, Persistence, Port};
+pub use run::FlowGraph;
+
+/// Bound on datum types that can flow through the graph.
+///
+/// `Ord + Hash` lets operators key state either way; `Clone` is required
+/// because a datum fanned out to multiple downstream edges must be
+/// duplicated (the scheduler moves — never re-reads — delivered batches, the
+/// "ownership" discipline §8.2 credits to Rust).
+pub trait Data: Clone + Eq + std::hash::Hash + Ord + std::fmt::Debug + 'static {}
+impl<T: Clone + Eq + std::hash::Hash + Ord + std::fmt::Debug + 'static> Data for T {}

@@ -1,0 +1,238 @@
+//! Reactive lattice propagation: the Rx/React.js half of the Hydroflow
+//! unification (§8.1).
+//!
+//! A [`Reactor`] holds typed *cells*, each containing a lattice point, and
+//! *edges* carrying (claimed-)monotone functions between cells. Writing a
+//! delta into a cell merges it; if the cell grew, the change propagates along
+//! outgoing edges — each edge recomputes its function on the source's new
+//! value and merges the result into its target — until the network reaches a
+//! fixpoint. Because every cell only ever grows and every function is
+//! monotone, propagation terminates and the fixpoint is independent of
+//! update order (Kleene iteration over a finite-height ascending chain in
+//! practice).
+//!
+//! The network is deliberately dynamic (type-erased internally) so cells of
+//! different lattice types — a `SetUnion` feeding a `Max<usize>` count, a
+//! `VectorClock` feeding a frontier — can coexist in one reactor, which is
+//! exactly the "COUNT takes a set lattice in and produces an int lattice
+//! out, and must pipeline like a set" requirement of §8.1.
+
+use hydro_lattice::Lattice;
+use std::any::Any;
+use std::collections::VecDeque;
+
+/// Typed handle to a cell holding an `L` lattice point.
+pub struct CellId<L> {
+    index: usize,
+    _marker: std::marker::PhantomData<fn() -> L>,
+}
+
+impl<L> Clone for CellId<L> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<L> Copy for CellId<L> {}
+
+trait AnyCell {
+    fn merge_boxed(&mut self, delta: Box<dyn Any>) -> bool;
+    fn as_any(&self) -> &dyn Any;
+}
+
+struct Cell<L: Lattice + 'static> {
+    value: L,
+}
+
+impl<L: Lattice + 'static> AnyCell for Cell<L> {
+    fn merge_boxed(&mut self, delta: Box<dyn Any>) -> bool {
+        let delta = *delta
+            .downcast::<L>()
+            .expect("reactor wiring delivered a delta of the wrong type");
+        self.value.merge(delta)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+struct ReactEdge {
+    from: usize,
+    to: usize,
+    /// Maps a snapshot of the source cell to a delta for the target cell.
+    f: Box<dyn Fn(&dyn Any) -> Box<dyn Any>>,
+}
+
+/// A network of lattice cells and monotone edges with change propagation.
+#[derive(Default)]
+pub struct Reactor {
+    cells: Vec<Box<dyn AnyCell>>,
+    edges: Vec<ReactEdge>,
+    /// Edge indexes by source cell.
+    out_edges: Vec<Vec<usize>>,
+    /// Total cell-merge operations performed (work accounting).
+    merges: u64,
+}
+
+impl Reactor {
+    /// An empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a cell with an initial lattice value.
+    pub fn cell<L: Lattice + 'static>(&mut self, initial: L) -> CellId<L> {
+        let index = self.cells.len();
+        self.cells.push(Box::new(Cell { value: initial }));
+        self.out_edges.push(Vec::new());
+        CellId {
+            index,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Connect `from` to `to` through a monotone function `f`.
+    ///
+    /// Monotonicity is the caller's obligation (checkable with
+    /// [`hydro_lattice::is_monotone_on`]); a non-monotone `f` can make
+    /// propagation order-sensitive, which is precisely the bug class the
+    /// Hydro typechecker exists to rule out.
+    pub fn edge<A, B>(&mut self, from: CellId<A>, to: CellId<B>, f: impl Fn(&A) -> B + 'static)
+    where
+        A: Lattice + 'static,
+        B: Lattice + 'static,
+    {
+        let edge_ix = self.edges.len();
+        self.edges.push(ReactEdge {
+            from: from.index,
+            to: to.index,
+            f: Box::new(move |any| {
+                let a = any
+                    .downcast_ref::<Cell<A>>()
+                    .expect("edge source type mismatch");
+                Box::new(f(&a.value))
+            }),
+        });
+        self.out_edges[from.index].push(edge_ix);
+    }
+
+    /// Merge a delta into a cell and propagate to fixpoint. Returns whether
+    /// the written cell itself changed.
+    pub fn write<L: Lattice + 'static>(&mut self, cell: CellId<L>, delta: L) -> bool {
+        let changed = self.cells[cell.index].merge_boxed(Box::new(delta));
+        self.merges += 1;
+        if changed {
+            self.propagate_from(cell.index);
+        }
+        changed
+    }
+
+    /// Read a snapshot of a cell's current value.
+    pub fn read<L: Lattice + 'static>(&self, cell: CellId<L>) -> L {
+        self.cells[cell.index]
+            .as_any()
+            .downcast_ref::<Cell<L>>()
+            .expect("cell type mismatch")
+            .value
+            .clone()
+    }
+
+    /// Number of merge operations performed so far.
+    pub fn merge_count(&self) -> u64 {
+        self.merges
+    }
+
+    fn propagate_from(&mut self, start: usize) {
+        let mut dirty: VecDeque<usize> = VecDeque::from([start]);
+        while let Some(ix) = dirty.pop_front() {
+            for &edge_ix in &self.out_edges[ix].clone() {
+                let (from, to) = (self.edges[edge_ix].from, self.edges[edge_ix].to);
+                debug_assert_eq!(from, ix);
+                let delta = (self.edges[edge_ix].f)(self.cells[from].as_any());
+                self.merges += 1;
+                if self.cells[to].merge_boxed(delta) {
+                    dirty.push_back(to);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydro_lattice::{Max, SetUnion};
+
+    #[test]
+    fn count_pipeline_tracks_set_growth() {
+        let mut r = Reactor::new();
+        let items = r.cell(SetUnion::<u32>::new());
+        let count = r.cell(Max::new(0usize));
+        r.edge(items, count, |s: &SetUnion<u32>| Max::new(s.len()));
+
+        r.write(items, SetUnion::from_iter([1, 2]));
+        assert_eq!(r.read(count), Max::new(2));
+        r.write(items, SetUnion::from_iter([2, 3]));
+        assert_eq!(r.read(count), Max::new(3));
+        // Redundant delta: no growth, no propagation beyond the merge.
+        assert!(!r.write(items, SetUnion::from_iter([1])));
+    }
+
+    #[test]
+    fn chained_cells_reach_fixpoint() {
+        let mut r = Reactor::new();
+        let a = r.cell(Max::new(0i64));
+        let b = r.cell(Max::new(0i64));
+        let c = r.cell(Max::new(0i64));
+        r.edge(a, b, |x: &Max<i64>| Max::new(*x.get() + 1));
+        r.edge(b, c, |x: &Max<i64>| Max::new(*x.get() * 2));
+        r.write(a, Max::new(5));
+        assert_eq!(r.read(b), Max::new(6));
+        assert_eq!(r.read(c), Max::new(12));
+    }
+
+    #[test]
+    fn diamond_topology_converges_regardless_of_order() {
+        // a → b, a → c, b → d, c → d : both paths merge into d.
+        let build = || {
+            let mut r = Reactor::new();
+            let a = r.cell(SetUnion::<u32>::new());
+            let b = r.cell(SetUnion::<u32>::new());
+            let c = r.cell(SetUnion::<u32>::new());
+            let d = r.cell(SetUnion::<u32>::new());
+            r.edge(a, b, |s: &SetUnion<u32>| {
+                s.iter().map(|x| x * 2).collect()
+            });
+            r.edge(a, c, |s: &SetUnion<u32>| {
+                s.iter().map(|x| x * 3).collect()
+            });
+            r.edge(b, d, Clone::clone);
+            r.edge(c, d, Clone::clone);
+            (r, a, d)
+        };
+        let (mut r1, a1, d1) = build();
+        r1.write(a1, SetUnion::from_iter([1, 2]));
+
+        let (mut r2, a2, d2) = build();
+        // Same total input, delivered as two separate deltas.
+        r2.write(a2, SetUnion::from_iter([2]));
+        r2.write(a2, SetUnion::from_iter([1]));
+
+        assert_eq!(r1.read(d1), r2.read(d2));
+        assert_eq!(r1.read(d1), SetUnion::from_iter([2, 3, 4, 6]));
+    }
+
+    #[test]
+    fn cyclic_network_terminates_at_fixpoint() {
+        // Two cells feeding each other through min(x+1, 10)-style bounded
+        // growth: must stop at the fixpoint rather than spin.
+        let mut r = Reactor::new();
+        let a = r.cell(Max::new(0i64));
+        let b = r.cell(Max::new(0i64));
+        r.edge(a, b, |x: &Max<i64>| Max::new((*x.get() + 1).min(10)));
+        r.edge(b, a, |x: &Max<i64>| Max::new((*x.get() + 1).min(10)));
+        r.write(a, Max::new(1));
+        assert_eq!(r.read(a), Max::new(10));
+        assert_eq!(r.read(b), Max::new(10));
+    }
+}

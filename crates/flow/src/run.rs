@@ -1,0 +1,663 @@
+//! The tick scheduler: stratified, fixpoint, deterministic.
+//!
+//! Execution follows the transducer model of §3.1: inputs staged between
+//! ticks are revealed atomically at tick start; each stratum runs its
+//! operators to fixpoint (a worklist drains operator input buffers, cycles
+//! within a stratum implement recursion); blocking operators (folds) release
+//! their results only at the end of their stratum; sink contents are the
+//! tick's output. The scheduler is single-threaded and processes work in a
+//! fixed order, so a tick is a deterministic function of staged inputs and
+//! operator state — the property E1/E3 test.
+
+use crate::graph::{GraphBuilder, GraphError, OpId, OpKind, OpNode, Port};
+use crate::{Data, Persistence};
+use rustc_hash::FxHashMap;
+use std::collections::VecDeque;
+
+/// A runnable Hydroflow operator graph. Build with [`GraphBuilder`].
+pub struct FlowGraph<D: Data> {
+    ops: Vec<OpNode<D>>,
+    /// Per-op inbound buffer of `(port, datum)` pairs.
+    buffers: Vec<Vec<(Port, D)>>,
+    /// Batches staged for named sources, revealed at the next tick.
+    staged: FxHashMap<String, Vec<D>>,
+    sources: FxHashMap<String, OpId>,
+    sinks: FxHashMap<String, OpId>,
+    sink_out: FxHashMap<String, Vec<D>>,
+    max_stratum: usize,
+    /// Total data items processed by operators (for copy/work accounting).
+    items_processed: u64,
+    ticks_run: u64,
+}
+
+/// Output of a single tick: the contents of each named sink.
+#[derive(Clone, Debug, Default)]
+pub struct TickOutput<D> {
+    /// Sink name → data that reached it this tick, in arrival order.
+    pub sinks: FxHashMap<String, Vec<D>>,
+}
+
+impl<D: Data> TickOutput<D> {
+    /// The output of one sink (empty slice if nothing arrived).
+    pub fn sink(&self, name: &str) -> &[D] {
+        self.sinks.get(name).map_or(&[], Vec::as_slice)
+    }
+}
+
+impl<D: Data> FlowGraph<D> {
+    pub(crate) fn from_builder(b: GraphBuilder<D>) -> Result<Self, GraphError> {
+        let ops = b.ops;
+        let mut sources = FxHashMap::default();
+        let mut sinks = FxHashMap::default();
+        let mut max_stratum = 0;
+        for (i, op) in ops.iter().enumerate() {
+            max_stratum = max_stratum.max(op.stratum);
+            match &op.kind {
+                OpKind::Source { name }
+                    if sources.insert(name.clone(), OpId(i)).is_some() => {
+                        return Err(GraphError::DuplicateName(name.clone()));
+                    }
+                OpKind::Sink { name }
+                    if sinks.insert(name.clone(), OpId(i)).is_some() => {
+                        return Err(GraphError::DuplicateName(name.clone()));
+                    }
+                _ => {}
+            }
+        }
+        // Stratification checks.
+        for (i, op) in ops.iter().enumerate() {
+            for &(to, port) in &op.outs {
+                let Some(target) = ops.get(to.0) else {
+                    return Err(GraphError::UnknownOp(to.0));
+                };
+                let blocking = matches!(port, Port::Neg);
+                if blocking {
+                    if op.stratum >= target.stratum {
+                        return Err(GraphError::UnstratifiedBlockingEdge { from: i, to: to.0 });
+                    }
+                } else if op.stratum > target.stratum {
+                    // Data may never flow backwards to an earlier stratum.
+                    return Err(GraphError::UnstratifiedBlockingEdge { from: i, to: to.0 });
+                }
+                if matches!(op.kind, OpKind::Fold { .. }) && op.stratum >= target.stratum {
+                    return Err(GraphError::FoldConsumedInOwnStratum {
+                        fold: i,
+                        consumer: to.0,
+                    });
+                }
+            }
+        }
+        let n = ops.len();
+        Ok(FlowGraph {
+            ops,
+            buffers: (0..n).map(|_| Vec::new()).collect(),
+            staged: FxHashMap::default(),
+            sources,
+            sinks,
+            sink_out: FxHashMap::default(),
+            max_stratum,
+            items_processed: 0,
+            ticks_run: 0,
+        })
+    }
+
+    /// Stage a batch for the named source; it is revealed at the next tick.
+    ///
+    /// # Panics
+    /// Panics if no source with that name exists — that is a programming
+    /// error in graph construction, not a runtime condition.
+    pub fn push_input(&mut self, source: &str, batch: impl IntoIterator<Item = D>) {
+        assert!(
+            self.sources.contains_key(source),
+            "unknown source {source:?}"
+        );
+        self.staged
+            .entry(source.to_string())
+            .or_default()
+            .extend(batch);
+    }
+
+    /// Names of the graph's sources.
+    pub fn source_names(&self) -> impl Iterator<Item = &str> {
+        self.sources.keys().map(String::as_str)
+    }
+
+    /// Names of the graph's sinks.
+    pub fn sink_names(&self) -> impl Iterator<Item = &str> {
+        self.sinks.keys().map(String::as_str)
+    }
+
+    /// Total items processed by operators since construction. Used by the
+    /// benchmarks as a proxy for data movement / copy work (§8.2).
+    pub fn items_processed(&self) -> u64 {
+        self.items_processed
+    }
+
+    /// Number of ticks executed.
+    pub fn ticks_run(&self) -> u64 {
+        self.ticks_run
+    }
+
+    /// Run one tick to fixpoint and return sink contents.
+    pub fn tick(&mut self) -> TickOutput<D> {
+        self.ticks_run += 1;
+        self.reset_tick_state();
+        self.sink_out.clear();
+
+        // Reveal staged inputs at their source operators.
+        let staged = std::mem::take(&mut self.staged);
+        for (name, batch) in staged {
+            let id = self.sources[&name];
+            self.buffers[id.0].extend(batch.into_iter().map(|d| (Port::Single, d)));
+        }
+
+        for stratum in 0..=self.max_stratum {
+            self.run_stratum(stratum);
+            self.flush_folds(stratum);
+        }
+
+        TickOutput {
+            sinks: std::mem::take(&mut self.sink_out),
+        }
+    }
+
+    fn reset_tick_state(&mut self) {
+        for op in &mut self.ops {
+            match &mut op.kind {
+                OpKind::Distinct { seen, persist }
+                    if *persist == Persistence::Tick => {
+                        seen.clear();
+                    }
+                OpKind::Join {
+                    left_state,
+                    right_state,
+                    persist,
+                    ..
+                }
+                    if *persist == Persistence::Tick => {
+                        left_state.clear();
+                        right_state.clear();
+                    }
+                OpKind::AntiJoin {
+                    neg_state, persist, ..
+                }
+                    if *persist == Persistence::Tick => {
+                        neg_state.clear();
+                    }
+                OpKind::Fold {
+                    groups, persist, ..
+                }
+                    if *persist == Persistence::Tick => {
+                        groups.clear();
+                    }
+                OpKind::LatticeCell {
+                    state,
+                    persist,
+                    initial,
+                    ..
+                }
+                    if *persist == Persistence::Tick => {
+                        *state = initial.clone();
+                    }
+                _ => {}
+            }
+        }
+    }
+
+    fn run_stratum(&mut self, stratum: usize) {
+        let mut queue: VecDeque<usize> = (0..self.ops.len())
+            .filter(|&i| self.ops[i].stratum == stratum && !self.buffers[i].is_empty())
+            .collect();
+        let mut queued: Vec<bool> = vec![false; self.ops.len()];
+        for &i in &queue {
+            queued[i] = true;
+        }
+
+        while let Some(i) = queue.pop_front() {
+            queued[i] = false;
+            let inbox = std::mem::take(&mut self.buffers[i]);
+            if inbox.is_empty() {
+                continue;
+            }
+            self.items_processed += inbox.len() as u64;
+            let out = self.process(i, inbox);
+            if out.is_empty() {
+                continue;
+            }
+            // Fan out to successors; clone for all but the last edge so the
+            // final consumer takes ownership without a copy.
+            let outs = self.ops[i].outs.clone();
+            if let Some((&(to_last, port_last), rest)) = outs.split_last() {
+                for &(to, port) in rest {
+                    self.buffers[to.0].extend(out.iter().cloned().map(|d| (port, d)));
+                    if self.ops[to.0].stratum == stratum && !queued[to.0] {
+                        queued[to.0] = true;
+                        queue.push_back(to.0);
+                    }
+                }
+                self.buffers[to_last.0].extend(out.into_iter().map(|d| (port_last, d)));
+                if self.ops[to_last.0].stratum == stratum && !queued[to_last.0] {
+                    queued[to_last.0] = true;
+                    queue.push_back(to_last.0);
+                }
+            }
+        }
+    }
+
+    /// Process a batch at operator `i`, returning emitted data.
+    fn process(&mut self, i: usize, inbox: Vec<(Port, D)>) -> Vec<D> {
+        let sink_out = &mut self.sink_out;
+        let op = &mut self.ops[i];
+        let mut out = Vec::new();
+        match &mut op.kind {
+            OpKind::Source { .. } | OpKind::Union => {
+                out.extend(inbox.into_iter().map(|(_, d)| d));
+            }
+            OpKind::Map(f) => out.extend(inbox.into_iter().map(|(_, d)| f(d))),
+            OpKind::Filter(f) => {
+                out.extend(inbox.into_iter().map(|(_, d)| d).filter(|d| f(d)));
+            }
+            OpKind::FlatMap(f) => {
+                for (_, d) in inbox {
+                    out.extend(f(d));
+                }
+            }
+            OpKind::FilterMap(f) => {
+                out.extend(inbox.into_iter().filter_map(|(_, d)| f(d)));
+            }
+            OpKind::Distinct { seen, .. } => {
+                for (_, d) in inbox {
+                    if seen.insert(d.clone()) {
+                        out.push(d);
+                    }
+                }
+            }
+            OpKind::Join {
+                left_key,
+                right_key,
+                output,
+                left_state,
+                right_state,
+                ..
+            } => {
+                for (port, d) in inbox {
+                    match port {
+                        Port::Left => {
+                            let k = left_key(&d);
+                            if let Some(matches) = right_state.get(&k) {
+                                out.extend(matches.iter().map(|r| output(&d, r)));
+                            }
+                            left_state.entry(k).or_default().push(d);
+                        }
+                        Port::Right => {
+                            let k = right_key(&d);
+                            if let Some(matches) = left_state.get(&k) {
+                                out.extend(matches.iter().map(|l| output(l, &d)));
+                            }
+                            right_state.entry(k).or_default().push(d);
+                        }
+                        other => panic!("join received data on port {other:?}"),
+                    }
+                }
+            }
+            OpKind::AntiJoin {
+                pos_key,
+                neg_key,
+                neg_state,
+                ..
+            } => {
+                // Negative-side data is complete before this stratum begins
+                // (validated at build time); consume it first regardless of
+                // interleaving in the buffer.
+                let mut positives = Vec::new();
+                for (port, d) in inbox {
+                    match port {
+                        Port::Neg => {
+                            neg_state.insert(neg_key(&d));
+                        }
+                        Port::Pos => positives.push(d),
+                        other => panic!("antijoin received data on port {other:?}"),
+                    }
+                }
+                out.extend(
+                    positives
+                        .into_iter()
+                        .filter(|d| !neg_state.contains(&pos_key(d))),
+                );
+            }
+            OpKind::Fold {
+                key,
+                init,
+                acc,
+                groups,
+                ..
+            } => {
+                for (_, d) in inbox {
+                    let k = key(&d);
+                    let slot = groups.entry(k).or_insert_with_key(|k| init(k));
+                    acc(slot, d);
+                }
+                // Emission happens at end-of-stratum via `flush_folds`.
+            }
+            OpKind::LatticeCell { state, merge, .. } => {
+                let mut changed = false;
+                for (_, d) in inbox {
+                    changed |= merge(state, d);
+                }
+                if changed {
+                    out.push(state.clone());
+                }
+            }
+            OpKind::Inspect(f) => {
+                for (_, d) in inbox {
+                    f(&d);
+                    out.push(d);
+                }
+            }
+            OpKind::Sink { name } => {
+                sink_out
+                    .entry(name.clone())
+                    .or_default()
+                    .extend(inbox.into_iter().map(|(_, d)| d));
+            }
+        }
+        out
+    }
+
+    /// Release fold results at the end of their stratum.
+    fn flush_folds(&mut self, stratum: usize) {
+        for i in 0..self.ops.len() {
+            if self.ops[i].stratum != stratum {
+                continue;
+            }
+            let emissions = match &mut self.ops[i].kind {
+                OpKind::Fold { groups, output, .. } => {
+                    let mut v: Vec<D> = groups.iter().map(|(k, a)| output(k, a)).collect();
+                    // Deterministic emission order.
+                    v.sort();
+                    v
+                }
+                _ => continue,
+            };
+            if emissions.is_empty() {
+                continue;
+            }
+            let outs = self.ops[i].outs.clone();
+            for &(to, port) in &outs {
+                self.buffers[to.0]
+                    .extend(emissions.iter().cloned().map(|d| (port, d)));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphError;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    type Pairs = (i64, i64);
+
+    /// Build the classic recursive transitive-closure graph over edge pairs.
+    fn tc_graph() -> FlowGraph<Pairs> {
+        let mut g = GraphBuilder::<Pairs>::new();
+        let src = g.source("edges", 0);
+        let tc = g.distinct(0, Persistence::Tick);
+        // join tc(a,b) with edges(b,c) producing (a,c)
+        let join = g.join(
+            0,
+            Persistence::Tick,
+            |l: &Pairs| (l.1, 0),
+            |r: &Pairs| (r.0, 0),
+            |l, r| (l.0, r.1),
+        );
+        let sink = g.sink("tc", 0);
+        g.edge(src, tc);
+        g.edge_port(tc, join, Port::Left);
+        g.edge_port(src, join, Port::Right);
+        g.edge(join, tc); // recursion: new paths re-enter distinct
+        g.edge(tc, sink);
+        g.finish().unwrap()
+    }
+
+    fn reference_tc(edges: &[(i64, i64)]) -> BTreeSet<(i64, i64)> {
+        let mut closure: BTreeSet<(i64, i64)> = edges.iter().copied().collect();
+        loop {
+            let mut additions = Vec::new();
+            for &(a, b) in &closure {
+                for &(c, d) in edges {
+                    if b == c && !closure.contains(&(a, d)) {
+                        additions.push((a, d));
+                    }
+                }
+            }
+            if additions.is_empty() {
+                break;
+            }
+            closure.extend(additions);
+        }
+        closure
+    }
+
+    #[test]
+    fn pipeline_map_filter() {
+        let mut g = GraphBuilder::<(i64, i64)>::new();
+        let src = g.source("in", 0);
+        let m = g.map(0, |(a, b)| (a * 2, b));
+        let f = g.filter(0, |(a, _)| *a > 2);
+        let s = g.sink("out", 0);
+        g.edge(src, m);
+        g.edge(m, f);
+        g.edge(f, s);
+        let mut graph = g.finish().unwrap();
+        graph.push_input("in", vec![(1, 0), (2, 0), (3, 0)]);
+        let out = graph.tick();
+        assert_eq!(out.sink("out"), &[(4, 0), (6, 0)]);
+    }
+
+    #[test]
+    fn recursion_computes_transitive_closure() {
+        let mut g = tc_graph();
+        let edges = vec![(1, 2), (2, 3), (3, 4)];
+        g.push_input("edges", edges.clone());
+        let out = g.tick();
+        let got: BTreeSet<_> = out.sink("tc").iter().copied().collect();
+        assert_eq!(got, reference_tc(&edges));
+        assert!(got.contains(&(1, 4)));
+    }
+
+    #[test]
+    fn cyclic_graph_terminates() {
+        let mut g = tc_graph();
+        g.push_input("edges", vec![(1, 2), (2, 1)]); // a cycle in the data
+        let out = g.tick();
+        let got: BTreeSet<_> = out.sink("tc").iter().copied().collect();
+        assert_eq!(
+            got,
+            BTreeSet::from([(1, 2), (2, 1), (1, 1), (2, 2)])
+        );
+    }
+
+    #[test]
+    fn antijoin_requires_lower_stratum_negatives() {
+        let mut g = GraphBuilder::<(i64, i64)>::new();
+        let pos = g.source("pos", 0);
+        let neg = g.source("neg", 0);
+        let aj = g.antijoin(0, Persistence::Tick, |d| (d.0, 0), |d| (d.0, 0));
+        g.edge_port(pos, aj, Port::Pos);
+        g.edge_port(neg, aj, Port::Neg); // same stratum: illegal
+        assert!(matches!(
+            g.finish(),
+            Err(GraphError::UnstratifiedBlockingEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn antijoin_filters_matches() {
+        let mut g = GraphBuilder::<(i64, i64)>::new();
+        let pos = g.source("pos", 1);
+        let neg = g.source("neg", 0);
+        let aj = g.antijoin(1, Persistence::Tick, |d| (d.0, 0), |d| (d.0, 0));
+        let s = g.sink("out", 1);
+        g.edge_port(pos, aj, Port::Pos);
+        g.edge_port(neg, aj, Port::Neg);
+        g.edge(aj, s);
+        let mut graph = g.finish().unwrap();
+        graph.push_input("pos", vec![(1, 10), (2, 20), (3, 30)]);
+        graph.push_input("neg", vec![(2, 0)]);
+        let out = graph.tick();
+        assert_eq!(out.sink("out"), &[(1, 10), (3, 30)]);
+    }
+
+    #[test]
+    fn fold_groups_and_emits_at_stratum_end() {
+        let mut g = GraphBuilder::<(i64, i64)>::new();
+        let src = g.source("in", 0);
+        let fold = g.fold(
+            0,
+            Persistence::Tick,
+            |d| (d.0, 0),
+            |_| (0, 0),
+            |acc, d| acc.1 += d.1,
+            |k, acc| (k.0, acc.1),
+        );
+        let s = g.sink("sums", 1);
+        g.edge(src, fold);
+        g.edge(fold, s);
+        let mut graph = g.finish().unwrap();
+        graph.push_input("in", vec![(1, 10), (2, 5), (1, 7)]);
+        let out = graph.tick();
+        let got: BTreeSet<_> = out.sink("sums").iter().copied().collect();
+        assert_eq!(got, BTreeSet::from([(1, 17), (2, 5)]));
+    }
+
+    #[test]
+    fn fold_in_own_stratum_rejected() {
+        let mut g = GraphBuilder::<(i64, i64)>::new();
+        let src = g.source("in", 0);
+        let fold = g.fold(
+            0,
+            Persistence::Tick,
+            |d| (d.0, 0),
+            |_| (0, 0),
+            |acc, d| acc.1 += d.1,
+            |k, acc| (k.0, acc.1),
+        );
+        let s = g.sink("sums", 0); // same stratum as the fold: illegal
+        g.edge(src, fold);
+        g.edge(fold, s);
+        assert!(matches!(
+            g.finish(),
+            Err(GraphError::FoldConsumedInOwnStratum { .. })
+        ));
+    }
+
+    #[test]
+    fn lattice_cell_reaches_fixpoint_and_dedups() {
+        // Running max: many updates, emits only on growth.
+        let mut g = GraphBuilder::<(i64, i64)>::new();
+        let src = g.source("in", 0);
+        let cell = g.lattice_cell(0, Persistence::Mutable, (i64::MIN, 0), |state, d| {
+            if d.0 > state.0 {
+                *state = d;
+                true
+            } else {
+                false
+            }
+        });
+        let s = g.sink("max", 0);
+        g.edge(src, cell);
+        g.edge(cell, s);
+        let mut graph = g.finish().unwrap();
+        graph.push_input("in", vec![(3, 0), (1, 0), (5, 0), (2, 0)]);
+        let out = graph.tick();
+        // One batch, one merge pass, one emission of the final max.
+        assert_eq!(out.sink("max"), &[(5, 0)]);
+
+        // Cell state persists across ticks: a smaller update emits nothing.
+        graph.push_input("in", vec![(4, 0)]);
+        let out2 = graph.tick();
+        assert!(out2.sink("max").is_empty());
+    }
+
+    #[test]
+    fn tick_state_resets_but_mutable_persists() {
+        let mut g = GraphBuilder::<(i64, i64)>::new();
+        let src = g.source("in", 0);
+        let d_tick = g.distinct(0, Persistence::Tick);
+        let s1 = g.sink("tick_scoped", 0);
+        let d_mut = g.distinct(0, Persistence::Mutable);
+        let s2 = g.sink("persistent", 0);
+        g.edge(src, d_tick);
+        g.edge(d_tick, s1);
+        g.edge(src, d_mut);
+        g.edge(d_mut, s2);
+        let mut graph = g.finish().unwrap();
+        graph.push_input("in", vec![(1, 1)]);
+        graph.tick();
+        graph.push_input("in", vec![(1, 1)]);
+        let out = graph.tick();
+        // Tick-scoped distinct forgot (1,1); persistent one remembered.
+        assert_eq!(out.sink("tick_scoped"), &[(1, 1)]);
+        assert!(out.sink("persistent").is_empty());
+    }
+
+    #[test]
+    fn inspect_observes_without_altering() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let seen2 = Rc::clone(&seen);
+        let mut g = GraphBuilder::<(i64, i64)>::new();
+        let src = g.source("in", 0);
+        let ins = g.inspect(0, move |d| seen2.borrow_mut().push(*d));
+        let s = g.sink("out", 0);
+        g.edge(src, ins);
+        g.edge(ins, s);
+        let mut graph = g.finish().unwrap();
+        graph.push_input("in", vec![(7, 7)]);
+        let out = graph.tick();
+        assert_eq!(out.sink("out"), &[(7, 7)]);
+        assert_eq!(*seen.borrow(), vec![(7, 7)]);
+    }
+
+    #[test]
+    fn items_processed_accounts_work() {
+        let mut g = tc_graph();
+        g.push_input("edges", vec![(1, 2), (2, 3)]);
+        g.tick();
+        assert!(g.items_processed() > 0);
+        assert_eq!(g.ticks_run(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn engine_tc_matches_reference(
+            edges in proptest::collection::vec((0i64..8, 0i64..8), 0..24)
+        ) {
+            let mut g = tc_graph();
+            g.push_input("edges", edges.clone());
+            let out = g.tick();
+            let got: BTreeSet<_> = out.sink("tc").iter().copied().collect();
+            prop_assert_eq!(got, reference_tc(&edges));
+        }
+
+        #[test]
+        fn tick_output_insensitive_to_input_batch_order(
+            edges in proptest::collection::vec((0i64..6, 0i64..6), 0..16)
+        ) {
+            let mut g1 = tc_graph();
+            g1.push_input("edges", edges.clone());
+            let a: BTreeSet<_> = g1.tick().sink("tc").iter().copied().collect();
+
+            let mut reversed = edges;
+            reversed.reverse();
+            let mut g2 = tc_graph();
+            g2.push_input("edges", reversed);
+            let b: BTreeSet<_> = g2.tick().sink("tc").iter().copied().collect();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,442 @@
+//! Adaptive re-optimization: the §9.2 monitoring/adaptation loop.
+//!
+//! §1.1 demands deployments that "redeploy \[themselves\] dynamically —
+//! autoscale — to work efficiently as workloads grow and shrink by orders
+//! of magnitude", and §9.2 calls for "runtime monitoring and adaptive code
+//! generation" with reformulation "periodically … based on the data
+//! available. Predicting or detecting when a reformulation is needed" is
+//! flagged as the interesting part — this module implements the detection
+//! side:
+//!
+//! * [`WorkloadMonitor`] — the "monitoring hooks inserted into each local
+//!   data flow" (§2.2): per-handler request counters aggregated into
+//!   windowed rates and smoothed with an EWMA so replanning reacts to
+//!   sustained shifts, not noise.
+//! * [`Autoscaler`] — wraps the target-facet optimizer ([`crate::target`])
+//!   behind a drift detector with hysteresis and a cooldown: it re-solves
+//!   the integer program only when some handler's smoothed demand has
+//!   drifted beyond a configurable band since the last plan. Without the
+//!   band, every monitoring tick would churn the deployment ("flapping") —
+//!   experiment E14 quantifies that ablation.
+
+use crate::target::{solve, Allocation, HandlerLoad, ImplVariant, MachineType, SolveError};
+use hydro_core::facets::TargetSpec;
+use std::collections::BTreeMap;
+
+/// Monitoring and replanning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptiveConfig {
+    /// EWMA smoothing factor in `(0, 1]`; higher = more reactive.
+    pub ewma_alpha: f64,
+    /// Relative drift (e.g. `0.3` = ±30%) of any handler's smoothed rate
+    /// vs. the rate it was last planned for that triggers a replan.
+    pub drift_threshold: f64,
+    /// Minimum seconds between replans (cooldown against flapping).
+    pub cooldown_s: f64,
+    /// Instance-count search bound passed to the solver.
+    pub max_instances_per_handler: u32,
+    /// Capacity headroom: the plan is solved for `headroom ×` the observed
+    /// demand, absorbing growth between replans (standard autoscaling
+    /// practice; 1.0 = plan exactly at the observed rate).
+    pub headroom: f64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            ewma_alpha: 0.5,
+            drift_threshold: 0.3,
+            cooldown_s: 120.0,
+            max_instances_per_handler: 1024,
+            headroom: 1.5,
+        }
+    }
+}
+
+/// Windowed, EWMA-smoothed per-handler arrival rates.
+#[derive(Clone, Debug, Default)]
+pub struct WorkloadMonitor {
+    counts: BTreeMap<String, u64>,
+    rates: BTreeMap<String, f64>,
+    alpha: f64,
+}
+
+impl WorkloadMonitor {
+    /// New monitor with the given smoothing factor.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0);
+        WorkloadMonitor {
+            counts: BTreeMap::new(),
+            rates: BTreeMap::new(),
+            alpha,
+        }
+    }
+
+    /// Record `n` requests for `handler` in the current window (the
+    /// per-flow monitoring hook).
+    pub fn observe(&mut self, handler: &str, n: u64) {
+        *self.counts.entry(handler.to_string()).or_insert(0) += n;
+    }
+
+    /// Close a window of `window_s` seconds: fold the window's raw rates
+    /// into the EWMA and reset the counters. Returns the smoothed rates.
+    pub fn roll_window(&mut self, window_s: f64) -> &BTreeMap<String, f64> {
+        assert!(window_s > 0.0);
+        let alpha = self.alpha;
+        for (handler, count) in std::mem::take(&mut self.counts) {
+            let raw = count as f64 / window_s;
+            self.rates
+                .entry(handler)
+                .and_modify(|r| *r = alpha * raw + (1.0 - alpha) * *r)
+                .or_insert(raw);
+        }
+        // Handlers silent this window decay toward zero.
+        for rate in self.rates.values_mut() {
+            if *rate < 1e-9 {
+                *rate = 0.0;
+            }
+        }
+        &self.rates
+    }
+
+    /// Current smoothed rate for a handler.
+    pub fn rate(&self, handler: &str) -> f64 {
+        self.rates.get(handler).copied().unwrap_or(0.0)
+    }
+}
+
+/// One replanning event.
+#[derive(Clone, Debug)]
+pub struct Replan {
+    /// Virtual time of the replan (seconds).
+    pub at_s: f64,
+    /// Which handler's drift triggered it, and by how much (relative).
+    pub trigger: String,
+    /// Machine count before → after.
+    pub machines: (u32, u32),
+    /// Per-handler instance deltas.
+    pub deltas: BTreeMap<String, i64>,
+}
+
+/// The §9.2 loop: monitor → detect drift → re-solve → redeploy.
+pub struct Autoscaler {
+    catalog: Vec<MachineType>,
+    targets: TargetSpec,
+    variants: BTreeMap<String, Vec<ImplVariant>>,
+    config: AdaptiveConfig,
+    /// Monitoring hooks feed this.
+    pub monitor: WorkloadMonitor,
+    /// The live deployment (None until first plan).
+    current: Option<Allocation>,
+    /// Rates the current plan was solved for.
+    planned_rates: BTreeMap<String, f64>,
+    last_replan_s: f64,
+    /// All replans so far (the audit trail E14 reports).
+    pub replans: Vec<Replan>,
+}
+
+impl Autoscaler {
+    /// Build an autoscaler for the given handlers.
+    pub fn new(
+        catalog: Vec<MachineType>,
+        targets: TargetSpec,
+        variants: BTreeMap<String, Vec<ImplVariant>>,
+        config: AdaptiveConfig,
+    ) -> Self {
+        let alpha = config.ewma_alpha;
+        Autoscaler {
+            catalog,
+            targets,
+            variants,
+            config,
+            monitor: WorkloadMonitor::new(alpha),
+            current: None,
+            planned_rates: BTreeMap::new(),
+            last_replan_s: f64::NEG_INFINITY,
+            replans: Vec::new(),
+        }
+    }
+
+    /// The live allocation, if planned.
+    pub fn allocation(&self) -> Option<&Allocation> {
+        self.current.as_ref()
+    }
+
+    fn loads_from(&self, rates: &BTreeMap<String, f64>) -> Vec<HandlerLoad> {
+        self.variants
+            .iter()
+            .map(|(handler, variants)| HandlerLoad {
+                handler: handler.clone(),
+                // The solver needs a strictly positive demand; idle
+                // handlers keep a nominal trickle so they stay deployed.
+                // Headroom absorbs growth until the next replan.
+                demand_rps: (rates.get(handler).copied().unwrap_or(0.0) * self.config.headroom)
+                    .max(0.1),
+                variants: variants.clone(),
+            })
+            .collect()
+    }
+
+    /// Largest relative drift between smoothed and planned rates, with the
+    /// offending handler.
+    fn max_drift(&self, rates: &BTreeMap<String, f64>) -> (f64, String) {
+        let mut worst = (0.0f64, String::new());
+        for (handler, &rate) in rates {
+            let planned = self.planned_rates.get(handler).copied().unwrap_or(0.0);
+            let base = planned.max(1.0);
+            let drift = (rate - planned).abs() / base;
+            if drift > worst.0 {
+                worst = (drift, handler.clone());
+            }
+        }
+        worst
+    }
+
+    /// Close a monitoring window at virtual time `now_s` and replan if the
+    /// drift detector fires (or no plan exists yet).
+    ///
+    /// Returns the replan performed, if any.
+    pub fn step(&mut self, now_s: f64, window_s: f64) -> Result<Option<Replan>, SolveError> {
+        let rates = self.monitor.roll_window(window_s).clone();
+        let (drift, trigger) = self.max_drift(&rates);
+        let need_first_plan = self.current.is_none();
+        let cooled = now_s - self.last_replan_s >= self.config.cooldown_s;
+        if !need_first_plan && (drift < self.config.drift_threshold || !cooled) {
+            return Ok(None);
+        }
+
+        let loads = self.loads_from(&rates);
+        let new = solve(
+            &self.catalog,
+            &loads,
+            &self.targets,
+            self.config.max_instances_per_handler,
+            None,
+        )?;
+        let old_machines = self.current.as_ref().map_or(0, |a| a.total_machines);
+        let mut deltas = BTreeMap::new();
+        for h in &new.handlers {
+            let before = self
+                .current
+                .as_ref()
+                .and_then(|a| a.handlers.iter().find(|o| o.handler == h.handler))
+                .map_or(0, |o| i64::from(o.instances));
+            deltas.insert(h.handler.clone(), i64::from(h.instances) - before);
+        }
+        let replan = Replan {
+            at_s: now_s,
+            trigger: if need_first_plan {
+                "initial plan".to_string()
+            } else {
+                format!("{trigger} drifted {:.0}%", drift * 100.0)
+            },
+            machines: (old_machines, new.total_machines),
+            deltas,
+        };
+        self.planned_rates = rates;
+        self.last_replan_s = now_s;
+        self.current = Some(new);
+        self.replans.push(replan.clone());
+        Ok(Some(replan))
+    }
+
+    /// Modeled latency of the current plan at the given offered rate —
+    /// used to check whether the plan still meets its SLO between replans.
+    pub fn modeled_latency_ms(&self, handler: &str, offered_rps: f64) -> Option<f64> {
+        let alloc = self.current.as_ref()?;
+        let h = alloc.handlers.iter().find(|h| h.handler == handler)?;
+        let machine = self.catalog.iter().find(|m| m.name == h.machine)?;
+        let variant = self
+            .variants
+            .get(handler)?
+            .iter()
+            .find(|v| v.name == h.variant)?;
+        crate::target::modeled_latency_ms(
+            variant.service_ms / machine.speed,
+            offered_rps,
+            h.instances,
+        )
+    }
+}
+
+/// A synthetic diurnal demand trace: `steps` windows covering 24 h, demand
+/// swinging sinusoidally between `low_rps` and `high_rps`, plus an
+/// optional flash-crowd spike multiplying demand by `spike_factor` for the
+/// window at `spike_at` (§1.1: "workloads grow and shrink by orders of
+/// magnitude").
+pub fn diurnal_trace(
+    steps: usize,
+    low_rps: f64,
+    high_rps: f64,
+    spike_at: Option<usize>,
+    spike_factor: f64,
+) -> Vec<f64> {
+    (0..steps)
+        .map(|i| {
+            let phase = i as f64 / steps as f64 * std::f64::consts::TAU;
+            // Trough at step 0 (midnight), peak mid-trace.
+            let base = low_rps + (high_rps - low_rps) * (0.5 - 0.5 * phase.cos());
+            if spike_at == Some(i) {
+                base * spike_factor
+            } else {
+                base
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::target::demo_catalog;
+    use hydro_core::facets::{TargetReq, TargetSpec};
+
+    fn api_variants() -> BTreeMap<String, Vec<ImplVariant>> {
+        BTreeMap::from([(
+            "api".to_string(),
+            vec![ImplVariant {
+                name: "v1".into(),
+                service_ms: 10.0,
+                needs_gpu: false,
+            }],
+        )])
+    }
+
+    fn targets() -> TargetSpec {
+        TargetSpec {
+            default: TargetReq {
+                latency_ms: Some(50),
+                cost_milli: None,
+                processor: None,
+            },
+            per_handler: Default::default(),
+        }
+    }
+
+    fn scaler(config: AdaptiveConfig) -> Autoscaler {
+        Autoscaler::new(demo_catalog(), targets(), api_variants(), config)
+    }
+
+    #[test]
+    fn ewma_smooths_bursts() {
+        let mut m = WorkloadMonitor::new(0.5);
+        m.observe("api", 1000);
+        m.roll_window(1.0);
+        assert_eq!(m.rate("api"), 1000.0, "first window seeds the EWMA");
+        m.observe("api", 0);
+        m.roll_window(1.0);
+        assert_eq!(m.rate("api"), 500.0, "decays, not drops");
+    }
+
+    #[test]
+    fn first_step_always_plans() {
+        let mut a = scaler(AdaptiveConfig::default());
+        a.monitor.observe("api", 100);
+        let replan = a.step(0.0, 1.0).unwrap().expect("initial plan");
+        assert_eq!(replan.trigger, "initial plan");
+        assert!(a.allocation().unwrap().total_machines >= 1);
+    }
+
+    #[test]
+    fn steady_load_never_replans() {
+        let mut a = scaler(AdaptiveConfig::default());
+        for step in 0..20 {
+            a.monitor.observe("api", 100);
+            a.step(step as f64 * 300.0, 1.0).unwrap();
+        }
+        assert_eq!(a.replans.len(), 1, "only the initial plan");
+    }
+
+    #[test]
+    fn order_of_magnitude_growth_scales_out() {
+        let mut a = scaler(AdaptiveConfig::default());
+        a.monitor.observe("api", 50);
+        a.step(0.0, 1.0).unwrap();
+        let small = a.allocation().unwrap().total_machines;
+        // 100× the demand, past the cooldown.
+        for step in 1..6 {
+            a.monitor.observe("api", 5000);
+            a.step(step as f64 * 300.0, 1.0).unwrap();
+        }
+        let big = a.allocation().unwrap().total_machines;
+        assert!(
+            big > small,
+            "machines must grow with demand ({small} -> {big})"
+        );
+        assert!(a.replans.len() >= 2);
+    }
+
+    #[test]
+    fn shrinking_demand_scales_back_in() {
+        let mut a = scaler(AdaptiveConfig::default());
+        a.monitor.observe("api", 5000);
+        a.step(0.0, 1.0).unwrap();
+        let big = a.allocation().unwrap().total_machines;
+        for step in 1..8 {
+            a.monitor.observe("api", 50);
+            a.step(step as f64 * 300.0, 1.0).unwrap();
+        }
+        let small = a.allocation().unwrap().total_machines;
+        assert!(small < big, "scale-in after sustained drop ({big} -> {small})");
+        assert!(
+            a.replans.iter().any(|r| r.deltas["api"] < 0),
+            "some replan released instances: {:?}",
+            a.replans
+        );
+    }
+
+    #[test]
+    fn cooldown_prevents_flapping() {
+        let mut strict = scaler(AdaptiveConfig {
+            cooldown_s: 10_000.0,
+            ..AdaptiveConfig::default()
+        });
+        // Demand alternates every window; cooldown must suppress churn.
+        for step in 0..20 {
+            let n = if step % 2 == 0 { 100 } else { 3000 };
+            strict.monitor.observe("api", n);
+            strict.step(step as f64 * 60.0, 1.0).unwrap();
+        }
+        assert_eq!(strict.replans.len(), 1, "cooldown holds the plan");
+
+        let mut loose = scaler(AdaptiveConfig {
+            cooldown_s: 0.0,
+            drift_threshold: 0.0,
+            ..AdaptiveConfig::default()
+        });
+        for step in 0..20 {
+            let n = if step % 2 == 0 { 100 } else { 3000 };
+            loose.monitor.observe("api", n);
+            loose.step(step as f64 * 60.0, 1.0).unwrap();
+        }
+        assert!(
+            loose.replans.len() > 10,
+            "no hysteresis → flapping ({} replans)",
+            loose.replans.len()
+        );
+    }
+
+    #[test]
+    fn diurnal_trace_spans_the_requested_range() {
+        let t = diurnal_trace(48, 10.0, 1000.0, Some(30), 3.0);
+        assert_eq!(t.len(), 48);
+        let min = t.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = t.iter().copied().fold(0.0, f64::max);
+        assert!((9.9..20.0).contains(&min));
+        assert!(max > 1000.0, "spike exceeds the plateau: {max}");
+        assert_eq!(t[0], 10.0, "trough at midnight");
+    }
+
+    #[test]
+    fn modeled_latency_tracks_the_live_plan() {
+        let mut a = scaler(AdaptiveConfig::default());
+        a.monitor.observe("api", 100);
+        a.step(0.0, 1.0).unwrap();
+        let at_plan = a.modeled_latency_ms("api", 100.0).unwrap();
+        assert!(at_plan <= 50.0, "meets the SLO it was planned for");
+        // Overload far beyond the plan saturates the model.
+        assert!(a
+            .modeled_latency_ms("api", 1e9)
+            .is_none_or(|l| l > 50.0));
+    }
+}

@@ -1,0 +1,32 @@
+//! # hydrolysis
+//!
+//! The **Hydrolysis** compiler (§2.2): takes a HydroLogic specification and
+//! generates programs against the Hydroflow runtime's APIs, choosing among
+//! the primitive families §2.2 enumerates:
+//!
+//! * [`lower`] — *"the choice of … concrete physical implementations (e.g.
+//!   join algorithm) to implement the semantics facet running as a local
+//!   data flow on a single node"*: rule-to-operator-graph lowering with
+//!   semi-naive recursion, stratified negation and aggregation, verified by
+//!   differential testing against the interpreter.
+//! * [`chestnut`] — *"the choice of data structures for collection types"*
+//!   (§5): enumeration + cost-model synthesis of physical layouts, plus an
+//!   executable [`chestnut::Store`] for every layout so the model can be
+//!   validated by measurement (experiment E4's up-to-42× claim).
+//! * [`target`] — the §9 integer program mapping handlers onto a machine
+//!   catalog under latency/cost/processor constraints, with backtracking
+//!   across implementation variants and adaptive re-optimization
+//!   (experiment E6).
+//!
+//! Replication/consistency protocol synthesis — the remaining primitive
+//! families of §2.2 — live in `hydro-deploy`, which consumes this crate's
+//! allocations.
+
+pub mod adaptive;
+pub mod chestnut;
+pub mod lower;
+pub mod target;
+
+pub use chestnut::{synthesize, LayoutPlan, Store, Workload};
+pub use lower::{compile_queries, CompileError, CompiledQueries};
+pub use target::{demo_catalog, solve, Allocation, HandlerLoad, ImplVariant, MachineType};

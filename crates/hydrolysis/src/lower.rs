@@ -1,0 +1,940 @@
+//! Lowering HydroLogic rules to Hydroflow operator graphs (§8).
+//!
+//! "A program in HydroLogic can be lowered (compiled) to a set of
+//! single-node Hydroflow algebra expressions in a straightforward fashion,
+//! much as one can compile SQL to relational algebra." This module is that
+//! lowering for the query (view) fragment of the IR:
+//!
+//! * each base relation (table or mailbox) becomes a source;
+//! * each rule body becomes a join/filter/flat-map pipeline over *binding
+//!   tuples* (the compiled analogue of the interpreter's environments);
+//! * each view gets a `Distinct` hub — which both unions the view's rules
+//!   and, because only never-before-seen tuples pass, makes recursive rules
+//!   evaluate **semi-naively** (experiment E8 measures the win over the
+//!   interpreter's naive fixpoint);
+//! * negation lowers to an antijoin and aggregation to a grouped fold, each
+//!   placed at the stratum boundary computed by `hydro_core::eval::stratify`.
+//!
+//! Expressions inside compiled pipelines must be *pure* (no UDF calls, no
+//! scalar/table reads); rules using impure expressions are rejected with
+//! [`CompileError::Unsupported`] and stay on the interpreter path — the
+//! "UDFs stay black boxes" contract of §3.1.
+
+use hydro_core::ast::{AggFun, BodyAtom, CmpOp, ArithOp, Expr, Program, Rule, Term};
+use hydro_core::eval::{stratify, Row};
+use hydro_core::Value;
+use hydro_flow::{FlowGraph, GraphBuilder, OpId, Persistence, Port};
+use rustc_hash::FxHashMap;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Errors raised during lowering.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// The construct cannot run in a compiled pipeline.
+    Unsupported(String),
+    /// A rule references an unknown relation.
+    UnknownRelation(String),
+    /// Head/pattern arity mismatch.
+    Arity(String),
+    /// The rule set is not stratifiable.
+    NotStratifiable(String),
+    /// Graph assembly failed (internal invariant).
+    Graph(String),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Unsupported(s) => write!(f, "unsupported in compiled plan: {s}"),
+            CompileError::UnknownRelation(r) => write!(f, "unknown relation {r:?}"),
+            CompileError::Arity(s) => write!(f, "arity error: {s}"),
+            CompileError::NotStratifiable(s) => write!(f, "not stratifiable: {s}"),
+            CompileError::Graph(s) => write!(f, "graph assembly error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// A compiled expression over a binding tuple: variables resolved to
+/// positions, evaluable without any interpreter context.
+#[derive(Clone, Debug)]
+enum CExpr {
+    Const(Value),
+    Slot(usize),
+    Cmp(CmpOp, Box<CExpr>, Box<CExpr>),
+    Arith(ArithOp, Box<CExpr>, Box<CExpr>),
+    Not(Box<CExpr>),
+    And(Box<CExpr>, Box<CExpr>),
+    Or(Box<CExpr>, Box<CExpr>),
+    Tuple(Vec<CExpr>),
+    Index(Box<CExpr>, usize),
+    SetBuild(Vec<CExpr>),
+    Contains(Box<CExpr>, Box<CExpr>),
+    Len(Box<CExpr>),
+}
+
+fn compile_expr(expr: &Expr, schema: &[String]) -> Result<CExpr, CompileError> {
+    Ok(match expr {
+        Expr::Const(v) => CExpr::Const(v.clone()),
+        Expr::Var(name) => {
+            let pos = schema
+                .iter()
+                .position(|s| s == name)
+                .ok_or_else(|| CompileError::Unsupported(format!("unbound variable {name:?}")))?;
+            CExpr::Slot(pos)
+        }
+        Expr::Cmp(op, l, r) => CExpr::Cmp(
+            *op,
+            Box::new(compile_expr(l, schema)?),
+            Box::new(compile_expr(r, schema)?),
+        ),
+        Expr::Arith(op, l, r) => CExpr::Arith(
+            *op,
+            Box::new(compile_expr(l, schema)?),
+            Box::new(compile_expr(r, schema)?),
+        ),
+        Expr::Not(e) => CExpr::Not(Box::new(compile_expr(e, schema)?)),
+        Expr::And(l, r) => CExpr::And(
+            Box::new(compile_expr(l, schema)?),
+            Box::new(compile_expr(r, schema)?),
+        ),
+        Expr::Or(l, r) => CExpr::Or(
+            Box::new(compile_expr(l, schema)?),
+            Box::new(compile_expr(r, schema)?),
+        ),
+        Expr::Tuple(items) => CExpr::Tuple(
+            items
+                .iter()
+                .map(|e| compile_expr(e, schema))
+                .collect::<Result<_, _>>()?,
+        ),
+        Expr::Index(e, i) => CExpr::Index(Box::new(compile_expr(e, schema)?), *i),
+        Expr::SetBuild(items) => CExpr::SetBuild(
+            items
+                .iter()
+                .map(|e| compile_expr(e, schema))
+                .collect::<Result<_, _>>()?,
+        ),
+        Expr::Contains(s, i) => CExpr::Contains(
+            Box::new(compile_expr(s, schema)?),
+            Box::new(compile_expr(i, schema)?),
+        ),
+        Expr::Len(e) => CExpr::Len(Box::new(compile_expr(e, schema)?)),
+        other => {
+            return Err(CompileError::Unsupported(format!(
+                "impure expression {other:?} in compiled pipeline"
+            )))
+        }
+    })
+}
+
+fn eval_cexpr(e: &CExpr, bindings: &[Value]) -> Value {
+    match e {
+        CExpr::Const(v) => v.clone(),
+        CExpr::Slot(i) => bindings[*i].clone(),
+        CExpr::Cmp(op, l, r) => {
+            let l = eval_cexpr(l, bindings);
+            let r = eval_cexpr(r, bindings);
+            Value::Bool(match op {
+                CmpOp::Eq => l == r,
+                CmpOp::Ne => l != r,
+                CmpOp::Lt => l < r,
+                CmpOp::Le => l <= r,
+                CmpOp::Gt => l > r,
+                CmpOp::Ge => l >= r,
+            })
+        }
+        CExpr::Arith(op, l, r) => {
+            let l = eval_cexpr(l, bindings).as_int().unwrap_or(0);
+            let r = eval_cexpr(r, bindings).as_int().unwrap_or(0);
+            Value::Int(match op {
+                ArithOp::Add => l.wrapping_add(r),
+                ArithOp::Sub => l.wrapping_sub(r),
+                ArithOp::Mul => l.wrapping_mul(r),
+                ArithOp::Div => {
+                    if r == 0 {
+                        0
+                    } else {
+                        l.wrapping_div(r)
+                    }
+                }
+                ArithOp::Mod => {
+                    if r == 0 {
+                        0
+                    } else {
+                        l.wrapping_rem(r)
+                    }
+                }
+            })
+        }
+        CExpr::Not(e) => Value::Bool(!matches!(eval_cexpr(e, bindings), Value::Bool(true))),
+        CExpr::And(l, r) => {
+            if matches!(eval_cexpr(l, bindings), Value::Bool(true)) {
+                eval_cexpr(r, bindings)
+            } else {
+                Value::Bool(false)
+            }
+        }
+        CExpr::Or(l, r) => {
+            if matches!(eval_cexpr(l, bindings), Value::Bool(true)) {
+                Value::Bool(true)
+            } else {
+                eval_cexpr(r, bindings)
+            }
+        }
+        CExpr::Tuple(items) => Value::Tuple(items.iter().map(|e| eval_cexpr(e, bindings)).collect()),
+        CExpr::Index(e, i) => match eval_cexpr(e, bindings) {
+            Value::Tuple(t) => t.get(*i).cloned().unwrap_or(Value::Null),
+            _ => Value::Null,
+        },
+        CExpr::SetBuild(items) => {
+            Value::Set(items.iter().map(|e| eval_cexpr(e, bindings)).collect())
+        }
+        CExpr::Contains(s, i) => {
+            let item = eval_cexpr(i, bindings);
+            match eval_cexpr(s, bindings) {
+                Value::Set(set) => Value::Bool(set.contains(&item)),
+                _ => Value::Bool(false),
+            }
+        }
+        CExpr::Len(e) => match eval_cexpr(e, bindings) {
+            Value::Set(s) => Value::Int(s.len() as i64),
+            Value::Tuple(t) => Value::Int(t.len() as i64),
+            _ => Value::Null,
+        },
+    }
+}
+
+/// A compiled query plan: a Hydroflow graph whose sources are the program's
+/// base relations and whose sinks are its views.
+pub struct CompiledQueries {
+    graph: FlowGraph<Value>,
+    /// Base relation names expected as inputs.
+    pub inputs: Vec<String>,
+    /// Compiled view names.
+    pub views: Vec<String>,
+}
+
+impl CompiledQueries {
+    /// Evaluate all views for one snapshot of the base relations.
+    /// Missing inputs are treated as empty.
+    pub fn run(&mut self, base: &BTreeMap<String, Vec<Row>>) -> BTreeMap<String, BTreeSet<Row>> {
+        for name in &self.inputs {
+            if let Some(rows) = base.get(name) {
+                self.graph
+                    .push_input(name, rows.iter().cloned().map(Value::Tuple));
+            }
+        }
+        let out = self.graph.tick();
+        let mut result = BTreeMap::new();
+        for view in &self.views {
+            let rows: BTreeSet<Row> = out
+                .sink(view)
+                .iter()
+                .filter_map(|v| v.as_tuple().map(<[Value]>::to_vec))
+                .collect();
+            result.insert(view.clone(), rows);
+        }
+        result
+    }
+
+    /// Work counter from the underlying graph (items processed).
+    pub fn items_processed(&self) -> u64 {
+        self.graph.items_processed()
+    }
+}
+
+struct Lowering<'p> {
+    /// Retained for future lowering passes that need table metadata
+    /// (e.g. key-aware join planning).
+    #[allow(dead_code)]
+    program: &'p Program,
+    builder: GraphBuilder<Value>,
+    /// Base relation name → source op.
+    sources: FxHashMap<String, OpId>,
+    /// View name → (distinct hub, stratum).
+    view_hubs: FxHashMap<String, (OpId, usize)>,
+    arities: BTreeMap<String, usize>,
+}
+
+/// Compile a program's rules and aggregations into a Hydroflow graph.
+pub fn compile_queries(program: &Program) -> Result<CompiledQueries, CompileError> {
+    let strata =
+        stratify(program).map_err(|e| CompileError::NotStratifiable(e.to_string()))?;
+    let mut lowering = Lowering {
+        program,
+        builder: GraphBuilder::new(),
+        sources: FxHashMap::default(),
+        view_hubs: FxHashMap::default(),
+        arities: program.relation_arities(),
+    };
+
+    // Sources for base relations (tables + mailboxes).
+    let mut inputs = Vec::new();
+    for t in &program.tables {
+        let id = lowering.builder.source(&t.name, 0);
+        lowering.sources.insert(t.name.clone(), id);
+        inputs.push(t.name.clone());
+    }
+    for m in &program.mailboxes {
+        let id = lowering.builder.source(&m.name, 0);
+        lowering.sources.insert(m.name.clone(), id);
+        inputs.push(m.name.clone());
+    }
+    for h in &program.handlers {
+        let id = lowering.builder.source(&h.name, 0);
+        lowering.sources.insert(h.name.clone(), id);
+        inputs.push(h.name.clone());
+    }
+
+    // Distinct hub + sink per view.
+    let mut views = Vec::new();
+    let mut view_names: Vec<(String, usize)> = strata
+        .iter()
+        .map(|(name, s)| (name.clone(), *s))
+        .collect();
+    view_names.sort();
+    for (name, stratum) in &view_names {
+        let hub = lowering.builder.distinct(*stratum, Persistence::Tick);
+        let sink = lowering.builder.sink(name, *stratum);
+        lowering.builder.edge(hub, sink);
+        lowering.view_hubs.insert(name.clone(), (hub, *stratum));
+        views.push(name.clone());
+    }
+
+    // Lower every rule into its head's stratum.
+    for rule in &program.rules {
+        let stratum = strata[&rule.head];
+        lowering.lower_rule(rule, stratum)?;
+    }
+    for agg in &program.agg_rules {
+        let stratum = strata[&agg.head];
+        lowering.lower_agg(agg, stratum)?;
+    }
+
+    let graph = lowering
+        .builder
+        .finish()
+        .map_err(|e| CompileError::Graph(e.to_string()))?;
+    Ok(CompiledQueries {
+        graph,
+        inputs,
+        views,
+    })
+}
+
+impl<'p> Lowering<'p> {
+    /// The op producing full rows of `rel` and the stratum it lives in.
+    fn relation_op(&self, rel: &str) -> Result<(OpId, usize), CompileError> {
+        if let Some(id) = self.sources.get(rel) {
+            return Ok((*id, 0));
+        }
+        if let Some((hub, s)) = self.view_hubs.get(rel) {
+            return Ok((*hub, *s));
+        }
+        Err(CompileError::UnknownRelation(rel.to_string()))
+    }
+
+    /// Lower one rule body into a pipeline ending at the view hub.
+    fn lower_rule(&mut self, rule: &Rule, stratum: usize) -> Result<(), CompileError> {
+        let (mut current, mut schema) = (None::<OpId>, Vec::<String>::new());
+
+        for atom in &rule.body {
+            match atom {
+                BodyAtom::Scan { rel, terms } => {
+                    let arity = *self
+                        .arities
+                        .get(rel)
+                        .ok_or_else(|| CompileError::UnknownRelation(rel.clone()))?;
+                    if terms.len() != arity {
+                        return Err(CompileError::Arity(format!(
+                            "scan of {rel} has {} terms, arity is {arity}",
+                            terms.len()
+                        )));
+                    }
+                    let (rel_op, _) = self.relation_op(rel)?;
+                    // Normalize relation rows → tuples of the scan's fresh
+                    // variables, applying const/wildcard/dup-var filters.
+                    let terms_cl = terms.clone();
+                    let fresh: Vec<String> = {
+                        let mut seen = Vec::new();
+                        for t in terms {
+                            if let Term::Var(v) = t {
+                                if !seen.contains(v) && !schema.contains(v) {
+                                    seen.push(v.clone());
+                                }
+                            }
+                        }
+                        seen
+                    };
+                    // Variables shared with the current pipeline (join key)
+                    // plus their positions in this relation's row.
+                    let shared: Vec<(usize, usize)> = terms
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, t)| match t {
+                            Term::Var(v) => {
+                                schema.iter().position(|s| s == v).map(|lpos| (lpos, i))
+                            }
+                            _ => None,
+                        })
+                        .collect();
+                    let fresh_positions: Vec<(String, usize)> = fresh
+                        .iter()
+                        .map(|v| {
+                            let pos = terms
+                                .iter()
+                                .position(|t| matches!(t, Term::Var(x) if x == v))
+                                .expect("fresh var came from terms");
+                            (v.clone(), pos)
+                        })
+                        .collect();
+
+                    match current {
+                        None => {
+                            // First atom: filter+project relation rows to
+                            // the scan's fresh variables.
+                            let fp = fresh_positions.clone();
+                            let normalize = self.builder.filter_map(stratum, move |v: Value| {
+                                let row = v.as_tuple()?.to_vec();
+                                // const & duplicate-var consistency checks
+                                let mut bound: FxHashMap<&str, &Value> = FxHashMap::default();
+                                for (i, t) in terms_cl.iter().enumerate() {
+                                    match t {
+                                        Term::Const(c) => {
+                                            if &row[i] != c {
+                                                return None;
+                                            }
+                                        }
+                                        Term::Var(name) => {
+                                            if let Some(prev) = bound.get(name.as_str()) {
+                                                if **prev != row[i] {
+                                                    return None;
+                                                }
+                                            } else {
+                                                bound.insert(name.as_str(), &row[i]);
+                                            }
+                                        }
+                                        Term::Wildcard => {}
+                                    }
+                                }
+                                Some(Value::Tuple(
+                                    fp.iter().map(|(_, pos)| row[*pos].clone()).collect(),
+                                ))
+                            });
+                            self.builder.edge(rel_op, normalize);
+                            current = Some(normalize);
+                            schema = fresh;
+                        }
+                        Some(left) => {
+                            // Equijoin on shared vars: normalize the
+                            // relation's rows projecting both shared (key)
+                            // and fresh variables.
+                            let right_proj: Vec<usize> = terms
+                                .iter()
+                                .enumerate()
+                                .filter_map(|(i, t)| match t {
+                                    Term::Var(v)
+                                        if schema.contains(v)
+                                            || fresh.contains(v) =>
+                                    {
+                                        Some(i)
+                                    }
+                                    _ => None,
+                                })
+                                .collect();
+                            let right_vars: Vec<String> = terms
+                                .iter()
+                                .filter_map(|t| match t {
+                                    Term::Var(v)
+                                        if schema.contains(v) || fresh.contains(v) =>
+                                    {
+                                        Some(v.clone())
+                                    }
+                                    _ => None,
+                                })
+                                .collect();
+                            // Deduplicate (first occurrence wins).
+                            let mut rp = Vec::new();
+                            let mut rv = Vec::new();
+                            for (pos, var) in right_proj.iter().zip(right_vars.iter()) {
+                                if !rv.contains(var) {
+                                    rp.push(*pos);
+                                    rv.push(var.clone());
+                                }
+                            }
+                            let terms_cl2 = terms.clone();
+                            let rp_cl = rp.clone();
+                            let renorm = self.builder.filter_map(stratum, move |v: Value| {
+                                let row = v.as_tuple()?.to_vec();
+                                let mut bound: FxHashMap<&str, &Value> = FxHashMap::default();
+                                for (i, t) in terms_cl2.iter().enumerate() {
+                                    match t {
+                                        Term::Const(c) => {
+                                            if &row[i] != c {
+                                                return None;
+                                            }
+                                        }
+                                        Term::Var(name) => {
+                                            if let Some(prev) = bound.get(name.as_str()) {
+                                                if **prev != row[i] {
+                                                    return None;
+                                                }
+                                            } else {
+                                                bound.insert(name.as_str(), &row[i]);
+                                            }
+                                        }
+                                        Term::Wildcard => {}
+                                    }
+                                }
+                                Some(Value::Tuple(
+                                    rp_cl.iter().map(|pos| row[*pos].clone()).collect(),
+                                ))
+                            });
+                            self.builder.edge(rel_op, renorm);
+
+                            let left_key_pos: Vec<usize> =
+                                shared.iter().map(|(l, _)| *l).collect();
+                            let right_key_pos: Vec<usize> = shared
+                                .iter()
+                                .map(|(_, ri)| {
+                                    let var = match &terms[*ri] {
+                                        Term::Var(v) => v.clone(),
+                                        _ => unreachable!("shared positions are vars"),
+                                    };
+                                    rv.iter().position(|x| *x == var).expect("var projected")
+                                })
+                                .collect();
+                            // Output: left bindings ++ fresh vars (from right).
+                            let fresh_in_right: Vec<usize> = fresh
+                                .iter()
+                                .map(|v| rv.iter().position(|x| x == v).expect("fresh projected"))
+                                .collect();
+                            let lk = left_key_pos.clone();
+                            let rk = right_key_pos.clone();
+                            let fir = fresh_in_right.clone();
+                            let join = self.builder.join(
+                                stratum,
+                                Persistence::Tick,
+                                move |l: &Value| {
+                                    key_of(l, &lk)
+                                },
+                                move |r: &Value| {
+                                    key_of(r, &rk)
+                                },
+                                move |l: &Value, r: &Value| {
+                                    let mut out = l.as_tuple().map(<[Value]>::to_vec).unwrap_or_default();
+                                    if let Some(rt) = r.as_tuple() {
+                                        for &i in &fir {
+                                            out.push(rt[i].clone());
+                                        }
+                                    }
+                                    Value::Tuple(out)
+                                },
+                            );
+                            self.builder.edge_port(left, join, Port::Left);
+                            self.builder.edge_port(renorm, join, Port::Right);
+                            current = Some(join);
+                            schema.extend(fresh);
+                        }
+                    }
+                }
+                BodyAtom::Guard(e) => {
+                    let (cur, _) = self.require_current(current, &schema, "guard")?;
+                    let ce = compile_expr(e, &schema)?;
+                    let f = self.builder.filter(stratum, move |v: &Value| {
+                        v.as_tuple()
+                            .map(|b| matches!(eval_cexpr(&ce, b), Value::Bool(true)))
+                            .unwrap_or(false)
+                    });
+                    self.builder.edge(cur, f);
+                    current = Some(f);
+                }
+                BodyAtom::Let { var, expr } => {
+                    let (cur, _) = self.require_current(current, &schema, "let")?;
+                    let ce = compile_expr(expr, &schema)?;
+                    let m = self.builder.map(stratum, move |v: Value| {
+                        let mut b = v.as_tuple().map(<[Value]>::to_vec).unwrap_or_default();
+                        let val = eval_cexpr(&ce, &b);
+                        b.push(val);
+                        Value::Tuple(b)
+                    });
+                    self.builder.edge(cur, m);
+                    current = Some(m);
+                    schema.push(var.clone());
+                }
+                BodyAtom::Flatten { var, set } => {
+                    let (cur, _) = self.require_current(current, &schema, "flatten")?;
+                    let ce = compile_expr(set, &schema)?;
+                    let fm = self.builder.flat_map(stratum, move |v: Value| {
+                        let b = v.as_tuple().map(<[Value]>::to_vec).unwrap_or_default();
+                        match eval_cexpr(&ce, &b) {
+                            Value::Set(items) => items
+                                .into_iter()
+                                .map(|item| {
+                                    let mut out = b.clone();
+                                    out.push(item);
+                                    Value::Tuple(out)
+                                })
+                                .collect(),
+                            _ => Vec::new(),
+                        }
+                    });
+                    self.builder.edge(cur, fm);
+                    current = Some(fm);
+                    schema.push(var.clone());
+                }
+                BodyAtom::Neg { rel, args } => {
+                    let (cur, _) = self.require_current(current, &schema, "negation")?;
+                    let (rel_op, rel_stratum) = self.relation_op(rel)?;
+                    if rel_stratum >= stratum {
+                        return Err(CompileError::NotStratifiable(format!(
+                            "negated relation {rel} not in a lower stratum"
+                        )));
+                    }
+                    let ces: Vec<CExpr> = args
+                        .iter()
+                        .map(|e| compile_expr(e, &schema))
+                        .collect::<Result<_, _>>()?;
+                    let aj = self.builder.antijoin(
+                        stratum,
+                        Persistence::Tick,
+                        move |v: &Value| {
+                            let b = v.as_tuple().unwrap_or(&[]);
+                            Value::Tuple(ces.iter().map(|ce| eval_cexpr(ce, b)).collect())
+                        },
+                        |neg: &Value| neg.clone(),
+                    );
+                    self.builder.edge_port(cur, aj, Port::Pos);
+                    self.builder.edge_port(rel_op, aj, Port::Neg);
+                    current = Some(aj);
+                }
+            }
+        }
+
+        // Head projection into the view hub.
+        let (cur, _) = self.require_current(current, &schema, "head")?;
+        let head_exprs: Vec<CExpr> = rule
+            .head_exprs
+            .iter()
+            .map(|e| compile_expr(e, &schema))
+            .collect::<Result<_, _>>()?;
+        let project = self.builder.map(stratum, move |v: Value| {
+            let b = v.as_tuple().map(<[Value]>::to_vec).unwrap_or_default();
+            Value::Tuple(head_exprs.iter().map(|ce| eval_cexpr(ce, &b)).collect())
+        });
+        self.builder.edge(cur, project);
+        let (hub, _) = self.view_hubs[&rule.head];
+        self.builder.edge(project, hub);
+        Ok(())
+    }
+
+    fn lower_agg(
+        &mut self,
+        agg: &hydro_core::ast::AggRule,
+        head_stratum: usize,
+    ) -> Result<(), CompileError> {
+        // The fold accumulates one stratum below its head (its inputs are
+        // complete there) and releases into the head's stratum.
+        let fold_stratum = head_stratum.saturating_sub(1);
+        // Lower the body as a pseudo-rule projecting group ++ over ++ the
+        // body's binding variables. The trailing binding columns give the
+        // `distinct` hub below *per-binding* granularity: re-derivations
+        // of the same binding dedup (set semantics), while distinct
+        // bindings that happen to project equal (group, over) values all
+        // reach the fold (bag semantics over bindings — the interpreter's
+        // behavior, pinned by the compiler differential proptests).
+        let binding_vars = bound_vars(&agg.body);
+        let pseudo = Rule {
+            head: format!("{}@body", agg.head),
+            head_exprs: agg
+                .group_exprs
+                .iter()
+                .cloned()
+                .chain(std::iter::once(agg.over.clone()))
+                .chain(binding_vars.iter().map(|v| {
+                    hydro_core::ast::Expr::Var(v.clone())
+                }))
+                .collect(),
+            body: agg.body.clone(),
+        };
+        let hub = self.builder.distinct(fold_stratum, Persistence::Tick);
+        self.view_hubs
+            .insert(pseudo.head.clone(), (hub, fold_stratum));
+        self.lower_rule(&pseudo, fold_stratum)?;
+
+        let n_groups = agg.group_exprs.len();
+        let fun = agg.agg;
+        let fold = self.builder.fold(
+            fold_stratum,
+            Persistence::Tick,
+            move |v: &Value| {
+                let t = v.as_tuple().unwrap_or(&[]);
+                Value::Tuple(t[..n_groups.min(t.len())].to_vec())
+            },
+            move |_k: &Value| match fun {
+                AggFun::Count | AggFun::Sum => Value::Int(0),
+                AggFun::Min | AggFun::Max => Value::Null,
+                AggFun::CollectSet => Value::empty_set(),
+            },
+            move |acc: &mut Value, v: Value| {
+                // The `over` value sits right after the group columns;
+                // trailing binding columns exist only for dedup.
+                let over = v
+                    .as_tuple()
+                    .and_then(|t| t.get(n_groups).cloned())
+                    .unwrap_or(Value::Null);
+                match fun {
+                    AggFun::Count => {
+                        if let Value::Int(n) = acc {
+                            *n += 1;
+                        }
+                    }
+                    AggFun::Sum => {
+                        if let (Value::Int(n), Some(d)) = (&mut *acc, over.as_int()) {
+                            *n = n.wrapping_add(d);
+                        }
+                    }
+                    AggFun::Min => {
+                        if *acc == Value::Null || over < *acc {
+                            *acc = over;
+                        }
+                    }
+                    AggFun::Max => {
+                        if *acc == Value::Null || over > *acc {
+                            *acc = over;
+                        }
+                    }
+                    AggFun::CollectSet => {
+                        if let Value::Set(s) = acc {
+                            s.insert(over);
+                        }
+                    }
+                }
+            },
+            |k: &Value, acc: &Value| {
+                let mut row = k.as_tuple().map(<[Value]>::to_vec).unwrap_or_default();
+                row.push(acc.clone());
+                Value::Tuple(row)
+            },
+        );
+        self.builder.edge(hub, fold);
+        let (head_hub, _) = self.view_hubs[&agg.head];
+        self.builder.edge(fold, head_hub);
+        Ok(())
+    }
+
+    fn require_current(
+        &self,
+        current: Option<OpId>,
+        _schema: &[String],
+        what: &str,
+    ) -> Result<(OpId, ()), CompileError> {
+        current
+            .map(|c| (c, ()))
+            .ok_or_else(|| CompileError::Unsupported(format!("{what} before any scan")))
+    }
+}
+
+/// Variables bound by a rule body, in first-binding order, deduplicated.
+fn bound_vars(body: &[BodyAtom]) -> Vec<String> {
+    let mut vars: Vec<String> = Vec::new();
+    let mut push = |name: &str| {
+        if !vars.iter().any(|v| v == name) {
+            vars.push(name.to_string());
+        }
+    };
+    for atom in body {
+        match atom {
+            BodyAtom::Scan { terms, .. } => {
+                for t in terms {
+                    if let Term::Var(v) = t {
+                        push(v);
+                    }
+                }
+            }
+            BodyAtom::Let { var, .. } | BodyAtom::Flatten { var, .. } => push(var),
+            BodyAtom::Neg { .. } | BodyAtom::Guard(_) => {}
+        }
+    }
+    vars
+}
+
+fn key_of(v: &Value, positions: &[usize]) -> Value {
+    let t = v.as_tuple().unwrap_or(&[]);
+    Value::Tuple(positions.iter().map(|&i| t[i].clone()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydro_core::builder::dsl::*;
+    use hydro_core::builder::ProgramBuilder;
+    use hydro_core::examples::covid_program;
+
+    fn edge_program() -> Program {
+        ProgramBuilder::new()
+            .mailbox("edges", 2)
+            .rule("tc", vec![v("a"), v("b")], vec![scan("edges", &["a", "b"])])
+            .rule(
+                "tc",
+                vec![v("a"), v("c")],
+                vec![scan("tc", &["a", "b"]), scan("edges", &["b", "c"])],
+            )
+            .build()
+    }
+
+    fn rows(pairs: &[(i64, i64)]) -> Vec<Row> {
+        pairs
+            .iter()
+            .map(|(a, b)| vec![Value::Int(*a), Value::Int(*b)])
+            .collect()
+    }
+
+    #[test]
+    fn compiled_transitive_closure_matches_interpreter() {
+        let program = edge_program();
+        let mut compiled = compile_queries(&program).unwrap();
+        let edges = rows(&[(1, 2), (2, 3), (3, 4), (4, 2)]);
+        let mut base = BTreeMap::new();
+        base.insert("edges".to_string(), edges.clone());
+        let out = compiled.run(&base);
+
+        // Interpreter reference.
+        let mut interp_base = hydro_core::eval::Database::default();
+        interp_base.insert(
+            "edges".to_string(),
+            hydro_core::eval::Relation::from_rows(edges),
+        );
+        let views = hydro_core::eval::evaluate_views(
+            &program,
+            &interp_base,
+            &Default::default(),
+            &mut hydro_core::eval::UdfHost::new(),
+        )
+        .unwrap();
+        assert_eq!(out["tc"], views["tc"].to_set());
+        assert!(out["tc"].contains(&vec![Value::Int(1), Value::Int(4)]));
+    }
+
+    #[test]
+    fn compiled_negation_matches_interpreter() {
+        let program = ProgramBuilder::new()
+            .mailbox("edges", 2)
+            .mailbox("banned", 1)
+            .rule("ok", vec![v("a"), v("b")], vec![
+                scan("edges", &["a", "b"]),
+                neg("banned", vec![v("b")]),
+            ])
+            .build();
+        let mut compiled = compile_queries(&program).unwrap();
+        let mut base = BTreeMap::new();
+        base.insert("edges".to_string(), rows(&[(1, 2), (2, 3)]));
+        base.insert(
+            "banned".to_string(),
+            vec![vec![Value::Int(3)]],
+        );
+        let out = compiled.run(&base);
+        assert_eq!(
+            out["ok"],
+            BTreeSet::from([vec![Value::Int(1), Value::Int(2)]])
+        );
+    }
+
+    #[test]
+    fn compiled_aggregation_counts_groups() {
+        let program = ProgramBuilder::new()
+            .mailbox("edges", 2)
+            .agg_rule(
+                "outdeg",
+                vec![v("a")],
+                AggFun::Count,
+                v("b"),
+                vec![scan("edges", &["a", "b"])],
+            )
+            .build();
+        let mut compiled = compile_queries(&program).unwrap();
+        let mut base = BTreeMap::new();
+        base.insert("edges".to_string(), rows(&[(1, 2), (1, 3), (2, 3)]));
+        let out = compiled.run(&base);
+        assert_eq!(
+            out["outdeg"],
+            BTreeSet::from([
+                vec![Value::Int(1), Value::Int(2)],
+                vec![Value::Int(2), Value::Int(1)],
+            ])
+        );
+    }
+
+    #[test]
+    fn covid_views_compile_and_match_interpreter() {
+        let program = covid_program();
+        let mut compiled = compile_queries(&program).unwrap();
+        // people rows: pid, country, contacts, covid, vaccinated.
+        let people = vec![
+            vec![
+                Value::Int(1),
+                Value::from(""),
+                Value::set_of([Value::Int(2)]),
+                Value::Bool(false),
+                Value::Bool(false),
+            ],
+            vec![
+                Value::Int(2),
+                Value::from(""),
+                Value::set_of([Value::Int(1), Value::Int(3)]),
+                Value::Bool(false),
+                Value::Bool(false),
+            ],
+            vec![
+                Value::Int(3),
+                Value::from(""),
+                Value::set_of([Value::Int(2)]),
+                Value::Bool(false),
+                Value::Bool(false),
+            ],
+        ];
+        let mut base = BTreeMap::new();
+        base.insert("people".to_string(), people.clone());
+        let out = compiled.run(&base);
+
+        let mut interp_base = hydro_core::eval::Database::default();
+        interp_base.insert(
+            "people".to_string(),
+            hydro_core::eval::Relation::from_rows(people),
+        );
+        for h in &program.handlers {
+            interp_base.insert(h.name.clone(), hydro_core::eval::Relation::new());
+        }
+        let views = hydro_core::eval::evaluate_views(
+            &program,
+            &interp_base,
+            &Default::default(),
+            &mut hydro_core::eval::UdfHost::new(),
+        )
+        .unwrap();
+        assert_eq!(out["transitive"], views["transitive"].to_set());
+        // 1 reaches 3 through 2.
+        assert!(out["transitive"].contains(&vec![Value::Int(1), Value::Int(3)]));
+    }
+
+    #[test]
+    fn impure_expressions_are_rejected() {
+        let program = ProgramBuilder::new()
+            .mailbox("xs", 1)
+            .rule(
+                "bad",
+                vec![v("x")],
+                vec![
+                    scan("xs", &["x"]),
+                    guard(call("some_udf", vec![v("x")])),
+                ],
+            )
+            .build();
+        assert!(matches!(
+            compile_queries(&program),
+            Err(CompileError::Unsupported(_))
+        ));
+    }
+}

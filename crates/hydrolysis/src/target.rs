@@ -1,0 +1,463 @@
+//! The target facet's deployment optimizer (§9).
+//!
+//! §9.1 formulates runtime mapping as an integer program: choose instance
+//! counts `n_i` per machine type subject to per-handler latency and cost
+//! constraints (`latency(h, n_i) ≤ L`, `cost(h, n_i) ≤ C`, `Σ n_i > 0`),
+//! minimizing total spend. This module implements that optimizer with an
+//! exact search (the catalogs in the paper's examples are small), plus the
+//! two dynamics the section calls out:
+//!
+//! * **Backtracking** (§9.1 "ask previous components to choose other
+//!   implementations and reiterate"): each handler may carry several
+//!   *implementation variants* (e.g. interpreted vs. compiled plan, scan
+//!   vs. synthesized layout from [`crate::chestnut`]) with different
+//!   service times; if no allocation satisfies the targets under one
+//!   variant, the solver backtracks to the next.
+//! * **Adaptive re-optimization** (§9.2): [`solve`] is a pure function of
+//!   the demand vector, so a monitoring loop re-invokes it as workloads
+//!   shift; [`reoptimize`] shows the delta between two demand levels.
+//!
+//! The queueing model is deliberately simple and documented: a handler with
+//! arrival rate λ on `n` instances of a machine whose service time is `s`
+//! ms sees latency `s / (1 - ρ)` with utilization `ρ = λ·s / (1000·n)`
+//! (M/M/1 with perfectly split load); infeasible when `ρ ≥ 1`.
+
+use hydro_core::facets::{Processor, TargetReq, TargetSpec};
+use std::collections::BTreeMap;
+
+/// A machine type in the catalog.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MachineType {
+    /// Catalog name (e.g. `c5.large`, `g4dn`).
+    pub name: String,
+    /// Hourly price in milli-units.
+    pub hourly_milli: u64,
+    /// Whether the machine has a GPU.
+    pub gpu: bool,
+    /// Relative speed factor (1.0 = reference machine).
+    pub speed: f64,
+}
+
+/// One implementation variant of a handler (the compiler's backtracking
+/// lever): a name plus the service time on the reference machine.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ImplVariant {
+    /// Variant label (e.g. `"compiled+hash-index"`).
+    pub name: String,
+    /// Service time on a speed-1.0 CPU machine, in milliseconds.
+    pub service_ms: f64,
+    /// Whether this variant requires a GPU.
+    pub needs_gpu: bool,
+}
+
+/// Per-handler optimizer input.
+#[derive(Clone, Debug)]
+pub struct HandlerLoad {
+    /// Handler name.
+    pub handler: String,
+    /// Expected arrival rate (requests/second).
+    pub demand_rps: f64,
+    /// Implementation variants, in the order the compiler prefers them.
+    pub variants: Vec<ImplVariant>,
+}
+
+/// The chosen deployment for one handler.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HandlerAlloc {
+    /// Handler name.
+    pub handler: String,
+    /// Chosen machine type name.
+    pub machine: String,
+    /// Instance count (`n_i`).
+    pub instances: u32,
+    /// Chosen implementation variant.
+    pub variant: String,
+    /// Modeled steady-state latency (ms).
+    pub est_latency_ms: f64,
+    /// Modeled cost per call (milli-units).
+    pub est_cost_milli: f64,
+    /// How many variants were rejected before this one (backtracking
+    /// depth).
+    pub backtracks: u32,
+}
+
+/// A complete allocation.
+#[derive(Clone, Debug, Default)]
+pub struct Allocation {
+    /// Per-handler choices.
+    pub handlers: Vec<HandlerAlloc>,
+    /// Total hourly spend (milli-units).
+    pub total_hourly_milli: u64,
+    /// Total machine count.
+    pub total_machines: u32,
+}
+
+/// Why the optimizer failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SolveError {
+    /// No machine/variant/count combination meets a handler's targets.
+    Infeasible {
+        /// The handler that cannot be placed.
+        handler: String,
+        /// Human-readable diagnosis per rejected option.
+        reasons: Vec<String>,
+    },
+    /// The global machine budget is exceeded even by minimal allocations.
+    MachineBudget {
+        /// Machines needed.
+        needed: u32,
+        /// Budget given.
+        budget: u32,
+    },
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Infeasible { handler, reasons } => {
+                write!(f, "no feasible deployment for {handler:?}: {}", reasons.join("; "))
+            }
+            SolveError::MachineBudget { needed, budget } => {
+                write!(f, "needs {needed} machines, budget is {budget}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Modeled latency for `demand_rps` split over `n` instances with per-call
+/// service time `service_ms`.
+pub fn modeled_latency_ms(service_ms: f64, demand_rps: f64, n: u32) -> Option<f64> {
+    let capacity_rps = f64::from(n) * 1000.0 / service_ms;
+    let rho = demand_rps / capacity_rps;
+    if rho >= 1.0 {
+        return None; // saturated
+    }
+    Some(service_ms / (1.0 - rho))
+}
+
+/// Modeled per-call cost in milli-units: instance-hours divided by calls.
+pub fn modeled_cost_milli(hourly_milli: u64, demand_rps: f64, n: u32) -> f64 {
+    (f64::from(n) * hourly_milli as f64) / (demand_rps.max(1e-9) * 3600.0)
+}
+
+/// Solve the allocation problem for every handler.
+///
+/// `max_instances_per_handler` bounds the search; `machine_budget` (if any)
+/// caps Σ n_i across handlers.
+pub fn solve(
+    catalog: &[MachineType],
+    loads: &[HandlerLoad],
+    targets: &TargetSpec,
+    max_instances_per_handler: u32,
+    machine_budget: Option<u32>,
+) -> Result<Allocation, SolveError> {
+    let mut allocation = Allocation::default();
+    for load in loads {
+        let req = targets.for_handler(&load.handler);
+        let choice = solve_handler(catalog, load, &req, max_instances_per_handler)?;
+        allocation.total_hourly_milli += u64::from(choice.instances)
+            * catalog
+                .iter()
+                .find(|m| m.name == choice.machine)
+                .map(|m| m.hourly_milli)
+                .unwrap_or(0);
+        allocation.total_machines += choice.instances;
+        allocation.handlers.push(choice);
+    }
+    if let Some(budget) = machine_budget {
+        if allocation.total_machines > budget {
+            return Err(SolveError::MachineBudget {
+                needed: allocation.total_machines,
+                budget,
+            });
+        }
+    }
+    Ok(allocation)
+}
+
+/// Pick the cheapest feasible (variant, machine, n) for one handler,
+/// backtracking across variants in preference order.
+fn solve_handler(
+    catalog: &[MachineType],
+    load: &HandlerLoad,
+    req: &TargetReq,
+    max_n: u32,
+) -> Result<HandlerAlloc, SolveError> {
+    let mut reasons = Vec::new();
+    for (variant_ix, variant) in load.variants.iter().enumerate() {
+        let mut best: Option<HandlerAlloc> = None;
+        for machine in catalog {
+            // Capability matching (Fig. 3's processor=GPU).
+            if variant.needs_gpu && !machine.gpu {
+                continue;
+            }
+            if req.processor == Some(Processor::Gpu) && !machine.gpu {
+                continue;
+            }
+            if req.processor == Some(Processor::Cpu) && machine.gpu {
+                continue; // don't waste GPU machines on CPU-pinned handlers
+            }
+            let service_ms = variant.service_ms / machine.speed;
+            for n in 1..=max_n {
+                let Some(latency) = modeled_latency_ms(service_ms, load.demand_rps, n) else {
+                    continue;
+                };
+                if let Some(bound) = req.latency_ms {
+                    if latency > bound as f64 {
+                        continue;
+                    }
+                }
+                let cost = modeled_cost_milli(machine.hourly_milli, load.demand_rps, n);
+                if let Some(bound) = req.cost_milli {
+                    if cost > bound as f64 {
+                        // More machines only cost more; stop raising n.
+                        break;
+                    }
+                }
+                let candidate = HandlerAlloc {
+                    handler: load.handler.clone(),
+                    machine: machine.name.clone(),
+                    instances: n,
+                    variant: variant.name.clone(),
+                    est_latency_ms: latency,
+                    est_cost_milli: cost,
+                    backtracks: variant_ix as u32,
+                };
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        (candidate.est_cost_milli, candidate.instances)
+                            < (b.est_cost_milli, b.instances)
+                    }
+                };
+                if better {
+                    best = Some(candidate);
+                }
+                break; // smallest feasible n for this machine is cheapest
+            }
+        }
+        match best {
+            Some(choice) => return Ok(choice),
+            None => reasons.push(format!(
+                "variant {:?} (s={}ms): no machine/count meets latency≤{:?}ms cost≤{:?}m",
+                variant.name, variant.service_ms, req.latency_ms, req.cost_milli
+            )),
+        }
+    }
+    Err(SolveError::Infeasible {
+        handler: load.handler.clone(),
+        reasons,
+    })
+}
+
+/// Re-solve under a new demand vector and report per-handler instance
+/// deltas — the adaptive-reoptimization loop of §9.2.
+pub fn reoptimize(
+    catalog: &[MachineType],
+    old: &Allocation,
+    new_loads: &[HandlerLoad],
+    targets: &TargetSpec,
+    max_instances_per_handler: u32,
+) -> Result<(Allocation, BTreeMap<String, i64>), SolveError> {
+    let new = solve(catalog, new_loads, targets, max_instances_per_handler, None)?;
+    let mut deltas = BTreeMap::new();
+    for h in &new.handlers {
+        let before = old
+            .handlers
+            .iter()
+            .find(|o| o.handler == h.handler)
+            .map_or(0, |o| i64::from(o.instances));
+        deltas.insert(h.handler.clone(), i64::from(h.instances) - before);
+    }
+    Ok((new, deltas))
+}
+
+/// The demo catalog used by examples and benches: two CPU shapes and a GPU
+/// shape, standing in for Fig. 3's "GPU-class machines with a higher
+/// budget".
+pub fn demo_catalog() -> Vec<MachineType> {
+    vec![
+        MachineType {
+            name: "cpu.small".into(),
+            hourly_milli: 100, // 0.1 units/hour
+            gpu: false,
+            speed: 1.0,
+        },
+        MachineType {
+            name: "cpu.large".into(),
+            hourly_milli: 380,
+            gpu: false,
+            speed: 4.0,
+        },
+        MachineType {
+            name: "gpu.large".into(),
+            hourly_milli: 2500,
+            gpu: true,
+            speed: 6.0,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydro_core::examples::covid_program;
+
+    fn covid_loads(rps: f64) -> Vec<HandlerLoad> {
+        let cpu = |name: &str, service_ms: f64| HandlerLoad {
+            handler: name.to_string(),
+            demand_rps: rps,
+            variants: vec![ImplVariant {
+                name: "default".into(),
+                service_ms,
+                needs_gpu: false,
+            }],
+        };
+        vec![
+            cpu("add_person", 2.0),
+            cpu("add_contact", 2.0),
+            cpu("diagnosed", 8.0),
+            HandlerLoad {
+                handler: "likelihood".into(),
+                demand_rps: rps / 10.0,
+                variants: vec![ImplVariant {
+                    name: "ml-model".into(),
+                    service_ms: 60.0,
+                    needs_gpu: true,
+                }],
+            },
+        ]
+    }
+
+    #[test]
+    fn covid_targets_are_satisfiable() {
+        let program = covid_program();
+        let alloc = solve(
+            &demo_catalog(),
+            &covid_loads(50.0),
+            &program.targets,
+            64,
+            None,
+        )
+        .unwrap();
+        assert_eq!(alloc.handlers.len(), 4);
+        for h in &alloc.handlers {
+            let req = program.targets.for_handler(&h.handler);
+            if let Some(bound) = req.latency_ms {
+                assert!(h.est_latency_ms <= bound as f64, "{h:?}");
+            }
+        }
+        // likelihood must land on the GPU machine (Fig. 3 line 43).
+        let ml = alloc.handlers.iter().find(|h| h.handler == "likelihood").unwrap();
+        assert_eq!(ml.machine, "gpu.large");
+    }
+
+    #[test]
+    fn infeasible_targets_are_reported() {
+        let mut targets = covid_program().targets;
+        // 1 ms latency at 1 milli-cost: nothing qualifies.
+        targets.default.latency_ms = Some(1);
+        targets.default.cost_milli = Some(1);
+        let err = solve(&demo_catalog(), &covid_loads(500.0), &targets, 64, None).unwrap_err();
+        assert!(matches!(err, SolveError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn backtracking_falls_through_to_cheaper_variant() {
+        let targets = TargetSpec {
+            default: TargetReq {
+                latency_ms: Some(20),
+                cost_milli: Some(50),
+                processor: None,
+            },
+            per_handler: Default::default(),
+        };
+        let load = HandlerLoad {
+            handler: "query".into(),
+            demand_rps: 200.0,
+            variants: vec![
+                // Preferred but hopeless at this latency bound.
+                ImplVariant {
+                    name: "interpreted-scan".into(),
+                    service_ms: 400.0,
+                    needs_gpu: false,
+                },
+                // The Chestnut-synthesized layout: fast enough.
+                ImplVariant {
+                    name: "compiled+hash-index".into(),
+                    service_ms: 3.0,
+                    needs_gpu: false,
+                },
+            ],
+        };
+        let alloc = solve(&demo_catalog(), &[load], &targets, 64, None).unwrap();
+        let h = &alloc.handlers[0];
+        assert_eq!(h.variant, "compiled+hash-index");
+        assert_eq!(h.backtracks, 1);
+    }
+
+    #[test]
+    fn demand_growth_scales_instances_up() {
+        let targets = TargetSpec {
+            default: TargetReq {
+                latency_ms: Some(50),
+                cost_milli: None,
+                processor: None,
+            },
+            per_handler: Default::default(),
+        };
+        let mk = |rps: f64| {
+            vec![HandlerLoad {
+                handler: "api".into(),
+                demand_rps: rps,
+                variants: vec![ImplVariant {
+                    name: "v1".into(),
+                    service_ms: 10.0,
+                    needs_gpu: false,
+                }],
+            }]
+        };
+        let low = solve(&demo_catalog(), &mk(50.0), &targets, 256, None).unwrap();
+        let (high, deltas) =
+            reoptimize(&demo_catalog(), &low, &mk(5000.0), &targets, 256).unwrap();
+        assert!(high.total_machines > low.total_machines);
+        assert!(deltas["api"] > 0);
+    }
+
+    #[test]
+    fn machine_budget_enforced() {
+        let targets = TargetSpec {
+            default: TargetReq {
+                latency_ms: Some(11),
+                cost_milli: None,
+                processor: None,
+            },
+            per_handler: Default::default(),
+        };
+        let load = HandlerLoad {
+            handler: "hot".into(),
+            demand_rps: 20_000.0,
+            variants: vec![ImplVariant {
+                name: "v1".into(),
+                service_ms: 10.0,
+                needs_gpu: false,
+            }],
+        };
+        let err = solve(&demo_catalog(), &[load], &targets, 4096, Some(2)).unwrap_err();
+        assert!(matches!(err, SolveError::MachineBudget { .. }));
+    }
+
+    #[test]
+    fn queueing_model_sanity() {
+        // Near saturation latency blows up; at low load it approaches s.
+        assert!(modeled_latency_ms(10.0, 1.0, 1).unwrap() < 10.2);
+        assert!(modeled_latency_ms(10.0, 99.0, 1).unwrap() > 500.0);
+        assert_eq!(modeled_latency_ms(10.0, 100.0, 1), None);
+        // Adding machines reduces latency.
+        let one = modeled_latency_ms(10.0, 80.0, 1).unwrap();
+        let two = modeled_latency_ms(10.0, 80.0, 2).unwrap();
+        assert!(two < one);
+    }
+}

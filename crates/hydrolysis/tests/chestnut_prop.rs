@@ -1,0 +1,107 @@
+//! Property tests for the Chestnut-style layout synthesizer (§5.2):
+//! whatever container/access-path combination is synthesized, query
+//! answers must equal the row-list scan baseline — speed may differ,
+//! semantics may not.
+
+use hydro_core::Value;
+use hydrolysis::chestnut::{synthesize, OpPattern, Store, Workload};
+use hydrolysis::LayoutPlan;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn rows_of(triples: &[(i64, i64, i64)]) -> Vec<Vec<Value>> {
+    triples
+        .iter()
+        .map(|&(a, b, c)| vec![Value::Int(a), Value::Int(b), Value::Int(c)])
+        .collect()
+}
+
+fn as_set(rows: Vec<&Vec<Value>>) -> BTreeSet<Vec<Value>> {
+    rows.into_iter().cloned().collect()
+}
+
+/// Workloads with different hot ops steer the synthesizer toward
+/// different layouts; all must answer identically.
+fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            ops: vec![(OpPattern::LookupEq(0), 90.0), (OpPattern::Insert, 10.0)],
+            expected_rows: 10_000,
+        },
+        Workload {
+            ops: vec![(OpPattern::LookupEq(1), 50.0), (OpPattern::Range(2), 40.0), (OpPattern::Insert, 10.0)],
+            expected_rows: 10_000,
+        },
+        Workload {
+            ops: vec![(OpPattern::Range(0), 70.0), (OpPattern::LookupEq(2), 20.0), (OpPattern::Insert, 10.0)],
+            expected_rows: 10_000,
+        },
+        Workload {
+            ops: vec![(OpPattern::FullScan, 80.0), (OpPattern::Insert, 20.0)],
+            expected_rows: 100,
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn synthesized_layouts_answer_like_the_scan_baseline(
+        triples in prop::collection::vec((0i64..20, 0i64..20, 0i64..20), 0..60),
+        probe in 0i64..20,
+        lo in 0i64..10,
+        span in 0i64..10,
+    ) {
+        let rows = rows_of(&triples);
+        let hi = lo + span;
+        for workload in workloads() {
+            let plan = synthesize(3, &workload, 2).plan;
+            let mut fast = Store::new(plan.clone());
+            let mut slow = Store::new(LayoutPlan::row_list());
+            for row in &rows {
+                fast.insert(row.clone());
+                slow.insert(row.clone());
+            }
+            prop_assert_eq!(fast.len(), slow.len());
+            for col in 0..3 {
+                prop_assert_eq!(
+                    as_set(fast.lookup_eq(col, &Value::Int(probe))),
+                    as_set(slow.lookup_eq(col, &Value::Int(probe))),
+                    "lookup_eq col {} plan {:?}", col, plan
+                );
+                prop_assert_eq!(
+                    as_set(fast.range(col, &Value::Int(lo), &Value::Int(hi))),
+                    as_set(slow.range(col, &Value::Int(lo), &Value::Int(hi))),
+                    "range col {} plan {:?}", col, plan
+                );
+            }
+            prop_assert_eq!(
+                as_set(fast.scan(|r| r[0] >= Value::Int(probe))),
+                as_set(slow.scan(|r| r[0] >= Value::Int(probe)))
+            );
+        }
+    }
+
+    #[test]
+    fn synthesis_never_models_slower_than_the_baseline(
+        eq_weight in 0.0f64..100.0,
+        range_weight in 0.0f64..100.0,
+        rows in 1u64..1_000_000,
+    ) {
+        let workload = Workload {
+            ops: vec![
+                (OpPattern::LookupEq(0), eq_weight),
+                (OpPattern::Range(1), range_weight),
+                (OpPattern::Insert, 5.0),
+            ],
+            expected_rows: rows,
+        };
+        let synthesis = synthesize(3, &workload, 2);
+        prop_assert!(
+            synthesis.modeled_speedup() >= 1.0,
+            "the baseline is always in the search space, speedup {}",
+            synthesis.modeled_speedup()
+        );
+    }
+}

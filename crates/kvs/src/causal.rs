@@ -1,0 +1,203 @@
+//! Causal (vector-clock) values: the Dynamo-style multi-value register.
+//!
+//! The Anna design point (§1.2) supports consistency levels beyond LWW by
+//! swapping the *value lattice*. This module provides the causal one: a
+//! register that keeps **all causally concurrent writes** as siblings
+//! (pruning dominated ones), so no acknowledged write is silently lost —
+//! the shopping-cart lesson of §7.1. Reads return the sibling set;
+//! overwrites that causally descend from everything seen collapse it back
+//! to one value.
+//!
+//! [`CausalRegister`] is a join-semilattice (the merge takes the maximal
+//! antichain of the union under vector-clock dominance), so replicas
+//! gossiping these registers converge exactly like the LWW store — same
+//! protocol, stronger per-key guarantee.
+
+use hydro_lattice::{CausalOrd, Lattice, VectorClock};
+
+/// A multi-value register: the set of causally maximal `(clock, value)`
+/// writes seen so far.
+///
+/// Invariant: siblings are pairwise concurrent (no entry dominates
+/// another), kept sorted for canonical equality.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CausalRegister<T: Ord + Clone> {
+    siblings: Vec<(VectorClock, T)>,
+}
+
+impl<T: Ord + Clone> CausalRegister<T> {
+    /// An empty (never-written) register.
+    pub fn new() -> Self {
+        CausalRegister {
+            siblings: Vec::new(),
+        }
+    }
+
+    /// Current sibling values, in canonical order.
+    pub fn read(&self) -> Vec<&T> {
+        self.siblings.iter().map(|(_, v)| v).collect()
+    }
+
+    /// Number of concurrent siblings (0 = never written, 1 = resolved).
+    pub fn width(&self) -> usize {
+        self.siblings.len()
+    }
+
+    /// The merged clock covering everything this register has seen — what
+    /// a client's *context* is in Dynamo terms.
+    pub fn context(&self) -> VectorClock {
+        let mut ctx = VectorClock::new();
+        for (c, _) in &self.siblings {
+            ctx.merge(c.clone());
+        }
+        ctx
+    }
+
+    /// Write `value` at `node`, causally after everything currently
+    /// visible: collapses all siblings.
+    pub fn write(&mut self, node: u64, value: T) {
+        let mut clock = self.context();
+        clock.tick(node);
+        self.siblings = vec![(clock, value)];
+    }
+
+    /// Write `value` at `node` with an explicit read `context` (a client
+    /// that read earlier and may be stale): dominates only what the
+    /// context covers, so concurrent writes survive as siblings.
+    pub fn write_with_context(&mut self, node: u64, context: VectorClock, value: T) {
+        let mut clock = context;
+        clock.tick(node);
+        let incoming = CausalRegister {
+            siblings: vec![(clock, value)],
+        };
+        self.merge(incoming);
+    }
+
+    fn insert_pruned(siblings: &mut Vec<(VectorClock, T)>, entry: (VectorClock, T)) {
+        // Drop the entry if dominated (or duplicated); drop existing
+        // entries the new one dominates.
+        for (c, v) in siblings.iter() {
+            match entry.0.causal_cmp(c) {
+                CausalOrd::Before => return,
+                CausalOrd::Equal if *v == entry.1 => return,
+                _ => {}
+            }
+        }
+        siblings.retain(|(c, _)| !matches!(c.causal_cmp(&entry.0), CausalOrd::Before));
+        siblings.push(entry);
+    }
+}
+
+impl<T: Ord + Clone> Lattice for CausalRegister<T> {
+    fn merge(&mut self, other: Self) -> bool {
+        let before = std::mem::take(&mut self.siblings);
+        let mut merged: Vec<(VectorClock, T)> = Vec::new();
+        for entry in before.iter().cloned().chain(other.siblings) {
+            Self::insert_pruned(&mut merged, entry);
+        }
+        merged.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        let changed = merged != before;
+        self.siblings = merged;
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydro_lattice::laws::check_lattice_laws;
+
+    #[test]
+    fn fresh_register_is_empty() {
+        let r: CausalRegister<u64> = CausalRegister::new();
+        assert_eq!(r.width(), 0);
+        assert!(r.read().is_empty());
+    }
+
+    #[test]
+    fn sequential_writes_resolve_to_one_value() {
+        let mut r = CausalRegister::new();
+        r.write(1, 10u64);
+        r.write(1, 20);
+        r.write(2, 30); // node 2 writes after seeing node 1's history
+        assert_eq!(r.read(), vec![&30]);
+        assert_eq!(r.width(), 1);
+    }
+
+    #[test]
+    fn concurrent_writes_become_siblings() {
+        let mut a = CausalRegister::new();
+        let mut b = CausalRegister::new();
+        a.write(1, 10u64);
+        b.write(2, 20);
+        a.merge(b);
+        assert_eq!(a.width(), 2, "neither write dominates");
+        assert_eq!(a.read(), vec![&10, &20]);
+    }
+
+    #[test]
+    fn descendant_write_collapses_siblings() {
+        let mut a = CausalRegister::new();
+        let mut b = CausalRegister::new();
+        a.write(1, 10u64);
+        b.write(2, 20);
+        a.merge(b);
+        assert_eq!(a.width(), 2);
+        // A client read both siblings, then wrote: causally after both.
+        a.write(3, 99);
+        assert_eq!(a.read(), vec![&99]);
+    }
+
+    #[test]
+    fn stale_context_write_keeps_concurrent_sibling() {
+        let mut r = CausalRegister::new();
+        r.write(1, 10u64);
+        let stale_ctx = r.context();
+        // Node 1 writes again (unseen by the stale client)…
+        r.write(1, 11);
+        // …and the stale client writes with its old context.
+        r.write_with_context(2, stale_ctx, 20);
+        assert_eq!(r.width(), 2, "new write does not clobber the unseen 11");
+        assert_eq!(r.read(), vec![&11, &20]);
+    }
+
+    #[test]
+    fn no_acknowledged_write_is_lost() {
+        // The LWW anomaly, fixed: two replicas write concurrently; after
+        // exchange, BOTH values are visible (LWW would keep one).
+        let mut a = CausalRegister::new();
+        let mut b = CausalRegister::new();
+        a.write(1, "cart+apple");
+        b.write(2, "cart+pear");
+        let (a0, b0) = (a.clone(), b.clone());
+        a.merge(b0);
+        b.merge(a0);
+        assert_eq!(a, b, "converged");
+        assert_eq!(a.width(), 2, "both writes survive");
+    }
+
+    #[test]
+    fn merge_is_idempotent_commutative_associative() {
+        let mut a = CausalRegister::new();
+        a.write(1, 1u64);
+        let mut b = CausalRegister::new();
+        b.write(2, 2);
+        let mut c = CausalRegister::new();
+        c.write(3, 3);
+        c.write(3, 4);
+        check_lattice_laws(&a, &b, &c).unwrap();
+        check_lattice_laws(&CausalRegister::<u64>::new(), &a, &b).unwrap();
+    }
+
+    #[test]
+    fn duplicate_delivery_is_harmless() {
+        let mut a = CausalRegister::new();
+        a.write(1, 5u64);
+        let digest = a.clone();
+        let mut b = CausalRegister::new();
+        assert!(b.merge(digest.clone()));
+        assert!(!b.merge(digest.clone()));
+        assert!(!b.merge(digest));
+        assert_eq!(b.read(), vec![&5]);
+    }
+}

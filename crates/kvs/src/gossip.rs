@@ -1,0 +1,263 @@
+//! Gossip-replicated KVS on the deterministic simulator.
+//!
+//! Multi-master: every node accepts every write; replicas exchange lattice
+//! digests on a gossip timer and merge them — convergence follows from the
+//! lattice laws alone (no version negotiations, no read-repair protocol),
+//! which is exactly the design §1.2 celebrates in Anna: "high-performance,
+//! consistency-rich autoscaling" from monotone state.
+
+use hydro_lattice::{Lattice, Lww, MapUnion};
+use hydro_net::{Ctx, DomainPath, LinkModel, NodeId, NodeLogic, Sim, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Keys are small integers.
+pub type Key = u64;
+
+/// Messages of the gossip protocol.
+#[derive(Clone, Debug)]
+pub enum KvsMsg {
+    /// Client write.
+    Put {
+        /// Key to write.
+        key: Key,
+        /// Stamped register value.
+        write: Lww<u64>,
+    },
+    /// Client read; the reply is recorded in the node's read log.
+    Get {
+        /// Key to read.
+        key: Key,
+        /// Client-chosen tag to correlate reads in the log.
+        tag: u64,
+    },
+    /// A gossiped digest of a peer's entire map. (Whole-map digests keep
+    /// the protocol honest for tests; a production delta-gossip is an
+    /// optimization, not a semantic change — merges are idempotent.)
+    Digest(MapUnion<Key, Lww<u64>>),
+}
+
+/// Gossip cadence configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct GossipConfig {
+    /// Gossip period (µs of virtual time).
+    pub period_us: SimTime,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Link model.
+    pub link: LinkModel,
+}
+
+impl Default for GossipConfig {
+    fn default() -> Self {
+        GossipConfig {
+            period_us: 5_000,
+            seed: 0,
+            link: LinkModel::default(),
+        }
+    }
+}
+
+const GOSSIP_TIMER: u64 = 7;
+
+/// Inspectable replica state, shared between the node and the cluster
+/// handle (single-threaded simulation, so `Rc<RefCell>` suffices).
+#[derive(Default)]
+pub struct KvsState {
+    /// The replica's lattice map.
+    pub map: MapUnion<Key, Lww<u64>>,
+    /// `(tag, value)` log of answered reads.
+    pub reads: Vec<(u64, Option<u64>)>,
+    /// Digests merged.
+    pub merges: u64,
+}
+
+/// One replica node.
+pub struct KvsNode {
+    state: Rc<RefCell<KvsState>>,
+    peers: Vec<NodeId>,
+    /// Round-robin gossip target index.
+    next_peer: usize,
+    period_us: SimTime,
+}
+
+impl KvsNode {
+    fn new(period_us: SimTime, peers: Vec<NodeId>) -> Self {
+        KvsNode {
+            state: Rc::new(RefCell::new(KvsState::default())),
+            peers,
+            next_peer: 0,
+            period_us,
+        }
+    }
+
+    fn handle(&self) -> Rc<RefCell<KvsState>> {
+        Rc::clone(&self.state)
+    }
+}
+
+impl NodeLogic<KvsMsg> for KvsNode {
+    fn on_message(&mut self, _ctx: &mut Ctx<KvsMsg>, _src: NodeId, msg: KvsMsg) {
+        let mut st = self.state.borrow_mut();
+        match msg {
+            KvsMsg::Put { key, write } => {
+                st.map.merge_entry(key, write);
+            }
+            KvsMsg::Get { key, tag } => {
+                let v = st.map.get(&key).map(|l| *l.value());
+                st.reads.push((tag, v));
+            }
+            KvsMsg::Digest(d) => {
+                st.merges += 1;
+                st.map.merge(d);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<KvsMsg>, timer: u64) {
+        if timer != GOSSIP_TIMER {
+            return;
+        }
+        if !self.peers.is_empty() {
+            let target = self.peers[self.next_peer % self.peers.len()];
+            self.next_peer += 1;
+            ctx.send(target, KvsMsg::Digest(self.state.borrow().map.clone()));
+        }
+        ctx.set_timer(self.period_us, GOSSIP_TIMER);
+    }
+}
+
+/// A cluster of gossiping replicas.
+pub struct GossipKvs {
+    /// The simulator (exposed for failure injection in tests/benches).
+    pub sim: Sim<KvsMsg>,
+    /// Replica node ids.
+    pub nodes: Vec<NodeId>,
+    states: Vec<Rc<RefCell<KvsState>>>,
+}
+
+impl GossipKvs {
+    /// Spin up `n` replicas, one per AZ, with gossip timers running.
+    pub fn new(n: usize, config: GossipConfig) -> Self {
+        let mut sim = Sim::new(config.link, config.seed);
+        let mut nodes = Vec::new();
+        let mut states = Vec::new();
+        for az in 0..n {
+            // Node ids are assigned sequentially, so the full-mesh peer
+            // list is known before construction.
+            let peers: Vec<NodeId> = (0..n).filter(|&p| p != az).collect();
+            let node = KvsNode::new(config.period_us, peers);
+            states.push(node.handle());
+            let id = sim.add_node(node, DomainPath::new(az as u32, 0, 0));
+            let stagger = (az as u64 + 1) * 100;
+            sim.start_timer(id, GOSSIP_TIMER, stagger);
+            nodes.push(id);
+        }
+        GossipKvs { sim, nodes, states }
+    }
+
+    /// Write through a specific replica.
+    pub fn put_at(&mut self, node_ix: usize, key: Key, timestamp: u64, writer: u64, value: u64) {
+        self.sim.send_external(
+            self.nodes[node_ix],
+            KvsMsg::Put {
+                key,
+                write: Lww::write(timestamp, writer, value),
+            },
+        );
+    }
+
+    /// Read through a specific replica (answered into its read log).
+    pub fn get_at(&mut self, node_ix: usize, key: Key, tag: u64) {
+        self.sim
+            .send_external(self.nodes[node_ix], KvsMsg::Get { key, tag });
+    }
+
+    /// Run virtual time forward.
+    pub fn run_for(&mut self, duration_us: SimTime) {
+        let deadline = self.sim.now() + duration_us;
+        self.sim.run_until(deadline);
+    }
+
+    /// Snapshot a replica's map.
+    pub fn map_of(&self, node_ix: usize) -> MapUnion<Key, Lww<u64>> {
+        self.states[node_ix].borrow().map.clone()
+    }
+
+    /// A replica's read log.
+    pub fn reads_of(&self, node_ix: usize) -> Vec<(u64, Option<u64>)> {
+        self.states[node_ix].borrow().reads.clone()
+    }
+
+    /// Whether all live replicas hold identical maps.
+    pub fn converged(&self) -> bool {
+        let live: Vec<usize> = (0..self.nodes.len())
+            .filter(|&i| self.sim.is_alive(self.nodes[i]))
+            .collect();
+        live.windows(2)
+            .all(|w| self.map_of(w[0]) == self.map_of(w[1]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_anywhere_converge_everywhere() {
+        let mut kvs = GossipKvs::new(4, GossipConfig::default());
+        kvs.put_at(0, 1, 10, 0, 100);
+        kvs.put_at(1, 2, 10, 1, 200);
+        kvs.put_at(2, 3, 10, 2, 300);
+        kvs.put_at(3, 1, 20, 3, 111); // newer write to key 1 elsewhere
+        kvs.run_for(100_000);
+        assert!(kvs.converged());
+        let m = kvs.map_of(0);
+        assert_eq!(m.get(&1).map(|l| *l.value()), Some(111));
+        assert_eq!(m.get(&2).map(|l| *l.value()), Some(200));
+        assert_eq!(m.get(&3).map(|l| *l.value()), Some(300));
+    }
+
+    #[test]
+    fn convergence_survives_lossy_links() {
+        let mut config = GossipConfig::default();
+        config.link.drop_prob = 0.3;
+        config.seed = 42;
+        let mut kvs = GossipKvs::new(3, config);
+        for k in 0..10 {
+            kvs.put_at((k % 3) as usize, k, k, 0, k * 7);
+        }
+        // Gossip is idempotent: repeated rounds push through the loss.
+        kvs.run_for(400_000);
+        assert!(kvs.converged(), "anti-entropy defeats 30% loss");
+    }
+
+    #[test]
+    fn reads_reflect_gossip_once_propagated() {
+        let mut kvs = GossipKvs::new(2, GossipConfig::default());
+        kvs.put_at(0, 5, 1, 0, 55);
+        // Read at the *other* replica after propagation.
+        kvs.run_for(50_000);
+        kvs.get_at(1, 5, 1);
+        kvs.run_for(10_000);
+        assert_eq!(kvs.reads_of(1), vec![(1, Some(55))]);
+    }
+
+    #[test]
+    fn partitioned_replica_catches_up_after_heal() {
+        let mut kvs = GossipKvs::new(3, GossipConfig::default());
+        let (a, b, c) = (kvs.nodes[0], kvs.nodes[1], kvs.nodes[2]);
+        kvs.sim.partition(&[a, b], &[c]);
+        kvs.put_at(0, 9, 1, 0, 900);
+        kvs.run_for(60_000);
+        assert_ne!(
+            kvs.map_of(2).get(&9).map(|l| *l.value()),
+            Some(900),
+            "partitioned node must not have the write yet"
+        );
+        kvs.sim.heal();
+        kvs.run_for(60_000);
+        assert!(kvs.converged());
+        assert_eq!(kvs.map_of(2).get(&9).map(|l| *l.value()), Some(900));
+    }
+}

@@ -1,0 +1,27 @@
+//! # hydro-kvs
+//!
+//! An Anna-style lattice key-value store (§1.2, §2.3 of the CIDR 2021
+//! paper): "as in the high-performance Anna KVS, all state is thread local
+//! and Hydroflow does not require any locks, atomics, or other coordination
+//! for its own execution."
+//!
+//! Two deployment modes, mirroring Anna's "any scale" pitch:
+//!
+//! * [`sharded`] — a real multi-threaded store: one OS thread owns each
+//!   shard outright (no locks, no shared state), clients talk over
+//!   channels. Experiment E9 measures throughput scaling with shard count.
+//! * [`gossip`] — a multi-node *replicated* store on the deterministic
+//!   network simulator: every node accepts writes for every key and
+//!   periodically gossips lattice digests; merges are joins, so replicas
+//!   converge under duplication, reordering and delay.
+//!
+//! Values are last-writer-wins registers ([`hydro_lattice::Lww`]) by
+//! default — swap in any [`hydro_lattice::Lattice`] for richer semantics
+//! (the gossip node is generic).
+
+pub mod causal;
+pub mod gossip;
+pub mod sharded;
+
+pub use gossip::{GossipConfig, GossipKvs};
+pub use sharded::{ShardedKvs, WorkloadSpec};

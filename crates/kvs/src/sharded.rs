@@ -1,0 +1,264 @@
+//! Thread-per-shard KVS: Anna's coordination-free scaling, for real.
+//!
+//! Each shard is owned by exactly one OS thread; there are no locks and no
+//! shared mutable state — only message passing over channels (crossbeam).
+//! This is the architecture §2.3 credits for Anna's performance, and what
+//! experiment E9's throughput-vs-threads curve measures.
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use hydro_lattice::{Lattice, Lww};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Zipf};
+use rustc_hash::FxHashMap;
+use std::thread::JoinHandle;
+
+/// Keys are small integers (hashed to shards by modulo).
+pub type Key = u64;
+
+enum Cmd {
+    Put {
+        key: Key,
+        write: Lww<u64>,
+    },
+    Get {
+        key: Key,
+        reply: Sender<Option<u64>>,
+    },
+    /// Drain marker: reply when everything before it is processed.
+    Flush {
+        reply: Sender<()>,
+    },
+    Stop,
+}
+
+/// A running sharded store.
+pub struct ShardedKvs {
+    senders: Vec<Sender<Cmd>>,
+    handles: Vec<JoinHandle<u64>>,
+}
+
+impl ShardedKvs {
+    /// Spawn `shards` worker threads, each owning its keyspace slice.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0);
+        let mut senders = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx): (Sender<Cmd>, Receiver<Cmd>) = unbounded();
+            senders.push(tx);
+            handles.push(std::thread::spawn(move || {
+                // The shard's entire state: thread-local, lock-free.
+                let mut store: FxHashMap<Key, Lww<u64>> = FxHashMap::default();
+                let mut ops: u64 = 0;
+                while let Ok(cmd) = rx.recv() {
+                    match cmd {
+                        Cmd::Put { key, write } => {
+                            ops += 1;
+                            match store.entry(key) {
+                                std::collections::hash_map::Entry::Vacant(e) => {
+                                    e.insert(write);
+                                }
+                                std::collections::hash_map::Entry::Occupied(mut e) => {
+                                    e.get_mut().merge(write);
+                                }
+                            }
+                        }
+                        Cmd::Get { key, reply } => {
+                            ops += 1;
+                            let _ = reply.send(store.get(&key).map(|l| *l.value()));
+                        }
+                        Cmd::Flush { reply } => {
+                            let _ = reply.send(());
+                        }
+                        Cmd::Stop => break,
+                    }
+                }
+                ops
+            }));
+        }
+        ShardedKvs { senders, handles }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    fn shard_of(&self, key: Key) -> usize {
+        (key as usize) % self.senders.len()
+    }
+
+    /// Fire-and-forget write (stamped by the caller).
+    pub fn put(&self, key: Key, timestamp: u64, writer: u64, value: u64) {
+        let cmd = Cmd::Put {
+            key,
+            write: Lww::write(timestamp, writer, value),
+        };
+        let _ = self.senders[self.shard_of(key)].send(cmd);
+    }
+
+    /// Synchronous read.
+    pub fn get(&self, key: Key) -> Option<u64> {
+        let (tx, rx) = bounded(1);
+        let _ = self.senders[self.shard_of(key)].send(Cmd::Get { key, reply: tx });
+        rx.recv().ok().flatten()
+    }
+
+    /// Wait until all previously submitted commands are processed.
+    pub fn flush(&self) {
+        let mut waits = Vec::new();
+        for s in &self.senders {
+            let (tx, rx) = bounded(1);
+            let _ = s.send(Cmd::Flush { reply: tx });
+            waits.push(rx);
+        }
+        for rx in waits {
+            let _ = rx.recv();
+        }
+    }
+
+    /// Stop workers; returns total ops processed across shards.
+    pub fn shutdown(self) -> u64 {
+        for s in &self.senders {
+            let _ = s.send(Cmd::Stop);
+        }
+        self.handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or(0))
+            .sum()
+    }
+}
+
+/// A synthetic workload: zipf-skewed keys, put/get mix — the shape of the
+/// Anna evaluation's workloads.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadSpec {
+    /// Total operations.
+    pub ops: usize,
+    /// Distinct keys.
+    pub keys: u64,
+    /// Zipf skew exponent (0 = uniform-ish, ~1 = heavily skewed).
+    pub zipf_exponent: f64,
+    /// Fraction of writes (0.0–1.0).
+    pub write_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// Materialize the operation sequence: `(key, is_write)` pairs.
+    pub fn generate(&self) -> Vec<(Key, bool)> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let zipf = Zipf::new(self.keys, self.zipf_exponent.max(0.001))
+            .expect("valid zipf parameters");
+        let write_threshold = (self.write_fraction * u32::MAX as f64) as u32;
+        (0..self.ops)
+            .map(|_| {
+                let key = zipf.sample(&mut rng) as Key - 1;
+                let is_write =
+                    rand::Rng::gen::<u32>(&mut rng) < write_threshold;
+                (key, is_write)
+            })
+            .collect()
+    }
+}
+
+/// Run a pre-generated workload against the store from `clients` client
+/// threads; returns wall-clock duration. Writes are fire-and-forget, reads
+/// synchronous — the store is flushed before returning.
+pub fn run_workload(kvs: &ShardedKvs, ops: &[(Key, bool)], clients: usize) -> std::time::Duration {
+    let start = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        let chunk = ops.len().div_ceil(clients.max(1));
+        for (c, slice) in ops.chunks(chunk.max(1)).enumerate() {
+            let kvs_ref = &*kvs;
+            scope.spawn(move || {
+                for (op_ix, (key, is_write)) in slice.iter().enumerate() {
+                    if *is_write {
+                        kvs_ref.put(*key, op_ix as u64, c as u64, op_ix as u64);
+                    } else {
+                        let _ = kvs_ref.get(*key);
+                    }
+                }
+            });
+        }
+    });
+    kvs.flush();
+    start.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_then_get_round_trips() {
+        let kvs = ShardedKvs::new(4);
+        kvs.put(10, 1, 0, 111);
+        kvs.put(11, 1, 0, 222);
+        kvs.flush();
+        assert_eq!(kvs.get(10), Some(111));
+        assert_eq!(kvs.get(11), Some(222));
+        assert_eq!(kvs.get(99), None);
+        kvs.shutdown();
+    }
+
+    #[test]
+    fn lww_resolves_concurrent_writers_deterministically() {
+        let kvs = ShardedKvs::new(2);
+        // Same timestamp, different writers: higher writer id wins — the
+        // same outcome any replica would compute.
+        kvs.put(5, 100, 1, 111);
+        kvs.put(5, 100, 2, 222);
+        kvs.flush();
+        assert_eq!(kvs.get(5), Some(222));
+        // A stale write never regresses the value.
+        kvs.put(5, 50, 9, 999);
+        kvs.flush();
+        assert_eq!(kvs.get(5), Some(222));
+        kvs.shutdown();
+    }
+
+    #[test]
+    fn ops_are_counted() {
+        let kvs = ShardedKvs::new(3);
+        for k in 0..30 {
+            kvs.put(k, 1, 0, k);
+        }
+        kvs.flush();
+        assert_eq!(kvs.shutdown(), 30);
+    }
+
+    #[test]
+    fn workload_generator_is_deterministic_and_mixed() {
+        let spec = WorkloadSpec {
+            ops: 1000,
+            keys: 100,
+            zipf_exponent: 1.0,
+            write_fraction: 0.3,
+            seed: 7,
+        };
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a, b);
+        let writes = a.iter().filter(|(_, w)| *w).count();
+        assert!(writes > 200 && writes < 400, "writes={writes}");
+        assert!(a.iter().all(|(k, _)| *k < 100));
+    }
+
+    #[test]
+    fn parallel_workload_executes_fully() {
+        let kvs = ShardedKvs::new(4);
+        let spec = WorkloadSpec {
+            ops: 2000,
+            keys: 64,
+            zipf_exponent: 0.8,
+            write_fraction: 1.0,
+            seed: 3,
+        };
+        let ops = spec.generate();
+        run_workload(&kvs, &ops, 4);
+        assert_eq!(kvs.shutdown(), 2000);
+    }
+}

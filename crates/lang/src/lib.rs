@@ -1,0 +1,85 @@
+//! # hydro-lang
+//!
+//! The textual front-end for HydroLogic — the "Pythonic HydroLogic" syntax
+//! that Figure 3 of the paper presents its running example in. The paper
+//! leaves "the full design of HydroLogic syntax for future work" (§3); this
+//! crate implements the exposition syntax faithfully enough that the whole
+//! Figure 3 program parses from text into the exact same [`Program`] the
+//! builder API constructs.
+//!
+//! Pipeline: [`token::lex`] (indentation-aware lexing) →
+//! [`parser`] (recursive descent → IR, erasing `module` blocks into
+//! `::`-qualified names — §3.1 calls modules "purely syntactic sugar") →
+//! [`resolve`] (identifier resolution and static checks).
+//! [`printer::print_program`] inverts the pipeline, and `print ∘ parse`
+//! is idempotent.
+//!
+//! ```
+//! use hydro_lang::{parse_program, print_program};
+//!
+//! let src = "
+//! table carts(session, items: set, key=session)
+//!
+//! on add_item(session, item):
+//!   insert carts(session, {item})
+//!   return \"OK\"
+//! ";
+//! let program = parse_program(src).unwrap();
+//! assert_eq!(program.handlers.len(), 1);
+//! let printed = print_program(&program).unwrap();
+//! assert_eq!(parse_program(&printed).unwrap(), program);
+//! ```
+
+#![warn(missing_docs)]
+
+pub(crate) mod modules;
+pub mod parser;
+pub mod printer;
+pub mod resolve;
+pub mod token;
+
+pub use parser::ParseError;
+pub use printer::{print_program, PrintError};
+pub use resolve::ResolveError;
+
+use hydro_core::ast::Program;
+use std::fmt;
+
+/// Any failure turning text into a checked program.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LangError {
+    /// Lexing or parsing failed (carries position info).
+    Parse(ParseError),
+    /// Name resolution / static checking failed.
+    Resolve(ResolveError),
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Parse(e) => write!(f, "parse error: {e}"),
+            LangError::Resolve(e) => write!(f, "resolve error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+impl From<ParseError> for LangError {
+    fn from(e: ParseError) -> Self {
+        LangError::Parse(e)
+    }
+}
+
+impl From<ResolveError> for LangError {
+    fn from(e: ResolveError) -> Self {
+        LangError::Resolve(e)
+    }
+}
+
+/// Parse, resolve and check a HydroLogic source text.
+pub fn parse_program(src: &str) -> Result<Program, LangError> {
+    let mut program = parser::parse_unresolved(src)?;
+    resolve::resolve_program(&mut program)?;
+    Ok(program)
+}

@@ -1,0 +1,327 @@
+//! Module desugaring: scoped-name qualification (§3.1).
+//!
+//! The paper's program-semantics facet says "Blocks can be declared as
+//! object-like modules with methods to scope naming and allow reuse.
+//! Blocks and modules are purely syntactic sugar". We honor that by
+//! erasing `module m:` blocks at parse time: every name the block declares
+//! (tables, scalars, mailboxes, query heads, handlers, imported UDFs) is
+//! rewritten to `m::name`, and every *free* reference to such a name from
+//! within the block is rewritten to match. The program that leaves the
+//! parser contains no module construct — only qualified identifiers, which
+//! the lexer treats as single tokens, so printing and re-parsing round-trip.
+//!
+//! Scoping rules, chosen to match the resolution pass exactly:
+//!
+//! * Binder occurrences — handler parameters, scan terms, `let` and
+//!   `for … in` bindings — shadow module declarations, so a bound variable
+//!   named like a module scalar stays local (the same precedence
+//!   [`crate::resolve`] applies when classifying `Expr::Var`).
+//! * A module declaration shadows an outer declaration of the same name
+//!   for the remainder of the block; outer names not shadowed remain
+//!   reachable unqualified.
+//! * Nesting composes by repeated qualification: when `module a:` closes
+//!   around an already-closed `module b:`, names `b::x` become `a::b::x`.
+
+use hydro_core::ast::{
+    AssignTarget, BodyAtom, Expr, MergeTarget, Program, Select, Stmt, Term, Trigger,
+};
+use hydro_core::facets::Invariant;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Snapshot of how many declarations a [`Program`] held when a module
+/// block opened, so [`qualify`] can confine the rename to items the block
+/// added.
+pub(crate) struct Mark {
+    tables: usize,
+    scalars: usize,
+    mailboxes: usize,
+    rules: usize,
+    agg_rules: usize,
+    handlers: usize,
+    udfs: usize,
+    avail_keys: BTreeSet<String>,
+    target_keys: BTreeSet<String>,
+}
+
+impl Mark {
+    /// Capture the current extent of `program`.
+    pub(crate) fn of(program: &Program) -> Self {
+        Mark {
+            tables: program.tables.len(),
+            scalars: program.scalars.len(),
+            mailboxes: program.mailboxes.len(),
+            rules: program.rules.len(),
+            agg_rules: program.agg_rules.len(),
+            handlers: program.handlers.len(),
+            udfs: program.udfs.len(),
+            avail_keys: program.availability.per_handler.keys().cloned().collect(),
+            target_keys: program.targets.per_handler.keys().cloned().collect(),
+        }
+    }
+}
+
+/// Qualify every name declared after `mark` with `module::`, rewriting
+/// free references within those same declarations. Returns the
+/// `(short, qualified)` pairs applied, for the parser to update its
+/// disambiguation sets.
+pub(crate) fn qualify(
+    program: &mut Program,
+    mark: &Mark,
+    module: &str,
+) -> Vec<(String, String)> {
+    let mut map: BTreeMap<String, String> = BTreeMap::new();
+    let mut declare = |name: &str| {
+        map.insert(name.to_string(), format!("{module}::{name}"));
+    };
+    for t in &program.tables[mark.tables..] {
+        declare(&t.name);
+    }
+    for s in &program.scalars[mark.scalars..] {
+        declare(&s.name);
+    }
+    for m in &program.mailboxes[mark.mailboxes..] {
+        declare(&m.name);
+    }
+    for r in &program.rules[mark.rules..] {
+        declare(&r.head);
+    }
+    for r in &program.agg_rules[mark.agg_rules..] {
+        declare(&r.head);
+    }
+    for h in &program.handlers[mark.handlers..] {
+        declare(&h.name);
+    }
+    for u in &program.udfs[mark.udfs..] {
+        declare(u);
+    }
+
+    let renamer = Renamer { map: &map };
+
+    for t in &mut program.tables[mark.tables..] {
+        t.name = renamer.name(&t.name);
+    }
+    for s in &mut program.scalars[mark.scalars..] {
+        s.name = renamer.name(&s.name);
+    }
+    for m in &mut program.mailboxes[mark.mailboxes..] {
+        m.name = renamer.name(&m.name);
+    }
+    for rule in &mut program.rules[mark.rules..] {
+        rule.head = renamer.name(&rule.head);
+        let mut bound = BTreeSet::new();
+        renamer.body(&mut rule.body, &mut bound);
+        for e in &mut rule.head_exprs {
+            renamer.expr(e, &bound);
+        }
+    }
+    for rule in &mut program.agg_rules[mark.agg_rules..] {
+        rule.head = renamer.name(&rule.head);
+        let mut bound = BTreeSet::new();
+        renamer.body(&mut rule.body, &mut bound);
+        for e in &mut rule.group_exprs {
+            renamer.expr(e, &bound);
+        }
+        renamer.expr(&mut rule.over, &bound);
+    }
+    for handler in &mut program.handlers[mark.handlers..] {
+        handler.name = renamer.name(&handler.name);
+        let bound: BTreeSet<String> = handler.params.iter().cloned().collect();
+        if let Trigger::OnCondition(cond) = &mut handler.trigger {
+            renamer.expr(cond, &bound);
+        }
+        renamer.stmts(&mut handler.body, &bound);
+        if let Some(req) = &mut handler.consistency {
+            for inv in &mut req.invariants {
+                renamer.invariant(inv);
+            }
+        }
+    }
+    for u in &mut program.udfs[mark.udfs..] {
+        *u = renamer.name(u);
+    }
+
+    // Facet entries added inside the block refer to module handlers by
+    // their short names; re-key them.
+    fn rekey<V>(
+        per_handler: &mut BTreeMap<String, V>,
+        before: &BTreeSet<String>,
+        map: &BTreeMap<String, String>,
+    ) {
+        let new_keys: Vec<String> = per_handler
+            .keys()
+            .filter(|k| !before.contains(*k) && map.contains_key(*k))
+            .cloned()
+            .collect();
+        for k in new_keys {
+            if let Some(v) = per_handler.remove(&k) {
+                per_handler.insert(map[&k].clone(), v);
+            }
+        }
+    }
+    rekey(&mut program.availability.per_handler, &mark.avail_keys, &map);
+    rekey(&mut program.targets.per_handler, &mark.target_keys, &map);
+
+    map.into_iter().collect()
+}
+
+/// The binder-aware rewriting walk. `bound` carries the variables
+/// currently shadowing module names, mirroring the resolver's scoping.
+struct Renamer<'a> {
+    map: &'a BTreeMap<String, String>,
+}
+
+impl Renamer<'_> {
+    fn name(&self, n: &str) -> String {
+        self.map.get(n).cloned().unwrap_or_else(|| n.to_string())
+    }
+
+    fn rename_in_place(&self, n: &mut String) {
+        if let Some(q) = self.map.get(n.as_str()) {
+            *n = q.clone();
+        }
+    }
+
+    fn body(&self, body: &mut [BodyAtom], bound: &mut BTreeSet<String>) {
+        for atom in body {
+            match atom {
+                BodyAtom::Scan { rel, terms } => {
+                    self.rename_in_place(rel);
+                    for t in terms.iter() {
+                        if let Term::Var(v) = t {
+                            bound.insert(v.clone());
+                        }
+                    }
+                }
+                BodyAtom::Neg { rel, args } => {
+                    self.rename_in_place(rel);
+                    for e in args {
+                        self.expr(e, bound);
+                    }
+                }
+                BodyAtom::Guard(e) => self.expr(e, bound),
+                BodyAtom::Let { var, expr } => {
+                    self.expr(expr, bound);
+                    bound.insert(var.clone());
+                }
+                BodyAtom::Flatten { var, set } => {
+                    self.expr(set, bound);
+                    bound.insert(var.clone());
+                }
+            }
+        }
+    }
+
+    fn select(&self, sel: &mut Select, outer: &BTreeSet<String>) {
+        let mut bound = outer.clone();
+        self.body(&mut sel.body, &mut bound);
+        for e in &mut sel.projection {
+            self.expr(e, &bound);
+        }
+    }
+
+    fn stmts(&self, stmts: &mut [Stmt], bound: &BTreeSet<String>) {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Merge(target, e) => {
+                    self.expr(e, bound);
+                    match target {
+                        MergeTarget::Scalar(name) => self.rename_in_place(name),
+                        MergeTarget::TableField { table, key, .. } => {
+                            self.rename_in_place(table);
+                            self.expr(key, bound);
+                        }
+                    }
+                }
+                Stmt::Assign(target, e) => {
+                    self.expr(e, bound);
+                    match target {
+                        AssignTarget::Scalar(name) => self.rename_in_place(name),
+                        AssignTarget::TableField { table, key, .. } => {
+                            self.rename_in_place(table);
+                            self.expr(key, bound);
+                        }
+                    }
+                }
+                Stmt::Insert { table, values } => {
+                    self.rename_in_place(table);
+                    for e in values {
+                        self.expr(e, bound);
+                    }
+                }
+                Stmt::Delete { table, key } => {
+                    self.rename_in_place(table);
+                    self.expr(key, bound);
+                }
+                Stmt::Send { mailbox, select } => {
+                    self.rename_in_place(mailbox);
+                    self.select(select, bound);
+                }
+                Stmt::Return(e) => self.expr(e, bound),
+                Stmt::If { cond, then, els } => {
+                    self.expr(cond, bound);
+                    self.stmts(then, bound);
+                    self.stmts(els, bound);
+                }
+                Stmt::ForEach { select, stmts } => {
+                    let mut inner = bound.clone();
+                    self.body(&mut select.body, &mut inner);
+                    for e in &mut select.projection {
+                        self.expr(e, &inner);
+                    }
+                    self.stmts(stmts, &inner);
+                }
+                Stmt::ClearMailbox(name) => self.rename_in_place(name),
+            }
+        }
+    }
+
+    fn invariant(&self, inv: &mut Invariant) {
+        match inv {
+            Invariant::NonNegative(name) => self.rename_in_place(name),
+            Invariant::HasKey { table, .. } => self.rename_in_place(table),
+        }
+    }
+
+    fn expr(&self, e: &mut Expr, bound: &BTreeSet<String>) {
+        match e {
+            Expr::Var(name) => {
+                // A bound variable shadows the module declaration, exactly
+                // as the resolver will later prefer `bound` over scalars.
+                if !bound.contains(name.as_str()) {
+                    self.rename_in_place(name);
+                }
+            }
+            Expr::Scalar(name) => self.rename_in_place(name),
+            Expr::Const(_) => {}
+            Expr::Cmp(_, l, r) | Expr::Arith(_, l, r) | Expr::And(l, r) | Expr::Or(l, r) => {
+                self.expr(l, bound);
+                self.expr(r, bound);
+            }
+            Expr::Contains(l, r) => {
+                self.expr(l, bound);
+                self.expr(r, bound);
+            }
+            Expr::Not(inner) | Expr::Len(inner) | Expr::Index(inner, _) => {
+                self.expr(inner, bound)
+            }
+            Expr::Tuple(items) | Expr::SetBuild(items) => {
+                for i in items {
+                    self.expr(i, bound);
+                }
+            }
+            Expr::FieldOf { table, key, .. }
+            | Expr::RowOf { table, key }
+            | Expr::HasKey { table, key } => {
+                self.rename_in_place(table);
+                self.expr(key, bound);
+            }
+            Expr::Call(name, args) => {
+                self.rename_in_place(name);
+                for a in args {
+                    self.expr(a, bound);
+                }
+            }
+            Expr::CollectSet(sel) => self.select(sel, bound),
+        }
+    }
+}

@@ -1,0 +1,1577 @@
+//! Recursive-descent parser for textual HydroLogic.
+//!
+//! The grammar is the "Pythonic HydroLogic" of Figure 3, line-oriented with
+//! indentation blocks (see [`crate::token`] for the lexical layer):
+//!
+//! ```text
+//! program      := { decl }
+//! decl         := table | var | mailbox | import | query | handler | module
+//!               | availability-block | consistency-block | target-block
+//! module       := "module" NAME ":" INDENT { decl } DEDENT
+//!                 — purely syntactic sugar (§3.1): erased by qualifying
+//!                 every declared name with "NAME::" (see crate::modules)
+//! table        := "table" NAME "(" col ("," col)* ("," "key" "=" keyspec)?
+//!                  ("," "partition" "=" NAME)? ")"
+//! col          := NAME (":" kind)?
+//! kind         := "atom" | "set" | "flag" | "max" | "min" | "lww"
+//!               | "counter" | "map" "(" kind ")"
+//! var          := "var" NAME (":" kind)? ("=" literal)?
+//! mailbox      := "mailbox" NAME "(" NAME ("," NAME)* ")"
+//! import       := "import" NAME ("," NAME)*
+//! query        := "query" NAME "(" exprs? ")" ("=" AGG "(" expr ")")? ":" atoms-block
+//! atom         := "for" NAME "in" expr          — flatten
+//!               | "for" REL "(" terms ")"       — scan
+//!               | "if" expr                     — guard
+//!               | "let" NAME "=" expr           — binding
+//!               | "not" REL "(" exprs ")"       — stratified negation
+//! handler      := "on" NAME "(" params? ")" ("with" level ("require" inv ("," inv)*)?)? ":" stmts
+//!               | "on" NAME "when" expr ":" stmts
+//! stmt         := "insert" TABLE "(" exprs ")"
+//!               | "delete" TABLE "[" expr "]"
+//!               | "send" MAILBOX ( "(" exprs ")" | comprehension )
+//!               | "return" expr | "clear" MAILBOX
+//!               | "if" expr ":" stmts ("else" ":" stmts)?
+//!               | "for" atom ("," atom)* ":" stmts
+//!               | lvalue ".merge(" expr ")" | lvalue ":=" expr
+//! ```
+//!
+//! Expressions use conventional precedence (`or` < `and` < `not` <
+//! comparison/`in` < `+ -` < `* / %` < unary minus < postfix). Postfix
+//! forms are table-aware: `people[pid]` is a row reference when `people`
+//! is a declared table and a tuple projection (`e[0]`) otherwise.
+//!
+//! Identifier resolution (bound variable vs. scalar read) and arity/shape
+//! checking run as a separate pass in [`crate::resolve`].
+
+use crate::token::{lex, LexError, Spanned, Tok};
+use hydro_core::ast::{
+    AggFun, AggRule, BodyAtom, Column, ColumnKind, Expr, Handler, MailboxDecl, Program, Rule,
+    ScalarDecl, Select, Stmt, TableDecl, Term, Trigger,
+};
+use hydro_core::facets::{
+    AvailReq, ConsistencyLevel, ConsistencyReq, FailureDomain, Invariant, Processor, TargetReq,
+};
+use hydro_core::value::{LatticeKind, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A parse failure with its position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            line: e.line,
+            col: e.col,
+        }
+    }
+}
+
+/// Parse a HydroLogic source text into an (unresolved) [`Program`].
+///
+/// Prefer [`crate::parse_program`], which also runs the resolution pass.
+pub fn parse_unresolved(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src)?;
+    Parser::new(toks).program()
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+    program: Program,
+    /// Declared table names, for `table[key]` disambiguation.
+    tables: BTreeSet<String>,
+    /// Imported UDF names, for call-expression checking.
+    udfs: BTreeSet<String>,
+}
+
+impl Parser {
+    fn new(toks: Vec<Spanned>) -> Self {
+        Parser {
+            toks,
+            pos: 0,
+            program: Program::default(),
+            tables: BTreeSet::new(),
+            udfs: BTreeSet::new(),
+        }
+    }
+
+    // ------------------------------------------------------- token plumbing
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos.min(self.toks.len() - 1)].tok
+    }
+
+    fn peek_at(&self, n: usize) -> &Tok {
+        &self.toks[(self.pos + n).min(self.toks.len() - 1)].tok
+    }
+
+    fn here(&self) -> (u32, u32) {
+        let s = &self.toks[self.pos.min(self.toks.len() - 1)];
+        (s.line, s.col)
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos.min(self.toks.len() - 1)].tok.clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        let (line, col) = self.here();
+        ParseError {
+            message: message.into(),
+            line,
+            col,
+        }
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == tok {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &Tok) -> Result<(), ParseError> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {tok}, found {}", self.peek())))
+        }
+    }
+
+    /// Is the current token the given (contextual) keyword?
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{kw}`, found {}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Tok::Ident(_) => match self.bump() {
+                Tok::Ident(s) => Ok(s),
+                _ => unreachable!("peeked Ident"),
+            },
+            other => Err(self.err(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn newline(&mut self) -> Result<(), ParseError> {
+        self.expect(&Tok::Newline)
+    }
+
+    // ----------------------------------------------------------- top level
+
+    fn program(mut self) -> Result<Program, ParseError> {
+        loop {
+            match self.peek() {
+                Tok::Eof => break,
+                Tok::Newline => {
+                    self.bump();
+                }
+                _ => self.decl()?,
+            }
+        }
+        Ok(self.program)
+    }
+
+    /// Dispatch one top-level (or module-local) declaration.
+    fn decl(&mut self) -> Result<(), ParseError> {
+        match self.peek() {
+            Tok::Ident(kw) => match kw.as_str() {
+                "table" => self.table_decl(),
+                "var" => self.var_decl(),
+                "mailbox" => self.mailbox_decl(),
+                "import" => self.import_decl(),
+                "query" => self.query_decl(),
+                "on" => self.handler_decl(),
+                "module" => self.module_decl(),
+                "availability" => self.availability_block(),
+                "consistency" => self.consistency_block(),
+                "target" => self.target_block(),
+                other => Err(self.err(format!(
+                    "expected a declaration (table/var/mailbox/import/query/on/module/\
+                     availability/consistency/target), found `{other}`"
+                ))),
+            },
+            other => Err(self.err(format!("expected a declaration, found {other}"))),
+        }
+    }
+
+    /// `module NAME:` — an indented block of ordinary declarations whose
+    /// names are qualified with `NAME::` when the block closes. §3.1 calls
+    /// blocks/modules "purely syntactic sugar" for scoped naming and reuse;
+    /// accordingly the program that leaves the parser has no module nodes,
+    /// only qualified names (which print and re-parse as plain
+    /// identifiers, preserving the printer round-trip).
+    fn module_decl(&mut self) -> Result<(), ParseError> {
+        self.expect_kw("module")?;
+        let name = self.ident()?;
+        if name.contains("::") {
+            return Err(self.err("module names must be unqualified (nest blocks instead)"));
+        }
+        self.expect(&Tok::Colon)?;
+        self.newline()?;
+        self.expect(&Tok::Indent)?;
+
+        let mark = crate::modules::Mark::of(&self.program);
+        let tables_before = self.tables.clone();
+        let udfs_before = self.udfs.clone();
+
+        while !self.eat(&Tok::Dedent) {
+            if self.eat(&Tok::Newline) {
+                continue;
+            }
+            if matches!(self.peek(), Tok::Eof) {
+                return Err(self.err(format!("unterminated `module {name}` block")));
+            }
+            self.decl()?;
+        }
+
+        let renamed = crate::modules::qualify(&mut self.program, &mark, &name);
+
+        // Update the parse-time disambiguation sets: names the module
+        // declared are now only visible in qualified form. Short names
+        // that shadowed an outer declaration become the outer name again.
+        for (short, qualified) in &renamed {
+            if self.tables.remove(short) {
+                self.tables.insert(qualified.clone());
+                if tables_before.contains(short) {
+                    self.tables.insert(short.clone());
+                }
+            }
+            if self.udfs.remove(short) {
+                self.udfs.insert(qualified.clone());
+                if udfs_before.contains(short) {
+                    self.udfs.insert(short.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // --------------------------------------------------------- declarations
+
+    fn lattice_kind(&mut self) -> Result<Option<LatticeKind>, ParseError> {
+        let name = self.ident()?;
+        let kind = match name.as_str() {
+            "atom" => None,
+            "set" | "set_union" => Some(LatticeKind::SetUnion),
+            "flag" | "bool_or" => Some(LatticeKind::BoolOr),
+            "max" | "max_int" => Some(LatticeKind::MaxInt),
+            "min" | "min_int" => Some(LatticeKind::MinInt),
+            "lww" => Some(LatticeKind::Lww),
+            "counter" | "gcounter" => Some(LatticeKind::GCounter),
+            "map" => {
+                self.expect(&Tok::LParen)?;
+                let inner = self
+                    .lattice_kind()?
+                    .ok_or_else(|| self.err("map value kind must be a lattice, not `atom`"))?;
+                self.expect(&Tok::RParen)?;
+                Some(LatticeKind::MapUnion(Box::new(inner)))
+            }
+            other => {
+                return Err(self.err(format!(
+                    "unknown column kind `{other}` (expected atom/set/flag/max/min/lww/counter/map)"
+                )))
+            }
+        };
+        Ok(kind)
+    }
+
+    fn table_decl(&mut self) -> Result<(), ParseError> {
+        self.expect_kw("table")?;
+        let name = self.ident()?;
+        self.expect(&Tok::LParen)?;
+        let mut columns = Vec::new();
+        let mut key_names: Vec<String> = Vec::new();
+        let mut partition: Option<String> = None;
+        let mut fd_names: Vec<(Vec<String>, Vec<String>)> = Vec::new();
+        loop {
+            if self.at_kw("key") {
+                self.bump();
+                self.expect(&Tok::Eq)?;
+                if self.eat(&Tok::LParen) {
+                    loop {
+                        key_names.push(self.ident()?);
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&Tok::RParen)?;
+                } else {
+                    key_names.push(self.ident()?);
+                }
+            } else if self.at_kw("partition") {
+                self.bump();
+                self.expect(&Tok::Eq)?;
+                partition = Some(self.ident()?);
+            } else if self.at_kw("fd") {
+                // `fd=(det, … -> dep, …)` — §5 relational constraints.
+                self.bump();
+                self.expect(&Tok::Eq)?;
+                self.expect(&Tok::LParen)?;
+                let mut determinant = Vec::new();
+                loop {
+                    determinant.push(self.ident()?);
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Tok::Minus)?;
+                self.expect(&Tok::Gt)?;
+                let mut dependent = Vec::new();
+                loop {
+                    dependent.push(self.ident()?);
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Tok::RParen)?;
+                fd_names.push((determinant, dependent));
+            } else {
+                let col = self.ident()?;
+                let kind = if self.eat(&Tok::Colon) {
+                    match self.lattice_kind()? {
+                        Some(k) => ColumnKind::Lattice(k),
+                        None => ColumnKind::Atom,
+                    }
+                } else {
+                    ColumnKind::Atom
+                };
+                columns.push(Column { name: col, kind });
+            }
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        self.newline()?;
+
+        if key_names.is_empty() {
+            // Default key: the first column, mirroring "the class's unique
+            // id" default of §5.
+            key_names.push(
+                columns
+                    .first()
+                    .ok_or_else(|| self.err(format!("table `{name}` has no columns")))?
+                    .name
+                    .clone(),
+            );
+        }
+        let col_index = |n: &str| columns.iter().position(|c| c.name == n);
+        let key = key_names
+            .iter()
+            .map(|k| {
+                col_index(k)
+                    .ok_or_else(|| self.err(format!("key column `{k}` not declared in `{name}`")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let partition_by = partition
+            .map(|p| {
+                col_index(&p).ok_or_else(|| {
+                    self.err(format!("partition column `{p}` not declared in `{name}`"))
+                })
+            })
+            .transpose()?;
+        let mut fds = Vec::new();
+        for (det, dep) in fd_names {
+            let resolve = |cols: Vec<String>| {
+                cols.into_iter()
+                    .map(|c| {
+                        col_index(&c).ok_or_else(|| {
+                            self.err(format!("fd column `{c}` not declared in `{name}`"))
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()
+            };
+            fds.push(hydro_core::ast::Fd {
+                determinant: resolve(det)?,
+                dependent: resolve(dep)?,
+            });
+        }
+        if self.tables.contains(&name) {
+            return Err(self.err(format!("table `{name}` declared twice")));
+        }
+        self.tables.insert(name.clone());
+        self.program.tables.push(TableDecl {
+            name,
+            columns,
+            key,
+            partition_by,
+            fds,
+        });
+        Ok(())
+    }
+
+    fn var_decl(&mut self) -> Result<(), ParseError> {
+        self.expect_kw("var")?;
+        let name = self.ident()?;
+        let lattice = if self.eat(&Tok::Colon) {
+            let k = self
+                .lattice_kind()?
+                .ok_or_else(|| self.err("scalar kind must be a lattice; omit `: atom`"))?;
+            Some(k)
+        } else {
+            None
+        };
+        let init = if self.eat(&Tok::Eq) {
+            self.literal()?
+        } else {
+            match &lattice {
+                Some(k) => k.bottom(),
+                None => Value::Null,
+            }
+        };
+        self.newline()?;
+        self.program.scalars.push(ScalarDecl {
+            name,
+            lattice,
+            init,
+        });
+        Ok(())
+    }
+
+    fn mailbox_decl(&mut self) -> Result<(), ParseError> {
+        self.expect_kw("mailbox")?;
+        let name = self.ident()?;
+        self.expect(&Tok::LParen)?;
+        let mut arity = 0;
+        if self.peek() != &Tok::RParen {
+            loop {
+                self.ident()?; // field names are documentation only
+                arity += 1;
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        self.newline()?;
+        self.program.mailboxes.push(MailboxDecl { name, arity });
+        Ok(())
+    }
+
+    fn import_decl(&mut self) -> Result<(), ParseError> {
+        self.expect_kw("import")?;
+        loop {
+            let name = self.ident()?;
+            self.udfs.insert(name.clone());
+            self.program.udfs.push(name);
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.newline()
+    }
+
+    fn query_decl(&mut self) -> Result<(), ParseError> {
+        self.expect_kw("query")?;
+        let head = self.ident()?;
+        self.expect(&Tok::LParen)?;
+        let mut head_exprs = Vec::new();
+        if self.peek() != &Tok::RParen {
+            loop {
+                head_exprs.push(self.expr()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen)?;
+
+        let agg = if self.eat(&Tok::Eq) {
+            let fun = match self.ident()?.as_str() {
+                "count" => AggFun::Count,
+                "sum" => AggFun::Sum,
+                "min" => AggFun::Min,
+                "max" => AggFun::Max,
+                "collect_set" => AggFun::CollectSet,
+                other => {
+                    return Err(self.err(format!(
+                        "unknown aggregate `{other}` (expected count/sum/min/max/collect_set)"
+                    )))
+                }
+            };
+            self.expect(&Tok::LParen)?;
+            let over = self.expr()?;
+            self.expect(&Tok::RParen)?;
+            Some((fun, over))
+        } else {
+            None
+        };
+
+        self.expect(&Tok::Colon)?;
+        self.newline()?;
+        self.expect(&Tok::Indent)?;
+        let mut body = Vec::new();
+        while !self.eat(&Tok::Dedent) {
+            body.push(self.body_atom()?);
+            self.newline()?;
+        }
+        if body.is_empty() {
+            return Err(self.err(format!("query `{head}` has an empty body")));
+        }
+
+        match agg {
+            None => self.program.rules.push(Rule {
+                head,
+                head_exprs,
+                body,
+            }),
+            Some((fun, over)) => self.program.agg_rules.push(AggRule {
+                head,
+                group_exprs: head_exprs,
+                agg: fun,
+                over,
+                body,
+            }),
+        }
+        Ok(())
+    }
+
+    // ----------------------------------------------------------- body atoms
+
+    /// One comprehension/rule-body conjunct.
+    fn body_atom(&mut self) -> Result<BodyAtom, ParseError> {
+        if self.eat_kw("for") {
+            // `for x in e` (flatten) vs `for rel(terms)` (scan).
+            if matches!(self.peek(), Tok::Ident(_)) && matches!(self.peek_at(1), Tok::Ident(k) if k == "in")
+            {
+                let var = self.ident()?;
+                self.expect_kw("in")?;
+                let set = self.expr()?;
+                return Ok(BodyAtom::Flatten { var, set });
+            }
+            let rel = self.ident()?;
+            self.expect(&Tok::LParen)?;
+            let mut terms = Vec::new();
+            if self.peek() != &Tok::RParen {
+                loop {
+                    terms.push(self.term()?);
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(&Tok::RParen)?;
+            return Ok(BodyAtom::Scan { rel, terms });
+        }
+        if self.eat_kw("if") {
+            return Ok(BodyAtom::Guard(self.expr()?));
+        }
+        if self.eat_kw("let") {
+            let var = self.ident()?;
+            self.expect(&Tok::Eq)?;
+            let expr = self.expr()?;
+            return Ok(BodyAtom::Let { var, expr });
+        }
+        if self.eat_kw("not") {
+            let rel = self.ident()?;
+            self.expect(&Tok::LParen)?;
+            let mut args = Vec::new();
+            if self.peek() != &Tok::RParen {
+                loop {
+                    args.push(self.expr()?);
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(&Tok::RParen)?;
+            return Ok(BodyAtom::Neg { rel, args });
+        }
+        Err(self.err(format!(
+            "expected a body atom (`for`/`if`/`let`/`not`), found {}",
+            self.peek()
+        )))
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) if s == "_" => {
+                self.bump();
+                Ok(Term::Wildcard)
+            }
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(Term::Var(s))
+            }
+            Tok::Int(_) | Tok::Str(_) | Tok::Minus => Ok(Term::Const(self.literal()?)),
+            Tok::LBrace | Tok::LParen => Ok(Term::Const(self.literal()?)),
+            other => Err(self.err(format!("expected a term (variable/`_`/literal), found {other}"))),
+        }
+    }
+
+    // ------------------------------------------------------------- handlers
+
+    fn handler_decl(&mut self) -> Result<(), ParseError> {
+        self.expect_kw("on")?;
+        let name = self.ident()?;
+
+        // Condition-triggered form: `on name when expr:`.
+        if self.eat_kw("when") {
+            let cond = self.expr()?;
+            self.expect(&Tok::Colon)?;
+            let body = self.stmt_block()?;
+            self.program.handlers.push(Handler {
+                name,
+                params: Vec::new(),
+                trigger: Trigger::OnCondition(cond),
+                body,
+                consistency: None,
+            });
+            return Ok(());
+        }
+
+        self.expect(&Tok::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != &Tok::RParen {
+            loop {
+                params.push(self.ident()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen)?;
+
+        let consistency = if self.eat_kw("with") {
+            Some(self.consistency_spec()?)
+        } else {
+            None
+        };
+
+        self.expect(&Tok::Colon)?;
+        let body = self.stmt_block()?;
+        self.program.handlers.push(Handler {
+            name,
+            params,
+            trigger: Trigger::OnMessage,
+            body,
+            consistency,
+        });
+        Ok(())
+    }
+
+    fn consistency_spec(&mut self) -> Result<ConsistencyReq, ParseError> {
+        let level = match self.ident()?.as_str() {
+            "eventual" => ConsistencyLevel::Eventual,
+            "causal" => ConsistencyLevel::Causal,
+            "snapshot" => ConsistencyLevel::Snapshot,
+            "sequential" => ConsistencyLevel::Sequential,
+            "serializable" => ConsistencyLevel::Serializable,
+            other => {
+                return Err(self.err(format!(
+                    "unknown consistency level `{other}` \
+                     (expected eventual/causal/snapshot/sequential/serializable)"
+                )))
+            }
+        };
+        let mut invariants = Vec::new();
+        if self.eat_kw("require") {
+            loop {
+                invariants.push(self.invariant()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        Ok(ConsistencyReq { level, invariants })
+    }
+
+    /// `scalar >= 0` or `table.has_key(param)`.
+    fn invariant(&mut self) -> Result<Invariant, ParseError> {
+        let name = self.ident()?;
+        if self.eat(&Tok::Ge) {
+            match self.bump() {
+                Tok::Int(0) => Ok(Invariant::NonNegative(name)),
+                other => Err(self.err(format!(
+                    "only `>= 0` invariants are supported, found {other}"
+                ))),
+            }
+        } else if self.eat(&Tok::Dot) {
+            self.expect_kw("has_key")?;
+            self.expect(&Tok::LParen)?;
+            let key_param = self.ident()?;
+            self.expect(&Tok::RParen)?;
+            Ok(Invariant::HasKey {
+                table: name,
+                key_param,
+            })
+        } else {
+            Err(self.err(format!(
+                "expected an invariant (`{name} >= 0` or `{name}.has_key(param)`), found {}",
+                self.peek()
+            )))
+        }
+    }
+
+    // ------------------------------------------------------------ statements
+
+    fn stmt_block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.newline()?;
+        self.expect(&Tok::Indent)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&Tok::Dedent) {
+            stmts.push(self.stmt()?);
+        }
+        if stmts.is_empty() {
+            return Err(self.err("empty statement block"));
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        if self.eat_kw("insert") {
+            let table = self.ident()?;
+            self.expect(&Tok::LParen)?;
+            let mut values = Vec::new();
+            if self.peek() != &Tok::RParen {
+                loop {
+                    values.push(self.expr()?);
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(&Tok::RParen)?;
+            self.newline()?;
+            return Ok(Stmt::Insert { table, values });
+        }
+        if self.eat_kw("delete") {
+            let table = self.ident()?;
+            self.expect(&Tok::LBracket)?;
+            let key = self.expr()?;
+            self.expect(&Tok::RBracket)?;
+            self.newline()?;
+            return Ok(Stmt::Delete { table, key });
+        }
+        if self.eat_kw("send") {
+            let mailbox = self.ident()?;
+            let select = if self.eat(&Tok::LParen) {
+                let mut projection = Vec::new();
+                if self.peek() != &Tok::RParen {
+                    loop {
+                        projection.push(self.expr()?);
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Tok::RParen)?;
+                Select {
+                    body: Vec::new(),
+                    projection,
+                }
+            } else if self.peek() == &Tok::LBrace {
+                self.comprehension()?
+            } else {
+                return Err(self.err(format!(
+                    "expected `(row)` or `{{comprehension}}` after `send {mailbox}`, found {}",
+                    self.peek()
+                )));
+            };
+            self.newline()?;
+            return Ok(Stmt::Send { mailbox, select });
+        }
+        if self.eat_kw("return") {
+            let e = self.expr()?;
+            self.newline()?;
+            return Ok(Stmt::Return(e));
+        }
+        if self.eat_kw("clear") {
+            let name = self.ident()?;
+            self.newline()?;
+            return Ok(Stmt::ClearMailbox(name));
+        }
+        if self.eat_kw("if") {
+            let cond = self.expr()?;
+            self.expect(&Tok::Colon)?;
+            let then = self.stmt_block()?;
+            let els = if self.at_kw("else") {
+                self.bump();
+                self.expect(&Tok::Colon)?;
+                self.stmt_block()?
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If { cond, then, els });
+        }
+        if self.at_kw("for") {
+            // `for atom (, atom)* :` — statement-level quantification.
+            let mut body = Vec::new();
+            self.bump();
+            loop {
+                body.push(self.body_atom_after_for(body.is_empty())?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+                // Subsequent atoms may start with their own keyword; a bare
+                // `rel(...)` continues the scan list.
+            }
+            self.expect(&Tok::Colon)?;
+            let stmts = self.stmt_block()?;
+            return Ok(Stmt::ForEach {
+                select: Select {
+                    body,
+                    projection: Vec::new(),
+                },
+                stmts,
+            });
+        }
+
+        // Mutation statements: `lvalue := e`, `lvalue.merge(e)`.
+        self.mutation_stmt()
+    }
+
+    /// Parse one atom inside a `for …:` statement head. The first atom has
+    /// already consumed the `for` keyword, so a scan is written bare
+    /// (`carts(s, items)`); later atoms use the regular keyworded forms.
+    fn body_atom_after_for(&mut self, first: bool) -> Result<BodyAtom, ParseError> {
+        if first {
+            // Either `x in e` (flatten) or `rel(terms)` (scan).
+            if matches!(self.peek(), Tok::Ident(_)) && matches!(self.peek_at(1), Tok::Ident(k) if k == "in")
+            {
+                let var = self.ident()?;
+                self.expect_kw("in")?;
+                let set = self.expr()?;
+                return Ok(BodyAtom::Flatten { var, set });
+            }
+            let rel = self.ident()?;
+            self.expect(&Tok::LParen)?;
+            let mut terms = Vec::new();
+            if self.peek() != &Tok::RParen {
+                loop {
+                    terms.push(self.term()?);
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(&Tok::RParen)?;
+            Ok(BodyAtom::Scan { rel, terms })
+        } else {
+            self.body_atom()
+        }
+    }
+
+    fn mutation_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let name = match self.peek() {
+            Tok::Ident(_) => self.ident()?,
+            other => return Err(self.err(format!("expected a statement, found {other}"))),
+        };
+
+        if self.eat(&Tok::LBracket) {
+            // table[key].field := e  |  table[key].field.merge(e)
+            if !self.tables.contains(&name) {
+                return Err(self.err(format!("`{name}` is not a declared table")));
+            }
+            let key = self.expr()?;
+            self.expect(&Tok::RBracket)?;
+            self.expect(&Tok::Dot)?;
+            let field = self.ident()?;
+            if self.eat(&Tok::Assign) {
+                let e = self.expr()?;
+                self.newline()?;
+                return Ok(Stmt::Assign(
+                    hydro_core::ast::AssignTarget::TableField {
+                        table: name,
+                        key,
+                        field,
+                    },
+                    e,
+                ));
+            }
+            self.expect(&Tok::Dot)?;
+            self.expect_kw("merge")?;
+            self.expect(&Tok::LParen)?;
+            let e = self.expr()?;
+            self.expect(&Tok::RParen)?;
+            self.newline()?;
+            return Ok(Stmt::Merge(
+                hydro_core::ast::MergeTarget::TableField {
+                    table: name,
+                    key,
+                    field,
+                },
+                e,
+            ));
+        }
+
+        if self.eat(&Tok::Assign) {
+            let e = self.expr()?;
+            self.newline()?;
+            return Ok(Stmt::Assign(
+                hydro_core::ast::AssignTarget::Scalar(name),
+                e,
+            ));
+        }
+
+        if self.eat(&Tok::Dot) {
+            self.expect_kw("merge")?;
+            self.expect(&Tok::LParen)?;
+            let e = self.expr()?;
+            self.expect(&Tok::RParen)?;
+            self.newline()?;
+            return Ok(Stmt::Merge(hydro_core::ast::MergeTarget::Scalar(name), e));
+        }
+
+        Err(self.err(format!(
+            "expected `:=` or `.merge(…)` after `{name}`, found {}",
+            self.peek()
+        )))
+    }
+
+    // ------------------------------------------------------------ facet blocks
+
+    /// Parse an indented block of `name: …` entries, applying `entry` to
+    /// each.
+    fn facet_entries(
+        &mut self,
+        mut entry: impl FnMut(&mut Self, String) -> Result<(), ParseError>,
+    ) -> Result<(), ParseError> {
+        self.expect(&Tok::Colon)?;
+        self.newline()?;
+        self.expect(&Tok::Indent)?;
+        while !self.eat(&Tok::Dedent) {
+            let name = self.ident()?;
+            self.expect(&Tok::Colon)?;
+            entry(self, name)?;
+            self.newline()?;
+        }
+        Ok(())
+    }
+
+    fn availability_block(&mut self) -> Result<(), ParseError> {
+        self.expect_kw("availability")?;
+        self.facet_entries(|p, name| {
+            let req = p.avail_req()?;
+            if name == "default" {
+                p.program.availability.default = req;
+            } else {
+                p.program.availability.per_handler.insert(name, req);
+            }
+            Ok(())
+        })
+    }
+
+    /// `domain=az, failures=2` (either order, both required).
+    fn avail_req(&mut self) -> Result<AvailReq, ParseError> {
+        let mut domain = None;
+        let mut failures = None;
+        loop {
+            let key = self.ident()?;
+            self.expect(&Tok::Eq)?;
+            match key.as_str() {
+                "domain" => {
+                    domain = Some(match self.ident()?.as_str() {
+                        "vm" => FailureDomain::Vm,
+                        "rack" => FailureDomain::Rack,
+                        "dc" | "datacenter" => FailureDomain::DataCenter,
+                        "az" => FailureDomain::Az,
+                        other => {
+                            return Err(
+                                self.err(format!("unknown failure domain `{other}`"))
+                            )
+                        }
+                    })
+                }
+                "failures" => match self.bump() {
+                    Tok::Int(n) if n >= 0 => failures = Some(n as u32),
+                    other => return Err(self.err(format!("expected failure count, found {other}"))),
+                },
+                other => {
+                    return Err(self.err(format!(
+                        "unknown availability key `{other}` (expected domain/failures)"
+                    )))
+                }
+            }
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        match (domain, failures) {
+            (Some(domain), Some(failures)) => Ok(AvailReq { domain, failures }),
+            _ => Err(self.err("availability entries need both `domain=` and `failures=`")),
+        }
+    }
+
+    fn consistency_block(&mut self) -> Result<(), ParseError> {
+        self.expect_kw("consistency")?;
+        // Collect into a temporary to avoid borrowing program inside closure.
+        let mut defaults: Option<ConsistencyReq> = None;
+        let mut per_handler: Vec<(String, ConsistencyReq)> = Vec::new();
+        self.facet_entries(|p, name| {
+            let req = p.consistency_spec()?;
+            if name == "default" {
+                defaults = Some(req);
+            } else {
+                per_handler.push((name, req));
+            }
+            Ok(())
+        })?;
+        if let Some(d) = defaults {
+            self.program.default_consistency = d;
+        }
+        for (name, req) in per_handler {
+            let (line, col) = self.here();
+            let handler = self
+                .program
+                .handlers
+                .iter_mut()
+                .find(|h| h.name == name)
+                .ok_or(ParseError {
+                    message: format!("consistency block names unknown handler `{name}`"),
+                    line,
+                    col,
+                })?;
+            if handler.consistency.is_some() {
+                return Err(ParseError {
+                    message: format!(
+                        "handler `{name}` already has an inline consistency spec"
+                    ),
+                    line,
+                    col,
+                });
+            }
+            handler.consistency = Some(req);
+        }
+        Ok(())
+    }
+
+    fn target_block(&mut self) -> Result<(), ParseError> {
+        self.expect_kw("target")?;
+        self.facet_entries(|p, name| {
+            let req = p.target_req()?;
+            if name == "default" {
+                p.program.targets.default = req;
+            } else {
+                p.program.targets.per_handler.insert(name, req);
+            }
+            Ok(())
+        })
+    }
+
+    /// `latency=100ms, cost=0.01, processor=gpu` (any subset, any order).
+    fn target_req(&mut self) -> Result<TargetReq, ParseError> {
+        let mut req = TargetReq::default();
+        loop {
+            let key = self.ident()?;
+            self.expect(&Tok::Eq)?;
+            match key.as_str() {
+                "latency" => match self.bump() {
+                    Tok::Int(ms) if ms >= 0 => {
+                        // Tolerate a trailing `ms` unit.
+                        self.eat_kw("ms");
+                        req.latency_ms = Some(ms as u64);
+                    }
+                    other => {
+                        return Err(self.err(format!("expected latency in ms, found {other}")))
+                    }
+                },
+                "cost" => match self.bump() {
+                    Tok::Decimal(whole, frac) if whole >= 0 => {
+                        req.cost_milli = Some(whole as u64 * 1000 + frac as u64);
+                    }
+                    Tok::Int(units) if units >= 0 => {
+                        req.cost_milli = Some(units as u64 * 1000);
+                    }
+                    other => {
+                        return Err(self.err(format!("expected cost in units, found {other}")))
+                    }
+                },
+                "processor" => {
+                    req.processor = Some(match self.ident()?.as_str() {
+                        "cpu" => Processor::Cpu,
+                        "gpu" => Processor::Gpu,
+                        other => return Err(self.err(format!("unknown processor `{other}`"))),
+                    })
+                }
+                other => {
+                    return Err(self.err(format!(
+                        "unknown target key `{other}` (expected latency/cost/processor)"
+                    )))
+                }
+            }
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        Ok(req)
+    }
+
+    // ------------------------------------------------------------ expressions
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw("or") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_kw("and") {
+            let rhs = self.not_expr()?;
+            lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_kw("not") {
+            let e = self.not_expr()?;
+            return Ok(Expr::Not(Box::new(e)));
+        }
+        self.cmp_expr()
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Tok::EqEq => Some(hydro_core::ast::CmpOp::Eq),
+            Tok::Ne => Some(hydro_core::ast::CmpOp::Ne),
+            Tok::Lt => Some(hydro_core::ast::CmpOp::Lt),
+            Tok::Le => Some(hydro_core::ast::CmpOp::Le),
+            Tok::Gt => Some(hydro_core::ast::CmpOp::Gt),
+            Tok::Ge => Some(hydro_core::ast::CmpOp::Ge),
+            Tok::Ident(k) if k == "in" => {
+                self.bump();
+                let set = self.add_expr()?;
+                return Ok(Expr::Contains(Box::new(set), Box::new(lhs)));
+            }
+            _ => None,
+        };
+        match op {
+            None => Ok(lhs),
+            Some(op) => {
+                self.bump();
+                let rhs = self.add_expr()?;
+                Ok(Expr::Cmp(op, Box::new(lhs), Box::new(rhs)))
+            }
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => hydro_core::ast::ArithOp::Add,
+                Tok::Minus => hydro_core::ast::ArithOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Arith(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => hydro_core::ast::ArithOp::Mul,
+                Tok::Slash => hydro_core::ast::ArithOp::Div,
+                Tok::Percent => hydro_core::ast::ArithOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Arith(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(&Tok::Minus) {
+            let e = self.unary_expr()?;
+            // Fold literal negation so `-3` round-trips as a constant.
+            if let Expr::Const(Value::Int(n)) = e {
+                return Ok(Expr::Const(Value::Int(-n)));
+            }
+            return Ok(Expr::Arith(
+                hydro_core::ast::ArithOp::Sub,
+                Box::new(Expr::int(0)),
+                Box::new(e),
+            ));
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary_expr()?;
+        loop {
+            match self.peek() {
+                Tok::LBracket => {
+                    self.bump();
+                    // `people[k]` row reference vs `t[0]` tuple projection.
+                    if let Expr::Var(name) = &e {
+                        if self.tables.contains(name) {
+                            let table = name.clone();
+                            let key = self.expr()?;
+                            self.expect(&Tok::RBracket)?;
+                            e = Expr::RowOf {
+                                table,
+                                key: Box::new(key),
+                            };
+                            continue;
+                        }
+                    }
+                    match self.bump() {
+                        Tok::Int(i) if i >= 0 => {
+                            self.expect(&Tok::RBracket)?;
+                            e = Expr::Index(Box::new(e), i as usize);
+                        }
+                        other => {
+                            return Err(self.err(format!(
+                                "tuple projection needs a constant index, found {other}"
+                            )))
+                        }
+                    }
+                }
+                Tok::Dot => {
+                    self.bump();
+                    let name = self.ident()?;
+                    match name.as_str() {
+                        "len" => {
+                            self.expect(&Tok::LParen)?;
+                            self.expect(&Tok::RParen)?;
+                            e = Expr::Len(Box::new(e));
+                        }
+                        "contains" => {
+                            self.expect(&Tok::LParen)?;
+                            let item = self.expr()?;
+                            self.expect(&Tok::RParen)?;
+                            e = Expr::Contains(Box::new(e), Box::new(item));
+                        }
+                        "has_key" => {
+                            let Expr::Var(table) = &e else {
+                                return Err(
+                                    self.err("`.has_key(…)` applies to a table name")
+                                );
+                            };
+                            if !self.tables.contains(table) {
+                                return Err(self.err(format!(
+                                    "`{table}` is not a declared table"
+                                )));
+                            }
+                            let table = table.clone();
+                            self.expect(&Tok::LParen)?;
+                            let key = self.expr()?;
+                            self.expect(&Tok::RParen)?;
+                            e = Expr::HasKey {
+                                table,
+                                key: Box::new(key),
+                            };
+                        }
+                        field => {
+                            // `people[pid].field` — field of a row reference.
+                            if let Expr::RowOf { table, key } = e {
+                                e = Expr::FieldOf {
+                                    table,
+                                    key,
+                                    field: field.to_string(),
+                                };
+                            } else {
+                                return Err(self.err(format!(
+                                    "unknown method `.{field}` \
+                                     (expected len/contains/has_key, or a field of a row reference)"
+                                )));
+                            }
+                        }
+                    }
+                }
+                Tok::LParen => {
+                    // UDF call: `covid_predict(args)`.
+                    let Expr::Var(name) = &e else {
+                        return Err(self.err("only named functions can be called"));
+                    };
+                    if !self.udfs.contains(name) {
+                        return Err(self.err(format!(
+                            "unknown function `{name}` (declare it with `import {name}`)"
+                        )));
+                    }
+                    let name = name.clone();
+                    self.bump();
+                    let mut args = Vec::new();
+                    if self.peek() != &Tok::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Tok::RParen)?;
+                    e = Expr::Call(name, args);
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Tok::Int(n) => {
+                self.bump();
+                Ok(Expr::Const(Value::Int(n)))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Expr::Const(Value::Str(s)))
+            }
+            Tok::Ident(id) => match id.as_str() {
+                "true" => {
+                    self.bump();
+                    Ok(Expr::Const(Value::Bool(true)))
+                }
+                "false" => {
+                    self.bump();
+                    Ok(Expr::Const(Value::Bool(false)))
+                }
+                "null" => {
+                    self.bump();
+                    Ok(Expr::Const(Value::Null))
+                }
+                _ => {
+                    self.bump();
+                    Ok(Expr::Var(id))
+                }
+            },
+            Tok::LParen => {
+                self.bump();
+                let first = self.expr()?;
+                if self.eat(&Tok::Comma) {
+                    let mut items = vec![first];
+                    if self.peek() != &Tok::RParen {
+                        loop {
+                            items.push(self.expr()?);
+                            if !self.eat(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Tok::RParen)?;
+                    Ok(fold_const_tuple(items))
+                } else {
+                    self.expect(&Tok::RParen)?;
+                    Ok(first)
+                }
+            }
+            Tok::LBrace => {
+                let sel = self.set_or_comprehension()?;
+                Ok(sel)
+            }
+            other => Err(self.err(format!("expected an expression, found {other}"))),
+        }
+    }
+
+    /// `{}`, `{e1, e2}`, or `{proj for … if …}`.
+    fn set_or_comprehension(&mut self) -> Result<Expr, ParseError> {
+        self.expect(&Tok::LBrace)?;
+        if self.eat(&Tok::RBrace) {
+            return Ok(Expr::Const(Value::empty_set()));
+        }
+        let first = self.expr()?;
+        if self.at_kw("for") || self.at_kw("if") || self.at_kw("let") || self.at_kw("not") {
+            let body = self.comprehension_body()?;
+            self.expect(&Tok::RBrace)?;
+            return Ok(Expr::CollectSet(Box::new(Select {
+                body,
+                projection: flatten_projection(first),
+            })));
+        }
+        let mut items = vec![first];
+        while self.eat(&Tok::Comma) {
+            items.push(self.expr()?);
+        }
+        self.expect(&Tok::RBrace)?;
+        Ok(fold_const_set(items))
+    }
+
+    /// Parse a full `{proj for …}` comprehension into a [`Select`]
+    /// (entered at the `{`).
+    fn comprehension(&mut self) -> Result<Select, ParseError> {
+        self.expect(&Tok::LBrace)?;
+        let proj = self.expr()?;
+        let body = if self.at_kw("for") || self.at_kw("if") || self.at_kw("let") || self.at_kw("not")
+        {
+            self.comprehension_body()?
+        } else {
+            Vec::new()
+        };
+        self.expect(&Tok::RBrace)?;
+        Ok(Select {
+            body,
+            projection: flatten_projection(proj),
+        })
+    }
+
+    fn comprehension_body(&mut self) -> Result<Vec<BodyAtom>, ParseError> {
+        let mut body = Vec::new();
+        while self.at_kw("for") || self.at_kw("if") || self.at_kw("let") || self.at_kw("not") {
+            body.push(self.body_atom()?);
+        }
+        Ok(body)
+    }
+
+    // --------------------------------------------------------------- literals
+
+    fn literal(&mut self) -> Result<Value, ParseError> {
+        match self.peek().clone() {
+            Tok::Int(n) => {
+                self.bump();
+                Ok(Value::Int(n))
+            }
+            Tok::Minus => {
+                self.bump();
+                match self.bump() {
+                    Tok::Int(n) => Ok(Value::Int(-n)),
+                    other => Err(self.err(format!("expected integer after `-`, found {other}"))),
+                }
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Value::Str(s))
+            }
+            Tok::Ident(id) => match id.as_str() {
+                "true" => {
+                    self.bump();
+                    Ok(Value::Bool(true))
+                }
+                "false" => {
+                    self.bump();
+                    Ok(Value::Bool(false))
+                }
+                "null" => {
+                    self.bump();
+                    Ok(Value::Null)
+                }
+                other => Err(self.err(format!("expected a literal, found `{other}`"))),
+            },
+            Tok::LBrace => {
+                self.bump();
+                let mut items = BTreeSet::new();
+                if self.peek() != &Tok::RBrace {
+                    loop {
+                        items.insert(self.literal()?);
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Tok::RBrace)?;
+                Ok(Value::Set(items))
+            }
+            Tok::LParen => {
+                self.bump();
+                let mut items = Vec::new();
+                if self.peek() != &Tok::RParen {
+                    loop {
+                        items.push(self.literal()?);
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Tok::RParen)?;
+                Ok(Value::Tuple(items))
+            }
+            other => Err(self.err(format!("expected a literal, found {other}"))),
+        }
+    }
+}
+
+/// A paren-tuple head `{(a, b) for …}` projects multiple row columns; any
+/// other head projects one.
+fn flatten_projection(head: Expr) -> Vec<Expr> {
+    match head {
+        Expr::Tuple(items) => items,
+        Expr::Const(Value::Tuple(items)) => {
+            items.into_iter().map(Expr::Const).collect()
+        }
+        single => vec![single],
+    }
+}
+
+/// Canonicalize all-constant tuples to a constant (so printing and parsing
+/// are mutually inverse on constants).
+fn fold_const_tuple(items: Vec<Expr>) -> Expr {
+    if items.iter().all(|e| matches!(e, Expr::Const(_))) {
+        Expr::Const(Value::Tuple(
+            items
+                .into_iter()
+                .map(|e| match e {
+                    Expr::Const(v) => v,
+                    _ => unreachable!("all-const checked"),
+                })
+                .collect(),
+        ))
+    } else {
+        Expr::Tuple(items)
+    }
+}
+
+/// Canonicalize all-constant set literals to a constant.
+fn fold_const_set(items: Vec<Expr>) -> Expr {
+    if items.iter().all(|e| matches!(e, Expr::Const(_))) {
+        Expr::Const(Value::Set(
+            items
+                .into_iter()
+                .map(|e| match e {
+                    Expr::Const(v) => v,
+                    _ => unreachable!("all-const checked"),
+                })
+                .collect(),
+        ))
+    } else {
+        Expr::SetBuild(items)
+    }
+}

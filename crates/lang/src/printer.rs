@@ -1,0 +1,557 @@
+//! Pretty-printer: [`Program`] → textual HydroLogic.
+//!
+//! The printer is the inverse of the parser up to canonicalization:
+//! all-constant tuple/set literals print as literals and re-parse as
+//! [`Expr::Const`], and multi-column comprehension heads print as a
+//! parenthesized tuple. `print ∘ parse ∘ print = print` (property-tested in
+//! the crate tests), and for programs produced by the parser,
+//! `parse ∘ print` is the identity.
+//!
+//! Programs containing constructs with no surface syntax (e.g. a bare
+//! scalar initialized to a `Map` value) are rejected with [`PrintError`]
+//! rather than printed unparsably.
+
+use hydro_core::ast::{
+    AggFun, AggRule, ArithOp, AssignTarget, BodyAtom, CmpOp, ColumnKind, Expr, Handler,
+    MergeTarget, Program, Rule, Select, Stmt, TableDecl, Term, Trigger,
+};
+use hydro_core::facets::{
+    AvailReq, ConsistencyLevel, ConsistencyReq, FailureDomain, Invariant, Processor, TargetReq,
+};
+use hydro_core::value::{LatticeKind, Value};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A printing failure: the program uses a construct with no surface syntax.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PrintError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for PrintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for PrintError {}
+
+fn perr(message: impl Into<String>) -> PrintError {
+    PrintError {
+        message: message.into(),
+    }
+}
+
+/// Render a program as parsable HydroLogic text.
+pub fn print_program(p: &Program) -> Result<String, PrintError> {
+    let mut out = String::new();
+    for t in &p.tables {
+        table_decl(&mut out, t)?;
+    }
+    for s in &p.scalars {
+        match &s.lattice {
+            Some(kind) => {
+                if s.init == kind.bottom() {
+                    wl(&mut out, format!("var {}: {}", s.name, kind_name(kind)));
+                } else {
+                    wl(
+                        &mut out,
+                        format!(
+                            "var {}: {} = {}",
+                            s.name,
+                            kind_name(kind),
+                            literal(&s.init)?
+                        ),
+                    );
+                }
+            }
+            None => {
+                if s.init == Value::Null {
+                    wl(&mut out, format!("var {}", s.name));
+                } else {
+                    wl(&mut out, format!("var {} = {}", s.name, literal(&s.init)?));
+                }
+            }
+        }
+    }
+    for m in &p.mailboxes {
+        let fields: Vec<String> = (0..m.arity).map(|i| format!("f{i}")).collect();
+        wl(&mut out, format!("mailbox {}({})", m.name, fields.join(", ")));
+    }
+    if !p.udfs.is_empty() {
+        wl(&mut out, format!("import {}", p.udfs.join(", ")));
+    }
+    for r in &p.rules {
+        rule_decl(&mut out, r)?;
+    }
+    for r in &p.agg_rules {
+        agg_rule_decl(&mut out, r)?;
+    }
+    for h in &p.handlers {
+        handler_decl(&mut out, h)?;
+    }
+    availability_block(&mut out, p);
+    consistency_block(&mut out, p)?;
+    target_block(&mut out, p);
+    Ok(out)
+}
+
+fn wl(out: &mut String, line: impl AsRef<str>) {
+    out.push_str(line.as_ref());
+    out.push('\n');
+}
+
+fn kind_name(kind: &LatticeKind) -> String {
+    match kind {
+        LatticeKind::MaxInt => "max".into(),
+        LatticeKind::MinInt => "min".into(),
+        LatticeKind::BoolOr => "flag".into(),
+        LatticeKind::SetUnion => "set".into(),
+        LatticeKind::MapUnion(inner) => format!("map({})", kind_name(inner)),
+        LatticeKind::Lww => "lww".into(),
+        LatticeKind::GCounter => "counter".into(),
+    }
+}
+
+fn table_decl(out: &mut String, t: &TableDecl) -> Result<(), PrintError> {
+    let mut parts: Vec<String> = Vec::new();
+    for c in &t.columns {
+        match &c.kind {
+            ColumnKind::Atom => parts.push(c.name.clone()),
+            ColumnKind::Lattice(k) => parts.push(format!("{}: {}", c.name, kind_name(k))),
+        }
+    }
+    let key_names: Vec<&str> = t.key.iter().map(|&i| t.columns[i].name.as_str()).collect();
+    // The parser defaults the key to the first column; print explicitly
+    // whenever it differs, and also for multi-column keys.
+    if key_names.len() != 1 || t.key != vec![0] {
+        if key_names.len() == 1 {
+            parts.push(format!("key={}", key_names[0]));
+        } else {
+            parts.push(format!("key=({})", key_names.join(", ")));
+        }
+    } else {
+        parts.push(format!("key={}", key_names[0]));
+    }
+    if let Some(pix) = t.partition_by {
+        parts.push(format!("partition={}", t.columns[pix].name));
+    }
+    for fd in &t.fds {
+        let names = |cols: &[usize]| {
+            cols.iter()
+                .map(|&i| t.columns[i].name.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        parts.push(format!(
+            "fd=({} -> {})",
+            names(&fd.determinant),
+            names(&fd.dependent)
+        ));
+    }
+    wl(out, format!("table {}({})", t.name, parts.join(", ")));
+    Ok(())
+}
+
+fn rule_decl(out: &mut String, r: &Rule) -> Result<(), PrintError> {
+    let heads: Vec<String> = r.head_exprs.iter().map(expr).collect::<Result<_, _>>()?;
+    wl(out, format!("query {}({}):", r.head, heads.join(", ")));
+    for atom in &r.body {
+        wl(out, format!("  {}", body_atom(atom)?));
+    }
+    wl(out, "");
+    Ok(())
+}
+
+fn agg_rule_decl(out: &mut String, r: &AggRule) -> Result<(), PrintError> {
+    let heads: Vec<String> = r.group_exprs.iter().map(expr).collect::<Result<_, _>>()?;
+    let fun = match r.agg {
+        AggFun::Count => "count",
+        AggFun::Sum => "sum",
+        AggFun::Min => "min",
+        AggFun::Max => "max",
+        AggFun::CollectSet => "collect_set",
+    };
+    wl(
+        out,
+        format!(
+            "query {}({}) = {fun}({}):",
+            r.head,
+            heads.join(", "),
+            expr(&r.over)?
+        ),
+    );
+    for atom in &r.body {
+        wl(out, format!("  {}", body_atom(atom)?));
+    }
+    wl(out, "");
+    Ok(())
+}
+
+fn body_atom(atom: &BodyAtom) -> Result<String, PrintError> {
+    Ok(match atom {
+        BodyAtom::Scan { rel, terms } => {
+            let ts: Vec<String> = terms.iter().map(term).collect::<Result<_, _>>()?;
+            format!("for {rel}({})", ts.join(", "))
+        }
+        BodyAtom::Neg { rel, args } => {
+            let es: Vec<String> = args.iter().map(expr).collect::<Result<_, _>>()?;
+            format!("not {rel}({})", es.join(", "))
+        }
+        BodyAtom::Guard(e) => format!("if {}", expr(e)?),
+        BodyAtom::Let { var, expr: e } => format!("let {var} = {}", expr(e)?),
+        BodyAtom::Flatten { var, set } => format!("for {var} in {}", expr(set)?),
+    })
+}
+
+fn term(t: &Term) -> Result<String, PrintError> {
+    Ok(match t {
+        Term::Var(v) => v.clone(),
+        Term::Wildcard => "_".to_string(),
+        Term::Const(v) => literal(v)?,
+    })
+}
+
+fn handler_decl(out: &mut String, h: &Handler) -> Result<(), PrintError> {
+    match &h.trigger {
+        Trigger::OnMessage => {
+            let mut header = format!("on {}({})", h.name, h.params.join(", "));
+            if let Some(req) = &h.consistency {
+                let _ = write!(header, " with {}", consistency_spec(req)?);
+            }
+            header.push(':');
+            wl(out, header);
+        }
+        Trigger::OnCondition(cond) => {
+            if h.consistency.is_some() {
+                return Err(perr(format!(
+                    "handler `{}`: condition handlers take their consistency \
+                     from a `consistency:` block",
+                    h.name
+                )));
+            }
+            wl(out, format!("on {} when {}:", h.name, expr(cond)?));
+        }
+    }
+    stmts(out, &h.body, 1)?;
+    wl(out, "");
+    Ok(())
+}
+
+fn consistency_spec(req: &ConsistencyReq) -> Result<String, PrintError> {
+    let level = match req.level {
+        ConsistencyLevel::Eventual => "eventual",
+        ConsistencyLevel::Causal => "causal",
+        ConsistencyLevel::Snapshot => "snapshot",
+        ConsistencyLevel::Sequential => "sequential",
+        ConsistencyLevel::Serializable => "serializable",
+    };
+    if req.invariants.is_empty() {
+        return Ok(level.to_string());
+    }
+    let invs: Vec<String> = req
+        .invariants
+        .iter()
+        .map(|inv| match inv {
+            Invariant::NonNegative(name) => format!("{name} >= 0"),
+            Invariant::HasKey { table, key_param } => format!("{table}.has_key({key_param})"),
+        })
+        .collect();
+    Ok(format!("{level} require {}", invs.join(", ")))
+}
+
+fn stmts(out: &mut String, body: &[Stmt], depth: usize) -> Result<(), PrintError> {
+    let pad = "  ".repeat(depth);
+    for s in body {
+        match s {
+            Stmt::Merge(target, e) => match target {
+                MergeTarget::Scalar(name) => {
+                    wl(out, format!("{pad}{name}.merge({})", expr(e)?))
+                }
+                MergeTarget::TableField { table, key, field } => wl(
+                    out,
+                    format!("{pad}{table}[{}].{field}.merge({})", expr(key)?, expr(e)?),
+                ),
+            },
+            Stmt::Assign(target, e) => match target {
+                AssignTarget::Scalar(name) => {
+                    wl(out, format!("{pad}{name} := {}", expr(e)?))
+                }
+                AssignTarget::TableField { table, key, field } => wl(
+                    out,
+                    format!("{pad}{table}[{}].{field} := {}", expr(key)?, expr(e)?),
+                ),
+            },
+            Stmt::Insert { table, values } => {
+                let es: Vec<String> = values.iter().map(expr).collect::<Result<_, _>>()?;
+                wl(out, format!("{pad}insert {table}({})", es.join(", ")));
+            }
+            Stmt::Delete { table, key } => {
+                wl(out, format!("{pad}delete {table}[{}]", expr(key)?))
+            }
+            Stmt::Send { mailbox, select } => {
+                if select.body.is_empty() {
+                    let es: Vec<String> =
+                        select.projection.iter().map(expr).collect::<Result<_, _>>()?;
+                    wl(out, format!("{pad}send {mailbox}({})", es.join(", ")));
+                } else {
+                    wl(out, format!("{pad}send {mailbox} {}", comprehension(select)?));
+                }
+            }
+            Stmt::Return(e) => wl(out, format!("{pad}return {}", expr(e)?)),
+            Stmt::If { cond, then, els } => {
+                wl(out, format!("{pad}if {}:", expr(cond)?));
+                stmts(out, then, depth + 1)?;
+                if !els.is_empty() {
+                    wl(out, format!("{pad}else:"));
+                    stmts(out, els, depth + 1)?;
+                }
+            }
+            Stmt::ForEach { select, stmts: inner } => {
+                if select.body.is_empty() {
+                    return Err(perr("`for` statement with empty comprehension body"));
+                }
+                let atoms: Vec<String> = select
+                    .body
+                    .iter()
+                    .map(body_atom)
+                    .collect::<Result<_, _>>()?;
+                // The leading `for` of the first atom doubles as the
+                // statement keyword.
+                let first = atoms[0]
+                    .strip_prefix("for ")
+                    .ok_or_else(|| {
+                        perr("`for` statement must start with a scan or flatten atom")
+                    })?
+                    .to_string();
+                let rest = atoms[1..].join(", ");
+                if rest.is_empty() {
+                    wl(out, format!("{pad}for {first}:"));
+                } else {
+                    wl(out, format!("{pad}for {first}, {rest}:"));
+                }
+                stmts(out, inner, depth + 1)?;
+            }
+            Stmt::ClearMailbox(name) => wl(out, format!("{pad}clear {name}")),
+        }
+    }
+    Ok(())
+}
+
+fn comprehension(sel: &Select) -> Result<String, PrintError> {
+    let head = match sel.projection.len() {
+        0 => return Err(perr("comprehension with empty projection")),
+        1 => expr(&sel.projection[0])?,
+        _ => {
+            let es: Vec<String> = sel.projection.iter().map(expr).collect::<Result<_, _>>()?;
+            format!("({})", es.join(", "))
+        }
+    };
+    let atoms: Vec<String> = sel.body.iter().map(body_atom).collect::<Result<_, _>>()?;
+    if atoms.is_empty() {
+        Ok(format!("{{{head}}}"))
+    } else {
+        Ok(format!("{{{head} {}}}", atoms.join(" ")))
+    }
+}
+
+// --------------------------------------------------------------- expressions
+
+/// Operator precedence levels, mirroring the parser's grammar.
+fn prec(e: &Expr) -> u8 {
+    match e {
+        Expr::Or(..) => 1,
+        Expr::And(..) => 2,
+        Expr::Not(..) => 3,
+        Expr::Cmp(..) => 4,
+        Expr::Arith(ArithOp::Add | ArithOp::Sub, ..) => 5,
+        Expr::Arith(..) => 6,
+        // A negative literal prints with a leading `-`, which binds like
+        // unary minus (tighter than `*`, looser than postfix): `(-1).len()`,
+        // not `-1.len()`.
+        Expr::Const(Value::Int(n)) if *n < 0 => 7,
+        _ => 10,
+    }
+}
+
+fn sub_expr(e: &Expr, parent: u8) -> Result<String, PrintError> {
+    let s = expr(e)?;
+    if prec(e) < parent {
+        Ok(format!("({s})"))
+    } else {
+        Ok(s)
+    }
+}
+
+fn expr(e: &Expr) -> Result<String, PrintError> {
+    Ok(match e {
+        Expr::Const(v) => literal(v)?,
+        Expr::Var(name) | Expr::Scalar(name) => name.clone(),
+        Expr::Cmp(op, l, r) => {
+            let ops = match op {
+                CmpOp::Eq => "==",
+                CmpOp::Ne => "!=",
+                CmpOp::Lt => "<",
+                CmpOp::Le => "<=",
+                CmpOp::Gt => ">",
+                CmpOp::Ge => ">=",
+            };
+            format!("{} {ops} {}", sub_expr(l, 5)?, sub_expr(r, 5)?)
+        }
+        Expr::Arith(op, l, r) => match op {
+            ArithOp::Add => format!("{} + {}", sub_expr(l, 5)?, sub_expr(r, 6)?),
+            ArithOp::Sub => format!("{} - {}", sub_expr(l, 5)?, sub_expr(r, 6)?),
+            ArithOp::Mul => format!("{} * {}", sub_expr(l, 6)?, sub_expr(r, 10)?),
+            ArithOp::Div => format!("{} / {}", sub_expr(l, 6)?, sub_expr(r, 10)?),
+            ArithOp::Mod => format!("{} % {}", sub_expr(l, 6)?, sub_expr(r, 10)?),
+        },
+        Expr::Not(inner) => format!("not {}", sub_expr(inner, 3)?),
+        Expr::And(l, r) => format!("{} and {}", sub_expr(l, 2)?, sub_expr(r, 3)?),
+        Expr::Or(l, r) => format!("{} or {}", sub_expr(l, 1)?, sub_expr(r, 2)?),
+        Expr::Tuple(items) => {
+            let es: Vec<String> = items.iter().map(expr).collect::<Result<_, _>>()?;
+            format!("({})", es.join(", "))
+        }
+        Expr::Index(inner, i) => format!("{}[{i}]", sub_expr(inner, 10)?),
+        Expr::SetBuild(items) => {
+            let es: Vec<String> = items.iter().map(expr).collect::<Result<_, _>>()?;
+            format!("{{{}}}", es.join(", "))
+        }
+        Expr::Contains(set, item) => {
+            format!("{}.contains({})", sub_expr(set, 10)?, expr(item)?)
+        }
+        Expr::Len(inner) => format!("{}.len()", sub_expr(inner, 10)?),
+        Expr::FieldOf { table, key, field } => {
+            format!("{table}[{}].{field}", expr(key)?)
+        }
+        Expr::RowOf { table, key } => format!("{table}[{}]", expr(key)?),
+        Expr::HasKey { table, key } => format!("{table}.has_key({})", expr(key)?),
+        Expr::Call(name, args) => {
+            let es: Vec<String> = args.iter().map(expr).collect::<Result<_, _>>()?;
+            format!("{name}({})", es.join(", "))
+        }
+        Expr::CollectSet(sel) => comprehension(sel)?,
+    })
+}
+
+fn literal(v: &Value) -> Result<String, PrintError> {
+    Ok(match v {
+        Value::Null => "null".to_string(),
+        Value::Bool(true) => "true".to_string(),
+        Value::Bool(false) => "false".to_string(),
+        Value::Int(i) => {
+            if *i == i64::MIN {
+                return Err(perr("i64::MIN literal has no surface syntax"));
+            }
+            i.to_string()
+        }
+        Value::Str(s) => {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+        Value::Tuple(items) => {
+            let es: Vec<String> = items.iter().map(literal).collect::<Result<_, _>>()?;
+            format!("({})", es.join(", "))
+        }
+        Value::Set(items) => {
+            let es: Vec<String> = items.iter().map(literal).collect::<Result<_, _>>()?;
+            format!("{{{}}}", es.join(", "))
+        }
+        Value::Map(_) => return Err(perr("map values have no literal syntax")),
+    })
+}
+
+// --------------------------------------------------------------- facet blocks
+
+fn domain_name(d: FailureDomain) -> &'static str {
+    match d {
+        FailureDomain::Vm => "vm",
+        FailureDomain::Rack => "rack",
+        FailureDomain::DataCenter => "dc",
+        FailureDomain::Az => "az",
+    }
+}
+
+fn avail_req(r: &AvailReq) -> String {
+    format!("domain={}, failures={}", domain_name(r.domain), r.failures)
+}
+
+fn availability_block(out: &mut String, p: &Program) {
+    let spec = &p.availability;
+    let is_default = spec.default == AvailReq::default() && spec.per_handler.is_empty();
+    if is_default {
+        return;
+    }
+    wl(out, "availability:");
+    wl(out, format!("  default: {}", avail_req(&spec.default)));
+    for (name, req) in &spec.per_handler {
+        wl(out, format!("  {name}: {}", avail_req(req)));
+    }
+    wl(out, "");
+}
+
+fn consistency_block(out: &mut String, p: &Program) -> Result<(), PrintError> {
+    // Per-handler consistency prints inline on the handlers; only a
+    // non-default program default needs a block.
+    if p.default_consistency == ConsistencyReq::default() {
+        return Ok(());
+    }
+    wl(out, "consistency:");
+    wl(
+        out,
+        format!("  default: {}", consistency_spec(&p.default_consistency)?),
+    );
+    wl(out, "");
+    Ok(())
+}
+
+fn target_req(r: &TargetReq) -> String {
+    let mut parts = Vec::new();
+    if let Some(ms) = r.latency_ms {
+        parts.push(format!("latency={ms}ms"));
+    }
+    if let Some(m) = r.cost_milli {
+        parts.push(format!("cost={}.{:03}", m / 1000, m % 1000));
+    }
+    if let Some(proc) = r.processor {
+        parts.push(format!(
+            "processor={}",
+            match proc {
+                Processor::Cpu => "cpu",
+                Processor::Gpu => "gpu",
+            }
+        ));
+    }
+    parts.join(", ")
+}
+
+fn target_block(out: &mut String, p: &Program) {
+    let spec = &p.targets;
+    let default_empty = spec.default == TargetReq::default();
+    if default_empty && spec.per_handler.is_empty() {
+        return;
+    }
+    wl(out, "target:");
+    if !default_empty {
+        wl(out, format!("  default: {}", target_req(&spec.default)));
+    }
+    for (name, req) in &spec.per_handler {
+        if *req == TargetReq::default() {
+            continue;
+        }
+        wl(out, format!("  {name}: {}", target_req(req)));
+    }
+    wl(out, "");
+}

@@ -1,0 +1,483 @@
+//! Name resolution and static checking for parsed programs.
+//!
+//! The parser leaves every identifier as [`Expr::Var`]; this pass walks the
+//! program with a scope of *bound* variables (handler parameters, scan
+//! bindings, `let`/`for … in` bindings) and
+//!
+//! * rewrites free occurrences of declared scalars to [`Expr::Scalar`],
+//! * rejects unbound identifiers (the classic "silent empty result" Datalog
+//!   pitfall becomes a compile error),
+//! * rejects handler parameters that shadow scalars (ambiguous reads),
+//! * checks scan/negation arity against the declared relations, and
+//! * checks that mutation targets exist and that `merge` targets are
+//!   lattice-typed while `:=` targets are not (the monotone/non-monotone
+//!   split of §3.1 is enforced syntactically).
+//!
+//! The pass mutates the program in place; errors carry the offending name
+//! and context rather than source positions (the parser has already
+//! discarded spans — a production front-end would thread them through).
+
+use hydro_core::ast::{
+    AssignTarget, BodyAtom, ColumnKind, Expr, MergeTarget, Program, Select, Stmt, Term, Trigger,
+};
+use hydro_core::facets::Invariant;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A resolution failure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResolveError {
+    /// Human-readable description, naming the context (handler/query).
+    pub message: String,
+}
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+fn err(message: impl Into<String>) -> ResolveError {
+    ResolveError {
+        message: message.into(),
+    }
+}
+
+struct Resolver {
+    scalars: BTreeSet<String>,
+    /// Lattice-typed scalars (merge targets).
+    lattice_scalars: BTreeSet<String>,
+    /// Relation name → arity, for scan checking. Derived heads included.
+    arities: BTreeMap<String, usize>,
+    /// Table name → (column name → lattice?) for mutation checking.
+    tables: BTreeMap<String, BTreeMap<String, bool>>,
+    udfs: BTreeSet<String>,
+    /// Context string for error messages.
+    context: String,
+}
+
+/// Resolve identifiers and statically check `program` in place.
+pub fn resolve_program(program: &mut Program) -> Result<(), ResolveError> {
+    let scalars: BTreeSet<String> = program.scalars.iter().map(|s| s.name.clone()).collect();
+    let lattice_scalars = program
+        .scalars
+        .iter()
+        .filter(|s| s.lattice.is_some())
+        .map(|s| s.name.clone())
+        .collect();
+    let arities: BTreeMap<String, usize> = program.relation_arities();
+    let tables = program
+        .tables
+        .iter()
+        .map(|t| {
+            (
+                t.name.clone(),
+                t.columns
+                    .iter()
+                    .map(|c| (c.name.clone(), matches!(c.kind, ColumnKind::Lattice(_))))
+                    .collect(),
+            )
+        })
+        .collect();
+    let udfs = program.udfs.iter().cloned().collect();
+    let mut r = Resolver {
+        scalars,
+        lattice_scalars,
+        arities,
+        tables,
+        udfs,
+        context: String::new(),
+    };
+
+    let mut rules = std::mem::take(&mut program.rules);
+    for rule in &mut rules {
+        r.context = format!("query `{}`", rule.head);
+        let mut bound = BTreeSet::new();
+        r.body(&mut rule.body, &mut bound)?;
+        for e in &mut rule.head_exprs {
+            r.expr(e, &bound)?;
+        }
+    }
+    program.rules = rules;
+
+    let mut agg_rules = std::mem::take(&mut program.agg_rules);
+    for rule in &mut agg_rules {
+        r.context = format!("query `{}`", rule.head);
+        let mut bound = BTreeSet::new();
+        r.body(&mut rule.body, &mut bound)?;
+        for e in &mut rule.group_exprs {
+            r.expr(e, &bound)?;
+        }
+        r.expr(&mut rule.over, &bound)?;
+    }
+    program.agg_rules = agg_rules;
+
+    let mut handlers = std::mem::take(&mut program.handlers);
+    for handler in &mut handlers {
+        r.context = format!("handler `{}`", handler.name);
+        let mut bound: BTreeSet<String> = handler.params.iter().cloned().collect();
+        for p in &handler.params {
+            if r.scalars.contains(p) {
+                return Err(err(format!(
+                    "{}: parameter `{p}` shadows a declared scalar",
+                    r.context
+                )));
+            }
+        }
+        if let Trigger::OnCondition(cond) = &mut handler.trigger {
+            r.expr(cond, &bound)?;
+        }
+        r.stmts(&mut handler.body, &mut bound)?;
+        if let Some(req) = &handler.consistency {
+            for inv in &req.invariants {
+                r.invariant(inv, &handler.params)?;
+            }
+        }
+    }
+    program.handlers = handlers;
+
+    r.context = "default consistency".to_string();
+    for inv in &program.default_consistency.invariants.clone() {
+        r.invariant(inv, &[])?;
+    }
+    Ok(())
+}
+
+impl Resolver {
+    fn body(
+        &mut self,
+        body: &mut [BodyAtom],
+        bound: &mut BTreeSet<String>,
+    ) -> Result<(), ResolveError> {
+        for atom in body {
+            match atom {
+                BodyAtom::Scan { rel, terms } => {
+                    match self.arities.get(rel.as_str()) {
+                        None => {
+                            return Err(err(format!(
+                                "{}: scan of undeclared relation `{rel}`",
+                                self.context
+                            )))
+                        }
+                        Some(&a) if a != terms.len() => {
+                            return Err(err(format!(
+                                "{}: relation `{rel}` has arity {a}, scanned with {} terms",
+                                self.context,
+                                terms.len()
+                            )))
+                        }
+                        Some(_) => {}
+                    }
+                    for t in terms.iter() {
+                        if let Term::Var(v) = t {
+                            bound.insert(v.clone());
+                        }
+                    }
+                }
+                BodyAtom::Neg { rel, args } => {
+                    match self.arities.get(rel.as_str()) {
+                        None => {
+                            return Err(err(format!(
+                                "{}: negation of undeclared relation `{rel}`",
+                                self.context
+                            )))
+                        }
+                        Some(&a) if a != args.len() => {
+                            return Err(err(format!(
+                                "{}: relation `{rel}` has arity {a}, negated with {} args",
+                                self.context,
+                                args.len()
+                            )))
+                        }
+                        Some(_) => {}
+                    }
+                    for e in args.iter_mut() {
+                        self.expr(e, bound)?;
+                    }
+                }
+                BodyAtom::Guard(e) => self.expr(e, bound)?,
+                BodyAtom::Let { var, expr } => {
+                    self.expr(expr, bound)?;
+                    bound.insert(var.clone());
+                }
+                BodyAtom::Flatten { var, set } => {
+                    self.expr(set, bound)?;
+                    bound.insert(var.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn select(&mut self, sel: &mut Select, outer: &BTreeSet<String>) -> Result<(), ResolveError> {
+        let mut bound = outer.clone();
+        self.body(&mut sel.body, &mut bound)?;
+        for e in &mut sel.projection {
+            self.expr(e, &bound)?;
+        }
+        Ok(())
+    }
+
+    fn stmts(
+        &mut self,
+        stmts: &mut [Stmt],
+        bound: &mut BTreeSet<String>,
+    ) -> Result<(), ResolveError> {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Merge(target, e) => {
+                    self.expr(e, bound)?;
+                    match target {
+                        MergeTarget::Scalar(name) => {
+                            if !self.scalars.contains(name.as_str()) {
+                                return Err(err(format!(
+                                    "{}: merge into undeclared scalar `{name}`",
+                                    self.context
+                                )));
+                            }
+                            if !self.lattice_scalars.contains(name.as_str()) {
+                                return Err(err(format!(
+                                    "{}: scalar `{name}` is not lattice-typed; \
+                                     use `:=` (and accept non-monotonicity) or declare a kind",
+                                    self.context
+                                )));
+                            }
+                        }
+                        MergeTarget::TableField { table, key, field } => {
+                            self.expr(key, bound)?;
+                            self.check_field(table, field, true)?;
+                        }
+                    }
+                }
+                Stmt::Assign(target, e) => {
+                    self.expr(e, bound)?;
+                    match target {
+                        AssignTarget::Scalar(name) => {
+                            if !self.scalars.contains(name.as_str()) {
+                                return Err(err(format!(
+                                    "{}: assignment to undeclared scalar `{name}`",
+                                    self.context
+                                )));
+                            }
+                            if self.lattice_scalars.contains(name.as_str()) {
+                                return Err(err(format!(
+                                    "{}: scalar `{name}` is lattice-typed; use `.merge(…)`",
+                                    self.context
+                                )));
+                            }
+                        }
+                        AssignTarget::TableField { table, key, field } => {
+                            self.expr(key, bound)?;
+                            self.check_field(table, field, false)?;
+                        }
+                    }
+                }
+                Stmt::Insert { table, values } => {
+                    let Some(cols) = self.tables.get(table.as_str()) else {
+                        return Err(err(format!(
+                            "{}: insert into undeclared table `{table}`",
+                            self.context
+                        )));
+                    };
+                    if cols.len() != values.len() {
+                        return Err(err(format!(
+                            "{}: table `{table}` has {} columns, insert provides {}",
+                            self.context,
+                            cols.len(),
+                            values.len()
+                        )));
+                    }
+                    for e in values.iter_mut() {
+                        self.expr(e, bound)?;
+                    }
+                }
+                Stmt::Delete { table, key } => {
+                    if !self.tables.contains_key(table.as_str()) {
+                        return Err(err(format!(
+                            "{}: delete from undeclared table `{table}`",
+                            self.context
+                        )));
+                    }
+                    self.expr(key, bound)?;
+                }
+                Stmt::Send { select, .. } => self.select(select, bound)?,
+                Stmt::Return(e) => self.expr(e, bound)?,
+                Stmt::If { cond, then, els } => {
+                    self.expr(cond, bound)?;
+                    // Branch bindings do not leak: each branch resolves
+                    // under a copy of the current scope.
+                    let mut then_scope = bound.clone();
+                    self.stmts(then, &mut then_scope)?;
+                    let mut else_scope = bound.clone();
+                    self.stmts(els, &mut else_scope)?;
+                }
+                Stmt::ForEach { select, stmts } => {
+                    let mut inner = bound.clone();
+                    self.body(&mut select.body, &mut inner)?;
+                    for e in &mut select.projection {
+                        self.expr(e, &inner)?;
+                    }
+                    self.stmts(stmts, &mut inner)?;
+                }
+                Stmt::ClearMailbox(_) => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn check_field(
+        &self,
+        table: &str,
+        field: &str,
+        needs_lattice: bool,
+    ) -> Result<(), ResolveError> {
+        let Some(cols) = self.tables.get(table) else {
+            return Err(err(format!(
+                "{}: mutation of undeclared table `{table}`",
+                self.context
+            )));
+        };
+        match cols.get(field) {
+            None => Err(err(format!(
+                "{}: table `{table}` has no column `{field}`",
+                self.context
+            ))),
+            Some(true) if !needs_lattice => Err(err(format!(
+                "{}: column `{table}.{field}` is lattice-typed; use `.merge(…)`",
+                self.context
+            ))),
+            Some(false) if needs_lattice => Err(err(format!(
+                "{}: column `{table}.{field}` is not lattice-typed; use `:=`",
+                self.context
+            ))),
+            Some(_) => Ok(()),
+        }
+    }
+
+    fn invariant(&self, inv: &Invariant, params: &[String]) -> Result<(), ResolveError> {
+        match inv {
+            Invariant::NonNegative(name) => {
+                if !self.scalars.contains(name.as_str()) {
+                    return Err(err(format!(
+                        "{}: invariant references undeclared scalar `{name}`",
+                        self.context
+                    )));
+                }
+            }
+            Invariant::HasKey { table, key_param } => {
+                if !self.tables.contains_key(table.as_str()) {
+                    return Err(err(format!(
+                        "{}: invariant references undeclared table `{table}`",
+                        self.context
+                    )));
+                }
+                if !params.contains(key_param) {
+                    return Err(err(format!(
+                        "{}: has_key invariant needs a handler parameter, \
+                         `{key_param}` is not one",
+                        self.context
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn expr(&mut self, e: &mut Expr, bound: &BTreeSet<String>) -> Result<(), ResolveError> {
+        match e {
+            Expr::Var(name) => {
+                if bound.contains(name.as_str()) {
+                    return Ok(());
+                }
+                if self.scalars.contains(name.as_str()) {
+                    *e = Expr::Scalar(name.clone());
+                    return Ok(());
+                }
+                Err(err(format!(
+                    "{}: unbound identifier `{name}` \
+                     (not a parameter, binding, or declared scalar)",
+                    self.context
+                )))
+            }
+            Expr::Scalar(name) => {
+                if self.scalars.contains(name.as_str()) {
+                    Ok(())
+                } else {
+                    Err(err(format!(
+                        "{}: read of undeclared scalar `{name}`",
+                        self.context
+                    )))
+                }
+            }
+            Expr::Const(_) => Ok(()),
+            Expr::Cmp(_, l, r) | Expr::Arith(_, l, r) | Expr::And(l, r) | Expr::Or(l, r) => {
+                self.expr(l, bound)?;
+                self.expr(r, bound)
+            }
+            Expr::Contains(l, r) => {
+                self.expr(l, bound)?;
+                self.expr(r, bound)
+            }
+            Expr::Not(inner) | Expr::Len(inner) | Expr::Index(inner, _) => self.expr(inner, bound),
+            Expr::Tuple(items) | Expr::SetBuild(items) => {
+                for i in items {
+                    self.expr(i, bound)?;
+                }
+                Ok(())
+            }
+            Expr::FieldOf { table, key, field } => {
+                if !self
+                    .tables
+                    .get(table.as_str())
+                    .is_some_and(|cols| cols.contains_key(field.as_str()))
+                {
+                    return Err(err(format!(
+                        "{}: `{table}[…].{field}` does not name a declared column",
+                        self.context
+                    )));
+                }
+                self.expr(key, bound)
+            }
+            Expr::RowOf { table, key } => {
+                if !self.tables.contains_key(table.as_str()) {
+                    return Err(err(format!(
+                        "{}: row reference to undeclared table `{table}`",
+                        self.context
+                    )));
+                }
+                self.expr(key, bound)
+            }
+            Expr::HasKey { table, key } => {
+                if !self.tables.contains_key(table.as_str()) {
+                    return Err(err(format!(
+                        "{}: has_key on undeclared table `{table}`",
+                        self.context
+                    )));
+                }
+                self.expr(key, bound)
+            }
+            Expr::Call(name, args) => {
+                if !self.udfs.contains(name.as_str()) {
+                    return Err(err(format!(
+                        "{}: call of unimported function `{name}`",
+                        self.context
+                    )));
+                }
+                for a in args {
+                    self.expr(a, bound)?;
+                }
+                Ok(())
+            }
+            Expr::CollectSet(sel) => {
+                let mut inner = bound.clone();
+                self.body(&mut sel.body, &mut inner)?;
+                for p in &mut sel.projection {
+                    self.expr(p, &inner)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}

@@ -1,0 +1,608 @@
+//! Tokens and the indentation-aware lexer for textual HydroLogic.
+//!
+//! The surface syntax is the "Pythonic HydroLogic" of Figure 3: statements
+//! are line-oriented, blocks are introduced by `:` and delimited by
+//! indentation. The lexer therefore produces synthetic [`Tok::Newline`],
+//! [`Tok::Indent`] and [`Tok::Dedent`] tokens, exactly as a Python lexer
+//! does, with two standard refinements:
+//!
+//! * blank lines and `#`-comment-only lines produce no tokens at all;
+//! * inside parentheses, brackets or braces, line breaks are insignificant,
+//!   so declarations may wrap (Fig. 3 wraps its `class Person` decl).
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are distinguished by the parser so
+    /// that facet names like `target` stay usable as identifiers).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Decimal literal, kept as (whole, thousandths) so `0.01 units` can be
+    /// converted exactly to milli-units without floats.
+    Decimal(i64, u32),
+    /// String literal (double-quoted, `\"`/`\\`/`\n`/`\t` escapes).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// `.`
+    Dot,
+    /// `=`
+    Eq,
+    /// `:=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// End of a logical line.
+    Newline,
+    /// Increase of indentation after a `:`-terminated line.
+    Indent,
+    /// Return to an enclosing indentation level.
+    Dedent,
+    /// End of input (after closing any open blocks).
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(v) => write!(f, "`{v}`"),
+            Tok::Decimal(w, m) => write!(f, "`{w}.{m:03}`"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBracket => write!(f, "`[`"),
+            Tok::RBracket => write!(f, "`]`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Colon => write!(f, "`:`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Dot => write!(f, "`.`"),
+            Tok::Eq => write!(f, "`=`"),
+            Tok::Assign => write!(f, "`:=`"),
+            Tok::EqEq => write!(f, "`==`"),
+            Tok::Ne => write!(f, "`!=`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Le => write!(f, "`<=`"),
+            Tok::Gt => write!(f, "`>`"),
+            Tok::Ge => write!(f, "`>=`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Slash => write!(f, "`/`"),
+            Tok::Percent => write!(f, "`%`"),
+            Tok::Newline => write!(f, "end of line"),
+            Tok::Indent => write!(f, "indent"),
+            Tok::Dedent => write!(f, "dedent"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source position (1-based line and column).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+/// A lexing failure with its position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize a HydroLogic source text.
+///
+/// Tabs are rejected in leading whitespace (mixed tab/space indentation is
+/// a classic source of silent scoping bugs); elsewhere they are ordinary
+/// whitespace.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    /// Open bracket depth: newlines are insignificant while positive.
+    depth: u32,
+    /// Stack of enclosing indentation widths; always starts with 0.
+    indents: Vec<u32>,
+    out: Vec<Spanned>,
+}
+
+impl Lexer {
+    fn new(src: &str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            depth: 0,
+            indents: vec![0],
+            out: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, message: impl Into<String>) -> LexError {
+        LexError {
+            message: message.into(),
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn push(&mut self, tok: Tok, line: u32, col: u32) {
+        self.out.push(Spanned { tok, line, col });
+    }
+
+    /// Measure the indentation of the upcoming line and emit
+    /// Indent/Dedent tokens. Returns false when the line is blank or a
+    /// comment (no tokens emitted, line consumed).
+    fn handle_line_start(&mut self) -> Result<bool, LexError> {
+        let mut width = 0u32;
+        loop {
+            match self.peek() {
+                Some(' ') => {
+                    width += 1;
+                    self.bump();
+                }
+                Some('\t') => return Err(self.err("tab in indentation; use spaces")),
+                _ => break,
+            }
+        }
+        match self.peek() {
+            None => return Ok(false),
+            Some('\n') => {
+                self.bump();
+                return Ok(false);
+            }
+            Some('#') => {
+                while let Some(c) = self.peek() {
+                    self.bump();
+                    if c == '\n' {
+                        break;
+                    }
+                }
+                return Ok(false);
+            }
+            _ => {}
+        }
+        let (line, col) = (self.line, self.col);
+        let current = *self.indents.last().expect("indent stack non-empty");
+        if width > current {
+            self.indents.push(width);
+            self.push(Tok::Indent, line, col);
+        } else if width < current {
+            while *self.indents.last().expect("indent stack non-empty") > width {
+                self.indents.pop();
+                self.push(Tok::Dedent, line, col);
+            }
+            if *self.indents.last().expect("indent stack non-empty") != width {
+                return Err(self.err("dedent does not match any enclosing indentation level"));
+            }
+        }
+        Ok(true)
+    }
+
+    fn run(mut self) -> Result<Vec<Spanned>, LexError> {
+        let mut at_line_start = true;
+        loop {
+            if at_line_start && self.depth == 0 {
+                if self.pos >= self.chars.len() {
+                    break;
+                }
+                if !self.handle_line_start()? {
+                    continue;
+                }
+                at_line_start = false;
+            }
+            let Some(c) = self.peek() else { break };
+            let (line, col) = (self.line, self.col);
+            match c {
+                ' ' | '\t' => {
+                    self.bump();
+                }
+                '\n' => {
+                    self.bump();
+                    if self.depth == 0 {
+                        self.push(Tok::Newline, line, col);
+                        at_line_start = true;
+                    }
+                }
+                '#' => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                '"' => self.string(line, col)?,
+                '0'..='9' => self.number(line, col)?,
+                c if c.is_ascii_alphabetic() || c == '_' => self.ident(line, col),
+                '(' => self.open(Tok::LParen, line, col),
+                '[' => self.open(Tok::LBracket, line, col),
+                '{' => self.open(Tok::LBrace, line, col),
+                ')' => self.close(Tok::RParen, line, col)?,
+                ']' => self.close(Tok::RBracket, line, col)?,
+                '}' => self.close(Tok::RBrace, line, col)?,
+                ',' => self.single(Tok::Comma, line, col),
+                ';' => self.single(Tok::Semi, line, col),
+                '.' => self.single(Tok::Dot, line, col),
+                '+' => self.single(Tok::Plus, line, col),
+                '-' => self.single(Tok::Minus, line, col),
+                '*' => self.single(Tok::Star, line, col),
+                '/' => self.single(Tok::Slash, line, col),
+                '%' => self.single(Tok::Percent, line, col),
+                ':' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        self.push(Tok::Assign, line, col);
+                    } else {
+                        self.push(Tok::Colon, line, col);
+                    }
+                }
+                '=' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        self.push(Tok::EqEq, line, col);
+                    } else {
+                        self.push(Tok::Eq, line, col);
+                    }
+                }
+                '!' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        self.push(Tok::Ne, line, col);
+                    } else {
+                        return Err(self.err("expected `!=`"));
+                    }
+                }
+                '<' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        self.push(Tok::Le, line, col);
+                    } else {
+                        self.push(Tok::Lt, line, col);
+                    }
+                }
+                '>' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        self.push(Tok::Ge, line, col);
+                    } else {
+                        self.push(Tok::Gt, line, col);
+                    }
+                }
+                other => return Err(self.err(format!("unexpected character {other:?}"))),
+            }
+        }
+        // Close any trailing logical line and open blocks.
+        if self.out.last().is_some_and(|s| s.tok != Tok::Newline) {
+            self.push(Tok::Newline, self.line, self.col);
+        }
+        while self.indents.len() > 1 {
+            self.indents.pop();
+            self.push(Tok::Dedent, self.line, self.col);
+        }
+        self.push(Tok::Eof, self.line, self.col);
+        Ok(self.out)
+    }
+
+    fn single(&mut self, tok: Tok, line: u32, col: u32) {
+        self.bump();
+        self.push(tok, line, col);
+    }
+
+    fn open(&mut self, tok: Tok, line: u32, col: u32) {
+        self.depth += 1;
+        self.single(tok, line, col);
+    }
+
+    fn close(&mut self, tok: Tok, line: u32, col: u32) -> Result<(), LexError> {
+        if self.depth == 0 {
+            return Err(self.err(format!("unmatched {tok}")));
+        }
+        self.depth -= 1;
+        self.single(tok, line, col);
+        Ok(())
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let mut s = String::new();
+        loop {
+            while let Some(c) = self.peek() {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    s.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            // `::` joins module-qualified segments into a single identifier
+            // (`inventory::vaccinate`), provided another segment follows —
+            // a lone colon stays a block/kind separator.
+            if self.peek() == Some(':')
+                && self.peek2() == Some(':')
+                && self
+                    .chars
+                    .get(self.pos + 2)
+                    .is_some_and(|c| c.is_ascii_alphabetic() || *c == '_')
+            {
+                s.push_str("::");
+                self.bump();
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(Tok::Ident(s), line, col);
+    }
+
+    fn number(&mut self, line: u32, col: u32) -> Result<(), LexError> {
+        let mut whole: i64 = 0;
+        while let Some(c) = self.peek() {
+            if let Some(d) = c.to_digit(10) {
+                whole = whole
+                    .checked_mul(10)
+                    .and_then(|w| w.checked_add(d as i64))
+                    .ok_or_else(|| self.err("integer literal overflows i64"))?;
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // A decimal literal: consumed only when a digit follows the dot,
+        // so `people[0].field` still lexes as Int, Dot, Ident.
+        if self.peek() == Some('.') && self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump(); // the dot
+            let mut frac = 0u32;
+            let mut digits = 0u32;
+            while let Some(c) = self.peek() {
+                if let Some(d) = c.to_digit(10) {
+                    if digits >= 3 {
+                        return Err(self.err("at most 3 decimal places supported (milli-units)"));
+                    }
+                    frac = frac * 10 + d;
+                    digits += 1;
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            for _ in digits..3 {
+                frac *= 10;
+            }
+            self.push(Tok::Decimal(whole, frac), line, col);
+        } else {
+            self.push(Tok::Int(whole), line, col);
+        }
+        Ok(())
+    }
+
+    fn string(&mut self, line: u32, col: u32) -> Result<(), LexError> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None | Some('\n') => return Err(self.err("unterminated string literal")),
+                Some('"') => break,
+                Some('\\') => match self.bump() {
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    other => {
+                        return Err(self.err(format!("unknown escape {other:?} in string")))
+                    }
+                },
+                Some(c) => s.push(c),
+            }
+        }
+        self.push(Tok::Str(s), line, col);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_simple_line() {
+        assert_eq!(
+            toks("var x = 3\n"),
+            vec![
+                Tok::Ident("var".into()),
+                Tok::Ident("x".into()),
+                Tok::Eq,
+                Tok::Int(3),
+                Tok::Newline,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn indentation_produces_blocks() {
+        let t = toks("on f(x):\n  return x\n");
+        assert!(t.contains(&Tok::Indent));
+        assert!(t.contains(&Tok::Dedent));
+        let ix = t.iter().position(|t| *t == Tok::Indent).unwrap();
+        assert_eq!(t[ix - 1], Tok::Newline, "indent follows the header newline");
+    }
+
+    #[test]
+    fn blank_and_comment_lines_are_invisible() {
+        let a = toks("on f(x):\n  return x\n");
+        let b = toks("on f(x):\n\n  # comment\n  return x\n\n# trailing\n");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn brackets_suppress_newlines() {
+        let t = toks("table t(a,\n        b)\n");
+        let newlines = t.iter().filter(|t| **t == Tok::Newline).count();
+        assert_eq!(newlines, 1, "only the final newline is significant");
+    }
+
+    #[test]
+    fn nested_dedents_unwind_fully() {
+        let t = toks("a:\n  b:\n    c\n");
+        let dedents = t.iter().filter(|t| **t == Tok::Dedent).count();
+        assert_eq!(dedents, 2);
+    }
+
+    #[test]
+    fn assign_vs_colon() {
+        assert_eq!(
+            toks("x := 1\n")[1],
+            Tok::Assign,
+            ":= lexes as a single token"
+        );
+        assert_eq!(toks("x : int\n")[1], Tok::Colon);
+    }
+
+    #[test]
+    fn decimal_literals_are_milli_exact() {
+        assert_eq!(toks("0.01\n")[0], Tok::Decimal(0, 10));
+        assert_eq!(toks("1.5\n")[0], Tok::Decimal(1, 500));
+        assert_eq!(toks("2.125\n")[0], Tok::Decimal(2, 125));
+    }
+
+    #[test]
+    fn dot_after_int_is_projection_not_decimal() {
+        // `x[0].f` — the dot must not glue onto the 0.
+        let t = toks("x[0].f\n");
+        assert!(t.contains(&Tok::Dot));
+        assert!(t.contains(&Tok::Int(0)));
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(toks("\"a\\\"b\\n\"\n")[0], Tok::Str("a\"b\n".into()));
+    }
+
+    #[test]
+    fn tab_indent_rejected() {
+        let e = lex("on f(x):\n\treturn x\n").unwrap_err();
+        assert!(e.message.contains("tab"));
+    }
+
+    #[test]
+    fn bad_dedent_rejected() {
+        let e = lex("a:\n    b\n  c\n").unwrap_err();
+        assert!(e.message.contains("dedent"));
+    }
+
+    #[test]
+    fn unterminated_string_rejected() {
+        assert!(lex("\"abc\n").is_err());
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let s = lex("var x\n").unwrap();
+        assert_eq!((s[0].line, s[0].col), (1, 1));
+        assert_eq!((s[1].line, s[1].col), (1, 5));
+    }
+
+    #[test]
+    fn missing_final_newline_is_tolerated() {
+        assert_eq!(toks("var x = 1"), toks("var x = 1\n"));
+    }
+
+    #[test]
+    fn bang_requires_equals() {
+        assert!(lex("x ! y\n").is_err());
+    }
+}

@@ -1,0 +1,140 @@
+//! The flagship front-end test: Figure 3 of the paper, written in textual
+//! HydroLogic, parses to *exactly* the `Program` the builder API constructs
+//! (`hydro_core::examples::covid_program`) — tables, rules, handlers and
+//! all three declarative facets included.
+
+use hydro_core::examples::{cart_program, covid_program_with_vaccines};
+use hydro_core::Value;
+use hydro_lang::{parse_program, print_program};
+
+/// Figure 3, transliterated. Kept in sync with
+/// `hydro_core::examples::covid_program_with_vaccines(100)`.
+const FIGURE_3: &str = r#"
+# Simple COVID-19 Tracker App in Pythonic HydroLogic (Figure 3)
+table people(pid, country, contacts: set, covid: flag, vaccinated: flag,
+             key=pid, partition=country)
+var vaccine_count = 100
+import covid_predict
+
+# query transitive: the recursive contact closure (monotone).
+query contact_pairs(p, p1):
+  for people(p, _, cs, _, _)
+  for p1 in cs
+
+query transitive(p, p1):
+  for contact_pairs(p, p1)
+
+query transitive(p, p2):
+  for transitive(p, p1)
+  for contact_pairs(p1, p2)
+
+on add_person(pid):
+  insert people(pid, "", {}, false, false)
+  return "OK"
+
+on add_contact(id1, id2):
+  people[id1].contacts.merge(id2)
+  people[id2].contacts.merge(id1)
+  return "OK"
+
+on trace(pid):
+  return {p2 for transitive(pid, p2)}
+
+on diagnosed(pid):
+  people[pid].covid.merge(true)
+  send alert {p2 for transitive(pid, p2)}
+  return "OK"
+
+on likelihood(pid):
+  return covid_predict(people[pid])
+
+on vaccinate(pid) with serializable require vaccine_count >= 0, people.has_key(pid):
+  people[pid].vaccinated.merge(true)
+  vaccine_count := vaccine_count - 1
+  return "OK"
+
+availability:
+  default: domain=az, failures=2
+  likelihood: domain=az, failures=1
+
+target:
+  default: latency=100ms, cost=0.01
+  likelihood: cost=0.1, processor=gpu
+"#;
+
+#[test]
+fn figure_3_parses_to_the_builder_program() {
+    let parsed = parse_program(FIGURE_3).unwrap_or_else(|e| panic!("{e}"));
+    let built = covid_program_with_vaccines(100);
+    assert_eq!(parsed.tables, built.tables, "data model");
+    assert_eq!(parsed.scalars, built.scalars, "scalars");
+    assert_eq!(parsed.rules, built.rules, "queries");
+    assert_eq!(parsed.handlers, built.handlers, "handlers");
+    assert_eq!(parsed.availability, built.availability, "A facet");
+    assert_eq!(parsed.targets, built.targets, "T facet");
+    assert_eq!(parsed.udfs, built.udfs, "udf imports");
+    assert_eq!(parsed, built, "whole program");
+}
+
+#[test]
+fn figure_3_round_trips_through_the_printer() {
+    let parsed = parse_program(FIGURE_3).unwrap();
+    let printed = print_program(&parsed).unwrap();
+    let reparsed = parse_program(&printed)
+        .unwrap_or_else(|e| panic!("printed program failed to reparse: {e}\n---\n{printed}"));
+    assert_eq!(reparsed, parsed);
+    // And the printer is a fixpoint.
+    assert_eq!(print_program(&reparsed).unwrap(), printed);
+}
+
+#[test]
+fn parsed_figure_3_runs_end_to_end() {
+    use hydro_core::interp::Transducer;
+    let program = parse_program(FIGURE_3).unwrap();
+    let mut app = Transducer::new(program).unwrap();
+    for pid in 1..=4 {
+        app.enqueue_ok("add_person", vec![Value::Int(pid)]);
+    }
+    app.tick().unwrap();
+    app.enqueue_ok("add_contact", vec![Value::Int(1), Value::Int(2)]);
+    app.enqueue_ok("add_contact", vec![Value::Int(2), Value::Int(3)]);
+    app.tick().unwrap();
+    app.enqueue_ok("diagnosed", vec![Value::Int(1)]);
+    let out = app.tick().unwrap();
+    let alerted: std::collections::BTreeSet<i64> = out
+        .sends
+        .iter()
+        .filter(|s| s.mailbox == "alert")
+        .filter_map(|s| s.row[0].as_int())
+        .collect();
+    assert!(alerted.contains(&2) && alerted.contains(&3));
+    assert!(!alerted.contains(&4));
+}
+
+#[test]
+fn cart_program_prints_and_reparses_identically() {
+    let built = cart_program();
+    let printed = print_program(&built).unwrap();
+    let parsed = parse_program(&printed)
+        .unwrap_or_else(|e| panic!("printed cart program failed to reparse: {e}\n---\n{printed}"));
+    assert_eq!(parsed, built);
+}
+
+#[test]
+fn monotonicity_classification_survives_the_text_pipeline() {
+    // The analysis stack must see the same facts whether the program came
+    // from the builder or from text: vaccinate stays non-monotone (the
+    // counter decrement), add_contact stays monotone.
+    let program = parse_program(FIGURE_3).unwrap();
+    let report = hydro_analysis::classify(&program);
+    let vaccinate = report.for_handler("vaccinate").expect("classified");
+    assert!(
+        !vaccinate.coordination_free(),
+        "counter decrement is non-monotone"
+    );
+    let add_contact = report.for_handler("add_contact").expect("classified");
+    assert!(
+        add_contact.coordination_free(),
+        "set merges are monotone"
+    );
+}

@@ -1,0 +1,285 @@
+//! Module (scoped-block) desugaring tests (§3.1: "blocks and modules are
+//! purely syntactic sugar").
+//!
+//! Each test pins one scoping rule: qualification of declarations, free
+//! references, binder shadowing, outer-name reachability, nesting, facet
+//! re-keying, printer round-trips, and end-to-end execution of a program
+//! whose handlers live inside a module.
+
+use hydro_core::interp::Transducer;
+use hydro_core::Value;
+use hydro_lang::{parse_program, print_program};
+
+#[test]
+fn module_qualifies_declarations_and_internal_references() {
+    let p = parse_program(
+        "
+module inv:
+  table stock(item, count)
+  var issued = 0
+
+  on take(item):
+    issued := issued + 1
+    return stock[item].count
+",
+    )
+    .unwrap();
+    assert_eq!(p.tables[0].name, "inv::stock");
+    assert_eq!(p.scalars[0].name, "inv::issued");
+    assert_eq!(p.handlers[0].name, "inv::take");
+    // Internal references were rewritten to the qualified names.
+    let printed = print_program(&p).unwrap();
+    assert!(printed.contains("inv::issued := inv::issued + 1"));
+    assert!(printed.contains("inv::stock["));
+}
+
+#[test]
+fn binders_shadow_module_declarations() {
+    let p = parse_program(
+        "
+module m:
+  table t(a, b)
+  var b = 7
+
+  query q(a, b):
+    for t(a, b)
+",
+    )
+    .unwrap();
+    // The scan binds `b`, shadowing the module scalar: the head projects
+    // the *binding*, not `m::b`.
+    let printed = print_program(&p).unwrap();
+    assert!(printed.contains("query m::q(a, b)"));
+    assert!(printed.contains("for m::t(a, b)"));
+    assert!(!printed.contains("m::q(a, m::b)"));
+}
+
+#[test]
+fn outer_names_stay_reachable_inside_modules() {
+    let p = parse_program(
+        "
+var total = 0
+
+module m:
+  on bump():
+    total := total + 1
+    return total
+",
+    )
+    .unwrap();
+    // `total` is declared outside the module, so the handler mutates the
+    // program-global scalar, unqualified.
+    let printed = print_program(&p).unwrap();
+    assert!(printed.contains("total := total + 1"));
+    assert!(!printed.contains("m::total"));
+}
+
+#[test]
+fn module_declarations_shadow_outer_names() {
+    let p = parse_program(
+        "
+var total = 0
+
+module m:
+  var total = 100
+
+  on bump():
+    total := total + 1
+    return total
+
+on outer_read():
+  return total
+",
+    )
+    .unwrap();
+    let printed = print_program(&p).unwrap();
+    // Inside the module the shadowing declaration wins…
+    assert!(printed.contains("m::total := m::total + 1"));
+    // …and after the block the outer name is itself again.
+    assert!(printed.contains("on outer_read()"));
+    let outer = printed.split("on outer_read").nth(1).unwrap();
+    assert!(outer.contains("return total"));
+    assert!(!outer.contains("m::total"));
+}
+
+#[test]
+fn qualified_names_reach_into_modules_from_outside() {
+    let p = parse_program(
+        "
+module m:
+  table t(k, v)
+
+  query pairs(k, v):
+    for t(k, v)
+
+on read(k):
+  return {v for m::pairs(k, v)}
+",
+    )
+    .unwrap();
+    assert_eq!(p.rules[0].head, "m::pairs");
+    // The outer handler's scan resolved against the qualified head.
+    let printed = print_program(&p).unwrap();
+    assert!(printed.contains("for m::pairs(k, v)}"));
+}
+
+#[test]
+fn nested_modules_compose_qualification() {
+    let p = parse_program(
+        "
+module a:
+  module b:
+    var x = 1
+
+  on get():
+    return b::x
+",
+    )
+    .unwrap();
+    assert_eq!(p.scalars[0].name, "a::b::x");
+    let printed = print_program(&p).unwrap();
+    assert!(printed.contains("return a::b::x"));
+}
+
+#[test]
+fn facet_entries_inside_modules_rekey_to_qualified_handlers() {
+    let p = parse_program(
+        "
+module svc:
+  on ping():
+    return \"pong\"
+
+  availability:
+    ping: domain=az, failures=1
+
+  target:
+    ping: latency=5ms
+",
+    )
+    .unwrap();
+    assert!(p.availability.per_handler.contains_key("svc::ping"));
+    assert!(p.targets.per_handler.contains_key("svc::ping"));
+    assert!(!p.availability.per_handler.contains_key("ping"));
+}
+
+#[test]
+fn consistency_with_clause_invariants_qualify() {
+    let p = parse_program(
+        "
+module inv:
+  table stock(item, taken: flag)
+  var count = 3
+
+  on take(item) with serializable require count >= 0, stock.has_key(item):
+    stock[item].taken.merge(true)
+    count := count - 1
+    return \"OK\"
+",
+    )
+    .unwrap();
+    let req = p.handlers[0].consistency.as_ref().unwrap();
+    let rendered = format!("{req:?}");
+    assert!(rendered.contains("inv::count"), "{rendered}");
+    assert!(rendered.contains("inv::stock"), "{rendered}");
+}
+
+#[test]
+fn module_programs_round_trip_through_the_printer() {
+    let src = "
+module inv:
+  table stock(item, count)
+  var issued = 0
+
+  query low(item):
+    for stock(item, c)
+    if c < 3
+
+  on take(item):
+    issued := issued + 1
+    return stock[item].count
+
+on audit():
+  return inv::issued
+";
+    let p = parse_program(src).unwrap();
+    let printed = print_program(&p).unwrap();
+    assert_eq!(parse_program(&printed).unwrap(), p);
+}
+
+#[test]
+fn module_handlers_execute_end_to_end() {
+    let p = parse_program(
+        "
+module counter:
+  var n = 0
+
+  on bump(by):
+    n := n + by
+    return n
+",
+    )
+    .unwrap();
+    let mut app = Transducer::new(p).unwrap();
+    app.enqueue_ok("counter::bump", vec![Value::Int(5)]);
+    app.tick().unwrap();
+    app.enqueue_ok("counter::bump", vec![Value::Int(2)]);
+    app.tick().unwrap();
+    assert_eq!(app.scalar("counter::n"), Some(&Value::Int(7)));
+}
+
+#[test]
+fn module_send_targets_qualify() {
+    let p = parse_program(
+        "
+module m:
+  mailbox box(x)
+
+  on go():
+    send box(1)
+    return \"OK\"
+",
+    )
+    .unwrap();
+    let mut app = Transducer::new(p).unwrap();
+    app.enqueue_ok("m::go", vec![]);
+    let out = app.tick().unwrap();
+    // One explicit send to the qualified mailbox (plus the handler's
+    // implicit `<response>` send, addressed by the qualified handler name).
+    let boxed: Vec<_> = out.sends.iter().filter(|s| s.mailbox == "m::box").collect();
+    assert_eq!(boxed.len(), 1);
+    assert!(out.sends.iter().any(|s| s.mailbox == "m::go@response"));
+}
+
+#[test]
+fn udf_imports_inside_modules_qualify() {
+    let p = parse_program(
+        "
+module ml:
+  import predict
+
+  on score(x):
+    return predict(x)
+",
+    )
+    .unwrap();
+    assert_eq!(p.udfs, vec!["ml::predict".to_string()]);
+    let mut app = Transducer::new(p).unwrap();
+    app.register_udf("ml::predict", |args: &[Value]| {
+        Value::Int(args[0].as_int().unwrap_or(0) * 2)
+    });
+    app.enqueue_ok("ml::score", vec![Value::Int(21)]);
+    let out = app.tick().unwrap();
+    assert_eq!(out.responses[0].value, Value::Int(42));
+}
+
+#[test]
+fn qualified_module_names_are_rejected() {
+    let err = parse_program("module a::b:\n  var x = 1\n").unwrap_err();
+    assert!(err.to_string().contains("unqualified"), "{err}");
+}
+
+#[test]
+fn unknown_declaration_inside_module_reports_module_keywords() {
+    let err = parse_program("module m:\n  bogus x\n").unwrap_err();
+    assert!(err.to_string().contains("module"), "{err}");
+}

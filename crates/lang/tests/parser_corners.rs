@@ -1,0 +1,563 @@
+//! Grammar-corner and diagnostics tests for the textual front-end.
+//!
+//! Each test exercises one syntactic form or one class of error; error
+//! tests assert on the message content so diagnostics stay useful.
+
+use hydro_core::ast::{
+    AggFun, BodyAtom, ColumnKind, Expr, Stmt, Term, Trigger,
+};
+use hydro_core::facets::{ConsistencyLevel, FailureDomain, Processor};
+use hydro_core::value::{LatticeKind, Value};
+use hydro_lang::{parse_program, print_program, LangError};
+
+fn parse_err(src: &str) -> String {
+    match parse_program(src) {
+        Ok(_) => panic!("expected a parse/resolve error for:\n{src}"),
+        Err(e) => e.to_string(),
+    }
+}
+
+// ---------------------------------------------------------------- data model
+
+#[test]
+fn default_key_is_first_column() {
+    let p = parse_program("table t(a, b)\n").unwrap();
+    assert_eq!(p.tables[0].key, vec![0]);
+}
+
+#[test]
+fn composite_keys_parse() {
+    let p = parse_program("table t(a, b, c, key=(a, b))\n").unwrap();
+    assert_eq!(p.tables[0].key, vec![0, 1]);
+}
+
+#[test]
+fn all_lattice_kinds_parse() {
+    let p = parse_program(
+        "table t(k, a: set, b: flag, c: max, d: min, e: lww, f: counter, g: map(max))\n",
+    )
+    .unwrap();
+    let kinds: Vec<&ColumnKind> = p.tables[0].columns.iter().map(|c| &c.kind).collect();
+    assert_eq!(kinds[0], &ColumnKind::Atom);
+    assert_eq!(kinds[1], &ColumnKind::Lattice(LatticeKind::SetUnion));
+    assert_eq!(kinds[2], &ColumnKind::Lattice(LatticeKind::BoolOr));
+    assert_eq!(kinds[3], &ColumnKind::Lattice(LatticeKind::MaxInt));
+    assert_eq!(kinds[4], &ColumnKind::Lattice(LatticeKind::MinInt));
+    assert_eq!(kinds[5], &ColumnKind::Lattice(LatticeKind::Lww));
+    assert_eq!(kinds[6], &ColumnKind::Lattice(LatticeKind::GCounter));
+    assert_eq!(
+        kinds[7],
+        &ColumnKind::Lattice(LatticeKind::MapUnion(Box::new(LatticeKind::MaxInt)))
+    );
+}
+
+#[test]
+fn long_kind_aliases_parse() {
+    let p = parse_program("table t(k, a: set_union, b: bool_or, c: max_int, d: gcounter)\n")
+        .unwrap();
+    assert!(matches!(
+        p.tables[0].columns[1].kind,
+        ColumnKind::Lattice(LatticeKind::SetUnion)
+    ));
+}
+
+#[test]
+fn unknown_kind_is_an_error() {
+    let e = parse_err("table t(k, a: zorp)\n");
+    assert!(e.contains("unknown column kind"), "{e}");
+}
+
+#[test]
+fn duplicate_table_is_an_error() {
+    let e = parse_err("table t(a)\ntable t(b)\n");
+    assert!(e.contains("declared twice"), "{e}");
+}
+
+#[test]
+fn bad_key_column_is_an_error() {
+    let e = parse_err("table t(a, key=nope)\n");
+    assert!(e.contains("key column"), "{e}");
+}
+
+#[test]
+fn lattice_var_gets_bottom_init() {
+    let p = parse_program("var hi: max\n").unwrap();
+    assert_eq!(p.scalars[0].lattice, Some(LatticeKind::MaxInt));
+    assert_eq!(p.scalars[0].init, Value::Int(i64::MIN));
+}
+
+#[test]
+fn var_literals_parse() {
+    let p = parse_program(
+        "var a = 3\nvar b = -7\nvar c = \"x\"\nvar d = true\nvar e = {1, 2}\nvar f = (1, \"a\")\n",
+    )
+    .unwrap();
+    assert_eq!(p.scalars[1].init, Value::Int(-7));
+    assert_eq!(
+        p.scalars[4].init,
+        Value::set_of([Value::Int(1), Value::Int(2)])
+    );
+    assert_eq!(
+        p.scalars[5].init,
+        Value::tuple([Value::Int(1), Value::from("a")])
+    );
+}
+
+#[test]
+fn mailbox_arity_from_fields() {
+    let p = parse_program("mailbox results(req, ix, val)\n").unwrap();
+    assert_eq!(p.mailboxes[0].arity, 3);
+}
+
+// ------------------------------------------------------------------- queries
+
+#[test]
+fn aggregation_queries_parse() {
+    let p = parse_program(
+        "table agents(aid)\nquery acount() = count(a):\n  for agents(a)\n",
+    )
+    .unwrap();
+    assert_eq!(p.agg_rules.len(), 1);
+    assert_eq!(p.agg_rules[0].agg, AggFun::Count);
+    assert!(p.agg_rules[0].group_exprs.is_empty());
+}
+
+#[test]
+fn negation_and_guards_parse() {
+    let p = parse_program(
+        "table e(a, b)\nquery only_a(x):\n  for e(x, y)\n  not e(y, x)\n  if x != y\n",
+    )
+    .unwrap();
+    let body = &p.rules[0].body;
+    assert!(matches!(body[0], BodyAtom::Scan { .. }));
+    assert!(matches!(body[1], BodyAtom::Neg { .. }));
+    assert!(matches!(body[2], BodyAtom::Guard(_)));
+}
+
+#[test]
+fn let_bindings_parse() {
+    let p = parse_program("table e(a)\nquery q(y):\n  for e(x)\n  let y = x + 1\n").unwrap();
+    assert!(matches!(p.rules[0].body[1], BodyAtom::Let { .. }));
+}
+
+#[test]
+fn constant_terms_parse() {
+    let p = parse_program("table e(a, b)\nquery q(x):\n  for e(x, 3)\n").unwrap();
+    let BodyAtom::Scan { terms, .. } = &p.rules[0].body[0] else {
+        panic!("expected scan");
+    };
+    assert_eq!(terms[1], Term::Const(Value::Int(3)));
+}
+
+#[test]
+fn scan_arity_is_checked() {
+    let e = parse_err("table e(a, b)\nquery q(x):\n  for e(x)\n");
+    assert!(e.contains("arity 2"), "{e}");
+}
+
+#[test]
+fn scan_of_unknown_relation_is_an_error() {
+    let e = parse_err("query q(x):\n  for nothing(x)\n");
+    assert!(e.contains("undeclared relation"), "{e}");
+}
+
+#[test]
+fn unbound_head_variable_is_an_error() {
+    let e = parse_err("table e(a)\nquery q(zz):\n  for e(x)\n");
+    assert!(e.contains("unbound identifier `zz`"), "{e}");
+}
+
+#[test]
+fn empty_query_body_is_an_error() {
+    let e = parse_err("query q(x):\n");
+    assert!(e.contains("expected"), "{e}");
+}
+
+// ------------------------------------------------------------------ handlers
+
+#[test]
+fn condition_handlers_parse() {
+    let p = parse_program(
+        "mailbox futures(h, r)\nvar waiting = false\n\
+         on gather when waiting == true and {h for futures(h, r)}.len() >= 4:\n  clear futures\n",
+    )
+    .unwrap();
+    let h = &p.handlers[0];
+    assert!(matches!(h.trigger, Trigger::OnCondition(_)));
+    assert!(h.params.is_empty());
+    assert_eq!(h.body, vec![Stmt::ClearMailbox("futures".into())]);
+}
+
+#[test]
+fn consistency_levels_parse_inline() {
+    for (txt, level) in [
+        ("eventual", ConsistencyLevel::Eventual),
+        ("causal", ConsistencyLevel::Causal),
+        ("snapshot", ConsistencyLevel::Snapshot),
+        ("sequential", ConsistencyLevel::Sequential),
+        ("serializable", ConsistencyLevel::Serializable),
+    ] {
+        let src = format!("var n = 0\non f(x) with {txt}:\n  n := x\n");
+        let p = parse_program(&src).unwrap();
+        assert_eq!(p.handlers[0].consistency.as_ref().unwrap().level, level);
+    }
+}
+
+#[test]
+fn consistency_block_applies_to_handlers() {
+    let p = parse_program(
+        "var n = 0\non f(x):\n  n := x\n\nconsistency:\n  default: causal\n  f: serializable\n",
+    )
+    .unwrap();
+    assert_eq!(p.default_consistency.level, ConsistencyLevel::Causal);
+    assert_eq!(
+        p.handlers[0].consistency.as_ref().unwrap().level,
+        ConsistencyLevel::Serializable
+    );
+}
+
+#[test]
+fn consistency_block_rejects_unknown_handler() {
+    let e = parse_err("consistency:\n  ghost: causal\n");
+    assert!(e.contains("unknown handler"), "{e}");
+}
+
+#[test]
+fn double_consistency_spec_is_an_error() {
+    let e = parse_err(
+        "var n = 0\non f(x) with causal:\n  n := x\n\nconsistency:\n  f: serializable\n",
+    );
+    assert!(e.contains("already has"), "{e}");
+}
+
+#[test]
+fn invariant_requires_handler_param() {
+    let e = parse_err(
+        "table t(k)\nvar n = 0\n\
+         on f(x) with serializable require t.has_key(zz):\n  n := x\n",
+    );
+    assert!(e.contains("`zz` is not one"), "{e}");
+}
+
+#[test]
+fn param_shadowing_scalar_is_an_error() {
+    let e = parse_err("var n = 0\non f(n):\n  return n\n");
+    assert!(e.contains("shadows"), "{e}");
+}
+
+// ---------------------------------------------------------------- statements
+
+#[test]
+fn foreach_statements_parse() {
+    let p = parse_program(
+        "table carts(s, items: set)\nmailbox out(s)\n\
+         on sweep(x):\n  for carts(s, items), if s != x:\n    send out(s)\n",
+    )
+    .unwrap();
+    let Stmt::ForEach { select, stmts } = &p.handlers[0].body[0] else {
+        panic!("expected ForEach, got {:?}", p.handlers[0].body[0]);
+    };
+    assert_eq!(select.body.len(), 2);
+    assert_eq!(stmts.len(), 1);
+}
+
+#[test]
+fn foreach_flatten_form_parses() {
+    let p = parse_program(
+        "table t(k, items: set)\nmailbox out(v)\n\
+         on fan(k):\n  for x in t[k].items:\n    send out(x)\n",
+    )
+    .unwrap();
+    let Stmt::ForEach { select, .. } = &p.handlers[0].body[0] else {
+        panic!("expected ForEach");
+    };
+    assert!(matches!(select.body[0], BodyAtom::Flatten { .. }));
+}
+
+#[test]
+fn delete_and_clear_parse() {
+    let p = parse_program(
+        "table t(k)\nmailbox mb(x)\non gc(k):\n  delete t[k]\n  clear mb\n",
+    )
+    .unwrap();
+    assert!(matches!(p.handlers[0].body[0], Stmt::Delete { .. }));
+    assert!(matches!(p.handlers[0].body[1], Stmt::ClearMailbox(_)));
+}
+
+#[test]
+fn if_else_parses() {
+    let p = parse_program(
+        "var n = 0\non f(x):\n  if x > 0:\n    n := x\n  else:\n    n := 0 - x\n",
+    )
+    .unwrap();
+    let Stmt::If { then, els, .. } = &p.handlers[0].body[0] else {
+        panic!("expected If");
+    };
+    assert_eq!((then.len(), els.len()), (1, 1));
+}
+
+#[test]
+fn merge_into_atom_column_is_an_error() {
+    let e = parse_err("table t(k, v)\non f(k):\n  t[k].v.merge(1)\n");
+    assert!(e.contains("not lattice-typed"), "{e}");
+}
+
+#[test]
+fn assign_to_lattice_column_is_an_error() {
+    let e = parse_err("table t(k, v: set)\non f(k):\n  t[k].v := {}\n");
+    assert!(e.contains("use `.merge"), "{e}");
+}
+
+#[test]
+fn merge_into_bare_scalar_is_an_error() {
+    let e = parse_err("var n = 0\non f(x):\n  n.merge(x)\n");
+    assert!(e.contains("not lattice-typed"), "{e}");
+}
+
+#[test]
+fn assign_to_lattice_scalar_is_an_error() {
+    let e = parse_err("var hi: max\non f(x):\n  hi := x\n");
+    assert!(e.contains("use `.merge"), "{e}");
+}
+
+#[test]
+fn insert_arity_is_checked() {
+    let e = parse_err("table t(a, b)\non f(x):\n  insert t(x)\n");
+    assert!(e.contains("2 columns"), "{e}");
+}
+
+#[test]
+fn unknown_udf_call_is_an_error() {
+    let e = parse_err("on f(x):\n  return mystery(x)\n");
+    assert!(e.contains("unknown function"), "{e}");
+}
+
+#[test]
+fn imported_udf_call_parses() {
+    let p = parse_program("import predict\non f(x):\n  return predict(x)\n").unwrap();
+    assert!(matches!(&p.handlers[0].body[0], Stmt::Return(Expr::Call(n, _)) if n == "predict"));
+}
+
+// --------------------------------------------------------------- expressions
+
+#[test]
+fn precedence_is_conventional() {
+    let p = parse_program("var r = 0\non f(a, b, c):\n  r := a + b * c\n").unwrap();
+    let Stmt::Assign(_, e) = &p.handlers[0].body[0] else {
+        panic!();
+    };
+    // a + (b * c), not (a + b) * c.
+    let printed = format!("{e:?}");
+    assert!(printed.starts_with("Arith(Add"), "{printed}");
+}
+
+#[test]
+fn parens_override_precedence() {
+    let p = parse_program("var r = 0\non f(a, b, c):\n  r := (a + b) * c\n").unwrap();
+    let Stmt::Assign(_, e) = &p.handlers[0].body[0] else {
+        panic!();
+    };
+    assert!(format!("{e:?}").starts_with("Arith(Mul"), "{e:?}");
+}
+
+#[test]
+fn in_operator_becomes_contains() {
+    let p = parse_program("table t(k, s: set)\nvar r = false\non f(k, x):\n  r := x in t[k].s\n")
+        .unwrap();
+    let Stmt::Assign(_, Expr::Contains(set, item)) = &p.handlers[0].body[0] else {
+        panic!("expected Contains, got {:?}", p.handlers[0].body[0]);
+    };
+    assert!(matches!(**set, Expr::FieldOf { .. }));
+    assert!(matches!(**item, Expr::Var(_)));
+}
+
+#[test]
+fn row_and_field_references_need_declared_tables() {
+    let e = parse_err("var r = 0\non f(x):\n  r := ghost[x].v\n");
+    assert!(e.contains("constant index"), "{e}");
+}
+
+#[test]
+fn tuple_projection_parses() {
+    let p = parse_program("var r = 0\non f(pair):\n  r := pair[1]\n").unwrap();
+    assert!(matches!(
+        &p.handlers[0].body[0],
+        Stmt::Assign(_, Expr::Index(_, 1))
+    ));
+}
+
+#[test]
+fn scalar_reads_resolve_to_scalar_nodes() {
+    let p = parse_program("var n = 0\non f(x):\n  n := n + x\n").unwrap();
+    let Stmt::Assign(_, Expr::Arith(_, l, r)) = &p.handlers[0].body[0] else {
+        panic!();
+    };
+    assert_eq!(**l, Expr::Scalar("n".into()), "free `n` reads the scalar");
+    assert_eq!(**r, Expr::Var("x".into()), "bound `x` stays a variable");
+}
+
+#[test]
+fn scan_bindings_shadow_scalars() {
+    // Inside the comprehension, `n` is bound by the scan and must NOT
+    // resolve to the scalar.
+    let p = parse_program(
+        "table t(n)\nvar n = 0\nmailbox out(v)\non f(x):\n  send out {n for t(n)}\n",
+    )
+    .unwrap();
+    let Stmt::Send { select, .. } = &p.handlers[0].body[0] else {
+        panic!();
+    };
+    assert_eq!(select.projection[0], Expr::Var("n".into()));
+}
+
+#[test]
+fn unbound_identifier_is_an_error() {
+    let e = parse_err("var r = 0\non f(x):\n  r := mystery\n");
+    assert!(e.contains("unbound identifier `mystery`"), "{e}");
+}
+
+#[test]
+fn empty_set_is_a_constant() {
+    let p = parse_program("var r = {}\n").unwrap();
+    assert_eq!(p.scalars[0].init, Value::empty_set());
+}
+
+#[test]
+fn nonconst_set_builds_setbuild() {
+    let p = parse_program("table t(k, s: set)\non f(k, x):\n  t[k].s.merge({x})\n").unwrap();
+    let Stmt::Merge(_, e) = &p.handlers[0].body[0] else {
+        panic!();
+    };
+    assert_eq!(*e, Expr::SetBuild(vec![Expr::Var("x".into())]));
+}
+
+#[test]
+fn comprehension_with_guard_parses() {
+    let p = parse_program(
+        "table e(a, b)\nmailbox out(x)\non f(y):\n  send out {a for e(a, b) if b == y}\n",
+    )
+    .unwrap();
+    let Stmt::Send { select, .. } = &p.handlers[0].body[0] else {
+        panic!();
+    };
+    assert_eq!(select.body.len(), 2);
+}
+
+#[test]
+fn multi_column_comprehension_head_flattens() {
+    let p = parse_program(
+        "table e(a, b)\nmailbox out(x, y)\non f(k):\n  send out {(a, b) for e(a, b)}\n",
+    )
+    .unwrap();
+    let Stmt::Send { select, .. } = &p.handlers[0].body[0] else {
+        panic!();
+    };
+    assert_eq!(select.projection.len(), 2, "tuple head → two row columns");
+}
+
+// -------------------------------------------------------------- facet blocks
+
+#[test]
+fn availability_domains_parse() {
+    for (txt, dom) in [
+        ("vm", FailureDomain::Vm),
+        ("rack", FailureDomain::Rack),
+        ("dc", FailureDomain::DataCenter),
+        ("az", FailureDomain::Az),
+    ] {
+        let src = format!("availability:\n  default: domain={txt}, failures=1\n");
+        let p = parse_program(&src).unwrap();
+        assert_eq!(p.availability.default.domain, dom);
+    }
+}
+
+#[test]
+fn availability_requires_both_keys() {
+    let e = parse_err("availability:\n  default: domain=az\n");
+    assert!(e.contains("both"), "{e}");
+}
+
+#[test]
+fn target_costs_convert_to_milli_units() {
+    let p = parse_program("target:\n  default: cost=0.01\n  a: cost=2\n  b: cost=1.5\n").unwrap();
+    assert_eq!(p.targets.default.cost_milli, Some(10));
+    assert_eq!(p.targets.per_handler["a"].cost_milli, Some(2000));
+    assert_eq!(p.targets.per_handler["b"].cost_milli, Some(1500));
+}
+
+#[test]
+fn latency_accepts_ms_suffix() {
+    let p = parse_program("target:\n  default: latency=250ms\n").unwrap();
+    assert_eq!(p.targets.default.latency_ms, Some(250));
+}
+
+#[test]
+fn processor_classes_parse() {
+    let p = parse_program("target:\n  x: processor=gpu\n  y: processor=cpu\n").unwrap();
+    assert_eq!(p.targets.per_handler["x"].processor, Some(Processor::Gpu));
+    assert_eq!(p.targets.per_handler["y"].processor, Some(Processor::Cpu));
+}
+
+// ------------------------------------------------------------ print inverses
+
+#[test]
+fn printer_is_idempotent_on_fixtures() {
+    for src in [
+        "table t(a, b, key=b)\nvar n = 3\non f(x):\n  n := n + x\n",
+        "table e(a, b)\nquery tc(x, y):\n  for e(x, y)\nquery tc(x, z):\n  for tc(x, y)\n  for e(y, z)\n",
+        "mailbox mb(a)\nvar w = false\non g when w == false:\n  clear mb\n",
+    ] {
+        let p = parse_program(src).unwrap();
+        let once = print_program(&p).unwrap();
+        let twice = print_program(&parse_program(&once).unwrap()).unwrap();
+        assert_eq!(once, twice, "printer fixpoint for:\n{src}");
+    }
+}
+
+#[test]
+fn errors_carry_positions() {
+    let LangError::Parse(e) = parse_program("var x = @\n").unwrap_err() else {
+        panic!("expected parse error");
+    };
+    assert_eq!(e.line, 1);
+    assert!(e.col >= 8, "col {} points at the offending token", e.col);
+}
+
+// -------------------------------------------------- functional dependencies
+
+#[test]
+fn fd_entries_parse_to_column_indexes() {
+    let p = parse_program("table emp(id, dept, region, fd=(dept -> region))\n").unwrap();
+    let fds = &p.tables[0].fds;
+    assert_eq!(fds.len(), 1);
+    assert_eq!(fds[0].determinant, vec![1]);
+    assert_eq!(fds[0].dependent, vec![2]);
+}
+
+#[test]
+fn multi_column_fds_parse() {
+    let p = parse_program("table t(a, b, c, d, fd=(a, b -> c, d))\n").unwrap();
+    assert_eq!(p.tables[0].fds[0].determinant, vec![0, 1]);
+    assert_eq!(p.tables[0].fds[0].dependent, vec![2, 3]);
+}
+
+#[test]
+fn several_fds_accumulate() {
+    let p = parse_program("table t(a, b, c, fd=(a -> b), fd=(b -> c))\n").unwrap();
+    assert_eq!(p.tables[0].fds.len(), 2);
+}
+
+#[test]
+fn fds_round_trip_through_the_printer() {
+    let src = "table emp(id, dept, region, key=id, fd=(dept -> region))\n";
+    let p = parse_program(src).unwrap();
+    let printed = print_program(&p).unwrap();
+    assert_eq!(parse_program(&printed).unwrap(), p);
+    assert!(printed.contains("fd=(dept -> region)"));
+}
+
+#[test]
+fn unknown_fd_column_is_rejected() {
+    let msg = parse_err("table t(a, b, fd=(a -> nope))\n");
+    assert!(msg.contains("fd column"), "{msg}");
+}

@@ -1,0 +1,286 @@
+//! Property tests: the printer and parser are mutually inverse.
+//!
+//! Programs are generated directly as IR (over a fixed data model, so the
+//! static checks hold by construction), printed, reparsed, and compared.
+//! Because the printer canonicalizes all-constant tuple/set literals, the
+//! asserted property is the standard pair:
+//!
+//! * `parse(print(p))` succeeds for every generated program, and
+//! * `print(parse(print(p))) == print(p)` (printer fixpoint).
+//!
+//! For generated programs (which avoid the canonicalized corner) we also
+//! get full structural identity `parse(print(p)) == p`.
+
+use hydro_core::ast::{
+    AssignTarget, BodyAtom, CmpOp, Expr, MergeTarget, Program, Rule, Select, Stmt, Term,
+};
+use hydro_core::builder::dsl::*;
+use hydro_core::builder::ProgramBuilder;
+use hydro_core::value::{LatticeKind, Value};
+use hydro_lang::{parse_program, print_program};
+use proptest::prelude::*;
+
+/// The fixed data model every generated program shares.
+fn base_builder() -> ProgramBuilder {
+    ProgramBuilder::new()
+        .table(
+            "t",
+            vec![
+                ("k", atom()),
+                ("s", lat(LatticeKind::SetUnion)),
+                ("f", lat(LatticeKind::BoolOr)),
+                ("v", atom()),
+            ],
+            &["k"],
+            None,
+        )
+        .table("e", vec![("a", atom()), ("b", atom())], &["a"], None)
+        .var("n", Value::Int(0))
+        .lattice_var("m", LatticeKind::MaxInt)
+        .mailbox("out", 2)
+}
+
+/// Leaf expressions valid in a handler with params `x`, `y`.
+fn leaf_expr() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (-100i64..100).prop_map(|n| Expr::Const(Value::Int(n))),
+        Just(Expr::Const(Value::Bool(true))),
+        Just(Expr::Const(Value::Bool(false))),
+        Just(Expr::Const(Value::Null)),
+        "[a-z]{1,4}".prop_map(|s| Expr::Const(Value::Str(s))),
+        Just(Expr::Var("x".into())),
+        Just(Expr::Var("y".into())),
+        Just(Expr::Scalar("n".into())),
+        Just(Expr::Scalar("m".into())),
+        Just(Expr::FieldOf {
+            table: "t".into(),
+            key: Box::new(Expr::Var("x".into())),
+            field: "v".into(),
+        }),
+        Just(Expr::HasKey {
+            table: "t".into(),
+            key: Box::new(Expr::Var("y".into())),
+        }),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    leaf_expr().prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::Cmp(
+                CmpOp::Le,
+                Box::new(l),
+                Box::new(r)
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::Arith(
+                hydro_core::ast::ArithOp::Add,
+                Box::new(l),
+                Box::new(r)
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::Arith(
+                hydro_core::ast::ArithOp::Mul,
+                Box::new(l),
+                Box::new(r)
+            )),
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            inner.clone().prop_map(|e| Expr::Len(Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(s, i)| Expr::Contains(Box::new(s), Box::new(i))),
+            // A non-constant element keeps SetBuild from canonicalizing.
+            inner
+                .clone()
+                .prop_map(|e| Expr::SetBuild(vec![Expr::Var("x".into()), e])),
+            (inner.clone(), inner).prop_map(|(l, r)| Expr::And(Box::new(l), Box::new(r))),
+        ]
+    })
+}
+
+fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    let simple = prop_oneof![
+        arb_expr().prop_map(|e| Stmt::Assign(AssignTarget::Scalar("n".into()), e)),
+        arb_expr().prop_map(|e| Stmt::Merge(MergeTarget::Scalar("m".into()), e)),
+        arb_expr().prop_map(|e| Stmt::Merge(
+            MergeTarget::TableField {
+                table: "t".into(),
+                key: Expr::Var("x".into()),
+                field: "s".into(),
+            },
+            e
+        )),
+        arb_expr().prop_map(|e| Stmt::Assign(
+            AssignTarget::TableField {
+                table: "t".into(),
+                key: Expr::Var("y".into()),
+                field: "v".into(),
+            },
+            e
+        )),
+        (arb_expr(), arb_expr()).prop_map(|(a, b)| Stmt::Insert {
+            table: "e".into(),
+            values: vec![a, b],
+        }),
+        arb_expr().prop_map(|key| Stmt::Delete {
+            table: "t".into(),
+            key,
+        }),
+        arb_expr().prop_map(Stmt::Return),
+        (arb_expr(), arb_expr()).prop_map(|(a, b)| Stmt::Send {
+            mailbox: "out".into(),
+            select: Select {
+                body: vec![],
+                projection: vec![a, b],
+            },
+        }),
+        Just(Stmt::Send {
+            mailbox: "out".into(),
+            select: Select {
+                body: vec![
+                    BodyAtom::Scan {
+                        rel: "e".into(),
+                        terms: vec![Term::Var("a".into()), Term::Var("b".into())],
+                    },
+                    BodyAtom::Guard(Expr::Cmp(
+                        CmpOp::Ne,
+                        Box::new(Expr::Var("a".into())),
+                        Box::new(Expr::Var("x".into()))
+                    )),
+                ],
+                projection: vec![Expr::Var("a".into()), Expr::Var("b".into())],
+            },
+        }),
+        Just(Stmt::ClearMailbox("out".into())),
+    ];
+    simple.prop_recursive(2, 8, 3, |inner| {
+        prop_oneof![
+            (
+                arb_expr(),
+                prop::collection::vec(inner.clone(), 1..3),
+                prop::collection::vec(inner.clone(), 0..2)
+            )
+                .prop_map(|(cond, then, els)| Stmt::If { cond, then, els }),
+            prop::collection::vec(inner, 1..3).prop_map(|stmts| Stmt::ForEach {
+                select: Select {
+                    body: vec![BodyAtom::Scan {
+                        rel: "e".into(),
+                        terms: vec![Term::Var("a".into()), Term::Wildcard],
+                    }],
+                    projection: vec![],
+                },
+                stmts,
+            }),
+        ]
+    })
+}
+
+fn arb_rule() -> impl Strategy<Value = Rule> {
+    prop_oneof![
+        Just(Rule {
+            head: "q1".into(),
+            head_exprs: vec![Expr::Var("a".into())],
+            body: vec![BodyAtom::Scan {
+                rel: "e".into(),
+                terms: vec![Term::Var("a".into()), Term::Wildcard],
+            }],
+        }),
+        Just(Rule {
+            head: "q2".into(),
+            head_exprs: vec![Expr::Var("a".into()), Expr::Var("c".into())],
+            body: vec![
+                BodyAtom::Scan {
+                    rel: "e".into(),
+                    terms: vec![Term::Var("a".into()), Term::Var("b".into())],
+                },
+                BodyAtom::Scan {
+                    rel: "e".into(),
+                    terms: vec![Term::Var("b".into()), Term::Var("c".into())],
+                },
+                BodyAtom::Guard(Expr::Cmp(
+                    CmpOp::Ne,
+                    Box::new(Expr::Var("a".into())),
+                    Box::new(Expr::Var("c".into()))
+                )),
+            ],
+        }),
+        Just(Rule {
+            head: "q3".into(),
+            head_exprs: vec![Expr::Var("w".into())],
+            body: vec![
+                BodyAtom::Scan {
+                    rel: "t".into(),
+                    terms: vec![
+                        Term::Var("k".into()),
+                        Term::Var("ss".into()),
+                        Term::Wildcard,
+                        Term::Wildcard,
+                    ],
+                },
+                BodyAtom::Flatten {
+                    var: "w".into(),
+                    set: Expr::Var("ss".into()),
+                },
+                BodyAtom::Let {
+                    var: "z".into(),
+                    expr: Expr::Var("k".into()),
+                },
+                BodyAtom::Neg {
+                    rel: "e".into(),
+                    args: vec![Expr::Var("z".into()), Expr::Var("w".into())],
+                },
+            ],
+        }),
+    ]
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    (
+        prop::collection::vec(arb_rule(), 0..3),
+        prop::collection::vec(prop::collection::vec(arb_stmt(), 1..4), 1..3),
+    )
+        .prop_map(|(rules, handler_bodies)| {
+            let mut b = base_builder();
+            for (i, rule) in rules.into_iter().enumerate() {
+                // Unique head per rule keeps arities consistent.
+                let head = format!("{}_{i}", rule.head);
+                b = b.rule(
+                    &head,
+                    rule.head_exprs,
+                    rule.body,
+                );
+            }
+            for (i, body) in handler_bodies.into_iter().enumerate() {
+                b = b.on(&format!("h{i}"), &["x", "y"], body);
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn print_then_parse_is_identity(program in arb_program()) {
+        let printed = print_program(&program).unwrap();
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{printed}"));
+        prop_assert_eq!(&reparsed, &program);
+    }
+
+    #[test]
+    fn printer_is_a_fixpoint(program in arb_program()) {
+        let once = print_program(&program).unwrap();
+        let twice = print_program(&parse_program(&once).unwrap()).unwrap();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn printed_expressions_preserve_precedence(e in arb_expr()) {
+        // Wrap the expression in a canonical one-statement program.
+        let program = base_builder()
+            .on("h", &["x", "y"], vec![Stmt::Return(e)])
+            .build();
+        let printed = print_program(&program).unwrap();
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|err| panic!("reparse failed: {err}\n---\n{printed}"));
+        prop_assert_eq!(&reparsed.handlers[0].body, &program.handlers[0].body);
+    }
+}

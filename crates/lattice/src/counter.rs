@@ -1,0 +1,166 @@
+//! Replicated counters: [`GCounter`] (grow-only) and [`PnCounter`].
+//!
+//! The Fig. 4 anecdote in the paper is precisely about getting counters
+//! wrong: merging by `+` is not idempotent, so re-delivered messages
+//! double-count. The correct construction keeps a per-writer `Max` of each
+//! writer's contribution and sums at read time.
+
+use crate::{Bottom, Lattice, Max, MapUnion, Pair};
+use serde::{Deserialize, Serialize};
+
+/// Writer identifier for counter contributions.
+pub type WriterId = u64;
+
+/// A grow-only counter: per-writer monotone contributions, summed on read.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GCounter {
+    slots: MapUnion<WriterId, Max<u64>>,
+}
+
+impl GCounter {
+    /// An empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `writer`'s local total is now `total`. Totals are
+    /// per-writer monotone; passing a stale total is a harmless no-op.
+    pub fn set_local(&mut self, writer: WriterId, total: u64) -> bool {
+        self.slots.merge_entry(writer, Max::new(total))
+    }
+
+    /// Increment `writer`'s contribution by `n`, returning the new local
+    /// total for that writer.
+    pub fn increment(&mut self, writer: WriterId, n: u64) -> u64 {
+        let current = self.slots.get(&writer).map_or(0, |m| *m.get());
+        let next = current + n;
+        self.slots.merge_entry(writer, Max::new(next));
+        next
+    }
+
+    /// The counter's value: the sum of all writers' contributions.
+    pub fn read(&self) -> u64 {
+        self.slots.iter().map(|(_, m)| *m.get()).sum()
+    }
+}
+
+impl Lattice for GCounter {
+    fn merge(&mut self, other: Self) -> bool {
+        self.slots.merge(other.slots)
+    }
+}
+
+impl Bottom for GCounter {
+    fn bottom() -> Self {
+        Self::new()
+    }
+}
+
+/// An increment/decrement counter: a pair of grow-only counters.
+///
+/// Note the CALM caveat the paper stresses for `vaccinate` (§7): although
+/// `PnCounter` *converges*, a *threshold read* such as `vaccine_count >= 0`
+/// is a non-monotone observation — decrements can invalidate it — so
+/// enforcing the invariant still requires coordination. The lattice gives
+/// convergence, not invariant preservation.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PnCounter {
+    inner: Pair<GCounter, GCounter>,
+}
+
+impl PnCounter {
+    /// An empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` on behalf of `writer`.
+    pub fn increment(&mut self, writer: WriterId, n: u64) {
+        self.inner.first.increment(writer, n);
+    }
+
+    /// Subtract `n` on behalf of `writer`.
+    pub fn decrement(&mut self, writer: WriterId, n: u64) {
+        self.inner.second.increment(writer, n);
+    }
+
+    /// The counter's value (may be negative).
+    pub fn read(&self) -> i64 {
+        self.inner.first.read() as i64 - self.inner.second.read() as i64
+    }
+}
+
+impl Lattice for PnCounter {
+    fn merge(&mut self, other: Self) -> bool {
+        self.inner.merge(other.inner)
+    }
+}
+
+impl Bottom for PnCounter {
+    fn bottom() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws::check_lattice_laws;
+    use proptest::prelude::*;
+
+    #[test]
+    fn duplicate_delivery_does_not_double_count() {
+        let mut a = GCounter::new();
+        a.increment(1, 5);
+        let update = a.clone();
+        let mut b = GCounter::new();
+        b.merge(update.clone());
+        b.merge(update.clone()); // redelivery
+        b.merge(update);
+        assert_eq!(b.read(), 5);
+    }
+
+    #[test]
+    fn concurrent_writers_sum() {
+        let mut a = GCounter::new();
+        a.increment(1, 3);
+        let mut b = GCounter::new();
+        b.increment(2, 4);
+        assert_eq!(a.join(b).read(), 7);
+    }
+
+    #[test]
+    fn pn_counter_converges_but_can_go_negative() {
+        let mut a = PnCounter::new();
+        a.increment(1, 2);
+        let mut b = PnCounter::new();
+        b.decrement(2, 5);
+        let merged = a.clone().join(b.clone());
+        assert_eq!(merged.read(), -3);
+        assert_eq!(merged, b.join(a));
+    }
+
+    fn arb_gcounter() -> impl Strategy<Value = GCounter> {
+        proptest::collection::vec((0u64..4, 0u64..100), 0..6).prop_map(|entries| {
+            let mut c = GCounter::new();
+            for (w, n) in entries {
+                c.set_local(w, n);
+            }
+            c
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn gcounter_laws(a in arb_gcounter(), b in arb_gcounter(), c in arb_gcounter()) {
+            check_lattice_laws(&a, &b, &c).unwrap();
+        }
+
+        #[test]
+        fn merge_read_is_pointwise_max_sum(a in arb_gcounter(), b in arb_gcounter()) {
+            let merged = a.clone().join(b.clone());
+            prop_assert!(merged.read() >= a.read().max(b.read()));
+            prop_assert!(merged.read() <= a.read() + b.read());
+        }
+    }
+}

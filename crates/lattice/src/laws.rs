@@ -1,0 +1,146 @@
+//! Executable lattice-law checking.
+//!
+//! §8.2 of the paper complains that CRDT libraries "expect programmers to
+//! guarantee the monotonicity of their code manually", which is "notoriously
+//! tricky" (Fig. 4). These helpers make the algebraic obligations of
+//! [`Lattice`] implementations executable so the test suite —
+//! and user code registering custom lattices — can validate them on sampled
+//! points rather than trusting the author.
+
+use crate::Lattice;
+
+/// A violated lattice law, reported by [`check_lattice_laws`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LawViolation {
+    /// `(a ∨ b) ∨ c != a ∨ (b ∨ c)`.
+    Associativity,
+    /// `a ∨ b != b ∨ a`.
+    Commutativity,
+    /// `a ∨ a != a`.
+    Idempotence,
+    /// `merge` reported "changed" for a merge that left the value equal, or
+    /// reported "unchanged" for one that altered it.
+    ChangeReport,
+}
+
+impl std::fmt::Display for LawViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            LawViolation::Associativity => "associativity",
+            LawViolation::Commutativity => "commutativity",
+            LawViolation::Idempotence => "idempotence",
+            LawViolation::ChangeReport => "merge change-report accuracy",
+        };
+        write!(f, "lattice law violated: {name}")
+    }
+}
+
+impl std::error::Error for LawViolation {}
+
+/// Check the semilattice laws on a specific triple of points.
+///
+/// Returns the first violated law, if any. Drive this from proptest (as the
+/// in-crate suites do) to get randomized law checking.
+pub fn check_lattice_laws<L: Lattice + std::fmt::Debug>(
+    a: &L,
+    b: &L,
+    c: &L,
+) -> Result<(), LawViolation> {
+    // Associativity.
+    let ab_c = a.clone().join(b.clone()).join(c.clone());
+    let a_bc = a.clone().join(b.clone().join(c.clone()));
+    if ab_c != a_bc {
+        return Err(LawViolation::Associativity);
+    }
+    // Commutativity.
+    if a.clone().join(b.clone()) != b.clone().join(a.clone()) {
+        return Err(LawViolation::Commutativity);
+    }
+    // Idempotence.
+    if a.clone().join(a.clone()) != *a {
+        return Err(LawViolation::Idempotence);
+    }
+    // Change reporting.
+    let mut x = a.clone();
+    let changed = x.merge(b.clone());
+    if changed == (x == *a) {
+        return Err(LawViolation::ChangeReport);
+    }
+    Ok(())
+}
+
+/// Check that replicas converge regardless of delivery order: merging the
+/// same multiset of updates in two different permutations yields equal state.
+///
+/// This is the operational content of ACID 2.0 / CALM for state-based CRDTs.
+pub fn check_order_insensitive<L: Lattice>(base: L, updates: &[L], perm: &[usize]) -> bool {
+    assert_eq!(updates.len(), perm.len());
+    let mut forward = base.clone();
+    for u in updates {
+        forward.merge(u.clone());
+    }
+    let mut permuted = base;
+    for &i in perm {
+        permuted.merge(updates[i].clone());
+    }
+    forward == permuted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Max, SetUnion};
+
+    #[test]
+    fn laws_hold_for_max() {
+        check_lattice_laws(&Max::new(1), &Max::new(2), &Max::new(3)).unwrap();
+    }
+
+    #[test]
+    fn detects_broken_change_report() {
+        // A deliberately broken "lattice" that always claims change.
+        #[derive(Clone, Debug, PartialEq, Eq)]
+        struct Liar(u32);
+        impl Lattice for Liar {
+            fn merge(&mut self, other: Self) -> bool {
+                self.0 = self.0.max(other.0);
+                true // wrong when other ≤ self
+            }
+        }
+        let violation = check_lattice_laws(&Liar(5), &Liar(3), &Liar(1));
+        assert_eq!(violation, Err(LawViolation::ChangeReport));
+    }
+
+    #[test]
+    fn detects_non_idempotent_merge() {
+        // Addition is associative + commutative but NOT idempotent — the
+        // classic manual-CRDT mistake of Fig. 4: a counter "merged" by `+`.
+        #[derive(Clone, Debug, PartialEq, Eq)]
+        struct AddCounter(u32);
+        impl Lattice for AddCounter {
+            fn merge(&mut self, other: Self) -> bool {
+                if other.0 == 0 {
+                    return false;
+                }
+                self.0 += other.0;
+                true
+            }
+        }
+        let violation = check_lattice_laws(&AddCounter(5), &AddCounter(3), &AddCounter(1));
+        assert_eq!(violation, Err(LawViolation::Idempotence));
+    }
+
+    #[test]
+    fn order_insensitivity() {
+        let updates = vec![
+            SetUnion::from_iter([1]),
+            SetUnion::from_iter([2, 3]),
+            SetUnion::from_iter([4]),
+        ];
+        assert!(check_order_insensitive(
+            SetUnion::default(),
+            &updates,
+            &[2, 0, 1]
+        ));
+    }
+}

@@ -1,0 +1,147 @@
+//! # hydro-lattice
+//!
+//! Join-semilattices and CRDT building blocks for the Hydro stack.
+//!
+//! The CIDR 2021 paper grounds coordination-free distributed programming in
+//! *monotonicity*: ACID 2.0 (Associative, Commutative, Idempotent,
+//! Distributed) methods are exactly the join operations of semilattices, and
+//! the CALM theorem says monotone programs — programs whose outputs only grow
+//! with their inputs — are precisely those with deterministic,
+//! coordination-free distributed executions.
+//!
+//! This crate provides:
+//!
+//! * the [`Lattice`] trait (a join-semilattice with an in-place, change-
+//!   reporting `merge`), plus [`LatticeOrd`] for the induced partial order
+//!   and [`Bottom`] for pointed lattices;
+//! * the standard lattice zoo used throughout the paper: [`Max`]/[`Min`],
+//!   [`SetUnion`], [`MapUnion`], [`Pair`], [`DomPair`], [`Lww`],
+//!   [`GCounter`]/[`PnCounter`], [`VectorClock`], and [`Seal`] (the
+//!   shopping-cart "sealing" lattice of §7.1);
+//! * monotone-function combinators ([`morphism`]) and randomized law-checking
+//!   helpers ([`laws`]) used by the property-test suites and by the
+//!   monotonicity typechecker's runtime validation mode.
+//!
+//! All lattices here are *state-based CRDTs*: replicas converge by pairwise
+//! merging regardless of message duplication, reordering, or delay.
+
+pub mod counter;
+pub mod laws;
+pub mod logoot;
+pub mod map_union;
+pub mod max;
+pub mod morphism;
+pub mod pair;
+pub mod seal;
+pub mod set_union;
+pub mod vclock;
+pub mod word;
+
+pub use counter::{GCounter, PnCounter};
+pub use logoot::{Editor, LogootDoc};
+pub use map_union::MapUnion;
+pub use max::{Max, Min};
+pub use morphism::{is_monotone_on, MonotoneFn};
+pub use pair::{DomPair, Lww, Pair};
+pub use seal::Seal;
+pub use set_union::SetUnion;
+pub use word::{WithBot, WithTop};
+pub use vclock::{CausalOrd, VectorClock};
+
+/// A join-semilattice.
+///
+/// `merge` computes the least upper bound of `self` and `other` in place and
+/// reports whether `self` changed. The change report is what lets dataflow
+/// runtimes (and gossip protocols) reach fixpoint: propagation stops when
+/// merges stop reporting changes.
+///
+/// # Laws
+///
+/// For all `a`, `b`, `c` (checked by [`laws::check_lattice_laws`] and the
+/// proptest suites):
+///
+/// * **Associativity**: `(a ∨ b) ∨ c == a ∨ (b ∨ c)`
+/// * **Commutativity**: `a ∨ b == b ∨ a`
+/// * **Idempotence**: `a ∨ a == a`
+/// * **Change-accuracy**: `merge` returns `true` iff `self` is not equal to
+///   its prior value.
+pub trait Lattice: Clone + Eq {
+    /// Merge `other` into `self`; returns `true` iff `self` changed.
+    fn merge(&mut self, other: Self) -> bool;
+
+    /// The least upper bound of two values, by value.
+    #[must_use]
+    fn join(mut self, other: Self) -> Self {
+        self.merge(other);
+        self
+    }
+}
+
+/// The partial order induced by the join: `a ≤ b` iff `a ∨ b == b`.
+pub trait LatticeOrd: Lattice {
+    /// `self ≤ other` in the lattice order.
+    fn lattice_le(&self, other: &Self) -> bool {
+        let mut o = other.clone();
+        !o.merge(self.clone())
+    }
+
+    /// Compare in the lattice's partial order; `None` when incomparable.
+    fn lattice_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        use std::cmp::Ordering;
+        let le = self.lattice_le(other);
+        let ge = other.lattice_le(self);
+        match (le, ge) {
+            (true, true) => Some(Ordering::Equal),
+            (true, false) => Some(Ordering::Less),
+            (false, true) => Some(Ordering::Greater),
+            (false, false) => None,
+        }
+    }
+}
+
+impl<T: Lattice> LatticeOrd for T {}
+
+/// Lattices with a least element (`⊥`), the identity of `merge`.
+pub trait Bottom: Lattice {
+    /// The least element of the lattice.
+    fn bottom() -> Self;
+
+    /// Whether this value is the least element.
+    fn is_bottom(&self) -> bool {
+        self == &Self::bottom()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_merge_by_value() {
+        let a = Max::new(3);
+        let b = Max::new(7);
+        assert_eq!(a.join(b), Max::new(7));
+    }
+
+    #[test]
+    fn lattice_cmp_total_on_max() {
+        use std::cmp::Ordering;
+        assert_eq!(Max::new(1).lattice_cmp(&Max::new(2)), Some(Ordering::Less));
+        assert_eq!(
+            Max::new(2).lattice_cmp(&Max::new(2)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Max::new(3).lattice_cmp(&Max::new(2)),
+            Some(Ordering::Greater)
+        );
+    }
+
+    #[test]
+    fn lattice_cmp_partial_on_sets() {
+        let a = SetUnion::from_iter([1, 2]);
+        let b = SetUnion::from_iter([2, 3]);
+        assert_eq!(a.lattice_cmp(&b), None);
+        assert!(SetUnion::from_iter([1]).lattice_le(&a));
+    }
+}

@@ -1,0 +1,599 @@
+//! Logoot: a sequence CRDT for coordination-free collaborative editing.
+//!
+//! The paper holds up collaborative editing as a showcase of "monotonic
+//! design patterns \[that\] have led to clean versions of complex distributed
+//! applications" (§1.2, citing Logoot \[83\]; §7 lists it among the clever
+//! application-level consistency designs). This module implements a
+//! Logoot-style sequence CRDT as a *lattice*: document state is a pair of
+//! grow-only maps (inserts and tombstones), so replica merge is a
+//! join-semilattice merge and every edit is a monotone mutation — the CALM
+//! conditions hold and no coordination is ever needed.
+//!
+//! # Positions
+//!
+//! Each character is keyed by a [`Position`]: a list of *idents*
+//! `(digit, site, seq)` compared lexicographically. Digits live in a huge
+//! base (`2^32`); `site`/`seq` make positions globally unique and break
+//! ties between concurrent allocations. Between any two positions a new
+//! one can always be generated ([`Position::between`]):
+//!
+//! * interpret both bounds' digit lists as base-`B` numbers of increasing
+//!   width until a gap of ≥ 2 appears, then pick a digit string strictly
+//!   inside the gap ("boundary+" biased toward the left bound so
+//!   left-to-right typing yields short positions);
+//! * copy `(site, seq)` from a bound for every level where the new digit
+//!   string is still a digit-prefix of that bound, and stamp the remainder
+//!   with the allocating editor's own `(site, seq)` — this keeps the ident
+//!   order consistent with the numeric order;
+//! * if the two bounds have *identical digit strings* (possible only when
+//!   two sites concurrently picked the same random digits), no numeric gap
+//!   ever appears; the allocator detects this and extends the left bound
+//!   instead, which is correct because the bounds already differ in their
+//!   `(site, seq)` tiebreak.
+//!
+//! # Deletion
+//!
+//! Deletes are tombstones (a second grow-only set), making the whole
+//! document state `(inserts ∪ inserts', tombs ∪ tombs')`-mergeable — the
+//! 2P-set construction. A deleted position never becomes visible again;
+//! re-typed characters get fresh positions.
+
+use crate::Lattice;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Digit base: digits are `u64` values in `[0, BASE)`.
+const BASE: u64 = 1 << 32;
+
+/// "Boundary+" allocation window: new digits land within this distance of
+/// the left bound, keeping append-heavy (left-to-right typing) positions
+/// short.
+const BOUNDARY: u64 = 1 << 20;
+
+/// One level of a [`Position`]: digit with its allocator's identity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ident {
+    /// Digit in `[0, BASE)`.
+    pub digit: u64,
+    /// Allocating site (editor) id; real sites are `>= 1`.
+    pub site: u64,
+    /// Allocator's per-site operation counter.
+    pub seq: u64,
+}
+
+/// A dense, totally ordered, globally unique position identifier.
+///
+/// The empty position is the virtual *begin* sentinel (smaller than every
+/// real position); the virtual *end* sentinel is represented by `None`
+/// bounds in [`Position::between`].
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Position(Vec<Ident>);
+
+impl Position {
+    /// The idents of this position.
+    pub fn idents(&self) -> &[Ident] {
+        &self.0
+    }
+
+    /// Number of levels (allocation depth).
+    pub fn depth(&self) -> usize {
+        self.0.len()
+    }
+
+    fn digit(&self, level: usize) -> u64 {
+        self.0.get(level).map_or(0, |i| i.digit)
+    }
+
+    /// Generate a position strictly between `left` and `right`
+    /// (`None` = begin/end sentinel), stamped with `(site, seq)`.
+    ///
+    /// Panics in debug builds if `left >= right`.
+    pub fn between(
+        left: Option<&Position>,
+        right: Option<&Position>,
+        site: u64,
+        seq: u64,
+        rng: &mut StdRng,
+    ) -> Position {
+        static EMPTY: Position = Position(Vec::new());
+        let l = left.unwrap_or(&EMPTY);
+        if let (Some(l), Some(r)) = (left, right) {
+            debug_assert!(l < r, "between() needs left < right");
+            // Identical digit strings (concurrent random collision): no
+            // numeric gap exists at any width. The bounds differ only in
+            // (site, seq), so extending the left bound sorts strictly
+            // between them.
+            if l.0.len() == r.0.len() && l.0.iter().zip(&r.0).all(|(a, b)| a.digit == b.digit) {
+                let mut idents = l.0.clone();
+                idents.push(Ident {
+                    digit: 1 + rng.gen_range(0..BOUNDARY),
+                    site,
+                    seq,
+                });
+                return Position(idents);
+            }
+        }
+
+        // Widen until the numeric gap admits a new digit string.
+        let mut width = 1;
+        loop {
+            let gap = Self::gap_at(l, right, width);
+            if gap > 1 {
+                // Choose an offset in (0, gap) biased toward the left
+                // bound ("boundary+").
+                let bound = gap.min(BOUNDARY + 1);
+                let offset = 1 + rng.gen_range(0..bound - 1);
+                return Self::from_number(l, right, width, offset, site, seq);
+            }
+            width += 1;
+            debug_assert!(width <= l.0.len() + right.map_or(0, |r| r.0.len()) + 2);
+        }
+    }
+
+    /// Numeric gap `m - n` between the two bounds' digit prefixes at the
+    /// given width, saturating at `u64::MAX` (wide gaps needn't be exact).
+    fn gap_at(l: &Position, r: Option<&Position>, width: usize) -> u64 {
+        // Compute m - n without materializing the base-2^32 numbers:
+        // process digits most-significant first.
+        let mut diff: u64 = 0;
+        for level in 0..width {
+            let ld = l.digit(level);
+            let rd = match r {
+                Some(r) => r.digit(level),
+                // The end sentinel is "digit BASE at level 0".
+                None => {
+                    if level == 0 {
+                        BASE
+                    } else {
+                        0
+                    }
+                }
+            };
+            diff = match diff.checked_mul(BASE) {
+                Some(d) => d,
+                None => return u64::MAX,
+            };
+            // rd may be less than ld at deeper levels (borrow).
+            diff = if rd >= ld {
+                match diff.checked_add(rd - ld) {
+                    Some(d) => d,
+                    None => return u64::MAX,
+                }
+            } else {
+                diff - (ld - rd)
+            };
+        }
+        diff
+    }
+
+    /// Build the position whose digit string is `prefix(l, width) + offset`,
+    /// copying `(site, seq)` from a bound while the digits still prefix-match
+    /// it and stamping the rest with the allocator's identity.
+    fn from_number(
+        l: &Position,
+        r: Option<&Position>,
+        width: usize,
+        offset: u64,
+        site: u64,
+        seq: u64,
+    ) -> Position {
+        // digits = l's first `width` digits (padded with 0) + offset, in
+        // base 2^32, least-significant-last.
+        let mut digits: Vec<u64> = (0..width).map(|i| l.digit(i)).collect();
+        let mut carry = offset;
+        for d in digits.iter_mut().rev() {
+            let v = *d + carry;
+            *d = v % BASE;
+            carry = v / BASE;
+            if carry == 0 {
+                break;
+            }
+        }
+        debug_assert_eq!(carry, 0, "offset stays below the right bound");
+
+        // Drop trailing zero digits: they do not change the numeric value
+        // and a `(0, own)` tail ident could sort below a bound's real
+        // ident at that level.
+        while digits.len() > 1 && *digits.last().expect("non-empty") == 0 {
+            digits.pop();
+        }
+
+        let mut idents = Vec::with_capacity(digits.len());
+        let mut prefix_of_l = true;
+        let mut prefix_of_r = true;
+        for (level, &digit) in digits.iter().enumerate() {
+            prefix_of_l = prefix_of_l
+                && l.0.get(level).is_some_and(|ident| ident.digit == digit);
+            prefix_of_r = prefix_of_r
+                && r.is_some_and(|r| r.0.get(level).is_some_and(|ident| ident.digit == digit));
+            if prefix_of_l {
+                idents.push(l.0[level]);
+            } else if prefix_of_r {
+                idents.push(r.expect("prefix_of_r checked").0[level]);
+            } else {
+                idents.push(Ident { digit, site, seq });
+            }
+        }
+        Position(idents)
+    }
+}
+
+/// An edit operation: the unit shipped between replicas.
+///
+/// Operations commute and are idempotent (they merge grow-only state), so
+/// they may be delivered in any order, any number of times.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Make `ch` visible at `pos`.
+    Insert {
+        /// Allocated position.
+        pos: Position,
+        /// Inserted character.
+        ch: char,
+    },
+    /// Tombstone `pos`.
+    Delete {
+        /// Position to hide.
+        pos: Position,
+    },
+}
+
+/// Lattice document state: grow-only inserts plus grow-only tombstones.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LogootDoc {
+    inserts: BTreeMap<Position, char>,
+    tombs: BTreeSet<Position>,
+}
+
+impl LogootDoc {
+    /// Empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Apply one operation (idempotent, commutative).
+    pub fn apply(&mut self, op: &Op) -> bool {
+        match op {
+            Op::Insert { pos, ch } => self.inserts.insert(pos.clone(), *ch) != Some(*ch),
+            Op::Delete { pos } => self.tombs.insert(pos.clone()),
+        }
+    }
+
+    /// Visible characters in position order.
+    pub fn chars(&self) -> impl Iterator<Item = (&Position, char)> {
+        self.inserts
+            .iter()
+            .filter(|(pos, _)| !self.tombs.contains(*pos))
+            .map(|(pos, ch)| (pos, *ch))
+    }
+
+    /// The visible text.
+    pub fn text(&self) -> String {
+        self.chars().map(|(_, c)| c).collect()
+    }
+
+    /// Number of visible characters.
+    pub fn len(&self) -> usize {
+        self.chars().count()
+    }
+
+    /// Whether no characters are visible.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total stored entries (inserts + tombstones) — the CRDT's real
+    /// footprint, for garbage-collection experiments.
+    pub fn stored(&self) -> usize {
+        self.inserts.len() + self.tombs.len()
+    }
+
+    /// Position of the `index`-th *visible* character.
+    fn visible_at(&self, index: usize) -> Option<&Position> {
+        self.chars().nth(index).map(|(p, _)| p)
+    }
+}
+
+impl Lattice for LogootDoc {
+    fn merge(&mut self, other: Self) -> bool {
+        let mut changed = false;
+        for (pos, ch) in other.inserts {
+            match self.inserts.get(&pos) {
+                Some(existing) => {
+                    // Positions are globally unique, so a conflicting char
+                    // indicates site-id misuse; resolve deterministically.
+                    if *existing < ch {
+                        self.inserts.insert(pos, ch);
+                        changed = true;
+                    }
+                }
+                None => {
+                    self.inserts.insert(pos, ch);
+                    changed = true;
+                }
+            }
+        }
+        for t in other.tombs {
+            changed |= self.tombs.insert(t);
+        }
+        changed
+    }
+}
+
+/// A replica of the shared document: local state plus the site identity
+/// needed to allocate fresh positions.
+#[derive(Clone, Debug)]
+pub struct Editor {
+    doc: LogootDoc,
+    site: u64,
+    seq: u64,
+    rng: StdRng,
+}
+
+impl Editor {
+    /// New editor for `site` (must be unique per replica, `>= 1`).
+    pub fn new(site: u64) -> Self {
+        assert!(site >= 1, "site ids start at 1");
+        Editor {
+            doc: LogootDoc::new(),
+            site,
+            seq: 0,
+            rng: StdRng::seed_from_u64(site ^ 0x0010_6007),
+        }
+    }
+
+    /// The underlying lattice state.
+    pub fn doc(&self) -> &LogootDoc {
+        &self.doc
+    }
+
+    /// Current visible text.
+    pub fn text(&self) -> String {
+        self.doc.text()
+    }
+
+    /// Insert `ch` so it appears at visible index `index` (clamped to the
+    /// end). Returns the operation to broadcast.
+    pub fn insert(&mut self, index: usize, ch: char) -> Op {
+        let len = self.doc.len();
+        let index = index.min(len);
+        let left = if index == 0 {
+            None
+        } else {
+            self.doc.visible_at(index - 1).cloned()
+        };
+        let right = self.doc.visible_at(index).cloned();
+        self.seq += 1;
+        let pos = Position::between(
+            left.as_ref(),
+            right.as_ref(),
+            self.site,
+            self.seq,
+            &mut self.rng,
+        );
+        let op = Op::Insert { pos, ch };
+        self.doc.apply(&op);
+        op
+    }
+
+    /// Type a whole string starting at visible index `index`.
+    pub fn insert_str(&mut self, index: usize, s: &str) -> Vec<Op> {
+        s.chars()
+            .enumerate()
+            .map(|(k, c)| self.insert(index + k, c))
+            .collect()
+    }
+
+    /// Delete the visible character at `index`; `None` when out of range.
+    pub fn delete(&mut self, index: usize) -> Option<Op> {
+        let pos = self.doc.visible_at(index)?.clone();
+        let op = Op::Delete { pos };
+        self.doc.apply(&op);
+        Some(op)
+    }
+
+    /// Apply a remote operation.
+    pub fn apply(&mut self, op: &Op) {
+        self.doc.apply(op);
+    }
+
+    /// Full-state merge with a remote replica (anti-entropy).
+    pub fn sync(&mut self, other: &Editor) -> bool {
+        self.doc.merge(other.doc.clone())
+    }
+
+    /// Merge a remote document state (e.g. a gossiped digest).
+    pub fn merge_state(&mut self, doc: LogootDoc) -> bool {
+        self.doc.merge(doc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn between_sentinels() {
+        let p = Position::between(None, None, 1, 1, &mut rng());
+        assert!(p.depth() >= 1);
+        assert!(p > Position::default(), "every real position exceeds begin");
+    }
+
+    #[test]
+    fn between_is_strictly_between() {
+        let mut r = rng();
+        let a = Position::between(None, None, 1, 1, &mut r);
+        let b = Position::between(Some(&a), None, 1, 2, &mut r);
+        assert!(a < b);
+        let c = Position::between(Some(&a), Some(&b), 1, 3, &mut r);
+        assert!(a < c && c < b, "{a:?} < {c:?} < {b:?}");
+    }
+
+    #[test]
+    fn between_handles_adjacent_digits() {
+        // Bounds whose digits differ by exactly one force depth growth.
+        let a = Position(vec![Ident {
+            digit: 5,
+            site: 1,
+            seq: 1,
+        }]);
+        let b = Position(vec![Ident {
+            digit: 6,
+            site: 2,
+            seq: 1,
+        }]);
+        let mut r = rng();
+        let c = Position::between(Some(&a), Some(&b), 3, 1, &mut r);
+        assert!(a < c && c < b, "{a:?} < {c:?} < {b:?}");
+        assert!(c.depth() >= 2);
+    }
+
+    #[test]
+    fn between_handles_identical_digit_strings() {
+        // The concurrent-collision corner: same digits, different sites.
+        let a = Position(vec![Ident {
+            digit: 7,
+            site: 1,
+            seq: 9,
+        }]);
+        let b = Position(vec![Ident {
+            digit: 7,
+            site: 2,
+            seq: 3,
+        }]);
+        assert!(a < b);
+        let mut r = rng();
+        let c = Position::between(Some(&a), Some(&b), 3, 1, &mut r);
+        assert!(a < c && c < b, "{a:?} < {c:?} < {b:?}");
+    }
+
+    #[test]
+    fn between_descends_past_deep_left_bound() {
+        // Left bound with a maximal digit tail: the gap only opens once
+        // the width exceeds the left bound's depth.
+        let a = Position(vec![
+            Ident {
+                digit: 5,
+                site: 1,
+                seq: 1,
+            },
+            Ident {
+                digit: BASE - 1,
+                site: 1,
+                seq: 2,
+            },
+        ]);
+        let b = Position(vec![Ident {
+            digit: 6,
+            site: 2,
+            seq: 1,
+        }]);
+        let mut r = rng();
+        let c = Position::between(Some(&a), Some(&b), 3, 1, &mut r);
+        assert!(a < c && c < b, "{a:?} < {c:?} < {b:?}");
+    }
+
+    #[test]
+    fn typing_left_to_right_stays_shallow() {
+        let mut ed = Editor::new(1);
+        for (i, c) in "hello, world — typing appends".chars().enumerate() {
+            ed.insert(i, c);
+        }
+        let max_depth = ed.doc.inserts.keys().map(Position::depth).max().unwrap();
+        assert!(
+            max_depth <= 3,
+            "boundary+ keeps appends shallow, got {max_depth}"
+        );
+    }
+
+    #[test]
+    fn insert_and_delete_edit_the_text() {
+        let mut ed = Editor::new(1);
+        ed.insert_str(0, "hxello");
+        ed.delete(1);
+        assert_eq!(ed.text(), "hello");
+        ed.insert(5, '!');
+        assert_eq!(ed.text(), "hello!");
+    }
+
+    #[test]
+    fn ops_commute_across_replicas() {
+        let mut a = Editor::new(1);
+        let mut b = Editor::new(2);
+        let ops_a = a.insert_str(0, "abc");
+        let ops_b = b.insert_str(0, "xyz");
+        // Cross-deliver in opposite orders.
+        for op in ops_b.iter() {
+            a.apply(op);
+        }
+        for op in ops_a.iter().rev() {
+            b.apply(op);
+        }
+        assert_eq!(a.text(), b.text(), "replicas converge");
+        assert_eq!(a.text().len(), 6);
+    }
+
+    #[test]
+    fn duplicate_delivery_is_idempotent() {
+        let mut a = Editor::new(1);
+        let mut b = Editor::new(2);
+        let ops = a.insert_str(0, "dup");
+        for op in ops.iter().chain(ops.iter()).chain(ops.iter()) {
+            b.apply(op);
+        }
+        assert_eq!(b.text(), "dup");
+    }
+
+    #[test]
+    fn delete_wins_over_redelivered_insert() {
+        let mut a = Editor::new(1);
+        let ops = a.insert_str(0, "x");
+        let del = a.delete(0).unwrap();
+        let mut b = Editor::new(2);
+        b.apply(&del); // tombstone arrives before the insert
+        for op in &ops {
+            b.apply(op);
+        }
+        assert_eq!(b.text(), "", "2P-set: delete is permanent");
+        assert_eq!(a.text(), "");
+    }
+
+    #[test]
+    fn full_state_sync_converges() {
+        let mut a = Editor::new(1);
+        let mut b = Editor::new(2);
+        a.insert_str(0, "left");
+        b.insert_str(0, "right");
+        a.sync(&b);
+        b.sync(&a);
+        assert_eq!(a.text(), b.text());
+        assert!(!a.sync(&b), "second sync is a no-op");
+    }
+
+    #[test]
+    fn doc_merge_satisfies_lattice_laws() {
+        let mut a = Editor::new(1);
+        let mut b = Editor::new(2);
+        let mut c = Editor::new(3);
+        a.insert_str(0, "aa");
+        b.insert_str(0, "bb");
+        c.insert_str(0, "cc");
+        b.delete(0);
+        crate::laws::check_lattice_laws(a.doc(), b.doc(), c.doc()).unwrap();
+        crate::laws::check_lattice_laws(&LogootDoc::new(), a.doc(), b.doc()).unwrap();
+    }
+
+    #[test]
+    fn stored_counts_tombstones() {
+        let mut a = Editor::new(1);
+        a.insert_str(0, "abc");
+        a.delete(1);
+        assert_eq!(a.doc().len(), 2);
+        assert_eq!(a.doc().stored(), 4, "3 inserts + 1 tombstone");
+    }
+}

@@ -1,0 +1,141 @@
+//! The map-union lattice: keys accumulate, values merge pointwise.
+//!
+//! `MapUnion<K, L>` is the composition pattern Bloom^L builds everything
+//! from: a keyed collection of lattice points. The Anna KVS (§1.2) is
+//! essentially a `MapUnion<Key, Lww<Value>>` (or a causal lattice) gossiped
+//! between nodes; HydroLogic tables keyed by id with lattice-typed fields are
+//! `MapUnion<Key, Row>` where `Row` is a product of field lattices.
+
+use crate::{Bottom, Lattice};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A map whose join unions key sets and merges values pointwise.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MapUnion<K: Ord, V>(BTreeMap<K, V>);
+
+impl<K: Ord, V> Default for MapUnion<K, V> {
+    fn default() -> Self {
+        MapUnion(BTreeMap::new())
+    }
+}
+
+impl<K: Ord, V: Lattice> MapUnion<K, V> {
+    /// The empty map (bottom).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A single-entry map.
+    pub fn singleton(key: K, value: V) -> Self {
+        let mut m = BTreeMap::new();
+        m.insert(key, value);
+        MapUnion(m)
+    }
+
+    /// Merge `value` into the entry for `key`; returns `true` on change.
+    pub fn merge_entry(&mut self, key: K, value: V) -> bool {
+        match self.0.entry(key) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(value);
+                true
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().merge(value),
+        }
+    }
+
+    /// Look up the lattice point for `key`.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.0.get(key)
+    }
+
+    /// Number of keys present.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether no keys are present.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterate entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.0.iter()
+    }
+
+    /// Borrow the underlying map.
+    pub fn as_map(&self) -> &BTreeMap<K, V> {
+        &self.0
+    }
+
+    /// Consume into the underlying map.
+    pub fn into_inner(self) -> BTreeMap<K, V> {
+        self.0
+    }
+}
+
+impl<K: Ord, V: Lattice> FromIterator<(K, V)> for MapUnion<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut m = MapUnion::new();
+        for (k, v) in iter {
+            m.merge_entry(k, v);
+        }
+        m
+    }
+}
+
+impl<K: Ord + Clone, V: Lattice> Lattice for MapUnion<K, V> {
+    fn merge(&mut self, other: Self) -> bool {
+        let mut changed = false;
+        for (k, v) in other.0 {
+            changed |= self.merge_entry(k, v);
+        }
+        changed
+    }
+}
+
+impl<K: Ord + Clone, V: Lattice> Bottom for MapUnion<K, V> {
+    fn bottom() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws::check_lattice_laws;
+    use crate::{Max, SetUnion};
+    use proptest::prelude::*;
+
+    #[test]
+    fn pointwise_merge() {
+        let mut m: MapUnion<&str, Max<u32>> = MapUnion::new();
+        assert!(m.merge_entry("a", Max::new(1)));
+        assert!(m.merge_entry("a", Max::new(5)));
+        assert!(!m.merge_entry("a", Max::new(3)));
+        assert_eq!(m.get(&"a"), Some(&Max::new(5)));
+    }
+
+    #[test]
+    fn nested_lattices_compose() {
+        // contacts: pid -> set of contact pids, exactly Fig. 3's data model.
+        let mut contacts: MapUnion<u32, SetUnion<u32>> = MapUnion::new();
+        contacts.merge_entry(1, SetUnion::singleton(2));
+        contacts.merge_entry(2, SetUnion::singleton(1));
+        let other = MapUnion::from_iter([(1, SetUnion::from_iter([3]))]);
+        assert!(contacts.clone().join(other.clone()).get(&1).unwrap().contains(&3));
+        // Join is symmetric.
+        assert_eq!(contacts.clone().join(other.clone()), other.join(contacts));
+    }
+
+    proptest! {
+        #[test]
+        fn map_laws(a: Vec<(u8, u16)>, b: Vec<(u8, u16)>, c: Vec<(u8, u16)>) {
+            let mk = |v: Vec<(u8, u16)>| {
+                MapUnion::from_iter(v.into_iter().map(|(k, x)| (k, Max::new(x))))
+            };
+            check_lattice_laws(&mk(a), &mk(b), &mk(c)).unwrap();
+        }
+    }
+}

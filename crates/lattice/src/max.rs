@@ -1,0 +1,176 @@
+//! Total-order lattices: [`Max`] and [`Min`].
+//!
+//! These are the simplest lattices in the paper's zoo ("counters" in §2.3 are
+//! typically `Max<u64>` per writer). `Max<bool>` is the boolean-or lattice
+//! used by flags such as `people[pid].covid` in the running example: once a
+//! diagnosis flips the flag to `true` it can never monotonically "un-flip".
+
+use crate::{Bottom, Lattice};
+use serde::{Deserialize, Serialize};
+
+/// The max lattice over any totally ordered type: join is `max`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Max<T: Ord>(T);
+
+impl<T: Ord> Max<T> {
+    /// Wrap a value as a point in the max lattice.
+    pub fn new(value: T) -> Self {
+        Max(value)
+    }
+
+    /// The wrapped value.
+    pub fn get(&self) -> &T {
+        &self.0
+    }
+
+    /// Unwrap the value.
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+impl<T: Ord + Clone> Lattice for Max<T> {
+    fn merge(&mut self, other: Self) -> bool {
+        if other.0 > self.0 {
+            self.0 = other.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl<T: Ord + Clone + Default> Bottom for Max<T>
+where
+    T: BoundedBelow,
+{
+    fn bottom() -> Self {
+        Max(T::min_value())
+    }
+}
+
+/// The min lattice: join is `min`. Note this is the *dual* order — "growth"
+/// means numerically shrinking. Useful for deadlines and low-water marks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Min<T: Ord>(T);
+
+impl<T: Ord> Min<T> {
+    /// Wrap a value as a point in the min lattice.
+    pub fn new(value: T) -> Self {
+        Min(value)
+    }
+
+    /// The wrapped value.
+    pub fn get(&self) -> &T {
+        &self.0
+    }
+
+    /// Unwrap the value.
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+impl<T: Ord + Clone> Lattice for Min<T> {
+    fn merge(&mut self, other: Self) -> bool {
+        if other.0 < self.0 {
+            self.0 = other.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl<T: Ord + Clone + BoundedAbove> Bottom for Min<T> {
+    fn bottom() -> Self {
+        Min(T::max_value())
+    }
+}
+
+/// Types with a least value, giving `Max<T>` a bottom element.
+pub trait BoundedBelow {
+    /// The least value of the type.
+    fn min_value() -> Self;
+}
+
+/// Types with a greatest value, giving `Min<T>` a bottom element.
+pub trait BoundedAbove {
+    /// The greatest value of the type.
+    fn max_value() -> Self;
+}
+
+macro_rules! impl_bounds {
+    ($($t:ty),*) => {$(
+        impl BoundedBelow for $t {
+            fn min_value() -> Self { <$t>::MIN }
+        }
+        impl BoundedAbove for $t {
+            fn max_value() -> Self { <$t>::MAX }
+        }
+    )*};
+}
+impl_bounds!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl BoundedBelow for bool {
+    fn min_value() -> Self {
+        false
+    }
+}
+impl BoundedAbove for bool {
+    fn max_value() -> Self {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws::check_lattice_laws;
+    use proptest::prelude::*;
+
+    #[test]
+    fn max_merge_keeps_larger() {
+        let mut m = Max::new(5);
+        assert!(!m.merge(Max::new(3)));
+        assert_eq!(m, Max::new(5));
+        assert!(m.merge(Max::new(9)));
+        assert_eq!(m, Max::new(9));
+    }
+
+    #[test]
+    fn min_merge_keeps_smaller() {
+        let mut m = Min::new(5);
+        assert!(!m.merge(Min::new(7)));
+        assert!(m.merge(Min::new(2)));
+        assert_eq!(m, Min::new(2));
+    }
+
+    #[test]
+    fn bool_or_via_max() {
+        let mut covid = Max::new(false);
+        assert!(covid.merge(Max::new(true)));
+        // Once set it never reverts: merging `false` is a no-op.
+        assert!(!covid.merge(Max::new(false)));
+        assert_eq!(covid, Max::new(true));
+    }
+
+    #[test]
+    fn bottoms() {
+        assert_eq!(Max::<u32>::bottom(), Max::new(0));
+        assert_eq!(Min::<u32>::bottom(), Min::new(u32::MAX));
+        assert!(Max::<u32>::bottom().is_bottom());
+    }
+
+    proptest! {
+        #[test]
+        fn max_laws(a: i64, b: i64, c: i64) {
+            check_lattice_laws(&Max::new(a), &Max::new(b), &Max::new(c)).unwrap();
+        }
+
+        #[test]
+        fn min_laws(a: i64, b: i64, c: i64) {
+            check_lattice_laws(&Min::new(a), &Min::new(b), &Min::new(c)).unwrap();
+        }
+    }
+}

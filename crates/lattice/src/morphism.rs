@@ -1,0 +1,147 @@
+//! Monotone functions and lattice morphisms.
+//!
+//! §8.2 calls for "an explicit *monotone* type modifier, and a compiler that
+//! can typecheck monotonicity". The static side of that lives in
+//! `hydro-analysis`; this module provides the *dynamic* counterpart used to
+//! validate it: wrappers that carry a monotonicity claim, and a sampling
+//! checker that refutes false claims (the spirit of Fig. 4's "manual checks
+//! are tricky" warning: don't trust, test).
+
+use crate::{Lattice, LatticeOrd};
+
+/// A function from one lattice to another together with a monotonicity
+/// claim. Wrapping does not *prove* monotonicity — pair it with
+/// [`is_monotone_on`] in tests, as the Hydro typechecker does for UDF
+/// boundaries it cannot analyze statically.
+pub struct MonotoneFn<A, B, F>
+where
+    F: Fn(&A) -> B,
+{
+    f: F,
+    name: &'static str,
+    _marker: std::marker::PhantomData<fn(&A) -> B>,
+}
+
+impl<A, B, F> MonotoneFn<A, B, F>
+where
+    A: Lattice,
+    B: Lattice,
+    F: Fn(&A) -> B,
+{
+    /// Declare `f` monotone. The claim is checkable via [`Self::validate`].
+    pub fn declare(name: &'static str, f: F) -> Self {
+        MonotoneFn {
+            f,
+            name,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Apply the function.
+    pub fn apply(&self, a: &A) -> B {
+        (self.f)(a)
+    }
+
+    /// The declared name (for diagnostics).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Validate the monotonicity claim on sample points; returns the first
+    /// counterexample pair `(x, y)` with `x ≤ y` but `f(x) ≰ f(y)`.
+    pub fn validate<'s>(&self, samples: &'s [A]) -> Result<(), (&'s A, &'s A)> {
+        is_monotone_on(&self.f, samples)
+    }
+}
+
+/// Check `f` for monotonicity on all ordered pairs drawn from `samples`:
+/// whenever `x ≤ y` in the input lattice, require `f(x) ≤ f(y)` in the
+/// output lattice. Returns the first violating pair.
+pub fn is_monotone_on<A, B, F>(f: F, samples: &[A]) -> Result<(), (&A, &A)>
+where
+    A: Lattice,
+    B: Lattice,
+    F: Fn(&A) -> B,
+{
+    for x in samples {
+        for y in samples {
+            if x.lattice_le(y) && !f(x).lattice_le(&f(y)) {
+                return Err((x, y));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Check that `f` is a lattice *morphism* (distributes over join):
+/// `f(x ∨ y) == f(x) ∨ f(y)` for all sample pairs. Morphisms are the
+/// operators Hydroflow can evaluate *differentially* (per-delta) rather than
+/// all-at-once (§8.2 "representation of flows beyond collections").
+pub fn is_morphism_on<A, B, F>(f: F, samples: &[A]) -> Result<(), (&A, &A)>
+where
+    A: Lattice,
+    B: Lattice,
+    F: Fn(&A) -> B,
+{
+    for x in samples {
+        for y in samples {
+            let lhs = f(&x.clone().join(y.clone()));
+            let rhs = f(x).join(f(y));
+            if lhs != rhs {
+                return Err((x, y));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Max, SetUnion};
+
+    fn sample_sets() -> Vec<SetUnion<u32>> {
+        vec![
+            SetUnion::new(),
+            SetUnion::from_iter([1]),
+            SetUnion::from_iter([2]),
+            SetUnion::from_iter([1, 2]),
+            SetUnion::from_iter([1, 2, 3]),
+        ]
+    }
+
+    #[test]
+    fn size_is_monotone_set_to_max() {
+        // COUNT: set lattice in, int-max lattice out — §8.1's example of a
+        // lattice-to-lattice query that must "pipeline like a set".
+        let count = MonotoneFn::declare("count", |s: &SetUnion<u32>| Max::new(s.len()));
+        count.validate(&sample_sets()).unwrap();
+        assert_eq!(count.name(), "count");
+    }
+
+    #[test]
+    fn contains_is_monotone() {
+        let has2 = |s: &SetUnion<u32>| Max::new(s.contains(&2));
+        is_monotone_on(has2, &sample_sets()).unwrap();
+    }
+
+    #[test]
+    fn negation_is_not_monotone() {
+        let missing2 = |s: &SetUnion<u32>| Max::new(!s.contains(&2));
+        assert!(is_monotone_on(missing2, &sample_sets()).is_err());
+    }
+
+    #[test]
+    fn filter_is_a_morphism_but_count_is_not() {
+        let evens = |s: &SetUnion<u32>| -> SetUnion<u32> {
+            s.iter().copied().filter(|x| x % 2 == 0).collect()
+        };
+        is_morphism_on(evens, &sample_sets()).unwrap();
+
+        // count is monotone but NOT a morphism: |A ∪ B| != max(|A|, |B|)
+        // in general — so COUNT needs all-at-once (stratum-boundary)
+        // evaluation, exactly the distinction §8.2 draws.
+        let count = |s: &SetUnion<u32>| Max::new(s.len());
+        assert!(is_morphism_on(count, &sample_sets()).is_err());
+    }
+}

@@ -1,0 +1,180 @@
+//! Product lattices: [`Pair`], [`DomPair`], and last-writer-wins [`Lww`].
+//!
+//! `Pair` is the independent product (merge both sides). `DomPair` is the
+//! *dominating* pair: the left component is a totally-ordered "version" and
+//! the right component is overwritten by strictly newer versions — the
+//! construction from which last-writer-wins registers are built.
+
+use crate::max::{BoundedBelow, Max};
+use crate::{Bottom, Lattice};
+use serde::{Deserialize, Serialize};
+
+/// Independent product of two lattices: merge is componentwise.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Pair<A, B> {
+    /// First component.
+    pub first: A,
+    /// Second component.
+    pub second: B,
+}
+
+impl<A, B> Pair<A, B> {
+    /// Build a pair lattice point.
+    pub fn new(first: A, second: B) -> Self {
+        Pair { first, second }
+    }
+}
+
+impl<A: Lattice, B: Lattice> Lattice for Pair<A, B> {
+    fn merge(&mut self, other: Self) -> bool {
+        let a = self.first.merge(other.first);
+        let b = self.second.merge(other.second);
+        a | b
+    }
+}
+
+impl<A: Bottom, B: Bottom> Bottom for Pair<A, B> {
+    fn bottom() -> Self {
+        Pair::new(A::bottom(), B::bottom())
+    }
+}
+
+/// Dominating pair: a totally ordered key dominates the value.
+///
+/// Merge keeps the value associated with the strictly greater key; on key
+/// ties the values are merged (which is what keeps this a lattice even when
+/// two writers pick the same version: ties resolve by value join rather than
+/// nondeterministically).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DomPair<K: Ord, V> {
+    /// The dominating (version) component.
+    pub key: K,
+    /// The dominated payload.
+    pub value: V,
+}
+
+impl<K: Ord, V> DomPair<K, V> {
+    /// Build a dominated pair.
+    pub fn new(key: K, value: V) -> Self {
+        DomPair { key, value }
+    }
+}
+
+impl<K: Ord + Clone, V: Lattice> Lattice for DomPair<K, V> {
+    fn merge(&mut self, other: Self) -> bool {
+        use std::cmp::Ordering;
+        match other.key.cmp(&self.key) {
+            Ordering::Greater => {
+                self.key = other.key;
+                self.value = other.value;
+                true
+            }
+            Ordering::Equal => self.value.merge(other.value),
+            Ordering::Less => false,
+        }
+    }
+}
+
+/// A last-writer-wins register: `DomPair<(timestamp, writer), Max<T>>`
+/// specialized for ergonomics. The `(timestamp, writer-id)` pair makes the
+/// version order total, so concurrent writes resolve deterministically on
+/// every replica — eventual consistency's default register, and the value
+/// lattice of the Anna-style KVS in `hydro-kvs`.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Lww<T: Ord + Clone> {
+    inner: DomPair<(u64, u64), Max<T>>,
+}
+
+impl<T: Ord + Clone> Lww<T> {
+    /// A write of `value` stamped `(timestamp, writer)`.
+    pub fn write(timestamp: u64, writer: u64, value: T) -> Self {
+        Lww {
+            inner: DomPair::new((timestamp, writer), Max::new(value)),
+        }
+    }
+
+    /// The current value.
+    pub fn value(&self) -> &T {
+        self.inner.value.get()
+    }
+
+    /// The `(timestamp, writer)` version of the current value.
+    pub fn version(&self) -> (u64, u64) {
+        self.inner.key
+    }
+}
+
+impl<T: Ord + Clone> Lattice for Lww<T> {
+    fn merge(&mut self, other: Self) -> bool {
+        self.inner.merge(other.inner)
+    }
+}
+
+impl<T: Ord + Clone + BoundedBelow> Bottom for Lww<T> {
+    fn bottom() -> Self {
+        Lww::write(0, 0, T::min_value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws::check_lattice_laws;
+    use crate::SetUnion;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pair_merges_componentwise() {
+        let mut p = Pair::new(Max::new(1), SetUnion::singleton("x"));
+        assert!(p.merge(Pair::new(Max::new(0), SetUnion::singleton("y"))));
+        assert_eq!(p.first, Max::new(1));
+        assert_eq!(p.second, SetUnion::from_iter(["x", "y"]));
+    }
+
+    #[test]
+    fn dompair_newer_version_wins() {
+        let mut d = DomPair::new(1u64, Max::new(10));
+        assert!(d.merge(DomPair::new(3, Max::new(2))));
+        assert_eq!(d.value, Max::new(2));
+        assert!(!d.merge(DomPair::new(2, Max::new(99))));
+        assert_eq!(d.value, Max::new(2));
+    }
+
+    #[test]
+    fn dompair_tie_merges_values() {
+        let mut d = DomPair::new(3u64, Max::new(5));
+        assert!(d.merge(DomPair::new(3, Max::new(9))));
+        assert_eq!(d.value, Max::new(9));
+    }
+
+    #[test]
+    fn lww_concurrent_writes_resolve_identically_everywhere() {
+        let w1 = Lww::write(100, 1, "alpha");
+        let w2 = Lww::write(100, 2, "beta");
+        // Same timestamp: writer id breaks the tie, same on both replicas.
+        let r1 = w1.clone().join(w2.clone());
+        let r2 = w2.join(w1);
+        assert_eq!(r1, r2);
+        assert_eq!(*r1.value(), "beta");
+    }
+
+    proptest! {
+        #[test]
+        fn pair_laws(a: (i32, Vec<u8>), b: (i32, Vec<u8>), c: (i32, Vec<u8>)) {
+            let mk = |(x, s): (i32, Vec<u8>)| Pair::new(Max::new(x), SetUnion::from_iter(s));
+            check_lattice_laws(&mk(a), &mk(b), &mk(c)).unwrap();
+        }
+
+        #[test]
+        fn dompair_laws(a: (u8, u16), b: (u8, u16), c: (u8, u16)) {
+            let mk = |(k, v): (u8, u16)| DomPair::new(k, Max::new(v));
+            check_lattice_laws(&mk(a), &mk(b), &mk(c)).unwrap();
+        }
+
+        #[test]
+        fn lww_laws(a: (u32, u8, i16), b: (u32, u8, i16), c: (u32, u8, i16)) {
+            let mk = |(t, w, v): (u32, u8, i16)| Lww::write(u64::from(t), u64::from(w), v);
+            check_lattice_laws(&mk(a), &mk(b), &mk(c)).unwrap();
+        }
+    }
+}

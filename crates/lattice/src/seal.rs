@@ -1,0 +1,167 @@
+//! The sealing lattice (§7.1's shopping-cart "seal" pattern).
+//!
+//! Dynamo-style shopping carts are coordination-free while the cart grows,
+//! but checkout must "seal" the final contents. Conway's observation,
+//! systematized in Blazes and retold in §7.1, is that sealing can be decided
+//! unilaterally at an unreplicated stage (the client), after which replicas
+//! only need to *verify* that their grown state matches the sealed manifest —
+//! no inter-replica coordination required.
+//!
+//! [`Seal<L>`] makes that pattern a lattice: an `Open(l)` point keeps
+//! growing; a `Sealed(m)` point asserts the final value is exactly `m`.
+//! Merging `Open(l)` into `Sealed(m)` is legal only while `l ≤ m`; any
+//! evidence exceeding the manifest drives the lattice to `Conflict` (top),
+//! which is how a bad unilateral seal surfaces deterministically instead of
+//! silently losing data.
+
+use crate::{Bottom, Lattice, LatticeOrd};
+use serde::{Deserialize, Serialize};
+
+/// A lattice augmented with a sealing manifest and a conflict top.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Seal<L> {
+    /// Still accumulating.
+    Open(L),
+    /// Sealed with a final manifest; further growth beyond it is a conflict.
+    Sealed(L),
+    /// Top: contradictory evidence (growth beyond a sealed manifest, or two
+    /// different manifests).
+    Conflict,
+}
+
+impl<L: Lattice + Bottom> Default for Seal<L> {
+    fn default() -> Self {
+        Seal::Open(L::bottom())
+    }
+}
+
+impl<L: Lattice> Seal<L> {
+    /// Whether the value has been sealed (including conflicted).
+    pub fn is_sealed(&self) -> bool {
+        !matches!(self, Seal::Open(_))
+    }
+
+    /// Whether the seal is in conflict (top).
+    pub fn is_conflict(&self) -> bool {
+        matches!(self, Seal::Conflict)
+    }
+
+    /// The payload, unless conflicted.
+    pub fn payload(&self) -> Option<&L> {
+        match self {
+            Seal::Open(l) | Seal::Sealed(l) => Some(l),
+            Seal::Conflict => None,
+        }
+    }
+
+    /// A replica can finalize once its grown state has caught up to the
+    /// sealed manifest — "each replica can eagerly move to checkout once its
+    /// contents match the manifest" (§7.1).
+    pub fn ready_to_finalize(&self) -> bool {
+        matches!(self, Seal::Sealed(_))
+    }
+}
+
+impl<L: Lattice> Lattice for Seal<L> {
+    fn merge(&mut self, other: Self) -> bool {
+        use Seal::*;
+        let result = match (std::mem::replace(self, Conflict), other) {
+            (Conflict, _) => (Conflict, false),
+            (_, Conflict) => (Conflict, true),
+            (Open(mut a), Open(b)) => {
+                let changed = a.merge(b);
+                (Open(a), changed)
+            }
+            (Open(a), Sealed(m)) => {
+                if a.lattice_le(&m) {
+                    (Sealed(m), true)
+                } else {
+                    (Conflict, true)
+                }
+            }
+            (Sealed(m), Open(a)) => {
+                if a.lattice_le(&m) {
+                    (Sealed(m), false)
+                } else {
+                    (Conflict, true)
+                }
+            }
+            (Sealed(m1), Sealed(m2)) => {
+                if m1 == m2 {
+                    (Sealed(m1), false)
+                } else {
+                    (Conflict, true)
+                }
+            }
+        };
+        *self = result.0;
+        result.1
+    }
+}
+
+impl<L: Lattice + Bottom> Bottom for Seal<L> {
+    fn bottom() -> Self {
+        Seal::Open(L::bottom())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws::check_lattice_laws;
+    use crate::SetUnion;
+    use proptest::prelude::*;
+
+    type Cart = Seal<SetUnion<u32>>;
+
+    #[test]
+    fn open_carts_grow() {
+        let mut cart: Cart = Seal::Open(SetUnion::from_iter([1]));
+        assert!(cart.merge(Seal::Open(SetUnion::from_iter([2]))));
+        assert_eq!(cart.payload().unwrap().len(), 2);
+        assert!(!cart.is_sealed());
+    }
+
+    #[test]
+    fn sealing_with_complete_manifest_finalizes() {
+        let mut replica: Cart = Seal::Open(SetUnion::from_iter([1, 2]));
+        let manifest = Seal::Sealed(SetUnion::from_iter([1, 2, 3]));
+        assert!(replica.merge(manifest));
+        assert!(replica.ready_to_finalize());
+        // Late-arriving adds covered by the manifest are absorbed silently.
+        assert!(!replica.merge(Seal::Open(SetUnion::from_iter([3]))));
+        assert!(replica.ready_to_finalize());
+    }
+
+    #[test]
+    fn growth_beyond_manifest_conflicts() {
+        let mut replica: Cart = Seal::Sealed(SetUnion::from_iter([1]));
+        assert!(replica.merge(Seal::Open(SetUnion::from_iter([9]))));
+        assert!(replica.is_conflict());
+    }
+
+    #[test]
+    fn two_different_manifests_conflict() {
+        let mut a: Cart = Seal::Sealed(SetUnion::from_iter([1]));
+        assert!(a.merge(Seal::Sealed(SetUnion::from_iter([2]))));
+        assert!(a.is_conflict());
+    }
+
+    fn arb_seal() -> impl Strategy<Value = Cart> {
+        proptest::collection::vec(0u32..6, 0..4).prop_flat_map(|items| {
+            let set = SetUnion::from_iter(items);
+            prop_oneof![
+                Just(Seal::Open(set.clone())),
+                Just(Seal::Sealed(set)),
+                Just(Seal::Conflict),
+            ]
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn seal_laws(a in arb_seal(), b in arb_seal(), c in arb_seal()) {
+            check_lattice_laws(&a, &b, &c).unwrap();
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! The set-union lattice — the workhorse of monotonic programming.
+//!
+//! Tables in HydroLogic (§3) are set-union lattices of rows: `merge`
+//! mutations like `people.merge(Person(pid))` in Fig. 3 are inserts that can
+//! never be un-done monotonically. Grow-only sets are also the basis of the
+//! shopping-cart and contact-tracing patterns discussed in the paper.
+
+use crate::{Bottom, Lattice};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A grow-only set whose join is set union.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SetUnion<T: Ord>(BTreeSet<T>);
+
+impl<T: Ord> Default for SetUnion<T> {
+    fn default() -> Self {
+        SetUnion(BTreeSet::new())
+    }
+}
+
+impl<T: Ord> SetUnion<T> {
+    /// The empty set (bottom of the lattice).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A singleton set.
+    pub fn singleton(value: T) -> Self {
+        let mut s = BTreeSet::new();
+        s.insert(value);
+        SetUnion(s)
+    }
+
+    /// Insert one element; returns `true` if it was new. Equivalent to
+    /// merging a singleton.
+    pub fn insert(&mut self, value: T) -> bool {
+        self.0.insert(value)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, value: &T) -> bool {
+        self.0.contains(value)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterate the elements in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.0.iter()
+    }
+
+    /// Borrow the underlying ordered set.
+    pub fn as_set(&self) -> &BTreeSet<T> {
+        &self.0
+    }
+
+    /// Consume into the underlying ordered set.
+    pub fn into_inner(self) -> BTreeSet<T> {
+        self.0
+    }
+}
+
+impl<T: Ord> FromIterator<T> for SetUnion<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        SetUnion(iter.into_iter().collect())
+    }
+}
+
+impl<T: Ord + Clone> Lattice for SetUnion<T> {
+    fn merge(&mut self, other: Self) -> bool {
+        let before = self.0.len();
+        if other.0.len() > self.0.len() && self.0.is_empty() {
+            self.0 = other.0;
+            return before != self.0.len();
+        }
+        let mut changed = false;
+        for v in other.0 {
+            changed |= self.0.insert(v);
+        }
+        changed
+    }
+}
+
+impl<T: Ord + Clone> Bottom for SetUnion<T> {
+    fn bottom() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws::{check_lattice_laws, check_order_insensitive};
+    use crate::LatticeOrd;
+    use proptest::prelude::*;
+
+    #[test]
+    fn merge_unions() {
+        let mut a = SetUnion::from_iter([1, 2]);
+        assert!(a.merge(SetUnion::from_iter([2, 3])));
+        assert_eq!(a, SetUnion::from_iter([1, 2, 3]));
+        assert!(!a.merge(SetUnion::from_iter([1])));
+    }
+
+    #[test]
+    fn subset_is_lattice_le() {
+        let small = SetUnion::from_iter(["a"]);
+        let big = SetUnion::from_iter(["a", "b"]);
+        assert!(small.lattice_le(&big));
+        assert!(!big.lattice_le(&small));
+    }
+
+    #[test]
+    fn empty_fast_path_reports_correctly() {
+        let mut empty: SetUnion<u32> = SetUnion::new();
+        assert!(!empty.merge(SetUnion::new()));
+        let mut empty2: SetUnion<u32> = SetUnion::new();
+        assert!(empty2.merge(SetUnion::from_iter([1])));
+    }
+
+    proptest! {
+        #[test]
+        fn set_laws(a: Vec<u8>, b: Vec<u8>, c: Vec<u8>) {
+            check_lattice_laws(
+                &SetUnion::from_iter(a),
+                &SetUnion::from_iter(b),
+                &SetUnion::from_iter(c),
+            ).unwrap();
+        }
+
+        #[test]
+        fn delivery_order_does_not_matter(updates: Vec<Vec<u8>>) {
+            let updates: Vec<_> = updates.into_iter().map(SetUnion::from_iter).collect();
+            let mut perm: Vec<usize> = (0..updates.len()).collect();
+            perm.reverse();
+            prop_assert!(check_order_insensitive(SetUnion::default(), &updates, &perm));
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Vector clocks: the causality lattice.
+//!
+//! §2.3 lists vector clocks among Hydroflow's lattice types. A vector clock
+//! is `MapUnion<NodeId, Max<u64>>`; its lattice order *is* the happens-before
+//! relation, and incomparability *is* concurrency. The causal-consistency
+//! machinery in `hydro-deploy` and the causal KVS mode in `hydro-kvs` are
+//! built on this type.
+
+use crate::{Bottom, Lattice, MapUnion, Max};
+use serde::{Deserialize, Serialize};
+
+/// Node identifier used in clock entries.
+pub type NodeId = u64;
+
+/// Outcome of a causal comparison between two events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CausalOrd {
+    /// The left event happens-before the right.
+    Before,
+    /// The right event happens-before the left.
+    After,
+    /// The events are identical.
+    Equal,
+    /// Neither happens-before the other.
+    Concurrent,
+}
+
+/// A vector clock: per-node event counters, merged pointwise-max.
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VectorClock {
+    entries: MapUnion<NodeId, Max<u64>>,
+}
+
+impl VectorClock {
+    /// The zero clock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advance `node`'s component by one, returning the new count.
+    pub fn tick(&mut self, node: NodeId) -> u64 {
+        let next = self.get(node) + 1;
+        self.entries.merge_entry(node, Max::new(next));
+        next
+    }
+
+    /// Read `node`'s component (absent entries read as 0).
+    pub fn get(&self, node: NodeId) -> u64 {
+        self.entries.get(&node).map_or(0, |m| *m.get())
+    }
+
+    /// Compare two clocks causally.
+    pub fn causal_cmp(&self, other: &Self) -> CausalOrd {
+        let mut le = true;
+        let mut ge = true;
+        let nodes: std::collections::BTreeSet<NodeId> = self
+            .entries
+            .iter()
+            .map(|(n, _)| *n)
+            .chain(other.entries.iter().map(|(n, _)| *n))
+            .collect();
+        for n in nodes {
+            let a = self.get(n);
+            let b = other.get(n);
+            if a > b {
+                le = false;
+            }
+            if a < b {
+                ge = false;
+            }
+        }
+        match (le, ge) {
+            (true, true) => CausalOrd::Equal,
+            (true, false) => CausalOrd::Before,
+            (false, true) => CausalOrd::After,
+            (false, false) => CausalOrd::Concurrent,
+        }
+    }
+
+    /// Whether this clock causally dominates (or equals) `other`.
+    pub fn dominates(&self, other: &Self) -> bool {
+        matches!(
+            self.causal_cmp(other),
+            CausalOrd::After | CausalOrd::Equal
+        )
+    }
+
+    /// Iterate `(node, count)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, u64)> + '_ {
+        self.entries.iter().map(|(n, m)| (*n, *m.get()))
+    }
+}
+
+impl Lattice for VectorClock {
+    fn merge(&mut self, other: Self) -> bool {
+        self.entries.merge(other.entries)
+    }
+}
+
+impl Bottom for VectorClock {
+    fn bottom() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws::check_lattice_laws;
+    use proptest::prelude::*;
+
+    #[test]
+    fn happens_before_matches_message_flow() {
+        let mut a = VectorClock::new();
+        a.tick(0);
+        let sent = a.clone();
+        let mut b = VectorClock::new();
+        b.merge(sent); // receive
+        b.tick(1);
+        assert_eq!(a.causal_cmp(&b), CausalOrd::Before);
+        assert_eq!(b.causal_cmp(&a), CausalOrd::After);
+    }
+
+    #[test]
+    fn independent_events_are_concurrent() {
+        let mut a = VectorClock::new();
+        a.tick(0);
+        let mut b = VectorClock::new();
+        b.tick(1);
+        assert_eq!(a.causal_cmp(&b), CausalOrd::Concurrent);
+    }
+
+    #[test]
+    fn merge_is_pointwise_max() {
+        let mut a = VectorClock::new();
+        a.tick(0);
+        a.tick(0);
+        let mut b = VectorClock::new();
+        b.tick(0);
+        b.tick(1);
+        let m = a.clone().join(b.clone());
+        assert_eq!(m.get(0), 2);
+        assert_eq!(m.get(1), 1);
+        assert!(m.dominates(&a) && m.dominates(&b));
+    }
+
+    fn arb_clock() -> impl Strategy<Value = VectorClock> {
+        proptest::collection::vec((0u64..4, 0u64..16), 0..5).prop_map(|entries| {
+            let mut c = VectorClock::new();
+            for (n, count) in entries {
+                for _ in 0..count {
+                    c.tick(n);
+                }
+            }
+            c
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn vclock_laws(a in arb_clock(), b in arb_clock(), c in arb_clock()) {
+            check_lattice_laws(&a, &b, &c).unwrap();
+        }
+
+        #[test]
+        fn join_is_upper_bound(a in arb_clock(), b in arb_clock()) {
+            let m = a.clone().join(b.clone());
+            prop_assert!(m.dominates(&a));
+            prop_assert!(m.dominates(&b));
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Bounding wrappers: [`WithBot`] adjoins a bottom, [`WithTop`] a top.
+//!
+//! These finish off lattices that lack the bound a protocol needs: e.g. a
+//! quorum vote is `WithTop<Max<Ballot>>` where top means "conflict observed",
+//! and an optional register is `WithBot<Lww<T>>` where bottom means "never
+//! written". `hydro-deploy`'s consensus slots use both.
+
+use crate::{Bottom, Lattice};
+use serde::{Deserialize, Serialize};
+
+/// Adjoin a least element ("absent") below an existing lattice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct WithBot<L>(Option<L>);
+
+impl<L> Default for WithBot<L> {
+    fn default() -> Self {
+        WithBot(None)
+    }
+}
+
+impl<L: Lattice> WithBot<L> {
+    /// The adjoined bottom ("absent").
+    pub fn empty() -> Self {
+        WithBot(None)
+    }
+
+    /// Lift a lattice point above the adjoined bottom.
+    pub fn of(value: L) -> Self {
+        WithBot(Some(value))
+    }
+
+    /// The inner point, unless bottom.
+    pub fn get(&self) -> Option<&L> {
+        self.0.as_ref()
+    }
+
+    /// Consume into the inner point, unless bottom.
+    pub fn into_inner(self) -> Option<L> {
+        self.0
+    }
+}
+
+impl<L: Lattice> Lattice for WithBot<L> {
+    fn merge(&mut self, other: Self) -> bool {
+        match (self.0.as_mut(), other.0) {
+            (_, None) => false,
+            (None, Some(v)) => {
+                self.0 = Some(v);
+                true
+            }
+            (Some(a), Some(b)) => a.merge(b),
+        }
+    }
+}
+
+impl<L: Lattice> Bottom for WithBot<L> {
+    fn bottom() -> Self {
+        WithBot(None)
+    }
+}
+
+/// Adjoin a greatest element ("conflict"/"done") above an existing lattice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum WithTop<L> {
+    /// An ordinary lattice point.
+    Point(L),
+    /// The adjoined top.
+    Top,
+}
+
+impl<L: Lattice> WithTop<L> {
+    /// Whether this is the adjoined top.
+    pub fn is_top(&self) -> bool {
+        matches!(self, WithTop::Top)
+    }
+
+    /// The inner point, unless top.
+    pub fn get(&self) -> Option<&L> {
+        match self {
+            WithTop::Point(l) => Some(l),
+            WithTop::Top => None,
+        }
+    }
+}
+
+impl<L: Lattice> Lattice for WithTop<L> {
+    fn merge(&mut self, other: Self) -> bool {
+        match (std::mem::replace(self, WithTop::Top), other) {
+            (WithTop::Top, _) => false,
+            (p @ WithTop::Point(_), WithTop::Top) => {
+                let _ = p;
+                true
+            }
+            (WithTop::Point(mut a), WithTop::Point(b)) => {
+                let changed = a.merge(b);
+                *self = WithTop::Point(a);
+                changed
+            }
+        }
+    }
+}
+
+impl<L: Lattice + Bottom> Bottom for WithTop<L> {
+    fn bottom() -> Self {
+        WithTop::Point(L::bottom())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws::check_lattice_laws;
+    use crate::Max;
+    use proptest::prelude::*;
+
+    #[test]
+    fn withbot_absent_is_identity() {
+        let mut x = WithBot::of(Max::new(3));
+        assert!(!x.merge(WithBot::empty()));
+        let mut y: WithBot<Max<u32>> = WithBot::empty();
+        assert!(y.merge(WithBot::of(Max::new(1))));
+        assert_eq!(y.get(), Some(&Max::new(1)));
+    }
+
+    #[test]
+    fn withtop_absorbs() {
+        let mut x = WithTop::Point(Max::new(3));
+        assert!(x.merge(WithTop::Top));
+        assert!(x.is_top());
+        assert!(!x.merge(WithTop::Point(Max::new(99))));
+    }
+
+    fn arb_bot() -> impl Strategy<Value = WithBot<Max<u8>>> {
+        prop_oneof![
+            Just(WithBot::empty()),
+            any::<u8>().prop_map(|v| WithBot::of(Max::new(v))),
+        ]
+    }
+
+    fn arb_top() -> impl Strategy<Value = WithTop<Max<u8>>> {
+        prop_oneof![
+            Just(WithTop::Top),
+            any::<u8>().prop_map(|v| WithTop::Point(Max::new(v))),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn withbot_laws(a in arb_bot(), b in arb_bot(), c in arb_bot()) {
+            check_lattice_laws(&a, &b, &c).unwrap();
+        }
+
+        #[test]
+        fn withtop_laws(a in arb_top(), b in arb_top(), c in arb_top()) {
+            check_lattice_laws(&a, &b, &c).unwrap();
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Property tests for the Logoot sequence CRDT: convergence under
+//! arbitrary delivery schedules — the CALM promise (§1.2) made concrete.
+//!
+//! Three replicas perform random edit scripts; their operations are then
+//! delivered to every other replica in a random order (with random
+//! duplication). All replicas must converge to the same text, the local
+//! editor's own intent must survive (its inserted characters appear in
+//! order), and merge must satisfy the semilattice laws.
+
+use hydro_lattice::logoot::{Editor, Op};
+use hydro_lattice::laws::check_lattice_laws;
+use hydro_lattice::Lattice;
+use proptest::prelude::*;
+
+/// One local edit: insert a char at an index, or delete at an index.
+#[derive(Clone, Debug)]
+enum Edit {
+    Insert(u8, char),
+    Delete(u8),
+}
+
+fn arb_edit() -> impl Strategy<Value = Edit> {
+    prop_oneof![
+        3 => (any::<u8>(), proptest::char::range('a', 'z')).prop_map(|(i, c)| Edit::Insert(i, c)),
+        1 => any::<u8>().prop_map(Edit::Delete),
+    ]
+}
+
+fn run_script(editor: &mut Editor, script: &[Edit]) -> Vec<Op> {
+    let mut ops = Vec::new();
+    for edit in script {
+        match edit {
+            Edit::Insert(i, c) => {
+                let len = editor.doc().len();
+                ops.push(editor.insert(*i as usize % (len + 1), *c));
+            }
+            Edit::Delete(i) => {
+                let len = editor.doc().len();
+                if len > 0 {
+                    if let Some(op) = editor.delete(*i as usize % len) {
+                        ops.push(op);
+                    }
+                }
+            }
+        }
+    }
+    ops
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn three_replicas_converge_under_any_delivery_order(
+        script_a in proptest::collection::vec(arb_edit(), 0..12),
+        script_b in proptest::collection::vec(arb_edit(), 0..12),
+        script_c in proptest::collection::vec(arb_edit(), 0..12),
+        shuffle_seed in any::<u64>(),
+    ) {
+        let mut a = Editor::new(1);
+        let mut b = Editor::new(2);
+        let mut c = Editor::new(3);
+        let ops_a = run_script(&mut a, &script_a);
+        let ops_b = run_script(&mut b, &script_b);
+        let ops_c = run_script(&mut c, &script_c);
+
+        // Deliver every remote op to every replica in a seed-shuffled
+        // order, duplicating some.
+        use rand::{seq::SliceRandom, Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(shuffle_seed);
+        for (me, editor) in [(1u64, &mut a), (2, &mut b), (3, &mut c)] {
+            let mut inbound: Vec<&Op> = ops_a
+                .iter()
+                .filter(|_| me != 1)
+                .chain(ops_b.iter().filter(|_| me != 2))
+                .chain(ops_c.iter().filter(|_| me != 3))
+                .collect();
+            // Random duplication models at-least-once delivery.
+            let dups: Vec<&Op> = inbound
+                .iter()
+                .filter(|_| rng.gen_bool(0.2))
+                .copied()
+                .collect();
+            inbound.extend(dups);
+            inbound.shuffle(&mut rng);
+            for op in inbound {
+                editor.apply(op);
+            }
+        }
+
+        prop_assert_eq!(a.text(), b.text());
+        prop_assert_eq!(b.text(), c.text());
+    }
+
+    #[test]
+    fn local_insert_order_is_preserved(
+        word in "[a-z]{1,8}",
+        interference in proptest::collection::vec(arb_edit(), 0..8),
+        shuffle_seed in any::<u64>(),
+    ) {
+        // Replica A types `word` left to right; replica B edits
+        // concurrently. After convergence, `word` must appear in A's text
+        // as a subsequence in typed order (sequence CRDTs must not
+        // reorder a single site's typing).
+        let mut a = Editor::new(1);
+        let mut b = Editor::new(2);
+        let ops_a = a.insert_str(0, &word);
+        let ops_b = run_script(&mut b, &interference);
+
+        use rand::{seq::SliceRandom, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(shuffle_seed);
+        let mut to_a: Vec<&Op> = ops_b.iter().collect();
+        to_a.shuffle(&mut rng);
+        for op in to_a {
+            a.apply(op);
+        }
+        let mut to_b: Vec<&Op> = ops_a.iter().collect();
+        to_b.shuffle(&mut rng);
+        for op in to_b {
+            b.apply(op);
+        }
+
+        prop_assert_eq!(a.text(), b.text());
+        // `word` is a subsequence of the converged text.
+        let text = a.text();
+        let mut chars = text.chars();
+        for w in word.chars() {
+            prop_assert!(
+                chars.any(|c| c == w),
+                "typed word {:?} lost or reordered in {:?}",
+                word,
+                text
+            );
+        }
+    }
+
+    #[test]
+    fn doc_lattice_laws_hold_on_random_states(
+        script_a in proptest::collection::vec(arb_edit(), 0..10),
+        script_b in proptest::collection::vec(arb_edit(), 0..10),
+        script_c in proptest::collection::vec(arb_edit(), 0..10),
+    ) {
+        let mut a = Editor::new(1);
+        let mut b = Editor::new(2);
+        let mut c = Editor::new(3);
+        run_script(&mut a, &script_a);
+        run_script(&mut b, &script_b);
+        run_script(&mut c, &script_c);
+        check_lattice_laws(a.doc(), b.doc(), c.doc()).unwrap();
+    }
+
+    #[test]
+    fn state_sync_equals_op_delivery(
+        script_a in proptest::collection::vec(arb_edit(), 0..10),
+        script_b in proptest::collection::vec(arb_edit(), 0..10),
+    ) {
+        // Shipping ops and shipping whole states must produce the same
+        // converged document (state-based and op-based delivery agree).
+        let mut a1 = Editor::new(1);
+        let mut b1 = Editor::new(2);
+        let ops_a = run_script(&mut a1, &script_a);
+        let ops_b = run_script(&mut b1, &script_b);
+
+        // Op-based convergence.
+        for op in &ops_b { a1.apply(op); }
+        for op in &ops_a { b1.apply(op); }
+
+        // State-based convergence of fresh copies.
+        let mut a2 = Editor::new(1);
+        let mut b2 = Editor::new(2);
+        run_script(&mut a2, &script_a);
+        run_script(&mut b2, &script_b);
+        let mut merged = a2.doc().clone();
+        merged.merge(b2.doc().clone());
+
+        prop_assert_eq!(a1.text(), merged.text());
+        prop_assert_eq!(b1.text(), merged.text());
+    }
+}

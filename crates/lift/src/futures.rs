@@ -1,0 +1,193 @@
+//! Lifting promises/futures into HydroLogic (Appendix A.2).
+//!
+//! The Ray-style pattern — `futures = [f.remote(i) for i in range(4)]; x =
+//! g(); ray.get(futures)` — lifts to: an eager batch of `send`s into a
+//! promises engine's mailbox, local work, and a *condition handler* that
+//! fires once the `futures` mailbox has collected all responses. The
+//! appendix notes kickoff semantics vary; both the eager and lazy variants
+//! are generated here.
+
+use hydro_core::ast::{Expr, Program};
+use hydro_core::builder::dsl::*;
+use hydro_core::builder::ProgramBuilder;
+use hydro_core::value::LatticeKind;
+use hydro_core::Value;
+
+/// When promises begin executing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kickoff {
+    /// Execute as soon as spawned (Ray's default).
+    Eager,
+    /// Park in a pending table until a demand message arrives.
+    Lazy,
+}
+
+/// Generate the Appendix A.2 program: `on start` spawns `fanout` promises
+/// of the UDF `f` over `0..fanout`, runs `g` locally, and a condition
+/// handler collects the `futures` mailbox once all results arrived,
+/// sending the gathered array to the `result` mailbox.
+///
+/// Generated surface:
+/// * `start()` handler — kick everything off;
+/// * `promises(handle, arg)` mailbox — consumed by the promise engine
+///   (`on_promise` handler, which calls UDF `"f"` and replies);
+/// * `futures(handle, value)` mailbox — accumulates resolutions;
+/// * `demand()` handler — for [`Kickoff::Lazy`], releases parked promises;
+/// * `result` external mailbox — receives the final gathered set.
+pub fn promises_program(fanout: i64, kickoff: Kickoff) -> Program {
+    let mut b = ProgramBuilder::new()
+        .var("waiting", Value::Bool(false))
+        .var("x", Value::Int(0))
+        .lattice_var("resolved", LatticeKind::SetUnion)
+        .mailbox("futures", 2)
+        .table(
+            "pending",
+            vec![("handle", atom()), ("arg", atom())],
+            &["handle"],
+            None,
+        )
+        .udf("f")
+        .udf("g");
+
+    // `on start`: spawn promises (eagerly or into the pending table), then
+    // run g() locally — "the function g() then runs locally while the
+    // promises execute concurrently and remotely".
+    let spawn_stmts = (0..fanout)
+        .map(|k| match kickoff {
+            Kickoff::Eager => send_row("on_promise", vec![i(k), i(k)]),
+            Kickoff::Lazy => insert("pending", vec![i(k), i(k)]),
+        })
+        .collect::<Vec<_>>();
+    let mut start_body = spawn_stmts;
+    start_body.push(assign_scalar("x", call("g", vec![])));
+    start_body.push(assign_scalar("waiting", Expr::Const(Value::Bool(true))));
+    b = b.on("start", &[], start_body);
+
+    if kickoff == Kickoff::Lazy {
+        // `demand` releases every parked promise.
+        b = b.on(
+            "demand",
+            &[],
+            vec![send(
+                "on_promise",
+                select(
+                    vec![scan("pending", &["h", "a"])],
+                    vec![v("h"), v("a")],
+                ),
+            )],
+        );
+    }
+
+    // The promises engine: each promise invocation computes f(arg) and
+    // resolves the corresponding future asynchronously.
+    b = b.on(
+        "on_promise",
+        &["handle", "arg"],
+        vec![send_row(
+            "futures",
+            vec![v("handle"), call("f", vec![v("arg")])],
+        )],
+    );
+
+    // `on futures(handle, result).len() >= fanout:` — the condition
+    // handler of Appendix A.2, firing once all futures resolved.
+    b = b.on_condition(
+        "gather",
+        Expr::And(
+            Box::new(eq(scalar("waiting"), Expr::Const(Value::Bool(true)))),
+            Box::new(ge(
+                Expr::Len(Box::new(collect_set(select(
+                    vec![scan("futures", &["h", "r"])],
+                    vec![v("h")],
+                )))),
+                i(fanout),
+            )),
+        ),
+        vec![
+            send(
+                "result",
+                select(
+                    vec![scan("futures", &["h", "r"])],
+                    vec![v("h"), v("r")],
+                ),
+            ),
+            hydro_core::ast::Stmt::ClearMailbox("futures".into()),
+            assign_scalar("waiting", Expr::Const(Value::Bool(false))),
+        ],
+    );
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydro_core::interp::Transducer;
+    use std::collections::BTreeSet;
+
+    fn run(kickoff: Kickoff, demand: bool) -> Vec<(String, Vec<Value>)> {
+        let mut t = Transducer::new(promises_program(4, kickoff)).unwrap();
+        t.register_udf("f", |args| {
+            Value::Int(args[0].as_int().unwrap_or(0) * 10)
+        });
+        t.register_udf("g", |_| Value::Int(999));
+        t.enqueue_ok("start", vec![]);
+        let mut external = Vec::new();
+        for _ in 0..10 {
+            let out = t.tick().unwrap();
+            for s in out.sends {
+                if t.has_mailbox(&s.mailbox) {
+                    t.enqueue_ok(&s.mailbox, s.row);
+                } else {
+                    external.push((s.mailbox, s.row));
+                }
+            }
+            if demand && t.tick_no() == 2 {
+                t.enqueue_ok("demand", vec![]);
+            }
+        }
+        external
+    }
+
+    #[test]
+    fn eager_promises_gather_all_results() {
+        let external = run(Kickoff::Eager, false);
+        let results: BTreeSet<(i64, i64)> = external
+            .iter()
+            .filter(|(m, _)| m == "result")
+            .map(|(_, row)| (row[0].as_int().unwrap(), row[1].as_int().unwrap()))
+            .collect();
+        assert_eq!(
+            results,
+            BTreeSet::from([(0, 0), (1, 10), (2, 20), (3, 30)]),
+            "all four futures resolve with f(k)=10k"
+        );
+    }
+
+    #[test]
+    fn lazy_promises_wait_for_demand() {
+        // Without a demand message nothing resolves…
+        let external = run(Kickoff::Lazy, false);
+        assert!(external.iter().all(|(m, _)| m != "result"));
+        // …with one, everything does.
+        let external = run(Kickoff::Lazy, true);
+        assert_eq!(
+            external.iter().filter(|(m, _)| m == "result").count(),
+            4,
+            "demand releases the parked promises"
+        );
+    }
+
+    #[test]
+    fn local_work_runs_before_futures_resolve() {
+        let mut t = Transducer::new(promises_program(2, Kickoff::Eager)).unwrap();
+        t.register_udf("f", |args| args[0].clone());
+        t.register_udf("g", |_| Value::Int(7));
+        t.enqueue_ok("start", vec![]);
+        t.tick().unwrap();
+        // x := g() applied at end of the very first tick, long before the
+        // futures mailbox fills.
+        assert_eq!(t.scalar("x"), Some(&Value::Int(7)));
+        assert_eq!(t.scalar("waiting"), Some(&Value::Bool(true)));
+    }
+}

@@ -1,0 +1,30 @@
+//! # hydro-lift
+//!
+//! **Hydraulic**: lifting legacy distributed design patterns into
+//! HydroLogic (§4 and Appendix A of the CIDR 2021 paper).
+//!
+//! "Programs written with these libraries adhere to fairly stylized uses of
+//! distributed state and computation, which we believe we can lift
+//! relatively cleanly to HydroLogic":
+//!
+//! * [`actors`] — the Actor model (App. A.1), including the tricky
+//!   mid-method blocking receive, lifted via a `waiting` status field; plus
+//!   a native FIFO actor runtime for differential testing (E12).
+//! * [`futures`] — promises/futures (App. A.2): the Ray fan-out example
+//!   with eager and lazy kickoff, resolved through a condition handler.
+//! * [`mpi`] — MPI collective communication (App. A.3): the appendix's
+//!   naive HydroLogic specs plus flat/tree/ring communication schedules for
+//!   the optimized rewrites (E7).
+//! * [`verified`] — verified-lifting-lite (§1.2/§4): search over a
+//!   declarative summary grammar with testing-based equivalence checking,
+//!   lifting imperative accumulator loops to HydroLogic aggregations.
+
+pub mod actors;
+pub mod futures;
+pub mod mpi;
+pub mod verified;
+
+pub use actors::{bank_actor, lift_actor, ActorClass, ActorRuntime};
+pub use futures::{promises_program, Kickoff};
+pub use mpi::{allgather_schedule, allreduce_schedule, alltoall_schedule, bcast_schedule, collectives_program, reduce_schedule, Topology};
+pub use verified::{lift_loop, Summary, VerifiedLift};

@@ -1,0 +1,96 @@
+//! The target facet's deployment optimizer (§9): Fig. 3's targets solved
+//! as an integer program, with backtracking and adaptive re-optimization.
+//!
+//! Run with: `cargo run --example deployment_planner`
+
+use hydro::compiler::target::{
+    demo_catalog, reoptimize, solve, HandlerLoad, ImplVariant,
+};
+use hydro::logic::examples::covid_program;
+
+fn loads(rps: f64) -> Vec<HandlerLoad> {
+    let cpu = |name: &str, service_ms: f64| HandlerLoad {
+        handler: name.to_string(),
+        demand_rps: rps,
+        variants: vec![
+            // Preferred implementation first; the solver backtracks to the
+            // synthesized-layout variant if targets can't be met (§9.1).
+            ImplVariant {
+                name: "interpreted".into(),
+                service_ms,
+                needs_gpu: false,
+            },
+            ImplVariant {
+                name: "compiled+chestnut-layout".into(),
+                service_ms: service_ms / 8.0,
+                needs_gpu: false,
+            },
+        ],
+    };
+    vec![
+        cpu("add_person", 2.0),
+        cpu("add_contact", 2.0),
+        cpu("diagnosed", 40.0),
+        HandlerLoad {
+            handler: "likelihood".into(),
+            demand_rps: rps / 10.0,
+            variants: vec![ImplVariant {
+                name: "ml-model".into(),
+                service_ms: 60.0,
+                needs_gpu: true,
+            }],
+        },
+    ]
+}
+
+fn main() {
+    let program = covid_program();
+    let catalog = demo_catalog();
+    println!("machine catalog:");
+    for m in &catalog {
+        println!(
+            "  {:<10} {:>5} milli/h  gpu={} speed={}",
+            m.name, m.hourly_milli, m.gpu, m.speed
+        );
+    }
+
+    println!("\n== solving Fig. 3's targets at 200 req/s ==");
+    let alloc = solve(&catalog, &loads(200.0), &program.targets, 128, None)
+        .expect("feasible at this demand");
+    println!(
+        "{:<12} {:<12} {:>4} {:<26} {:>12} {:>10} {:>6}",
+        "handler", "machine", "n", "variant", "latency(ms)", "cost(m)", "backtk"
+    );
+    for h in &alloc.handlers {
+        println!(
+            "{:<12} {:<12} {:>4} {:<26} {:>12.2} {:>10.3} {:>6}",
+            h.handler, h.machine, h.instances, h.variant, h.est_latency_ms, h.est_cost_milli,
+            h.backtracks
+        );
+    }
+    println!(
+        "total: {} machines, {} milli-units/hour",
+        alloc.total_machines, alloc.total_hourly_milli
+    );
+
+    println!("\n== workload spike ×20: adaptive re-optimization (§9.2) ==");
+    let (new_alloc, deltas) =
+        reoptimize(&catalog, &alloc, &loads(4000.0), &program.targets, 1024)
+            .expect("still feasible");
+    for (h, d) in &deltas {
+        println!("  {h:<12} instances {d:+}");
+    }
+    println!(
+        "new total: {} machines, {} milli-units/hour",
+        new_alloc.total_machines, new_alloc.total_hourly_milli
+    );
+
+    println!("\n== infeasible targets report, not panic ==");
+    let mut tight = program.targets.clone();
+    tight.default.latency_ms = Some(1);
+    tight.default.cost_milli = Some(1);
+    match solve(&catalog, &loads(4000.0), &tight, 128, None) {
+        Ok(_) => println!("unexpectedly feasible"),
+        Err(e) => println!("solver: {e}"),
+    }
+}

@@ -1,0 +1,52 @@
+//! Anna-style lattice KVS (§1.2): coordination-free at any scale.
+//!
+//! Part 1 runs the real thread-per-shard store and prints throughput as
+//! shards grow (no locks anywhere). Part 2 runs the gossip-replicated store
+//! on the deterministic simulator through a partition and shows lattice
+//! convergence. Run with: `cargo run --release --example kvs_demo`
+
+use hydro::kvs::gossip::{GossipConfig, GossipKvs};
+use hydro::kvs::sharded::{run_workload, ShardedKvs, WorkloadSpec};
+
+fn main() {
+    println!("== thread-per-shard scaling (real threads, no locks) ==");
+    let spec = WorkloadSpec {
+        ops: 400_000,
+        keys: 10_000,
+        zipf_exponent: 0.9,
+        write_fraction: 1.0, // pure puts: fire-and-forget, measures shard bandwidth
+        seed: 7,
+    };
+    let ops = spec.generate();
+    println!("{:>8} {:>14} {:>12}", "shards", "duration", "Mops/s");
+    for shards in [1usize, 2, 4, 8] {
+        let kvs = ShardedKvs::new(shards);
+        let took = run_workload(&kvs, &ops, shards);
+        let mops = ops.len() as f64 / took.as_secs_f64() / 1e6;
+        println!("{:>8} {:>14?} {:>12.2}", shards, took, mops);
+        kvs.shutdown();
+    }
+
+    println!("\n== gossip replication through a partition ==");
+    let mut kvs = GossipKvs::new(3, GossipConfig::default());
+    let (a, b, c) = (kvs.nodes[0], kvs.nodes[1], kvs.nodes[2]);
+    kvs.sim.partition(&[a, b], &[c]);
+    println!("partitioned {{0,1}} | {{2}}; writing key 9 at node 0…");
+    kvs.put_at(0, 9, 1, 0, 900);
+    kvs.run_for(60_000);
+    println!(
+        "node 2 sees key 9: {:?} (partitioned — expected None)",
+        kvs.map_of(2).get(&9).map(|l| *l.value())
+    );
+    kvs.sim.heal();
+    kvs.run_for(60_000);
+    println!(
+        "after heal: node 2 sees key 9: {:?}; converged = {}",
+        kvs.map_of(2).get(&9).map(|l| *l.value()),
+        kvs.converged()
+    );
+    println!(
+        "(merges are idempotent joins: {} digests exchanged, no double-counting, no protocol)",
+        kvs.sim.stats().delivered
+    );
+}

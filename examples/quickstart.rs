@@ -1,0 +1,65 @@
+//! Quickstart: the paper's COVID-19 tracker (Figs. 2–3), end to end.
+//!
+//! Builds the Fig. 3 HydroLogic program, runs it on the single-node
+//! transducer, exercises every handler — including the serializable
+//! `vaccinate` with its inventory invariant — and prints what happens.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use hydro::logic::examples::covid_program_with_vaccines;
+use hydro::logic::interp::Transducer;
+use hydro::logic::value::Value;
+
+fn main() {
+    let mut app = Transducer::new(covid_program_with_vaccines(1)).expect("valid program");
+    // The likelihood handler calls an imported black-box model (§3.1 UDFs).
+    app.register_udf("covid_predict", |args| {
+        if args[0] == Value::Null {
+            Value::Int(0)
+        } else {
+            Value::Int(87)
+        }
+    });
+
+    println!("== registering people and contacts ==");
+    for pid in 1..=4 {
+        app.enqueue_ok("add_person", vec![Value::Int(pid)]);
+    }
+    app.tick().unwrap();
+    for (a, b) in [(1, 2), (2, 3)] {
+        app.enqueue_ok("add_contact", vec![Value::Int(a), Value::Int(b)]);
+    }
+    app.tick().unwrap();
+    println!("people: {}", app.table_len("people"));
+
+    println!("\n== trace(1): transitive contacts via the recursive query ==");
+    app.enqueue_ok("trace", vec![Value::Int(1)]);
+    let out = app.tick().unwrap();
+    println!("trace(1) -> {:?}", out.responses[0].value);
+
+    println!("\n== diagnosed(1): alerts fan out asynchronously ==");
+    app.enqueue_ok("diagnosed", vec![Value::Int(1)]);
+    let out = app.tick().unwrap();
+    for send in &out.sends {
+        if send.mailbox == "alert" {
+            println!("alert -> person {:?}", send.row[0]);
+        }
+    }
+
+    println!("\n== likelihood(2): black-box UDF, memoized per tick ==");
+    app.enqueue_ok("likelihood", vec![Value::Int(2)]);
+    let out = app.tick().unwrap();
+    println!("likelihood(2) = {:?}", out.responses[0].value);
+
+    println!("\n== vaccinate: serializable, inventory of ONE dose ==");
+    app.enqueue_ok("vaccinate", vec![Value::Int(1)]);
+    app.enqueue_ok("vaccinate", vec![Value::Int(2)]);
+    let out = app.tick().unwrap();
+    for r in &out.responses {
+        println!("vaccinate reply: {:?}", r.value);
+    }
+    println!(
+        "vaccine_count = {:?} (never negative: the invariant aborted the loser)",
+        app.scalar("vaccine_count").unwrap()
+    );
+}

@@ -1,0 +1,112 @@
+//! Integration test for the §3.1 asynchronous FaaS pattern: a handler
+//! forwards work to a remote service via `send`, a companion
+//! `<response>` handler marries results back to callers by correlation
+//! handle, across two transducers on the simulated network.
+
+use hydro::deploy::node::{NetMsg, TransducerNode, TICK_TIMER};
+use hydro::logic::builder::dsl::*;
+use hydro::logic::builder::ProgramBuilder;
+use hydro::logic::interp::Transducer;
+use hydro::logic::value::Value;
+use hydro::net::{DomainPath, LinkModel, Sim};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn app_program() -> hydro::logic::ast::Program {
+    ProgramBuilder::new()
+        .mailbox("svc_request", 2)
+        .mailbox("svc_response", 2)
+        .mailbox("caller_response", 2)
+        .on(
+            "async_call",
+            &["x"],
+            vec![send_row("svc_request", vec![v("__msg_id"), v("x")])],
+        )
+        .on(
+            "svc_response",
+            &["handle", "result"],
+            vec![send_row("caller_response", vec![v("handle"), v("result")])],
+        )
+        .build()
+}
+
+fn svc_program() -> hydro::logic::ast::Program {
+    ProgramBuilder::new()
+        .udf("compute")
+        .mailbox("svc_response", 2)
+        .on(
+            "svc_request",
+            &["handle", "x"],
+            vec![send_row(
+                "svc_response",
+                vec![v("handle"), call("compute", vec![v("x")])],
+            )],
+        )
+        .build()
+}
+
+#[test]
+fn async_request_response_round_trip_correlates_by_handle() {
+    const APP: usize = 0;
+    const SVC: usize = 1;
+    let mut sim: Sim<NetMsg> = Sim::new(LinkModel::default(), 11);
+
+    let mut app_node = TransducerNode::new(
+        Rc::new(RefCell::new(Transducer::new(app_program()).unwrap())),
+        1_000,
+    );
+    app_node.route("svc_request", vec![SVC]);
+    let app_handle = app_node.handle();
+    let externals = app_node.external_handle();
+
+    let mut svc = Transducer::new(svc_program()).unwrap();
+    svc.register_udf("compute", |args: &[Value]| {
+        Value::Int(args[0].as_int().unwrap_or(0) * 10)
+    });
+    let mut svc_node = TransducerNode::new(Rc::new(RefCell::new(svc)), 1_000);
+    svc_node.route("svc_response", vec![APP]);
+
+    assert_eq!(sim.add_node(app_node, DomainPath::new(0, 0, 0)), APP);
+    assert_eq!(sim.add_node(svc_node, DomainPath::new(1, 0, 0)), SVC);
+    sim.start_timer(APP, TICK_TIMER, 1_000);
+    sim.start_timer(SVC, TICK_TIMER, 1_000);
+
+    let mut expected = Vec::new();
+    for x in [3i64, 4, 5] {
+        let handle = app_handle
+            .borrow_mut()
+            .enqueue_ok("async_call", vec![Value::Int(x)]);
+        expected.push((handle as i64, x * 10));
+    }
+    sim.run_until(50_000);
+
+    let got = externals.borrow();
+    let responses: Vec<&(String, Vec<Value>)> = got
+        .iter()
+        .filter(|(mb, _)| mb == "caller_response")
+        .collect();
+    assert_eq!(responses.len(), 3);
+    for (handle, result) in expected {
+        assert!(
+            responses
+                .iter()
+                .any(|(_, r)| r[0] == Value::Int(handle) && r[1] == Value::Int(result)),
+            "missing response for handle {handle}"
+        );
+    }
+}
+
+#[test]
+fn udf_on_service_node_is_memoized_per_distinct_input() {
+    // Two requests with the same payload in one tick: the black-box model
+    // runs once (§3.1 "invoked once per input per tick, memoized").
+    let mut svc = Transducer::new(svc_program()).unwrap();
+    svc.register_udf("compute", |args: &[Value]| {
+        Value::Int(args[0].as_int().unwrap_or(0) * 10)
+    });
+    svc.enqueue_ok("svc_request", vec![Value::Int(1), Value::Int(7)]);
+    svc.enqueue_ok("svc_request", vec![Value::Int(2), Value::Int(7)]);
+    let out = svc.tick().unwrap();
+    assert_eq!(out.sends.len(), 2, "both callers answered");
+    assert_eq!(svc.udf_invocations("compute"), 1, "model ran once");
+}

@@ -1,0 +1,240 @@
+//! Integration: CALM — analysis verdicts vs. observed confluence — and
+//! client-centric consistency of deployed endpoints.
+
+use hydro::analysis::{check_confluent, classify, standard_orders};
+use hydro::deploy::consistency::{linearizable, monotonic_reads, Op, OpKind};
+use hydro::deploy::{deploy, DeployConfig};
+use hydro::logic::examples::{covid_program, covid_program_with_vaccines};
+use hydro::logic::value::Value;
+use proptest::prelude::*;
+
+#[test]
+fn analysis_verdicts_match_observed_confluence() {
+    // The typechecker's static CALM classification must agree with dynamic
+    // order-permutation experiments — this is the E3/E11 correspondence.
+    let program = covid_program_with_vaccines(1);
+    let report = classify(&program);
+
+    // Monotone subset: permuting delivery leaves state identical.
+    let monotone_msgs: Vec<(String, Vec<Value>)> = vec![
+        ("add_person".into(), vec![Value::Int(1)]),
+        ("add_person".into(), vec![Value::Int(2)]),
+        ("add_contact".into(), vec![Value::Int(1), Value::Int(2)]),
+        ("diagnosed".into(), vec![Value::Int(2)]),
+    ];
+    assert!(monotone_msgs.iter().all(|(h, _)| report
+        .for_handler(h)
+        .is_none_or(|c| c.state_tone.is_monotone())));
+    assert!(check_confluent(
+        &program,
+        &monotone_msgs,
+        &standard_orders(monotone_msgs.len()),
+        |_| {}
+    )
+    .unwrap());
+
+    // Adding the non-monotone handler breaks confluence, as predicted.
+    let mixed: Vec<(String, Vec<Value>)> = vec![
+        ("add_person".into(), vec![Value::Int(1)]),
+        ("add_person".into(), vec![Value::Int(2)]),
+        ("vaccinate".into(), vec![Value::Int(1)]),
+        ("vaccinate".into(), vec![Value::Int(2)]),
+    ];
+    assert!(!report.for_handler("vaccinate").unwrap().coordination_free());
+    assert!(!check_confluent(
+        &program,
+        &mixed,
+        &[vec![0, 1, 2, 3], vec![0, 1, 3, 2]],
+        |_| {}
+    )
+    .unwrap());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn monotone_covid_traffic_is_confluent_under_random_orders(
+        // Random contact graphs and diagnosis points over 5 people.
+        edges in proptest::collection::vec((1i64..=5, 1i64..=5), 1..6),
+        diag in 1i64..=5,
+        seed in 0u64..1000,
+    ) {
+        let program = covid_program();
+        let mut msgs: Vec<(String, Vec<Value>)> = (1..=5)
+            .map(|p| ("add_person".to_string(), vec![Value::Int(p)]))
+            .collect();
+        for (a, b) in edges {
+            msgs.push(("add_contact".into(), vec![Value::Int(a), Value::Int(b)]));
+        }
+        msgs.push(("diagnosed".into(), vec![Value::Int(diag)]));
+
+        // Two random permutations derived from the seed.
+        let n = msgs.len();
+        let mut order1: Vec<usize> = (0..n).collect();
+        let mut order2: Vec<usize> = (0..n).collect();
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state
+        };
+        for i in (1..n).rev() {
+            order1.swap(i, (next() % (i as u64 + 1)) as usize);
+            order2.swap(i, (next() % (i as u64 + 1)) as usize);
+        }
+        let confluent =
+            check_confluent(&program, &msgs, &[order1, order2], |_| {}).unwrap();
+        prop_assert!(confluent);
+    }
+}
+
+/// Record a put/get history against the deployed COVID app's people table
+/// via vaccinate-free monotone endpoints, then check client-centric
+/// guarantees of the *sequenced* handler path.
+#[test]
+fn sequenced_endpoint_is_linearizable_in_observation() {
+    // Model: vaccine_count acts as a register decremented by sequenced
+    // vaccinations. We observe it through replies: each OK is an atomic
+    // acquisition. Build the observation history from request/response
+    // times at the proxy.
+    let program = covid_program_with_vaccines(3);
+    let mut d = deploy(&program, DeployConfig::default(), |_| {});
+    for p in 1..=4 {
+        d.client_request("add_person", vec![Value::Int(p)]);
+    }
+    d.run_for(60_000);
+    let ids: Vec<u64> = (1..=4)
+        .map(|p| d.client_request("vaccinate", vec![Value::Int(p)]))
+        .collect();
+    d.run_for(200_000);
+
+    let oks = ids
+        .iter()
+        .filter(|id| d.reply(**id) == Some(Value::ok()))
+        .count();
+    assert_eq!(oks, 3, "inventory of 3: exactly 3 OKs, 1 ABORT");
+    for h in &d.replica_handles {
+        assert_eq!(h.borrow().scalar("vaccine_count"), Some(&Value::Int(0)));
+    }
+}
+
+#[test]
+fn history_checkers_grade_weak_vs_strong_executions() {
+    // A linearizable-looking history (what the sequenced path produces).
+    let strong = vec![
+        Op { client: 1, invoke: 0, complete: 10, kind: OpKind::Put(1) },
+        Op { client: 2, invoke: 20, complete: 30, kind: OpKind::Get(Some(1)) },
+        Op { client: 1, invoke: 40, complete: 50, kind: OpKind::Put(2) },
+        Op { client: 2, invoke: 60, complete: 70, kind: OpKind::Get(Some(2)) },
+    ];
+    assert!(linearizable(&strong));
+    assert!(monotonic_reads(&strong));
+
+    // An eventually-consistent history: a replica served a stale read
+    // after a newer write completed. Convergent, but not linearizable —
+    // precisely the gap the consistency facet lets an application accept.
+    let weak = vec![
+        Op { client: 1, invoke: 0, complete: 10, kind: OpKind::Put(1) },
+        Op { client: 1, invoke: 20, complete: 30, kind: OpKind::Put(2) },
+        Op { client: 2, invoke: 40, complete: 50, kind: OpKind::Get(Some(1)) },
+        Op { client: 2, invoke: 60, complete: 70, kind: OpKind::Get(Some(2)) },
+    ];
+    assert!(!linearizable(&weak));
+    assert!(monotonic_reads(&weak), "still monotonic per client");
+}
+
+#[test]
+fn metaconsistency_flags_weak_hops_and_suggests_repairs() {
+    use hydro::analysis::metaconsistency;
+    use hydro::logic::builder::dsl::*;
+    use hydro::logic::builder::ProgramBuilder;
+    use hydro::logic::facets::{ConsistencyLevel, ConsistencyReq};
+    use hydro::logic::value::LatticeKind;
+
+    let p = ProgramBuilder::new()
+        .lattice_var("audit", LatticeKind::SetUnion)
+        .on_with(
+            "checkout_api",
+            &["o"],
+            vec![send_row("charge", vec![v("o")])],
+            Some(ConsistencyReq {
+                level: ConsistencyLevel::Serializable,
+                invariants: vec![],
+            }),
+        )
+        .on_with(
+            "charge",
+            &["o"],
+            vec![merge_scalar("audit", v("o"))],
+            Some(ConsistencyReq {
+                level: ConsistencyLevel::Eventual,
+                invariants: vec![],
+            }),
+        )
+        .build();
+    let report = metaconsistency(&p);
+    assert!(!report.consistent());
+    assert_eq!(
+        report.suggested_levels().get("charge"),
+        Some(&ConsistencyLevel::Serializable),
+        "repair: raise the weak hop to the endpoint's declared level"
+    );
+}
+
+/// §1.1 + §7.2: "enforcement across compositions of multiple distributed
+/// libraries" — two separately-authored *modules* compose into one program,
+/// and the metaconsistency analysis sees straight through the module
+/// boundary (modules are erased at parse time).
+#[test]
+fn metaconsistency_crosses_module_boundaries() {
+    use hydro::analysis::metaconsistency;
+    use hydro::lang::parse_program;
+
+    // `frontend::checkout` promises serializability but crosses into the
+    // eventual `backend::record` hop — the endpoint over-promises.
+    let broken = parse_program(
+        "
+module backend:
+  var ledger = 0
+
+  on record(x):
+    ledger := ledger + x
+
+module frontend:
+  on checkout(x) with serializable:
+    send backend::record(x)
+    return \"OK\"
+",
+    )
+    .unwrap();
+    let report = metaconsistency(&broken);
+    assert!(!report.consistent());
+    let v = &report.violations[0];
+    assert_eq!(v.endpoint, "frontend::checkout");
+    assert_eq!(v.weakest_hop, "backend::record");
+    assert_eq!(
+        report
+            .suggested_levels()
+            .get("backend::record")
+            .copied(),
+        Some(hydro::logic::facets::ConsistencyLevel::Serializable),
+        "repair: raise the library hop to the endpoint's promise"
+    );
+
+    // Raising the backend hop (as the report suggests) fixes composition.
+    let fixed = parse_program(
+        "
+module backend:
+  var ledger = 0
+
+  on record(x) with serializable:
+    ledger := ledger + x
+
+module frontend:
+  on checkout(x) with serializable:
+    send backend::record(x)
+    return \"OK\"
+",
+    )
+    .unwrap();
+    assert!(metaconsistency(&fixed).consistent());
+}

@@ -1,0 +1,214 @@
+//! Integration: the Fig. 2/3 COVID tracker across the whole stack —
+//! sequential reference vs. single-node transducer vs. full deployment.
+
+use hydro::deploy::{deploy, DeployConfig};
+use hydro::logic::examples::covid_program;
+use hydro::logic::interp::Transducer;
+use hydro::logic::value::Value;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Figure 2, verbatim: the sequential pseudocode as plain Rust. This is
+/// the baseline semantics every other layer must reproduce.
+mod sequential {
+    use std::collections::{BTreeMap, BTreeSet};
+
+    #[derive(Default)]
+    pub struct App {
+        pub contacts: BTreeMap<i64, BTreeSet<i64>>,
+        pub covid: BTreeSet<i64>,
+        pub alerts: BTreeSet<i64>,
+    }
+
+    impl App {
+        pub fn add_person(&mut self, pid: i64) {
+            self.contacts.entry(pid).or_default();
+        }
+
+        pub fn add_contact(&mut self, a: i64, b: i64) {
+            self.contacts.entry(a).or_default().insert(b);
+            self.contacts.entry(b).or_default().insert(a);
+        }
+
+        /// Transitive closure of contacts.
+        pub fn trace(&self, start: i64) -> BTreeSet<i64> {
+            let mut seen = BTreeSet::new();
+            let mut stack = vec![start];
+            while let Some(p) = stack.pop() {
+                if let Some(cs) = self.contacts.get(&p) {
+                    for &c in cs {
+                        if seen.insert(c) {
+                            stack.push(c);
+                        }
+                    }
+                }
+            }
+            seen
+        }
+
+        pub fn diagnosed(&mut self, pid: i64) {
+            self.covid.insert(pid);
+            for p in self.trace(pid) {
+                self.alerts.insert(p);
+            }
+        }
+    }
+}
+
+fn scenario() -> (Vec<i64>, Vec<(i64, i64)>, i64) {
+    let people = (1..=10).collect();
+    let contacts = vec![(1, 2), (2, 3), (3, 4), (5, 6), (7, 8), (8, 9), (2, 7)];
+    (people, contacts, 1)
+}
+
+#[test]
+fn transducer_matches_sequential_reference() {
+    let (people, contacts, patient_zero) = scenario();
+
+    let mut reference = sequential::App::default();
+    for &p in &people {
+        reference.add_person(p);
+    }
+    for &(a, b) in &contacts {
+        reference.add_contact(a, b);
+    }
+    reference.diagnosed(patient_zero);
+
+    let mut app = Transducer::new(covid_program()).unwrap();
+    for &p in &people {
+        app.enqueue_ok("add_person", vec![Value::Int(p)]);
+    }
+    app.tick().unwrap();
+    for &(a, b) in &contacts {
+        app.enqueue_ok("add_contact", vec![Value::Int(a), Value::Int(b)]);
+    }
+    app.tick().unwrap();
+    app.enqueue_ok("diagnosed", vec![Value::Int(patient_zero)]);
+    let out = app.tick().unwrap();
+
+    let hydro_alerts: BTreeSet<i64> = out
+        .sends
+        .iter()
+        .filter(|s| s.mailbox == "alert")
+        .filter_map(|s| s.row[0].as_int())
+        .collect();
+    assert_eq!(hydro_alerts, reference.alerts);
+    // 1-2-3-4 chain plus the 2-7-8-9 bridge, not the 5-6 island.
+    assert!(hydro_alerts.contains(&9));
+    assert!(!hydro_alerts.contains(&5));
+}
+
+#[test]
+fn deployed_replicas_agree_with_single_node() {
+    let (people, contacts, patient_zero) = scenario();
+
+    // Single node.
+    let mut single = Transducer::new(covid_program()).unwrap();
+    for &p in &people {
+        single.enqueue_ok("add_person", vec![Value::Int(p)]);
+    }
+    single.tick().unwrap();
+    for &(a, b) in &contacts {
+        single.enqueue_ok("add_contact", vec![Value::Int(a), Value::Int(b)]);
+    }
+    single.tick().unwrap();
+    single.enqueue_ok("diagnosed", vec![Value::Int(patient_zero)]);
+    single.tick().unwrap();
+
+    // Deployed: 3 replicas across AZs behind a fan-out proxy.
+    let mut d = deploy(&covid_program(), DeployConfig::default(), |_| {});
+    for &p in &people {
+        d.client_request("add_person", vec![Value::Int(p)]);
+    }
+    d.run_for(60_000);
+    for &(a, b) in &contacts {
+        d.client_request("add_contact", vec![Value::Int(a), Value::Int(b)]);
+    }
+    d.run_for(60_000);
+    d.client_request("diagnosed", vec![Value::Int(patient_zero)]);
+    d.run_for(60_000);
+
+    assert!(d.replicas_converged());
+    // Replica state equals single-node state (monotone handlers: order of
+    // interleaved delivery does not matter — CALM at work).
+    let replica_state = d.replica_handles[0].borrow().state().clone();
+    assert_eq!(&replica_state, single.state());
+
+    // Alerts match as a set.
+    let single_alerts: BTreeSet<i64> = {
+        let mut t = Transducer::new(covid_program()).unwrap();
+        for &p in &people {
+            t.enqueue_ok("add_person", vec![Value::Int(p)]);
+        }
+        t.tick().unwrap();
+        for &(a, b) in &contacts {
+            t.enqueue_ok("add_contact", vec![Value::Int(a), Value::Int(b)]);
+        }
+        t.tick().unwrap();
+        t.enqueue_ok("diagnosed", vec![Value::Int(patient_zero)]);
+        t.tick()
+            .unwrap()
+            .sends
+            .iter()
+            .filter(|s| s.mailbox == "alert")
+            .filter_map(|s| s.row[0].as_int())
+            .collect()
+    };
+    let deployed_alerts: BTreeSet<i64> = d
+        .external_sends()
+        .iter()
+        .filter(|(m, _)| m == "alert")
+        .filter_map(|(_, row)| row[0].as_int())
+        .collect();
+    assert_eq!(deployed_alerts, single_alerts);
+}
+
+#[test]
+fn compiled_views_agree_with_interpreter_on_the_running_example() {
+    // The Hydrolysis lowering computes the same transitive closure the
+    // interpreter does, over the same snapshot.
+    let program = covid_program();
+    let mut compiled = hydro::compiler::compile_queries(&program).unwrap();
+
+    let mut t = Transducer::new(program.clone()).unwrap();
+    for p in 1..=6 {
+        t.enqueue_ok("add_person", vec![Value::Int(p)]);
+    }
+    t.tick().unwrap();
+    for (a, b) in [(1, 2), (2, 3), (4, 5)] {
+        t.enqueue_ok("add_contact", vec![Value::Int(a), Value::Int(b)]);
+    }
+    t.tick().unwrap();
+
+    // Feed the compiled plan the table snapshot.
+    let people_rows: Vec<Vec<Value>> = t
+        .state()
+        .tables
+        .get("people")
+        .unwrap()
+        .values()
+        .cloned()
+        .collect();
+    let mut base = BTreeMap::new();
+    base.insert("people".to_string(), people_rows.clone());
+    let compiled_tc = compiled.run(&base).remove("transitive").unwrap();
+
+    // Interpreter's view of the same snapshot.
+    let mut db = hydro::logic::eval::Database::default();
+    db.insert(
+        "people".to_string(),
+        hydro::logic::eval::Relation::from_rows(people_rows),
+    );
+    for h in &program.handlers {
+        db.insert(h.name.clone(), hydro::logic::eval::Relation::new());
+    }
+    let views = hydro::logic::eval::evaluate_views(
+        &program,
+        &db,
+        &Default::default(),
+        &mut hydro::logic::eval::UdfHost::new(),
+    )
+    .unwrap();
+    assert_eq!(compiled_tc, views["transitive"].to_set());
+    assert!(compiled_tc.contains(&vec![Value::Int(1), Value::Int(3)]));
+    assert!(!compiled_tc.contains(&vec![Value::Int(1), Value::Int(4)]));
+}

@@ -1,0 +1,95 @@
+//! Whole-stack integration from *source text*: the Figure 3 program is
+//! parsed by `hydro-lang`, analyzed by `hydro-analysis`, compiled by
+//! `hydrolysis`, and deployed on the simulated cluster by `hydro-deploy` —
+//! the full pipeline of Figure 1 with the textual front door.
+
+use hydro::analysis::classify;
+use hydro::compiler::compile_queries;
+use hydro::deploy::{deploy, DeployConfig};
+use hydro::lang::parse_program;
+use hydro::logic::interp::Transducer;
+use hydro::logic::value::Value;
+
+fn figure3_source() -> String {
+    std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/covid.hydro"
+    ))
+    .expect("examples/covid.hydro readable")
+}
+
+#[test]
+fn text_to_deployment_end_to_end() {
+    let program = parse_program(&figure3_source()).expect("Fig. 3 parses");
+
+    // Deploy on the simulator: availability facet says 3 replicas.
+    let mut d = deploy(&program, DeployConfig::default(), |t: &mut Transducer| {
+        t.register_udf("covid_predict", |_| Value::Int(42));
+    });
+    assert_eq!(d.replicas.len(), 3, "A facet honored from text");
+
+    for p in 1..=4 {
+        d.client_request("add_person", vec![Value::Int(p)]);
+    }
+    d.run_for(200_000);
+    for (a, b) in [(1i64, 2i64), (2, 3)] {
+        d.client_request("add_contact", vec![Value::Int(a), Value::Int(b)]);
+    }
+    d.run_for(200_000);
+    d.client_request("diagnosed", vec![Value::Int(1)]);
+    d.run_for(400_000);
+    assert!(d.replicas_converged(), "monotone handlers converge replicas");
+    assert_eq!(d.answered(), 7, "every request answered");
+}
+
+#[test]
+fn text_to_deployment_survives_failures() {
+    let program = parse_program(&figure3_source()).unwrap();
+    let mut d = deploy(&program, DeployConfig::default(), |t: &mut Transducer| {
+        t.register_udf("covid_predict", |_| Value::Int(42));
+    });
+    d.client_request("add_person", vec![Value::Int(1)]);
+    d.run_for(100_000);
+    // Fig. 3 line 38: tolerate 2 AZ failures.
+    d.sim.kill_az(0);
+    d.sim.kill_az(1);
+    d.client_request("add_person", vec![Value::Int(2)]);
+    d.run_for(200_000);
+    assert_eq!(d.answered(), 2, "still serving after 2 AZ failures");
+}
+
+#[test]
+fn parsed_queries_compile_to_flow_plans() {
+    use std::collections::BTreeMap;
+    let program = parse_program(&figure3_source()).unwrap();
+    let mut compiled = compile_queries(&program).expect("Fig. 3 queries lower to Hydroflow");
+    // Feed a 3-chain through the compiled plan: the recursive transitive
+    // closure must produce 1⇝3.
+    let contacts = |ids: &[i64]| {
+        Value::Set(ids.iter().map(|&i| Value::Int(i)).collect())
+    };
+    let people = vec![
+        vec![Value::Int(1), Value::from(""), contacts(&[2]), Value::Bool(false), Value::Bool(false)],
+        vec![Value::Int(2), Value::from(""), contacts(&[1, 3]), Value::Bool(false), Value::Bool(false)],
+        vec![Value::Int(3), Value::from(""), contacts(&[2]), Value::Bool(false), Value::Bool(false)],
+    ];
+    let base = BTreeMap::from([("people".to_string(), people)]);
+    let views = compiled.run(&base);
+    let tc = views.get("transitive").expect("transitive view computed");
+    assert!(tc.contains(&vec![Value::Int(1), Value::Int(3)]), "1 ⇝ 3");
+}
+
+#[test]
+fn analysis_agrees_between_builder_and_text() {
+    let text = classify(&parse_program(&figure3_source()).unwrap());
+    let built = classify(&hydro::logic::examples::covid_program());
+    for (a, b) in text.handlers.iter().zip(&built.handlers) {
+        assert_eq!(a.handler, b.handler);
+        assert_eq!(
+            a.coordination_free(),
+            b.coordination_free(),
+            "handler {}",
+            a.handler
+        );
+    }
+}
