@@ -67,29 +67,36 @@ fn ints(row: &[i64]) -> Vec<Value> {
     row.iter().map(|x| Value::Int(*x)).collect()
 }
 
+/// One E1 run: the COVID tracker's 3-tick diagnosed sequence over an
+/// n-person contact chain. Returns (wall time, alerts emitted). Shared
+/// by the E1 table and the `BENCH_interp.json` records.
+fn covid_chain_run(n: i64, naive: bool) -> (std::time::Duration, usize) {
+    let mut app = Transducer::new(covid_program()).unwrap();
+    app.set_naive_eval(naive);
+    for p in 1..=n {
+        app.enqueue_ok("add_person", ints(&[p]));
+    }
+    let t0 = Instant::now();
+    app.tick().unwrap();
+    for p in 1..n {
+        app.enqueue_ok("add_contact", ints(&[p, p + 1]));
+    }
+    app.tick().unwrap();
+    app.enqueue_ok("diagnosed", ints(&[1]));
+    let out = app.tick().unwrap();
+    let elapsed = t0.elapsed();
+    let alerts = out.sends.iter().filter(|s| s.mailbox == "alert").count();
+    (elapsed, alerts)
+}
+
 /// E1: COVID tracker end-to-end — Hydro vs the Fig.2 sequential baseline,
 /// plus tick-throughput for growing populations.
 pub fn e01_covid() -> Table {
     let mut rows = Vec::new();
-    // Chain diameter drives the interpreter's naive fixpoint cubically;
-    // n=100 already costs ~10 s. Larger graphs belong to the compiled
-    // semi-naive path measured in E8.
+    // Chain diameter used to drive the naive fixpoint cubically (~10 s at
+    // n=100 in debug); the semi-naive evaluator holds this to tens of ms.
     for n in [25i64, 50, 100] {
-        // Build population with a contact chain plus random extra edges.
-        let mut app = Transducer::new(covid_program()).unwrap();
-        for p in 1..=n {
-            app.enqueue_ok("add_person", ints(&[p]));
-        }
-        let t0 = Instant::now();
-        app.tick().unwrap();
-        for p in 1..n {
-            app.enqueue_ok("add_contact", ints(&[p, p + 1]));
-        }
-        app.tick().unwrap();
-        app.enqueue_ok("diagnosed", ints(&[1]));
-        let out = app.tick().unwrap();
-        let elapsed = t0.elapsed();
-        let alerts = out.sends.iter().filter(|s| s.mailbox == "alert").count();
+        let (elapsed, alerts) = covid_chain_run(n, false);
         // Sequential reference: everyone transitively reachable from 1.
         let expected = (n - 1) as usize;
         rows.push(vec![
@@ -420,12 +427,12 @@ pub fn e07_collectives() -> Table {
     }
 }
 
-/// E8: Hydroflow micro — compiled semi-naive transitive closure vs the
-/// interpreter's naive fixpoint, work and wall-clock.
-pub fn e08_flow() -> Table {
+/// The chain-graph transitive-closure program E8 and the interp benchmark
+/// records share.
+fn tc_program() -> hydro_core::Program {
     use hydro_core::builder::dsl::*;
     use hydro_core::builder::ProgramBuilder;
-    let program = ProgramBuilder::new()
+    ProgramBuilder::new()
         .mailbox("edges", 2)
         .rule("tc", vec![v("a"), v("b")], vec![scan("edges", &["a", "b"])])
         .rule(
@@ -433,56 +440,156 @@ pub fn e08_flow() -> Table {
             vec![v("a"), v("c")],
             vec![scan("tc", &["a", "b"]), scan("edges", &["b", "c"])],
         )
-        .build();
+        .build()
+}
+
+/// One E8 chain-TC measurement at size `n`: the compiled Hydroflow path,
+/// the semi-naive interpreter, and the naive reference, all over the same
+/// edge set, with row-count agreement asserted. Shared by the E8 table
+/// and the `BENCH_interp.json` records.
+struct TcRun {
+    tc_rows: usize,
+    compiled: std::time::Duration,
+    compiled_items: u64,
+    seminaive: std::time::Duration,
+    naive: std::time::Duration,
+}
+
+fn tc_chain_run(n: i64) -> TcRun {
+    let program = tc_program();
+    // A chain graph: TC has n(n-1)/2 pairs, forcing deep recursion.
+    let edges: Vec<Vec<Value>> = (1..n).map(|a| ints(&[a, a + 1])).collect();
+
+    // Compiled (semi-naive Hydroflow).
+    let mut compiled = hydrolysis::compile_queries(&program).unwrap();
+    let mut base = std::collections::BTreeMap::new();
+    base.insert("edges".to_string(), edges.clone());
+    let t0 = Instant::now();
+    let out = compiled.run(&base);
+    let compiled_t = t0.elapsed();
+    let tc_rows = out["tc"].len();
+
+    let mut db = hydro_core::eval::Database::default();
+    db.insert(
+        "edges".to_string(),
+        hydro_core::eval::Relation::from_rows(edges),
+    );
+
+    // Interpreter, semi-naive (the default evaluator).
+    let t1 = Instant::now();
+    let views = hydro_core::eval::evaluate_views(
+        &program,
+        &db,
+        &Default::default(),
+        &mut hydro_core::eval::UdfHost::new(),
+    )
+    .unwrap();
+    let seminaive_t = t1.elapsed();
+    assert_eq!(views["tc"].len(), tc_rows);
+
+    // Interpreter, naive reference (full re-derivation per round).
+    let t2 = Instant::now();
+    let naive_views = hydro_core::eval::evaluate_views_naive(
+        &program,
+        &db,
+        &Default::default(),
+        &mut hydro_core::eval::UdfHost::new(),
+    )
+    .unwrap();
+    let naive_t = t2.elapsed();
+    assert_eq!(naive_views["tc"].len(), tc_rows);
+
+    TcRun {
+        tc_rows,
+        compiled: compiled_t,
+        compiled_items: compiled.items_processed().max(tc_rows as u64),
+        seminaive: seminaive_t,
+        naive: naive_t,
+    }
+}
+
+/// E8: transitive closure three ways — compiled Hydroflow (semi-naive),
+/// the interpreter's semi-naive fixpoint, and the retained naive
+/// reference evaluator. Work and wall-clock.
+pub fn e08_flow() -> Table {
     let mut rows = Vec::new();
     for n in [50i64, 100, 200] {
-        // A chain graph: TC has n(n-1)/2 pairs, forcing deep recursion.
-        let edges: Vec<Vec<Value>> = (1..n).map(|a| ints(&[a, a + 1])).collect();
-
-        // Compiled (semi-naive).
-        let mut compiled = hydrolysis::compile_queries(&program).unwrap();
-        let mut base = std::collections::BTreeMap::new();
-        base.insert("edges".to_string(), edges.clone());
-        let t0 = Instant::now();
-        let out = compiled.run(&base);
-        let compiled_t = t0.elapsed();
-        let compiled_count = out["tc"].len();
-
-        // Interpreter (naive re-derivation each round).
-        let mut db = hydro_core::eval::Database::default();
-        db.insert(
-            "edges".to_string(),
-            hydro_core::eval::Relation::from_rows(edges),
-        );
-        let t1 = Instant::now();
-        let views = hydro_core::eval::evaluate_views(
-            &program,
-            &db,
-            &Default::default(),
-            &mut hydro_core::eval::UdfHost::new(),
-        )
-        .unwrap();
-        let interp_t = t1.elapsed();
-        assert_eq!(views["tc"].len(), compiled_count);
-
+        let run = tc_chain_run(n);
         rows.push(vec![
             n.to_string(),
-            compiled_count.to_string(),
-            format!("{compiled_t:.2?}"),
-            format!("{interp_t:.2?}"),
+            run.tc_rows.to_string(),
+            format!("{:.2?}", run.compiled),
+            format!("{:.2?}", run.seminaive),
+            format!("{:.2?}", run.naive),
             format!(
                 "{:.1}",
-                interp_t.as_secs_f64() / compiled_t.as_secs_f64().max(1e-12)
+                run.naive.as_secs_f64() / run.seminaive.as_secs_f64().max(1e-12)
             ),
         ]);
     }
     Table {
-        title: "E8 semi-naive (compiled) vs naive (interpreted) transitive closure".into(),
-        headers: ["chain n", "|tc|", "compiled", "interpreted", "speedup x"]
-            .map(String::from)
-            .to_vec(),
+        title: "E8 transitive closure: compiled vs semi-naive interp vs naive interp".into(),
+        headers: [
+            "chain n",
+            "|tc|",
+            "compiled",
+            "interp semi-naive",
+            "interp naive",
+            "semi-naive speedup x",
+        ]
+        .map(String::from)
+        .to_vec(),
         rows,
     }
+}
+
+/// One machine-readable benchmark datapoint (see `BENCH_interp.json`).
+pub struct BenchRecord {
+    /// Workload id, e.g. `e01_covid_seminaive`.
+    pub workload: String,
+    /// Problem size (population / chain length).
+    pub n: i64,
+    /// Wall-clock milliseconds.
+    pub wall_ms: f64,
+    /// Work proxy: flow items moved, alerts emitted, or rows derived.
+    pub items_processed: u64,
+}
+
+/// The E1/E8 sweeps as structured records, so `scripts/bench_smoke.sh`
+/// can write `BENCH_interp.json` and future PRs have a perf trajectory to
+/// compare against.
+pub fn interp_bench_records() -> Vec<BenchRecord> {
+    let mut records = Vec::new();
+    let rec = |workload: &str, n: i64, wall: std::time::Duration, items: u64| BenchRecord {
+        workload: workload.to_string(),
+        n,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        items_processed: items,
+    };
+
+    // E1: the COVID tracker's diagnosed-tick sequence, semi-naive vs the
+    // naive reference. items = alerts emitted.
+    for n in [25i64, 50, 100] {
+        for (label, naive) in [("e01_covid_seminaive", false), ("e01_covid_naive", true)] {
+            let (wall, alerts) = covid_chain_run(n, naive);
+            records.push(rec(label, n, wall, alerts as u64));
+        }
+    }
+
+    // E8: chain transitive closure, three engines. items = |tc| for the
+    // interpreters, operator items moved for the compiled flow.
+    for n in [50i64, 100, 200] {
+        let run = tc_chain_run(n);
+        records.push(rec("e08_tc_compiled", n, run.compiled, run.compiled_items));
+        records.push(rec(
+            "e08_tc_interp_seminaive",
+            n,
+            run.seminaive,
+            run.tc_rows as u64,
+        ));
+        records.push(rec("e08_tc_interp_naive", n, run.naive, run.tc_rows as u64));
+    }
+    records
 }
 
 /// E9: Anna-style KVS throughput scaling with shard threads.

@@ -6,10 +6,39 @@
 //! fixpoint, so "the results of a tick are independent of the order in which
 //! statements appear in the program".
 //!
-//! The interpreter here evaluates rules *naively* (full re-derivation per
-//! fixpoint round); the Hydroflow lowering in `hydrolysis` evaluates the
-//! same rules *semi-naively*. Experiment E8 compares the two, and the
-//! compiler's differential tests check they agree.
+//! # Semi-naive evaluation
+//!
+//! [`evaluate_views`] runs each stratum's recursive rules **semi-naively**
+//! (the same algorithm the Hydroflow lowering in `hydrolysis` compiles to):
+//!
+//! * Round 0 evaluates every rule once over the snapshot; rows actually
+//!   *new* to their head relation form the initial per-relation **delta**.
+//! * Every later round evaluates, for each rule and each body atom that
+//!   scans a same-stratum head, a *delta variant* of the rule: that atom
+//!   ranges over the previous round's delta while every other atom ranges
+//!   over the full (already-updated) relations. The union of newly
+//!   inserted rows becomes the next delta; the stratum is done when a
+//!   round inserts nothing.
+//!
+//! The delta invariant: at the start of round *k*, `full` holds every row
+//! derivable in at most *k* rounds and `delta` exactly the rows first
+//! derived in round *k − 1*. Any row first derivable in round *k* has a
+//! derivation using at least one round-(*k − 1*) row, so constraining one
+//! recursive atom to the delta loses nothing; joining the delta against
+//! updated-full relations double-derives some rows, which deduplication
+//! absorbs. Negation and aggregation read strictly lower strata
+//! (stratification guarantees it), so their inputs are stable during the
+//! fixpoint.
+//!
+//! Joins are **hash-indexed**: each scan probes a lazily built, composite
+//! `(relation, bound columns) → row indexes` index (see [`ScanCache`]),
+//! maintained incrementally as derived rows land. Bodies always evaluate
+//! in source order — a delta variant *constrains* an atom, it never
+//! reorders one, because reordering changes which errors are reachable
+//! and how often stateful UDFs run (see [`BodyPlan`]). [`evaluate_views_naive`]
+//! retains the original naive nested-loop evaluator as a
+//! differential-testing reference; experiment E8 compares the two against
+//! the compiled path.
 
 use crate::ast::{AggFun, AggRule, BodyAtom, ArithOp, CmpOp, Expr, Program, Rule, Select, Term};
 use crate::value::Value;
@@ -42,14 +71,16 @@ impl Relation {
         r
     }
 
-    /// Insert a row; returns `true` if new.
+    /// Insert a row; returns `true` if new. Probes before cloning so the
+    /// duplicate case — the hottest path of a fixpoint's dedup — allocates
+    /// nothing.
     pub fn insert(&mut self, row: Row) -> bool {
-        if self.index.insert(row.clone()) {
-            self.rows.push(row);
-            true
-        } else {
-            false
+        if self.index.contains(&row) {
+            return false;
         }
+        self.index.insert(row.clone());
+        self.rows.push(row);
+        true
     }
 
     /// Membership test.
@@ -216,37 +247,62 @@ impl UdfHost {
 /// Variable bindings during body evaluation.
 pub type Bindings = FxHashMap<String, Value>;
 
-/// Lazily-built equality indexes over snapshot relations, keyed by
-/// `(relation, column)`. An [`EvalCtx`] owns one cache; because the context
-/// immutably borrows the database for its whole lifetime, the cached
-/// indexes can never go stale — a fresh context (and hence a fresh cache)
-/// is required to observe a mutated database.
+/// Lazily-built composite equality indexes over relations, keyed by
+/// `(relation, bound column set)`: `FxHashMap<JoinKey, Vec<RowIdx>>` per
+/// join key, built on the first probe of that key shape.
+///
+/// A cache stays valid across fixpoint rounds as long as every row
+/// appended to an indexed relation is reported via [`ScanCache::note_insert`]
+/// (relations only ever *grow* during a tick, so appends are the only
+/// mutation to track). [`evaluate_views`] does exactly that; everything
+/// else uses a context whose lifetime is bounded by an immutable borrow of
+/// the database, under which the cache trivially cannot go stale.
 #[derive(Default)]
 pub struct ScanCache {
-    indexes: FxHashMap<String, FxHashMap<usize, std::rc::Rc<FxHashMap<Value, Vec<usize>>>>>,
+    /// relation → sorted bound-column set → join key → row positions.
+    /// Posting lists sit behind `Rc` so a probe shares the list instead
+    /// of copying it; `note_insert` runs between evaluation rounds, when
+    /// no probe handle is alive, so `Rc::make_mut` appends in place.
+    indexes: FxHashMap<String, FxHashMap<Vec<usize>, FxHashMap<Vec<Value>, std::rc::Rc<Vec<usize>>>>>,
 }
 
 impl ScanCache {
-    /// The index of `relation` on `col`, building it on first use.
-    fn index_for(
+    /// Row positions of `relation` whose `cols` equal `key`, building the
+    /// `(rel, cols)` index on first use. Positions are in insertion
+    /// order, so index-driven scans enumerate rows exactly like full scans.
+    fn probe(
         &mut self,
         rel: &str,
-        col: usize,
+        cols: &[usize],
+        key: &[Value],
         relation: &Relation,
-    ) -> std::rc::Rc<FxHashMap<Value, Vec<usize>>> {
-        if let Some(idx) = self.indexes.get(rel).and_then(|m| m.get(&col)) {
-            return std::rc::Rc::clone(idx);
+    ) -> Option<std::rc::Rc<Vec<usize>>> {
+        // Steady state first: no key allocation on the fixpoint hot path.
+        if let Some(index) = self.indexes.get(rel).and_then(|m| m.get(cols)) {
+            return index.get(key).map(std::rc::Rc::clone);
         }
-        let mut map: FxHashMap<Value, Vec<usize>> = FxHashMap::default();
+        let mut index: FxHashMap<Vec<Value>, std::rc::Rc<Vec<usize>>> = FxHashMap::default();
         for (i, row) in relation.iter().enumerate() {
-            map.entry(row[col].clone()).or_default().push(i);
+            let k: Vec<Value> = cols.iter().map(|&c| row[c].clone()).collect();
+            std::rc::Rc::make_mut(index.entry(k).or_default()).push(i);
         }
-        let rc = std::rc::Rc::new(map);
+        let hits = index.get(key).map(std::rc::Rc::clone);
         self.indexes
             .entry(rel.to_string())
             .or_default()
-            .insert(col, std::rc::Rc::clone(&rc));
-        rc
+            .insert(cols.to_vec(), index);
+        hits
+    }
+
+    /// Report that `row` was appended to `rel` at position `idx`, keeping
+    /// every existing index over `rel` current.
+    pub fn note_insert(&mut self, rel: &str, row: &Row, idx: usize) {
+        if let Some(by_cols) = self.indexes.get_mut(rel) {
+            for (cols, index) in by_cols.iter_mut() {
+                let k: Vec<Value> = cols.iter().map(|&c| row[c].clone()).collect();
+                std::rc::Rc::make_mut(index.entry(k).or_default()).push(idx);
+            }
+        }
     }
 }
 
@@ -466,6 +522,35 @@ fn bool_of(v: Value) -> Result<bool, EvalError> {
     })
 }
 
+/// How a body is to be evaluated. Atoms always run in source order — the
+/// evaluators promise *exact* agreement with source-order evaluation,
+/// including which errors are reachable (an `ArityMismatch` behind an
+/// empty scan must stay unreachable) and how often stateful UDFs run, so
+/// no reordering (not even hoisting a semi-naive delta atom past an
+/// earlier scan) is safe. A delta variant instead *constrains* one atom
+/// to the delta relation, which is where the semi-naive win lives.
+struct BodyPlan<'p> {
+    /// The body's atoms, evaluated in source order.
+    body: &'p [BodyAtom],
+    /// `(atom position, delta relation)`: that scan ranges over the delta
+    /// instead of the full relation.
+    delta: Option<(usize, &'p Relation)>,
+    /// Probe hash indexes for bound scan columns (`false` = pure nested
+    /// loops, retained for the naive reference evaluator).
+    use_indexes: bool,
+}
+
+impl<'p> BodyPlan<'p> {
+    /// Index-backed, no delta: the default for ad-hoc selects.
+    fn full(body: &'p [BodyAtom]) -> Self {
+        BodyPlan {
+            body,
+            delta: None,
+            use_indexes: true,
+        }
+    }
+}
+
 /// Evaluate a comprehension to its projected rows (duplicates preserved;
 /// callers dedup as needed).
 pub fn eval_select(
@@ -473,11 +558,19 @@ pub fn eval_select(
     base: &Bindings,
     ctx: &mut EvalCtx<'_>,
 ) -> Result<Vec<Row>, EvalError> {
+    eval_select_with_plan(&BodyPlan::full(&select.body), &select.projection, base, ctx)
+}
+
+fn eval_select_with_plan(
+    plan: &BodyPlan<'_>,
+    projection: &[Expr],
+    base: &Bindings,
+    ctx: &mut EvalCtx<'_>,
+) -> Result<Vec<Row>, EvalError> {
     let mut out = Vec::new();
     let mut bindings = base.clone();
-    eval_body(&select.body, 0, &mut bindings, ctx, &mut |b, ctx| {
-        let row = select
-            .projection
+    eval_body(plan, 0, &mut bindings, ctx, &mut |b, ctx| {
+        let row = projection
             .iter()
             .map(|e| eval_expr(e, b, ctx))
             .collect::<Result<Row, _>>()?;
@@ -487,26 +580,30 @@ pub fn eval_select(
     Ok(out)
 }
 
-/// Recursive left-to-right body evaluation with binding propagation.
+/// Recursive source-order body evaluation with binding propagation.
 fn eval_body(
-    body: &[BodyAtom],
-    pos: usize,
+    plan: &BodyPlan<'_>,
+    step: usize,
     bindings: &mut Bindings,
     ctx: &mut EvalCtx<'_>,
     emit: &mut dyn FnMut(&Bindings, &mut EvalCtx<'_>) -> Result<(), EvalError>,
 ) -> Result<(), EvalError> {
-    let Some(atom) = body.get(pos) else {
+    let pos = step;
+    if pos >= plan.body.len() {
         return emit(bindings, ctx);
-    };
-    match atom {
+    }
+    match &plan.body[pos] {
         BodyAtom::Scan { rel, terms } => {
             // Copy the shared database reference out of `ctx` so the row
             // borrows below do not pin `ctx`, which the recursion needs
             // mutably.
             let db: &Database = ctx.db;
-            let relation = db
-                .get(rel)
-                .ok_or_else(|| EvalError::UnknownRelation(rel.clone()))?;
+            let relation = match plan.delta {
+                Some((delta_pos, delta)) if delta_pos == pos => delta,
+                _ => db
+                    .get(rel)
+                    .ok_or_else(|| EvalError::UnknownRelation(rel.clone()))?,
+            };
             if let Some(first) = relation.iter().next() {
                 if first.len() != terms.len() {
                     return Err(EvalError::ArityMismatch {
@@ -516,29 +613,39 @@ fn eval_body(
                     });
                 }
             }
-            // Access-path selection: when some term is already bound
-            // (a constant, or a variable bound by an earlier atom), probe a
-            // hash index on that column instead of scanning every row. Both
-            // paths enumerate matches in insertion order, so derived-view
-            // row order is unchanged.
-            let probe = terms.iter().enumerate().find_map(|(i, t)| match t {
-                Term::Const(c) => Some((i, c.clone())),
-                Term::Var(name) => bindings.get(name).map(|v| (i, v.clone())),
-                Term::Wildcard => None,
-            });
-            match probe {
-                Some((col, key)) => {
-                    let index = ctx.scan_cache.index_for(rel, col, relation);
-                    if let Some(ids) = index.get(&key) {
-                        for &i in ids {
-                            scan_row(body, pos, terms, relation.row(i), bindings, ctx, emit)?;
+            // Access-path selection: probe a composite hash index over
+            // *every* bound term (constants, and variables bound by
+            // earlier atoms) instead of scanning the relation. Index
+            // probes enumerate matches in insertion order, so a scan's
+            // row order is identical on both paths. Deltas are small and
+            // short-lived; they are always scanned directly.
+            let is_delta = matches!(plan.delta, Some((p, _)) if p == pos);
+            let mut cols: Vec<usize> = Vec::new();
+            let mut key: Vec<Value> = Vec::new();
+            if plan.use_indexes && !is_delta {
+                for (i, t) in terms.iter().enumerate() {
+                    match t {
+                        Term::Const(c) => {
+                            cols.push(i);
+                            key.push(c.clone());
                         }
+                        Term::Var(name) => {
+                            if let Some(v) = bindings.get(name) {
+                                cols.push(i);
+                                key.push(v.clone());
+                            }
+                        }
+                        Term::Wildcard => {}
                     }
                 }
-                None => {
-                    for row in relation.iter() {
-                        scan_row(body, pos, terms, row, bindings, ctx, emit)?;
-                    }
+            }
+            if cols.is_empty() {
+                for row in relation.iter() {
+                    scan_row(plan, step, terms, row, bindings, ctx, emit)?;
+                }
+            } else if let Some(ids) = ctx.scan_cache.probe(rel, &cols, &key, relation) {
+                for &i in ids.iter() {
+                    scan_row(plan, step, terms, relation.row(i), bindings, ctx, emit)?;
                 }
             }
             Ok(())
@@ -555,12 +662,12 @@ fn eval_body(
             if relation.contains(&tuple) {
                 Ok(())
             } else {
-                eval_body(body, pos + 1, bindings, ctx, emit)
+                eval_body(plan, step + 1, bindings, ctx, emit)
             }
         }
         BodyAtom::Guard(expr) => {
             if bool_of(eval_expr(expr, bindings, ctx)?)? {
-                eval_body(body, pos + 1, bindings, ctx, emit)
+                eval_body(plan, step + 1, bindings, ctx, emit)
             } else {
                 Ok(())
             }
@@ -568,7 +675,7 @@ fn eval_body(
         BodyAtom::Let { var, expr } => {
             let v = eval_expr(expr, bindings, ctx)?;
             let prior = bindings.insert(var.clone(), v);
-            eval_body(body, pos + 1, bindings, ctx, emit)?;
+            eval_body(plan, step + 1, bindings, ctx, emit)?;
             match prior {
                 Some(p) => {
                     bindings.insert(var.clone(), p);
@@ -596,7 +703,7 @@ fn eval_body(
             let prior = bindings.remove(var);
             for item in items {
                 bindings.insert(var.clone(), item);
-                eval_body(body, pos + 1, bindings, ctx, emit)?;
+                eval_body(plan, step + 1, bindings, ctx, emit)?;
             }
             match prior {
                 Some(p) => {
@@ -617,8 +724,8 @@ fn eval_body(
 /// part-way through the terms (a constant mismatch after a fresh variable
 /// binding must not leak that binding into the next candidate row).
 fn scan_row(
-    body: &[BodyAtom],
-    pos: usize,
+    plan: &BodyPlan<'_>,
+    step: usize,
     terms: &[Term],
     row: &Row,
     bindings: &mut Bindings,
@@ -646,7 +753,7 @@ fn scan_row(
             return Ok(());
         }
     }
-    eval_body(body, pos + 1, bindings, ctx, emit)?;
+    eval_body(plan, step + 1, bindings, ctx, emit)?;
     for n in newly_bound {
         bindings.remove(n);
     }
@@ -792,8 +899,67 @@ pub fn stratify(program: &Program) -> Result<FxHashMap<String, usize>, EvalError
     Err(EvalError::NotStratifiable(culprit))
 }
 
+/// Run one stratum's aggregation rules (they read completed lower strata
+/// only, so a single pass each) and land their rows, keeping `cache`
+/// current. Shared by both evaluators; the naive one passes a throwaway
+/// cache.
+#[allow(clippy::too_many_arguments)]
+fn run_stratum_aggs(
+    program: &Program,
+    strata: &FxHashMap<String, usize>,
+    s: usize,
+    db: &mut Database,
+    scalars: &FxHashMap<String, Value>,
+    key_index: &FxHashMap<String, FxHashMap<Row, Row>>,
+    udfs: &mut UdfHost,
+    mut cache: ScanCache,
+) -> Result<ScanCache, EvalError> {
+    let agg_rules: Vec<&AggRule> = program
+        .agg_rules
+        .iter()
+        .filter(|r| strata[&r.head] == s)
+        .collect();
+    for rule in agg_rules {
+        let rows = {
+            let mut ctx = EvalCtx {
+                program,
+                db,
+                scalars,
+                key_index,
+                udfs,
+                scan_cache: cache,
+            };
+            let rows = eval_agg_rule(rule, &mut ctx)?;
+            cache = ctx.scan_cache;
+            rows
+        };
+        let rel = db.entry(rule.head.clone()).or_default();
+        for row in rows {
+            if rel.insert(row.clone()) {
+                cache.note_insert(&rule.head, &row, rel.len() - 1);
+            }
+        }
+    }
+    Ok(cache)
+}
+
+/// Seed the view relations (they must exist, possibly empty) and clone
+/// the base database both evaluators start from.
+fn seed_views(program: &Program, base: &Database) -> Database {
+    let mut db: Database = base.clone();
+    for r in &program.rules {
+        db.entry(r.head.clone()).or_default();
+    }
+    for r in &program.agg_rules {
+        db.entry(r.head.clone()).or_default();
+    }
+    db
+}
+
 /// Compute all views over the base database, stratum by stratum, each
-/// stratum to fixpoint. Returns the database extended with every view.
+/// stratum to fixpoint **semi-naively** (see the module docs for the
+/// algorithm and its delta invariant). Returns the database extended with
+/// every view.
 pub fn evaluate_views(
     program: &Program,
     base: &Database,
@@ -803,43 +969,161 @@ pub fn evaluate_views(
     let strata = stratify(program)?;
     let max_stratum = strata.values().copied().max().unwrap_or(0);
 
-    let mut db: Database = base.clone();
-    // Views whose rules derive nothing must still exist (empty).
-    for r in &program.rules {
-        db.entry(r.head.clone()).or_default();
-    }
-    for r in &program.agg_rules {
-        db.entry(r.head.clone()).or_default();
-    }
-
+    let mut db = seed_views(program, base);
     let key_index = build_key_indexes(program, base);
+    // One index cache for the whole evaluation: relations only grow, and
+    // the insertion loops below report every append via `note_insert`.
+    let mut cache = ScanCache::default();
 
     for s in 0..=max_stratum {
         // Aggregations of this stratum run once, over completed lower strata.
-        let agg_rules: Vec<&AggRule> = program
-            .agg_rules
+        cache = run_stratum_aggs(program, &strata, s, &mut db, scalars, &key_index, udfs, cache)?;
+
+        // Plain rules of this stratum run to fixpoint (handles recursion).
+        let rules: Vec<&Rule> = program
+            .rules
             .iter()
             .filter(|r| strata[&r.head] == s)
             .collect();
-        for rule in agg_rules {
-            let rows = {
+        if rules.is_empty() {
+            continue;
+        }
+        let heads: FxHashSet<String> = rules.iter().map(|r| r.head.clone()).collect();
+        // Per rule: the positions of body atoms scanning a same-stratum
+        // head — the delta-variant candidates for rounds ≥ 1.
+        let delta_variants: Vec<Vec<(usize, String)>> = rules
+            .iter()
+            .map(|rule| {
+                rule.body
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, a)| match a {
+                        BodyAtom::Scan { rel, .. } if heads.contains(rel) => {
+                            Some((i, rel.clone()))
+                        }
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Round 0: every rule once, over the full snapshot. Recursive
+        // heads start empty, so this also covers all non-recursive rules
+        // exactly once.
+        let mut derived: Vec<(usize, Row)> = Vec::new();
+        {
+            let mut ctx = EvalCtx {
+                program,
+                db: &db,
+                scalars,
+                key_index: &key_index,
+                udfs,
+                scan_cache: cache,
+            };
+            for (r, rule) in rules.iter().enumerate() {
+                let plan = BodyPlan::full(&rule.body);
+                for row in
+                    eval_select_with_plan(&plan, &rule.head_exprs, &Bindings::default(), &mut ctx)?
+                {
+                    derived.push((r, row));
+                }
+            }
+            cache = ctx.scan_cache;
+        }
+
+        // Apply a round's derivations; rows new to their head feed the
+        // next round's deltas.
+        let apply = |derived: Vec<(usize, Row)>,
+                     db: &mut Database,
+                     cache: &mut ScanCache|
+         -> FxHashMap<String, Relation> {
+            let mut next: FxHashMap<String, Relation> = FxHashMap::default();
+            for (r, row) in derived {
+                let head = &rules[r].head;
+                let rel = db.entry(head.clone()).or_default();
+                if rel.insert(row.clone()) {
+                    cache.note_insert(head, &row, rel.len() - 1);
+                    next.entry(head.clone()).or_default().insert(row);
+                }
+            }
+            next
+        };
+        let mut delta = apply(derived, &mut db, &mut cache);
+
+        // Rounds ≥ 1: only delta variants of recursive rules.
+        while !delta.is_empty() {
+            let mut derived: Vec<(usize, Row)> = Vec::new();
+            {
                 let mut ctx = EvalCtx {
                     program,
                     db: &db,
                     scalars,
                     key_index: &key_index,
                     udfs,
-                    scan_cache: Default::default(),
+                    scan_cache: cache,
                 };
-                eval_agg_rule(rule, &mut ctx)?
-            };
-            let rel = db.entry(rule.head.clone()).or_default();
-            for row in rows {
-                rel.insert(row);
+                for (r, rule) in rules.iter().enumerate() {
+                    for (pos, rel) in &delta_variants[r] {
+                        let Some(d) = delta.get(rel) else { continue };
+                        if d.is_empty() {
+                            continue;
+                        }
+                        let plan = BodyPlan {
+                            body: &rule.body,
+                            delta: Some((*pos, d)),
+                            use_indexes: true,
+                        };
+                        for row in eval_select_with_plan(
+                            &plan,
+                            &rule.head_exprs,
+                            &Bindings::default(),
+                            &mut ctx,
+                        )? {
+                            derived.push((r, row));
+                        }
+                    }
+                }
+                cache = ctx.scan_cache;
             }
+            delta = apply(derived, &mut db, &mut cache);
         }
+    }
+    Ok(db)
+}
 
-        // Plain rules of this stratum run to fixpoint (handles recursion).
+/// The original naive evaluator: full re-derivation of every rule from the
+/// complete database each round, pure nested-loop scans in source order,
+/// no indexes. Retained as the independent reference for differential
+/// tests (`evaluate_views` must agree with it on every program) and for
+/// before/after benchmarking in E1/E8.
+pub fn evaluate_views_naive(
+    program: &Program,
+    base: &Database,
+    scalars: &FxHashMap<String, Value>,
+    udfs: &mut UdfHost,
+) -> Result<Database, EvalError> {
+    let strata = stratify(program)?;
+    let max_stratum = strata.values().copied().max().unwrap_or(0);
+
+    let mut db = seed_views(program, base);
+    let key_index = build_key_indexes(program, base);
+
+    for s in 0..=max_stratum {
+        // Aggregations behave identically in both evaluators (they never
+        // participate in a fixpoint); only the fixpoint below is an
+        // independent naive implementation. The throwaway cache only sees
+        // agg-side index use.
+        run_stratum_aggs(
+            program,
+            &strata,
+            s,
+            &mut db,
+            scalars,
+            &key_index,
+            udfs,
+            ScanCache::default(),
+        )?;
+
         let rules: Vec<&Rule> = program
             .rules
             .iter()
@@ -860,11 +1144,14 @@ pub fn evaluate_views(
                     scan_cache: Default::default(),
                 };
                 for rule in &rules {
-                    let select = Select {
-                        body: rule.body.clone(),
-                        projection: rule.head_exprs.clone(),
-                    };
-                    for row in eval_select(&select, &Bindings::default(), &mut ctx)? {
+                    let mut plan = BodyPlan::full(&rule.body);
+                    plan.use_indexes = false;
+                    for row in eval_select_with_plan(
+                        &plan,
+                        &rule.head_exprs,
+                        &Bindings::default(),
+                        &mut ctx,
+                    )? {
                         derived.push((rule.head.clone(), row));
                     }
                 }

@@ -194,6 +194,54 @@ pub struct State {
     pub scalars: BTreeMap<String, Value>,
 }
 
+/// Hash-map mirrors of the parts of [`State`] that *serialized* handlers
+/// read mid-tick (table key indexes and scalars). Built at most once per
+/// tick — on the first serialized message — and maintained incrementally
+/// as each effect commits, instead of re-snapshotting the whole state per
+/// message (the old `build_key_indexes`-from-scratch path).
+#[derive(Clone, Default)]
+struct TickMirror {
+    key_index: FxHashMap<String, FxHashMap<Row, Row>>,
+    scalars: FxHashMap<String, Value>,
+}
+
+impl TickMirror {
+    /// Mirror the current state. Tables are already keyed, so this is a
+    /// single pass over rows, not a re-index.
+    fn from_state(program: &Program, state: &State) -> Self {
+        let mut key_index: FxHashMap<String, FxHashMap<Row, Row>> = FxHashMap::default();
+        for t in &program.tables {
+            let rows = state
+                .tables
+                .get(&t.name)
+                .map(|m| m.iter().map(|(k, v)| (k.clone(), v.clone())).collect())
+                .unwrap_or_default();
+            key_index.insert(t.name.clone(), rows);
+        }
+        TickMirror {
+            key_index,
+            scalars: state
+                .scalars
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Re-mirror one table row (or its absence) after an effect landed.
+    fn refresh_row(&mut self, state: &State, table: &str, key: &Row) {
+        let slot = self.key_index.entry(table.to_string()).or_default();
+        match state.tables.get(table).and_then(|t| t.get(key)) {
+            Some(row) => {
+                slot.insert(key.clone(), row.clone());
+            }
+            None => {
+                slot.remove(key);
+            }
+        }
+    }
+}
+
 /// The HydroLogic interpreter for one logical node.
 pub struct Transducer {
     program: Program,
@@ -202,6 +250,7 @@ pub struct Transducer {
     udfs: UdfHost,
     next_msg_id: u64,
     tick_no: u64,
+    naive_eval: bool,
 }
 
 impl Transducer {
@@ -230,7 +279,15 @@ impl Transducer {
             udfs: UdfHost::new(),
             next_msg_id: 1,
             tick_no: 0,
+            naive_eval: false,
         })
+    }
+
+    /// Evaluate views with the retained naive reference evaluator instead
+    /// of the semi-naive default. For differential tests and the E1/E8
+    /// before/after benchmarks; semantics are identical, only cost differs.
+    pub fn set_naive_eval(&mut self, naive: bool) {
+        self.naive_eval = naive;
     }
 
     /// The program being interpreted.
@@ -337,14 +394,22 @@ impl Transducer {
             .iter()
             .map(|(k, v)| (k.clone(), v.clone()))
             .collect();
-        let db = evaluate_views(&self.program, &base, &scalars, &mut self.udfs)?;
+        let db = if self.naive_eval {
+            crate::eval::evaluate_views_naive(&self.program, &base, &scalars, &mut self.udfs)?
+        } else {
+            evaluate_views(&self.program, &base, &scalars, &mut self.udfs)?
+        };
         let key_index = build_key_indexes(&self.program, &base);
 
         // 3: run handlers against the snapshot, recording effects. Tables
         // written anywhere this tick are collected for FD monitoring.
+        // Serialized handlers additionally read committed mid-tick state
+        // through `mirror`, built lazily on the first serialized message
+        // and updated incrementally as effects land.
         let mut groups: Vec<EffectGroup> = Vec::new();
         let mut touched: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
         let mut out = TickOutput::default();
+        let mut mirror: Option<TickMirror> = None;
         let handlers: Vec<Handler> = self.program.handlers.clone();
         for handler in &handlers {
             let consistency = self.program.consistency_of(&handler.name).clone();
@@ -377,22 +442,18 @@ impl Transducer {
                             bindings: bindings.clone(),
                         };
                         if serial {
-                            // Fresh view of scalars/table keys including
-                            // prior serialized commits of this tick.
-                            let base_now = self.snapshot_db();
-                            let scalars_now: FxHashMap<String, Value> = self
-                                .state
-                                .scalars
-                                .iter()
-                                .map(|(k, v)| (k.clone(), v.clone()))
-                                .collect();
-                            let key_index_now = build_key_indexes(&self.program, &base_now);
+                            // Current view of scalars/table keys including
+                            // prior serialized commits of this tick,
+                            // maintained incrementally across messages.
+                            let m = mirror.get_or_insert_with(|| {
+                                TickMirror::from_state(&self.program, &self.state)
+                            });
                             self.exec_stmts(
                                 &handler.body,
                                 &mut bindings,
                                 &db,
-                                &scalars_now,
-                                &key_index_now,
+                                &m.scalars,
+                                &m.key_index,
                                 &mut group,
                                 &mut out,
                                 handler,
@@ -401,7 +462,7 @@ impl Transducer {
                             // Commit immediately (transactionally if
                             // invariants are present).
                             touched.extend(touched_tables(&group.effects));
-                            self.apply_group(group, &mut out)?;
+                            self.apply_group(group, &mut out, mirror.as_mut())?;
                         } else {
                             self.exec_stmts(
                                 &handler.body,
@@ -464,11 +525,13 @@ impl Transducer {
         }
 
         // 4: apply effects atomically; invariant groups transactionally.
+        // The serialized-handler mirror is dead past this point, so these
+        // commits skip mirror maintenance.
         for group in &groups {
             touched.extend(touched_tables(&group.effects));
         }
         for group in groups {
-            self.apply_group(group, &mut out)?;
+            self.apply_group(group, &mut out, None)?;
         }
 
         // 5: functional dependencies (§5 relational constraints) are
@@ -776,15 +839,18 @@ impl Transducer {
     }
 
     /// Apply one effect group; transactional if it carries invariants.
+    /// `mirror`, when present, is kept consistent with the state — through
+    /// rollbacks included.
     fn apply_group(
         &mut self,
         mut group: EffectGroup,
         out: &mut TickOutput,
+        mut mirror: Option<&mut TickMirror>,
     ) -> Result<(), TransducerError> {
         if group.invariants.is_empty() {
             let effects = std::mem::take(&mut group.effects);
             for e in effects {
-                self.apply_effect(e, out)?;
+                self.apply_effect(e, out, mirror.as_deref_mut())?;
             }
             return Ok(());
         }
@@ -800,9 +866,10 @@ impl Transducer {
         // tables this group wrote count as postconditions.
         let touched = touched_tables(&group.effects);
         let saved = self.state.clone();
+        let saved_mirror = mirror.as_deref().cloned();
         let effects = std::mem::take(&mut group.effects);
         for e in effects {
-            self.apply_effect(e, out)?;
+            self.apply_effect(e, out, mirror.as_deref_mut())?;
         }
         if self.postconditions_hold(&group)?
             && touched.iter().all(|t| self.fd_warnings(t).is_empty())
@@ -810,6 +877,9 @@ impl Transducer {
             return Ok(());
         }
         self.state = saved;
+        if let (Some(m), Some(s)) = (mirror, saved_mirror) {
+            *m = s;
+        }
         self.reject_group(&group, out);
         Ok(())
     }
@@ -870,7 +940,12 @@ impl Transducer {
         Ok(true)
     }
 
-    fn apply_effect(&mut self, effect: Effect, out: &mut TickOutput) -> Result<(), TransducerError> {
+    fn apply_effect(
+        &mut self,
+        effect: Effect,
+        out: &mut TickOutput,
+        mirror: Option<&mut TickMirror>,
+    ) -> Result<(), TransducerError> {
         match effect {
             Effect::MergeScalar(name, value) => {
                 let decl = self
@@ -890,6 +965,9 @@ impl Transducer {
                         expected: "lattice-shaped value",
                         got: e.to_string(),
                     }))?;
+                if let Some(m) = mirror {
+                    m.scalars.insert(name, slot.clone());
+                }
             }
             Effect::AssignScalar(name, value) => {
                 let slot = self
@@ -898,6 +976,9 @@ impl Transducer {
                     .get_mut(&name)
                     .ok_or_else(|| TransducerError::Unknown(name.clone()))?;
                 *slot = value;
+                if let Some(m) = mirror {
+                    m.scalars.insert(name, slot.clone());
+                }
             }
             Effect::MergeField {
                 table,
@@ -933,6 +1014,9 @@ impl Transducer {
                         got: e.to_string(),
                     })
                 })?;
+                if let Some(m) = mirror {
+                    m.refresh_row(&self.state, &table, &key);
+                }
             }
             Effect::AssignField {
                 table,
@@ -946,7 +1030,12 @@ impl Transducer {
                     .get_mut(&table)
                     .and_then(|t| t.get_mut(&key))
                 {
-                    Some(row) => row[col] = value,
+                    Some(row) => {
+                        row[col] = value;
+                        if let Some(m) = mirror {
+                            m.refresh_row(&self.state, &table, &key);
+                        }
+                    }
                     None => out.warnings.push(format!(
                         "assign into missing row {key:?} of {table:?} ignored"
                     )),
@@ -964,7 +1053,7 @@ impl Transducer {
                     .tables
                     .get_mut(&table)
                     .ok_or_else(|| TransducerError::Unknown(table.clone()))?;
-                match slot.entry(key) {
+                match slot.entry(key.clone()) {
                     std::collections::btree_map::Entry::Vacant(e) => {
                         e.insert(row);
                     }
@@ -988,10 +1077,16 @@ impl Transducer {
                         }
                     }
                 }
+                if let Some(m) = mirror {
+                    m.refresh_row(&self.state, &table, &key);
+                }
             }
             Effect::DeleteRow { table, key } => {
                 if let Some(t) = self.state.tables.get_mut(&table) {
                     t.remove(&key);
+                }
+                if let Some(m) = mirror {
+                    m.refresh_row(&self.state, &table, &key);
                 }
             }
             Effect::ClearMailbox(name) => {

@@ -1,0 +1,354 @@
+//! Differential testing of the semi-naive evaluator against the retained
+//! naive reference (`evaluate_views` vs [`evaluate_views_naive`]).
+//!
+//! The semi-naive rewrite changes the fixpoint algorithm (delta-driven
+//! rounds, composite hash-index probes, greedy atom reordering) but must
+//! not change a single derived row. Programs here cover the shapes the
+//! interpreter supports — recursion (including mutual recursion and
+//! multiple recursive atoms per body), stratified negation feeding and
+//! following recursion, aggregation above recursion, guards, lets, and
+//! wildcard/constant patterns — over random, collision-heavy fact sets.
+
+use hydro_core::ast::AggFun;
+use hydro_core::builder::dsl::*;
+use hydro_core::builder::ProgramBuilder;
+use hydro_core::eval::{evaluate_views, evaluate_views_naive, Database, Relation, UdfHost};
+use hydro_core::{Program, Value};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn db_of(rels: &[(&str, &[(i64, i64)])]) -> Database {
+    let mut db = Database::default();
+    for (name, rows) in rels {
+        db.insert(
+            name.to_string(),
+            Relation::from_rows(
+                rows.iter()
+                    .map(|&(a, b)| vec![Value::Int(a), Value::Int(b)]),
+            ),
+        );
+    }
+    db
+}
+
+/// Evaluate with both engines; every view (and only the views) must hold
+/// exactly the same row set.
+fn engines_agree(program: &Program, base: &Database) {
+    let seminaive = evaluate_views(program, base, &Default::default(), &mut UdfHost::new())
+        .expect("semi-naive evaluates");
+    let naive = evaluate_views_naive(program, base, &Default::default(), &mut UdfHost::new())
+        .expect("naive evaluates");
+    let views: BTreeSet<&String> = seminaive.keys().chain(naive.keys()).collect();
+    for view in views {
+        let a = seminaive.get(view).map(Relation::to_set).unwrap_or_default();
+        let b = naive.get(view).map(Relation::to_set).unwrap_or_default();
+        assert_eq!(a, b, "view {view:?} disagrees between engines");
+    }
+}
+
+fn base_two() -> ProgramBuilder {
+    ProgramBuilder::new().mailbox("e", 2).mailbox("f", 2)
+}
+
+/// Error behavior must match too: a guard that would error (unknown
+/// scalar) sitting after a scan is only reached when the scan yields
+/// rows. The planner must not hoist it ahead of the scan — with an empty
+/// relation both engines succeed, with a nonempty one both fail.
+#[test]
+fn erroring_guard_after_scan_matches_naive_reachability() {
+    use hydro_core::ast::Expr;
+    let program = ProgramBuilder::new()
+        .mailbox("e", 2)
+        .rule(
+            "g",
+            vec![v("a")],
+            vec![
+                scan("e", &["a", "b"]),
+                guard(ge(Expr::Scalar("no_such_scalar".into()), i(0))),
+            ],
+        )
+        .build();
+
+    let empty = db_of(&[("e", &[])]);
+    assert!(
+        evaluate_views(&program, &empty, &Default::default(), &mut UdfHost::new()).is_ok(),
+        "guard after an empty scan is never evaluated"
+    );
+    assert!(
+        evaluate_views_naive(&program, &empty, &Default::default(), &mut UdfHost::new()).is_ok()
+    );
+
+    let nonempty = db_of(&[("e", &[(1, 2)])]);
+    assert!(
+        evaluate_views(&program, &nonempty, &Default::default(), &mut UdfHost::new()).is_err(),
+        "guard is reached once the scan yields a row"
+    );
+    assert!(
+        evaluate_views_naive(&program, &nonempty, &Default::default(), &mut UdfHost::new())
+            .is_err()
+    );
+}
+
+/// A scan that would error (arity mismatch) behind an empty scan must
+/// stay unreachable: the planner may not hoist the better-bound atom
+/// ahead of the empty one.
+#[test]
+fn arity_error_behind_empty_scan_matches_naive_reachability() {
+    let program = base_two()
+        .rule(
+            "j",
+            vec![v("a")],
+            vec![
+                scan("e", &["a", "b"]),
+                scan_terms(
+                    "f",
+                    vec![
+                        hydro_core::ast::Term::Const(Value::Int(1)),
+                        hydro_core::ast::Term::Const(Value::Int(2)),
+                    ],
+                ),
+            ],
+        )
+        .build();
+    // f holds arity-3 rows; the rule scans it with an arity-2 pattern.
+    let mut db = db_of(&[("e", &[])]);
+    db.insert(
+        "f".to_string(),
+        Relation::from_rows([vec![Value::Int(1), Value::Int(2), Value::Int(3)]]),
+    );
+    assert!(
+        evaluate_views(&program, &db, &Default::default(), &mut UdfHost::new()).is_ok(),
+        "empty e short-circuits before f's arity check, as in source order"
+    );
+    assert!(evaluate_views_naive(&program, &db, &Default::default(), &mut UdfHost::new()).is_ok());
+
+    let mut db2 = db_of(&[("e", &[(5, 6)])]);
+    db2.insert(
+        "f".to_string(),
+        Relation::from_rows([vec![Value::Int(1), Value::Int(2), Value::Int(3)]]),
+    );
+    assert!(
+        evaluate_views(&program, &db2, &Default::default(), &mut UdfHost::new()).is_err(),
+        "a nonempty e reaches f and surfaces the mismatch"
+    );
+    assert!(
+        evaluate_views_naive(&program, &db2, &Default::default(), &mut UdfHost::new()).is_err()
+    );
+}
+
+/// The recursive variant of the same property: a same-stratum rule scans
+/// the recursive head `tc` with the wrong arity behind an empty scan. A
+/// delta *variant* of that rule must also evaluate in source order — if
+/// the delta atom were hoisted to the front, a nonempty round-1 delta
+/// would fire the arity check that source-order evaluation (and the
+/// naive reference) never reaches.
+#[test]
+fn arity_error_in_delta_variant_matches_naive_reachability() {
+    let program = base_two()
+        .rule("tc", vec![v("a"), v("b")], vec![scan("e", &["a", "b"])])
+        .rule(
+            "tc",
+            vec![v("a"), v("c")],
+            vec![scan("tc", &["a", "b"]), scan("e", &["b", "c"])],
+        )
+        .rule(
+            "h2",
+            vec![v("x")],
+            vec![scan("f", &["x", "y"]), scan("tc", &["p", "q", "r"])],
+        )
+        .build();
+    // e drives tc to a nonempty delta; f is empty, so h2's arity-3 scan
+    // of the arity-2 tc must never be reached by either engine.
+    let db = db_of(&[("e", &[(1, 2), (2, 3)]), ("f", &[])]);
+    assert!(
+        evaluate_views(&program, &db, &Default::default(), &mut UdfHost::new()).is_ok(),
+        "delta variants evaluate in source order; empty f short-circuits"
+    );
+    assert!(evaluate_views_naive(&program, &db, &Default::default(), &mut UdfHost::new()).is_ok());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Linear recursion: transitive closure.
+    #[test]
+    fn recursion_agrees(
+        es in prop::collection::vec((0i64..7, 0i64..7), 0..22),
+    ) {
+        let program = ProgramBuilder::new()
+            .mailbox("e", 2)
+            .rule("tc", vec![v("a"), v("b")], vec![scan("e", &["a", "b"])])
+            .rule(
+                "tc",
+                vec![v("a"), v("c")],
+                vec![scan("tc", &["a", "b"]), scan("e", &["b", "c"])],
+            )
+            .build();
+        engines_agree(&program, &db_of(&[("e", &es)]));
+    }
+
+    /// Non-linear recursion: two recursive atoms in one body, the case
+    /// where a delta-join must still find (new, new) row pairs.
+    #[test]
+    fn nonlinear_recursion_agrees(
+        es in prop::collection::vec((0i64..6, 0i64..6), 0..18),
+    ) {
+        let program = ProgramBuilder::new()
+            .mailbox("e", 2)
+            .rule("tc", vec![v("a"), v("b")], vec![scan("e", &["a", "b"])])
+            .rule(
+                "tc",
+                vec![v("a"), v("c")],
+                vec![scan("tc", &["a", "b"]), scan("tc", &["b", "c"])],
+            )
+            .build();
+        engines_agree(&program, &db_of(&[("e", &es)]));
+    }
+
+    /// Mutual recursion between two heads in one stratum.
+    #[test]
+    fn mutual_recursion_agrees(
+        es in prop::collection::vec((0i64..5, 0i64..5), 0..16),
+        fs in prop::collection::vec((0i64..5, 0i64..5), 0..16),
+    ) {
+        let program = base_two()
+            .rule("p", vec![v("a"), v("b")], vec![scan("e", &["a", "b"])])
+            .rule(
+                "p",
+                vec![v("a"), v("c")],
+                vec![scan("q", &["a", "b"]), scan("e", &["b", "c"])],
+            )
+            .rule("q", vec![v("a"), v("b")], vec![scan("f", &["a", "b"])])
+            .rule(
+                "q",
+                vec![v("a"), v("c")],
+                vec![scan("p", &["a", "b"]), scan("f", &["b", "c"])],
+            )
+            .build();
+        engines_agree(&program, &db_of(&[("e", &es), ("f", &fs)]));
+    }
+
+    /// Negation below recursion: tc over (e − f).
+    #[test]
+    fn negation_feeding_recursion_agrees(
+        es in prop::collection::vec((0i64..5, 0i64..5), 0..14),
+        fs in prop::collection::vec((0i64..5, 0i64..5), 0..14),
+    ) {
+        let program = base_two()
+            .rule(
+                "live",
+                vec![v("a"), v("b")],
+                vec![scan("e", &["a", "b"]), neg("f", vec![v("a"), v("b")])],
+            )
+            .rule("tc", vec![v("a"), v("b")], vec![scan("live", &["a", "b"])])
+            .rule(
+                "tc",
+                vec![v("a"), v("c")],
+                vec![scan("tc", &["a", "b"]), scan("live", &["b", "c"])],
+            )
+            .build();
+        engines_agree(&program, &db_of(&[("e", &es), ("f", &fs)]));
+    }
+
+    /// Negation above recursion: pairs not reachable.
+    #[test]
+    fn negation_over_recursion_agrees(
+        es in prop::collection::vec((0i64..5, 0i64..5), 0..14),
+        fs in prop::collection::vec((0i64..5, 0i64..5), 0..14),
+    ) {
+        let program = base_two()
+            .rule("tc", vec![v("a"), v("b")], vec![scan("e", &["a", "b"])])
+            .rule(
+                "tc",
+                vec![v("a"), v("c")],
+                vec![scan("tc", &["a", "b"]), scan("e", &["b", "c"])],
+            )
+            .rule(
+                "unreachable",
+                vec![v("a"), v("b")],
+                vec![scan("f", &["a", "b"]), neg("tc", vec![v("a"), v("b")])],
+            )
+            .build();
+        engines_agree(&program, &db_of(&[("e", &es), ("f", &fs)]));
+    }
+
+    /// Aggregation over a recursive view (count/sum/min/max), i.e. an agg
+    /// stratum strictly above the fixpoint stratum.
+    #[test]
+    fn aggregation_over_recursion_agrees(
+        es in prop::collection::vec((0i64..5, 0i64..5), 0..16),
+    ) {
+        for agg in [AggFun::Count, AggFun::Sum, AggFun::Min, AggFun::Max] {
+            let program = ProgramBuilder::new()
+                .mailbox("e", 2)
+                .rule("tc", vec![v("a"), v("b")], vec![scan("e", &["a", "b"])])
+                .rule(
+                    "tc",
+                    vec![v("a"), v("c")],
+                    vec![scan("tc", &["a", "b"]), scan("e", &["b", "c"])],
+                )
+                .agg_rule("reach", vec![v("a")], agg, v("b"), vec![scan("tc", &["a", "b"])])
+                .build();
+            engines_agree(&program, &db_of(&[("e", &es)]));
+        }
+    }
+
+    /// Guards and let-bindings interleaved with a recursive scan, plus a
+    /// bounded-recursion pattern (depth counter in the head).
+    #[test]
+    fn guards_and_lets_in_recursion_agree(
+        es in prop::collection::vec((0i64..6, 0i64..6), 0..16),
+        bound in 1i64..5,
+    ) {
+        let program = ProgramBuilder::new()
+            .mailbox("e", 2)
+            .rule(
+                "walk",
+                vec![v("a"), v("b"), i(1)],
+                vec![scan("e", &["a", "b"])],
+            )
+            .rule(
+                "walk",
+                vec![v("a"), v("c"), v("n1")],
+                vec![
+                    scan("walk", &["a", "b", "n"]),
+                    guard(lt(v("n"), i(bound))),
+                    scan("e", &["b", "c"]),
+                    let_("n1", add(v("n"), i(1))),
+                ],
+            )
+            .build();
+        engines_agree(&program, &db_of(&[("e", &es)]));
+    }
+
+    /// Wildcards and constants inside a recursive stratum: projections of
+    /// the delta must respect term matching on both paths.
+    #[test]
+    fn wildcards_and_constants_in_recursion_agree(
+        es in prop::collection::vec((0i64..5, 0i64..5), 0..16),
+        k in 0i64..5,
+    ) {
+        let program = ProgramBuilder::new()
+            .mailbox("e", 2)
+            .rule("tc", vec![v("a"), v("b")], vec![scan("e", &["a", "b"])])
+            .rule(
+                "tc",
+                vec![v("a"), v("c")],
+                vec![scan("tc", &["a", "b"]), scan("e", &["b", "c"])],
+            )
+            .rule(
+                "from_k",
+                vec![v("b")],
+                vec![scan_terms(
+                    "tc",
+                    vec![
+                        hydro_core::ast::Term::Const(Value::Int(k)),
+                        hydro_core::ast::Term::Var("b".into()),
+                    ],
+                )],
+            )
+            .rule("sources", vec![v("a")], vec![scan("tc", &["a", "_"])])
+            .build();
+        engines_agree(&program, &db_of(&[("e", &es)]));
+    }
+}

@@ -17,8 +17,13 @@ use std::collections::VecDeque;
 /// A runnable Hydroflow operator graph. Build with [`GraphBuilder`].
 pub struct FlowGraph<D: Data> {
     ops: Vec<OpNode<D>>,
+    /// Successor adjacency, precomputed at build time so the hot worklist
+    /// loop never clones an operator's edge list.
+    succs: Vec<Vec<(usize, Port)>>,
     /// Per-op inbound buffer of `(port, datum)` pairs.
     buffers: Vec<Vec<(Port, D)>>,
+    /// Drained inbox vectors kept for reuse across worklist iterations.
+    spare_inboxes: Vec<Vec<(Port, D)>>,
     /// Batches staged for named sources, revealed at the next tick.
     staged: FxHashMap<String, Vec<D>>,
     sources: FxHashMap<String, OpId>,
@@ -88,9 +93,15 @@ impl<D: Data> FlowGraph<D> {
             }
         }
         let n = ops.len();
+        let succs = ops
+            .iter()
+            .map(|op| op.outs.iter().map(|&(to, port)| (to.0, port)).collect())
+            .collect();
         Ok(FlowGraph {
             ops,
+            succs,
             buffers: (0..n).map(|_| Vec::new()).collect(),
+            spare_inboxes: Vec::new(),
             staged: FxHashMap::default(),
             sources,
             sinks,
@@ -111,10 +122,15 @@ impl<D: Data> FlowGraph<D> {
             self.sources.contains_key(source),
             "unknown source {source:?}"
         );
-        self.staged
-            .entry(source.to_string())
-            .or_default()
-            .extend(batch);
+        // Look up before `entry`: staging into an existing slot (every
+        // push after the first) must not allocate a key `String`.
+        match self.staged.get_mut(source) {
+            Some(staged) => staged.extend(batch),
+            None => {
+                self.staged
+                    .insert(source.to_string(), batch.into_iter().collect());
+            }
+        }
     }
 
     /// Names of the graph's sources.
@@ -215,58 +231,67 @@ impl<D: Data> FlowGraph<D> {
 
         while let Some(i) = queue.pop_front() {
             queued[i] = false;
-            let inbox = std::mem::take(&mut self.buffers[i]);
-            if inbox.is_empty() {
+            if self.buffers[i].is_empty() {
                 continue;
             }
+            // Reuse a drained inbox allocation instead of leaving a fresh
+            // empty `Vec` behind every take.
+            let mut inbox = self.spare_inboxes.pop().unwrap_or_default();
+            std::mem::swap(&mut inbox, &mut self.buffers[i]);
             self.items_processed += inbox.len() as u64;
-            let out = self.process(i, inbox);
+            let out = self.process(i, &mut inbox);
+            self.spare_inboxes.push(inbox);
             if out.is_empty() {
                 continue;
             }
-            // Fan out to successors; clone for all but the last edge so the
+            // Fan out to successors (precomputed adjacency — no clone of
+            // the edge list); clone data for all but the last edge so the
             // final consumer takes ownership without a copy.
-            let outs = self.ops[i].outs.clone();
-            if let Some((&(to_last, port_last), rest)) = outs.split_last() {
-                for &(to, port) in rest {
-                    self.buffers[to.0].extend(out.iter().cloned().map(|d| (port, d)));
-                    if self.ops[to.0].stratum == stratum && !queued[to.0] {
-                        queued[to.0] = true;
-                        queue.push_back(to.0);
-                    }
+            let n_succ = self.succs[i].len();
+            if n_succ == 0 {
+                continue;
+            }
+            for k in 0..n_succ - 1 {
+                let (to, port) = self.succs[i][k];
+                self.buffers[to].extend(out.iter().cloned().map(|d| (port, d)));
+                if self.ops[to].stratum == stratum && !queued[to] {
+                    queued[to] = true;
+                    queue.push_back(to);
                 }
-                self.buffers[to_last.0].extend(out.into_iter().map(|d| (port_last, d)));
-                if self.ops[to_last.0].stratum == stratum && !queued[to_last.0] {
-                    queued[to_last.0] = true;
-                    queue.push_back(to_last.0);
-                }
+            }
+            let (to_last, port_last) = self.succs[i][n_succ - 1];
+            self.buffers[to_last].extend(out.into_iter().map(|d| (port_last, d)));
+            if self.ops[to_last].stratum == stratum && !queued[to_last] {
+                queued[to_last] = true;
+                queue.push_back(to_last);
             }
         }
     }
 
-    /// Process a batch at operator `i`, returning emitted data.
-    fn process(&mut self, i: usize, inbox: Vec<(Port, D)>) -> Vec<D> {
+    /// Process a batch at operator `i`, draining `inbox` and returning
+    /// emitted data (the inbox `Vec` goes back to the reuse pool).
+    fn process(&mut self, i: usize, inbox: &mut Vec<(Port, D)>) -> Vec<D> {
         let sink_out = &mut self.sink_out;
         let op = &mut self.ops[i];
         let mut out = Vec::new();
         match &mut op.kind {
             OpKind::Source { .. } | OpKind::Union => {
-                out.extend(inbox.into_iter().map(|(_, d)| d));
+                out.extend(inbox.drain(..).map(|(_, d)| d));
             }
-            OpKind::Map(f) => out.extend(inbox.into_iter().map(|(_, d)| f(d))),
+            OpKind::Map(f) => out.extend(inbox.drain(..).map(|(_, d)| f(d))),
             OpKind::Filter(f) => {
-                out.extend(inbox.into_iter().map(|(_, d)| d).filter(|d| f(d)));
+                out.extend(inbox.drain(..).map(|(_, d)| d).filter(|d| f(d)));
             }
             OpKind::FlatMap(f) => {
-                for (_, d) in inbox {
+                for (_, d) in inbox.drain(..) {
                     out.extend(f(d));
                 }
             }
             OpKind::FilterMap(f) => {
-                out.extend(inbox.into_iter().filter_map(|(_, d)| f(d)));
+                out.extend(inbox.drain(..).filter_map(|(_, d)| f(d)));
             }
             OpKind::Distinct { seen, .. } => {
-                for (_, d) in inbox {
+                for (_, d) in inbox.drain(..) {
                     if seen.insert(d.clone()) {
                         out.push(d);
                     }
@@ -280,7 +305,7 @@ impl<D: Data> FlowGraph<D> {
                 right_state,
                 ..
             } => {
-                for (port, d) in inbox {
+                for (port, d) in inbox.drain(..) {
                     match port {
                         Port::Left => {
                             let k = left_key(&d);
@@ -310,7 +335,7 @@ impl<D: Data> FlowGraph<D> {
                 // (validated at build time); consume it first regardless of
                 // interleaving in the buffer.
                 let mut positives = Vec::new();
-                for (port, d) in inbox {
+                for (port, d) in inbox.drain(..) {
                     match port {
                         Port::Neg => {
                             neg_state.insert(neg_key(&d));
@@ -332,7 +357,7 @@ impl<D: Data> FlowGraph<D> {
                 groups,
                 ..
             } => {
-                for (_, d) in inbox {
+                for (_, d) in inbox.drain(..) {
                     let k = key(&d);
                     let slot = groups.entry(k).or_insert_with_key(|k| init(k));
                     acc(slot, d);
@@ -341,7 +366,7 @@ impl<D: Data> FlowGraph<D> {
             }
             OpKind::LatticeCell { state, merge, .. } => {
                 let mut changed = false;
-                for (_, d) in inbox {
+                for (_, d) in inbox.drain(..) {
                     changed |= merge(state, d);
                 }
                 if changed {
@@ -349,16 +374,21 @@ impl<D: Data> FlowGraph<D> {
                 }
             }
             OpKind::Inspect(f) => {
-                for (_, d) in inbox {
+                for (_, d) in inbox.drain(..) {
                     f(&d);
                     out.push(d);
                 }
             }
             OpKind::Sink { name } => {
-                sink_out
-                    .entry(name.clone())
-                    .or_default()
-                    .extend(inbox.into_iter().map(|(_, d)| d));
+                match sink_out.get_mut(name) {
+                    Some(slot) => slot.extend(inbox.drain(..).map(|(_, d)| d)),
+                    None => {
+                        sink_out.insert(
+                            name.clone(),
+                            inbox.drain(..).map(|(_, d)| d).collect(),
+                        );
+                    }
+                }
             }
         }
         out
@@ -382,11 +412,18 @@ impl<D: Data> FlowGraph<D> {
             if emissions.is_empty() {
                 continue;
             }
-            let outs = self.ops[i].outs.clone();
-            for &(to, port) in &outs {
-                self.buffers[to.0]
-                    .extend(emissions.iter().cloned().map(|d| (port, d)));
+            // As in `run_stratum`: precomputed adjacency, and the final
+            // edge takes ownership of the emissions without a copy.
+            let n_succ = self.succs[i].len();
+            if n_succ == 0 {
+                continue;
             }
+            for k in 0..n_succ - 1 {
+                let (to, port) = self.succs[i][k];
+                self.buffers[to].extend(emissions.iter().cloned().map(|d| (port, d)));
+            }
+            let (to_last, port_last) = self.succs[i][n_succ - 1];
+            self.buffers[to_last].extend(emissions.into_iter().map(|d| (port_last, d)));
         }
     }
 }

@@ -427,7 +427,10 @@ mod tests {
 
     #[test]
     fn messages_chain_between_nodes() {
-        let (mut sim, log) = two_nodes(7, LinkModel::default());
+        // Seed chosen so the external message's jitter draw lands before
+        // the internal one's under the vendored PRNG stream (the assert
+        // below pins arrival order, which depends on those two draws).
+        let (mut sim, log) = two_nodes(8, LinkModel::default());
         // External 0 arrives at node 0 (no echo for external); then an
         // internal 1 sent 0→1 echoes up to 3.
         sim.send_external(0, 5);

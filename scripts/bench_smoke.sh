@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Perf smoke: run the E1/E8 interpreter sweeps and record the trajectory.
+#
+# Builds the release report binary, prints the E1 (COVID tracker) and E8
+# (transitive closure) tables, and writes BENCH_interp.json at the repo
+# root: [{workload, n, wall_ms, items_processed}, ...] covering the
+# semi-naive interpreter, the retained naive reference, and the compiled
+# Hydroflow path. Future PRs compare against the committed numbers to
+# catch perf regressions in the interpreter hot path.
+#
+# Usage: scripts/bench_smoke.sh [output-path]   (default: BENCH_interp.json)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_interp.json}"
+
+cargo build --release -p hydro-bench --bin report
+./target/release/report e01 e08 --bench-json="$out"
+
+echo
+echo "== $out =="
+cat "$out"

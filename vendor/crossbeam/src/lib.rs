@@ -1,0 +1,167 @@
+//! Minimal stand-in for `crossbeam`: MPMC channels on a mutex + condvar.
+//!
+//! Only `channel::{bounded, unbounded, Sender, Receiver}` are provided —
+//! the surface the sharded KVS uses. Senders and receivers are cloneable;
+//! `recv` blocks; dropping every sender disconnects the channel so worker
+//! loops (`while let Ok(cmd) = rx.recv()`) terminate.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        cv: Condvar,
+    }
+
+    /// The sending half; cloneable.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The receiving half; cloneable.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Error: the channel is disconnected (all receivers gone). This shim
+    /// never reports it — sends always enqueue — but callers match on it.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    /// Error: the channel is empty and all senders are gone.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.state.lock().expect("channel lock").senders += 1;
+            Sender {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.state.lock().expect("channel lock");
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                self.chan.cv.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue `value` and wake one receiver.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.chan.state.lock().expect("channel lock");
+            st.queue.push_back(value);
+            drop(st);
+            self.chan.cv.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a value arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.chan.state.lock().expect("channel lock");
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.chan.cv.wait(st).expect("channel lock");
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            let mut st = self.chan.state.lock().expect("channel lock");
+            st.queue.pop_front().ok_or(RecvError)
+        }
+    }
+
+    fn new_chan<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+            }),
+            cv: Condvar::new(),
+        });
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
+    }
+
+    /// A channel with no capacity bound.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        new_chan()
+    }
+
+    /// A nominally bounded channel. This shim does not apply backpressure
+    /// (the KVS uses capacity-1 channels purely as one-shot reply slots,
+    /// where blocking-on-full is unreachable).
+    pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
+        new_chan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, RecvError};
+
+    #[test]
+    fn send_recv_across_threads() {
+        let (tx, rx) = unbounded::<u64>();
+        let tx2 = tx.clone();
+        let h = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx2.send(i).unwrap();
+            }
+        });
+        drop(tx);
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        h.join().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn disconnect_on_all_senders_dropped() {
+        let (tx, rx) = bounded::<()>(1);
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn oneshot_reply_pattern() {
+        let (tx, rx) = bounded::<Option<u64>>(1);
+        std::thread::spawn(move || tx.send(Some(9)).unwrap());
+        assert_eq!(rx.recv().ok().flatten(), Some(9));
+    }
+}

@@ -1,0 +1,841 @@
+//! Minimal stand-in for `proptest`: a deterministic property-testing
+//! harness exposing the strategy combinators this workspace uses.
+//!
+//! Differences from upstream: cases are generated from a seed derived from
+//! the test's module path + name (so runs are reproducible without a
+//! persistence file), failing inputs are printed but **not shrunk**, and
+//! the case count honors the `PROPTEST_CASES` environment variable over
+//! the per-block `ProptestConfig`.
+
+/// Runner configuration and RNG.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Per-block configuration (`#![proptest_config(...)]`).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// The deterministic case RNG.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// Seeded from a stable hash of `name` (module path + test name).
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1_0000_0000_01b3);
+            }
+            TestRng {
+                inner: StdRng::seed_from_u64(h),
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+
+        /// Uniform in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+    }
+}
+
+/// Strategies: value generators with combinators.
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A generator of values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generate a value, then generate from a strategy derived from it.
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Build recursive structures: `self` is the leaf strategy; `f`
+        /// lifts a strategy for depth `d` into one for depth `d + 1`.
+        /// `depth` bounds recursion; the size hints are accepted and
+        /// ignored (this shim mixes leaves in at every level instead).
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let base = self.boxed();
+            let mut cur = base.clone();
+            for _ in 0..depth.max(1) {
+                let deeper = f(cur).boxed();
+                cur = OneOf {
+                    arms: vec![(1, base.clone()), (2, deeper)],
+                }
+                .boxed();
+            }
+            cur
+        }
+
+        /// Type-erase (cloneable; this shim uses `Rc` internally).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            let s = self;
+            BoxedStrategy(Rc::new(move |rng: &mut TestRng| s.generate(rng)))
+        }
+    }
+
+    /// A cloneable, type-erased strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Weighted union of strategies (`prop_oneof!`).
+    pub struct OneOf<T> {
+        /// `(weight, strategy)` arms.
+        pub arms: Vec<(u32, BoxedStrategy<T>)>,
+    }
+
+    impl<T> Clone for OneOf<T> {
+        fn clone(&self) -> Self {
+            OneOf {
+                arms: self.arms.clone(),
+            }
+        }
+    }
+
+    impl<T> OneOf<T> {
+        /// From `(weight, strategy)` arms; weights must sum to ≥ 1.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(
+                arms.iter().map(|(w, _)| u64::from(*w)).sum::<u64>() > 0,
+                "prop_oneof! needs at least one arm with nonzero weight"
+            );
+            OneOf { arms }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let total: u64 = self.arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            let mut pick = rng.below(total);
+            for (w, s) in &self.arms {
+                let w = u64::from(*w);
+                if pick < w {
+                    return s.generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weights covered above")
+        }
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (u128::from(rng.next_u64()) % span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u128;
+                    (lo as i128 + (u128::from(rng.next_u64()) % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($s:ident/$v:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($s,)+) = self;
+                    $(let $v = $s.generate(rng);)+
+                    ($($v,)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(S1 / v1);
+    tuple_strategy!(S1 / v1, S2 / v2);
+    tuple_strategy!(S1 / v1, S2 / v2, S3 / v3);
+    tuple_strategy!(S1 / v1, S2 / v2, S3 / v3, S4 / v4);
+    tuple_strategy!(S1 / v1, S2 / v2, S3 / v3, S4 / v4, S5 / v5);
+    tuple_strategy!(S1 / v1, S2 / v2, S3 / v3, S4 / v4, S5 / v5, S6 / v6);
+
+    /// `&'static str` patterns act as generators for a small regex subset:
+    /// literal characters, `[a-z0-9_]`-style classes, and `{m}` / `{m,n}`
+    /// repetition of the preceding element.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_pattern(self, rng)
+        }
+    }
+
+    enum Piece {
+        Lit(char),
+        Class(Vec<(char, char)>),
+    }
+
+    fn generate_pattern(pat: &str, rng: &mut TestRng) -> String {
+        let mut pieces: Vec<(Piece, u32, u32)> = Vec::new();
+        let mut chars = pat.chars().peekable();
+        while let Some(c) = chars.next() {
+            let piece = match c {
+                '[' => {
+                    let mut ranges = Vec::new();
+                    loop {
+                        let lo = chars.next().expect("unterminated char class");
+                        if lo == ']' {
+                            break;
+                        }
+                        if chars.peek() == Some(&'-') {
+                            chars.next();
+                            let hi = chars.next().expect("unterminated char range");
+                            ranges.push((lo, hi));
+                        } else {
+                            ranges.push((lo, lo));
+                        }
+                    }
+                    Piece::Class(ranges)
+                }
+                '{' | '}' => panic!("quantifier without preceding element in {pat:?}"),
+                '\\' => Piece::Lit(chars.next().expect("dangling escape")),
+                c => Piece::Lit(c),
+            };
+            let (mut min, mut max) = (1u32, 1u32);
+            if chars.peek() == Some(&'{') {
+                chars.next();
+                let mut bounds = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    bounds.push(c);
+                }
+                match bounds.split_once(',') {
+                    Some((m, n)) => {
+                        min = m.trim().parse().expect("bad quantifier");
+                        max = n.trim().parse().expect("bad quantifier");
+                    }
+                    None => {
+                        min = bounds.trim().parse().expect("bad quantifier");
+                        max = min;
+                    }
+                }
+            }
+            pieces.push((piece, min, max));
+        }
+        let mut out = String::new();
+        for (piece, min, max) in &pieces {
+            let n = *min + (rng.below(u64::from(max - min + 1)) as u32);
+            for _ in 0..n {
+                match piece {
+                    Piece::Lit(c) => out.push(*c),
+                    Piece::Class(ranges) => {
+                        let total: u64 = ranges
+                            .iter()
+                            .map(|(lo, hi)| u64::from(*hi as u32 - *lo as u32 + 1))
+                            .sum();
+                        let mut pick = rng.below(total);
+                        for (lo, hi) in ranges {
+                            let w = u64::from(*hi as u32 - *lo as u32 + 1);
+                            if pick < w {
+                                out.push(
+                                    char::from_u32(*lo as u32 + pick as u32)
+                                        .expect("valid class char"),
+                                );
+                                break;
+                            }
+                            pick -= w;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `any::<T>()` for primitive types.
+pub mod arbitrary {
+    use super::strategy::{BoxedStrategy, Strategy};
+    use super::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// The full-domain strategy.
+        fn arbitrary() -> BoxedStrategy<Self>;
+    }
+
+    fn from_fn<T: 'static>(f: impl Fn(&mut TestRng) -> T + 'static) -> BoxedStrategy<T> {
+        struct FnStrat<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+        impl<T> Strategy for FnStrat<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut TestRng) -> T {
+                (self.0)(rng)
+            }
+        }
+        FnStrat(Rc::new(f)).boxed()
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary() -> BoxedStrategy<$t> {
+                    from_fn(|rng| rng.next_u64() as $t)
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary() -> BoxedStrategy<bool> {
+            from_fn(|rng| rng.next_u64() & 1 == 1)
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary() -> BoxedStrategy<char> {
+            // Printable ASCII keeps generated text debuggable.
+            from_fn(|rng| char::from_u32(0x20 + (rng.below(0x5f)) as u32).expect("ascii"))
+        }
+    }
+
+    impl<T: Arbitrary + 'static> Arbitrary for Vec<T> {
+        fn arbitrary() -> BoxedStrategy<Vec<T>> {
+            crate::collection::vec(any::<T>(), 0..17).boxed()
+        }
+    }
+
+    macro_rules! arb_tuple {
+        ($($t:ident),+) => {
+            impl<$($t: Arbitrary + 'static),+> Arbitrary for ($($t,)+) {
+                fn arbitrary() -> BoxedStrategy<($($t,)+)> {
+                    ($(any::<$t>(),)+).boxed()
+                }
+            }
+        };
+    }
+    arb_tuple!(A);
+    arb_tuple!(A, B);
+    arb_tuple!(A, B, C);
+    arb_tuple!(A, B, C, D);
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+        T::arbitrary()
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// An inclusive size window for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for vectors of `elem`-generated values.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.hi_inclusive - self.size.lo + 1;
+            let n = self.size.lo + rng.below(span as u64) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// `vec(element_strategy, size)` — size may be a `usize`, `a..b`, or
+    /// `a..=b`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for ordered sets. The size window bounds the *attempted*
+    /// inserts; duplicates collapse, exactly like upstream.
+    #[derive(Clone)]
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = self.size.hi_inclusive - self.size.lo + 1;
+            let n = self.size.lo + rng.below(span as u64) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// `btree_set(element_strategy, size)`.
+    pub fn btree_set<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+}
+
+/// Character strategies.
+pub mod char {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Uniform over an inclusive scalar-value range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct CharRange {
+        lo: u32,
+        hi: u32,
+    }
+
+    impl Strategy for CharRange {
+        type Value = char;
+
+        fn generate(&self, rng: &mut TestRng) -> char {
+            loop {
+                let v = self.lo + rng.below(u64::from(self.hi - self.lo + 1)) as u32;
+                if let Some(c) = char::from_u32(v) {
+                    return c;
+                }
+            }
+        }
+    }
+
+    /// Characters in `lo..=hi`.
+    pub fn range(lo: char, hi: char) -> CharRange {
+        assert!(lo <= hi, "empty char range");
+        CharRange {
+            lo: lo as u32,
+            hi: hi as u32,
+        }
+    }
+}
+
+/// Run a block of property tests.
+///
+/// Supports the standard form: an optional
+/// `#![proptest_config(expr)]` header followed by `#[test] fn name(arg in
+/// strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_each! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_each! {
+            @cfg($crate::test_runner::Config::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_each {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($args:tt)*) $body:block
+     $($rest:tt)*) => {
+        $crate::__proptest_fn! {
+            @cfg($cfg)
+            @metas($(#[$meta])*)
+            @name($name)
+            @acc()
+            @parse($($args)*)
+            @body($body)
+        }
+        $crate::__proptest_each! { @cfg($cfg) $($rest)* }
+    };
+}
+
+/// Normalizes one test's argument list: both `pat in strategy` and the
+/// typed `name: Type` (≡ `name in any::<Type>()`) forms, then emits the
+/// `#[test]` wrapper.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fn {
+    // `pat in strategy` argument.
+    (@cfg($cfg:expr) @metas($($metas:tt)*) @name($name:ident)
+     @acc($($acc:tt)*)
+     @parse($p:pat in $s:expr $(, $($restargs:tt)*)?)
+     @body($body:block)) => {
+        $crate::__proptest_fn! {
+            @cfg($cfg) @metas($($metas)*) @name($name)
+            @acc($($acc)* [$p][$s])
+            @parse($($($restargs)*)?)
+            @body($body)
+        }
+    };
+    // `name: Type` argument (full-domain `any`).
+    (@cfg($cfg:expr) @metas($($metas:tt)*) @name($name:ident)
+     @acc($($acc:tt)*)
+     @parse($a:ident : $t:ty $(, $($restargs:tt)*)?)
+     @body($body:block)) => {
+        $crate::__proptest_fn! {
+            @cfg($cfg) @metas($($metas)*) @name($name)
+            @acc($($acc)* [$a][$crate::arbitrary::any::<$t>()])
+            @parse($($($restargs)*)?)
+            @body($body)
+        }
+    };
+    // All arguments parsed: emit the test.
+    (@cfg($cfg:expr) @metas($($metas:tt)*) @name($name:ident)
+     @acc($([$arg:pat][$strat:expr])+)
+     @parse($(,)?)
+     @body($body:block)) => {
+        $($metas)*
+        fn $name() {
+            let cfg: $crate::test_runner::Config = $cfg;
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(cfg.cases);
+            let mut rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..cases {
+                let mut described = String::new();
+                $(
+                    let $arg = {
+                        let v = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                        described.push_str(&format!(
+                            "  {} = {:?}\n", stringify!($arg), &v
+                        ));
+                        v
+                    };
+                )+
+                let outcome = std::panic::catch_unwind(
+                    std::panic::AssertUnwindSafe(move || { $body })
+                );
+                if let Err(panic) = outcome {
+                    eprintln!(
+                        "proptest {} failed at case {}/{} with inputs:\n{}",
+                        stringify!($name), case + 1, cases, described,
+                    );
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    };
+}
+
+/// Weighted (or unweighted) union of strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Assert within a property (panics; this shim does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skip the current case when an assumption fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// The glob-import surface tests use.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, OneOf, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// The `prop::` module alias (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::char;
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Tree {
+        Leaf(u8),
+        Node(Box<Tree>, Box<Tree>),
+    }
+
+    fn depth(t: &Tree) -> u32 {
+        match t {
+            Tree::Leaf(_) => 0,
+            Tree::Node(l, r) => 1 + depth(l).max(depth(r)),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3i64..17, y in 0u8..=4, c in crate::char::range('a', 'f')) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y <= 4);
+            prop_assert!(('a'..='f').contains(&c));
+        }
+
+        #[test]
+        fn vec_sizes_respect_window(
+            v in crate::collection::vec((0i64..5, 0i64..5), 2..6),
+            exact in crate::collection::vec(0u32..9, 3usize),
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert_eq!(exact.len(), 3);
+        }
+
+        #[test]
+        fn oneof_and_maps_compose(
+            e in prop_oneof![
+                3 => (0u8..10).prop_map(Tree::Leaf),
+                1 => (any::<u8>(), any::<u8>()).prop_map(|(a, b)| {
+                    Tree::Node(Box::new(Tree::Leaf(a)), Box::new(Tree::Leaf(b)))
+                }),
+            ],
+        ) {
+            prop_assert!(depth(&e) <= 1);
+        }
+
+        #[test]
+        fn recursive_strategies_terminate(
+            t in (0u8..10).prop_map(Tree::Leaf).prop_recursive(3, 16, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(l, r)| Tree::Node(Box::new(l), Box::new(r)))
+            }),
+        ) {
+            prop_assert!(depth(&t) <= 3);
+        }
+
+        #[test]
+        fn string_patterns_match_shape(s in "[a-z]{1,4}") {
+            prop_assert!((1..=4).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn assume_skips_cases(n in 0u8..10) {
+            prop_assume!(n != 3);
+            prop_assert_ne!(n, 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(0i64..100, 0..10);
+        let mut a = crate::test_runner::TestRng::deterministic("x");
+        let mut b = crate::test_runner::TestRng::deterministic("x");
+        for _ in 0..20 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+}

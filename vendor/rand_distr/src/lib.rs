@@ -1,0 +1,102 @@
+//! Minimal stand-in for `rand_distr`: the `Distribution` trait and a
+//! CDF-table `Zipf` sampler (the only distribution this workspace uses).
+
+use rand::RngCore;
+
+/// A distribution values of `T` can be sampled from.
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: RngCore>(&self, rng: &mut R) -> T;
+}
+
+/// Errors constructing a [`Zipf`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ZipfError {
+    /// `n` must be ≥ 1.
+    EmptyDomain,
+    /// The exponent must be finite and positive.
+    BadExponent,
+}
+
+impl std::fmt::Display for ZipfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ZipfError::EmptyDomain => write!(f, "zipf domain must be non-empty"),
+            ZipfError::BadExponent => write!(f, "zipf exponent must be finite and > 0"),
+        }
+    }
+}
+
+impl std::error::Error for ZipfError {}
+
+/// Zipf distribution over `1..=n` with exponent `s`: `P(k) ∝ k^-s`.
+///
+/// Sampling is inverse-CDF over a precomputed table — exact, O(log n) per
+/// draw, and plenty for the workload sizes in this repository (≤ ~1e6
+/// distinct keys).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Distribution over `1..=n` with exponent `s`.
+    pub fn new(n: u64, s: f64) -> Result<Self, ZipfError> {
+        if n == 0 {
+            return Err(ZipfError::EmptyDomain);
+        }
+        if !s.is_finite() || s <= 0.0 {
+            return Err(ZipfError::BadExponent);
+        }
+        let n = usize::try_from(n).map_err(|_| ZipfError::EmptyDomain)?;
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for k in 1..=n {
+            total += (k as f64).powf(-s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Ok(Zipf { cdf })
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: RngCore>(&self, rng: &mut R) -> f64 {
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        // First rank whose cumulative mass covers u.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        (idx.min(self.cdf.len() - 1) + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_skews_toward_small_ranks() {
+        let z = Zipf::new(1000, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut top10 = 0usize;
+        let draws = 20_000;
+        for _ in 0..draws {
+            let k = z.sample(&mut rng);
+            assert!((1.0..=1000.0).contains(&k));
+            if k <= 10.0 {
+                top10 += 1;
+            }
+        }
+        // Under s=1, ranks 1..=10 carry ~39% of the mass over 1..=1000.
+        assert!(top10 as f64 / draws as f64 > 0.3, "got {top10}/{draws}");
+    }
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert_eq!(Zipf::new(0, 1.0).unwrap_err(), ZipfError::EmptyDomain);
+        assert_eq!(Zipf::new(5, 0.0).unwrap_err(), ZipfError::BadExponent);
+    }
+}

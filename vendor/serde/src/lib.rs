@@ -1,0 +1,13 @@
+//! Marker-trait stand-in for `serde`.
+//!
+//! Only the derive entry points are exercised by this workspace; the
+//! derives expand to nothing (see `serde_derive`), and these traits exist
+//! so `use serde::{Serialize, Deserialize}` resolves.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait; no methods are required by this workspace.
+pub trait SerializeValue {}
+
+/// Marker trait; no methods are required by this workspace.
+pub trait DeserializeValue {}
