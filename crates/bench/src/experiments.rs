@@ -7,7 +7,7 @@
 
 use hydro_analysis::{check_confluent, classify};
 use hydro_core::examples::{cart_program, covid_program, covid_program_with_vaccines};
-use hydro_core::interp::Transducer;
+use hydro_core::interp::{EvalMode, Transducer};
 use hydro_core::Value;
 use hydro_deploy::deploy as deploy_program;
 use hydro_deploy::DeployConfig;
@@ -70,9 +70,9 @@ fn ints(row: &[i64]) -> Vec<Value> {
 /// One E1 run: the COVID tracker's 3-tick diagnosed sequence over an
 /// n-person contact chain. Returns (wall time, alerts emitted). Shared
 /// by the E1 table and the `BENCH_interp.json` records.
-fn covid_chain_run(n: i64, naive: bool) -> (std::time::Duration, usize) {
+fn covid_chain_run(n: i64, mode: EvalMode) -> (std::time::Duration, usize) {
     let mut app = Transducer::new(covid_program()).unwrap();
-    app.set_naive_eval(naive);
+    app.set_eval_mode(mode);
     for p in 1..=n {
         app.enqueue_ok("add_person", ints(&[p]));
     }
@@ -96,7 +96,7 @@ pub fn e01_covid() -> Table {
     // Chain diameter used to drive the naive fixpoint cubically (~10 s at
     // n=100 in debug); the semi-naive evaluator holds this to tens of ms.
     for n in [25i64, 50, 100] {
-        let (elapsed, alerts) = covid_chain_run(n, false);
+        let (elapsed, alerts) = covid_chain_run(n, EvalMode::Incremental);
         // Sequential reference: everyone transitively reachable from 1.
         let expected = (n - 1) as usize;
         rows.push(vec![
@@ -543,6 +543,114 @@ pub fn e08_flow() -> Table {
     }
 }
 
+/// Per-tick wall times of one steady-state COVID run (see
+/// [`covid_steady_run`]).
+struct SteadyRun {
+    /// Ticks that extend the resident contact chain by one person.
+    grow: Vec<std::time::Duration>,
+    /// Ticks with no pending messages at all.
+    noop: Vec<std::time::Duration>,
+    /// Final resident population (sanity check across modes).
+    people: usize,
+}
+
+/// The cross-tick steady-state workload: a resident population of `n`
+/// people in a contact chain (large `transitive` view), then `grow` ticks
+/// that each deliver a 2-message batch (one new person, one new contact —
+/// a small delta against large resident state), then `noop` empty ticks.
+/// The incremental engine should pay per-tick cost proportional to the
+/// delta; the fresh engines re-derive the quadratic closure every tick.
+fn covid_steady_run(n: i64, grow: usize, noop: usize, mode: EvalMode) -> SteadyRun {
+    let mut app = Transducer::new(covid_program()).unwrap();
+    app.set_eval_mode(mode);
+    for p in 1..=n {
+        app.enqueue_ok("add_person", ints(&[p]));
+    }
+    app.tick().unwrap();
+    for p in 1..n {
+        app.enqueue_ok("add_contact", ints(&[p, p + 1]));
+    }
+    app.tick().unwrap();
+    // Settle tick: effects land at end-of-tick, so the *next* evaluation
+    // absorbs the resident build. Run it unmeasured — the phases below
+    // measure steady state, not setup.
+    app.tick().unwrap();
+    let mut run = SteadyRun {
+        grow: Vec::with_capacity(grow),
+        noop: Vec::with_capacity(noop),
+        people: 0,
+    };
+    // One unmeasured warm batch first: a tick pays for the *previous*
+    // batch's view maintenance (effects commit at end-of-tick), so
+    // without it the first measured tick would ride for free and the
+    // last batch's maintenance would fall off the end. With it, every
+    // measured tick is one message batch plus one maintenance fold.
+    for t in 0..=grow {
+        let p = n + 1 + t as i64;
+        app.enqueue_ok("add_person", ints(&[p]));
+        app.enqueue_ok("add_contact", ints(&[p - 1, p]));
+        let t0 = Instant::now();
+        app.tick().unwrap();
+        if t > 0 {
+            run.grow.push(t0.elapsed());
+        }
+    }
+    // One more settle tick so the no-op phase doesn't pay for the last
+    // grow batch's effects.
+    app.tick().unwrap();
+    for _ in 0..noop {
+        let t0 = Instant::now();
+        app.tick().unwrap();
+        run.noop.push(t0.elapsed());
+    }
+    run.people = app.table_len("people");
+    run
+}
+
+fn avg_ms(ts: &[std::time::Duration]) -> f64 {
+    if ts.is_empty() {
+        return 0.0;
+    }
+    ts.iter().map(std::time::Duration::as_secs_f64).sum::<f64>() * 1e3 / ts.len() as f64
+}
+
+/// E15: cross-tick incremental view maintenance — per-tick cost of small
+/// message batches (and of no-op ticks) against large resident state,
+/// incremental engine vs fresh-per-tick re-derivation.
+pub fn e15_steady() -> Table {
+    let mut rows = Vec::new();
+    for n in [100i64, 200] {
+        let incr = covid_steady_run(n, 6, 4, EvalMode::Incremental);
+        let fresh = covid_steady_run(n, 6, 4, EvalMode::FreshSemiNaive);
+        assert_eq!(incr.people, fresh.people, "modes agree on final state size");
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.3}", avg_ms(&incr.grow)),
+            format!("{:.3}", avg_ms(&fresh.grow)),
+            format!("{:.1}", avg_ms(&fresh.grow) / avg_ms(&incr.grow).max(1e-9)),
+            format!("{:.3}", avg_ms(&incr.noop)),
+            format!("{:.3}", avg_ms(&fresh.noop)),
+            format!("{:.1}", avg_ms(&fresh.noop) / avg_ms(&incr.noop).max(1e-9)),
+        ]);
+    }
+    Table {
+        title: "E15 steady-state ticks: incremental maintenance vs fresh re-derivation"
+            .into(),
+        headers: [
+            "resident n",
+            "incr grow ms",
+            "fresh grow ms",
+            "grow speedup x",
+            "incr noop ms",
+            "fresh noop ms",
+            "noop speedup x",
+        ]
+        .map(String::from)
+        .to_vec(),
+        rows,
+    }
+}
+
 /// One machine-readable benchmark datapoint (see `BENCH_interp.json`).
 pub struct BenchRecord {
     /// Workload id, e.g. `e01_covid_seminaive`.
@@ -567,12 +675,45 @@ pub fn interp_bench_records() -> Vec<BenchRecord> {
         items_processed: items,
     };
 
-    // E1: the COVID tracker's diagnosed-tick sequence, semi-naive vs the
-    // naive reference. items = alerts emitted.
+    // E1: the COVID tracker's diagnosed-tick sequence across the three
+    // engines. items = alerts emitted. (`e01_covid_seminaive` keeps its
+    // PR 1 name but now measures the default incremental engine;
+    // `e01_covid_fresh` is the retained fresh-per-tick semi-naive path.)
     for n in [25i64, 50, 100] {
-        for (label, naive) in [("e01_covid_seminaive", false), ("e01_covid_naive", true)] {
-            let (wall, alerts) = covid_chain_run(n, naive);
+        for (label, mode) in [
+            ("e01_covid_seminaive", EvalMode::Incremental),
+            ("e01_covid_fresh", EvalMode::FreshSemiNaive),
+            ("e01_covid_naive", EvalMode::FreshNaive),
+        ] {
+            let (wall, alerts) = covid_chain_run(n, mode);
             records.push(rec(label, n, wall, alerts as u64));
+        }
+    }
+
+    // E15: per-tick wall times of the steady-state workload — the
+    // cross-tick incremental win, measured rather than asserted. n is
+    // the tick index within each phase; items the resident population.
+    let resident = 200i64;
+    for (label, mode) in [
+        ("e15_steady_incremental", EvalMode::Incremental),
+        ("e15_steady_fresh", EvalMode::FreshSemiNaive),
+    ] {
+        let run = covid_steady_run(resident, 6, 4, mode);
+        for (i, d) in run.grow.iter().enumerate() {
+            records.push(rec(
+                &format!("{label}_grow"),
+                i as i64 + 1,
+                *d,
+                run.people as u64,
+            ));
+        }
+        for (i, d) in run.noop.iter().enumerate() {
+            records.push(rec(
+                &format!("{label}_noop"),
+                i as i64 + 1,
+                *d,
+                run.people as u64,
+            ));
         }
     }
 
@@ -1129,6 +1270,7 @@ pub fn experiment_registry() -> Vec<(&'static str, fn() -> Table)> {
         ("e12", e12_lifting),
         ("e13", e13_collab),
         ("e14", e14_adaptive),
+        ("e15", e15_steady),
     ]
 }
 

@@ -1,10 +1,11 @@
-//! Within-tick query evaluation: stratified, recursive, to fixpoint (§3.1).
+//! Query evaluation: stratified, recursive, to fixpoint (§3.1) — and,
+//! across ticks, **incrementally maintained**.
 //!
-//! Each tick, every declared view is computed from the snapshot database
-//! (tables + mailbox relations). Rules are stratified — negation and
-//! aggregation may not be entered recursively — and each stratum is run to
-//! fixpoint, so "the results of a tick are independent of the order in which
-//! statements appear in the program".
+//! Every declared view is computed over the database (tables + mailbox
+//! relations). Rules are stratified — negation and aggregation may not be
+//! entered recursively — and each stratum is run to fixpoint, so "the
+//! results of a tick are independent of the order in which statements
+//! appear in the program".
 //!
 //! # Semi-naive evaluation
 //!
@@ -39,6 +40,39 @@
 //! retains the original naive nested-loop evaluator as a
 //! differential-testing reference; experiment E8 compares the two against
 //! the compiled path.
+//!
+//! # Cross-tick incremental view maintenance
+//!
+//! [`EvalState`] extends the same delta argument *across ticks*: the
+//! transducer owns a persistent materialized database (base relations and
+//! views), persistent scan indexes ([`ScanCache::note_remove`] keeps them
+//! valid under deletion), a persistent table-key mirror, and a
+//! once-per-program compiled [`ProgramPlan`] — strata split into strongly
+//! connected components ([`EvalUnit`]s) in dependency order, with
+//! delta-variant tables and per-atom probe layouts ([`ProbeLayout`])
+//! precomputed. At tick start, the effects committed by the previous tick
+//! become per-relation [`RelDelta`]s, and each unit is classified:
+//!
+//! * **clean** — no dirty input: skipped entirely (the fast path that
+//!   makes a no-op tick O(1) in the database size);
+//! * **incremental** — insert-only changes feeding only monotone
+//!   (positively scanned) atoms: semi-naive rounds seeded by the input
+//!   deltas, starting from the materialized views;
+//! * **recompute** — a deletion, a changed relation read under negation /
+//!   aggregation / a nested comprehension / a keyed table expression, a
+//!   changed scalar, or a UDF call: the unit's heads are re-derived from
+//!   scratch and *diffed* against their previous contents, so retraction
+//!   propagates to the units above as removal deltas while everything
+//!   untouched stays incremental. This is the per-stratum (per-unit)
+//!   fallback rule; counting-based per-row maintenance could narrow it
+//!   further for non-recursive monotone rules.
+//!
+//! Known cost edge: an input delta feeding a rule at atom position *p*
+//! evaluates that delta variant in source order, paying for the scans
+//! before *p* (e.g. `tc(a,c) :- tc(a,b), Δcp(b,c)` walks `tc` once).
+//! Sideways information passing could push the delta's bindings into the
+//! prefix, but only under an error-semantics story, since skipping prefix
+//! bindings changes which errors and UDF calls are reachable.
 
 use crate::ast::{AggFun, AggRule, BodyAtom, ArithOp, CmpOp, Expr, Program, Rule, Select, Term};
 use crate::value::Value;
@@ -50,10 +84,18 @@ pub type Row = Vec<Value>;
 
 /// A deduplicated relation preserving insertion order (for deterministic
 /// iteration).
+///
+/// Removal is tombstone-based so row *positions* stay stable: the scan
+/// indexes of a persistent [`ScanCache`] hold storage positions, and a
+/// removal must not shift the rows behind it. Dead slots are skipped by
+/// iteration and reclaimed by [`Relation::compact`] (callers that hold an
+/// index over the relation must invalidate it when they compact).
 #[derive(Clone, Debug, Default)]
 pub struct Relation {
     rows: Vec<Row>,
-    index: FxHashSet<Row>,
+    live: Vec<bool>,
+    index: FxHashMap<Row, usize>,
+    dead: usize,
 }
 
 impl Relation {
@@ -75,42 +117,121 @@ impl Relation {
     /// duplicate case — the hottest path of a fixpoint's dedup — allocates
     /// nothing.
     pub fn insert(&mut self, row: Row) -> bool {
-        if self.index.contains(&row) {
+        if self.index.contains_key(&row) {
             return false;
         }
-        self.index.insert(row.clone());
+        self.index.insert(row.clone(), self.rows.len());
         self.rows.push(row);
+        self.live.push(true);
         true
+    }
+
+    /// Remove a row, returning its storage position if it was present.
+    /// The slot becomes a tombstone; positions of other rows are stable.
+    pub fn remove(&mut self, row: &[Value]) -> Option<usize> {
+        let pos = self.index.remove(row)?;
+        self.live[pos] = false;
+        self.dead += 1;
+        Some(pos)
     }
 
     /// Membership test.
     pub fn contains(&self, row: &[Value]) -> bool {
-        self.index.contains(row)
+        self.index.contains_key(row)
     }
 
-    /// Number of rows.
+    /// Number of live rows.
     pub fn len(&self) -> usize {
+        self.rows.len() - self.dead
+    }
+
+    /// Whether no live rows remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Storage slots used, tombstones included: `storage_len() - 1` is the
+    /// position of the most recently inserted row.
+    pub fn storage_len(&self) -> usize {
         self.rows.len()
     }
 
-    /// Whether empty.
-    pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+    /// Iterate live rows in insertion order. Tombstone-free relations
+    /// (every relation the fresh evaluators ever see) skip the liveness
+    /// filter entirely.
+    pub fn iter(&self) -> RelIter<'_> {
+        RelIter {
+            rows: self.rows.iter().enumerate(),
+            live: (self.dead > 0).then_some(&self.live),
+        }
     }
 
-    /// Iterate rows in insertion order.
-    pub fn iter(&self) -> impl Iterator<Item = &Row> {
-        self.rows.iter()
+    /// Iterate `(storage position, row)` over live rows in insertion order.
+    pub fn iter_indexed(&self) -> impl Iterator<Item = (usize, &Row)> {
+        let live = (self.dead > 0).then_some(&self.live);
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(move |(i, _)| live.is_none_or(|l| l[*i]))
     }
 
-    /// Row at insertion position `i` (for index-driven access paths).
+    /// Row at storage position `i` (for index-driven access paths; callers
+    /// must only pass live positions).
     pub fn row(&self, i: usize) -> &Row {
         &self.rows[i]
     }
 
+    /// Whether tombstones dominate enough to be worth reclaiming.
+    pub fn should_compact(&self) -> bool {
+        self.dead > 64 && self.dead > self.len()
+    }
+
+    /// Drop tombstones, renumbering storage positions (insertion order is
+    /// preserved). Any external index over positions must be invalidated.
+    pub fn compact(&mut self) {
+        if self.dead == 0 {
+            return;
+        }
+        let rows = std::mem::take(&mut self.rows);
+        let live = std::mem::take(&mut self.live);
+        self.index.clear();
+        self.dead = 0;
+        for (row, alive) in rows.into_iter().zip(live) {
+            if alive {
+                self.index.insert(row.clone(), self.rows.len());
+                self.rows.push(row);
+                self.live.push(true);
+            }
+        }
+    }
+
     /// Rows as a sorted set (for order-insensitive comparisons in tests).
     pub fn to_set(&self) -> BTreeSet<Row> {
-        self.rows.iter().cloned().collect()
+        self.iter().cloned().collect()
+    }
+}
+
+/// Iterator over a [`Relation`]'s live rows; `live` is `None` when the
+/// relation has no tombstones, making the hot (fresh-evaluation) case a
+/// plain slice walk.
+pub struct RelIter<'a> {
+    rows: std::iter::Enumerate<std::slice::Iter<'a, Row>>,
+    live: Option<&'a Vec<bool>>,
+}
+
+impl<'a> Iterator for RelIter<'a> {
+    type Item = &'a Row;
+
+    fn next(&mut self) -> Option<&'a Row> {
+        match self.live {
+            None => self.rows.next().map(|(_, r)| r),
+            Some(live) => loop {
+                let (i, r) = self.rows.next()?;
+                if live[i] {
+                    return Some(r);
+                }
+            },
+        }
     }
 }
 
@@ -157,6 +278,9 @@ pub enum EvalError {
     DivByZero,
     /// The rule set cannot be stratified (negation/aggregation in a cycle).
     NotStratifiable(String),
+    /// A head is defined by both an aggregation rule and a plain rule —
+    /// the two derivations cannot be maintained independently.
+    AggPlainHead(String),
 }
 
 impl std::fmt::Display for EvalError {
@@ -184,6 +308,12 @@ impl std::fmt::Display for EvalError {
             EvalError::DivByZero => write!(f, "division by zero"),
             EvalError::NotStratifiable(head) => {
                 write!(f, "rules for {head:?} use negation/aggregation recursively")
+            }
+            EvalError::AggPlainHead(head) => {
+                write!(
+                    f,
+                    "head {head:?} is defined by both an aggregation rule and a plain rule"
+                )
             }
         }
     }
@@ -251,12 +381,14 @@ pub type Bindings = FxHashMap<String, Value>;
 /// `(relation, bound column set)`: `FxHashMap<JoinKey, Vec<RowIdx>>` per
 /// join key, built on the first probe of that key shape.
 ///
-/// A cache stays valid across fixpoint rounds as long as every row
-/// appended to an indexed relation is reported via [`ScanCache::note_insert`]
-/// (relations only ever *grow* during a tick, so appends are the only
-/// mutation to track). [`evaluate_views`] does exactly that; everything
-/// else uses a context whose lifetime is bounded by an immutable borrow of
-/// the database, under which the cache trivially cannot go stale.
+/// A cache stays valid as long as every mutation of an indexed relation is
+/// reported: appends via [`ScanCache::note_insert`], removals via
+/// [`ScanCache::note_remove`], wholesale resets via
+/// [`ScanCache::invalidate`]. Within a tick, [`evaluate_views`] reports
+/// every append; across ticks, [`EvalState`] reports removals too, so the
+/// same indexes survive from one tick to the next instead of being rebuilt.
+/// Everything else uses a context whose lifetime is bounded by an immutable
+/// borrow of the database, under which the cache trivially cannot go stale.
 #[derive(Default)]
 pub struct ScanCache {
     /// relation → sorted bound-column set → join key → row positions.
@@ -264,38 +396,49 @@ pub struct ScanCache {
     /// of copying it; `note_insert` runs between evaluation rounds, when
     /// no probe handle is alive, so `Rc::make_mut` appends in place.
     indexes: FxHashMap<String, FxHashMap<Vec<usize>, FxHashMap<Vec<Value>, std::rc::Rc<Vec<usize>>>>>,
+    /// Reusable probe-key scratch (bound columns / key values), filled by
+    /// the caller just before [`ScanCache::probe_prepared`]. Living here
+    /// means a probe costs only value lookups — no per-binding `Vec`
+    /// allocation on the join hot path.
+    probe_cols: Vec<usize>,
+    probe_key: Vec<Value>,
 }
 
 impl ScanCache {
-    /// Row positions of `relation` whose `cols` equal `key`, building the
+    /// Clear and hand out the probe scratch buffers; the caller fills them
+    /// with the bound columns and key values, then calls
+    /// [`ScanCache::probe_prepared`].
+    fn begin_probe(&mut self) -> (&mut Vec<usize>, &mut Vec<Value>) {
+        self.probe_cols.clear();
+        self.probe_key.clear();
+        (&mut self.probe_cols, &mut self.probe_key)
+    }
+
+    /// Row positions of `relation` whose `probe_cols` equal `probe_key`
+    /// (as filled via [`ScanCache::begin_probe`]), building the
     /// `(rel, cols)` index on first use. Positions are in insertion
     /// order, so index-driven scans enumerate rows exactly like full scans.
-    fn probe(
-        &mut self,
-        rel: &str,
-        cols: &[usize],
-        key: &[Value],
-        relation: &Relation,
-    ) -> Option<std::rc::Rc<Vec<usize>>> {
+    fn probe_prepared(&mut self, rel: &str, relation: &Relation) -> Option<std::rc::Rc<Vec<usize>>> {
         // Steady state first: no key allocation on the fixpoint hot path.
-        if let Some(index) = self.indexes.get(rel).and_then(|m| m.get(cols)) {
-            return index.get(key).map(std::rc::Rc::clone);
+        if let Some(index) = self.indexes.get(rel).and_then(|m| m.get(&self.probe_cols)) {
+            return index.get(&self.probe_key).map(std::rc::Rc::clone);
         }
+        let cols = &self.probe_cols;
         let mut index: FxHashMap<Vec<Value>, std::rc::Rc<Vec<usize>>> = FxHashMap::default();
-        for (i, row) in relation.iter().enumerate() {
+        for (i, row) in relation.iter_indexed() {
             let k: Vec<Value> = cols.iter().map(|&c| row[c].clone()).collect();
             std::rc::Rc::make_mut(index.entry(k).or_default()).push(i);
         }
-        let hits = index.get(key).map(std::rc::Rc::clone);
+        let hits = index.get(&self.probe_key).map(std::rc::Rc::clone);
         self.indexes
             .entry(rel.to_string())
             .or_default()
-            .insert(cols.to_vec(), index);
+            .insert(cols.clone(), index);
         hits
     }
 
-    /// Report that `row` was appended to `rel` at position `idx`, keeping
-    /// every existing index over `rel` current.
+    /// Report that `row` was appended to `rel` at storage position `idx`,
+    /// keeping every existing index over `rel` current.
     pub fn note_insert(&mut self, rel: &str, row: &Row, idx: usize) {
         if let Some(by_cols) = self.indexes.get_mut(rel) {
             for (cols, index) in by_cols.iter_mut() {
@@ -303,6 +446,32 @@ impl ScanCache {
                 std::rc::Rc::make_mut(index.entry(k).or_default()).push(idx);
             }
         }
+    }
+
+    /// Report that the row at storage position `idx` of `rel` was removed.
+    /// Posting lists hold ascending positions, so the removal is a binary
+    /// search plus shift — O(log n + matches) per maintained index.
+    pub fn note_remove(&mut self, rel: &str, row: &Row, idx: usize) {
+        if let Some(by_cols) = self.indexes.get_mut(rel) {
+            for (cols, index) in by_cols.iter_mut() {
+                let k: Vec<Value> = cols.iter().map(|&c| row[c].clone()).collect();
+                if let Some(list) = index.get_mut(&k) {
+                    let l = std::rc::Rc::make_mut(list);
+                    if let Ok(at) = l.binary_search(&idx) {
+                        l.remove(at);
+                    }
+                    if l.is_empty() {
+                        index.remove(&k);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drop every index over `rel` (rebuilt lazily on the next probe).
+    /// Used when a relation is recomputed or compacted wholesale.
+    pub fn invalidate(&mut self, rel: &str) {
+        self.indexes.remove(rel);
     }
 }
 
@@ -522,6 +691,71 @@ fn bool_of(v: Value) -> Result<bool, EvalError> {
     })
 }
 
+/// Where one probe-key value comes from at scan time.
+#[derive(Clone, Debug)]
+enum ProbeSrc {
+    /// A constant in the scan pattern.
+    Const(Value),
+    /// A variable bound by an earlier atom (statically guaranteed).
+    Var(String),
+}
+
+/// Precomputed probe shape for one scan atom of a compiled rule body:
+/// which columns are bound at probe time and where each key value comes
+/// from. Computed once per program (variable boundness is static for rule
+/// bodies, which always start from empty bindings), so the per-binding
+/// work of a probe is value lookups only.
+#[derive(Clone, Debug, Default)]
+struct ProbeLayout {
+    cols: Vec<usize>,
+    srcs: Vec<ProbeSrc>,
+}
+
+/// Per-atom probe layouts for a rule body (`None` = not a scan, or a scan
+/// with no statically bound column — a full scan).
+type BodyLayouts = Vec<Option<ProbeLayout>>;
+
+/// Compute the static probe layouts of a rule body: a variable is bound at
+/// atom `i` iff an atom before `i` introduced it (scan var term, `let`,
+/// `flatten`). Matches the dynamic bound-term detection exactly when the
+/// base bindings are empty, which is always the case for rule evaluation.
+fn body_layouts(body: &[BodyAtom]) -> BodyLayouts {
+    let mut bound: FxHashSet<&str> = FxHashSet::default();
+    let mut out = Vec::with_capacity(body.len());
+    for atom in body {
+        match atom {
+            BodyAtom::Scan { terms, .. } => {
+                let mut layout = ProbeLayout::default();
+                for (i, t) in terms.iter().enumerate() {
+                    match t {
+                        Term::Const(c) => {
+                            layout.cols.push(i);
+                            layout.srcs.push(ProbeSrc::Const(c.clone()));
+                        }
+                        Term::Var(name) if bound.contains(name.as_str()) => {
+                            layout.cols.push(i);
+                            layout.srcs.push(ProbeSrc::Var(name.clone()));
+                        }
+                        _ => {}
+                    }
+                }
+                out.push((!layout.cols.is_empty()).then_some(layout));
+                for t in terms {
+                    if let Term::Var(name) = t {
+                        bound.insert(name);
+                    }
+                }
+            }
+            BodyAtom::Let { var, .. } | BodyAtom::Flatten { var, .. } => {
+                out.push(None);
+                bound.insert(var);
+            }
+            BodyAtom::Neg { .. } | BodyAtom::Guard(_) => out.push(None),
+        }
+    }
+    out
+}
+
 /// How a body is to be evaluated. Atoms always run in source order — the
 /// evaluators promise *exact* agreement with source-order evaluation,
 /// including which errors are reachable (an `ArityMismatch` behind an
@@ -538,6 +772,10 @@ struct BodyPlan<'p> {
     /// Probe hash indexes for bound scan columns (`false` = pure nested
     /// loops, retained for the naive reference evaluator).
     use_indexes: bool,
+    /// Precomputed per-atom probe layouts (compiled rule plans only;
+    /// `None` = detect bound terms dynamically, for ad-hoc selects whose
+    /// base bindings vary).
+    layouts: Option<&'p BodyLayouts>,
 }
 
 impl<'p> BodyPlan<'p> {
@@ -547,6 +785,7 @@ impl<'p> BodyPlan<'p> {
             body,
             delta: None,
             use_indexes: true,
+            layouts: None,
         }
     }
 }
@@ -618,32 +857,54 @@ fn eval_body(
             // earlier atoms) instead of scanning the relation. Index
             // probes enumerate matches in insertion order, so a scan's
             // row order is identical on both paths. Deltas are small and
-            // short-lived; they are always scanned directly.
+            // short-lived; they are always scanned directly. Compiled
+            // rule plans carry a static probe layout; ad-hoc selects
+            // detect bound terms dynamically. Either way the key lands in
+            // the cache's scratch buffers — no per-binding allocation.
             let is_delta = matches!(plan.delta, Some((p, _)) if p == pos);
-            let mut cols: Vec<usize> = Vec::new();
-            let mut key: Vec<Value> = Vec::new();
+            let mut have_key = false;
             if plan.use_indexes && !is_delta {
-                for (i, t) in terms.iter().enumerate() {
-                    match t {
-                        Term::Const(c) => {
-                            cols.push(i);
-                            key.push(c.clone());
-                        }
-                        Term::Var(name) => {
-                            if let Some(v) = bindings.get(name) {
-                                cols.push(i);
-                                key.push(v.clone());
+                let (cols, key) = ctx.scan_cache.begin_probe();
+                match plan.layouts {
+                    Some(layouts) => {
+                        if let Some(layout) = layouts[pos].as_ref() {
+                            cols.extend_from_slice(&layout.cols);
+                            for src in &layout.srcs {
+                                key.push(match src {
+                                    ProbeSrc::Const(c) => c.clone(),
+                                    ProbeSrc::Var(name) => bindings
+                                        .get(name)
+                                        .cloned()
+                                        .expect("layout variables are statically bound"),
+                                });
                             }
                         }
-                        Term::Wildcard => {}
+                    }
+                    None => {
+                        for (i, t) in terms.iter().enumerate() {
+                            match t {
+                                Term::Const(c) => {
+                                    cols.push(i);
+                                    key.push(c.clone());
+                                }
+                                Term::Var(name) => {
+                                    if let Some(v) = bindings.get(name) {
+                                        cols.push(i);
+                                        key.push(v.clone());
+                                    }
+                                }
+                                Term::Wildcard => {}
+                            }
+                        }
                     }
                 }
+                have_key = !cols.is_empty();
             }
-            if cols.is_empty() {
+            if !have_key {
                 for row in relation.iter() {
                     scan_row(plan, step, terms, row, bindings, ctx, emit)?;
                 }
-            } else if let Some(ids) = ctx.scan_cache.probe(rel, &cols, &key, relation) {
+            } else if let Some(ids) = ctx.scan_cache.probe_prepared(rel, relation) {
                 for &i in ids.iter() {
                     scan_row(plan, step, terms, relation.row(i), bindings, ctx, emit)?;
                 }
@@ -822,6 +1083,16 @@ fn expr_deps(expr: &Expr, views: &FxHashSet<String>, deps: &mut Vec<(String, boo
 /// views negatively (they read them "all at once"). Errors if negation or
 /// aggregation occurs in a recursive cycle.
 pub fn stratify(program: &Program) -> Result<FxHashMap<String, usize>, EvalError> {
+    // A head fed by both an aggregation and a plain rule would entangle
+    // two evaluation regimes (the aggregate re-folds "all at once", the
+    // plain rules run semi-naively) on one relation; no evaluator here
+    // supports maintaining that union, so reject it up front.
+    let plain_heads: FxHashSet<&str> = program.rules.iter().map(|r| r.head.as_str()).collect();
+    for r in &program.agg_rules {
+        if plain_heads.contains(r.head.as_str()) {
+            return Err(EvalError::AggPlainHead(r.head.clone()));
+        }
+    }
     let views: FxHashSet<String> = program
         .rules
         .iter()
@@ -936,7 +1207,7 @@ fn run_stratum_aggs(
         let rel = db.entry(rule.head.clone()).or_default();
         for row in rows {
             if rel.insert(row.clone()) {
-                cache.note_insert(&rule.head, &row, rel.len() - 1);
+                cache.note_insert(&rule.head, &row, rel.storage_len() - 1);
             }
         }
     }
@@ -1042,7 +1313,7 @@ pub fn evaluate_views(
                 let head = &rules[r].head;
                 let rel = db.entry(head.clone()).or_default();
                 if rel.insert(row.clone()) {
-                    cache.note_insert(head, &row, rel.len() - 1);
+                    cache.note_insert(head, &row, rel.storage_len() - 1);
                     next.entry(head.clone()).or_default().insert(row);
                 }
             }
@@ -1072,6 +1343,7 @@ pub fn evaluate_views(
                             body: &rule.body,
                             delta: Some((*pos, d)),
                             use_indexes: true,
+                            layouts: None,
                         };
                         for row in eval_select_with_plan(
                             &plan,
@@ -1208,6 +1480,825 @@ fn eval_agg_rule(rule: &AggRule, ctx: &mut EvalCtx<'_>) -> Result<Vec<Row>, Eval
         out.push(row);
     }
     Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Cross-tick incremental view maintenance.
+// ---------------------------------------------------------------------------
+
+/// A set-level change to one relation: rows that appeared and rows that
+/// vanished since the last evaluation.
+#[derive(Clone, Debug, Default)]
+pub struct RelDelta {
+    /// Rows newly present.
+    pub added: Vec<Row>,
+    /// Rows no longer present.
+    pub removed: Vec<Row>,
+}
+
+impl RelDelta {
+    /// Whether the delta carries no change.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Set-diff two relations: rows of `old` absent from `new` are
+    /// removed, rows of `new` absent from `old` are added.
+    pub fn diff(old: &Relation, new: &Relation) -> Self {
+        let mut delta = RelDelta::default();
+        for row in old.iter() {
+            if !new.contains(row) {
+                delta.removed.push(row.clone());
+            }
+        }
+        for row in new.iter() {
+            if !old.contains(row) {
+                delta.added.push(row.clone());
+            }
+        }
+        delta
+    }
+}
+
+/// What a set of rules reads, split by how the read reacts to change.
+#[derive(Clone, Debug, Default)]
+struct ReadSets {
+    /// Positively scanned relations — monotone reads: insertions into
+    /// them can only add derived rows, so they are delta-friendly.
+    pos: FxHashSet<String>,
+    /// Non-monotone reads: negation, nested `CollectSet` comprehensions
+    /// (read "all at once"), and keyed table expressions
+    /// (`FieldOf`/`RowOf`/`HasKey`). Any change here can *retract*
+    /// derived rows, so it forces a recompute.
+    nonmono: FxHashSet<String>,
+    /// Scalars read via `Expr::Scalar`.
+    scalars: FxHashSet<String>,
+    /// Whether a UDF is called: UDFs may be stateful, so results can
+    /// change between ticks even with identical inputs.
+    volatile: bool,
+}
+
+fn collect_body_reads(body: &[BodyAtom], out: &mut ReadSets) {
+    for atom in body {
+        match atom {
+            BodyAtom::Scan { rel, .. } => {
+                out.pos.insert(rel.clone());
+            }
+            BodyAtom::Neg { rel, args } => {
+                out.nonmono.insert(rel.clone());
+                for e in args {
+                    collect_expr_reads(e, out);
+                }
+            }
+            BodyAtom::Guard(e) => collect_expr_reads(e, out),
+            BodyAtom::Let { expr, .. } => collect_expr_reads(expr, out),
+            BodyAtom::Flatten { set, .. } => collect_expr_reads(set, out),
+        }
+    }
+}
+
+fn collect_expr_reads(expr: &Expr, out: &mut ReadSets) {
+    match expr {
+        Expr::Scalar(name) => {
+            out.scalars.insert(name.clone());
+        }
+        Expr::Call(_, args) => {
+            out.volatile = true;
+            for e in args {
+                collect_expr_reads(e, out);
+            }
+        }
+        Expr::CollectSet(select) => {
+            let mut inner = ReadSets::default();
+            collect_body_reads(&select.body, &mut inner);
+            for e in &select.projection {
+                collect_expr_reads(e, &mut inner);
+            }
+            out.nonmono.extend(inner.pos);
+            out.nonmono.extend(inner.nonmono);
+            out.scalars.extend(inner.scalars);
+            out.volatile |= inner.volatile;
+        }
+        Expr::FieldOf { table, key, .. }
+        | Expr::RowOf { table, key }
+        | Expr::HasKey { table, key } => {
+            out.nonmono.insert(table.clone());
+            collect_expr_reads(key, out);
+        }
+        Expr::Cmp(_, l, r) | Expr::Arith(_, l, r) | Expr::And(l, r) | Expr::Or(l, r) => {
+            collect_expr_reads(l, out);
+            collect_expr_reads(r, out);
+        }
+        Expr::Contains(l, r) => {
+            collect_expr_reads(l, out);
+            collect_expr_reads(r, out);
+        }
+        Expr::Not(e) | Expr::Len(e) | Expr::Index(e, _) => collect_expr_reads(e, out),
+        Expr::Tuple(items) | Expr::SetBuild(items) => {
+            for e in items {
+                collect_expr_reads(e, out);
+            }
+        }
+        Expr::Const(_) | Expr::Var(_) => {}
+    }
+}
+
+/// One independently schedulable evaluation unit: either all of a
+/// stratum's aggregation rules, or one strongly connected component of
+/// the stratum's plain rules (so a non-recursive view in the same stratum
+/// as an expensive recursive one is maintained without touching it).
+struct EvalUnit {
+    /// Plain-rule indices into `Program::rules` (empty for agg units).
+    rules: Vec<usize>,
+    /// Agg-rule indices into `Program::agg_rules` (empty for rule units).
+    aggs: Vec<usize>,
+    /// Heads this unit derives, in deterministic first-occurrence order.
+    heads: Vec<String>,
+    /// Per rule slot: `(atom position, head)` of same-unit recursive
+    /// scans — the delta-variant candidates of the inner fixpoint.
+    rec_variants: Vec<Vec<(usize, String)>>,
+    /// Outside-unit positively scanned relation → `(rule slot, atom
+    /// position)` list, in first-occurrence order: the delta-variant
+    /// candidates fed by cross-tick input deltas.
+    input_variants: Vec<(String, Vec<(usize, usize)>)>,
+    /// Per rule slot: static probe layouts (see [`ProbeLayout`]).
+    layouts: Vec<BodyLayouts>,
+    /// Outside-unit positive reads.
+    reads_pos: FxHashSet<String>,
+    /// Non-monotone reads (negation / aggregation inputs / nested
+    /// comprehensions / keyed table expressions).
+    reads_nonmono: FxHashSet<String>,
+    /// Scalars read.
+    reads_scalar: FxHashSet<String>,
+    /// Whether any rule calls a UDF (recompute every tick).
+    volatile: bool,
+}
+
+/// How a unit runs this tick.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum UnitMode {
+    /// No dirty input: skip entirely, the materialized rows stand.
+    Clean,
+    /// Insert-only monotone change: cross-tick semi-naive from the
+    /// input deltas.
+    Incremental,
+    /// Deletion, non-monotone read of a changed relation, changed
+    /// scalar, or volatile rules: re-derive this unit from scratch
+    /// (the per-stratum fallback).
+    Recompute,
+}
+
+/// The per-program evaluation plan, compiled once: stratified,
+/// SCC-partitioned units in dependency order, with per-rule delta-variant
+/// tables and probe layouts.
+pub struct ProgramPlan {
+    units: Vec<EvalUnit>,
+}
+
+impl ProgramPlan {
+    /// Compile a program's rules. Fails iff the program is unstratifiable.
+    pub fn compile(program: &Program) -> Result<Self, EvalError> {
+        let strata = stratify(program)?;
+        let max_stratum = strata.values().copied().max().unwrap_or(0);
+        let mut units = Vec::new();
+        for s in 0..=max_stratum {
+            // Aggregations of the stratum form one unit, run first (they
+            // read strictly lower strata, so a single pass each).
+            let aggs: Vec<usize> = program
+                .agg_rules
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| strata[&r.head] == s)
+                .map(|(i, _)| i)
+                .collect();
+            if !aggs.is_empty() {
+                let mut reads = ReadSets::default();
+                let mut heads = Vec::new();
+                for &i in &aggs {
+                    let rule = &program.agg_rules[i];
+                    collect_body_reads(&rule.body, &mut reads);
+                    collect_expr_reads(&rule.over, &mut reads);
+                    for e in &rule.group_exprs {
+                        collect_expr_reads(e, &mut reads);
+                    }
+                    if !heads.contains(&rule.head) {
+                        heads.push(rule.head.clone());
+                    }
+                }
+                // An aggregate must re-fold whenever *any* input changed
+                // (a lost row can shrink a count), so every read counts
+                // as non-monotone.
+                let mut nonmono = reads.nonmono;
+                nonmono.extend(reads.pos);
+                units.push(EvalUnit {
+                    rules: Vec::new(),
+                    aggs,
+                    heads,
+                    rec_variants: Vec::new(),
+                    input_variants: Vec::new(),
+                    layouts: Vec::new(),
+                    reads_pos: FxHashSet::default(),
+                    reads_nonmono: nonmono,
+                    reads_scalar: reads.scalars,
+                    volatile: reads.volatile,
+                });
+            }
+
+            // Plain rules: SCC over same-stratum positive head-to-head
+            // dependencies, components emitted dependencies-first.
+            let rule_ids: Vec<usize> = program
+                .rules
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| strata[&r.head] == s)
+                .map(|(i, _)| i)
+                .collect();
+            if rule_ids.is_empty() {
+                continue;
+            }
+            for comp in stratum_components(program, &rule_ids) {
+                units.push(build_rule_unit(program, &comp));
+            }
+        }
+        Ok(ProgramPlan { units })
+    }
+}
+
+/// Group a stratum's rules into SCCs of their head-dependency graph and
+/// return them dependencies-first. Each component is a rule-index list.
+fn stratum_components(program: &Program, rule_ids: &[usize]) -> Vec<Vec<usize>> {
+    // Heads in first-occurrence order.
+    let mut heads: Vec<&str> = Vec::new();
+    let mut head_id: FxHashMap<&str, usize> = FxHashMap::default();
+    for &r in rule_ids {
+        let h = program.rules[r].head.as_str();
+        if !head_id.contains_key(h) {
+            head_id.insert(h, heads.len());
+            heads.push(h);
+        }
+    }
+    // adj[u] = heads u's rules positively scan (its dependencies).
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); heads.len()];
+    for &r in rule_ids {
+        let u = head_id[program.rules[r].head.as_str()];
+        for atom in &program.rules[r].body {
+            if let BodyAtom::Scan { rel, .. } = atom {
+                if let Some(&v) = head_id.get(rel.as_str()) {
+                    if !adj[u].contains(&v) {
+                        adj[u].push(v);
+                    }
+                }
+            }
+        }
+    }
+    // Tarjan: components pop in reverse topological order of "depends
+    // on" edges, i.e. dependencies before dependents — the evaluation
+    // order we need.
+    struct Tarjan<'a> {
+        adj: &'a [Vec<usize>],
+        index: Vec<Option<usize>>,
+        low: Vec<usize>,
+        on_stack: Vec<bool>,
+        stack: Vec<usize>,
+        next: usize,
+        comps: Vec<Vec<usize>>,
+    }
+    impl Tarjan<'_> {
+        fn visit(&mut self, u: usize) {
+            self.index[u] = Some(self.next);
+            self.low[u] = self.next;
+            self.next += 1;
+            self.stack.push(u);
+            self.on_stack[u] = true;
+            for &v in &self.adj[u] {
+                match self.index[v] {
+                    None => {
+                        self.visit(v);
+                        self.low[u] = self.low[u].min(self.low[v]);
+                    }
+                    Some(vi) if self.on_stack[v] => {
+                        self.low[u] = self.low[u].min(vi);
+                    }
+                    _ => {}
+                }
+            }
+            if self.low[u] == self.index[u].expect("visited") {
+                let mut comp = Vec::new();
+                loop {
+                    let v = self.stack.pop().expect("stack nonempty");
+                    self.on_stack[v] = false;
+                    comp.push(v);
+                    if v == u {
+                        break;
+                    }
+                }
+                comp.reverse();
+                self.comps.push(comp);
+            }
+        }
+    }
+    let mut t = Tarjan {
+        adj: &adj,
+        index: vec![None; heads.len()],
+        low: vec![0; heads.len()],
+        on_stack: vec![false; heads.len()],
+        stack: Vec::new(),
+        next: 0,
+        comps: Vec::new(),
+    };
+    for u in 0..heads.len() {
+        if t.index[u].is_none() {
+            t.visit(u);
+        }
+    }
+    // Map head components back to rule-index lists (program order).
+    t.comps
+        .into_iter()
+        .map(|comp| {
+            let set: FxHashSet<&str> = comp.iter().map(|&u| heads[u]).collect();
+            rule_ids
+                .iter()
+                .copied()
+                .filter(|&r| set.contains(program.rules[r].head.as_str()))
+                .collect()
+        })
+        .collect()
+}
+
+/// Compile one plain-rule component into an [`EvalUnit`].
+fn build_rule_unit(program: &Program, rule_ids: &[usize]) -> EvalUnit {
+    let mut heads: Vec<String> = Vec::new();
+    for &r in rule_ids {
+        if !heads.contains(&program.rules[r].head) {
+            heads.push(program.rules[r].head.clone());
+        }
+    }
+    let head_set: FxHashSet<String> = heads.iter().cloned().collect();
+    let mut reads = ReadSets::default();
+    let mut rec_variants = Vec::with_capacity(rule_ids.len());
+    let mut layouts = Vec::with_capacity(rule_ids.len());
+    let mut input_variants: Vec<(String, Vec<(usize, usize)>)> = Vec::new();
+    let mut input_slot: FxHashMap<String, usize> = FxHashMap::default();
+    for (slot, &r) in rule_ids.iter().enumerate() {
+        let rule = &program.rules[r];
+        collect_body_reads(&rule.body, &mut reads);
+        for e in &rule.head_exprs {
+            collect_expr_reads(e, &mut reads);
+        }
+        let mut rec = Vec::new();
+        for (pos, atom) in rule.body.iter().enumerate() {
+            if let BodyAtom::Scan { rel, .. } = atom {
+                if head_set.contains(rel) {
+                    rec.push((pos, rel.clone()));
+                } else {
+                    let at = *input_slot.entry(rel.clone()).or_insert_with(|| {
+                        input_variants.push((rel.clone(), Vec::new()));
+                        input_variants.len() - 1
+                    });
+                    input_variants[at].1.push((slot, pos));
+                }
+            }
+        }
+        rec_variants.push(rec);
+        layouts.push(body_layouts(&rule.body));
+    }
+    let mut reads_pos = reads.pos;
+    for h in &heads {
+        reads_pos.remove(h);
+    }
+    EvalUnit {
+        rules: rule_ids.to_vec(),
+        aggs: Vec::new(),
+        heads,
+        rec_variants,
+        input_variants,
+        layouts,
+        reads_pos,
+        reads_nonmono: reads.nonmono,
+        reads_scalar: reads.scalars,
+        volatile: reads.volatile,
+    }
+}
+
+/// Persistent cross-tick evaluation state: the materialized database
+/// (base relations *and* every view), the scan indexes over it, the
+/// table key mirror, and the compiled [`ProgramPlan`]. Owned by the
+/// transducer and carried from tick to tick, so a tick's evaluation cost
+/// tracks the delta, not the database:
+///
+/// * the caller applies base-relation deltas via
+///   [`EvalState::apply_base_delta`] (maintaining indexes in place), then
+/// * [`EvalState::evaluate`] walks the plan's units in dependency order,
+///   classifying each against the changed relations ([`UnitMode`]): units
+///   with no dirty input are skipped outright; insert-only monotone
+///   changes run semi-naive rounds seeded by the deltas; anything
+///   involving retraction or non-monotone reads falls back to a
+///   unit-local recompute whose output diff feeds the units above it.
+pub struct EvalState {
+    plan: ProgramPlan,
+    /// The materialized database: base relations plus every view.
+    pub db: Database,
+    /// Persistent key → row mirror per table (what `FieldOf`/`RowOf`/
+    /// `HasKey` and handler snapshot reads consult).
+    pub key_index: FxHashMap<String, FxHashMap<Row, Row>>,
+    /// Persistent scalar snapshot, maintained from the journal like the
+    /// key mirror — a tick must not re-clone every scalar value (lattice
+    /// scalars can be large) just to build its evaluation context.
+    pub scalars: FxHashMap<String, Value>,
+    /// Per-table multiset counts of the rows keys hold, so the set-level
+    /// `db` relation keeps a row until its *last* holding key goes.
+    /// Defensive: the interpreter rejects key-column writes, so distinct
+    /// keys should never hold identical rows (rows contain their key
+    /// columns) — but the materialized set must degrade gracefully, not
+    /// drop live rows, if that invariant is ever relaxed.
+    row_counts: FxHashMap<String, FxHashMap<Row, u32>>,
+    cache: ScanCache,
+    initialized: bool,
+}
+
+impl EvalState {
+    /// Build the empty state for a program (all base relations and views
+    /// empty; the first [`EvalState::evaluate`] recomputes every unit).
+    pub fn new(program: &Program) -> Result<Self, EvalError> {
+        let plan = ProgramPlan::compile(program)?;
+        let mut db = Database::default();
+        let mut key_index = FxHashMap::default();
+        for t in &program.tables {
+            db.insert(t.name.clone(), Relation::new());
+            key_index.insert(t.name.clone(), FxHashMap::default());
+        }
+        for h in &program.handlers {
+            db.entry(h.name.clone()).or_default();
+        }
+        for m in &program.mailboxes {
+            db.entry(m.name.clone()).or_default();
+        }
+        for r in &program.rules {
+            db.entry(r.head.clone()).or_default();
+        }
+        for r in &program.agg_rules {
+            db.entry(r.head.clone()).or_default();
+        }
+        Ok(EvalState {
+            plan,
+            db,
+            key_index,
+            scalars: FxHashMap::default(),
+            row_counts: FxHashMap::default(),
+            cache: ScanCache::default(),
+            initialized: false,
+        })
+    }
+
+    /// Bulk-load one base-relation row during (re)construction, bypassing
+    /// delta tracking — valid only before the first [`EvalState::evaluate`],
+    /// which recomputes every view anyway.
+    pub fn seed_row(&mut self, rel: &str, row: Row) {
+        debug_assert!(!self.initialized);
+        self.db.entry(rel.to_string()).or_default().insert(row);
+    }
+
+    /// Bulk-load one keyed table row during (re)construction: key mirror,
+    /// row multiset and base relation together.
+    pub fn seed_table_row(&mut self, table: &str, key: Row, row: Row) {
+        self.key_index
+            .entry(table.to_string())
+            .or_default()
+            .insert(key, row.clone());
+        *self
+            .row_counts
+            .entry(table.to_string())
+            .or_default()
+            .entry(row.clone())
+            .or_default() += 1;
+        self.seed_row(table, row);
+    }
+
+    /// Fold one table key's transition (`old` row → `new` row) into
+    /// `delta`, maintaining the key mirror and the per-table row
+    /// multiset: a row is only reported removed when its *last* holding
+    /// key lets go, and only reported added when its *first* holder
+    /// appears.
+    pub fn note_key_transition(
+        &mut self,
+        table: &str,
+        key: Row,
+        old: Option<Row>,
+        new: Option<&Row>,
+        delta: &mut RelDelta,
+    ) {
+        let slot = self.key_index.entry(table.to_string()).or_default();
+        match new {
+            Some(row) => {
+                slot.insert(key, row.clone());
+            }
+            None => {
+                slot.remove(&key);
+            }
+        }
+        let counts = self.row_counts.entry(table.to_string()).or_default();
+        if let Some(o) = old {
+            match counts.get_mut(&o) {
+                Some(c) if *c > 1 => *c -= 1,
+                _ => {
+                    counts.remove(&o);
+                    delta.removed.push(o);
+                }
+            }
+        }
+        if let Some(n) = new {
+            let c = counts.entry(n.clone()).or_default();
+            *c += 1;
+            if *c == 1 {
+                delta.added.push(n.clone());
+            }
+        }
+    }
+
+    /// Apply one base relation's delta, keeping the scan indexes current
+    /// (and compacting tombstone-heavy relations).
+    pub fn apply_base_delta(&mut self, rel: &str, delta: &RelDelta) {
+        let r = self.db.entry(rel.to_string()).or_default();
+        for row in &delta.removed {
+            if let Some(pos) = r.remove(row) {
+                self.cache.note_remove(rel, row, pos);
+            }
+        }
+        for row in &delta.added {
+            if r.insert(row.clone()) {
+                self.cache.note_insert(rel, row, r.storage_len() - 1);
+            }
+        }
+        if r.should_compact() {
+            r.compact();
+            self.cache.invalidate(rel);
+        }
+    }
+
+    /// Bring every view up to date given the base-relation deltas already
+    /// applied via [`EvalState::apply_base_delta`] and the set of scalars
+    /// whose values changed. On error the state is left partially
+    /// updated — callers must discard it and rebuild.
+    pub fn evaluate(
+        &mut self,
+        program: &Program,
+        mut changed: FxHashMap<String, RelDelta>,
+        changed_scalars: &FxHashSet<String>,
+        udfs: &mut UdfHost,
+    ) -> Result<(), EvalError> {
+        let force_all = !self.initialized;
+        self.initialized = true;
+        for u in 0..self.plan.units.len() {
+            let unit = &self.plan.units[u];
+            let mode = if force_all
+                || unit.volatile
+                || unit.reads_scalar.iter().any(|s| changed_scalars.contains(s))
+                || unit.reads_nonmono.iter().any(|r| changed.contains_key(r))
+                || unit
+                    .reads_pos
+                    .iter()
+                    .any(|r| changed.get(r).is_some_and(|d| !d.removed.is_empty()))
+            {
+                UnitMode::Recompute
+            } else if unit
+                .reads_pos
+                .iter()
+                .any(|r| changed.get(r).is_some_and(|d| !d.added.is_empty()))
+            {
+                UnitMode::Incremental
+            } else {
+                UnitMode::Clean
+            };
+            if mode == UnitMode::Clean {
+                continue;
+            }
+            // Recompute takes the old head contents out (diffed below so
+            // downstream units see what actually changed).
+            let mut olds: Vec<(String, Relation)> = Vec::new();
+            if mode == UnitMode::Recompute {
+                for h in &self.plan.units[u].heads {
+                    let old = std::mem::take(self.db.entry(h.clone()).or_default());
+                    self.cache.invalidate(h);
+                    olds.push((h.clone(), old));
+                }
+            }
+            let cache = std::mem::take(&mut self.cache);
+            let mut inserted: FxHashMap<String, Vec<Row>> = FxHashMap::default();
+            let run = run_unit(
+                &self.plan.units[u],
+                program,
+                &mut self.db,
+                cache,
+                &self.scalars,
+                &self.key_index,
+                udfs,
+                (mode == UnitMode::Incremental).then_some(&changed),
+                &mut inserted,
+            );
+            self.cache = run?;
+            match mode {
+                UnitMode::Incremental => {
+                    for (h, rows) in inserted {
+                        changed.entry(h).or_default().added.extend(rows);
+                    }
+                }
+                UnitMode::Recompute => {
+                    for (h, old) in olds {
+                        let new = self.db.get(&h).expect("head relation exists");
+                        let delta = RelDelta::diff(&old, new);
+                        if !delta.is_empty() {
+                            changed.insert(h, delta);
+                        }
+                    }
+                }
+                UnitMode::Clean => unreachable!(),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Run one unit. With `deltas` (incremental mode) the first round
+/// evaluates only delta variants over the changed input relations; without
+/// (recompute mode) the first round evaluates every rule in full (the unit's
+/// heads having been emptied by the caller). Either way the same-unit
+/// recursive fixpoint then runs to quiescence, and every row newly landed
+/// in a head is recorded in `inserted`.
+#[allow(clippy::too_many_arguments)]
+fn run_unit(
+    unit: &EvalUnit,
+    program: &Program,
+    db: &mut Database,
+    mut cache: ScanCache,
+    scalars: &FxHashMap<String, Value>,
+    key_index: &FxHashMap<String, FxHashMap<Row, Row>>,
+    udfs: &mut UdfHost,
+    deltas: Option<&FxHashMap<String, RelDelta>>,
+    inserted: &mut FxHashMap<String, Vec<Row>>,
+) -> Result<ScanCache, EvalError> {
+    // Aggregations (recompute mode only — incremental classification never
+    // selects a unit with agg rules).
+    for &ai in &unit.aggs {
+        let rule = &program.agg_rules[ai];
+        let rows = {
+            let mut ctx = EvalCtx {
+                program,
+                db,
+                scalars,
+                key_index,
+                udfs,
+                scan_cache: cache,
+            };
+            let rows = eval_agg_rule(rule, &mut ctx)?;
+            cache = ctx.scan_cache;
+            rows
+        };
+        let rel = db.entry(rule.head.clone()).or_default();
+        for row in rows {
+            if rel.insert(row.clone()) {
+                cache.note_insert(&rule.head, &row, rel.storage_len() - 1);
+            }
+        }
+    }
+    if unit.rules.is_empty() {
+        return Ok(cache);
+    }
+
+    // Round 0 / round 1.
+    let mut derived: Vec<(usize, Row)> = Vec::new();
+    {
+        let mut ctx = EvalCtx {
+            program,
+            db,
+            scalars,
+            key_index,
+            udfs,
+            scan_cache: cache,
+        };
+        match deltas {
+            None => {
+                // Recompute: every rule once over the full database.
+                for (slot, &r) in unit.rules.iter().enumerate() {
+                    let rule = &program.rules[r];
+                    let plan = BodyPlan {
+                        body: &rule.body,
+                        delta: None,
+                        use_indexes: true,
+                        layouts: Some(&unit.layouts[slot]),
+                    };
+                    for row in eval_select_with_plan(
+                        &plan,
+                        &rule.head_exprs,
+                        &Bindings::default(),
+                        &mut ctx,
+                    )? {
+                        derived.push((slot, row));
+                    }
+                }
+            }
+            Some(deltas) => {
+                // Incremental: only delta variants over changed inputs.
+                // Constraining one atom to the delta while the others
+                // range over the (already-updated) full relations covers
+                // every derivation that uses at least one new row; the
+                // over-derivation when several inputs changed at once is
+                // absorbed by deduplication, exactly as in the in-tick
+                // semi-naive rounds.
+                for (rel, positions) in &unit.input_variants {
+                    let Some(d) = deltas.get(rel) else { continue };
+                    if d.added.is_empty() {
+                        continue;
+                    }
+                    let drel = Relation::from_rows(d.added.iter().cloned());
+                    for &(slot, pos) in positions {
+                        let rule = &program.rules[unit.rules[slot]];
+                        let plan = BodyPlan {
+                            body: &rule.body,
+                            delta: Some((pos, &drel)),
+                            use_indexes: true,
+                            layouts: Some(&unit.layouts[slot]),
+                        };
+                        for row in eval_select_with_plan(
+                            &plan,
+                            &rule.head_exprs,
+                            &Bindings::default(),
+                            &mut ctx,
+                        )? {
+                            derived.push((slot, row));
+                        }
+                    }
+                }
+            }
+        }
+        cache = ctx.scan_cache;
+    }
+
+    // Land a round's derivations; rows new to their head feed the next
+    // round's deltas and — in incremental mode, where the caller can't
+    // diff (old contents are still in place) — the change log. Recompute
+    // mode diffs old vs new afterwards instead, so it skips the clones.
+    let track_inserted = deltas.is_some();
+    let apply = |derived: Vec<(usize, Row)>,
+                     db: &mut Database,
+                     cache: &mut ScanCache,
+                     inserted: &mut FxHashMap<String, Vec<Row>>|
+     -> FxHashMap<String, Relation> {
+        let mut next: FxHashMap<String, Relation> = FxHashMap::default();
+        for (slot, row) in derived {
+            let head = &program.rules[unit.rules[slot]].head;
+            let rel = db.entry(head.clone()).or_default();
+            if rel.insert(row.clone()) {
+                cache.note_insert(head, &row, rel.storage_len() - 1);
+                if track_inserted {
+                    inserted.entry(head.clone()).or_default().push(row.clone());
+                }
+                next.entry(head.clone()).or_default().insert(row);
+            }
+        }
+        next
+    };
+    let mut delta = apply(derived, db, &mut cache, inserted);
+
+    // Same-unit recursive rounds to fixpoint.
+    while !delta.is_empty() {
+        let mut derived: Vec<(usize, Row)> = Vec::new();
+        {
+            let mut ctx = EvalCtx {
+                program,
+                db,
+                scalars,
+                key_index,
+                udfs,
+                scan_cache: cache,
+            };
+            for (slot, &r) in unit.rules.iter().enumerate() {
+                for (pos, rel) in &unit.rec_variants[slot] {
+                    let Some(d) = delta.get(rel) else { continue };
+                    if d.is_empty() {
+                        continue;
+                    }
+                    let rule = &program.rules[r];
+                    let plan = BodyPlan {
+                        body: &rule.body,
+                        delta: Some((*pos, d)),
+                        use_indexes: true,
+                        layouts: Some(&unit.layouts[slot]),
+                    };
+                    for row in eval_select_with_plan(
+                        &plan,
+                        &rule.head_exprs,
+                        &Bindings::default(),
+                        &mut ctx,
+                    )? {
+                        derived.push((slot, row));
+                    }
+                }
+            }
+            cache = ctx.scan_cache;
+        }
+        delta = apply(derived, db, &mut cache, inserted);
+    }
+    Ok(cache)
 }
 
 #[cfg(test)]

@@ -2,9 +2,14 @@
 //!
 //! Each [`Transducer::tick`]:
 //!
-//! 1. snapshots program state (tables, scalars, pending mailboxes);
-//! 2. evaluates every declared view over the snapshot to fixpoint
-//!    (stratified; see [`crate::eval`]);
+//! 1. reveals the tick's inputs: in the default incremental mode
+//!    ([`EvalMode::Incremental`]) the effects committed by the previous
+//!    tick are folded into per-relation deltas that update a *persistent*
+//!    materialized database in place (see [`crate::eval::EvalState`]);
+//!    the fresh modes snapshot program state wholesale instead;
+//! 2. brings every declared view up to date (stratified, to fixpoint;
+//!    see [`crate::eval`]) — incrementally from the deltas, or by full
+//!    re-derivation in the fresh modes;
 //! 3. runs handlers over their mailboxes — message handlers once per
 //!    pending message, condition handlers once if their guard holds —
 //!    *reading only the snapshot* and recording mutations/sends as effects;
@@ -28,11 +33,11 @@ use crate::ast::{
 };
 use crate::eval::{
     build_key_indexes, eval_expr, eval_select, evaluate_views, stratify, Bindings, Database,
-    EvalError, Relation, Row, UdfHost,
+    EvalError, EvalState, RelDelta, Relation, Row, UdfHost,
 };
 use crate::facets::Invariant;
 use crate::value::Value;
-use rustc_hash::FxHashMap;
+use rustc_hash::{FxHashMap, FxHashSet};
 use std::collections::BTreeMap;
 
 /// A message waiting in a mailbox.
@@ -98,6 +103,16 @@ pub enum TransducerError {
     },
     /// Enqueue targeted a mailbox that is neither a handler nor declared.
     NoSuchMailbox(String),
+    /// A merge or assignment targeted a key column. Key columns identify
+    /// the row — rewriting one in place would detach the row from its
+    /// storage key (and make keyed reads engine-dependent); delete and
+    /// re-insert instead.
+    KeyColumn {
+        /// Table name.
+        table: String,
+        /// Key column name.
+        column: String,
+    },
 }
 
 impl From<EvalError> for TransducerError {
@@ -123,6 +138,11 @@ impl std::fmt::Display for TransducerError {
                 "insert into {table:?} has {given} values, table has {expected} columns"
             ),
             TransducerError::NoSuchMailbox(m) => write!(f, "no such mailbox {m:?}"),
+            TransducerError::KeyColumn { table, column } => write!(
+                f,
+                "cannot write key column {column:?} of table {table:?} in place \
+                 (delete and re-insert the row instead)"
+            ),
         }
     }
 }
@@ -206,28 +226,6 @@ struct TickMirror {
 }
 
 impl TickMirror {
-    /// Mirror the current state. Tables are already keyed, so this is a
-    /// single pass over rows, not a re-index.
-    fn from_state(program: &Program, state: &State) -> Self {
-        let mut key_index: FxHashMap<String, FxHashMap<Row, Row>> = FxHashMap::default();
-        for t in &program.tables {
-            let rows = state
-                .tables
-                .get(&t.name)
-                .map(|m| m.iter().map(|(k, v)| (k.clone(), v.clone())).collect())
-                .unwrap_or_default();
-            key_index.insert(t.name.clone(), rows);
-        }
-        TickMirror {
-            key_index,
-            scalars: state
-                .scalars
-                .iter()
-                .map(|(k, v)| (k.clone(), v.clone()))
-                .collect(),
-        }
-    }
-
     /// Re-mirror one table row (or its absence) after an effect landed.
     fn refresh_row(&mut self, state: &State, table: &str, key: &Row) {
         let slot = self.key_index.entry(table.to_string()).or_default();
@@ -242,15 +240,113 @@ impl TickMirror {
     }
 }
 
+/// Which evaluation engine a transducer's ticks use. Semantics are
+/// identical across all three (the differential suites enforce it); only
+/// cost differs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EvalMode {
+    /// Cross-tick incremental view maintenance (the default): persistent
+    /// materialized views and scan indexes, delta-driven ticks. See
+    /// [`EvalState`].
+    #[default]
+    Incremental,
+    /// Re-derive every view from a fresh snapshot each tick with the
+    /// semi-naive evaluator (the PR 1 path, kept as the incremental
+    /// engine's differential reference and benchmark baseline).
+    FreshSemiNaive,
+    /// Re-derive with the original naive nested-loop evaluator.
+    FreshNaive,
+}
+
+/// Journal of base-state changes made by committed effects since the last
+/// incremental evaluation. Folded into per-relation [`RelDelta`]s at the
+/// next tick start. Recording keeps *first-touch* originals and compares
+/// them against the final state, so a transactional rollback naturally
+/// folds to "no change".
+struct PendingDeltas {
+    /// Whether notes are recorded at all — only the incremental engine
+    /// reads the journal; the fresh modes would discard it unread, so
+    /// they skip the per-effect clones entirely.
+    enabled: bool,
+    /// table → key → row as of the last evaluation (`None` = absent).
+    tables: FxHashMap<String, FxHashMap<Row, Option<Row>>>,
+    /// scalar → value as of the last evaluation.
+    scalars: FxHashMap<String, Value>,
+    /// Mailboxes whose queues changed (enqueue or drain).
+    mailboxes: FxHashSet<String>,
+}
+
+impl Default for PendingDeltas {
+    fn default() -> Self {
+        PendingDeltas {
+            enabled: true,
+            tables: FxHashMap::default(),
+            scalars: FxHashMap::default(),
+            mailboxes: FxHashSet::default(),
+        }
+    }
+}
+
+impl PendingDeltas {
+    fn clear(&mut self) {
+        self.tables.clear();
+        self.scalars.clear();
+        self.mailboxes.clear();
+    }
+
+    /// Record `old` as the first-touch original of `table[key]`, if this
+    /// is indeed the first touch since the last evaluation.
+    fn note_table(&mut self, table: &str, key: &Row, old: Option<&Row>) {
+        if !self.enabled {
+            return;
+        }
+        if !self.tables.contains_key(table) {
+            self.tables.insert(table.to_string(), FxHashMap::default());
+        }
+        let slot = self.tables.get_mut(table).expect("just inserted");
+        if !slot.contains_key(key) {
+            slot.insert(key.clone(), old.cloned());
+        }
+    }
+
+    /// Record `old` as the first-touch original of a scalar.
+    fn note_scalar(&mut self, name: &str, old: &Value) {
+        if !self.enabled {
+            return;
+        }
+        if !self.scalars.contains_key(name) {
+            self.scalars.insert(name.to_string(), old.clone());
+        }
+    }
+
+    /// Record that a mailbox's queue changed.
+    fn note_mailbox(&mut self, name: &str) {
+        if !self.enabled {
+            return;
+        }
+        self.mailboxes.insert(name.to_string());
+    }
+}
+
 /// The HydroLogic interpreter for one logical node.
 pub struct Transducer {
     program: Program,
+    /// Handler bodies paired with their resolved consistency facets,
+    /// shared so a tick borrows them without cloning the program (the
+    /// handler loop needs `&mut self` while walking them).
+    handlers_cache: std::sync::Arc<Vec<(Handler, crate::facets::ConsistencyReq)>>,
     state: State,
     mailboxes: BTreeMap<String, Vec<Message>>,
     udfs: UdfHost,
     next_msg_id: u64,
     tick_no: u64,
-    naive_eval: bool,
+    eval_mode: EvalMode,
+    /// Persistent incremental evaluation state (`None` until the first
+    /// incremental tick, and dropped on evaluation error or mode switch —
+    /// the next incremental tick rebuilds it from `state`).
+    eval: Option<EvalState>,
+    /// Base-state changes since the last incremental evaluation.
+    pending: PendingDeltas,
 }
 
 impl Transducer {
@@ -272,22 +368,44 @@ impl Transducer {
         for m in &program.mailboxes {
             mailboxes.insert(m.name.clone(), Vec::new());
         }
+        let handlers_cache = std::sync::Arc::new(
+            program
+                .handlers
+                .iter()
+                .map(|h| (h.clone(), program.consistency_of(&h.name).clone()))
+                .collect::<Vec<_>>(),
+        );
         Ok(Transducer {
             program,
+            handlers_cache,
             state,
             mailboxes,
             udfs: UdfHost::new(),
             next_msg_id: 1,
             tick_no: 0,
-            naive_eval: false,
+            eval_mode: EvalMode::default(),
+            eval: None,
+            pending: PendingDeltas::default(),
         })
     }
 
+    /// Select the evaluation engine (see [`EvalMode`]). Takes effect at
+    /// the next tick; switching away from and back to incremental mode
+    /// rebuilds the persistent state from scratch.
+    pub fn set_eval_mode(&mut self, mode: EvalMode) {
+        self.eval_mode = mode;
+        self.pending.enabled = mode == EvalMode::Incremental;
+    }
+
     /// Evaluate views with the retained naive reference evaluator instead
-    /// of the semi-naive default. For differential tests and the E1/E8
+    /// of the default engine. For differential tests and the E1/E8
     /// before/after benchmarks; semantics are identical, only cost differs.
     pub fn set_naive_eval(&mut self, naive: bool) {
-        self.naive_eval = naive;
+        self.set_eval_mode(if naive {
+            EvalMode::FreshNaive
+        } else {
+            EvalMode::Incremental
+        });
     }
 
     /// The program being interpreted.
@@ -350,6 +468,7 @@ impl Transducer {
         let id = self.next_msg_id;
         self.next_msg_id += 1;
         q.push(Message { id, row });
+        self.pending.note_mailbox(mailbox);
         Ok(id)
     }
 
@@ -385,6 +504,22 @@ impl Transducer {
     pub fn tick(&mut self) -> Result<TickOutput, TransducerError> {
         self.tick_no += 1;
         self.udfs.start_tick();
+        match self.eval_mode {
+            EvalMode::Incremental => self.tick_incremental(),
+            EvalMode::FreshSemiNaive => self.tick_fresh(false),
+            EvalMode::FreshNaive => self.tick_fresh(true),
+        }
+    }
+
+    /// The fresh-per-tick paths: snapshot the whole state, re-derive every
+    /// view, rebuild the key indexes. Kept as differential references and
+    /// benchmark baselines for the incremental engine.
+    fn tick_fresh(&mut self, naive: bool) -> Result<TickOutput, TransducerError> {
+        // The journal only feeds the incremental engine; a fresh tick
+        // re-reads everything, and any later switch back to incremental
+        // mode rebuilds from state, so stale entries are dropped.
+        self.pending.clear();
+        self.eval = None;
 
         // 1–2: snapshot + views to fixpoint.
         let base = self.snapshot_db();
@@ -394,13 +529,135 @@ impl Transducer {
             .iter()
             .map(|(k, v)| (k.clone(), v.clone()))
             .collect();
-        let db = if self.naive_eval {
+        let db = if naive {
             crate::eval::evaluate_views_naive(&self.program, &base, &scalars, &mut self.udfs)?
         } else {
             evaluate_views(&self.program, &base, &scalars, &mut self.udfs)?
         };
         let key_index = build_key_indexes(&self.program, &base);
+        self.run_handlers(&db, &scalars, &key_index)
+    }
 
+    /// The incremental path: fold the effect journal of the previous tick
+    /// into per-relation deltas, maintain the persistent materialized
+    /// views from them (see [`EvalState::evaluate`]), and run handlers
+    /// against the persistent database. A no-op tick (empty journal)
+    /// skips view evaluation entirely.
+    fn tick_incremental(&mut self) -> Result<TickOutput, TransducerError> {
+        let mut eval = match self.eval.take() {
+            Some(e) => e,
+            None => {
+                self.pending.clear();
+                self.rebuild_eval_state()?
+            }
+        };
+
+        // Fold the journal into deltas. First-touch originals are compared
+        // against final state, so rolled-back effects vanish here.
+        let pending = std::mem::take(&mut self.pending);
+        let mut changed: FxHashMap<String, RelDelta> = FxHashMap::default();
+        for (table, keys) in pending.tables {
+            let current = self.state.tables.get(&table);
+            let mut delta = RelDelta::default();
+            let mut touched = false;
+            for (key, old) in keys {
+                let new = current.and_then(|t| t.get(&key));
+                if old.as_ref() == new {
+                    continue;
+                }
+                touched = true;
+                eval.note_key_transition(&table, key, old, new, &mut delta);
+            }
+            // A key transition can net to an *empty* row-set delta (two
+            // keys holding identical rows), yet still change what keyed
+            // expressions (`FieldOf`/`RowOf`/`HasKey`) observe — so any
+            // touched table must be marked changed for the non-monotone
+            // classification, not just tables whose row set moved.
+            if touched {
+                changed.insert(table, delta);
+            }
+        }
+        let empty = Relation::new();
+        for m in pending.mailboxes {
+            // Queues are small (the tick's message batch); diff them
+            // against the materialized mailbox relation directly.
+            let new_rows = Relation::from_rows(
+                self.mailboxes
+                    .get(&m)
+                    .into_iter()
+                    .flatten()
+                    .map(|msg| msg.row.clone()),
+            );
+            let delta = RelDelta::diff(eval.db.get(&m).unwrap_or(&empty), &new_rows);
+            if !delta.is_empty() {
+                changed.insert(m, delta);
+            }
+        }
+        let mut changed_scalars: FxHashSet<String> = FxHashSet::default();
+        for (name, old) in pending.scalars {
+            let current = self.state.scalars.get(&name);
+            if current != Some(&old) {
+                changed_scalars.insert(name.clone());
+            }
+            // Keep the persistent scalar snapshot in sync (journaled
+            // scalars only — unchanged ones are already mirrored).
+            match current {
+                Some(v) => {
+                    eval.scalars.insert(name, v.clone());
+                }
+                None => {
+                    eval.scalars.remove(&name);
+                }
+            }
+        }
+        for (rel, delta) in &changed {
+            eval.apply_base_delta(rel, delta);
+        }
+
+        // 1–2 (incremental): views maintained from the deltas. On error
+        // `eval` is dropped (partially updated), and the next tick
+        // rebuilds it from state — errors stay reproducible.
+        eval.evaluate(&self.program, changed, &changed_scalars, &mut self.udfs)?;
+        let out = self.run_handlers(&eval.db, &eval.scalars, &eval.key_index);
+        if out.is_ok() {
+            self.eval = Some(eval);
+        }
+        out
+    }
+
+    /// Rebuild the persistent evaluation state from the current tables,
+    /// scalars and mailboxes (first incremental tick, or recovery after an
+    /// evaluation error).
+    fn rebuild_eval_state(&self) -> Result<EvalState, TransducerError> {
+        let mut eval = EvalState::new(&self.program)?;
+        eval.scalars = self
+            .state
+            .scalars
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        for (name, rows) in &self.state.tables {
+            for (key, row) in rows {
+                eval.seed_table_row(name, key.clone(), row.clone());
+            }
+        }
+        for (name, msgs) in &self.mailboxes {
+            for m in msgs {
+                eval.seed_row(name, m.row.clone());
+            }
+        }
+        Ok(eval)
+    }
+
+    /// Steps 3–5 of the tick, shared by every evaluation mode: run
+    /// handlers against the snapshot `db`/`scalars`/`key_index`, apply
+    /// effects, monitor functional dependencies.
+    fn run_handlers(
+        &mut self,
+        db: &Database,
+        scalars: &FxHashMap<String, Value>,
+        key_index: &FxHashMap<String, FxHashMap<Row, Row>>,
+    ) -> Result<TickOutput, TransducerError> {
         // 3: run handlers against the snapshot, recording effects. Tables
         // written anywhere this tick are collected for FD monitoring.
         // Serialized handlers additionally read committed mid-tick state
@@ -410,9 +667,8 @@ impl Transducer {
         let mut touched: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
         let mut out = TickOutput::default();
         let mut mirror: Option<TickMirror> = None;
-        let handlers: Vec<Handler> = self.program.handlers.clone();
-        for handler in &handlers {
-            let consistency = self.program.consistency_of(&handler.name).clone();
+        let handlers = std::sync::Arc::clone(&self.handlers_cache);
+        for (handler, consistency) in handlers.iter() {
             let invariants = consistency.invariants.clone();
             // Serializable handlers (and any handler carrying invariants)
             // execute *serially against current state*, each message seeing
@@ -445,13 +701,14 @@ impl Transducer {
                             // Current view of scalars/table keys including
                             // prior serialized commits of this tick,
                             // maintained incrementally across messages.
-                            let m = mirror.get_or_insert_with(|| {
-                                TickMirror::from_state(&self.program, &self.state)
+                            let m = mirror.get_or_insert_with(|| TickMirror {
+                                key_index: key_index.clone(),
+                                scalars: scalars.clone(),
                             });
                             self.exec_stmts(
                                 &handler.body,
                                 &mut bindings,
-                                &db,
+                                db,
                                 &m.scalars,
                                 &m.key_index,
                                 &mut group,
@@ -467,9 +724,9 @@ impl Transducer {
                             self.exec_stmts(
                                 &handler.body,
                                 &mut bindings,
-                                &db,
-                                &scalars,
-                                &key_index,
+                                db,
+                                scalars,
+                                key_index,
                                 &mut group,
                                 &mut out,
                                 handler,
@@ -481,7 +738,10 @@ impl Transducer {
                     }
                     // Message handlers consume their mailbox at end of tick.
                     if let Some(q) = self.mailboxes.get_mut(&handler.name) {
-                        q.clear();
+                        if !q.is_empty() {
+                            q.clear();
+                            self.pending.note_mailbox(&handler.name);
+                        }
                     }
                 }
                 Trigger::OnCondition(cond) => {
@@ -489,9 +749,9 @@ impl Transducer {
                     let fire = {
                         let mut ctx = crate::eval::EvalCtx {
                             program: &self.program,
-                            db: &db,
-                            scalars: &scalars,
-                            key_index: &key_index,
+                            db,
+                            scalars,
+                            key_index,
                             udfs: &mut self.udfs,
                             scan_cache: Default::default(),
                         };
@@ -510,9 +770,9 @@ impl Transducer {
                         self.exec_stmts(
                             &handler.body,
                             &mut bindings,
-                            &db,
-                            &scalars,
-                            &key_index,
+                            db,
+                            scalars,
+                            key_index,
                             &mut group,
                             &mut out,
                             handler,
@@ -834,6 +1094,16 @@ impl Transducer {
         let col = decl
             .column_index(field)
             .ok_or_else(|| TransducerError::Unknown(format!("{table}.{field}")))?;
+        // Key columns are the row's identity: rewriting one in place would
+        // detach the stored row from its key, making every keyed read
+        // ambiguous. Enforced here so the invariant "storage key ==
+        // key_of(row)" holds for all evaluation engines.
+        if decl.key.contains(&col) {
+            return Err(TransducerError::KeyColumn {
+                table: table.to_string(),
+                column: field.to_string(),
+            });
+        }
         let k = self.eval(key, bindings, db, scalars, key_index)?;
         Ok((key_row_of(k), col))
     }
@@ -960,6 +1230,7 @@ impl Transducer {
                     .scalars
                     .get_mut(&name)
                     .ok_or_else(|| TransducerError::Unknown(name.clone()))?;
+                self.pending.note_scalar(&name, slot);
                 kind.merge(slot, value)
                     .map_err(|e| TransducerError::Eval(EvalError::Type {
                         expected: "lattice-shaped value",
@@ -975,6 +1246,7 @@ impl Transducer {
                     .scalars
                     .get_mut(&name)
                     .ok_or_else(|| TransducerError::Unknown(name.clone()))?;
+                self.pending.note_scalar(&name, slot);
                 *slot = value;
                 if let Some(m) = mirror {
                     m.scalars.insert(name, slot.clone());
@@ -1005,6 +1277,7 @@ impl Transducer {
                     .tables
                     .get_mut(&table)
                     .ok_or_else(|| TransducerError::Unknown(table.clone()))?;
+                self.pending.note_table(&table, &key, tab.get(&key));
                 let row = tab
                     .entry(key.clone())
                     .or_insert_with(|| bottom_row(&decl, &key));
@@ -1024,6 +1297,9 @@ impl Transducer {
                 col,
                 value,
             } => {
+                if let Some(t) = self.state.tables.get(&table) {
+                    self.pending.note_table(&table, &key, t.get(&key));
+                }
                 match self
                     .state
                     .tables
@@ -1053,6 +1329,7 @@ impl Transducer {
                     .tables
                     .get_mut(&table)
                     .ok_or_else(|| TransducerError::Unknown(table.clone()))?;
+                self.pending.note_table(&table, &key, slot.get(&key));
                 match slot.entry(key.clone()) {
                     std::collections::btree_map::Entry::Vacant(e) => {
                         e.insert(row);
@@ -1083,6 +1360,7 @@ impl Transducer {
             }
             Effect::DeleteRow { table, key } => {
                 if let Some(t) = self.state.tables.get_mut(&table) {
+                    self.pending.note_table(&table, &key, t.get(&key));
                     t.remove(&key);
                 }
                 if let Some(m) = mirror {
@@ -1091,7 +1369,10 @@ impl Transducer {
             }
             Effect::ClearMailbox(name) => {
                 if let Some(q) = self.mailboxes.get_mut(&name) {
-                    q.clear();
+                    if !q.is_empty() {
+                        q.clear();
+                        self.pending.note_mailbox(&name);
+                    }
                 }
             }
         }

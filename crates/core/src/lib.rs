@@ -37,5 +37,5 @@ pub mod interp;
 pub mod value;
 
 pub use ast::Program;
-pub use interp::{TickOutput, Transducer};
+pub use interp::{EvalMode, TickOutput, Transducer};
 pub use value::Value;

@@ -9,11 +9,12 @@
 //! following recursion, aggregation above recursion, guards, lets, and
 //! wildcard/constant patterns — over random, collision-heavy fact sets.
 
-use hydro_core::ast::AggFun;
+use hydro_core::ast::{AggFun, Expr};
 use hydro_core::builder::dsl::*;
 use hydro_core::builder::ProgramBuilder;
 use hydro_core::eval::{evaluate_views, evaluate_views_naive, Database, Relation, UdfHost};
-use hydro_core::{Program, Value};
+use hydro_core::interp::{EvalMode, Transducer};
+use hydro_core::{Program, TickOutput, Value};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 
@@ -165,6 +166,300 @@ fn arity_error_in_delta_variant_matches_naive_reachability() {
         "delta variants evaluate in source order; empty f short-circuits"
     );
     assert!(evaluate_views_naive(&program, &db, &Default::default(), &mut UdfHost::new()).is_ok());
+}
+
+// ---------------------------------------------------------------------
+// Multi-tick differential: the cross-tick incremental engine against a
+// fresh-evaluation-per-tick reference.
+// ---------------------------------------------------------------------
+
+/// A graph program exercising every maintenance regime at once: a
+/// negation stratum over two mutable tables (`live`), recursion above it
+/// (`tc`), aggregation above that (`reach`), and negation over the
+/// recursive view (`dead_end`). Handlers insert *and delete* base rows,
+/// so ticks carry retractions, not just growth.
+fn graph_program() -> Program {
+    let pair = |a: &str, b: &str| Expr::Tuple(vec![v(a), v(b)]);
+    ProgramBuilder::new()
+        .table("edge", vec![("a", atom()), ("b", atom())], &["a", "b"], None)
+        .table(
+            "blocked",
+            vec![("a", atom()), ("b", atom())],
+            &["a", "b"],
+            None,
+        )
+        .rule(
+            "live",
+            vec![v("a"), v("b")],
+            vec![scan("edge", &["a", "b"]), neg("blocked", vec![v("a"), v("b")])],
+        )
+        .rule("tc", vec![v("a"), v("b")], vec![scan("live", &["a", "b"])])
+        .rule(
+            "tc",
+            vec![v("a"), v("c")],
+            vec![scan("tc", &["a", "b"]), scan("live", &["b", "c"])],
+        )
+        .agg_rule(
+            "reach",
+            vec![v("a")],
+            AggFun::Count,
+            v("b"),
+            vec![scan("tc", &["a", "b"])],
+        )
+        .rule(
+            "dead_end",
+            vec![v("a"), v("b")],
+            vec![scan("edge", &["a", "b"]), neg("tc", vec![v("b"), v("a")])],
+        )
+        .on("add", &["a", "b"], vec![insert("edge", vec![v("a"), v("b")])])
+        .on("rm", &["a", "b"], vec![delete("edge", pair("a", "b"))])
+        .on(
+            "block",
+            &["a", "b"],
+            vec![insert("blocked", vec![v("a"), v("b")])],
+        )
+        .on("unblock", &["a", "b"], vec![delete("blocked", pair("a", "b"))])
+        .on(
+            "ask",
+            &["a"],
+            vec![
+                ret(collect_set(select(
+                    vec![scan_terms(
+                        "tc",
+                        vec![
+                            hydro_core::ast::Term::Var("a".into()),
+                            hydro_core::ast::Term::Var("x".into()),
+                        ],
+                    )],
+                    vec![v("x")],
+                ))),
+                send(
+                    "out",
+                    select(vec![scan("reach", &["p", "n"])], vec![v("p"), v("n")]),
+                ),
+                send(
+                    "out",
+                    select(vec![scan("dead_end", &["p", "q"])], vec![v("p"), v("q")]),
+                ),
+            ],
+        )
+        .build()
+}
+
+/// One enqueued message in a differential scenario.
+type Op = (&'static str, Vec<Value>);
+
+/// Enqueue + tick the same batches on both transducers and compare every
+/// observable: responses (exact — message order matches), sends as
+/// sorted multisets (the engines may materialize view rows in different
+/// orders, which is the one observable the set semantics does not fix),
+/// warnings, messages processed, and the full end-of-tick state.
+fn ticks_agree(program: &Program, batches: &[Vec<Op>], reference: EvalMode) {
+    let mut incr = Transducer::new(program.clone()).unwrap();
+    incr.set_eval_mode(EvalMode::Incremental);
+    let mut fresh = Transducer::new(program.clone()).unwrap();
+    fresh.set_eval_mode(reference);
+    for (t, batch) in batches.iter().enumerate() {
+        for (mailbox, row) in batch {
+            incr.enqueue_ok(mailbox, row.clone());
+            fresh.enqueue_ok(mailbox, row.clone());
+        }
+        let a = incr.tick().unwrap();
+        let b = fresh.tick().unwrap();
+        let canon = |out: &TickOutput| {
+            let mut sends: Vec<(String, Vec<Value>)> = out
+                .sends
+                .iter()
+                .map(|s| (s.mailbox.clone(), s.row.clone()))
+                .collect();
+            sends.sort();
+            (
+                out.responses.clone(),
+                sends,
+                out.warnings.clone(),
+                out.messages_processed,
+            )
+        };
+        assert_eq!(canon(&a), canon(&b), "tick {t} outputs disagree");
+        assert_eq!(incr.state(), fresh.state(), "tick {t} states disagree");
+    }
+}
+
+/// Decode a proptest-generated op stream for [`graph_program`].
+fn graph_ops(raw: &[(u8, i64, i64)]) -> Vec<Vec<Op>> {
+    // Chunk into ticks of up to 3 ops; kind 6 is "end tick early", which
+    // also yields fully empty (no-op) ticks.
+    let mut batches: Vec<Vec<Op>> = vec![Vec::new()];
+    for &(kind, a, b) in raw {
+        let op: Option<Op> = match kind % 7 {
+            0 | 1 => Some(("add", vec![Value::Int(a), Value::Int(b)])),
+            2 => Some(("rm", vec![Value::Int(a), Value::Int(b)])),
+            3 => Some(("block", vec![Value::Int(a), Value::Int(b)])),
+            4 => Some(("unblock", vec![Value::Int(a), Value::Int(b)])),
+            5 => Some(("ask", vec![Value::Int(a)])),
+            _ => None,
+        };
+        match op {
+            Some(op) if batches.last().unwrap().len() < 3 => {
+                batches.last_mut().unwrap().push(op)
+            }
+            Some(op) => batches.push(vec![op]),
+            None => batches.push(Vec::new()),
+        }
+    }
+    // Always end with an ask plus a no-op tick so the final view state is
+    // observed after the last mutation settled.
+    batches.push(vec![("ask", vec![Value::Int(0)]), ("ask", vec![Value::Int(1)])]);
+    batches.push(Vec::new());
+    batches
+}
+
+/// Deletions must retract derived rows across ticks: remove a chain edge
+/// and the closure behind it disappears from the next tick's answers.
+#[test]
+fn deletion_retracts_derived_rows_across_ticks() {
+    let program = graph_program();
+    let mut app = Transducer::new(program.clone()).unwrap();
+    for (a, b) in [(0i64, 1i64), (1, 2), (2, 3)] {
+        app.enqueue_ok("add", vec![Value::Int(a), Value::Int(b)]);
+    }
+    app.tick().unwrap();
+    app.enqueue_ok("ask", vec![Value::Int(0)]);
+    let out = app.tick().unwrap();
+    let set = out.responses[0].value.as_set().unwrap();
+    assert_eq!(set.len(), 3, "0 reaches 1, 2, 3: {set:?}");
+
+    app.enqueue_ok("rm", vec![Value::Int(1), Value::Int(2)]);
+    app.tick().unwrap();
+    app.enqueue_ok("ask", vec![Value::Int(0)]);
+    let out = app.tick().unwrap();
+    let set = out.responses[0].value.as_set().unwrap();
+    assert_eq!(
+        set.iter().collect::<Vec<_>>(),
+        vec![&Value::Int(1)],
+        "severing 1→2 retracts 0→2 and 0→3"
+    );
+
+    // Blocking an edge (a negation input) must retract the same way.
+    app.enqueue_ok("block", vec![Value::Int(0), Value::Int(1)]);
+    app.tick().unwrap();
+    app.enqueue_ok("ask", vec![Value::Int(0)]);
+    let out = app.tick().unwrap();
+    assert!(
+        out.responses[0].value.as_set().unwrap().is_empty(),
+        "blocked edge leaves 0 isolated"
+    );
+}
+
+/// The same deterministic scenario, differentially against both fresh
+/// engines (insert, delete, block, unblock, interleaved with no-op ticks).
+#[test]
+fn multi_tick_deterministic_scenario_agrees_with_both_references() {
+    let i = |x: i64| Value::Int(x);
+    let batches: Vec<Vec<Op>> = vec![
+        vec![("add", vec![i(0), i(1)]), ("add", vec![i(1), i(2)])],
+        vec![("ask", vec![i(0)])],
+        vec![],
+        vec![("add", vec![i(2), i(0)]), ("block", vec![i(1), i(2)])],
+        vec![("ask", vec![i(0)]), ("ask", vec![i(2)])],
+        vec![("rm", vec![i(0), i(1)]), ("unblock", vec![i(1), i(2)])],
+        vec![("ask", vec![i(1)])],
+        vec![],
+        vec![("add", vec![i(0), i(0)]), ("ask", vec![i(0)])],
+    ];
+    let program = graph_program();
+    ticks_agree(&program, &batches, EvalMode::FreshSemiNaive);
+    ticks_agree(&program, &batches, EvalMode::FreshNaive);
+}
+
+/// Writing a key column in place would detach a row from its storage key
+/// — the one state shape where the persistent key mirror and a freshly
+/// re-derived `key_of(row)` index disagree, making keyed reads
+/// engine-dependent. Every engine rejects it identically (delete and
+/// re-insert is the supported way to re-key).
+#[test]
+fn key_column_writes_are_rejected_by_every_engine() {
+    let i = |x: i64| Value::Int(x);
+    for mode in [
+        EvalMode::Incremental,
+        EvalMode::FreshSemiNaive,
+        EvalMode::FreshNaive,
+    ] {
+        let program = ProgramBuilder::new()
+            .table("t", vec![("k", atom()), ("v", atom())], &["k"], None)
+            .on("put", &["k", "v"], vec![insert("t", vec![v("k"), v("v")])])
+            .on(
+                "setk",
+                &["k", "nk"],
+                vec![assign_field("t", v("k"), "k", v("nk"))],
+            )
+            .build();
+        let mut app = Transducer::new(program).unwrap();
+        app.set_eval_mode(mode);
+        app.enqueue_ok("put", vec![i(1), i(7)]);
+        app.tick().unwrap();
+        app.enqueue_ok("setk", vec![i(1), i(2)]);
+        let err = app.tick().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                hydro_core::interp::TransducerError::KeyColumn { .. }
+            ),
+            "{mode:?}: {err}"
+        );
+        // The failed tick leaves state untouched, and the offending
+        // message stays queued: a retry reproduces the same error (the
+        // shared behavior of every engine on evaluation failure).
+        assert_eq!(app.row("t", &[i(1)]), Some(&vec![i(1), i(7)]));
+        assert!(app.tick().is_err(), "{mode:?}: retry reproduces the error");
+    }
+}
+
+/// A head fed by both an aggregation rule and a plain rule entangles two
+/// maintenance regimes on one relation; it is rejected at validation.
+#[test]
+fn shared_agg_and_plain_head_is_rejected() {
+    let program = ProgramBuilder::new()
+        .mailbox("e", 2)
+        .rule("h", vec![v("a"), v("b")], vec![scan("e", &["a", "b"])])
+        .agg_rule(
+            "h",
+            vec![v("a")],
+            AggFun::Count,
+            v("b"),
+            vec![scan("e", &["a", "b"])],
+        )
+        .build();
+    assert!(Transducer::new(program).is_err());
+}
+
+/// COVID end-to-end differential: lattice-column merges (row updates,
+/// i.e. delete+insert deltas), flatten over set columns, a recursive
+/// view over them, and the serialized `vaccinate` handler with rollback.
+#[test]
+fn covid_multi_tick_incremental_agrees_with_fresh() {
+    use hydro_core::examples::covid_program_with_vaccines;
+    let i = |x: i64| Value::Int(x);
+    let batches: Vec<Vec<Op>> = vec![
+        vec![
+            ("add_person", vec![i(1)]),
+            ("add_person", vec![i(2)]),
+            ("add_person", vec![i(3)]),
+        ],
+        vec![("add_contact", vec![i(1), i(2)])],
+        vec![("trace", vec![i(1)]), ("add_contact", vec![i(2), i(3)])],
+        vec![],
+        vec![("diagnosed", vec![i(1)]), ("vaccinate", vec![i(2)])],
+        // Second vaccinate exhausts the single dose: rollback + ABORT.
+        vec![("vaccinate", vec![i(3)]), ("trace", vec![i(3)])],
+        vec![("trace", vec![i(2)])],
+        vec![],
+    ];
+    ticks_agree(
+        &covid_program_with_vaccines(1),
+        &batches,
+        EvalMode::FreshSemiNaive,
+    );
 }
 
 proptest! {
@@ -319,6 +614,19 @@ proptest! {
             )
             .build();
         engines_agree(&program, &db_of(&[("e", &es)]));
+    }
+
+    /// The multi-tick property: over randomized insert/delete/block/
+    /// unblock/query sequences — covering negation and aggregation strata
+    /// and retraction cascades — an incrementally maintained transducer
+    /// produces the same tick outputs and final state as a transducer
+    /// that re-evaluates every view from a fresh snapshot each tick.
+    #[test]
+    fn multi_tick_incremental_agrees_with_fresh(
+        raw in prop::collection::vec((0u8..7, 0i64..5, 0i64..5), 0..28),
+    ) {
+        let program = graph_program();
+        ticks_agree(&program, &graph_ops(&raw), EvalMode::FreshSemiNaive);
     }
 
     /// Wildcards and constants inside a recursive stratum: projections of

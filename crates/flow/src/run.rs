@@ -24,6 +24,9 @@ pub struct FlowGraph<D: Data> {
     buffers: Vec<Vec<(Port, D)>>,
     /// Drained inbox vectors kept for reuse across worklist iterations.
     spare_inboxes: Vec<Vec<(Port, D)>>,
+    /// Emptied operator-output vectors kept for reuse across batches, so
+    /// the worklist loop allocates nothing in steady state.
+    spare_outs: Vec<Vec<D>>,
     /// Batches staged for named sources, revealed at the next tick.
     staged: FxHashMap<String, Vec<D>>,
     sources: FxHashMap<String, OpId>,
@@ -102,6 +105,7 @@ impl<D: Data> FlowGraph<D> {
             succs,
             buffers: (0..n).map(|_| Vec::new()).collect(),
             spare_inboxes: Vec::new(),
+            spare_outs: Vec::new(),
             staged: FxHashMap::default(),
             sources,
             sinks,
@@ -234,46 +238,44 @@ impl<D: Data> FlowGraph<D> {
             if self.buffers[i].is_empty() {
                 continue;
             }
-            // Reuse a drained inbox allocation instead of leaving a fresh
-            // empty `Vec` behind every take.
+            // Reuse a drained inbox and a pooled output vector instead of
+            // leaving fresh empty `Vec`s behind every batch.
             let mut inbox = self.spare_inboxes.pop().unwrap_or_default();
             std::mem::swap(&mut inbox, &mut self.buffers[i]);
             self.items_processed += inbox.len() as u64;
-            let out = self.process(i, &mut inbox);
+            let mut out = self.spare_outs.pop().unwrap_or_default();
+            self.process(i, &mut inbox, &mut out);
             self.spare_inboxes.push(inbox);
-            if out.is_empty() {
-                continue;
-            }
             // Fan out to successors (precomputed adjacency — no clone of
-            // the edge list); clone data for all but the last edge so the
-            // final consumer takes ownership without a copy.
+            // the edge list); clone data for all but the last edge, which
+            // drains the pooled vector so it can be reused.
             let n_succ = self.succs[i].len();
-            if n_succ == 0 {
-                continue;
-            }
-            for k in 0..n_succ - 1 {
-                let (to, port) = self.succs[i][k];
-                self.buffers[to].extend(out.iter().cloned().map(|d| (port, d)));
-                if self.ops[to].stratum == stratum && !queued[to] {
-                    queued[to] = true;
-                    queue.push_back(to);
+            if !out.is_empty() && n_succ > 0 {
+                for k in 0..n_succ - 1 {
+                    let (to, port) = self.succs[i][k];
+                    self.buffers[to].extend(out.iter().cloned().map(|d| (port, d)));
+                    if self.ops[to].stratum == stratum && !queued[to] {
+                        queued[to] = true;
+                        queue.push_back(to);
+                    }
+                }
+                let (to_last, port_last) = self.succs[i][n_succ - 1];
+                self.buffers[to_last].extend(out.drain(..).map(|d| (port_last, d)));
+                if self.ops[to_last].stratum == stratum && !queued[to_last] {
+                    queued[to_last] = true;
+                    queue.push_back(to_last);
                 }
             }
-            let (to_last, port_last) = self.succs[i][n_succ - 1];
-            self.buffers[to_last].extend(out.into_iter().map(|d| (port_last, d)));
-            if self.ops[to_last].stratum == stratum && !queued[to_last] {
-                queued[to_last] = true;
-                queue.push_back(to_last);
-            }
+            out.clear();
+            self.spare_outs.push(out);
         }
     }
 
-    /// Process a batch at operator `i`, draining `inbox` and returning
-    /// emitted data (the inbox `Vec` goes back to the reuse pool).
-    fn process(&mut self, i: usize, inbox: &mut Vec<(Port, D)>) -> Vec<D> {
+    /// Process a batch at operator `i`, draining `inbox` into `out` (both
+    /// vectors go back to their reuse pools afterwards).
+    fn process(&mut self, i: usize, inbox: &mut Vec<(Port, D)>, out: &mut Vec<D>) {
         let sink_out = &mut self.sink_out;
         let op = &mut self.ops[i];
-        let mut out = Vec::new();
         match &mut op.kind {
             OpKind::Source { .. } | OpKind::Union => {
                 out.extend(inbox.drain(..).map(|(_, d)| d));
@@ -391,7 +393,6 @@ impl<D: Data> FlowGraph<D> {
                 }
             }
         }
-        out
     }
 
     /// Release fold results at the end of their stratum.

@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
-# Perf smoke: run the E1/E8 interpreter sweeps and record the trajectory.
+# Perf smoke: run the E1/E8/E15 interpreter sweeps and record the trajectory.
 #
-# Builds the release report binary, prints the E1 (COVID tracker) and E8
-# (transitive closure) tables, and writes BENCH_interp.json at the repo
-# root: [{workload, n, wall_ms, items_processed}, ...] covering the
-# semi-naive interpreter, the retained naive reference, and the compiled
-# Hydroflow path. Future PRs compare against the committed numbers to
-# catch perf regressions in the interpreter hot path.
+# Builds the release report binary, prints the E1 (COVID tracker), E8
+# (transitive closure) and E15 (cross-tick steady state) tables, and
+# writes BENCH_interp.json at the repo root:
+# [{workload, n, wall_ms, items_processed}, ...] covering the incremental
+# interpreter, the fresh-per-tick semi-naive path, the retained naive
+# reference, the compiled Hydroflow path, and per-tick steady-state wall
+# times. The fresh run is then diffed against the committed numbers and a
+# per-workload speedup/regression line is printed for each record, so a
+# perf regression in the interpreter hot path is visible directly in CI
+# output.
 #
 # Usage: scripts/bench_smoke.sh [output-path]   (default: BENCH_interp.json)
 
@@ -15,9 +19,49 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_interp.json}"
 
+# Keep the committed numbers around for the regression diff below.
+prev=""
+if [[ -f "$out" ]]; then
+  prev="$(mktemp)"
+  cp "$out" "$prev"
+  trap 'rm -f "$prev"' EXIT
+fi
+
 cargo build --release -p hydro-bench --bin report
-./target/release/report e01 e08 --bench-json="$out"
+./target/release/report e01 e08 e15 --bench-json="$out"
 
 echo
 echo "== $out =="
 cat "$out"
+
+if [[ -n "$prev" ]]; then
+  # Extract "workload:n wall_ms" lines from our own JSON writer's stable
+  # layout (one key per line), join on workload:n, and classify.
+  extract() {
+    awk '
+      /"workload":/ { gsub(/[",]/, ""); w = $2 }
+      /"n":/        { gsub(/[",]/, ""); n = $2 }
+      /"wall_ms":/  { gsub(/[",]/, ""); print w ":" n, $2 }
+    ' "$1"
+  }
+  echo
+  echo "== wall-time vs committed baseline (old -> new) =="
+  join -a 1 -a 2 -e '-' -o '0,1.2,2.2' \
+    <(extract "$prev" | sort) <(extract "$out" | sort) | awk '
+    $2 == "-" { printf "%-38s %31s %10.3f ms\n", $1, "(new workload)", $3; next }
+    $3 == "-" { printf "%-38s %10.3f ms %21s\n", $1, $2, "(removed workload)"; next }
+    {
+      ratio = ($3 > 0) ? $2 / $3 : 0
+      # Sub-50us records are timer noise; never cry REGRESSION on them.
+      if ($2 < 0.05 && $3 < 0.05)
+        verdict = "noise(<50us)"
+      else if (ratio >= 1.1)
+        verdict = "speedup"
+      else if (ratio > 0 && ratio <= 0.9)
+        verdict = "REGRESSION"
+      else
+        verdict = "flat"
+      printf "%-38s %10.3f ms -> %10.3f ms  %8.2fx  %s\n", $1, $2, $3, ratio, verdict
+    }
+  '
+fi
