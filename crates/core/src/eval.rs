@@ -37,9 +37,50 @@
 //! in source order — a delta variant *constrains* an atom, it never
 //! reorders one, because reordering changes which errors are reachable
 //! and how often stateful UDFs run (see [`BodyPlan`]). [`evaluate_views_naive`]
-//! retains the original naive nested-loop evaluator as a
-//! differential-testing reference; experiment E8 compares the two against
-//! the compiled path.
+//! retains the naive nested-loop evaluator as a differential-testing
+//! reference; experiment E8 compares the two against the compiled path.
+//!
+//! # Compiled variable slots
+//!
+//! The engines never bind variables through a string-keyed map. A
+//! **slot-resolution pass** ([`SlotCompiler`]) runs once per compilation
+//! unit — one rule, one aggregation rule, or one handler body — and maps
+//! every distinct variable name to a dense index into that unit's
+//! [`Frame`]: a `Vec<Option<Value>>` (`None` = unbound) sized to the
+//! unit's variable count, reused across rows, rounds and ticks. The
+//! compiled mirror of the AST ([`CExpr`] / [`CAtom`] / [`CTerm`] /
+//! [`CSelect`]) carries the resolved slots, so the per-row cost of a
+//! binding is an indexed store — no hashing, no allocation.
+//!
+//! **Frame layout.** Slots are allocated in first-mention order over the
+//! whole unit: for handlers, parameters first, then the implicit
+//! `__msg_id`, then body variables (including every nested select's and
+//! comprehension's variables — same name ⇒ same slot, scoping is
+//! temporal, not spatial). The slot → name table survives only to render
+//! `UnboundVar` errors identically to the reference.
+//!
+//! **Static boundness.** A body is a linear conjunction, so whether a
+//! variable is bound at an atom is known at compile time: scan terms
+//! compile to [`CTerm::Check`] (equality against the slot) or
+//! [`CTerm::Bind`] (first occurrence), and each scan gets a static
+//! [`ProbeLayout`] over the columns bound *before* it — exactly the
+//! columns the reference's dynamic detection would probe.
+//!
+//! **Scope save/restore discipline.** Scan rows mark the frame's undo log
+//! and truncate back after the sub-walk (or on a mid-terms mismatch);
+//! `let`/`flatten` save the prior slot value locally and restore it, so
+//! shadowing works like the map's insert-prior/restore dance; nested
+//! `CollectSet` comprehensions evaluate in the same frame and restore by
+//! the same two rules. A successful walk therefore leaves the frame
+//! exactly as it found it; error paths abandon mid-walk and the next use
+//! re-arms via [`Frame::reset`].
+//!
+//! All three engines — cross-tick incremental, fresh semi-naive, fresh
+//! naive — evaluate one shared compiled [`RuleSet`], so error
+//! reachability and stateful-UDF call order stay bit-identical across
+//! them. The map-based evaluator ([`eval_select`] / [`eval_expr`] /
+//! [`evaluate_views_mapref`]) is retained purely as the differential
+//! reference that pins the slot pass (see `seminaive_differential.rs`).
 //!
 //! # Cross-tick incremental view maintenance
 //!
@@ -691,78 +732,14 @@ fn bool_of(v: Value) -> Result<bool, EvalError> {
     })
 }
 
-/// Where one probe-key value comes from at scan time.
-#[derive(Clone, Debug)]
-enum ProbeSrc {
-    /// A constant in the scan pattern.
-    Const(Value),
-    /// A variable bound by an earlier atom (statically guaranteed).
-    Var(String),
-}
-
-/// Precomputed probe shape for one scan atom of a compiled rule body:
-/// which columns are bound at probe time and where each key value comes
-/// from. Computed once per program (variable boundness is static for rule
-/// bodies, which always start from empty bindings), so the per-binding
-/// work of a probe is value lookups only.
-#[derive(Clone, Debug, Default)]
-struct ProbeLayout {
-    cols: Vec<usize>,
-    srcs: Vec<ProbeSrc>,
-}
-
-/// Per-atom probe layouts for a rule body (`None` = not a scan, or a scan
-/// with no statically bound column — a full scan).
-type BodyLayouts = Vec<Option<ProbeLayout>>;
-
-/// Compute the static probe layouts of a rule body: a variable is bound at
-/// atom `i` iff an atom before `i` introduced it (scan var term, `let`,
-/// `flatten`). Matches the dynamic bound-term detection exactly when the
-/// base bindings are empty, which is always the case for rule evaluation.
-fn body_layouts(body: &[BodyAtom]) -> BodyLayouts {
-    let mut bound: FxHashSet<&str> = FxHashSet::default();
-    let mut out = Vec::with_capacity(body.len());
-    for atom in body {
-        match atom {
-            BodyAtom::Scan { terms, .. } => {
-                let mut layout = ProbeLayout::default();
-                for (i, t) in terms.iter().enumerate() {
-                    match t {
-                        Term::Const(c) => {
-                            layout.cols.push(i);
-                            layout.srcs.push(ProbeSrc::Const(c.clone()));
-                        }
-                        Term::Var(name) if bound.contains(name.as_str()) => {
-                            layout.cols.push(i);
-                            layout.srcs.push(ProbeSrc::Var(name.clone()));
-                        }
-                        _ => {}
-                    }
-                }
-                out.push((!layout.cols.is_empty()).then_some(layout));
-                for t in terms {
-                    if let Term::Var(name) = t {
-                        bound.insert(name);
-                    }
-                }
-            }
-            BodyAtom::Let { var, .. } | BodyAtom::Flatten { var, .. } => {
-                out.push(None);
-                bound.insert(var);
-            }
-            BodyAtom::Neg { .. } | BodyAtom::Guard(_) => out.push(None),
-        }
-    }
-    out
-}
-
-/// How a body is to be evaluated. Atoms always run in source order — the
-/// evaluators promise *exact* agreement with source-order evaluation,
-/// including which errors are reachable (an `ArityMismatch` behind an
-/// empty scan must stay unreachable) and how often stateful UDFs run, so
-/// no reordering (not even hoisting a semi-naive delta atom past an
-/// earlier scan) is safe. A delta variant instead *constrains* one atom
-/// to the delta relation, which is where the semi-naive win lives.
+/// How a (map-based, reference-only) body is to be evaluated. Atoms always
+/// run in source order — the evaluators promise *exact* agreement with
+/// source-order evaluation, including which errors are reachable (an
+/// `ArityMismatch` behind an empty scan must stay unreachable) and how
+/// often stateful UDFs run, so no reordering (not even hoisting a
+/// semi-naive delta atom past an earlier scan) is safe. A delta variant
+/// instead *constrains* one atom to the delta relation, which is where the
+/// semi-naive win lives.
 struct BodyPlan<'p> {
     /// The body's atoms, evaluated in source order.
     body: &'p [BodyAtom],
@@ -770,12 +747,8 @@ struct BodyPlan<'p> {
     /// instead of the full relation.
     delta: Option<(usize, &'p Relation)>,
     /// Probe hash indexes for bound scan columns (`false` = pure nested
-    /// loops, retained for the naive reference evaluator).
+    /// loops; the map reference detects bound terms dynamically either way).
     use_indexes: bool,
-    /// Precomputed per-atom probe layouts (compiled rule plans only;
-    /// `None` = detect bound terms dynamically, for ad-hoc selects whose
-    /// base bindings vary).
-    layouts: Option<&'p BodyLayouts>,
 }
 
 impl<'p> BodyPlan<'p> {
@@ -785,7 +758,6 @@ impl<'p> BodyPlan<'p> {
             body,
             delta: None,
             use_indexes: true,
-            layouts: None,
         }
     }
 }
@@ -857,45 +829,26 @@ fn eval_body(
             // earlier atoms) instead of scanning the relation. Index
             // probes enumerate matches in insertion order, so a scan's
             // row order is identical on both paths. Deltas are small and
-            // short-lived; they are always scanned directly. Compiled
-            // rule plans carry a static probe layout; ad-hoc selects
-            // detect bound terms dynamically. Either way the key lands in
-            // the cache's scratch buffers — no per-binding allocation.
+            // short-lived; they are always scanned directly. Bound terms
+            // are detected dynamically (this is the map-based reference
+            // path; the compiled engines carry static probe layouts).
             let is_delta = matches!(plan.delta, Some((p, _)) if p == pos);
             let mut have_key = false;
             if plan.use_indexes && !is_delta {
                 let (cols, key) = ctx.scan_cache.begin_probe();
-                match plan.layouts {
-                    Some(layouts) => {
-                        if let Some(layout) = layouts[pos].as_ref() {
-                            cols.extend_from_slice(&layout.cols);
-                            for src in &layout.srcs {
-                                key.push(match src {
-                                    ProbeSrc::Const(c) => c.clone(),
-                                    ProbeSrc::Var(name) => bindings
-                                        .get(name)
-                                        .cloned()
-                                        .expect("layout variables are statically bound"),
-                                });
+                for (i, t) in terms.iter().enumerate() {
+                    match t {
+                        Term::Const(c) => {
+                            cols.push(i);
+                            key.push(c.clone());
+                        }
+                        Term::Var(name) => {
+                            if let Some(v) = bindings.get(name) {
+                                cols.push(i);
+                                key.push(v.clone());
                             }
                         }
-                    }
-                    None => {
-                        for (i, t) in terms.iter().enumerate() {
-                            match t {
-                                Term::Const(c) => {
-                                    cols.push(i);
-                                    key.push(c.clone());
-                                }
-                                Term::Var(name) => {
-                                    if let Some(v) = bindings.get(name) {
-                                        cols.push(i);
-                                        key.push(v.clone());
-                                    }
-                                }
-                                Term::Wildcard => {}
-                            }
-                        }
+                        Term::Wildcard => {}
                     }
                 }
                 have_key = !cols.is_empty();
@@ -1229,8 +1182,8 @@ fn seed_views(program: &Program, base: &Database) -> Database {
 
 /// Compute all views over the base database, stratum by stratum, each
 /// stratum to fixpoint **semi-naively** (see the module docs for the
-/// algorithm and its delta invariant). Returns the database extended with
-/// every view.
+/// algorithm and its delta invariant), evaluating slot-compiled rules.
+/// Returns the database extended with every view.
 pub fn evaluate_views(
     program: &Program,
     base: &Database,
@@ -1239,19 +1192,23 @@ pub fn evaluate_views(
 ) -> Result<Database, EvalError> {
     let strata = stratify(program)?;
     let max_stratum = strata.values().copied().max().unwrap_or(0);
+    let ruleset = RuleSet::compile(program);
 
     let mut db = seed_views(program, base);
     let key_index = build_key_indexes(program, base);
     // One index cache for the whole evaluation: relations only grow, and
     // the insertion loops below report every append via `note_insert`.
     let mut cache = ScanCache::default();
+    let mut frame = Frame::default();
 
     for s in 0..=max_stratum {
         // Aggregations of this stratum run once, over completed lower strata.
-        cache = run_stratum_aggs(program, &strata, s, &mut db, scalars, &key_index, udfs, cache)?;
+        cache = run_stratum_caggs(
+            &ruleset, program, &strata, s, &mut db, scalars, &key_index, udfs, &mut frame, cache,
+        )?;
 
         // Plain rules of this stratum run to fixpoint (handles recursion).
-        let rules: Vec<&Rule> = program
+        let rules: Vec<&CompiledRule> = ruleset
             .rules
             .iter()
             .filter(|r| strata[&r.head] == s)
@@ -1259,18 +1216,20 @@ pub fn evaluate_views(
         if rules.is_empty() {
             continue;
         }
-        let heads: FxHashSet<String> = rules.iter().map(|r| r.head.clone()).collect();
+        let heads: FxHashSet<&str> = rules.iter().map(|r| r.head.as_str()).collect();
         // Per rule: the positions of body atoms scanning a same-stratum
         // head — the delta-variant candidates for rounds ≥ 1.
-        let delta_variants: Vec<Vec<(usize, String)>> = rules
+        let delta_variants: Vec<Vec<(usize, &str)>> = rules
             .iter()
             .map(|rule| {
-                rule.body
+                rule.query
+                    .select
+                    .body
                     .iter()
                     .enumerate()
                     .filter_map(|(i, a)| match a {
-                        BodyAtom::Scan { rel, .. } if heads.contains(rel) => {
-                            Some((i, rel.clone()))
+                        CAtom::Scan { rel, .. } if heads.contains(rel.as_str()) => {
+                            Some((i, rel.as_str()))
                         }
                         _ => None,
                     })
@@ -1292,10 +1251,8 @@ pub fn evaluate_views(
                 scan_cache: cache,
             };
             for (r, rule) in rules.iter().enumerate() {
-                let plan = BodyPlan::full(&rule.body);
-                for row in
-                    eval_select_with_plan(&plan, &rule.head_exprs, &Bindings::default(), &mut ctx)?
-                {
+                let plan = CPlan::full(&rule.query.select.body);
+                for row in eval_rule_query(&rule.query, &plan, &mut frame, &mut ctx)? {
                     derived.push((r, row));
                 }
             }
@@ -1335,22 +1292,16 @@ pub fn evaluate_views(
                 };
                 for (r, rule) in rules.iter().enumerate() {
                     for (pos, rel) in &delta_variants[r] {
-                        let Some(d) = delta.get(rel) else { continue };
+                        let Some(d) = delta.get(*rel) else { continue };
                         if d.is_empty() {
                             continue;
                         }
-                        let plan = BodyPlan {
-                            body: &rule.body,
+                        let plan = CPlan {
+                            body: &rule.query.select.body,
                             delta: Some((*pos, d)),
                             use_indexes: true,
-                            layouts: None,
                         };
-                        for row in eval_select_with_plan(
-                            &plan,
-                            &rule.head_exprs,
-                            &Bindings::default(),
-                            &mut ctx,
-                        )? {
+                        for row in eval_rule_query(&rule.query, &plan, &mut frame, &mut ctx)? {
                             derived.push((r, row));
                         }
                     }
@@ -1363,12 +1314,93 @@ pub fn evaluate_views(
     Ok(db)
 }
 
-/// The original naive evaluator: full re-derivation of every rule from the
-/// complete database each round, pure nested-loop scans in source order,
-/// no indexes. Retained as the independent reference for differential
-/// tests (`evaluate_views` must agree with it on every program) and for
-/// before/after benchmarking in E1/E8.
+/// The naive evaluator: full re-derivation of every rule from the complete
+/// database each round, pure nested-loop scans in source order, no
+/// indexes. It evaluates the **same slot-compiled rules** as the other
+/// engines (one resolver — slot assignment, error reachability and
+/// stateful-UDF ordering are bit-identical); only the fixpoint algorithm
+/// and access paths differ. Retained as the algorithmic reference for
+/// differential tests and for before/after benchmarking in E1/E8.
 pub fn evaluate_views_naive(
+    program: &Program,
+    base: &Database,
+    scalars: &FxHashMap<String, Value>,
+    udfs: &mut UdfHost,
+) -> Result<Database, EvalError> {
+    let strata = stratify(program)?;
+    let max_stratum = strata.values().copied().max().unwrap_or(0);
+    let ruleset = RuleSet::compile(program);
+
+    let mut db = seed_views(program, base);
+    let key_index = build_key_indexes(program, base);
+    let mut frame = Frame::default();
+
+    for s in 0..=max_stratum {
+        // Aggregations behave identically in both evaluators (they never
+        // participate in a fixpoint); only the fixpoint below is an
+        // independent naive implementation. The throwaway cache only sees
+        // agg-side index use.
+        run_stratum_caggs(
+            &ruleset,
+            program,
+            &strata,
+            s,
+            &mut db,
+            scalars,
+            &key_index,
+            udfs,
+            &mut frame,
+            ScanCache::default(),
+        )?;
+
+        let rules: Vec<&CompiledRule> = ruleset
+            .rules
+            .iter()
+            .filter(|r| strata[&r.head] == s)
+            .collect();
+        if rules.is_empty() {
+            continue;
+        }
+        loop {
+            let mut derived: Vec<(&str, Row)> = Vec::new();
+            {
+                let mut ctx = EvalCtx {
+                    program,
+                    db: &db,
+                    scalars,
+                    key_index: &key_index,
+                    udfs,
+                    scan_cache: Default::default(),
+                };
+                for rule in &rules {
+                    let mut plan = CPlan::full(&rule.query.select.body);
+                    plan.use_indexes = false;
+                    for row in eval_rule_query(&rule.query, &plan, &mut frame, &mut ctx)? {
+                        derived.push((rule.head.as_str(), row));
+                    }
+                }
+            }
+            let mut changed = false;
+            for (head, row) in derived {
+                changed |= db.entry(head.to_string()).or_default().insert(row);
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+    Ok(db)
+}
+
+/// The **map-based** naive evaluator: the same algorithm as
+/// [`evaluate_views_naive`], but binding variables through the dynamic
+/// `Bindings` string map ([`eval_select`] / [`eval_expr`]) instead of
+/// compiled slot frames. It is *not* an engine — it exists purely as the
+/// differential reference that pins the slot-resolution pass: same
+/// algorithm, different binding machinery, so derived rows, reachable
+/// errors and stateful-UDF call order must all be bit-identical to
+/// [`evaluate_views_naive`] (see `seminaive_differential.rs`).
+pub fn evaluate_views_mapref(
     program: &Program,
     base: &Database,
     scalars: &FxHashMap<String, Value>,
@@ -1381,10 +1413,6 @@ pub fn evaluate_views_naive(
     let key_index = build_key_indexes(program, base);
 
     for s in 0..=max_stratum {
-        // Aggregations behave identically in both evaluators (they never
-        // participate in a fixpoint); only the fixpoint below is an
-        // independent naive implementation. The throwaway cache only sees
-        // agg-side index use.
         run_stratum_aggs(
             program,
             &strata,
@@ -1480,6 +1508,994 @@ fn eval_agg_rule(rule: &AggRule, ctx: &mut EvalCtx<'_>) -> Result<Vec<Row>, Eval
         out.push(row);
     }
     Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Compiled variable slots: the evaluation hot path.
+// ---------------------------------------------------------------------------
+//
+// Everything above this line that takes a `Bindings` map is the *reference*
+// implementation. The engines evaluate a slot-compiled mirror of the AST
+// instead: every variable in a rule (or handler body) is resolved once, at
+// plan time, to a dense numeric slot, and evaluation runs against a
+// reusable [`Frame`] — so the per-row cost of binding a variable is an
+// indexed store, not a string hash.
+
+/// A compiled variable store: one `Option<Value>` per slot (`None` =
+/// unbound), plus an undo log for scan bindings.
+///
+/// # Scope discipline
+///
+/// Every construct that binds restores on exit, so a frame returns to its
+/// entry state after any successful body walk (engines reuse one scratch
+/// frame across rules and rounds; `reset` re-arms it defensively after
+/// errors, which may abandon a walk mid-body):
+///
+/// * **Scan rows** ([`CTerm::Bind`]) mark the undo log before matching a
+///   row's terms and truncate back to the mark afterwards — including on a
+///   mismatch part-way through the terms. A `Bind` slot is statically
+///   unbound at that point of the body, so undo entries are bare slot ids
+///   and undoing just stores `None`.
+/// * **`let` and `flatten`** save the prior slot value in a local and
+///   restore it after the sub-walk — shadowing an outer binding of the
+///   same name works exactly like the map's insert-prior/restore dance.
+/// * **Nested comprehensions** (`CollectSet`) evaluate in the same frame;
+///   their bindings restore by the two rules above, so the enclosing walk
+///   never observes them.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Frame {
+    slots: Vec<Option<Value>>,
+    undo: Vec<u32>,
+}
+
+impl Frame {
+    /// Clear and size the frame for a body with `len` slots.
+    pub(crate) fn reset(&mut self, len: usize) {
+        self.slots.clear();
+        self.slots.resize(len, None);
+        self.undo.clear();
+    }
+
+    /// Read a slot (`None` = unbound).
+    pub(crate) fn get(&self, slot: u32) -> Option<&Value> {
+        self.slots[slot as usize].as_ref()
+    }
+
+    /// Store into a slot, returning the prior value.
+    pub(crate) fn replace(&mut self, slot: u32, v: Option<Value>) -> Option<Value> {
+        std::mem::replace(&mut self.slots[slot as usize], v)
+    }
+
+    fn mark(&self) -> usize {
+        self.undo.len()
+    }
+
+    /// Bind a statically-unbound slot, recording it for [`Frame::undo_to`].
+    fn bind(&mut self, slot: u32, v: Value) {
+        self.slots[slot as usize] = Some(v);
+        self.undo.push(slot);
+    }
+
+    /// Unbind every slot bound since `mark` (scan-row bindings only).
+    fn undo_to(&mut self, mark: usize) {
+        while self.undo.len() > mark {
+            let slot = self.undo.pop().expect("len checked");
+            self.slots[slot as usize] = None;
+        }
+    }
+}
+
+/// Compiled scan term: boundness is resolved statically (a body is a
+/// linear sequence, so whether an earlier atom — or an earlier term of the
+/// same atom — introduced the variable is known at compile time).
+#[derive(Clone, Debug)]
+pub(crate) enum CTerm {
+    /// Match a constant.
+    Const(Value),
+    /// Variable already bound here: compare against its slot.
+    Check(u32),
+    /// First occurrence: bind the slot to the row value.
+    Bind(u32),
+    /// Ignore the position.
+    Wildcard,
+}
+
+/// Where one probe-key value comes from at scan time.
+#[derive(Clone, Debug)]
+enum ProbeSrc {
+    /// A constant in the scan pattern.
+    Const(Value),
+    /// A slot bound by an earlier atom (statically guaranteed).
+    Slot(u32),
+}
+
+/// Precomputed probe shape for one scan atom: which columns are bound at
+/// probe time and where each key value comes from, so the per-binding work
+/// of a probe is indexed value loads only. Only columns bound *before* the
+/// atom participate (a within-atom repeated variable is a [`CTerm::Check`],
+/// not a probe column — exactly matching the reference's dynamic
+/// detection).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ProbeLayout {
+    cols: Vec<usize>,
+    srcs: Vec<ProbeSrc>,
+}
+
+/// Slot-compiled mirror of [`Expr`]. Only variables are resolved at
+/// compile time: tables, columns, scalars and UDFs keep their names and
+/// resolve per evaluation, so *which* errors are reachable (unknown
+/// table/column/scalar/UDF on an executed expression only) is identical to
+/// the reference.
+#[derive(Clone, Debug)]
+pub(crate) enum CExpr {
+    /// Literal.
+    Const(Value),
+    /// Slot-resolved variable.
+    Var(u32),
+    /// Scalar read (resolved per evaluation).
+    Scalar(String),
+    /// Comparison.
+    Cmp(CmpOp, Box<CExpr>, Box<CExpr>),
+    /// Arithmetic.
+    Arith(ArithOp, Box<CExpr>, Box<CExpr>),
+    /// Logical negation.
+    Not(Box<CExpr>),
+    /// Short-circuit conjunction.
+    And(Box<CExpr>, Box<CExpr>),
+    /// Short-circuit disjunction.
+    Or(Box<CExpr>, Box<CExpr>),
+    /// Tuple build.
+    Tuple(Vec<CExpr>),
+    /// Tuple projection.
+    Index(Box<CExpr>, usize),
+    /// Set build.
+    SetBuild(Vec<CExpr>),
+    /// Set membership.
+    Contains(Box<CExpr>, Box<CExpr>),
+    /// Set / tuple cardinality.
+    Len(Box<CExpr>),
+    /// Keyed field read.
+    FieldOf {
+        /// Table name.
+        table: String,
+        /// Key expression.
+        key: Box<CExpr>,
+        /// Column name (resolved per evaluation, like the reference).
+        field: String,
+    },
+    /// Keyed row read.
+    RowOf {
+        /// Table name.
+        table: String,
+        /// Key expression.
+        key: Box<CExpr>,
+    },
+    /// Key-presence test.
+    HasKey {
+        /// Table name.
+        table: String,
+        /// Key expression.
+        key: Box<CExpr>,
+    },
+    /// UDF call.
+    Call(String, Vec<CExpr>),
+    /// Nested comprehension, evaluated in the same frame (its bindings are
+    /// scoped by the restore discipline).
+    CollectSet(Box<CSelect>),
+}
+
+/// Slot-compiled mirror of [`BodyAtom`].
+#[derive(Clone, Debug)]
+pub(crate) enum CAtom {
+    /// Positional scan with compiled terms and a static probe layout
+    /// (`None` = no statically bound column, a full scan).
+    Scan {
+        /// Relation name.
+        rel: String,
+        /// Compiled terms.
+        terms: Vec<CTerm>,
+        /// Static probe layout.
+        layout: Option<ProbeLayout>,
+    },
+    /// Stratified negation.
+    Neg {
+        /// Relation name.
+        rel: String,
+        /// Tuple to test for absence.
+        args: Vec<CExpr>,
+    },
+    /// Boolean guard.
+    Guard(CExpr),
+    /// Bind a slot to an expression (restores the prior value on exit).
+    Let {
+        /// Slot to bind.
+        slot: u32,
+        /// Defining expression.
+        expr: CExpr,
+    },
+    /// Iterate a set-valued expression, binding each element.
+    Flatten {
+        /// Slot bound to each element.
+        slot: u32,
+        /// Set-valued expression.
+        set: CExpr,
+    },
+}
+
+/// Slot-compiled comprehension.
+#[derive(Clone, Debug)]
+pub(crate) struct CSelect {
+    /// Compiled body atoms, evaluated in source order.
+    pub(crate) body: Vec<CAtom>,
+    /// Compiled projection.
+    pub(crate) projection: Vec<CExpr>,
+}
+
+/// The slot-resolution pass: allocates one dense slot per distinct
+/// variable name of a compilation unit (one rule, one aggregation rule, or
+/// one handler body — whatever shares a frame), and tracks static
+/// boundness while walking bodies so scan terms compile to
+/// [`CTerm::Check`] vs [`CTerm::Bind`] and probe layouts cover exactly the
+/// columns the reference's dynamic detection would.
+///
+/// Boundness is static because a body is a linear conjunction: at any
+/// atom, the bound variables are the base bindings (empty for rules;
+/// handler params for handler statements; the enclosing scopes for nested
+/// constructs) plus whatever earlier atoms introduced. Scoped constructs
+/// un-mark on exit via [`SlotCompiler::unmark`].
+pub(crate) struct SlotCompiler {
+    names: Vec<String>,
+    by_name: FxHashMap<String, u32>,
+    bound: Vec<bool>,
+}
+
+impl SlotCompiler {
+    /// Empty compiler (no slots, nothing bound).
+    pub(crate) fn new() -> Self {
+        SlotCompiler {
+            names: Vec::new(),
+            by_name: FxHashMap::default(),
+            bound: Vec::new(),
+        }
+    }
+
+    /// Get-or-create the slot for a variable name (created unbound).
+    pub(crate) fn slot(&mut self, name: &str) -> u32 {
+        if let Some(&s) = self.by_name.get(name) {
+            return s;
+        }
+        let s = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), s);
+        self.bound.push(false);
+        s
+    }
+
+    /// The slot for a name, if one was ever allocated.
+    pub(crate) fn lookup(&self, name: &str) -> Option<u32> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Mark a slot statically bound (handler params, `ForEach` scopes).
+    pub(crate) fn mark_bound(&mut self, slot: u32) {
+        self.bound[slot as usize] = true;
+    }
+
+    /// Un-mark slots when their binding scope closes.
+    pub(crate) fn unmark(&mut self, slots: &[u32]) {
+        for &s in slots {
+            self.bound[s as usize] = false;
+        }
+    }
+
+    /// Consume the compiler, yielding the slot → name table (used only to
+    /// render `UnboundVar` errors identically to the reference).
+    pub(crate) fn into_names(self) -> Vec<String> {
+        self.names
+    }
+
+    /// Compile an expression against the current boundness state.
+    pub(crate) fn compile_expr(&mut self, e: &Expr) -> CExpr {
+        match e {
+            Expr::Const(v) => CExpr::Const(v.clone()),
+            Expr::Var(name) => CExpr::Var(self.slot(name)),
+            Expr::Scalar(name) => CExpr::Scalar(name.clone()),
+            Expr::Cmp(op, l, r) => CExpr::Cmp(
+                *op,
+                Box::new(self.compile_expr(l)),
+                Box::new(self.compile_expr(r)),
+            ),
+            Expr::Arith(op, l, r) => CExpr::Arith(
+                *op,
+                Box::new(self.compile_expr(l)),
+                Box::new(self.compile_expr(r)),
+            ),
+            Expr::Not(e) => CExpr::Not(Box::new(self.compile_expr(e))),
+            Expr::And(l, r) => CExpr::And(
+                Box::new(self.compile_expr(l)),
+                Box::new(self.compile_expr(r)),
+            ),
+            Expr::Or(l, r) => CExpr::Or(
+                Box::new(self.compile_expr(l)),
+                Box::new(self.compile_expr(r)),
+            ),
+            Expr::Tuple(items) => {
+                CExpr::Tuple(items.iter().map(|e| self.compile_expr(e)).collect())
+            }
+            Expr::Index(e, i) => CExpr::Index(Box::new(self.compile_expr(e)), *i),
+            Expr::SetBuild(items) => {
+                CExpr::SetBuild(items.iter().map(|e| self.compile_expr(e)).collect())
+            }
+            Expr::Contains(l, r) => CExpr::Contains(
+                Box::new(self.compile_expr(l)),
+                Box::new(self.compile_expr(r)),
+            ),
+            Expr::Len(e) => CExpr::Len(Box::new(self.compile_expr(e))),
+            Expr::FieldOf { table, key, field } => CExpr::FieldOf {
+                table: table.clone(),
+                key: Box::new(self.compile_expr(key)),
+                field: field.clone(),
+            },
+            Expr::RowOf { table, key } => CExpr::RowOf {
+                table: table.clone(),
+                key: Box::new(self.compile_expr(key)),
+            },
+            Expr::HasKey { table, key } => CExpr::HasKey {
+                table: table.clone(),
+                key: Box::new(self.compile_expr(key)),
+            },
+            Expr::Call(name, args) => CExpr::Call(
+                name.clone(),
+                args.iter().map(|e| self.compile_expr(e)).collect(),
+            ),
+            Expr::CollectSet(select) => {
+                // The nested comprehension's own bindings are scoped: they
+                // compile against the current boundness and un-mark on
+                // exit, so a later atom of the enclosing body sees exactly
+                // the names the reference's cloned-base semantics exposes.
+                let (csel, introduced) = self.compile_select(select);
+                self.unmark(&introduced);
+                CExpr::CollectSet(Box::new(csel))
+            }
+        }
+    }
+
+    /// Compile a body, marking introduced slots bound as it walks; returns
+    /// the slots this body newly bound, in first-binding order. The caller
+    /// decides when their scope closes ([`SlotCompiler::unmark`]).
+    pub(crate) fn compile_body(&mut self, body: &[BodyAtom]) -> (Vec<CAtom>, Vec<u32>) {
+        let mut out = Vec::with_capacity(body.len());
+        let mut introduced: Vec<u32> = Vec::new();
+        for atom in body {
+            match atom {
+                BodyAtom::Scan { rel, terms } => {
+                    let mut layout = ProbeLayout::default();
+                    let mut cterms = Vec::with_capacity(terms.len());
+                    // Layout columns come from boundness *before* the
+                    // atom; snapshot it, since the term walk below marks
+                    // within-atom bindings.
+                    let bound_before = self.bound.clone();
+                    for (i, t) in terms.iter().enumerate() {
+                        match t {
+                            Term::Const(c) => {
+                                layout.cols.push(i);
+                                layout.srcs.push(ProbeSrc::Const(c.clone()));
+                                cterms.push(CTerm::Const(c.clone()));
+                            }
+                            Term::Var(name) => {
+                                let s = self.slot(name);
+                                if bound_before.get(s as usize).copied().unwrap_or(false) {
+                                    layout.cols.push(i);
+                                    layout.srcs.push(ProbeSrc::Slot(s));
+                                }
+                                if self.bound[s as usize] {
+                                    cterms.push(CTerm::Check(s));
+                                } else {
+                                    cterms.push(CTerm::Bind(s));
+                                    self.bound[s as usize] = true;
+                                    introduced.push(s);
+                                }
+                            }
+                            Term::Wildcard => cterms.push(CTerm::Wildcard),
+                        }
+                    }
+                    out.push(CAtom::Scan {
+                        rel: rel.clone(),
+                        terms: cterms,
+                        layout: (!layout.cols.is_empty()).then_some(layout),
+                    });
+                }
+                BodyAtom::Neg { rel, args } => {
+                    out.push(CAtom::Neg {
+                        rel: rel.clone(),
+                        args: args.iter().map(|e| self.compile_expr(e)).collect(),
+                    });
+                }
+                BodyAtom::Guard(e) => out.push(CAtom::Guard(self.compile_expr(e))),
+                BodyAtom::Let { var, expr } => {
+                    // The defining expression sees the pre-`let` scope.
+                    let cexpr = self.compile_expr(expr);
+                    let s = self.slot(var);
+                    if !self.bound[s as usize] {
+                        self.bound[s as usize] = true;
+                        introduced.push(s);
+                    }
+                    out.push(CAtom::Let { slot: s, expr: cexpr });
+                }
+                BodyAtom::Flatten { var, set } => {
+                    let cset = self.compile_expr(set);
+                    let s = self.slot(var);
+                    if !self.bound[s as usize] {
+                        self.bound[s as usize] = true;
+                        introduced.push(s);
+                    }
+                    out.push(CAtom::Flatten { slot: s, set: cset });
+                }
+            }
+        }
+        (out, introduced)
+    }
+
+    /// Compile a comprehension (body + projection); returns the slots the
+    /// body newly bound (still marked — the caller un-marks when the
+    /// select's scope closes).
+    pub(crate) fn compile_select(&mut self, select: &Select) -> (CSelect, Vec<u32>) {
+        let (body, introduced) = self.compile_body(&select.body);
+        let projection = select
+            .projection
+            .iter()
+            .map(|e| self.compile_expr(e))
+            .collect();
+        (CSelect { body, projection }, introduced)
+    }
+}
+
+/// Evaluate a compiled expression against a frame.
+pub(crate) fn eval_cexpr(
+    expr: &CExpr,
+    frame: &mut Frame,
+    names: &[String],
+    ctx: &mut EvalCtx<'_>,
+) -> Result<Value, EvalError> {
+    match expr {
+        CExpr::Const(v) => Ok(v.clone()),
+        CExpr::Var(s) => frame.slots[*s as usize]
+            .clone()
+            .ok_or_else(|| EvalError::UnboundVar(names[*s as usize].clone())),
+        CExpr::Scalar(name) => ctx
+            .scalars
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EvalError::UnknownScalar(name.clone())),
+        CExpr::Cmp(op, l, r) => {
+            let l = eval_cexpr(l, frame, names, ctx)?;
+            let r = eval_cexpr(r, frame, names, ctx)?;
+            let res = match op {
+                CmpOp::Eq => l == r,
+                CmpOp::Ne => l != r,
+                CmpOp::Lt => l < r,
+                CmpOp::Le => l <= r,
+                CmpOp::Gt => l > r,
+                CmpOp::Ge => l >= r,
+            };
+            Ok(Value::Bool(res))
+        }
+        CExpr::Arith(op, l, r) => {
+            let l = int_of(eval_cexpr(l, frame, names, ctx)?)?;
+            let r = int_of(eval_cexpr(r, frame, names, ctx)?)?;
+            let v = match op {
+                ArithOp::Add => l.wrapping_add(r),
+                ArithOp::Sub => l.wrapping_sub(r),
+                ArithOp::Mul => l.wrapping_mul(r),
+                ArithOp::Div => {
+                    if r == 0 {
+                        return Err(EvalError::DivByZero);
+                    }
+                    l.wrapping_div(r)
+                }
+                ArithOp::Mod => {
+                    if r == 0 {
+                        return Err(EvalError::DivByZero);
+                    }
+                    l.wrapping_rem(r)
+                }
+            };
+            Ok(Value::Int(v))
+        }
+        CExpr::Not(e) => Ok(Value::Bool(!bool_of(eval_cexpr(e, frame, names, ctx)?)?)),
+        CExpr::And(l, r) => {
+            if bool_of(eval_cexpr(l, frame, names, ctx)?)? {
+                eval_cexpr(r, frame, names, ctx)
+            } else {
+                Ok(Value::Bool(false))
+            }
+        }
+        CExpr::Or(l, r) => {
+            if bool_of(eval_cexpr(l, frame, names, ctx)?)? {
+                Ok(Value::Bool(true))
+            } else {
+                eval_cexpr(r, frame, names, ctx)
+            }
+        }
+        CExpr::Tuple(items) => Ok(Value::Tuple(
+            items
+                .iter()
+                .map(|e| eval_cexpr(e, frame, names, ctx))
+                .collect::<Result<_, _>>()?,
+        )),
+        CExpr::Index(e, i) => {
+            let v = eval_cexpr(e, frame, names, ctx)?;
+            let t = v.as_tuple().ok_or_else(|| EvalError::Type {
+                expected: "tuple",
+                got: format!("{v:?}"),
+            })?;
+            t.get(*i).cloned().ok_or(EvalError::Type {
+                expected: "tuple index in range",
+                got: format!("index {i} of arity {}", t.len()),
+            })
+        }
+        CExpr::SetBuild(items) => Ok(Value::Set(
+            items
+                .iter()
+                .map(|e| eval_cexpr(e, frame, names, ctx))
+                .collect::<Result<_, _>>()?,
+        )),
+        CExpr::Contains(set, item) => {
+            let s = eval_cexpr(set, frame, names, ctx)?;
+            let item = eval_cexpr(item, frame, names, ctx)?;
+            let set = s.as_set().ok_or_else(|| EvalError::Type {
+                expected: "set",
+                got: format!("{s:?}"),
+            })?;
+            Ok(Value::Bool(set.contains(&item)))
+        }
+        CExpr::Len(e) => {
+            let v = eval_cexpr(e, frame, names, ctx)?;
+            match &v {
+                Value::Set(s) => Ok(Value::Int(s.len() as i64)),
+                Value::Tuple(t) => Ok(Value::Int(t.len() as i64)),
+                other => Err(EvalError::Type {
+                    expected: "set or tuple",
+                    got: format!("{other:?}"),
+                }),
+            }
+        }
+        CExpr::FieldOf { table, key, field } => {
+            let k = eval_cexpr(key, frame, names, ctx)?;
+            let t = ctx
+                .program
+                .table(table)
+                .ok_or_else(|| EvalError::UnknownTable(table.clone()))?;
+            let col = t.column_index(field).ok_or_else(|| EvalError::UnknownColumn {
+                table: table.clone(),
+                column: field.clone(),
+            })?;
+            Ok(match ctx.lookup_row(table, &k)? {
+                Some(row) => row[col].clone(),
+                None => Value::Null,
+            })
+        }
+        CExpr::RowOf { table, key } => {
+            let k = eval_cexpr(key, frame, names, ctx)?;
+            Ok(match ctx.lookup_row(table, &k)? {
+                Some(row) => Value::Tuple(row.clone()),
+                None => Value::Null,
+            })
+        }
+        CExpr::HasKey { table, key } => {
+            let k = eval_cexpr(key, frame, names, ctx)?;
+            Ok(Value::Bool(ctx.lookup_row(table, &k)?.is_some()))
+        }
+        CExpr::Call(name, args) => {
+            let args: Vec<Value> = args
+                .iter()
+                .map(|e| eval_cexpr(e, frame, names, ctx))
+                .collect::<Result<_, _>>()?;
+            ctx.udfs.call(name, &args)
+        }
+        CExpr::CollectSet(select) => {
+            let rows = eval_cselect(select, frame, names, ctx)?;
+            Ok(Value::Set(
+                rows.into_iter()
+                    .map(|mut r| {
+                        if r.len() == 1 {
+                            r.pop().expect("len checked")
+                        } else {
+                            Value::Tuple(r)
+                        }
+                    })
+                    .collect(),
+            ))
+        }
+    }
+}
+
+/// How a compiled body is to be evaluated; same source-order contract as
+/// [`BodyPlan`].
+struct CPlan<'p> {
+    /// The body's atoms, evaluated in source order.
+    body: &'p [CAtom],
+    /// `(atom position, delta relation)`: that scan ranges over the delta
+    /// instead of the full relation.
+    delta: Option<(usize, &'p Relation)>,
+    /// Probe hash indexes for bound scan columns (`false` = pure nested
+    /// loops, for the naive reference engine).
+    use_indexes: bool,
+}
+
+impl<'p> CPlan<'p> {
+    fn full(body: &'p [CAtom]) -> Self {
+        CPlan {
+            body,
+            delta: None,
+            use_indexes: true,
+        }
+    }
+}
+
+/// Evaluate a compiled comprehension under the *current* frame state
+/// (nested comprehensions and handler selects; the frame is left exactly
+/// as found). Ad-hoc evaluation always probes indexes, exactly like the
+/// reference's [`eval_select`].
+pub(crate) fn eval_cselect(
+    select: &CSelect,
+    frame: &mut Frame,
+    names: &[String],
+    ctx: &mut EvalCtx<'_>,
+) -> Result<Vec<Row>, EvalError> {
+    eval_cquery(&CPlan::full(&select.body), &select.projection, names, frame, ctx)
+}
+
+fn eval_cquery(
+    plan: &CPlan<'_>,
+    projection: &[CExpr],
+    names: &[String],
+    frame: &mut Frame,
+    ctx: &mut EvalCtx<'_>,
+) -> Result<Vec<Row>, EvalError> {
+    let mut out = Vec::new();
+    eval_cbody(plan, 0, names, frame, ctx, &mut |f, ctx| {
+        let row = projection
+            .iter()
+            .map(|e| eval_cexpr(e, f, names, ctx))
+            .collect::<Result<Row, _>>()?;
+        out.push(row);
+        Ok(())
+    })?;
+    Ok(out)
+}
+
+/// Recursive source-order compiled-body evaluation; the slot-frame twin of
+/// [`eval_body`].
+fn eval_cbody(
+    plan: &CPlan<'_>,
+    step: usize,
+    names: &[String],
+    frame: &mut Frame,
+    ctx: &mut EvalCtx<'_>,
+    emit: &mut dyn FnMut(&mut Frame, &mut EvalCtx<'_>) -> Result<(), EvalError>,
+) -> Result<(), EvalError> {
+    let pos = step;
+    if pos >= plan.body.len() {
+        return emit(frame, ctx);
+    }
+    match &plan.body[pos] {
+        CAtom::Scan { rel, terms, layout } => {
+            let db: &Database = ctx.db;
+            let relation = match plan.delta {
+                Some((delta_pos, delta)) if delta_pos == pos => delta,
+                _ => db
+                    .get(rel)
+                    .ok_or_else(|| EvalError::UnknownRelation(rel.clone()))?,
+            };
+            if let Some(first) = relation.iter().next() {
+                if first.len() != terms.len() {
+                    return Err(EvalError::ArityMismatch {
+                        rel: rel.clone(),
+                        expected: terms.len(),
+                        actual: first.len(),
+                    });
+                }
+            }
+            // Probe the composite index over the statically bound columns;
+            // the key is value loads into the cache's scratch buffers —
+            // no hashing of names, no per-binding allocation.
+            let is_delta = matches!(plan.delta, Some((p, _)) if p == pos);
+            let mut have_key = false;
+            if plan.use_indexes && !is_delta {
+                if let Some(layout) = layout {
+                    let (cols, key) = ctx.scan_cache.begin_probe();
+                    cols.extend_from_slice(&layout.cols);
+                    for src in &layout.srcs {
+                        key.push(match src {
+                            ProbeSrc::Const(c) => c.clone(),
+                            ProbeSrc::Slot(s) => frame.slots[*s as usize]
+                                .clone()
+                                .expect("layout slots are statically bound"),
+                        });
+                    }
+                    have_key = true;
+                }
+            }
+            if !have_key {
+                for row in relation.iter() {
+                    cscan_row(plan, step, terms, row, names, frame, ctx, emit)?;
+                }
+            } else if let Some(ids) = ctx.scan_cache.probe_prepared(rel, relation) {
+                for &i in ids.iter() {
+                    cscan_row(plan, step, terms, relation.row(i), names, frame, ctx, emit)?;
+                }
+            }
+            Ok(())
+        }
+        CAtom::Neg { rel, args } => {
+            let tuple: Row = args
+                .iter()
+                .map(|e| eval_cexpr(e, frame, names, ctx))
+                .collect::<Result<_, _>>()?;
+            let relation = ctx
+                .db
+                .get(rel)
+                .ok_or_else(|| EvalError::UnknownRelation(rel.clone()))?;
+            if relation.contains(&tuple) {
+                Ok(())
+            } else {
+                eval_cbody(plan, step + 1, names, frame, ctx, emit)
+            }
+        }
+        CAtom::Guard(expr) => {
+            if bool_of(eval_cexpr(expr, frame, names, ctx)?)? {
+                eval_cbody(plan, step + 1, names, frame, ctx, emit)
+            } else {
+                Ok(())
+            }
+        }
+        CAtom::Let { slot, expr } => {
+            let v = eval_cexpr(expr, frame, names, ctx)?;
+            let prior = frame.replace(*slot, Some(v));
+            eval_cbody(plan, step + 1, names, frame, ctx, emit)?;
+            frame.replace(*slot, prior);
+            Ok(())
+        }
+        CAtom::Flatten { slot, set } => {
+            let v = eval_cexpr(set, frame, names, ctx)?;
+            let items: Vec<Value> = match &v {
+                Value::Set(s) => s.iter().cloned().collect(),
+                Value::Null => Vec::new(),
+                other => {
+                    return Err(EvalError::Type {
+                        expected: "set",
+                        got: format!("{other:?}"),
+                    })
+                }
+            };
+            let prior = frame.replace(*slot, None);
+            for item in items {
+                frame.replace(*slot, Some(item));
+                eval_cbody(plan, step + 1, names, frame, ctx, emit)?;
+            }
+            frame.replace(*slot, prior);
+            Ok(())
+        }
+    }
+}
+
+/// Match one scanned row against compiled terms; the slot-frame twin of
+/// [`scan_row`]. Bindings are undone via the frame's undo mark — including
+/// on a mismatch part-way through the terms.
+#[allow(clippy::too_many_arguments)]
+fn cscan_row(
+    plan: &CPlan<'_>,
+    step: usize,
+    terms: &[CTerm],
+    row: &Row,
+    names: &[String],
+    frame: &mut Frame,
+    ctx: &mut EvalCtx<'_>,
+    emit: &mut dyn FnMut(&mut Frame, &mut EvalCtx<'_>) -> Result<(), EvalError>,
+) -> Result<(), EvalError> {
+    let mark = frame.mark();
+    for (term, v) in terms.iter().zip(row.iter()) {
+        let matched = match term {
+            CTerm::Wildcard => true,
+            CTerm::Const(c) => c == v,
+            CTerm::Check(s) => {
+                frame.slots[*s as usize]
+                    .as_ref()
+                    .expect("checked slots are statically bound")
+                    == v
+            }
+            CTerm::Bind(s) => {
+                frame.bind(*s, v.clone());
+                true
+            }
+        };
+        if !matched {
+            frame.undo_to(mark);
+            return Ok(());
+        }
+    }
+    eval_cbody(plan, step + 1, names, frame, ctx, emit)?;
+    frame.undo_to(mark);
+    Ok(())
+}
+
+/// A rule or aggregation body compiled to slots: the atoms, the
+/// projection, and the slot → name table its frame uses.
+#[derive(Clone, Debug)]
+pub(crate) struct CompiledQuery {
+    /// Compiled comprehension.
+    pub(crate) select: CSelect,
+    /// Slot → variable name (for `UnboundVar` rendering).
+    pub(crate) names: Vec<String>,
+}
+
+impl CompiledQuery {
+    fn compile(body: &[BodyAtom], projection: &[Expr]) -> Self {
+        let mut sc = SlotCompiler::new();
+        let (cbody, _) = sc.compile_body(body);
+        let cproj = projection.iter().map(|e| sc.compile_expr(e)).collect();
+        CompiledQuery {
+            select: CSelect {
+                body: cbody,
+                projection: cproj,
+            },
+            names: sc.into_names(),
+        }
+    }
+}
+
+/// One plain rule, slot-compiled.
+#[derive(Clone, Debug)]
+struct CompiledRule {
+    head: String,
+    query: CompiledQuery,
+}
+
+/// One aggregation rule, slot-compiled (projection = groups then `over`).
+#[derive(Clone, Debug)]
+struct CompiledAgg {
+    head: String,
+    agg: AggFun,
+    query: CompiledQuery,
+}
+
+/// Every rule of a program compiled once — **the one resolver** all three
+/// engines (incremental, fresh semi-naive, fresh naive) share, so slot
+/// assignment, probe layouts, error reachability and stateful-UDF ordering
+/// are bit-identical across them. Index-aligned with `Program::rules` and
+/// `Program::agg_rules`.
+struct RuleSet {
+    rules: Vec<CompiledRule>,
+    aggs: Vec<CompiledAgg>,
+}
+
+impl RuleSet {
+    fn compile(program: &Program) -> Self {
+        let rules = program
+            .rules
+            .iter()
+            .map(|r| CompiledRule {
+                head: r.head.clone(),
+                query: CompiledQuery::compile(&r.body, &r.head_exprs),
+            })
+            .collect();
+        let aggs = program
+            .agg_rules
+            .iter()
+            .map(|r| {
+                let projection: Vec<Expr> = r
+                    .group_exprs
+                    .iter()
+                    .cloned()
+                    .chain(std::iter::once(r.over.clone()))
+                    .collect();
+                CompiledAgg {
+                    head: r.head.clone(),
+                    agg: r.agg,
+                    query: CompiledQuery::compile(&r.body, &projection),
+                }
+            })
+            .collect();
+        RuleSet { rules, aggs }
+    }
+}
+
+/// Evaluate one rule's compiled query (resetting the scratch frame to the
+/// rule's slot count first — rule bodies always start from empty
+/// bindings).
+fn eval_rule_query(
+    rule: &CompiledQuery,
+    plan: &CPlan<'_>,
+    frame: &mut Frame,
+    ctx: &mut EvalCtx<'_>,
+) -> Result<Vec<Row>, EvalError> {
+    frame.reset(rule.names.len());
+    eval_cquery(plan, &rule.select.projection, &rule.names, frame, ctx)
+}
+
+/// Compiled aggregation evaluation; the slot twin of [`eval_agg_rule`]
+/// (grouping and folding are identical — only binding lookup differs).
+fn eval_cagg(
+    rule: &CompiledAgg,
+    frame: &mut Frame,
+    ctx: &mut EvalCtx<'_>,
+) -> Result<Vec<Row>, EvalError> {
+    frame.reset(rule.query.names.len());
+    let matches = eval_cquery(
+        &CPlan::full(&rule.query.select.body),
+        &rule.query.select.projection,
+        &rule.query.names,
+        frame,
+        ctx,
+    )?;
+    let mut groups: FxHashMap<Row, Vec<Value>> = FxHashMap::default();
+    for mut row in matches {
+        let over = row.pop().expect("projection includes `over`");
+        groups.entry(row).or_default().push(over);
+    }
+    let mut out = Vec::new();
+    let mut keys: Vec<Row> = groups.keys().cloned().collect();
+    keys.sort();
+    for key in keys {
+        let values = &groups[&key];
+        let agg = match rule.agg {
+            AggFun::Count => Value::Int(values.len() as i64),
+            AggFun::Sum => {
+                let mut total = 0i64;
+                for v in values {
+                    total = total.wrapping_add(int_of(v.clone())?);
+                }
+                Value::Int(total)
+            }
+            AggFun::Min => values.iter().min().cloned().unwrap_or(Value::Null),
+            AggFun::Max => values.iter().max().cloned().unwrap_or(Value::Null),
+            AggFun::CollectSet => Value::Set(values.iter().cloned().collect()),
+        };
+        let mut row = key;
+        row.push(agg);
+        out.push(row);
+    }
+    Ok(out)
+}
+
+/// Run one stratum's compiled aggregation rules and land their rows,
+/// keeping `cache` current. Shared by the compiled evaluators.
+#[allow(clippy::too_many_arguments)]
+fn run_stratum_caggs(
+    ruleset: &RuleSet,
+    program: &Program,
+    strata: &FxHashMap<String, usize>,
+    s: usize,
+    db: &mut Database,
+    scalars: &FxHashMap<String, Value>,
+    key_index: &FxHashMap<String, FxHashMap<Row, Row>>,
+    udfs: &mut UdfHost,
+    frame: &mut Frame,
+    mut cache: ScanCache,
+) -> Result<ScanCache, EvalError> {
+    for rule in ruleset.aggs.iter().filter(|r| strata[&r.head] == s) {
+        let rows = {
+            let mut ctx = EvalCtx {
+                program,
+                db,
+                scalars,
+                key_index,
+                udfs,
+                scan_cache: cache,
+            };
+            let rows = eval_cagg(rule, frame, &mut ctx)?;
+            cache = ctx.scan_cache;
+            rows
+        };
+        let rel = db.entry(rule.head.clone()).or_default();
+        for row in rows {
+            if rel.insert(row.clone()) {
+                cache.note_insert(&rule.head, &row, rel.storage_len() - 1);
+            }
+        }
+    }
+    Ok(cache)
 }
 
 // ---------------------------------------------------------------------------
@@ -1621,8 +2637,6 @@ struct EvalUnit {
     /// position)` list, in first-occurrence order: the delta-variant
     /// candidates fed by cross-tick input deltas.
     input_variants: Vec<(String, Vec<(usize, usize)>)>,
-    /// Per rule slot: static probe layouts (see [`ProbeLayout`]).
-    layouts: Vec<BodyLayouts>,
     /// Outside-unit positive reads.
     reads_pos: FxHashSet<String>,
     /// Non-monotone reads (negation / aggregation inputs / nested
@@ -1649,10 +2663,12 @@ enum UnitMode {
 }
 
 /// The per-program evaluation plan, compiled once: stratified,
-/// SCC-partitioned units in dependency order, with per-rule delta-variant
-/// tables and probe layouts.
+/// SCC-partitioned units in dependency order, per-rule delta-variant
+/// tables, and the slot-compiled [`RuleSet`] (bodies, projections, probe
+/// layouts and frame name tables) every tick evaluates against.
 pub struct ProgramPlan {
     units: Vec<EvalUnit>,
+    ruleset: RuleSet,
 }
 
 impl ProgramPlan {
@@ -1696,7 +2712,6 @@ impl ProgramPlan {
                     heads,
                     rec_variants: Vec::new(),
                     input_variants: Vec::new(),
-                    layouts: Vec::new(),
                     reads_pos: FxHashSet::default(),
                     reads_nonmono: nonmono,
                     reads_scalar: reads.scalars,
@@ -1720,7 +2735,10 @@ impl ProgramPlan {
                 units.push(build_rule_unit(program, &comp));
             }
         }
-        Ok(ProgramPlan { units })
+        Ok(ProgramPlan {
+            units,
+            ruleset: RuleSet::compile(program),
+        })
     }
 }
 
@@ -1836,7 +2854,6 @@ fn build_rule_unit(program: &Program, rule_ids: &[usize]) -> EvalUnit {
     let head_set: FxHashSet<String> = heads.iter().cloned().collect();
     let mut reads = ReadSets::default();
     let mut rec_variants = Vec::with_capacity(rule_ids.len());
-    let mut layouts = Vec::with_capacity(rule_ids.len());
     let mut input_variants: Vec<(String, Vec<(usize, usize)>)> = Vec::new();
     let mut input_slot: FxHashMap<String, usize> = FxHashMap::default();
     for (slot, &r) in rule_ids.iter().enumerate() {
@@ -1860,7 +2877,6 @@ fn build_rule_unit(program: &Program, rule_ids: &[usize]) -> EvalUnit {
             }
         }
         rec_variants.push(rec);
-        layouts.push(body_layouts(&rule.body));
     }
     let mut reads_pos = reads.pos;
     for h in &heads {
@@ -1872,7 +2888,6 @@ fn build_rule_unit(program: &Program, rule_ids: &[usize]) -> EvalUnit {
         heads,
         rec_variants,
         input_variants,
-        layouts,
         reads_pos,
         reads_nonmono: reads.nonmono,
         reads_scalar: reads.scalars,
@@ -2048,6 +3063,7 @@ impl EvalState {
     ) -> Result<(), EvalError> {
         let force_all = !self.initialized;
         self.initialized = true;
+        let mut frame = Frame::default();
         for u in 0..self.plan.units.len() {
             let unit = &self.plan.units[u];
             let mode = if force_all
@@ -2086,12 +3102,14 @@ impl EvalState {
             let mut inserted: FxHashMap<String, Vec<Row>> = FxHashMap::default();
             let run = run_unit(
                 &self.plan.units[u],
+                &self.plan.ruleset,
                 program,
                 &mut self.db,
                 cache,
                 &self.scalars,
                 &self.key_index,
                 udfs,
+                &mut frame,
                 (mode == UnitMode::Incremental).then_some(&changed),
                 &mut inserted,
             );
@@ -2127,19 +3145,21 @@ impl EvalState {
 #[allow(clippy::too_many_arguments)]
 fn run_unit(
     unit: &EvalUnit,
+    ruleset: &RuleSet,
     program: &Program,
     db: &mut Database,
     mut cache: ScanCache,
     scalars: &FxHashMap<String, Value>,
     key_index: &FxHashMap<String, FxHashMap<Row, Row>>,
     udfs: &mut UdfHost,
+    frame: &mut Frame,
     deltas: Option<&FxHashMap<String, RelDelta>>,
     inserted: &mut FxHashMap<String, Vec<Row>>,
 ) -> Result<ScanCache, EvalError> {
     // Aggregations (recompute mode only — incremental classification never
     // selects a unit with agg rules).
     for &ai in &unit.aggs {
-        let rule = &program.agg_rules[ai];
+        let rule = &ruleset.aggs[ai];
         let rows = {
             let mut ctx = EvalCtx {
                 program,
@@ -2149,7 +3169,7 @@ fn run_unit(
                 udfs,
                 scan_cache: cache,
             };
-            let rows = eval_agg_rule(rule, &mut ctx)?;
+            let rows = eval_cagg(rule, frame, &mut ctx)?;
             cache = ctx.scan_cache;
             rows
         };
@@ -2179,19 +3199,9 @@ fn run_unit(
             None => {
                 // Recompute: every rule once over the full database.
                 for (slot, &r) in unit.rules.iter().enumerate() {
-                    let rule = &program.rules[r];
-                    let plan = BodyPlan {
-                        body: &rule.body,
-                        delta: None,
-                        use_indexes: true,
-                        layouts: Some(&unit.layouts[slot]),
-                    };
-                    for row in eval_select_with_plan(
-                        &plan,
-                        &rule.head_exprs,
-                        &Bindings::default(),
-                        &mut ctx,
-                    )? {
+                    let rule = &ruleset.rules[r];
+                    let plan = CPlan::full(&rule.query.select.body);
+                    for row in eval_rule_query(&rule.query, &plan, frame, &mut ctx)? {
                         derived.push((slot, row));
                     }
                 }
@@ -2211,19 +3221,13 @@ fn run_unit(
                     }
                     let drel = Relation::from_rows(d.added.iter().cloned());
                     for &(slot, pos) in positions {
-                        let rule = &program.rules[unit.rules[slot]];
-                        let plan = BodyPlan {
-                            body: &rule.body,
+                        let rule = &ruleset.rules[unit.rules[slot]];
+                        let plan = CPlan {
+                            body: &rule.query.select.body,
                             delta: Some((pos, &drel)),
                             use_indexes: true,
-                            layouts: Some(&unit.layouts[slot]),
                         };
-                        for row in eval_select_with_plan(
-                            &plan,
-                            &rule.head_exprs,
-                            &Bindings::default(),
-                            &mut ctx,
-                        )? {
+                        for row in eval_rule_query(&rule.query, &plan, frame, &mut ctx)? {
                             derived.push((slot, row));
                         }
                     }
@@ -2245,7 +3249,7 @@ fn run_unit(
      -> FxHashMap<String, Relation> {
         let mut next: FxHashMap<String, Relation> = FxHashMap::default();
         for (slot, row) in derived {
-            let head = &program.rules[unit.rules[slot]].head;
+            let head = &ruleset.rules[unit.rules[slot]].head;
             let rel = db.entry(head.clone()).or_default();
             if rel.insert(row.clone()) {
                 cache.note_insert(head, &row, rel.storage_len() - 1);
@@ -2277,19 +3281,13 @@ fn run_unit(
                     if d.is_empty() {
                         continue;
                     }
-                    let rule = &program.rules[r];
-                    let plan = BodyPlan {
-                        body: &rule.body,
+                    let rule = &ruleset.rules[r];
+                    let plan = CPlan {
+                        body: &rule.query.select.body,
                         delta: Some((*pos, d)),
                         use_indexes: true,
-                        layouts: Some(&unit.layouts[slot]),
                     };
-                    for row in eval_select_with_plan(
-                        &plan,
-                        &rule.head_exprs,
-                        &Bindings::default(),
-                        &mut ctx,
-                    )? {
+                    for row in eval_rule_query(&rule.query, &plan, frame, &mut ctx)? {
                         derived.push((slot, row));
                     }
                 }

@@ -28,12 +28,11 @@
 //! distributed enforcement is synthesized in `hydro-deploy`.
 
 use crate::ast::{
-    response_mailbox, AssignTarget, ColumnKind, Handler, MergeTarget, Program, Select, Stmt,
-    Trigger,
+    response_mailbox, AssignTarget, ColumnKind, Handler, MergeTarget, Program, Stmt, Trigger,
 };
 use crate::eval::{
-    build_key_indexes, eval_expr, eval_select, evaluate_views, stratify, Bindings, Database,
-    EvalError, EvalState, RelDelta, Relation, Row, UdfHost,
+    build_key_indexes, eval_cexpr, eval_cselect, evaluate_views, stratify, CExpr, CSelect,
+    Database, EvalError, EvalState, Frame, RelDelta, Relation, Row, SlotCompiler, UdfHost,
 };
 use crate::facets::Invariant;
 use crate::value::Value;
@@ -201,8 +200,259 @@ struct EffectGroup {
     message_id: Option<u64>,
     effects: Vec<Effect>,
     invariants: Vec<Invariant>,
-    /// Bindings captured for invariant parameters (e.g. `HasKey.key_param`).
-    bindings: Bindings,
+    /// Invariant parameter values (e.g. `HasKey.key_param`) captured at
+    /// group creation, one per invariant (`Null` where the invariant takes
+    /// no parameter or the name was unbound) — the slot-frame replacement
+    /// for cloning the whole bindings map per group.
+    inv_keys: Vec<Value>,
+    /// The contiguous range of `TickOutput::responses` this group's
+    /// execution produced, so a rollback rewrites exactly its optimistic
+    /// replies instead of scanning every response of the tick.
+    resp_range: std::ops::Range<usize>,
+}
+
+// ---------------------------------------------------------------------------
+// Compiled handlers: slot-resolved statements over a reusable frame.
+// ---------------------------------------------------------------------------
+
+/// Slot-compiled mirror of [`MergeTarget`].
+enum CMergeTarget {
+    /// Merge into a lattice scalar.
+    Scalar(String),
+    /// Merge into a lattice column of the row keyed by `key`.
+    TableField {
+        /// Table name.
+        table: String,
+        /// Key expression.
+        key: CExpr,
+        /// Column name (resolved per execution, like the reference — an
+        /// unknown column only errors if the statement runs).
+        field: String,
+    },
+}
+
+/// Slot-compiled mirror of [`AssignTarget`].
+enum CAssignTarget {
+    /// Assign a bare scalar.
+    Scalar(String),
+    /// Overwrite a column of the row keyed by `key`.
+    TableField {
+        /// Table name.
+        table: String,
+        /// Key expression.
+        key: CExpr,
+        /// Column name.
+        field: String,
+    },
+}
+
+/// Slot-compiled mirror of [`Stmt`]: every variable reference resolves
+/// through the handler's frame; names survive only where resolution is
+/// deliberately dynamic (tables, columns, scalars, mailboxes, UDFs).
+enum CStmt {
+    /// Deferred lattice merge.
+    Merge(CMergeTarget, CExpr),
+    /// Deferred assignment.
+    Assign(CAssignTarget, CExpr),
+    /// Deferred row insert.
+    Insert {
+        /// Table name.
+        table: String,
+        /// Row expressions.
+        values: Vec<CExpr>,
+    },
+    /// Deferred row delete.
+    Delete {
+        /// Table name.
+        table: String,
+        /// Key expression.
+        key: CExpr,
+    },
+    /// Asynchronous send of each projected row.
+    Send {
+        /// Destination mailbox.
+        mailbox: String,
+        /// Rows to send.
+        select: CSelect,
+    },
+    /// Respond to the message being handled.
+    Return(CExpr),
+    /// Conditional execution.
+    If {
+        /// Condition.
+        cond: CExpr,
+        /// Statements when true.
+        then: Vec<CStmt>,
+        /// Statements when false.
+        els: Vec<CStmt>,
+    },
+    /// Execute statements once per comprehension match. The select's
+    /// projection is the comprehension's bindable variables (matching the
+    /// reference's `collect_bound_vars` projection exactly); each match
+    /// row is spread into `vars` slots — saving priors, restoring after —
+    /// instead of cloning a bindings map per match.
+    ForEach {
+        /// Comprehension whose projection is `vars`.
+        select: CSelect,
+        /// Slots the projection binds, positionally.
+        vars: Vec<u32>,
+        /// Statements run under each binding.
+        stmts: Vec<CStmt>,
+    },
+    /// Clear a declared mailbox at end-of-tick.
+    ClearMailbox(String),
+}
+
+/// A handler compiled once at [`Transducer::new`]: body statements with
+/// every variable resolved to a dense slot of one per-invocation frame.
+/// Executing a message costs indexed slot stores (params, `__msg_id`) and
+/// zero string hashing on the statement/select hot path.
+struct CompiledHandler {
+    /// Slot → variable name (for `UnboundVar` rendering; its length is the
+    /// frame size).
+    names: Vec<String>,
+    /// One slot per handler parameter, positionally.
+    param_slots: Vec<u32>,
+    /// Slot of the implicit `__msg_id` binding.
+    msg_id_slot: u32,
+    /// Compiled condition (condition-triggered handlers only).
+    cond: Option<CExpr>,
+    /// Compiled body.
+    body: Vec<CStmt>,
+    /// Per invariant: the slot of its key parameter, if the name resolves
+    /// (`HasKey` invariants; `None` reads as `Null`, like the reference's
+    /// missing-binding lookup).
+    inv_key_slots: Vec<Option<u32>>,
+}
+
+impl CompiledHandler {
+    fn compile(handler: &Handler, invariants: &[Invariant]) -> Self {
+        let mut sc = SlotCompiler::new();
+        let param_slots: Vec<u32> = handler.params.iter().map(|p| sc.slot(p)).collect();
+        let msg_id_slot = sc.slot("__msg_id");
+        // Message handlers enter their body with params + `__msg_id`
+        // bound; condition handlers enter with nothing bound (their
+        // condition and body read only the snapshot), exactly like the
+        // reference's empty bindings map.
+        let cond = match &handler.trigger {
+            Trigger::OnMessage => {
+                for &s in &param_slots {
+                    sc.mark_bound(s);
+                }
+                sc.mark_bound(msg_id_slot);
+                None
+            }
+            Trigger::OnCondition(c) => Some(sc.compile_expr(c)),
+        };
+        let body = compile_stmts(&handler.body, &mut sc);
+        let inv_key_slots = invariants
+            .iter()
+            .map(|inv| match inv {
+                Invariant::HasKey { key_param, .. } => sc.lookup(key_param),
+                _ => None,
+            })
+            .collect();
+        CompiledHandler {
+            param_slots,
+            msg_id_slot,
+            cond,
+            body,
+            inv_key_slots,
+            names: sc.into_names(),
+        }
+    }
+
+    /// Capture the invariant parameter values for a new effect group.
+    fn capture_inv_keys(&self, frame: &Frame) -> Vec<Value> {
+        self.inv_key_slots
+            .iter()
+            .map(|s| match s {
+                Some(s) => frame.get(*s).cloned().unwrap_or(Value::Null),
+                None => Value::Null,
+            })
+            .collect()
+    }
+}
+
+/// Compile a statement list against the current boundness scope.
+fn compile_stmts(stmts: &[Stmt], sc: &mut SlotCompiler) -> Vec<CStmt> {
+    stmts
+        .iter()
+        .map(|stmt| match stmt {
+            Stmt::Merge(target, expr) => {
+                let value = sc.compile_expr(expr);
+                let target = match target {
+                    MergeTarget::Scalar(name) => CMergeTarget::Scalar(name.clone()),
+                    MergeTarget::TableField { table, key, field } => CMergeTarget::TableField {
+                        table: table.clone(),
+                        key: sc.compile_expr(key),
+                        field: field.clone(),
+                    },
+                };
+                CStmt::Merge(target, value)
+            }
+            Stmt::Assign(target, expr) => {
+                let value = sc.compile_expr(expr);
+                let target = match target {
+                    AssignTarget::Scalar(name) => CAssignTarget::Scalar(name.clone()),
+                    AssignTarget::TableField { table, key, field } => CAssignTarget::TableField {
+                        table: table.clone(),
+                        key: sc.compile_expr(key),
+                        field: field.clone(),
+                    },
+                };
+                CStmt::Assign(target, value)
+            }
+            Stmt::Insert { table, values } => CStmt::Insert {
+                table: table.clone(),
+                values: values.iter().map(|e| sc.compile_expr(e)).collect(),
+            },
+            Stmt::Delete { table, key } => CStmt::Delete {
+                table: table.clone(),
+                key: sc.compile_expr(key),
+            },
+            Stmt::Send { mailbox, select } => {
+                let (cselect, introduced) = sc.compile_select(select);
+                sc.unmark(&introduced);
+                CStmt::Send {
+                    mailbox: mailbox.clone(),
+                    select: cselect,
+                }
+            }
+            Stmt::Return(expr) => CStmt::Return(sc.compile_expr(expr)),
+            Stmt::If { cond, then, els } => CStmt::If {
+                cond: sc.compile_expr(cond),
+                then: compile_stmts(then, sc),
+                els: compile_stmts(els, sc),
+            },
+            Stmt::ForEach { select, stmts } => {
+                // Compile the body first (allocating/binding its slots),
+                // then project every bindable variable of the body — the
+                // same set, in the same order, as the reference's
+                // `collect_bound_vars` projection.
+                let (cbody, introduced) = sc.compile_body(&select.body);
+                let mut vars: Vec<String> = Vec::new();
+                collect_bound_vars(&select.body, &mut vars);
+                let var_slots: Vec<u32> = vars.iter().map(|v| sc.slot(v)).collect();
+                let projection: Vec<CExpr> =
+                    var_slots.iter().map(|&s| CExpr::Var(s)).collect();
+                // Nested statements run under the select's scope (base
+                // bindings plus everything the body introduced); the
+                // scope closes after them.
+                let stmts = compile_stmts(stmts, sc);
+                sc.unmark(&introduced);
+                CStmt::ForEach {
+                    select: CSelect {
+                        body: cbody,
+                        projection,
+                    },
+                    vars: var_slots,
+                    stmts,
+                }
+            }
+            Stmt::ClearMailbox(name) => CStmt::ClearMailbox(name.clone()),
+        })
+        .collect()
 }
 
 /// Mutable program state: keyed tables and scalars.
@@ -331,10 +581,12 @@ impl PendingDeltas {
 /// The HydroLogic interpreter for one logical node.
 pub struct Transducer {
     program: Program,
-    /// Handler bodies paired with their resolved consistency facets,
-    /// shared so a tick borrows them without cloning the program (the
-    /// handler loop needs `&mut self` while walking them).
-    handlers_cache: std::sync::Arc<Vec<(Handler, crate::facets::ConsistencyReq)>>,
+    /// Handler bodies paired with their resolved consistency facets and
+    /// their slot-compiled form, shared so a tick borrows them without
+    /// cloning the program (the handler loop needs `&mut self` while
+    /// walking them).
+    handlers_cache:
+        std::sync::Arc<Vec<(Handler, crate::facets::ConsistencyReq, CompiledHandler)>>,
     state: State,
     mailboxes: BTreeMap<String, Vec<Message>>,
     udfs: UdfHost,
@@ -372,7 +624,11 @@ impl Transducer {
             program
                 .handlers
                 .iter()
-                .map(|h| (h.clone(), program.consistency_of(&h.name).clone()))
+                .map(|h| {
+                    let consistency = program.consistency_of(&h.name).clone();
+                    let compiled = CompiledHandler::compile(h, &consistency.invariants);
+                    (h.clone(), consistency, compiled)
+                })
                 .collect::<Vec<_>>(),
         );
         Ok(Transducer {
@@ -577,18 +833,36 @@ impl Transducer {
                 changed.insert(table, delta);
             }
         }
-        let empty = Relation::new();
         for m in pending.mailboxes {
-            // Queues are small (the tick's message batch); diff them
-            // against the materialized mailbox relation directly.
-            let new_rows = Relation::from_rows(
-                self.mailboxes
-                    .get(&m)
-                    .into_iter()
-                    .flatten()
-                    .map(|msg| msg.row.clone()),
-            );
-            let delta = RelDelta::diff(eval.db.get(&m).unwrap_or(&empty), &new_rows);
+            // Diff the queue against the materialized mailbox relation
+            // without materializing a cloned `Relation` first: membership
+            // goes through borrowed-row hash sets, so a resident message
+            // that didn't move costs a hash probe, never a row clone. A
+            // mailbox whose queue and materialized relation are both
+            // empty (enqueued and drained within one tick) is skipped
+            // outright. Orders are preserved exactly as `RelDelta::diff`
+            // produced them: removals in materialized insertion order,
+            // additions in queue first-occurrence order.
+            let queue: &[Message] = self.mailboxes.get(&m).map_or(&[], Vec::as_slice);
+            let old = eval.db.get(&m);
+            if queue.is_empty() && old.is_none_or(Relation::is_empty) {
+                continue;
+            }
+            let queue_rows: FxHashSet<&Row> = queue.iter().map(|msg| &msg.row).collect();
+            let mut delta = RelDelta::default();
+            if let Some(old) = old {
+                for row in old.iter() {
+                    if !queue_rows.contains(row) {
+                        delta.removed.push(row.clone());
+                    }
+                }
+            }
+            let mut seen: FxHashSet<&Row> = FxHashSet::default();
+            for msg in queue {
+                if seen.insert(&msg.row) && !old.is_some_and(|o| o.contains(&msg.row)) {
+                    delta.added.push(msg.row.clone());
+                }
+            }
             if !delta.is_empty() {
                 changed.insert(m, delta);
             }
@@ -667,8 +941,12 @@ impl Transducer {
         let mut touched: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
         let mut out = TickOutput::default();
         let mut mirror: Option<TickMirror> = None;
+        // One frame for the whole handler phase: reset (cheap — a handful
+        // of slots) and refilled per invocation. Param binding is an
+        // indexed store; no per-message map allocation or string hashing.
+        let mut frame = Frame::default();
         let handlers = std::sync::Arc::clone(&self.handlers_cache);
-        for (handler, consistency) in handlers.iter() {
+        for (handler, consistency, compiled) in handlers.iter() {
             let invariants = consistency.invariants.clone();
             // Serializable handlers (and any handler carrying invariants)
             // execute *serially against current state*, each message seeing
@@ -685,17 +963,19 @@ impl Transducer {
                         .cloned()
                         .unwrap_or_default();
                     for msg in &msgs {
-                        let mut bindings = Bindings::default();
-                        for (p, v) in handler.params.iter().zip(msg.row.iter()) {
-                            bindings.insert(p.clone(), v.clone());
+                        frame.reset(compiled.names.len());
+                        for (&s, v) in compiled.param_slots.iter().zip(msg.row.iter()) {
+                            frame.replace(s, Some(v.clone()));
                         }
-                        bindings.insert("__msg_id".to_string(), Value::Int(msg.id as i64));
+                        frame.replace(compiled.msg_id_slot, Some(Value::Int(msg.id as i64)));
+                        let resp_start = out.responses.len();
                         let mut group = EffectGroup {
                             handler: handler.name.clone(),
                             message_id: Some(msg.id),
                             effects: Vec::new(),
                             invariants: invariants.clone(),
-                            bindings: bindings.clone(),
+                            inv_keys: compiled.capture_inv_keys(&frame),
+                            resp_range: resp_start..resp_start,
                         };
                         if serial {
                             // Current view of scalars/table keys including
@@ -706,8 +986,9 @@ impl Transducer {
                                 scalars: scalars.clone(),
                             });
                             self.exec_stmts(
-                                &handler.body,
-                                &mut bindings,
+                                &compiled.body,
+                                &compiled.names,
+                                &mut frame,
                                 db,
                                 &m.scalars,
                                 &m.key_index,
@@ -716,14 +997,16 @@ impl Transducer {
                                 handler,
                                 Some(msg.id),
                             )?;
+                            group.resp_range = resp_start..out.responses.len();
                             // Commit immediately (transactionally if
                             // invariants are present).
                             touched.extend(touched_tables(&group.effects));
                             self.apply_group(group, &mut out, mirror.as_mut())?;
                         } else {
                             self.exec_stmts(
-                                &handler.body,
-                                &mut bindings,
+                                &compiled.body,
+                                &compiled.names,
+                                &mut frame,
                                 db,
                                 scalars,
                                 key_index,
@@ -732,6 +1015,7 @@ impl Transducer {
                                 handler,
                                 Some(msg.id),
                             )?;
+                            group.resp_range = resp_start..out.responses.len();
                             groups.push(group);
                         }
                         out.messages_processed += 1;
@@ -744,8 +1028,8 @@ impl Transducer {
                         }
                     }
                 }
-                Trigger::OnCondition(cond) => {
-                    let mut bindings = Bindings::default();
+                Trigger::OnCondition(_) => {
+                    frame.reset(compiled.names.len());
                     let fire = {
                         let mut ctx = crate::eval::EvalCtx {
                             program: &self.program,
@@ -755,21 +1039,25 @@ impl Transducer {
                             udfs: &mut self.udfs,
                             scan_cache: Default::default(),
                         };
-                        eval_expr(cond, &bindings, &mut ctx)?
+                        let cond = compiled.cond.as_ref().expect("condition trigger compiled");
+                        eval_cexpr(cond, &mut frame, &compiled.names, &mut ctx)?
                             .as_bool()
                             .unwrap_or(false)
                     };
                     if fire {
+                        let resp_start = out.responses.len();
                         let mut group = EffectGroup {
                             handler: handler.name.clone(),
                             message_id: None,
                             effects: Vec::new(),
                             invariants: invariants.clone(),
-                            bindings: bindings.clone(),
+                            inv_keys: compiled.capture_inv_keys(&frame),
+                            resp_range: resp_start..resp_start,
                         };
                         self.exec_stmts(
-                            &handler.body,
-                            &mut bindings,
+                            &compiled.body,
+                            &compiled.names,
+                            &mut frame,
                             db,
                             scalars,
                             key_index,
@@ -778,6 +1066,7 @@ impl Transducer {
                             handler,
                             None,
                         )?;
+                        group.resp_range = resp_start..out.responses.len();
                         groups.push(group);
                     }
                 }
@@ -860,8 +1149,9 @@ impl Transducer {
     #[allow(clippy::too_many_arguments)]
     fn exec_stmts(
         &mut self,
-        stmts: &[Stmt],
-        bindings: &mut Bindings,
+        stmts: &[CStmt],
+        names: &[String],
+        frame: &mut Frame,
         db: &Database,
         scalars: &FxHashMap<String, Value>,
         key_index: &FxHashMap<String, FxHashMap<Row, Row>>,
@@ -872,15 +1162,15 @@ impl Transducer {
     ) -> Result<(), TransducerError> {
         for stmt in stmts {
             match stmt {
-                Stmt::Merge(target, expr) => {
-                    let value = self.eval(expr, bindings, db, scalars, key_index)?;
+                CStmt::Merge(target, expr) => {
+                    let value = self.eval(expr, names, frame, db, scalars, key_index)?;
                     match target {
-                        MergeTarget::Scalar(name) => {
+                        CMergeTarget::Scalar(name) => {
                             group.effects.push(Effect::MergeScalar(name.clone(), value));
                         }
-                        MergeTarget::TableField { table, key, field } => {
-                            let (key, col) =
-                                self.resolve_field(table, key, field, bindings, db, scalars, key_index)?;
+                        CMergeTarget::TableField { table, key, field } => {
+                            let (key, col) = self
+                                .resolve_field(table, key, field, names, frame, db, scalars, key_index)?;
                             group.effects.push(Effect::MergeField {
                                 table: table.clone(),
                                 key,
@@ -890,17 +1180,17 @@ impl Transducer {
                         }
                     }
                 }
-                Stmt::Assign(target, expr) => {
-                    let value = self.eval(expr, bindings, db, scalars, key_index)?;
+                CStmt::Assign(target, expr) => {
+                    let value = self.eval(expr, names, frame, db, scalars, key_index)?;
                     match target {
-                        AssignTarget::Scalar(name) => {
+                        CAssignTarget::Scalar(name) => {
                             group
                                 .effects
                                 .push(Effect::AssignScalar(name.clone(), value));
                         }
-                        AssignTarget::TableField { table, key, field } => {
-                            let (key, col) =
-                                self.resolve_field(table, key, field, bindings, db, scalars, key_index)?;
+                        CAssignTarget::TableField { table, key, field } => {
+                            let (key, col) = self
+                                .resolve_field(table, key, field, names, frame, db, scalars, key_index)?;
                             group.effects.push(Effect::AssignField {
                                 table: table.clone(),
                                 key,
@@ -910,7 +1200,7 @@ impl Transducer {
                         }
                     }
                 }
-                Stmt::Insert { table, values } => {
+                CStmt::Insert { table, values } => {
                     let decl = self
                         .program
                         .table(table)
@@ -925,23 +1215,23 @@ impl Transducer {
                     }
                     let row: Row = values
                         .iter()
-                        .map(|e| self.eval(e, bindings, db, scalars, key_index))
+                        .map(|e| self.eval(e, names, frame, db, scalars, key_index))
                         .collect::<Result<_, _>>()?;
                     group.effects.push(Effect::InsertRow {
                         table: table.clone(),
                         row,
                     });
                 }
-                Stmt::Delete { table, key } => {
-                    let k = self.eval(key, bindings, db, scalars, key_index)?;
+                CStmt::Delete { table, key } => {
+                    let k = self.eval(key, names, frame, db, scalars, key_index)?;
                     let key_row = key_row_of(k);
                     group.effects.push(Effect::DeleteRow {
                         table: table.clone(),
                         key: key_row,
                     });
                 }
-                Stmt::Send { mailbox, select } => {
-                    let rows = self.eval_select_rows(select, bindings, db, scalars, key_index)?;
+                CStmt::Send { mailbox, select } => {
+                    let rows = self.eval_select_rows(select, names, frame, db, scalars, key_index)?;
                     for row in rows {
                         out.sends.push(SendOut {
                             mailbox: mailbox.clone(),
@@ -949,8 +1239,8 @@ impl Transducer {
                         });
                     }
                 }
-                Stmt::Return(expr) => {
-                    let value = self.eval(expr, bindings, db, scalars, key_index)?;
+                CStmt::Return(expr) => {
+                    let value = self.eval(expr, names, frame, db, scalars, key_index)?;
                     if let Some(id) = msg_id {
                         out.responses.push(Response {
                             handler: handler.name.clone(),
@@ -963,28 +1253,43 @@ impl Transducer {
                         });
                     }
                 }
-                Stmt::If { cond, then, els } => {
+                CStmt::If { cond, then, els } => {
                     let c = self
-                        .eval(cond, bindings, db, scalars, key_index)?
+                        .eval(cond, names, frame, db, scalars, key_index)?
                         .as_bool()
                         .unwrap_or(false);
                     let branch = if c { then } else { els };
                     self.exec_stmts(
-                        branch, bindings, db, scalars, key_index, group, out, handler, msg_id,
+                        branch, names, frame, db, scalars, key_index, group, out, handler, msg_id,
                     )?;
                 }
-                Stmt::ForEach { select, stmts } => {
-                    // Evaluate the comprehension's bindings, then run the
-                    // nested statements once per match.
-                    let matches =
-                        self.eval_select_bindings(select, bindings, db, scalars, key_index)?;
-                    for mut m in matches {
-                        self.exec_stmts(
-                            stmts, &mut m, db, scalars, key_index, group, out, handler, msg_id,
-                        )?;
+                CStmt::ForEach { select, vars, stmts } => {
+                    // Evaluate the comprehension (its projection is the
+                    // bindable variables), then run the nested statements
+                    // once per match, spreading each row into the slots —
+                    // priors saved and restored, so the enclosing scope
+                    // (and the next match) is undisturbed. The matches are
+                    // fully materialized *before* any nested statement
+                    // runs, preserving the reference's effect and UDF
+                    // ordering.
+                    let rows = self.eval_select_rows(select, names, frame, db, scalars, key_index)?;
+                    for row in rows {
+                        let saved: Vec<Option<Value>> = vars
+                            .iter()
+                            .zip(row)
+                            .map(|(&s, v)| frame.replace(s, Some(v)))
+                            .collect();
+                        let run = self.exec_stmts(
+                            stmts, names, frame, db, scalars, key_index, group, out, handler,
+                            msg_id,
+                        );
+                        for (&s, prior) in vars.iter().zip(saved) {
+                            frame.replace(s, prior);
+                        }
+                        run?;
                     }
                 }
-                Stmt::ClearMailbox(name) => {
+                CStmt::ClearMailbox(name) => {
                     group.effects.push(Effect::ClearMailbox(name.clone()));
                 }
             }
@@ -994,8 +1299,9 @@ impl Transducer {
 
     fn eval(
         &mut self,
-        expr: &crate::ast::Expr,
-        bindings: &Bindings,
+        expr: &CExpr,
+        names: &[String],
+        frame: &mut Frame,
         db: &Database,
         scalars: &FxHashMap<String, Value>,
         key_index: &FxHashMap<String, FxHashMap<Row, Row>>,
@@ -1008,13 +1314,14 @@ impl Transducer {
             udfs: &mut self.udfs,
             scan_cache: Default::default(),
         };
-        Ok(eval_expr(expr, bindings, &mut ctx)?)
+        Ok(eval_cexpr(expr, frame, names, &mut ctx)?)
     }
 
     fn eval_select_rows(
         &mut self,
-        select: &Select,
-        bindings: &Bindings,
+        select: &CSelect,
+        names: &[String],
+        frame: &mut Frame,
         db: &Database,
         scalars: &FxHashMap<String, Value>,
         key_index: &FxHashMap<String, FxHashMap<Row, Row>>,
@@ -1027,52 +1334,7 @@ impl Transducer {
             udfs: &mut self.udfs,
             scan_cache: Default::default(),
         };
-        Ok(eval_select(select, bindings, &mut ctx)?)
-    }
-
-    /// Like [`eval_select`] but returning the binding environments of each
-    /// match (for `ForEach`).
-    fn eval_select_bindings(
-        &mut self,
-        select: &Select,
-        base: &Bindings,
-        db: &Database,
-        scalars: &FxHashMap<String, Value>,
-        key_index: &FxHashMap<String, FxHashMap<Row, Row>>,
-    ) -> Result<Vec<Bindings>, TransducerError> {
-        // Project every variable we can see by reusing eval_select with a
-        // synthetic projection of all bound names is awkward; instead reuse
-        // the body-walk by projecting nothing and capturing bindings via a
-        // Let trick: evaluate with projection of referenced vars. Simpler
-        // and fully general: run eval_select with an empty projection but
-        // capture clone of bindings through a guard would require engine
-        // support — so we just re-run the body via eval_select projecting
-        // the variables mentioned in the nested statements. To stay simple
-        // and correct we capture *all* scan/let/flatten-introduced names.
-        let mut vars: Vec<String> = Vec::new();
-        collect_bound_vars(&select.body, &mut vars);
-        let proj: Vec<crate::ast::Expr> =
-            vars.iter().map(|v| crate::ast::Expr::var(v)).collect();
-        let rows = self.eval_select_rows(
-            &Select {
-                body: select.body.clone(),
-                projection: proj,
-            },
-            base,
-            db,
-            scalars,
-            key_index,
-        )?;
-        Ok(rows
-            .into_iter()
-            .map(|row| {
-                let mut b = base.clone();
-                for (name, v) in vars.iter().zip(row) {
-                    b.insert(name.clone(), v);
-                }
-                b
-            })
-            .collect())
+        Ok(eval_cselect(select, frame, names, &mut ctx)?)
     }
 
     /// Resolve a `table[key].field` target to (key row, column index).
@@ -1080,9 +1342,10 @@ impl Transducer {
     fn resolve_field(
         &mut self,
         table: &str,
-        key: &crate::ast::Expr,
+        key: &CExpr,
         field: &str,
-        bindings: &Bindings,
+        names: &[String],
+        frame: &mut Frame,
         db: &Database,
         scalars: &FxHashMap<String, Value>,
         key_index: &FxHashMap<String, FxHashMap<Row, Row>>,
@@ -1104,7 +1367,7 @@ impl Transducer {
                 column: field.to_string(),
             });
         }
-        let k = self.eval(key, bindings, db, scalars, key_index)?;
+        let k = self.eval(key, names, frame, db, scalars, key_index)?;
         Ok((key_row_of(k), col))
     }
 
@@ -1133,10 +1396,43 @@ impl Transducer {
         }
         // Transactional: snapshot, apply, check postconditions,
         // commit-or-rollback. Declared functional dependencies on the
-        // tables this group wrote count as postconditions.
+        // tables this group wrote count as postconditions. The snapshot
+        // covers *only what the group writes* — the first-touch original
+        // of every (table, key) its effects name and of every scalar they
+        // set — so a guarded message costs O(|its writes|), not O(|state|).
+        // Mailbox clears live outside `State` and are not transactional
+        // (the old whole-state clone never covered them either).
         let touched = touched_tables(&group.effects);
-        let saved = self.state.clone();
-        let saved_mirror = mirror.as_deref().cloned();
+        let mut saved_rows: FxHashMap<(String, Row), Option<Row>> = FxHashMap::default();
+        let mut saved_scalars: FxHashMap<String, Value> = FxHashMap::default();
+        {
+            let mut save_row = |state: &State, table: &str, key: &Row| {
+                saved_rows
+                    .entry((table.to_string(), key.clone()))
+                    .or_insert_with(|| state.tables.get(table).and_then(|t| t.get(key)).cloned());
+            };
+            for e in &group.effects {
+                match e {
+                    Effect::MergeScalar(name, _) | Effect::AssignScalar(name, _) => {
+                        if let Some(v) = self.state.scalars.get(name) {
+                            saved_scalars
+                                .entry(name.clone())
+                                .or_insert_with(|| v.clone());
+                        }
+                    }
+                    Effect::MergeField { table, key, .. }
+                    | Effect::AssignField { table, key, .. }
+                    | Effect::DeleteRow { table, key } => save_row(&self.state, table, key),
+                    Effect::InsertRow { table, row } => {
+                        if let Some(decl) = self.program.table(table) {
+                            let key = decl.key_of(row);
+                            save_row(&self.state, table, &key);
+                        }
+                    }
+                    Effect::ClearMailbox(_) => {}
+                }
+            }
+        }
         let effects = std::mem::take(&mut group.effects);
         for e in effects {
             self.apply_effect(e, out, mirror.as_deref_mut())?;
@@ -1146,19 +1442,43 @@ impl Transducer {
         {
             return Ok(());
         }
-        self.state = saved;
-        if let (Some(m), Some(s)) = (mirror, saved_mirror) {
-            *m = s;
+        // Roll back: put the first-touch originals back and re-mirror
+        // exactly the touched entries — the mirror, like the state, is
+        // repaired per key, never re-cloned wholesale. (Restores are
+        // per-key independent, so the map's iteration order is
+        // immaterial.)
+        for ((table, key), old) in saved_rows {
+            if let Some(t) = self.state.tables.get_mut(&table) {
+                match old {
+                    Some(row) => {
+                        t.insert(key.clone(), row);
+                    }
+                    None => {
+                        t.remove(&key);
+                    }
+                }
+            }
+            if let Some(m) = mirror.as_deref_mut() {
+                m.refresh_row(&self.state, &table, &key);
+            }
+        }
+        for (name, old) in saved_scalars {
+            if let Some(m) = mirror.as_deref_mut() {
+                m.scalars.insert(name.clone(), old.clone());
+            }
+            self.state.scalars.insert(name, old);
         }
         self.reject_group(&group, out);
         Ok(())
     }
 
-    /// Replace any optimistic OK response for this message with ABORT and
-    /// record a warning.
+    /// Replace the optimistic OK responses this group produced with ABORT
+    /// and record a warning. The group's recorded response range makes
+    /// this O(|its own replies|) — abort-heavy ticks no longer rescan
+    /// every response per rolled-back group.
     fn reject_group(&mut self, group: &EffectGroup, out: &mut TickOutput) {
         if let Some(id) = group.message_id {
-            for r in &mut out.responses {
+            for r in &mut out.responses[group.resp_range.clone()] {
                 if r.message_id == id && r.handler == group.handler {
                     r.value = Value::Str("ABORT".to_string());
                 }
@@ -1170,16 +1490,12 @@ impl Transducer {
         ));
     }
 
-    /// Referential-integrity preconditions, evaluated on the pre-state.
+    /// Referential-integrity preconditions, evaluated on the pre-state
+    /// against the key values captured at group creation.
     fn preconditions_hold(&self, group: &EffectGroup) -> Result<bool, TransducerError> {
-        for inv in &group.invariants {
-            if let Invariant::HasKey { table, key_param } = inv {
-                let key = group
-                    .bindings
-                    .get(key_param)
-                    .cloned()
-                    .unwrap_or(Value::Null);
-                let key_row = key_row_of(key);
+        for (inv, key) in group.invariants.iter().zip(&group.inv_keys) {
+            if let Invariant::HasKey { table, .. } = inv {
+                let key_row = key_row_of(key.clone());
                 let present = self
                     .state
                     .tables

@@ -12,7 +12,10 @@
 use hydro_core::ast::{AggFun, Expr};
 use hydro_core::builder::dsl::*;
 use hydro_core::builder::ProgramBuilder;
-use hydro_core::eval::{evaluate_views, evaluate_views_naive, Database, Relation, UdfHost};
+use hydro_core::eval::{
+    evaluate_views, evaluate_views_mapref, evaluate_views_naive, Database, Relation, UdfHost,
+};
+use hydro_core::facets::{ConsistencyReq, Invariant};
 use hydro_core::interp::{EvalMode, Transducer};
 use hydro_core::{Program, TickOutput, Value};
 use proptest::prelude::*;
@@ -32,18 +35,28 @@ fn db_of(rels: &[(&str, &[(i64, i64)])]) -> Database {
     db
 }
 
-/// Evaluate with both engines; every view (and only the views) must hold
-/// exactly the same row set.
+/// Evaluate with both slot-compiled engines *and* the map-based binding
+/// reference; every view (and only the views) must hold exactly the same
+/// row set. The mapref leg pins the slot-resolution pass itself: same
+/// naive algorithm, bindings through a string map instead of frames.
 fn engines_agree(program: &Program, base: &Database) {
     let seminaive = evaluate_views(program, base, &Default::default(), &mut UdfHost::new())
         .expect("semi-naive evaluates");
     let naive = evaluate_views_naive(program, base, &Default::default(), &mut UdfHost::new())
         .expect("naive evaluates");
-    let views: BTreeSet<&String> = seminaive.keys().chain(naive.keys()).collect();
+    let mapref = evaluate_views_mapref(program, base, &Default::default(), &mut UdfHost::new())
+        .expect("map reference evaluates");
+    let views: BTreeSet<&String> = seminaive
+        .keys()
+        .chain(naive.keys())
+        .chain(mapref.keys())
+        .collect();
     for view in views {
         let a = seminaive.get(view).map(Relation::to_set).unwrap_or_default();
         let b = naive.get(view).map(Relation::to_set).unwrap_or_default();
+        let c = mapref.get(view).map(Relation::to_set).unwrap_or_default();
         assert_eq!(a, b, "view {view:?} disagrees between engines");
+        assert_eq!(b, c, "view {view:?}: slot frames disagree with map bindings");
     }
 }
 
@@ -78,6 +91,9 @@ fn erroring_guard_after_scan_matches_naive_reachability() {
     assert!(
         evaluate_views_naive(&program, &empty, &Default::default(), &mut UdfHost::new()).is_ok()
     );
+    assert!(
+        evaluate_views_mapref(&program, &empty, &Default::default(), &mut UdfHost::new()).is_ok()
+    );
 
     let nonempty = db_of(&[("e", &[(1, 2)])]);
     assert!(
@@ -86,6 +102,10 @@ fn erroring_guard_after_scan_matches_naive_reachability() {
     );
     assert!(
         evaluate_views_naive(&program, &nonempty, &Default::default(), &mut UdfHost::new())
+            .is_err()
+    );
+    assert!(
+        evaluate_views_mapref(&program, &nonempty, &Default::default(), &mut UdfHost::new())
             .is_err()
     );
 }
@@ -122,6 +142,7 @@ fn arity_error_behind_empty_scan_matches_naive_reachability() {
         "empty e short-circuits before f's arity check, as in source order"
     );
     assert!(evaluate_views_naive(&program, &db, &Default::default(), &mut UdfHost::new()).is_ok());
+    assert!(evaluate_views_mapref(&program, &db, &Default::default(), &mut UdfHost::new()).is_ok());
 
     let mut db2 = db_of(&[("e", &[(5, 6)])]);
     db2.insert(
@@ -134,6 +155,9 @@ fn arity_error_behind_empty_scan_matches_naive_reachability() {
     );
     assert!(
         evaluate_views_naive(&program, &db2, &Default::default(), &mut UdfHost::new()).is_err()
+    );
+    assert!(
+        evaluate_views_mapref(&program, &db2, &Default::default(), &mut UdfHost::new()).is_err()
     );
 }
 
@@ -166,6 +190,119 @@ fn arity_error_in_delta_variant_matches_naive_reachability() {
         "delta variants evaluate in source order; empty f short-circuits"
     );
     assert!(evaluate_views_naive(&program, &db, &Default::default(), &mut UdfHost::new()).is_ok());
+    assert!(evaluate_views_mapref(&program, &db, &Default::default(), &mut UdfHost::new()).is_ok());
+}
+
+// ---------------------------------------------------------------------
+// Slot frames vs map bindings: the compiled resolver against the dynamic
+// string-map reference.
+// ---------------------------------------------------------------------
+
+/// A projection variable no body atom ever binds must surface the same
+/// `UnboundVar` error — with the same variable name — from the compiled
+/// engines as from the map reference, and only when a body match actually
+/// reaches the projection.
+#[test]
+fn unbound_head_var_error_matches_across_engines() {
+    let program = ProgramBuilder::new()
+        .mailbox("e", 2)
+        .rule("g", vec![v("a"), v("nope")], vec![scan("e", &["a", "b"])])
+        .build();
+
+    let empty = db_of(&[("e", &[])]);
+    for result in [
+        evaluate_views(&program, &empty, &Default::default(), &mut UdfHost::new()),
+        evaluate_views_naive(&program, &empty, &Default::default(), &mut UdfHost::new()),
+        evaluate_views_mapref(&program, &empty, &Default::default(), &mut UdfHost::new()),
+    ] {
+        assert!(result.is_ok(), "no match, projection never evaluated");
+    }
+
+    let nonempty = db_of(&[("e", &[(1, 2)])]);
+    let errs: Vec<_> = [
+        evaluate_views(&program, &nonempty, &Default::default(), &mut UdfHost::new()),
+        evaluate_views_naive(&program, &nonempty, &Default::default(), &mut UdfHost::new()),
+        evaluate_views_mapref(&program, &nonempty, &Default::default(), &mut UdfHost::new()),
+    ]
+    .into_iter()
+    .map(|r| r.unwrap_err())
+    .collect();
+    assert_eq!(errs[0], errs[1], "slot engines agree on the error");
+    assert_eq!(
+        errs[1],
+        errs[2],
+        "slot frames render the same UnboundVar as map bindings"
+    );
+    assert_eq!(
+        errs[0],
+        hydro_core::eval::EvalError::UnboundVar("nope".to_string())
+    );
+}
+
+/// Stateful-UDF call order: the compiled naive engine and the map-based
+/// naive reference run the *same algorithm*, so not just the derived rows
+/// but the exact sequence of non-memoized UDF invocations must be
+/// bit-identical — the slot pass may not reorder, duplicate, or skip a
+/// call. Covers let-bound calls, guard calls, and calls reached through
+/// recursion (multiple fixpoint rounds re-deriving rows under memoization).
+#[test]
+fn udf_call_order_identical_between_slot_and_map_binding() {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    let program = ProgramBuilder::new()
+        .mailbox("e", 2)
+        .udf("f")
+        .rule("tc", vec![v("a"), v("b")], vec![scan("e", &["a", "b"])])
+        .rule(
+            "tc",
+            vec![v("a"), v("c")],
+            vec![
+                scan("tc", &["a", "b"]),
+                scan("e", &["b", "c"]),
+                guard(ge(call("f", vec![v("a"), v("c")]), i(-100))),
+            ],
+        )
+        .rule(
+            "scored",
+            vec![v("a"), v("r")],
+            vec![
+                scan("e", &["a", "b"]),
+                let_("r", call("f", vec![v("b"), v("a")])),
+                guard(ge(v("r"), i(-100))),
+            ],
+        )
+        .build();
+    let db = db_of(&[("e", &[(1, 2), (2, 3), (3, 1), (1, 3), (2, 2)])]);
+
+    let run = |slot_based: bool| -> (Vec<Vec<Value>>, BTreeSet<Vec<Value>>) {
+        let log: Rc<RefCell<Vec<Vec<Value>>>> = Rc::new(RefCell::new(Vec::new()));
+        let mut udfs = UdfHost::new();
+        let sink = Rc::clone(&log);
+        udfs.register("f", move |args: &[Value]| {
+            sink.borrow_mut().push(args.to_vec());
+            let a = args[0].as_int().unwrap_or(0);
+            let b = args[1].as_int().unwrap_or(0);
+            Value::Int(a - b)
+        });
+        let views = if slot_based {
+            evaluate_views_naive(&program, &db, &Default::default(), &mut udfs)
+        } else {
+            evaluate_views_mapref(&program, &db, &Default::default(), &mut udfs)
+        }
+        .expect("evaluates");
+        let calls = log.borrow().clone();
+        (calls, views["scored"].to_set())
+    };
+
+    let (slot_calls, slot_rows) = run(true);
+    let (map_calls, map_rows) = run(false);
+    assert_eq!(slot_rows, map_rows, "derived rows agree");
+    assert_eq!(
+        slot_calls, map_calls,
+        "non-memoized UDF invocation sequences are bit-identical"
+    );
+    assert!(!slot_calls.is_empty(), "the program actually exercises the UDF");
 }
 
 // ---------------------------------------------------------------------
@@ -310,6 +447,34 @@ fn graph_ops(raw: &[(u8, i64, i64)]) -> Vec<Vec<Op>> {
     // Always end with an ask plus a no-op tick so the final view state is
     // observed after the last mutation settled.
     batches.push(vec![("ask", vec![Value::Int(0)]), ("ask", vec![Value::Int(1)])]);
+    batches.push(Vec::new());
+    batches
+}
+
+/// Decode a proptest-generated op stream for [`bank_program`]. Withdrawals
+/// dominate and the reserve starts at zero, so invariant violations (and
+/// the rollbacks they force) are common; ids collide on a small range so
+/// deletions and re-inserts hit rows that aborted groups touched.
+fn bank_ops(raw: &[(u8, i64, i64)]) -> Vec<Vec<Op>> {
+    let mut batches: Vec<Vec<Op>> = vec![Vec::new()];
+    for &(kind, a, b) in raw {
+        let op: Option<Op> = match kind % 8 {
+            0 => Some(("put", vec![Value::Int(a), Value::Int(b + 3)])),
+            1 => Some(("rm", vec![Value::Int(a)])),
+            2 => Some(("dep", vec![Value::Int(b)])),
+            3..=5 => Some(("wd", vec![Value::Int(a), Value::Int(b)])),
+            6 => Some(("ask", vec![Value::Int(a)])),
+            _ => None,
+        };
+        match op {
+            Some(op) if batches.last().unwrap().len() < 3 => {
+                batches.last_mut().unwrap().push(op)
+            }
+            Some(op) => batches.push(vec![op]),
+            None => batches.push(Vec::new()),
+        }
+    }
+    batches.push(vec![("ask", vec![Value::Int(0)])]);
     batches.push(Vec::new());
     batches
 }
@@ -460,6 +625,176 @@ fn covid_multi_tick_incremental_agrees_with_fresh() {
         &batches,
         EvalMode::FreshSemiNaive,
     );
+}
+
+// ---------------------------------------------------------------------
+// Rollback under the partial (touched-keys-only) transactional snapshot.
+// ---------------------------------------------------------------------
+
+/// A bank with a serializable, invariant-guarded withdrawal: rollbacks
+/// must restore exactly the touched rows (`acct` balance, the `audit`
+/// entry) and the touched scalar (`reserve`) — in state *and* in the
+/// serialized mid-tick mirror — while views over `acct` keep classifying
+/// deltas correctly on later incremental ticks.
+fn bank_program() -> Program {
+    let bal = |id: Expr| field("acct", id, "bal");
+    ProgramBuilder::new()
+        .table("acct", vec![("id", atom()), ("bal", atom())], &["id"], None)
+        .table(
+            "audit",
+            vec![("id", atom()), ("amt", atom())],
+            &["id", "amt"],
+            None,
+        )
+        .var("reserve", Value::Int(0))
+        .rule(
+            "rich",
+            vec![v("id"), v("b")],
+            vec![scan("acct", &["id", "b"]), guard(ge(v("b"), i(5)))],
+        )
+        .agg_rule(
+            "total",
+            vec![i(0)],
+            AggFun::Sum,
+            v("b"),
+            vec![scan("acct", &["id", "b"])],
+        )
+        .on("put", &["id", "b"], vec![insert("acct", vec![v("id"), v("b")])])
+        .on("rm", &["id"], vec![delete("acct", v("id"))])
+        .on(
+            "dep",
+            &["amt"],
+            vec![assign_scalar("reserve", add(scalar("reserve"), v("amt")))],
+        )
+        .on_with(
+            "wd",
+            &["id", "amt"],
+            vec![if_(
+                has_key("acct", v("id")),
+                vec![
+                    assign_scalar("reserve", sub(scalar("reserve"), v("amt"))),
+                    assign_field("acct", v("id"), "bal", sub(bal(v("id")), v("amt"))),
+                    insert("audit", vec![v("id"), v("amt")]),
+                    ret(s("OK")),
+                ],
+                vec![ret(s("MISSING"))],
+            )],
+            Some(ConsistencyReq::serializable(vec![
+                Invariant::NonNegative("reserve".to_string()),
+                Invariant::HasKey {
+                    table: "acct".to_string(),
+                    key_param: "id".to_string(),
+                },
+            ])),
+        )
+        .on(
+            "ask",
+            &["x"],
+            vec![
+                ret(collect_set(select(
+                    vec![scan("rich", &["a", "b"])],
+                    vec![v("a"), v("b")],
+                ))),
+                send(
+                    "out",
+                    select(vec![scan("total", &["z", "t"])], vec![v("t")]),
+                ),
+            ],
+        )
+        .build()
+}
+
+/// Serialized messages *after* an aborted one must read the rolled-back
+/// values through the mid-tick mirror: if the rollback restored the state
+/// but not the mirror (or vice versa), the third withdrawal below would
+/// see the aborted balance. Runs identically under every engine.
+#[test]
+fn partial_snapshot_rollback_preserves_serialized_mirror_reads() {
+    let iv = |x: i64| Value::Int(x);
+    for mode in [
+        EvalMode::Incremental,
+        EvalMode::FreshSemiNaive,
+        EvalMode::FreshNaive,
+    ] {
+        let mut app = Transducer::new(bank_program()).unwrap();
+        app.set_eval_mode(mode);
+        app.enqueue_ok("put", vec![iv(1), iv(10)]);
+        app.enqueue_ok("put", vec![iv(2), iv(77)]);
+        app.enqueue_ok("dep", vec![iv(5)]);
+        app.tick().unwrap();
+
+        // One tick, three serialized withdrawals: commit, abort
+        // (reserve would go negative), commit against restored state.
+        app.enqueue_ok("wd", vec![iv(1), iv(3)]);
+        app.enqueue_ok("wd", vec![iv(1), iv(4)]);
+        app.enqueue_ok("wd", vec![iv(1), iv(2)]);
+        let out = app.tick().unwrap();
+        let replies: Vec<&Value> = out.responses.iter().map(|r| &r.value).collect();
+        assert_eq!(
+            replies,
+            vec![
+                &Value::Str("OK".into()),
+                &Value::Str("ABORT".into()),
+                &Value::Str("OK".into())
+            ],
+            "{mode:?}"
+        );
+        assert_eq!(out.warnings.len(), 1, "{mode:?}: exactly one rollback");
+
+        // bal: 10 − 3 − 2; reserve: 5 − 3 − 2; the aborted audit entry
+        // vanished; the untouched account is untouched.
+        assert_eq!(app.row("acct", &[iv(1)]), Some(&vec![iv(1), iv(5)]), "{mode:?}");
+        assert_eq!(app.row("acct", &[iv(2)]), Some(&vec![iv(2), iv(77)]), "{mode:?}");
+        assert_eq!(app.scalar("reserve"), Some(&iv(0)), "{mode:?}");
+        assert_eq!(app.table_len("audit"), 2, "{mode:?}");
+        assert_eq!(app.row("audit", &[iv(1), iv(4)]), None, "{mode:?}");
+
+        // The next tick's views must reflect the *committed* facts only
+        // (for the incremental engine this pins the delta classification
+        // after a rollback: the journal folds the aborted writes to
+        // no-ops).
+        app.enqueue_ok("ask", vec![iv(0)]);
+        let out = app.tick().unwrap();
+        let rich = out.responses[0].value.as_set().unwrap();
+        assert_eq!(
+            rich.iter().collect::<Vec<_>>(),
+            vec![
+                &Value::Tuple(vec![iv(1), iv(5)]),
+                &Value::Tuple(vec![iv(2), iv(77)])
+            ],
+            "{mode:?}"
+        );
+        let totals: Vec<&Vec<Value>> = out
+            .sends
+            .iter()
+            .filter(|sd| sd.mailbox == "out")
+            .map(|sd| &sd.row)
+            .collect();
+        assert_eq!(totals, vec![&vec![iv(82)]], "{mode:?}");
+    }
+}
+
+/// A precondition failure (missing key) rejects the group *before* any
+/// effect applies; the optimistic reply — and only this group's reply —
+/// flips to ABORT via the recorded response range.
+#[test]
+fn precondition_failure_aborts_without_touching_state() {
+    let iv = |x: i64| Value::Int(x);
+    let mut app = Transducer::new(bank_program()).unwrap();
+    app.enqueue_ok("put", vec![iv(1), iv(10)]);
+    app.enqueue_ok("dep", vec![iv(100)]);
+    app.tick().unwrap();
+
+    app.enqueue_ok("wd", vec![iv(9), iv(1)]); // no account 9
+    app.enqueue_ok("wd", vec![iv(1), iv(1)]); // fine
+    let out = app.tick().unwrap();
+    let replies: Vec<&Value> = out.responses.iter().map(|r| &r.value).collect();
+    assert_eq!(
+        replies,
+        vec![&Value::Str("ABORT".into()), &Value::Str("OK".into())]
+    );
+    assert_eq!(app.scalar("reserve"), Some(&iv(99)));
+    assert_eq!(app.row("acct", &[iv(1)]), Some(&vec![iv(1), iv(9)]));
 }
 
 proptest! {
@@ -627,6 +962,22 @@ proptest! {
     ) {
         let program = graph_program();
         ticks_agree(&program, &graph_ops(&raw), EvalMode::FreshSemiNaive);
+    }
+
+    /// Rollback under the partial snapshot: randomized invariant-violating
+    /// serialized groups (withdrawals against a zero-seeded reserve and a
+    /// churning account table) interleaved with incremental ticks must
+    /// leave every observable — responses incl. ABORT rewrites, rollback
+    /// warnings, end-of-tick state, and the *next* ticks' view deltas —
+    /// identical to a fresh-per-tick reference that never snapshots at
+    /// all. Any key the touched-keys restore missed (or restored wrongly,
+    /// in state or mirror) diverges here.
+    #[test]
+    fn rollback_under_partial_snapshot_agrees_with_fresh(
+        raw in prop::collection::vec((0u8..8, 0i64..4, 0i64..6), 0..28),
+    ) {
+        let program = bank_program();
+        ticks_agree(&program, &bank_ops(&raw), EvalMode::FreshSemiNaive);
     }
 
     /// Wildcards and constants inside a recursive stratum: projections of

@@ -52,12 +52,19 @@ if [[ -n "$prev" ]]; then
     $3 == "-" { printf "%-38s %10.3f ms %21s\n", $1, $2, "(removed workload)"; next }
     {
       ratio = ($3 > 0) ? $2 / $3 : 0
+      delta = $3 - $2
       # Sub-50us records are timer noise; never cry REGRESSION on them.
+      # Small-magnitude wobble is too: single-digit-ms workloads swing
+      # ±20% run to run, so a slowdown must be BOTH >= 1 ms absolute and
+      # past the 0.9x ratio gate — unless it blows past 0.75x, which is
+      # a real regression at any magnitude above the timer floor.
       if ($2 < 0.05 && $3 < 0.05)
         verdict = "noise(<50us)"
       else if (ratio >= 1.1)
         verdict = "speedup"
-      else if (ratio > 0 && ratio <= 0.9)
+      else if (ratio > 0 && ratio <= 0.75)
+        verdict = "REGRESSION"
+      else if (ratio > 0 && ratio <= 0.9 && delta >= 1.0)
         verdict = "REGRESSION"
       else
         verdict = "flat"

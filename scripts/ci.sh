@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# One-command tier-1 verification: release build, full workspace test
+# suite, lint wall, and the perf smoke with its regression diff against
+# the committed BENCH_interp.json.
+#
+# Usage: scripts/ci.sh [--no-bench]
+#   --no-bench   skip the perf smoke (e.g. on noisy shared machines)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_bench=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-bench) run_bench=0 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo
+echo "== cargo test -q --workspace =="
+cargo test -q --workspace
+
+echo
+echo "== cargo clippy --workspace -- -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "$run_bench" == 1 ]]; then
+  echo
+  echo "== perf smoke (diff vs committed BENCH_interp.json) =="
+  # Bench into a scratch file so CI never dirties the committed baseline;
+  # the smoke script prints per-workload speedup/REGRESSION lines.
+  tmp="$(mktemp)"
+  trap 'rm -f "$tmp"' EXIT
+  cp BENCH_interp.json "$tmp"
+  scripts/bench_smoke.sh "$tmp" | tee /tmp/bench_smoke_ci.txt
+  if grep -q "REGRESSION" /tmp/bench_smoke_ci.txt; then
+    echo
+    echo "perf smoke found REGRESSION lines (see above)" >&2
+    exit 1
+  fi
+fi
+
+echo
+echo "ci.sh: all green"
