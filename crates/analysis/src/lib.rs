@@ -13,11 +13,17 @@
 //! * [`meta`] — metaconsistency: conservative dataflow over handler sends
 //!   to find composition paths whose weakest hop undercuts an endpoint's
 //!   declared guarantee, with suggested repairs.
+//! * [`partition`] — key-partition analysis (§4–5 distribution choice):
+//!   derive each handler's routing parameter and each table's partition
+//!   class, classify views as shard-local vs requiring broadcast/exchange,
+//!   and lower the result to a `RoutingSpec` for the sharded runtime.
 
 pub mod calm;
 pub mod meta;
+pub mod partition;
 pub mod tone;
 
 pub use calm::{check_confluent, check_invariant_confluent, classify, standard_orders, CalmReport, HandlerClass};
 pub use meta::{analyze as metaconsistency, MetaReport};
+pub use partition::{partition, sharded, PartitionReport, RuleClass, TableClass};
 pub use tone::{expr_tone, relation_tone, select_tone, StateProfile, Tone};

@@ -1,0 +1,678 @@
+//! Key-partition analysis: can this program shard? (§4–5.)
+//!
+//! The paper's compiler chooses *distribution*: a Hydrologic program whose
+//! handlers only touch state keyed by one of their parameters can be
+//! hash-partitioned across machines, with the runtime routing each message
+//! to the shard that owns its key. This module derives that placement
+//! statically:
+//!
+//! * **Handlers** are classified [`HandlerClass::Local`] — every table
+//!   access is keyed by a single message parameter (the *routing
+//!   parameter*), no scalars, no whole-relation scans, no UDFs, no
+//!   condition trigger — or [`HandlerClass::Global`] with the reason.
+//!   Global handlers are pinned to shard 0, where all non-partitionable
+//!   state lives.
+//! * **Tables** are [`TableClass::Partitioned`] when touched only by
+//!   aligned local handlers (rows then distribute disjointly by key hash),
+//!   else [`TableClass::Global`].
+//! * **Rules** are classified [`RuleClass::ShardLocal`] (per-shard
+//!   evaluation over the shard's slice unions to exactly the single-node
+//!   result), [`RuleClass::GlobalOnly`] (reads only global relations, so
+//!   it is complete on shard 0 and empty elsewhere), or
+//!   [`RuleClass::NeedsExchange`] — a join/negation/aggregation over
+//!   partitioned inputs that a shard cannot answer from its own slice
+//!   without a broadcast or shuffle. The runtime has no exchange operator
+//!   yet, so the analysis *demotes to global* any state a shard-partial
+//!   view could leak into: the classification is where a future exchange
+//!   planner plugs in.
+//!
+//! Classification runs to a **demotion fixpoint**: a table shared between
+//! a local and a global handler forces the local handler global; anything
+//! a global handler reads — transitively through rule bodies — must be
+//! global, so partitioned sources reachable from a global reader demote
+//! their handlers too; tables carrying functional dependencies stay
+//! global so FD monitoring sees whole tables (a determinant that omits
+//! the partition key can be violated by rows on different shards).
+//!
+//! The result lowers to a [`RoutingSpec`] for
+//! [`hydro_core::shard::ShardedTransducer`]; [`sharded`] is the one-call
+//! convenience. The differential suite
+//! (`tests/sharded_differential.rs`) pins the soundness of exactly this
+//! pipeline: for analysis-produced specs, a sharded run is
+//! indistinguishable from the single transducer.
+
+use hydro_core::ast::{
+    AssignTarget, BodyAtom, Expr, Handler, MergeTarget, Program, Select, Stmt, Term, Trigger,
+};
+use hydro_core::facets::Invariant;
+use hydro_core::shard::{Route, RoutingSpec, ShardedTransducer};
+use hydro_core::interp::TransducerError;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How a handler executes under sharding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HandlerClass {
+    /// Shard-local: every state access is keyed by the message parameter
+    /// at this index; messages hash-route by it.
+    Local {
+        /// Routing parameter index.
+        param: usize,
+    },
+    /// Pinned to shard 0.
+    Global {
+        /// Human-readable reason (the first disqualifier found).
+        reason: String,
+    },
+}
+
+/// How a table's rows distribute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TableClass {
+    /// Rows live on the shard that owns their key hash.
+    Partitioned,
+    /// All rows on shard 0.
+    Global,
+}
+
+/// How a derived view relates to the partitioning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleClass {
+    /// Reads only global relations: complete on shard 0, empty elsewhere.
+    GlobalOnly,
+    /// Single positive scan of a partitioned relation (plus row-local
+    /// guards/lets/flattens): per-shard results union to the global view.
+    ShardLocal,
+    /// Joins, negation, or aggregation over partitioned inputs: a shard
+    /// cannot answer from its slice; needs broadcast/exchange.
+    NeedsExchange,
+}
+
+/// The full partition analysis of one program.
+#[derive(Clone, Debug)]
+pub struct PartitionReport {
+    /// Per-handler classification.
+    pub handlers: BTreeMap<String, HandlerClass>,
+    /// Per-table classification.
+    pub tables: BTreeMap<String, TableClass>,
+    /// Per-view-head classification (worst rule wins for shared heads).
+    pub rules: BTreeMap<String, RuleClass>,
+    /// Human-readable findings (demotions and exchange requirements).
+    pub notes: Vec<String>,
+}
+
+impl PartitionReport {
+    /// Lower to the runtime routing spec: local handlers hash-route by
+    /// their routing parameter, everything else (global handlers and
+    /// declared mailboxes) pins to shard 0.
+    pub fn routing(&self) -> RoutingSpec {
+        let mut spec = RoutingSpec::default();
+        for (name, class) in &self.handlers {
+            let route = match class {
+                HandlerClass::Local { param } => Route::ByParam(*param),
+                HandlerClass::Global { .. } => Route::Global,
+            };
+            spec.routes.insert(name.clone(), route);
+        }
+        spec
+    }
+
+    /// Whether nothing in the program can shard — every message routes to
+    /// shard 0 (the broadcast-free fallback for programs whose state is
+    /// inherently global).
+    pub fn requires_broadcast(&self) -> bool {
+        !self
+            .handlers
+            .values()
+            .any(|c| matches!(c, HandlerClass::Local { .. }))
+    }
+
+    /// The routing parameter of a local handler, if it is one.
+    pub fn routing_param(&self, handler: &str) -> Option<usize> {
+        match self.handlers.get(handler) {
+            Some(HandlerClass::Local { param }) => Some(*param),
+            _ => None,
+        }
+    }
+}
+
+/// Everything one handler touches, and how.
+#[derive(Clone, Debug, Default)]
+struct Facts {
+    /// Relations read whole (scans in selects, negation, comprehensions).
+    scans: BTreeSet<String>,
+    /// Keyed table accesses: `(table, Some(param))` when the key
+    /// expression is exactly that message parameter, `None` otherwise.
+    keyed: Vec<(String, Option<String>)>,
+    /// Reads or writes any scalar (scalars are global by nature).
+    scalar_touch: bool,
+    /// Calls a UDF (stateful, per-instance — shard-unsafe).
+    udf: bool,
+    /// Clears a declared mailbox (declared mailboxes are global).
+    clears: bool,
+}
+
+fn param_of(key: &Expr, params: &BTreeSet<String>) -> Option<String> {
+    match key {
+        Expr::Var(name) if params.contains(name) => Some(name.clone()),
+        _ => None,
+    }
+}
+
+fn walk_expr(e: &Expr, params: &BTreeSet<String>, f: &mut Facts) {
+    match e {
+        Expr::Scalar(_) => f.scalar_touch = true,
+        Expr::Call(_, args) => {
+            f.udf = true;
+            for a in args {
+                walk_expr(a, params, f);
+            }
+        }
+        Expr::FieldOf { table, key, .. }
+        | Expr::RowOf { table, key }
+        | Expr::HasKey { table, key } => {
+            f.keyed.push((table.clone(), param_of(key, params)));
+            walk_expr(key, params, f);
+        }
+        Expr::CollectSet(sel) => walk_select(sel, params, f),
+        Expr::Cmp(_, l, r)
+        | Expr::Arith(_, l, r)
+        | Expr::And(l, r)
+        | Expr::Or(l, r)
+        | Expr::Contains(l, r) => {
+            walk_expr(l, params, f);
+            walk_expr(r, params, f);
+        }
+        Expr::Not(e) | Expr::Len(e) | Expr::Index(e, _) => walk_expr(e, params, f),
+        Expr::Tuple(items) | Expr::SetBuild(items) => {
+            for e in items {
+                walk_expr(e, params, f);
+            }
+        }
+        Expr::Const(_) | Expr::Var(_) => {}
+    }
+}
+
+/// Names a select body binds (shadowing message parameters inside the
+/// select's scope — keyed accesses through them are not aligned).
+fn select_bound(body: &[BodyAtom]) -> BTreeSet<String> {
+    let mut bound = BTreeSet::new();
+    for atom in body {
+        match atom {
+            BodyAtom::Scan { terms, .. } => {
+                for t in terms {
+                    if let Term::Var(v) = t {
+                        bound.insert(v.clone());
+                    }
+                }
+            }
+            BodyAtom::Let { var, .. } | BodyAtom::Flatten { var, .. } => {
+                bound.insert(var.clone());
+            }
+            BodyAtom::Neg { .. } | BodyAtom::Guard(_) => {}
+        }
+    }
+    bound
+}
+
+fn walk_select(sel: &Select, params: &BTreeSet<String>, f: &mut Facts) {
+    let inner: BTreeSet<String> = params
+        .difference(&select_bound(&sel.body))
+        .cloned()
+        .collect();
+    for atom in &sel.body {
+        match atom {
+            BodyAtom::Scan { rel, .. } => {
+                f.scans.insert(rel.clone());
+            }
+            BodyAtom::Neg { rel, args } => {
+                f.scans.insert(rel.clone());
+                for a in args {
+                    walk_expr(a, &inner, f);
+                }
+            }
+            BodyAtom::Guard(e) => walk_expr(e, &inner, f),
+            BodyAtom::Let { expr, .. } => walk_expr(expr, &inner, f),
+            BodyAtom::Flatten { set, .. } => walk_expr(set, &inner, f),
+        }
+    }
+    for e in &sel.projection {
+        walk_expr(e, &inner, f);
+    }
+}
+
+fn insert_alignment(
+    program: &Program,
+    table: &str,
+    values: &[Expr],
+    params: &BTreeSet<String>,
+) -> Option<String> {
+    let decl = program.table(table)?;
+    // Only single-column keys align: routing hashes one parameter value,
+    // and a multi-column storage key would need a tuple of parameters.
+    if decl.key.len() != 1 {
+        return None;
+    }
+    match values.get(decl.key[0]) {
+        Some(Expr::Var(name)) if params.contains(name) => Some(name.clone()),
+        _ => None,
+    }
+}
+
+fn walk_stmts(program: &Program, params: &BTreeSet<String>, stmts: &[Stmt], f: &mut Facts) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Merge(target, e) => {
+                walk_expr(e, params, f);
+                match target {
+                    MergeTarget::Scalar(_) => f.scalar_touch = true,
+                    MergeTarget::TableField { table, key, .. } => {
+                        f.keyed.push((table.clone(), param_of(key, params)));
+                        walk_expr(key, params, f);
+                    }
+                }
+            }
+            Stmt::Assign(target, e) => {
+                walk_expr(e, params, f);
+                match target {
+                    AssignTarget::Scalar(_) => f.scalar_touch = true,
+                    AssignTarget::TableField { table, key, .. } => {
+                        f.keyed.push((table.clone(), param_of(key, params)));
+                        walk_expr(key, params, f);
+                    }
+                }
+            }
+            Stmt::Insert { table, values } => {
+                for e in values {
+                    walk_expr(e, params, f);
+                }
+                f.keyed
+                    .push((table.clone(), insert_alignment(program, table, values, params)));
+            }
+            Stmt::Delete { table, key } => {
+                f.keyed.push((table.clone(), param_of(key, params)));
+                walk_expr(key, params, f);
+            }
+            Stmt::Send { select, .. } => walk_select(select, params, f),
+            Stmt::Return(e) => walk_expr(e, params, f),
+            Stmt::If { cond, then, els } => {
+                walk_expr(cond, params, f);
+                walk_stmts(program, params, then, f);
+                walk_stmts(program, params, els, f);
+            }
+            Stmt::ForEach { select, stmts } => {
+                walk_select(select, params, f);
+                let inner: BTreeSet<String> = params
+                    .difference(&select_bound(&select.body))
+                    .cloned()
+                    .collect();
+                walk_stmts(program, &inner, stmts, f);
+            }
+            Stmt::ClearMailbox(_) => f.clears = true,
+        }
+    }
+}
+
+fn handler_facts(program: &Program, h: &Handler) -> Facts {
+    let params: BTreeSet<String> = h.params.iter().cloned().collect();
+    let mut f = Facts::default();
+    if let Trigger::OnCondition(cond) = &h.trigger {
+        walk_expr(cond, &params, &mut f);
+    }
+    walk_stmts(program, &params, &h.body, &mut f);
+    for inv in &program.consistency_of(&h.name).invariants {
+        match inv {
+            Invariant::HasKey { table, key_param } => {
+                let aligned = params.contains(key_param).then(|| key_param.clone());
+                f.keyed.push((table.clone(), aligned));
+            }
+            Invariant::NonNegative(_) => f.scalar_touch = true,
+        }
+    }
+    f
+}
+
+fn initial_class(h: &Handler, facts: &Facts) -> HandlerClass {
+    let global = |reason: String| HandlerClass::Global { reason };
+    if matches!(h.trigger, Trigger::OnCondition(_)) {
+        return global("condition-triggered: reads the global snapshot".into());
+    }
+    if facts.scalar_touch {
+        return global("touches scalar state (scalars are global)".into());
+    }
+    if facts.udf {
+        return global("calls a UDF (stateful, per-instance)".into());
+    }
+    if facts.clears {
+        return global("clears a declared mailbox (declared mailboxes are global)".into());
+    }
+    if let Some(rel) = facts.scans.iter().next() {
+        return global(format!("scans whole relation {rel:?}"));
+    }
+    let mut routing: BTreeSet<&String> = BTreeSet::new();
+    for (table, aligned) in &facts.keyed {
+        match aligned {
+            Some(p) => {
+                routing.insert(p);
+            }
+            None => {
+                return global(format!(
+                    "accesses table {table:?} through a key that is not a message parameter"
+                ))
+            }
+        }
+    }
+    if routing.len() > 1 {
+        return global(format!(
+            "keys state by multiple parameters {:?}",
+            routing.iter().map(|s| s.as_str()).collect::<Vec<_>>()
+        ));
+    }
+    match routing.into_iter().next() {
+        Some(p) => {
+            let param = h.params.iter().position(|q| q == p).expect("param exists");
+            HandlerClass::Local { param }
+        }
+        // Touches no state at all: runs identically anywhere — spread it.
+        None if !h.params.is_empty() => HandlerClass::Local { param: 0 },
+        None => global("no parameters to route by".into()),
+    }
+}
+
+/// Relations a rule body (plus head/group/over expressions) reads.
+fn body_rels(body: &[BodyAtom], extra: &[&Expr], out: &mut BTreeSet<String>) {
+    fn expr_rels(e: &Expr, out: &mut BTreeSet<String>) {
+        match e {
+            Expr::FieldOf { table, key, .. }
+            | Expr::RowOf { table, key }
+            | Expr::HasKey { table, key } => {
+                out.insert(table.clone());
+                expr_rels(key, out);
+            }
+            Expr::CollectSet(sel) => {
+                body_rels(&sel.body, &sel.projection.iter().collect::<Vec<_>>(), out)
+            }
+            Expr::Cmp(_, l, r)
+            | Expr::Arith(_, l, r)
+            | Expr::And(l, r)
+            | Expr::Or(l, r)
+            | Expr::Contains(l, r) => {
+                expr_rels(l, out);
+                expr_rels(r, out);
+            }
+            Expr::Not(e) | Expr::Len(e) | Expr::Index(e, _) => expr_rels(e, out),
+            Expr::Tuple(items) | Expr::SetBuild(items) => {
+                for e in items {
+                    expr_rels(e, out);
+                }
+            }
+            Expr::Const(_) | Expr::Var(_) | Expr::Scalar(_) | Expr::Call(..) => {
+                if let Expr::Call(_, args) = e {
+                    for a in args {
+                        expr_rels(a, out);
+                    }
+                }
+            }
+        }
+    }
+    for atom in body {
+        match atom {
+            BodyAtom::Scan { rel, .. } => {
+                out.insert(rel.clone());
+            }
+            BodyAtom::Neg { rel, args } => {
+                out.insert(rel.clone());
+                for a in args {
+                    expr_rels(a, out);
+                }
+            }
+            BodyAtom::Guard(e) => expr_rels(e, out),
+            BodyAtom::Let { expr, .. } => expr_rels(expr, out),
+            BodyAtom::Flatten { set, .. } => expr_rels(set, out),
+        }
+    }
+    for e in extra {
+        expr_rels(e, out);
+    }
+}
+
+/// Run the key-partition analysis (see module docs).
+pub fn partition(program: &Program) -> PartitionReport {
+    let facts: BTreeMap<String, Facts> = program
+        .handlers
+        .iter()
+        .map(|h| (h.name.clone(), handler_facts(program, h)))
+        .collect();
+    let mut classes: BTreeMap<String, HandlerClass> = program
+        .handlers
+        .iter()
+        .map(|h| (h.name.clone(), initial_class(h, &facts[&h.name])))
+        .collect();
+    let mut notes: Vec<String> = Vec::new();
+
+    // Rule read sets, head → everything its bodies read (for the global
+    // read closure).
+    let mut rule_reads: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for r in &program.rules {
+        let extra: Vec<&Expr> = r.head_exprs.iter().collect();
+        body_rels(&r.body, &extra, rule_reads.entry(r.head.clone()).or_default());
+    }
+    for r in &program.agg_rules {
+        let mut extra: Vec<&Expr> = r.group_exprs.iter().collect();
+        extra.push(&r.over);
+        body_rels(&r.body, &extra, rule_reads.entry(r.head.clone()).or_default());
+    }
+
+    // Demotion fixpoint.
+    loop {
+        let mut demote: Vec<(String, String)> = Vec::new();
+        let is_local = |c: &HandlerClass| matches!(c, HandlerClass::Local { .. });
+
+        // Tables touched (keyed) per side of the divide.
+        let mut local_tables: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        let mut global_tables: BTreeSet<&str> = BTreeSet::new();
+        for h in &program.handlers {
+            for (table, _) in &facts[&h.name].keyed {
+                if is_local(&classes[&h.name]) {
+                    local_tables.entry(table).or_default().push(&h.name);
+                } else {
+                    global_tables.insert(table);
+                }
+            }
+        }
+
+        // A table cannot be both partitioned and read/written from shard 0.
+        for (table, owners) in &local_tables {
+            if global_tables.contains(*table) {
+                for o in owners {
+                    demote.push((
+                        o.to_string(),
+                        format!("table {table:?} is shared with a global handler"),
+                    ));
+                }
+            }
+            // FD monitoring sees whole tables: keep FD-carrying tables
+            // global (a determinant omitting the partition key can be
+            // violated by rows on different shards).
+            if program.table(table).is_some_and(|t| !t.fds.is_empty()) {
+                for o in owners {
+                    demote.push((
+                        o.to_string(),
+                        format!("table {table:?} declares functional dependencies"),
+                    ));
+                }
+            }
+        }
+
+        // Global read closure: everything a global handler reads,
+        // transitively through rule bodies, must be global.
+        let mut closure: BTreeSet<String> = BTreeSet::new();
+        for h in &program.handlers {
+            if is_local(&classes[&h.name]) {
+                continue;
+            }
+            let f = &facts[&h.name];
+            closure.extend(f.scans.iter().cloned());
+            closure.extend(f.keyed.iter().map(|(t, _)| t.clone()));
+        }
+        loop {
+            let mut grew = false;
+            for (head, reads) in &rule_reads {
+                if closure.contains(head) {
+                    for r in reads {
+                        grew |= closure.insert(r.clone());
+                    }
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        for rel in &closure {
+            if let Some(owners) = local_tables.get(rel.as_str()) {
+                for o in owners {
+                    demote.push((
+                        o.to_string(),
+                        format!("table {rel:?} is read (transitively) from the global shard"),
+                    ));
+                }
+            }
+            // A local handler's mailbox relation read by a global consumer
+            // would be partial on shard 0.
+            if program.handler(rel).is_some() && is_local(&classes[rel]) {
+                demote.push((
+                    rel.clone(),
+                    "its mailbox relation is read (transitively) from the global shard".into(),
+                ));
+            }
+        }
+
+        let mut changed = false;
+        for (name, reason) in demote {
+            if matches!(classes[&name], HandlerClass::Local { .. }) {
+                notes.push(format!("handler {name:?} demoted to global: {reason}"));
+                classes.insert(name, HandlerClass::Global { reason });
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Final table classes.
+    let mut tables: BTreeMap<String, TableClass> = program
+        .tables
+        .iter()
+        .map(|t| (t.name.clone(), TableClass::Global))
+        .collect();
+    for h in &program.handlers {
+        if matches!(classes[&h.name], HandlerClass::Local { .. }) {
+            for (table, _) in &facts[&h.name].keyed {
+                if let Some(slot) = tables.get_mut(table) {
+                    *slot = TableClass::Partitioned;
+                }
+            }
+        }
+    }
+
+    // Rule classification (reporting + the hook for a future exchange
+    // planner): fixpoint over heads, worst rule wins.
+    let partitioned_rel = |rel: &str,
+                           heads: &BTreeMap<String, RuleClass>|
+     -> bool {
+        if tables.get(rel) == Some(&TableClass::Partitioned) {
+            return true;
+        }
+        if program.handler(rel).is_some()
+            && matches!(classes[rel], HandlerClass::Local { .. })
+        {
+            return true;
+        }
+        matches!(heads.get(rel), Some(RuleClass::ShardLocal | RuleClass::NeedsExchange))
+    };
+    let mut rules: BTreeMap<String, RuleClass> = rule_reads
+        .keys()
+        .map(|h| (h.clone(), RuleClass::GlobalOnly))
+        .collect();
+    loop {
+        let mut changed = false;
+        for r in &program.rules {
+            let mut reads = BTreeSet::new();
+            let extra: Vec<&Expr> = r.head_exprs.iter().collect();
+            body_rels(&r.body, &extra, &mut reads);
+            let part: Vec<&String> = reads
+                .iter()
+                .filter(|rel| partitioned_rel(rel, &rules))
+                .collect();
+            let class = if part.is_empty() {
+                RuleClass::GlobalOnly
+            } else {
+                // Shard-local iff a single positive scan of a partitioned
+                // relation and nothing else touching relations.
+                let scans: Vec<&String> = r
+                    .body
+                    .iter()
+                    .filter_map(|a| match a {
+                        BodyAtom::Scan { rel, .. } => Some(rel),
+                        _ => None,
+                    })
+                    .collect();
+                let only_scan_reads = reads.len() == scans.len()
+                    && scans.iter().all(|s| reads.contains(*s));
+                if scans.len() == 1 && only_scan_reads && partitioned_rel(scans[0], &rules) {
+                    RuleClass::ShardLocal
+                } else {
+                    RuleClass::NeedsExchange
+                }
+            };
+            let slot = rules.get_mut(&r.head).expect("head registered");
+            if class > *slot {
+                *slot = class;
+                changed = true;
+            }
+        }
+        for r in &program.agg_rules {
+            let mut reads = BTreeSet::new();
+            let mut extra: Vec<&Expr> = r.group_exprs.iter().collect();
+            extra.push(&r.over);
+            body_rels(&r.body, &extra, &mut reads);
+            let class = if reads.iter().any(|rel| partitioned_rel(rel, &rules)) {
+                // An aggregate folds across shards; always an exchange.
+                RuleClass::NeedsExchange
+            } else {
+                RuleClass::GlobalOnly
+            };
+            let slot = rules.get_mut(&r.head).expect("head registered");
+            if class > *slot {
+                *slot = class;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for (head, class) in &rules {
+        if *class == RuleClass::NeedsExchange {
+            notes.push(format!(
+                "view {head:?} requires broadcast/exchange over partitioned inputs; \
+                 per-shard derivations are partial (sound only while no global reader \
+                 observes them — enforced by the demotion fixpoint)"
+            ));
+        }
+    }
+
+    PartitionReport {
+        handlers: classes,
+        tables,
+        rules,
+        notes,
+    }
+}
+
+/// One-call convenience: analyze `program`, lower the report to a routing
+/// spec, and build an N-shard [`ShardedTransducer`] from it.
+pub fn sharded(program: &Program, shards: usize) -> Result<ShardedTransducer, TransducerError> {
+    let routing = partition(program).routing();
+    ShardedTransducer::new(program.clone(), routing, shards)
+}

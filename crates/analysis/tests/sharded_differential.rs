@@ -1,0 +1,434 @@
+//! Differential testing of the key-partitioned [`ShardedTransducer`]
+//! against the single [`Transducer`].
+//!
+//! The sharding contract: under an analysis-produced routing spec, a
+//! sharded run is indistinguishable from the single-node run — identical
+//! responses (exact sequence after the deterministic merge), identical
+//! sends and warnings as multisets, and a merged state equal to the
+//! single transducer's, over randomized insert / delete / message / abort
+//! sequences. With one shard the entire [`TickOutput`] must be
+//! bit-identical. Three program shapes are covered:
+//!
+//! * a **partitionable KVS** — keyed puts/deletes/reads/updates, a
+//!   transactional `reserve` with a `HasKey` invariant (exercising
+//!   aligned abort/rollback under sharding), and a shard-local view;
+//! * a **broadcast-requiring program** — a handler that scans the table
+//!   whole plus an aggregation over it; the analysis must pin everything
+//!   to shard 0 ([`PartitionReport::requires_broadcast`]) and the run
+//!   still matches;
+//! * a **mixed program** — partitioned KVS alongside global scalar
+//!   handlers and a condition-triggered alert, proving local handlers
+//!   stay local while global effects fire exactly once (not once per
+//!   shard).
+
+use hydro_analysis::partition::{partition, HandlerClass, RuleClass, TableClass};
+use hydro_core::builder::dsl::*;
+use hydro_core::builder::ProgramBuilder;
+use hydro_core::facets::{ConsistencyReq, Invariant};
+use hydro_core::shard::ShardedTransducer;
+use hydro_core::{Program, TickOutput, Transducer, Value};
+use proptest::prelude::*;
+
+fn int(x: i64) -> Value {
+    Value::Int(x)
+}
+
+/// A partitionable key-value program: every handler keys `kv` by its
+/// first parameter, `reserve` is transactional with an aligned `HasKey`
+/// invariant, and `big` is a shard-local view over `kv`.
+fn kvs_program() -> Program {
+    ProgramBuilder::new()
+        .table(
+            "kv",
+            vec![("k", atom()), ("val", atom())],
+            &["k"],
+            Some("k"),
+        )
+        .rule(
+            "big",
+            vec![v("x")],
+            vec![scan("kv", &["x", "y"]), guard(ge(v("y"), i(100)))],
+        )
+        .on("put", &["k", "v"], vec![insert("kv", vec![v("k"), v("v")])])
+        .on("del", &["k"], vec![delete("kv", v("k"))])
+        .on("get", &["k"], vec![ret(field("kv", v("k"), "val"))])
+        .on(
+            "bump",
+            &["k", "d"],
+            vec![if_(
+                has_key("kv", v("k")),
+                vec![
+                    assign_field("kv", v("k"), "val", add(field("kv", v("k"), "val"), v("d"))),
+                    ret(s("ok")),
+                ],
+                vec![ret(s("miss"))],
+            )],
+        )
+        .on_with(
+            "reserve",
+            &["k", "d"],
+            vec![
+                // The body is total (no read of a missing row), so a
+                // reserve against an absent key reaches the `HasKey`
+                // precondition and aborts — the transactional path the
+                // differential runs must cover under sharding.
+                if_(
+                    has_key("kv", v("k")),
+                    vec![assign_field(
+                        "kv",
+                        v("k"),
+                        "val",
+                        sub(field("kv", v("k"), "val"), v("d")),
+                    )],
+                    vec![],
+                ),
+                ret(s("ok")),
+            ],
+            Some(ConsistencyReq::serializable(vec![Invariant::HasKey {
+                table: "kv".to_string(),
+                key_param: "k".to_string(),
+            }])),
+        )
+        .build()
+}
+
+/// A program the analysis must classify as requiring broadcast: `dump`
+/// scans the whole table, and `count_kv` aggregates over it.
+fn broadcast_program() -> Program {
+    ProgramBuilder::new()
+        .table(
+            "kv",
+            vec![("k", atom()), ("val", atom())],
+            &["k"],
+            Some("k"),
+        )
+        .agg_rule(
+            "count_kv",
+            vec![i(0)],
+            hydro_core::ast::AggFun::Count,
+            v("x"),
+            vec![scan("kv", &["x", "y"])],
+        )
+        .on("put", &["k", "v"], vec![insert("kv", vec![v("k"), v("v")])])
+        .on("del", &["k"], vec![delete("kv", v("k"))])
+        .on(
+            "dump",
+            &["lo"],
+            vec![for_each(
+                select(
+                    vec![scan("kv", &["x", "y"]), guard(ge(v("y"), v("lo")))],
+                    vec![v("x")],
+                ),
+                vec![send_row("found", vec![v("x"), v("y")])],
+            )],
+        )
+        .on("get", &["k"], vec![ret(field("kv", v("k"), "val"))])
+        .build()
+}
+
+/// Partitioned KVS plus global scalar handlers and a condition-triggered
+/// alert over the scalar.
+fn mixed_program() -> Program {
+    ProgramBuilder::new()
+        .table(
+            "kv",
+            vec![("k", atom()), ("val", atom())],
+            &["k"],
+            Some("k"),
+        )
+        .var("total", Value::Int(0))
+        .on("put", &["k", "v"], vec![insert("kv", vec![v("k"), v("v")])])
+        .on("del", &["k"], vec![delete("kv", v("k"))])
+        .on("get", &["k"], vec![ret(field("kv", v("k"), "val"))])
+        .on(
+            "add_total",
+            &["d"],
+            vec![
+                assign_scalar("total", add(scalar("total"), v("d"))),
+                ret(scalar("total")),
+            ],
+        )
+        .on_condition(
+            "watch",
+            ge(scalar("total"), i(25)),
+            vec![send_row("alert", vec![scalar("total")])],
+        )
+        .build()
+}
+
+/// One decoded client operation.
+#[derive(Clone, Debug)]
+enum Op {
+    Put(i64, i64),
+    Del(i64),
+    Get(i64),
+    Bump(i64, i64),
+    Reserve(i64, i64),
+    Dump(i64),
+    AddTotal(i64),
+    /// Tick both sides and compare everything.
+    Tick,
+}
+
+/// Decode the proptest tuple stream into ops valid for `program` (ops
+/// whose mailbox the program lacks fall back to a Put).
+fn decode(raw: &[(u8, i64, i64)], program: &Program) -> Vec<Op> {
+    let has = |name: &str| program.handler(name).is_some();
+    raw.iter()
+        .map(|&(code, a, b)| match code {
+            0 | 1 => Op::Put(a, b * 25),
+            2 => Op::Del(a),
+            3 => Op::Get(a),
+            4 if has("bump") => Op::Bump(a, b),
+            4 if has("add_total") => Op::AddTotal(b),
+            5 if has("reserve") => Op::Reserve(a, b * 40),
+            5 if has("dump") => Op::Dump(a * 30),
+            5 if has("add_total") => Op::AddTotal(a),
+            6 => Op::Tick,
+            _ => Op::Put(a, b * 25),
+        })
+        .collect()
+}
+
+fn apply(op: &Op) -> Option<(&'static str, Vec<Value>)> {
+    match op {
+        Op::Put(k, v) => Some(("put", vec![int(*k), int(*v)])),
+        Op::Del(k) => Some(("del", vec![int(*k)])),
+        Op::Get(k) => Some(("get", vec![int(*k)])),
+        Op::Bump(k, d) => Some(("bump", vec![int(*k), int(*d)])),
+        Op::Reserve(k, d) => Some(("reserve", vec![int(*k), int(*d)])),
+        Op::Dump(lo) => Some(("dump", vec![int(*lo)])),
+        Op::AddTotal(d) => Some(("add_total", vec![int(*d)])),
+        Op::Tick => None,
+    }
+}
+
+fn sorted<T: Ord + Clone>(xs: &[T]) -> Vec<T> {
+    let mut v = xs.to_vec();
+    v.sort();
+    v
+}
+
+/// Compare one tick's outputs: responses as exact sequences (the merge
+/// reconstructs single-node order), sends and warnings as multisets.
+fn outputs_match(single: &TickOutput, shard: &TickOutput, ctx: &str) {
+    assert_eq!(
+        single.responses, shard.responses,
+        "{ctx}: responses diverge"
+    );
+    let render =
+        |s: &hydro_core::interp::SendOut| (s.mailbox.clone(), format!("{:?}", s.row));
+    assert_eq!(
+        sorted(&single.sends.iter().map(render).collect::<Vec<_>>()),
+        sorted(&shard.sends.iter().map(render).collect::<Vec<_>>()),
+        "{ctx}: sends diverge as multisets"
+    );
+    assert_eq!(
+        sorted(&single.warnings),
+        sorted(&shard.warnings),
+        "{ctx}: warnings diverge as multisets"
+    );
+    assert_eq!(
+        single.messages_processed, shard.messages_processed,
+        "{ctx}: messages_processed diverges"
+    );
+}
+
+/// Run the same op sequence through the single transducer and an N-shard
+/// partitioned one, comparing every tick's outputs and the final state.
+fn differential_run(program: &Program, raw: &[(u8, i64, i64)], shards: usize) {
+    let report = partition(program);
+    let routing = report.routing();
+    let mut single = Transducer::new(program.clone()).expect("program validates");
+    let mut sharded = ShardedTransducer::new(program.clone(), routing, shards)
+        .expect("program validates");
+
+    let ops = decode(raw, program);
+    for (step, op) in ops.iter().enumerate() {
+        match apply(op) {
+            Some((mailbox, row)) => {
+                let a = single.enqueue(mailbox, row.clone());
+                let b = sharded.enqueue(mailbox, row);
+                assert_eq!(
+                    a.ok(),
+                    b.ok(),
+                    "step {step}: enqueue ids diverge for {op:?}"
+                );
+            }
+            None => {
+                let a = single.tick().expect("single tick");
+                let b = sharded.tick().expect("sharded tick");
+                if shards == 1 {
+                    assert_eq!(a, b, "step {step}: one shard must be bit-identical");
+                }
+                outputs_match(&a, &b, &format!("step {step} ({op:?}, N={shards})"));
+                assert_eq!(
+                    single.state(),
+                    &sharded.merged_state(),
+                    "step {step}: merged state diverges"
+                );
+            }
+        }
+    }
+    // Drain whatever is still queued.
+    let a = single.tick().expect("single final tick");
+    let b = sharded.tick().expect("sharded final tick");
+    if shards == 1 {
+        assert_eq!(a, b, "final tick: one shard must be bit-identical");
+    }
+    outputs_match(&a, &b, &format!("final tick (N={shards})"));
+    assert_eq!(
+        single.state(),
+        &sharded.merged_state(),
+        "final merged state diverges"
+    );
+}
+
+#[test]
+fn kvs_analysis_classifies_as_partitionable() {
+    let report = partition(&kvs_program());
+    for h in ["put", "del", "get", "bump", "reserve"] {
+        assert_eq!(
+            report.handlers[h],
+            HandlerClass::Local { param: 0 },
+            "handler {h} should be shard-local on its key"
+        );
+    }
+    assert_eq!(report.tables["kv"], TableClass::Partitioned);
+    assert_eq!(report.rules["big"], RuleClass::ShardLocal);
+    assert!(!report.requires_broadcast());
+}
+
+#[test]
+fn broadcast_analysis_pins_everything_to_shard_zero() {
+    let report = partition(&broadcast_program());
+    assert!(
+        report.requires_broadcast(),
+        "whole-relation scan + aggregation must force the broadcast fallback: {report:?}"
+    );
+    assert!(matches!(
+        report.handlers["dump"],
+        HandlerClass::Global { .. }
+    ));
+    // `put` would be local on its own, but `dump`'s scan drags `kv` (and
+    // so every `kv` handler) to the global shard.
+    assert!(matches!(report.handlers["put"], HandlerClass::Global { .. }));
+    assert_eq!(report.tables["kv"], TableClass::Global);
+    assert_eq!(report.rules["count_kv"], RuleClass::GlobalOnly);
+}
+
+#[test]
+fn mixed_analysis_keeps_kvs_local_and_scalars_global() {
+    let report = partition(&mixed_program());
+    assert_eq!(report.handlers["put"], HandlerClass::Local { param: 0 });
+    assert_eq!(report.handlers["get"], HandlerClass::Local { param: 0 });
+    assert!(matches!(
+        report.handlers["add_total"],
+        HandlerClass::Global { .. }
+    ));
+    assert!(matches!(
+        report.handlers["watch"],
+        HandlerClass::Global { .. }
+    ));
+    assert_eq!(report.tables["kv"], TableClass::Partitioned);
+    assert!(!report.requires_broadcast());
+}
+
+#[test]
+fn condition_handler_fires_once_not_once_per_shard() {
+    let program = mixed_program();
+    let routing = partition(&program).routing();
+    let mut single = Transducer::new(program.clone()).unwrap();
+    let mut sharded = ShardedTransducer::new(program, routing, 4).unwrap();
+    single.enqueue_ok("add_total", vec![int(30)]);
+    sharded.enqueue_ok("add_total", vec![int(30)]);
+    let a = single.tick().unwrap();
+    let b = sharded.tick().unwrap();
+    outputs_match(&a, &b, "arming tick");
+    // total = 30 ≥ 25: the watch condition now holds; it must fire once.
+    let a = single.tick().unwrap();
+    let b = sharded.tick().unwrap();
+    outputs_match(&a, &b, "condition tick");
+    assert_eq!(
+        b.sends.iter().filter(|s| s.mailbox == "alert").count(),
+        1,
+        "condition handler must fire exactly once across 4 shards"
+    );
+}
+
+#[test]
+fn aligned_invariant_aborts_identically_under_sharding() {
+    let program = kvs_program();
+    let routing = partition(&program).routing();
+    let mut single = Transducer::new(program.clone()).unwrap();
+    let mut sharded = ShardedTransducer::new(program, routing, 4).unwrap();
+    for t in 0..2 {
+        let (s, sh) = (&mut single, &mut sharded);
+        if t == 0 {
+            // Seed two keys; key 7 is never inserted.
+            for (k, v) in [(1, 50), (2, 80)] {
+                s.enqueue_ok("put", vec![int(k), int(v)]);
+                sh.enqueue_ok("put", vec![int(k), int(v)]);
+            }
+        } else {
+            // One valid reserve, one precondition abort (missing key 7).
+            for (k, d) in [(1, 10), (7, 5)] {
+                s.enqueue_ok("reserve", vec![int(k), int(d)]);
+                sh.enqueue_ok("reserve", vec![int(k), int(d)]);
+            }
+        }
+        let a = s.tick().unwrap();
+        let b = sh.tick().unwrap();
+        outputs_match(&a, &b, &format!("tick {t}"));
+        assert_eq!(s.state(), &sh.merged_state());
+        if t == 1 {
+            assert!(
+                a.responses
+                    .iter()
+                    .any(|r| r.value == Value::Str("ABORT".to_string())),
+                "the missing-key reserve must abort"
+            );
+            assert_eq!(a.warnings.len(), 1, "one rollback warning");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The partitionable KVS: N ∈ {1, 2, 4, 7} shards, randomized
+    /// put/del/get/bump/reserve/tick sequences (reserve covers the
+    /// transactional abort path; del covers retraction).
+    #[test]
+    fn sharded_kvs_matches_single(
+        raw in prop::collection::vec((0u8..7, 0i64..9, -2i64..6), 0..40),
+    ) {
+        let program = kvs_program();
+        for shards in [1usize, 2, 4, 7] {
+            differential_run(&program, &raw, shards);
+        }
+    }
+
+    /// The broadcast-requiring program: the analysis pins everything to
+    /// shard 0 and the sharded run must still match exactly.
+    #[test]
+    fn sharded_broadcast_program_matches_single(
+        raw in prop::collection::vec((0u8..7, 0i64..7, -2i64..6), 0..32),
+    ) {
+        let program = broadcast_program();
+        for shards in [1usize, 4] {
+            differential_run(&program, &raw, shards);
+        }
+    }
+
+    /// Mixed partitioned + global state, including the condition handler.
+    #[test]
+    fn sharded_mixed_program_matches_single(
+        raw in prop::collection::vec((0u8..7, 0i64..9, -2i64..8), 0..36),
+    ) {
+        let program = mixed_program();
+        for shards in [1usize, 2, 4, 7] {
+            differential_run(&program, &raw, shards);
+        }
+    }
+}

@@ -418,9 +418,28 @@ impl UdfHost {
 /// Variable bindings during body evaluation.
 pub type Bindings = FxHashMap<String, Value>;
 
+/// Hash a probe key given as a value iterator. Owned and borrowed probe
+/// paths must agree on this function — it is the bridge that lets the
+/// compiled scan path look up `Vec<Value>`-built indexes with *borrowed*
+/// frame slots, never cloning a key value on the probe hot path.
+fn hash_probe_key<'v>(vals: impl Iterator<Item = &'v Value>) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = rustc_hash::FxHasher::default();
+    for v in vals {
+        v.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// One `(relation, bound columns)` index: probe-key hash → entries holding
+/// the owned key (for collision resolution) and the posting list of row
+/// positions. Keying by hash instead of `Vec<Value>` is what allows
+/// lookups from borrowed values.
+type Postings = FxHashMap<u64, Vec<(Vec<Value>, std::rc::Rc<Vec<usize>>)>>;
+
 /// Lazily-built composite equality indexes over relations, keyed by
-/// `(relation, bound column set)`: `FxHashMap<JoinKey, Vec<RowIdx>>` per
-/// join key, built on the first probe of that key shape.
+/// `(relation, bound column set)`: probe key → row positions per key
+/// shape, built on the first probe of that shape.
 ///
 /// A cache stays valid as long as every mutation of an indexed relation is
 /// reported: appends via [`ScanCache::note_insert`], removals via
@@ -432,23 +451,59 @@ pub type Bindings = FxHashMap<String, Value>;
 /// borrow of the database, under which the cache trivially cannot go stale.
 #[derive(Default)]
 pub struct ScanCache {
-    /// relation → sorted bound-column set → join key → row positions.
-    /// Posting lists sit behind `Rc` so a probe shares the list instead
-    /// of copying it; `note_insert` runs between evaluation rounds, when
-    /// no probe handle is alive, so `Rc::make_mut` appends in place.
-    indexes: FxHashMap<String, FxHashMap<Vec<usize>, FxHashMap<Vec<Value>, std::rc::Rc<Vec<usize>>>>>,
+    /// relation → sorted bound-column set → probe index. Posting lists sit
+    /// behind `Rc` so a probe shares the list instead of copying it;
+    /// `note_insert` runs between evaluation rounds, when no probe handle
+    /// is alive, so `Rc::make_mut` appends in place.
+    indexes: FxHashMap<String, FxHashMap<Vec<usize>, Postings>>,
     /// Reusable probe-key scratch (bound columns / key values), filled by
-    /// the caller just before [`ScanCache::probe_prepared`]. Living here
-    /// means a probe costs only value lookups — no per-binding `Vec`
-    /// allocation on the join hot path.
+    /// the caller just before [`ScanCache::probe_prepared`]. Only the
+    /// map-based reference evaluator takes this owned-value path; the
+    /// compiled path probes borrowed frame slots via
+    /// [`ScanCache::probe_layout`].
     probe_cols: Vec<usize>,
     probe_key: Vec<Value>,
+}
+
+/// Find the posting list for a probe key among `postings`, comparing the
+/// borrowed key values against each hash-colliding entry's owned key.
+/// Generic over a cloneable borrowed-value iterator so the comparison
+/// allocates nothing (buckets almost always hold one candidate).
+fn postings_find<'v, I>(postings: &Postings, hash: u64, key: I) -> Option<std::rc::Rc<Vec<usize>>>
+where
+    I: Iterator<Item = &'v Value> + Clone,
+{
+    postings
+        .get(&hash)?
+        .iter()
+        .find(|(k, _)| k.iter().eq(key.clone()))
+        .map(|(_, list)| std::rc::Rc::clone(list))
+}
+
+/// Build the probe index of one `(relation, cols)` shape.
+fn postings_build(relation: &Relation, cols: &[usize]) -> Postings {
+    let mut postings = Postings::default();
+    for (i, row) in relation.iter_indexed() {
+        let hash = hash_probe_key(cols.iter().map(|&c| &row[c]));
+        let bucket = postings.entry(hash).or_default();
+        match bucket
+            .iter_mut()
+            .find(|(k, _)| k.iter().eq(cols.iter().map(|&c| &row[c])))
+        {
+            Some((_, list)) => std::rc::Rc::make_mut(list).push(i),
+            None => bucket.push((
+                cols.iter().map(|&c| row[c].clone()).collect(),
+                std::rc::Rc::new(vec![i]),
+            )),
+        }
+    }
+    postings
 }
 
 impl ScanCache {
     /// Clear and hand out the probe scratch buffers; the caller fills them
     /// with the bound columns and key values, then calls
-    /// [`ScanCache::probe_prepared`].
+    /// [`ScanCache::probe_prepared`]. (Map-reference evaluator only.)
     fn begin_probe(&mut self) -> (&mut Vec<usize>, &mut Vec<Value>) {
         self.probe_cols.clear();
         self.probe_key.clear();
@@ -460,21 +515,50 @@ impl ScanCache {
     /// `(rel, cols)` index on first use. Positions are in insertion
     /// order, so index-driven scans enumerate rows exactly like full scans.
     fn probe_prepared(&mut self, rel: &str, relation: &Relation) -> Option<std::rc::Rc<Vec<usize>>> {
+        let hash = hash_probe_key(self.probe_key.iter());
         // Steady state first: no key allocation on the fixpoint hot path.
-        if let Some(index) = self.indexes.get(rel).and_then(|m| m.get(&self.probe_cols)) {
-            return index.get(&self.probe_key).map(std::rc::Rc::clone);
+        if let Some(postings) = self.indexes.get(rel).and_then(|m| m.get(&self.probe_cols)) {
+            return postings_find(postings, hash, self.probe_key.iter());
         }
-        let cols = &self.probe_cols;
-        let mut index: FxHashMap<Vec<Value>, std::rc::Rc<Vec<usize>>> = FxHashMap::default();
-        for (i, row) in relation.iter_indexed() {
-            let k: Vec<Value> = cols.iter().map(|&c| row[c].clone()).collect();
-            std::rc::Rc::make_mut(index.entry(k).or_default()).push(i);
-        }
-        let hits = index.get(&self.probe_key).map(std::rc::Rc::clone);
+        let postings = postings_build(relation, &self.probe_cols);
+        let hits = postings_find(&postings, hash, self.probe_key.iter());
         self.indexes
             .entry(rel.to_string())
             .or_default()
-            .insert(cols.clone(), index);
+            .insert(self.probe_cols.clone(), postings);
+        hits
+    }
+
+    /// The compiled-path probe: row positions of `relation` matching a
+    /// scan's static [`ProbeLayout`], with every key value *borrowed* —
+    /// constants straight from the layout, bound variables straight from
+    /// the frame's slots. No `Value` is cloned unless this is the first
+    /// probe of the `(rel, cols)` shape (which builds the owned index).
+    fn probe_layout(
+        &mut self,
+        rel: &str,
+        relation: &Relation,
+        layout: &ProbeLayout,
+        frame: &Frame,
+    ) -> Option<std::rc::Rc<Vec<usize>>> {
+        fn resolve<'v>(src: &'v ProbeSrc, frame: &'v Frame) -> &'v Value {
+            match src {
+                ProbeSrc::Const(c) => c,
+                ProbeSrc::Slot(s) => frame.slots[*s as usize]
+                    .as_ref()
+                    .expect("layout slots are statically bound"),
+            }
+        }
+        let hash = hash_probe_key(layout.srcs.iter().map(|s| resolve(s, frame)));
+        if let Some(postings) = self.indexes.get(rel).and_then(|m| m.get(&layout.cols)) {
+            return postings_find(postings, hash, layout.srcs.iter().map(|s| resolve(s, frame)));
+        }
+        let postings = postings_build(relation, &layout.cols);
+        let hits = postings_find(&postings, hash, layout.srcs.iter().map(|s| resolve(s, frame)));
+        self.indexes
+            .entry(rel.to_string())
+            .or_default()
+            .insert(layout.cols.clone(), postings);
         hits
     }
 
@@ -482,9 +566,19 @@ impl ScanCache {
     /// keeping every existing index over `rel` current.
     pub fn note_insert(&mut self, rel: &str, row: &Row, idx: usize) {
         if let Some(by_cols) = self.indexes.get_mut(rel) {
-            for (cols, index) in by_cols.iter_mut() {
-                let k: Vec<Value> = cols.iter().map(|&c| row[c].clone()).collect();
-                std::rc::Rc::make_mut(index.entry(k).or_default()).push(idx);
+            for (cols, postings) in by_cols.iter_mut() {
+                let hash = hash_probe_key(cols.iter().map(|&c| &row[c]));
+                let bucket = postings.entry(hash).or_default();
+                match bucket
+                    .iter_mut()
+                    .find(|(k, _)| k.iter().eq(cols.iter().map(|&c| &row[c])))
+                {
+                    Some((_, list)) => std::rc::Rc::make_mut(list).push(idx),
+                    None => bucket.push((
+                        cols.iter().map(|&c| row[c].clone()).collect(),
+                        std::rc::Rc::new(vec![idx]),
+                    )),
+                }
             }
         }
     }
@@ -494,15 +588,24 @@ impl ScanCache {
     /// search plus shift — O(log n + matches) per maintained index.
     pub fn note_remove(&mut self, rel: &str, row: &Row, idx: usize) {
         if let Some(by_cols) = self.indexes.get_mut(rel) {
-            for (cols, index) in by_cols.iter_mut() {
-                let k: Vec<Value> = cols.iter().map(|&c| row[c].clone()).collect();
-                if let Some(list) = index.get_mut(&k) {
-                    let l = std::rc::Rc::make_mut(list);
-                    if let Ok(at) = l.binary_search(&idx) {
-                        l.remove(at);
+            for (cols, postings) in by_cols.iter_mut() {
+                let hash = hash_probe_key(cols.iter().map(|&c| &row[c]));
+                let Some(bucket) = postings.get_mut(&hash) else {
+                    continue;
+                };
+                if let Some(at) = bucket
+                    .iter()
+                    .position(|(k, _)| k.iter().eq(cols.iter().map(|&c| &row[c])))
+                {
+                    let list = std::rc::Rc::make_mut(&mut bucket[at].1);
+                    if let Ok(pos) = list.binary_search(&idx) {
+                        list.remove(pos);
                     }
-                    if l.is_empty() {
-                        index.remove(&k);
+                    if list.is_empty() {
+                        bucket.swap_remove(at);
+                    }
+                    if bucket.is_empty() {
+                        postings.remove(&hash);
                     }
                 }
             }
@@ -1546,6 +1649,11 @@ fn eval_agg_rule(rule: &AggRule, ctx: &mut EvalCtx<'_>) -> Result<Vec<Row>, Eval
 pub(crate) struct Frame {
     slots: Vec<Option<Value>>,
     undo: Vec<u32>,
+    /// Value-preserving undo log for scoped *overwrites* (handler `ForEach`
+    /// bindings, which may shadow already-bound slots): `(slot, prior)`
+    /// pairs restored in reverse by [`Frame::restore_saved`]. A persistent
+    /// stack, so a per-match save/restore allocates nothing.
+    saved: Vec<(u32, Option<Value>)>,
 }
 
 impl Frame {
@@ -1554,6 +1662,7 @@ impl Frame {
         self.slots.clear();
         self.slots.resize(len, None);
         self.undo.clear();
+        self.saved.clear();
     }
 
     /// Read a slot (`None` = unbound).
@@ -1581,6 +1690,26 @@ impl Frame {
         while self.undo.len() > mark {
             let slot = self.undo.pop().expect("len checked");
             self.slots[slot as usize] = None;
+        }
+    }
+
+    /// Mark the save stack (see [`Frame::save_replace`]).
+    pub(crate) fn save_mark(&self) -> usize {
+        self.saved.len()
+    }
+
+    /// Overwrite a slot, pushing its prior value onto the save stack.
+    pub(crate) fn save_replace(&mut self, slot: u32, v: Option<Value>) {
+        let prior = std::mem::replace(&mut self.slots[slot as usize], v);
+        self.saved.push((slot, prior));
+    }
+
+    /// Restore every slot overwritten since `mark`, in reverse order —
+    /// the mark/truncate discipline for value-preserving scopes.
+    pub(crate) fn restore_saved(&mut self, mark: usize) {
+        while self.saved.len() > mark {
+            let (slot, prior) = self.saved.pop().expect("len checked");
+            self.slots[slot as usize] = prior;
         }
     }
 }
@@ -2197,33 +2326,30 @@ fn eval_cbody(
                     });
                 }
             }
-            // Probe the composite index over the statically bound columns;
-            // the key is value loads into the cache's scratch buffers —
-            // no hashing of names, no per-binding allocation.
+            // Probe the composite index over the statically bound columns.
+            // The probe key is read *borrowed* — constants from the layout,
+            // bound variables straight from the frame slots — so the fast
+            // path clones no `Value`, hashes no names, allocates nothing.
             let is_delta = matches!(plan.delta, Some((p, _)) if p == pos);
-            let mut have_key = false;
-            if plan.use_indexes && !is_delta {
-                if let Some(layout) = layout {
-                    let (cols, key) = ctx.scan_cache.begin_probe();
-                    cols.extend_from_slice(&layout.cols);
-                    for src in &layout.srcs {
-                        key.push(match src {
-                            ProbeSrc::Const(c) => c.clone(),
-                            ProbeSrc::Slot(s) => frame.slots[*s as usize]
-                                .clone()
-                                .expect("layout slots are statically bound"),
-                        });
+            let probe = if plan.use_indexes && !is_delta {
+                layout
+                    .as_ref()
+                    .map(|l| ctx.scan_cache.probe_layout(rel, relation, l, frame))
+            } else {
+                None
+            };
+            match probe {
+                None => {
+                    for row in relation.iter() {
+                        cscan_row(plan, step, terms, row, names, frame, ctx, emit)?;
                     }
-                    have_key = true;
                 }
-            }
-            if !have_key {
-                for row in relation.iter() {
-                    cscan_row(plan, step, terms, row, names, frame, ctx, emit)?;
-                }
-            } else if let Some(ids) = ctx.scan_cache.probe_prepared(rel, relation) {
-                for &i in ids.iter() {
-                    cscan_row(plan, step, terms, relation.row(i), names, frame, ctx, emit)?;
+                // Indexed probe with no matching rows: nothing to scan.
+                Some(None) => {}
+                Some(Some(ids)) => {
+                    for &i in ids.iter() {
+                        cscan_row(plan, step, terms, relation.row(i), names, frame, ctx, emit)?;
+                    }
                 }
             }
             Ok(())
@@ -2910,7 +3036,10 @@ fn build_rule_unit(program: &Program, rule_ids: &[usize]) -> EvalUnit {
 ///   involving retraction or non-monotone reads falls back to a
 ///   unit-local recompute whose output diff feeds the units above it.
 pub struct EvalState {
-    plan: ProgramPlan,
+    /// The compiled program plan — immutable, shared (a sharded or
+    /// replicated deployment compiles it once and hands every instance the
+    /// same `Arc`; see `interp::ProgramCore`).
+    plan: std::sync::Arc<ProgramPlan>,
     /// The materialized database: base relations plus every view.
     pub db: Database,
     /// Persistent key → row mirror per table (what `FieldOf`/`RowOf`/
@@ -2933,9 +3062,18 @@ pub struct EvalState {
 
 impl EvalState {
     /// Build the empty state for a program (all base relations and views
-    /// empty; the first [`EvalState::evaluate`] recomputes every unit).
+    /// empty; the first [`EvalState::evaluate`] recomputes every unit),
+    /// compiling a private plan.
     pub fn new(program: &Program) -> Result<Self, EvalError> {
-        let plan = ProgramPlan::compile(program)?;
+        Ok(Self::with_plan(
+            program,
+            std::sync::Arc::new(ProgramPlan::compile(program)?),
+        ))
+    }
+
+    /// Build the empty state against an already-compiled (shared) plan.
+    /// The plan must have been compiled from this `program`.
+    pub fn with_plan(program: &Program, plan: std::sync::Arc<ProgramPlan>) -> Self {
         let mut db = Database::default();
         let mut key_index = FxHashMap::default();
         for t in &program.tables {
@@ -2954,7 +3092,7 @@ impl EvalState {
         for r in &program.agg_rules {
             db.entry(r.head.clone()).or_default();
         }
-        Ok(EvalState {
+        EvalState {
             plan,
             db,
             key_index,
@@ -2962,7 +3100,7 @@ impl EvalState {
             row_counts: FxHashMap::default(),
             cache: ScanCache::default(),
             initialized: false,
-        })
+        }
     }
 
     /// Bulk-load one base-relation row during (re)construction, bypassing

@@ -26,18 +26,40 @@
 //! rolled back and its message answered `ABORT`. On a single node this is
 //! enough for serializability (ticks already execute sequentially);
 //! distributed enforcement is synthesized in `hydro-deploy`.
+//!
+//! # The core / instance split
+//!
+//! A transducer is two halves with very different lifetimes:
+//!
+//! * [`ProgramCore`] — the **immutable, plan-time artifacts**: the
+//!   validated [`Program`], every handler's slot-compiled body
+//!   ([`CompiledHandler`]: `CStmt`s, frame layouts, invariant key slots),
+//!   and the compiled evaluation plan (`eval::ProgramPlan`: stratification,
+//!   SCC evaluation units, delta-variant tables, probe layouts). It is
+//!   built once by [`ProgramCore::new`] and shared behind an `Arc`.
+//! * [`Transducer`] — the **per-instance mutable half**: [`State`]
+//!   (tables + scalars), mailboxes, the persistent incremental
+//!   [`EvalState`], the effect journal, message-id and tick counters, and
+//!   the UDF host.
+//!
+//! Any number of instances — replicas in `hydro-deploy`, the shards of a
+//! [`crate::shard::ShardedTransducer`], differential-test twins — run off
+//! one `ProgramCore` via [`Transducer::from_core`], paying compilation
+//! once and sharing the read-only plan. [`Transducer::new`] remains the
+//! single-instance convenience (compile + instantiate).
 
 use crate::ast::{
     response_mailbox, AssignTarget, ColumnKind, Handler, MergeTarget, Program, Stmt, Trigger,
 };
 use crate::eval::{
-    build_key_indexes, eval_cexpr, eval_cselect, evaluate_views, stratify, CExpr, CSelect,
-    Database, EvalError, EvalState, Frame, RelDelta, Relation, Row, SlotCompiler, UdfHost,
+    build_key_indexes, eval_cexpr, eval_cselect, evaluate_views, CExpr, CSelect, Database,
+    EvalError, EvalState, Frame, ProgramPlan, RelDelta, Relation, Row, SlotCompiler, UdfHost,
 };
 use crate::facets::Invariant;
 use crate::value::Value;
 use rustc_hash::{FxHashMap, FxHashSet};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A message waiting in a mailbox.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -578,15 +600,62 @@ impl PendingDeltas {
     }
 }
 
-/// The HydroLogic interpreter for one logical node.
-pub struct Transducer {
+/// The immutable, plan-time half of a transducer: the validated program,
+/// its slot-compiled handlers, and the compiled evaluation plan. Built
+/// once, shared behind an `Arc` by every instance that interprets the
+/// same program — replicas, shards, differential twins (see the module
+/// docs). Contains no mutable state, so sharing is free and thread-safe.
+pub struct ProgramCore {
     program: Program,
     /// Handler bodies paired with their resolved consistency facets and
-    /// their slot-compiled form, shared so a tick borrows them without
-    /// cloning the program (the handler loop needs `&mut self` while
-    /// walking them).
-    handlers_cache:
-        std::sync::Arc<Vec<(Handler, crate::facets::ConsistencyReq, CompiledHandler)>>,
+    /// their slot-compiled form (a tick borrows these off the `Arc`
+    /// while holding `&mut` to the instance state).
+    handlers: Vec<(Handler, crate::facets::ConsistencyReq, CompiledHandler)>,
+    /// The compiled evaluation plan every instance's [`EvalState`] runs
+    /// against.
+    plan: Arc<ProgramPlan>,
+}
+
+impl ProgramCore {
+    /// Validate and compile a program: stratification, SCC evaluation
+    /// units, handler slot compilation. Unstratifiable programs are
+    /// rejected here, so instantiation is infallible.
+    pub fn new(program: Program) -> Result<Arc<Self>, TransducerError> {
+        let plan = Arc::new(ProgramPlan::compile(&program)?);
+        let handlers = program
+            .handlers
+            .iter()
+            .map(|h| {
+                let consistency = program.consistency_of(&h.name).clone();
+                let compiled = CompiledHandler::compile(h, &consistency.invariants);
+                (h.clone(), consistency, compiled)
+            })
+            .collect();
+        Ok(Arc::new(ProgramCore {
+            program,
+            handlers,
+            plan,
+        }))
+    }
+
+    /// The program this core was compiled from.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Whether `name` is a mailbox of this program (a handler's implicit
+    /// mailbox or a declared handler-less one).
+    pub fn has_mailbox(&self, name: &str) -> bool {
+        self.program.handler(name).is_some()
+            || self.program.mailboxes.iter().any(|m| m.name == name)
+    }
+}
+
+/// The HydroLogic interpreter for one logical node: the per-instance
+/// mutable half ([`State`], mailboxes, journal, evaluation state, UDFs)
+/// over a shared [`ProgramCore`].
+pub struct Transducer {
+    core: Arc<ProgramCore>,
     state: State,
     mailboxes: BTreeMap<String, Vec<Message>>,
     udfs: UdfHost,
@@ -599,13 +668,25 @@ pub struct Transducer {
     eval: Option<EvalState>,
     /// Base-state changes since the last incremental evaluation.
     pending: PendingDeltas,
+    /// Whether condition-triggered handlers run on this instance. Shards
+    /// other than shard 0 of a [`crate::shard::ShardedTransducer`] disable
+    /// them: condition handlers read global state, which the partition
+    /// analysis pins to shard 0 — letting every shard evaluate the
+    /// condition against its slice would fire the handler once per shard.
+    run_condition_handlers: bool,
 }
 
 impl Transducer {
-    /// Validate a program and build its transducer. Runs stratification so
-    /// unstratifiable programs are rejected up front.
+    /// Validate a program and build its transducer: the single-instance
+    /// convenience over [`ProgramCore::new`] + [`Transducer::from_core`].
     pub fn new(program: Program) -> Result<Self, TransducerError> {
-        stratify(&program)?;
+        Ok(Self::from_core(ProgramCore::new(program)?))
+    }
+
+    /// Instantiate a fresh transducer (empty tables, initial scalars,
+    /// empty mailboxes) over a shared, already-compiled core.
+    pub fn from_core(core: Arc<ProgramCore>) -> Self {
+        let program = &core.program;
         let mut state = State::default();
         for t in &program.tables {
             state.tables.insert(t.name.clone(), BTreeMap::new());
@@ -620,20 +701,8 @@ impl Transducer {
         for m in &program.mailboxes {
             mailboxes.insert(m.name.clone(), Vec::new());
         }
-        let handlers_cache = std::sync::Arc::new(
-            program
-                .handlers
-                .iter()
-                .map(|h| {
-                    let consistency = program.consistency_of(&h.name).clone();
-                    let compiled = CompiledHandler::compile(h, &consistency.invariants);
-                    (h.clone(), consistency, compiled)
-                })
-                .collect::<Vec<_>>(),
-        );
-        Ok(Transducer {
-            program,
-            handlers_cache,
+        Transducer {
+            core,
             state,
             mailboxes,
             udfs: UdfHost::new(),
@@ -642,7 +711,19 @@ impl Transducer {
             eval_mode: EvalMode::default(),
             eval: None,
             pending: PendingDeltas::default(),
-        })
+            run_condition_handlers: true,
+        }
+    }
+
+    /// The shared compiled core this instance runs on.
+    pub fn core(&self) -> &Arc<ProgramCore> {
+        &self.core
+    }
+
+    /// Enable or disable condition-triggered handlers on this instance
+    /// (see [`ProgramCore`]'s sharding story; defaults to enabled).
+    pub fn set_run_condition_handlers(&mut self, run: bool) {
+        self.run_condition_handlers = run;
     }
 
     /// Select the evaluation engine (see [`EvalMode`]). Takes effect at
@@ -666,7 +747,7 @@ impl Transducer {
 
     /// The program being interpreted.
     pub fn program(&self) -> &Program {
-        &self.program
+        &self.core.program
     }
 
     /// Register a UDF implementation.
@@ -733,6 +814,32 @@ impl Transducer {
         self.enqueue(mailbox, row).expect("known mailbox")
     }
 
+    /// Enqueue a message under a caller-assigned id. Used by the sharded
+    /// driver, which owns the global id sequence so that responses across
+    /// shards correlate exactly like a single transducer's would. The
+    /// local counter is advanced past `id` so locally-assigned ids can
+    /// never collide with driver-assigned ones.
+    pub(crate) fn enqueue_with_id(
+        &mut self,
+        id: u64,
+        mailbox: &str,
+        row: Row,
+    ) -> Result<(), TransducerError> {
+        let q = self
+            .mailboxes
+            .get_mut(mailbox)
+            .ok_or_else(|| TransducerError::NoSuchMailbox(mailbox.to_string()))?;
+        q.push(Message { id, row });
+        self.next_msg_id = self.next_msg_id.max(id + 1);
+        self.pending.note_mailbox(mailbox);
+        Ok(())
+    }
+
+    /// Total messages pending across all mailboxes.
+    pub fn pending_total(&self) -> usize {
+        self.mailboxes.values().map(Vec::len).sum()
+    }
+
     /// Whether a mailbox exists on this transducer (handler or declared).
     pub fn has_mailbox(&self, name: &str) -> bool {
         self.mailboxes.contains_key(name)
@@ -786,11 +893,11 @@ impl Transducer {
             .map(|(k, v)| (k.clone(), v.clone()))
             .collect();
         let db = if naive {
-            crate::eval::evaluate_views_naive(&self.program, &base, &scalars, &mut self.udfs)?
+            crate::eval::evaluate_views_naive(&self.core.program, &base, &scalars, &mut self.udfs)?
         } else {
-            evaluate_views(&self.program, &base, &scalars, &mut self.udfs)?
+            evaluate_views(&self.core.program, &base, &scalars, &mut self.udfs)?
         };
-        let key_index = build_key_indexes(&self.program, &base);
+        let key_index = build_key_indexes(&self.core.program, &base);
         self.run_handlers(&db, &scalars, &key_index)
     }
 
@@ -891,7 +998,7 @@ impl Transducer {
         // 1–2 (incremental): views maintained from the deltas. On error
         // `eval` is dropped (partially updated), and the next tick
         // rebuilds it from state — errors stay reproducible.
-        eval.evaluate(&self.program, changed, &changed_scalars, &mut self.udfs)?;
+        eval.evaluate(&self.core.program, changed, &changed_scalars, &mut self.udfs)?;
         let out = self.run_handlers(&eval.db, &eval.scalars, &eval.key_index);
         if out.is_ok() {
             self.eval = Some(eval);
@@ -903,7 +1010,7 @@ impl Transducer {
     /// scalars and mailboxes (first incremental tick, or recovery after an
     /// evaluation error).
     fn rebuild_eval_state(&self) -> Result<EvalState, TransducerError> {
-        let mut eval = EvalState::new(&self.program)?;
+        let mut eval = EvalState::with_plan(&self.core.program, Arc::clone(&self.core.plan));
         eval.scalars = self
             .state
             .scalars
@@ -945,8 +1052,8 @@ impl Transducer {
         // of slots) and refilled per invocation. Param binding is an
         // indexed store; no per-message map allocation or string hashing.
         let mut frame = Frame::default();
-        let handlers = std::sync::Arc::clone(&self.handlers_cache);
-        for (handler, consistency, compiled) in handlers.iter() {
+        let core = Arc::clone(&self.core);
+        for (handler, consistency, compiled) in core.handlers.iter() {
             let invariants = consistency.invariants.clone();
             // Serializable handlers (and any handler carrying invariants)
             // execute *serially against current state*, each message seeing
@@ -1029,10 +1136,13 @@ impl Transducer {
                     }
                 }
                 Trigger::OnCondition(_) => {
+                    if !self.run_condition_handlers {
+                        continue;
+                    }
                     frame.reset(compiled.names.len());
                     let fire = {
                         let mut ctx = crate::eval::EvalCtx {
-                            program: &self.program,
+                            program: &self.core.program,
                             db,
                             scalars,
                             key_index,
@@ -1099,7 +1209,7 @@ impl Transducer {
     /// Check every FD of `table` against current state; one message per
     /// violated dependency.
     fn fd_warnings(&self, table: &str) -> Vec<String> {
-        let Some(decl) = self.program.table(table) else {
+        let Some(decl) = self.core.program.table(table) else {
             return Vec::new();
         };
         if decl.fds.is_empty() {
@@ -1201,8 +1311,7 @@ impl Transducer {
                     }
                 }
                 CStmt::Insert { table, values } => {
-                    let decl = self
-                        .program
+                    let decl = self.core.program
                         .table(table)
                         .ok_or_else(|| TransducerError::Unknown(table.clone()))?
                         .clone();
@@ -1266,26 +1375,24 @@ impl Transducer {
                 CStmt::ForEach { select, vars, stmts } => {
                     // Evaluate the comprehension (its projection is the
                     // bindable variables), then run the nested statements
-                    // once per match, spreading each row into the slots —
-                    // priors saved and restored, so the enclosing scope
-                    // (and the next match) is undisturbed. The matches are
-                    // fully materialized *before* any nested statement
-                    // runs, preserving the reference's effect and UDF
-                    // ordering.
+                    // once per match, spreading each row into the slots via
+                    // the frame's value-preserving save stack — priors are
+                    // restored by mark/truncate, so the enclosing scope
+                    // (and the next match) is undisturbed and no per-match
+                    // `Vec` is allocated. The matches are fully
+                    // materialized *before* any nested statement runs,
+                    // preserving the reference's effect and UDF ordering.
                     let rows = self.eval_select_rows(select, names, frame, db, scalars, key_index)?;
                     for row in rows {
-                        let saved: Vec<Option<Value>> = vars
-                            .iter()
-                            .zip(row)
-                            .map(|(&s, v)| frame.replace(s, Some(v)))
-                            .collect();
+                        let mark = frame.save_mark();
+                        for (&s, v) in vars.iter().zip(row) {
+                            frame.save_replace(s, Some(v));
+                        }
                         let run = self.exec_stmts(
                             stmts, names, frame, db, scalars, key_index, group, out, handler,
                             msg_id,
                         );
-                        for (&s, prior) in vars.iter().zip(saved) {
-                            frame.replace(s, prior);
-                        }
+                        frame.restore_saved(mark);
                         run?;
                     }
                 }
@@ -1307,7 +1414,7 @@ impl Transducer {
         key_index: &FxHashMap<String, FxHashMap<Row, Row>>,
     ) -> Result<Value, TransducerError> {
         let mut ctx = crate::eval::EvalCtx {
-            program: &self.program,
+            program: &self.core.program,
             db,
             scalars,
             key_index,
@@ -1327,7 +1434,7 @@ impl Transducer {
         key_index: &FxHashMap<String, FxHashMap<Row, Row>>,
     ) -> Result<Vec<Row>, TransducerError> {
         let mut ctx = crate::eval::EvalCtx {
-            program: &self.program,
+            program: &self.core.program,
             db,
             scalars,
             key_index,
@@ -1350,8 +1457,7 @@ impl Transducer {
         scalars: &FxHashMap<String, Value>,
         key_index: &FxHashMap<String, FxHashMap<Row, Row>>,
     ) -> Result<(Row, usize), TransducerError> {
-        let decl = self
-            .program
+        let decl = self.core.program
             .table(table)
             .ok_or_else(|| TransducerError::Unknown(table.to_string()))?;
         let col = decl
@@ -1424,7 +1530,7 @@ impl Transducer {
                     | Effect::AssignField { table, key, .. }
                     | Effect::DeleteRow { table, key } => save_row(&self.state, table, key),
                     Effect::InsertRow { table, row } => {
-                        if let Some(decl) = self.program.table(table) {
+                        if let Some(decl) = self.core.program.table(table) {
                             let key = decl.key_of(row);
                             save_row(&self.state, table, &key);
                         }
@@ -1534,8 +1640,7 @@ impl Transducer {
     ) -> Result<(), TransducerError> {
         match effect {
             Effect::MergeScalar(name, value) => {
-                let decl = self
-                    .program
+                let decl = self.core.program
                     .scalar(&name)
                     .ok_or_else(|| TransducerError::Unknown(name.clone()))?;
                 let Some(kind) = decl.lattice.clone() else {
@@ -1574,8 +1679,7 @@ impl Transducer {
                 col,
                 value,
             } => {
-                let decl = self
-                    .program
+                let decl = self.core.program
                     .table(&table)
                     .ok_or_else(|| TransducerError::Unknown(table.clone()))?
                     .clone();
@@ -1634,8 +1738,7 @@ impl Transducer {
                 }
             }
             Effect::InsertRow { table, row } => {
-                let decl = self
-                    .program
+                let decl = self.core.program
                     .table(&table)
                     .ok_or_else(|| TransducerError::Unknown(table.clone()))?
                     .clone();

@@ -20,7 +20,11 @@
 //!
 //! The interpreter ([`interp::Transducer`]) gives programs the paper's
 //! "single-node metaphor": a global view of state and one logical clock of
-//! atomic ticks. Distribution — replication, partitioning, coordination,
+//! atomic ticks. A transducer is split into an immutable, `Arc`-shared
+//! compiled half ([`interp::ProgramCore`]) and per-instance mutable state,
+//! so replicas and shards pay compilation once; [`shard::ShardedTransducer`]
+//! runs N key-partitioned shards of one core behind a hash router.
+//! Distribution — replication, partitioning, coordination,
 //! delay — is layered on by `hydrolysis` (compilation) and `hydro-deploy`
 //! (placement and protocols) *without changing program semantics*, which is
 //! the faceted-design thesis this reproduction exists to demonstrate.
@@ -34,8 +38,10 @@ pub mod eval;
 pub mod examples;
 pub mod facets;
 pub mod interp;
+pub mod shard;
 pub mod value;
 
 pub use ast::Program;
-pub use interp::{EvalMode, TickOutput, Transducer};
+pub use interp::{EvalMode, ProgramCore, TickOutput, Transducer};
+pub use shard::{partition_hash, Route, RoutingSpec, ShardedTransducer};
 pub use value::Value;

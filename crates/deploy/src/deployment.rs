@@ -10,18 +10,20 @@
 //! program, two wire protocols, chosen per-endpoint by analysis.
 
 use crate::node::{
-    ledger, NetMsg, ProxyLedger, ProxyNode, SequencerNode, TransducerHandle, TransducerNode,
-    TICK_TIMER,
+    ledger, NetMsg, ProxyLedger, ProxyNode, RouterNode, SequencerNode, TransducerHandle,
+    TransducerNode, TICK_TIMER,
 };
 use hydro_analysis::classify;
+use hydro_analysis::partition::{partition, PartitionReport};
 use hydro_core::ast::Program;
 use hydro_core::eval::Row;
 use hydro_core::facets::ConsistencyLevel;
-use hydro_core::interp::Transducer;
+use hydro_core::interp::{ProgramCore, Transducer};
 use hydro_core::Value;
 use hydro_net::{DomainPath, LinkModel, NodeId, Sim, SimTime};
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Deployment knobs.
 #[derive(Clone, Copy, Debug)]
@@ -113,11 +115,15 @@ pub fn deploy(
             .collect()
     };
 
+    // One compiled core for the whole deployment: every replica shares
+    // the plan-time artifacts (stratification, evaluation units, compiled
+    // handlers) and pays only for its own mutable state.
+    let core = ProgramCore::new(program.clone()).expect("program validated");
     let mut replicas = Vec::new();
     let mut replica_handles = Vec::new();
     let mut external_handles = Vec::new();
     for az in 0..replica_count {
-        let mut t = Transducer::new(program.clone()).expect("program validated");
+        let mut t = Transducer::from_core(Arc::clone(&core));
         register_udfs(&mut t);
         let node = TransducerNode::new(Rc::new(RefCell::new(t)), config.tick_every_us);
         replica_handles.push(node.handle());
@@ -253,6 +259,160 @@ impl Deployment {
     }
 }
 
+/// A running **key-partitioned** deployment: N shards of one program
+/// behind a partition router, the scale-out mode next to [`deploy`]'s
+/// replicated one. Placement comes from `hydro-analysis`'s key-partition
+/// analysis: each request is routed to exactly one shard by the hash of
+/// its routing parameter; handlers the analysis pins global (and all
+/// condition handlers) run on shard 0.
+pub struct ShardedDeployment {
+    /// The simulated cluster.
+    pub sim: Sim<NetMsg>,
+    /// The client-facing router node.
+    pub router: NodeId,
+    /// Shard nodes, index = shard id (shard 0 is the global shard).
+    pub shards: Vec<NodeId>,
+    /// Handles to shard transducers (state inspection).
+    pub shard_handles: Vec<TransducerHandle>,
+    /// Handles to shard external sends.
+    pub external_handles: Vec<Rc<RefCell<Vec<(String, Row)>>>>,
+    /// Router request ledger.
+    pub ledger: ProxyLedger,
+    /// The partition analysis the placement was synthesized from.
+    pub report: PartitionReport,
+    next_request: u64,
+}
+
+/// Build and start a key-partitioned deployment of `program` across
+/// `shard_count` shards. Runs the key-partition analysis, lowers it to a
+/// routing spec for the router node, and wires every shard's asynchronous
+/// sends back through the router so cross-shard sends become routed
+/// re-enqueues. Each shard is placed in its own failure domain.
+pub fn deploy_sharded(
+    program: &Program,
+    config: DeployConfig,
+    shard_count: usize,
+    register_udfs: impl Fn(&mut Transducer),
+) -> ShardedDeployment {
+    assert!(shard_count >= 1, "a sharded deployment needs >= 1 shard");
+    let mut sim = Sim::new(config.link, config.seed);
+    let report = partition(program);
+    let routing = report.routing();
+
+    let core = ProgramCore::new(program.clone()).expect("program validated");
+    // Node ids are allocated sequentially on the fresh sim: shards take
+    // 0..shard_count, the router takes shard_count. Knowing the router id
+    // up front lets every shard's send routing point at it before the
+    // nodes are moved into the simulator.
+    let router_id: NodeId = shard_count;
+    let local_mailboxes: Vec<String> = program
+        .handlers
+        .iter()
+        .map(|h| h.name.clone())
+        .chain(program.mailboxes.iter().map(|m| m.name.clone()))
+        .collect();
+    let mut shards = Vec::new();
+    let mut shard_handles = Vec::new();
+    let mut external_handles = Vec::new();
+    for i in 0..shard_count {
+        let mut t = Transducer::from_core(Arc::clone(&core));
+        if i > 0 {
+            t.set_run_condition_handlers(false);
+        }
+        register_udfs(&mut t);
+        let mut node = TransducerNode::new(Rc::new(RefCell::new(t)), config.tick_every_us);
+        // Every program-local mailbox forwards through the router, which
+        // re-routes by partition key — the cross-shard send rewrite.
+        for m in &local_mailboxes {
+            node.route(m, vec![router_id]);
+        }
+        shard_handles.push(node.handle());
+        external_handles.push(node.external_handle());
+        let id = sim.add_node(node, DomainPath::new(i as u32, 0, 0));
+        shards.push(id);
+    }
+    const INFRA_AZ: u32 = u32::MAX;
+    let router_node = RouterNode::new(shards.clone(), routing);
+    let ledger = router_node.ledger();
+    let router = sim.add_node(router_node, DomainPath::new(INFRA_AZ, 0, 0));
+    assert_eq!(router, router_id, "router id must match the pre-wired routes");
+
+    for &s in &shards {
+        sim.start_timer(s, TICK_TIMER, config.tick_every_us);
+    }
+
+    ShardedDeployment {
+        sim,
+        router,
+        shards,
+        shard_handles,
+        external_handles,
+        ledger,
+        report,
+        next_request: 0,
+    }
+}
+
+impl ShardedDeployment {
+    /// Submit a client request; returns its request id.
+    pub fn client_request(&mut self, mailbox: &str, row: Row) -> u64 {
+        let request_id = self.next_request;
+        self.next_request += 1;
+        self.sim.send_external(
+            self.router,
+            NetMsg::Request {
+                request_id,
+                mailbox: mailbox.to_string(),
+                row,
+                reply_to: self.router,
+            },
+        );
+        request_id
+    }
+
+    /// Advance virtual time.
+    pub fn run_for(&mut self, duration_us: SimTime) {
+        let deadline = self.sim.now() + duration_us;
+        self.sim.run_until(deadline);
+    }
+
+    /// Requests answered so far.
+    pub fn answered(&self) -> usize {
+        ledger::answered(&self.ledger)
+    }
+
+    /// Reply value for a request.
+    pub fn reply(&self, request_id: u64) -> Option<Value> {
+        ledger::reply(&self.ledger, request_id)
+    }
+
+    /// Rows of `table` summed across shards (partitioned tables are
+    /// disjoint, global tables live on shard 0 only).
+    pub fn table_len(&self, table: &str) -> usize {
+        self.shard_handles
+            .iter()
+            .map(|h| h.borrow().table_len(table))
+            .sum()
+    }
+
+    /// Per-shard row counts of `table` — the partition skew view.
+    pub fn table_len_by_shard(&self, table: &str) -> Vec<usize> {
+        self.shard_handles
+            .iter()
+            .map(|h| h.borrow().table_len(table))
+            .collect()
+    }
+
+    /// External sends collected from all shards, in shard order.
+    pub fn external_sends(&self) -> Vec<(String, Row)> {
+        let mut all = Vec::new();
+        for h in &self.external_handles {
+            all.extend(h.borrow().iter().cloned());
+        }
+        all
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -331,6 +491,79 @@ mod tests {
         assert_eq!(oks, 1, "exactly one dose handed out");
         for h in &d.replica_handles {
             assert_eq!(h.borrow().scalar("vaccine_count"), Some(&Value::Int(0)));
+        }
+    }
+
+    /// A partitionable KVS: every handler keys `kv` by its first
+    /// parameter; `relay` is stateless and *sends* to `put`, exercising
+    /// the cross-shard send → routed re-enqueue path.
+    fn sharded_kvs_program() -> Program {
+        use hydro_core::builder::dsl::*;
+        use hydro_core::builder::ProgramBuilder;
+        ProgramBuilder::new()
+            .table(
+                "kv",
+                vec![("k", atom()), ("val", atom())],
+                &["k"],
+                Some("k"),
+            )
+            .on("put", &["k", "v"], vec![
+                insert("kv", vec![v("k"), v("v")]),
+                ret(s("ok")),
+            ])
+            .on("get", &["k"], vec![ret(field("kv", v("k"), "val"))])
+            .on("relay", &["k", "v"], vec![
+                send_row("put", vec![v("k"), v("v")]),
+                ret(s("relayed")),
+            ])
+            .build()
+    }
+
+    #[test]
+    fn sharded_deployment_partitions_keys_and_serves_requests() {
+        let program = sharded_kvs_program();
+        let mut d = deploy_sharded(&program, DeployConfig::default(), 4, |_| {});
+        assert_eq!(d.shards.len(), 4);
+        assert!(
+            !d.report.requires_broadcast(),
+            "kvs must shard: {:?}",
+            d.report
+        );
+        let n = 32i64;
+        for k in 0..n {
+            d.client_request("put", vec![int(k), int(k * 10)]);
+        }
+        d.run_for(60_000);
+        assert_eq!(d.answered(), n as usize);
+        // Rows are partitioned: all present overall, spread across shards.
+        assert_eq!(d.table_len("kv"), n as usize);
+        let by_shard = d.table_len_by_shard("kv");
+        assert!(
+            by_shard.iter().filter(|&&c| c > 0).count() >= 2,
+            "32 keys should land on several shards, got {by_shard:?}"
+        );
+        // Keyed reads route to the owning shard.
+        let r = d.client_request("get", vec![int(7)]);
+        d.run_for(30_000);
+        assert_eq!(d.reply(r), Some(Value::Int(70)));
+    }
+
+    #[test]
+    fn sharded_deployment_routes_cross_shard_sends() {
+        let program = sharded_kvs_program();
+        let mut d = deploy_sharded(&program, DeployConfig::default(), 4, |_| {});
+        // relay(k, v) runs on the shard owning hash(k) but sends put(k+1)
+        // rows that mostly belong to other shards; the router must land
+        // each on its owner.
+        for k in 0..16i64 {
+            d.client_request("relay", vec![int(k), int(k * 100)]);
+        }
+        d.run_for(80_000);
+        assert_eq!(d.table_len("kv"), 16);
+        for k in [0i64, 5, 11, 15] {
+            let r = d.client_request("get", vec![int(k)]);
+            d.run_for(30_000);
+            assert_eq!(d.reply(r), Some(Value::Int(k * 100)));
         }
     }
 

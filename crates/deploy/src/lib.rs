@@ -29,5 +29,5 @@ pub mod deployment;
 pub mod node;
 pub mod twopc;
 
-pub use deployment::{deploy, DeployConfig, Deployment};
-pub use node::{NetMsg, ProxyNode, SequencerNode, TransducerNode};
+pub use deployment::{deploy, deploy_sharded, DeployConfig, Deployment, ShardedDeployment};
+pub use node::{NetMsg, ProxyNode, RouterNode, SequencerNode, TransducerNode};

@@ -381,6 +381,84 @@ pub mod ledger {
     }
 }
 
+/// A client-facing partition router: the sharded counterpart of
+/// [`ProxyNode`]. Each request is sent to exactly *one* shard — the one
+/// owning the routing key's hash partition (per the key-partition
+/// analysis's `RoutingSpec`) — instead of being fanned out to every
+/// replica. Asynchronous `Forward`s from shards loop back through the
+/// router too, which is how a cross-shard send becomes a routed
+/// re-enqueue on the owning shard.
+pub struct RouterNode {
+    /// Shard nodes, index = shard id (shard 0 is the global shard).
+    pub shards: Vec<NodeId>,
+    routing: hydro_core::shard::RoutingSpec,
+    /// request id → (submit time, first reply time+value).
+    completed: ProxyLedger,
+}
+
+impl RouterNode {
+    /// A router over `shards` applying `routing`.
+    pub fn new(shards: Vec<NodeId>, routing: hydro_core::shard::RoutingSpec) -> Self {
+        RouterNode {
+            shards,
+            routing,
+            completed: Rc::new(RefCell::new(FxHashMap::default())),
+        }
+    }
+
+    /// Shared handle to the request ledger.
+    pub fn ledger(&self) -> ProxyLedger {
+        Rc::clone(&self.completed)
+    }
+
+    fn shard_of(&self, mailbox: &str, row: &Row) -> NodeId {
+        self.shards[self.routing.shard_of(mailbox, row, self.shards.len())]
+    }
+}
+
+impl NodeLogic<NetMsg> for RouterNode {
+    fn on_message(&mut self, ctx: &mut Ctx<NetMsg>, _src: NodeId, msg: NetMsg) {
+        match msg {
+            NetMsg::Request {
+                request_id,
+                mailbox,
+                row,
+                ..
+            } => {
+                self.completed
+                    .borrow_mut()
+                    .insert(request_id, (ctx.now, None));
+                let shard = self.shard_of(&mailbox, &row);
+                ctx.send(
+                    shard,
+                    NetMsg::Request {
+                        request_id,
+                        mailbox,
+                        row,
+                        reply_to: ctx.self_id,
+                    },
+                );
+            }
+            NetMsg::Reply {
+                request_id, value, ..
+            } => {
+                if let Some((_, reply)) = self.completed.borrow_mut().get_mut(&request_id) {
+                    if reply.is_none() {
+                        *reply = Some((ctx.now, value));
+                    }
+                }
+            }
+            // A shard's asynchronous send to a program-local mailbox:
+            // re-route it to the shard owning the destination key.
+            NetMsg::Forward { mailbox, row } => {
+                let shard = self.shard_of(&mailbox, &row);
+                ctx.send(shard, NetMsg::Forward { mailbox, row });
+            }
+            _ => {}
+        }
+    }
+}
+
 /// A total-order sequencer (§7.2's "heavyweight" coordination mechanism,
 /// in its simplest form): stamps submissions with consecutive sequence
 /// numbers and broadcasts them to all replicas, which apply them in order.

@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
-# Perf smoke: run the E1/E8/E15 interpreter sweeps and record the trajectory.
+# Perf smoke: run the E1/E8/E15/E16 interpreter sweeps, record trajectory.
 #
 # Builds the release report binary, prints the E1 (COVID tracker), E8
-# (transitive closure) and E15 (cross-tick steady state) tables, and
-# writes BENCH_interp.json at the repo root:
+# (transitive closure), E15 (cross-tick steady state) and E16 (sharded
+# scale-out) tables, and writes BENCH_interp.json at the repo root:
 # [{workload, n, wall_ms, items_processed}, ...] covering the incremental
 # interpreter, the fresh-per-tick semi-naive path, the retained naive
 # reference, the compiled Hydroflow path, and per-tick steady-state wall
@@ -28,7 +28,7 @@ if [[ -f "$out" ]]; then
 fi
 
 cargo build --release -p hydro-bench --bin report
-./target/release/report e01 e08 e15 --bench-json="$out"
+./target/release/report e01 e08 e15 e16 --bench-json="$out"
 
 echo
 echo "== $out =="
@@ -54,17 +54,21 @@ if [[ -n "$prev" ]]; then
       ratio = ($3 > 0) ? $2 / $3 : 0
       delta = $3 - $2
       # Sub-50us records are timer noise; never cry REGRESSION on them.
-      # Small-magnitude wobble is too: single-digit-ms workloads swing
-      # ±20% run to run, so a slowdown must be BOTH >= 1 ms absolute and
-      # past the 0.9x ratio gate — unless it blows past 0.75x, which is
-      # a real regression at any magnitude above the timer floor.
+      # Run-to-run wobble on this (shared, single-core) host reaches
+      # ~0.8x on multi-ms workloads with identical code, so a slowdown
+      # must trip BOTH a ratio gate and an absolute-delta gate:
+      # halving with >= 4 ms lost, 0.75x with >= 5 ms lost, or 0.9x with
+      # >= 20 ms lost. (The committed baseline is a max-envelope over
+      # repeated runs for the same reason.)
       if ($2 < 0.05 && $3 < 0.05)
         verdict = "noise(<50us)"
       else if (ratio >= 1.1)
         verdict = "speedup"
-      else if (ratio > 0 && ratio <= 0.75)
+      else if (ratio > 0 && ratio <= 0.5 && delta >= 4.0)
         verdict = "REGRESSION"
-      else if (ratio > 0 && ratio <= 0.9 && delta >= 1.0)
+      else if (ratio > 0 && ratio <= 0.75 && delta >= 5.0)
+        verdict = "REGRESSION"
+      else if (ratio > 0 && ratio <= 0.9 && delta >= 20.0)
         verdict = "REGRESSION"
       else
         verdict = "flat"

@@ -26,6 +26,19 @@ echo "== cargo test -q --workspace =="
 cargo test -q --workspace
 
 echo
+echo "== examples (catch example rot) =="
+# Run the examples that exercise the public API end-to-end; each must
+# exit 0. Output is captured and only shown on failure.
+for ex in quickstart kvs_demo deployment_planner; do
+  echo "-- example: $ex"
+  if ! out="$(cargo run --release -p hydro --example "$ex" 2>&1)"; then
+    echo "$out"
+    echo "example $ex failed" >&2
+    exit 1
+  fi
+done
+
+echo
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
