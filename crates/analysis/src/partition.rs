@@ -30,9 +30,12 @@
 //! a local and a global handler forces the local handler global; anything
 //! a global handler reads — transitively through rule bodies — must be
 //! global, so partitioned sources reachable from a global reader demote
-//! their handlers too; tables carrying functional dependencies stay
-//! global so FD monitoring sees whole tables (a determinant that omits
-//! the partition key can be violated by rows on different shards).
+//! their handlers too; tables carrying a functional dependency whose
+//! determinant *omits* the partition key stay global so FD monitoring
+//! sees whole tables (such an FD can be violated by rows on different
+//! shards), while FDs whose determinant contains the partition key are
+//! checked per-shard — equal-determinant rows share the partition value
+//! and therefore a shard, so the local monitor sees every violating pair.
 //!
 //! The result lowers to a [`RoutingSpec`] for
 //! [`hydro_core::shard::ShardedTransducer`]; [`sharded`] is the one-call
@@ -490,15 +493,30 @@ pub fn partition(program: &Program) -> PartitionReport {
                     ));
                 }
             }
-            // FD monitoring sees whole tables: keep FD-carrying tables
-            // global (a determinant omitting the partition key can be
-            // violated by rows on different shards).
-            if program.table(table).is_some_and(|t| !t.fds.is_empty()) {
-                for o in owners {
-                    demote.push((
-                        o.to_string(),
-                        format!("table {table:?} declares functional dependencies"),
-                    ));
+            // FD monitoring is per-shard, so an FD is only checkable
+            // under sharding when every potentially-violating row pair
+            // co-locates: a determinant that *contains the partition key
+            // column* guarantees it (rows agreeing on the determinant
+            // agree on the partition value, hence hash to the same
+            // shard). Tables where every declared FD pins the partition
+            // key stay partitioned and are checked per-shard; one FD
+            // whose determinant omits it can pair rows across shards, so
+            // the table demotes to global as before.
+            if let Some(t) = program.table(table) {
+                let cross_shard_fd = t.fds.iter().any(|fd| {
+                    !t.partition_by
+                        .is_some_and(|p| fd.determinant.contains(&p))
+                });
+                if !t.fds.is_empty() && cross_shard_fd {
+                    for o in owners {
+                        demote.push((
+                            o.to_string(),
+                            format!(
+                                "table {table:?} declares functional dependencies \
+                                 not determined by the partition key"
+                            ),
+                        ));
+                    }
                 }
             }
         }

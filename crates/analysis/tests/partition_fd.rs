@@ -1,0 +1,78 @@
+//! Partition-aware functional-dependency checking: FDs whose determinant
+//! contains the partition key are checked per-shard (equal-determinant
+//! rows share the partition value, hence a shard), so declaring them no
+//! longer demotes the table to global. An FD whose determinant omits the
+//! partition key can pair rows across shards and still demotes.
+
+use hydro_analysis::partition::{partition, HandlerClass, TableClass};
+use hydro_analysis::sharded;
+use hydro_core::ast::ColumnKind;
+use hydro_core::builder::dsl::*;
+use hydro_core::builder::ProgramBuilder;
+use hydro_core::value::Value;
+use hydro_core::Transducer;
+
+fn kv_with_fd(determinant: &[&str], dependent: &[&str]) -> hydro_core::ast::Program {
+    ProgramBuilder::new()
+        .table(
+            "kv",
+            vec![("k", ColumnKind::Atom), ("val", ColumnKind::Atom)],
+            &["k"],
+            Some("k"),
+        )
+        .fd("kv", determinant, dependent)
+        .on(
+            "put",
+            &["k", "v"],
+            vec![insert("kv", vec![v("k"), v("v")]), ret(s("ok"))],
+        )
+        .on("get", &["k"], vec![ret(field("kv", v("k"), "val"))])
+        .build()
+}
+
+#[test]
+fn fd_determined_by_the_partition_key_stays_sharded() {
+    let report = partition(&kv_with_fd(&["k"], &["val"]));
+    assert!(
+        matches!(report.handlers["put"], HandlerClass::Local { .. }),
+        "k -> val pins the partition key; put stays local: {:?}",
+        report.handlers["put"]
+    );
+    assert_eq!(report.tables["kv"], TableClass::Partitioned);
+}
+
+#[test]
+fn fd_omitting_the_partition_key_still_demotes() {
+    let report = partition(&kv_with_fd(&["val"], &["k"]));
+    assert!(
+        matches!(report.handlers["put"], HandlerClass::Global { .. }),
+        "val -> k can be violated across shards; put demotes: {:?}",
+        report.handlers["put"]
+    );
+    assert_eq!(report.tables["kv"], TableClass::Global);
+    assert!(report
+        .notes
+        .iter()
+        .any(|n| n.contains("not determined by the partition key")));
+}
+
+/// The sharded run of an FD-carrying partitioned table stays
+/// indistinguishable from the single transducer — same state, and the
+/// per-shard FD monitor fires exactly where the single-node one would.
+#[test]
+fn per_shard_fd_checking_matches_single_node() {
+    let program = kv_with_fd(&["k"], &["val"]);
+    let mut single = Transducer::new(program.clone()).unwrap();
+    let mut shardedt = sharded(&program, 4).unwrap();
+
+    for (k, val) in [(1, 10), (2, 20), (3, 30), (1, 11), (9, 90)] {
+        let row = vec![Value::Int(k), Value::Int(val)];
+        single.enqueue_ok("put", row.clone());
+        shardedt.enqueue_ok("put", row);
+        let a = single.tick().unwrap();
+        let b = shardedt.tick().unwrap();
+        assert_eq!(a.responses, b.responses);
+        assert_eq!(a.warnings, b.warnings, "FD monitoring diverged");
+    }
+    assert_eq!(single.state(), &shardedt.merged_state());
+}

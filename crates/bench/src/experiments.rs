@@ -779,6 +779,55 @@ pub fn e16_scaleout() -> Table {
     }
 }
 
+/// E17: fault-tolerant failover — seeded kill/isolate campaigns against
+/// the replicated sharded deployment. Measures recovery time (virtual µs
+/// from kill to the router promoting the backup) and verifies the
+/// zero-loss / replay-fidelity / linearizability criteria end to end.
+pub fn e17_failover() -> Table {
+    use hydro_deploy::campaign::{run_campaign, CampaignConfig};
+    let mut rows = Vec::new();
+    for (shards, kills, isolations) in [(2usize, 1usize, 1usize), (4, 2, 1), (4, 1, 0)] {
+        let start = Instant::now();
+        let report = run_campaign(&CampaignConfig {
+            seed: 17,
+            shard_count: shards,
+            kills,
+            isolations,
+            ..CampaignConfig::default()
+        });
+        let wall = start.elapsed();
+        let mean_recovery = if report.recovery_us.is_empty() {
+            0
+        } else {
+            report.recovery_us.iter().sum::<u64>() / report.recovery_us.len() as u64
+        };
+        rows.push(vec![
+            format!("shards={shards} kills={kills} isolations={isolations}"),
+            format!("{:.3}", wall.as_secs_f64() * 1e3),
+            format!("{}/{}", report.answered, report.submitted),
+            format!("{mean_recovery}"),
+            format!("{}", report.retries),
+            report.passed().to_string(),
+        ]);
+    }
+    Table {
+        title: "E17 fault-tolerant failover: seeded kill/isolate campaigns, \
+                journal-replay promotion (zero acked-loss + linearizable)"
+            .into(),
+        headers: [
+            "campaign",
+            "wall ms",
+            "answered",
+            "recovery us",
+            "retries",
+            "all checks",
+        ]
+        .map(String::from)
+        .to_vec(),
+        rows,
+    }
+}
+
 /// One machine-readable benchmark datapoint (see `BENCH_interp.json`).
 pub struct BenchRecord {
     /// Workload id, e.g. `e01_covid_seminaive`.
@@ -855,6 +904,30 @@ pub fn interp_bench_records() -> Vec<BenchRecord> {
         for n in [1usize, 2, 4] {
             let (wall, msgs, _) = scaleout_run(resident, ticks, batch, Some(n));
             records.push(rec("e16_scaleout_sharded", n as i64, wall, msgs));
+        }
+    }
+
+    // E17: seeded failover campaigns on the replicated sharded
+    // deployment. n is the shard count; items the requests answered —
+    // all of them, or the campaign itself fails the run.
+    {
+        use hydro_deploy::campaign::{run_campaign, CampaignConfig};
+        for (n, kills, isolations) in [(2usize, 1usize, 1usize), (4, 2, 1)] {
+            let start = Instant::now();
+            let report = run_campaign(&CampaignConfig {
+                seed: 17,
+                shard_count: n,
+                kills,
+                isolations,
+                ..CampaignConfig::default()
+            });
+            assert!(report.passed(), "E17 campaign failed: {report:?}");
+            records.push(rec(
+                "e17_failover_campaign",
+                n as i64,
+                start.elapsed(),
+                report.answered as u64,
+            ));
         }
     }
 
@@ -1413,6 +1486,7 @@ pub fn experiment_registry() -> Vec<(&'static str, fn() -> Table)> {
         ("e14", e14_adaptive),
         ("e15", e15_steady),
         ("e16", e16_scaleout),
+        ("e17", e17_failover),
     ]
 }
 

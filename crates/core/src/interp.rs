@@ -89,6 +89,14 @@ pub struct SendOut {
     pub mailbox: String,
     /// Payload row.
     pub row: Row,
+    /// Send provenance: the handler that produced this send. Together
+    /// with [`SendOut::source_msg`] this identifies the producing
+    /// invocation, which is what lets a sharded driver merge per-shard
+    /// send streams back into the exact single-node emission order.
+    pub handler: String,
+    /// The id of the message the producing invocation was handling, or 0
+    /// for condition-triggered handlers (message ids start at 1).
+    pub source_msg: u64,
 }
 
 /// Everything a tick produced.
@@ -535,9 +543,18 @@ pub enum EvalMode {
 /// next tick start. Recording keeps *first-touch* originals and compares
 /// them against the final state, so a transactional rollback naturally
 /// folds to "no change".
+///
+/// The same note sites optionally feed a second, independently-drained
+/// consumer: the **recovery journal** ([`JournalNotes`]), enabled by
+/// [`Transducer::set_journaling`] and drained by
+/// [`Transducer::take_journal_delta`] into replayable [`JournalDelta`]
+/// records. The two consumers have separate lifecycles — the eval notes
+/// are consumed every incremental tick, the recovery notes whenever the
+/// host decides to emit a delta record — so each keeps its own
+/// first-touch maps.
 struct PendingDeltas {
-    /// Whether notes are recorded at all — only the incremental engine
-    /// reads the journal; the fresh modes would discard it unread, so
+    /// Whether eval notes are recorded at all — only the incremental
+    /// engine reads them; the fresh modes would discard them unread, so
     /// they skip the per-effect clones entirely.
     enabled: bool,
     /// table → key → row as of the last evaluation (`None` = absent).
@@ -546,6 +563,23 @@ struct PendingDeltas {
     scalars: FxHashMap<String, Value>,
     /// Mailboxes whose queues changed (enqueue or drain).
     mailboxes: FxHashSet<String>,
+    /// Recovery-journal notes (`None` = journaling off). Recorded
+    /// regardless of `enabled`: the recovery journal tracks committed
+    /// state for replay, whatever evaluation engine runs the ticks.
+    journal: Option<JournalNotes>,
+}
+
+/// First-touch notes for the recovery journal, relative to the last
+/// [`Transducer::take_journal_delta`] drain.
+#[derive(Default)]
+struct JournalNotes {
+    tables: FxHashMap<String, FxHashMap<Row, Option<Row>>>,
+    scalars: FxHashMap<String, Value>,
+    mailboxes: FxHashSet<String>,
+    /// Counters as of the last drain, so a drain can tell "nothing
+    /// happened" apart from "a tick ran but changed no base state".
+    last_next_msg_id: u64,
+    last_tick_no: u64,
 }
 
 impl Default for PendingDeltas {
@@ -555,6 +589,7 @@ impl Default for PendingDeltas {
             tables: FxHashMap::default(),
             scalars: FxHashMap::default(),
             mailboxes: FxHashSet::default(),
+            journal: None,
         }
     }
 }
@@ -569,34 +604,177 @@ impl PendingDeltas {
     /// Record `old` as the first-touch original of `table[key]`, if this
     /// is indeed the first touch since the last evaluation.
     fn note_table(&mut self, table: &str, key: &Row, old: Option<&Row>) {
-        if !self.enabled {
-            return;
+        if self.enabled {
+            if !self.tables.contains_key(table) {
+                self.tables.insert(table.to_string(), FxHashMap::default());
+            }
+            let slot = self.tables.get_mut(table).expect("just inserted");
+            if !slot.contains_key(key) {
+                slot.insert(key.clone(), old.cloned());
+            }
         }
-        if !self.tables.contains_key(table) {
-            self.tables.insert(table.to_string(), FxHashMap::default());
-        }
-        let slot = self.tables.get_mut(table).expect("just inserted");
-        if !slot.contains_key(key) {
-            slot.insert(key.clone(), old.cloned());
+        if let Some(j) = &mut self.journal {
+            let slot = j.tables.entry(table.to_string()).or_default();
+            if !slot.contains_key(key) {
+                slot.insert(key.clone(), old.cloned());
+            }
         }
     }
 
     /// Record `old` as the first-touch original of a scalar.
     fn note_scalar(&mut self, name: &str, old: &Value) {
-        if !self.enabled {
-            return;
-        }
-        if !self.scalars.contains_key(name) {
+        if self.enabled && !self.scalars.contains_key(name) {
             self.scalars.insert(name.to_string(), old.clone());
+        }
+        if let Some(j) = &mut self.journal {
+            if !j.scalars.contains_key(name) {
+                j.scalars.insert(name.to_string(), old.clone());
+            }
         }
     }
 
     /// Record that a mailbox's queue changed.
     fn note_mailbox(&mut self, name: &str) {
-        if !self.enabled {
-            return;
+        if self.enabled {
+            self.mailboxes.insert(name.to_string());
         }
-        self.mailboxes.insert(name.to_string());
+        if let Some(j) = &mut self.journal {
+            j.mailboxes.insert(name.to_string());
+        }
+    }
+}
+
+/// A point-in-time image of everything that defines a transducer's
+/// replayable state: tables, scalars, mailbox queues (with message ids),
+/// and the message-id / tick counters. [`Transducer::restore`] rebuilds a
+/// replacement instance from one bit-identically — the evaluation state
+/// is deliberately *not* captured; it rebuilds deterministically from the
+/// restored base state on the next tick (the same path error recovery
+/// uses).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// Tables and scalars.
+    pub state: State,
+    /// Mailbox queues, ids included (in-flight requests survive replay).
+    pub mailboxes: BTreeMap<String, Vec<Message>>,
+    /// Message-id counter.
+    pub next_msg_id: u64,
+    /// Ticks executed.
+    pub tick_no: u64,
+}
+
+impl Checkpoint {
+    /// Fold one journaled delta into this image (deltas carry final
+    /// values, so application is idempotent — replaying a record twice is
+    /// harmless, replaying out of order is not).
+    pub fn apply(&mut self, delta: &JournalDelta) {
+        for (table, key, row) in &delta.tables {
+            let slot = self.state.tables.entry(table.clone()).or_default();
+            match row {
+                Some(r) => {
+                    slot.insert(key.clone(), r.clone());
+                }
+                None => {
+                    slot.remove(key);
+                }
+            }
+        }
+        for (name, value) in &delta.scalars {
+            self.state.scalars.insert(name.clone(), value.clone());
+        }
+        for (mailbox, queue) in &delta.mailboxes {
+            self.mailboxes.insert(mailbox.clone(), queue.clone());
+        }
+        self.next_msg_id = delta.next_msg_id;
+        self.tick_no = delta.tick_no;
+    }
+}
+
+/// One committed recovery-journal record: every table key, scalar and
+/// mailbox whose value changed since the previous record was drained,
+/// with its **final** value (not the mutation) — so records are
+/// idempotent to re-apply and fold trivially into a [`Checkpoint`].
+/// Entries are sorted by name/key, so identical histories yield identical
+/// records byte-for-byte.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct JournalDelta {
+    /// `(table, key, row)` — `None` = key now absent.
+    pub tables: Vec<(String, Row, Option<Row>)>,
+    /// `(scalar, value)`.
+    pub scalars: Vec<(String, Value)>,
+    /// `(mailbox, full queue now)` for every mailbox whose queue changed.
+    pub mailboxes: Vec<(String, Vec<Message>)>,
+    /// Message-id counter after this delta.
+    pub next_msg_id: u64,
+    /// Tick counter after this delta.
+    pub tick_no: u64,
+}
+
+impl JournalDelta {
+    /// Whether the record carries any change at all.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty() && self.scalars.is_empty() && self.mailboxes.is_empty()
+    }
+}
+
+/// A replayable recovery log: a base [`Checkpoint`] plus the
+/// [`JournalDelta`]s committed since. Appending folds the log into a
+/// fresh base every `checkpoint_every` records (the checkpoint cadence),
+/// bounding both replay work and retained memory; [`RecoveryLog::restore`]
+/// rebuilds a replacement [`Transducer`] whose observable state —
+/// tables, scalars, mailbox queues, counters — is bit-identical to the
+/// instance the deltas were drained from.
+#[derive(Clone, Debug)]
+pub struct RecoveryLog {
+    base: Checkpoint,
+    deltas: Vec<JournalDelta>,
+    checkpoint_every: usize,
+}
+
+impl RecoveryLog {
+    /// A log rooted at `base`, compacting every `checkpoint_every`
+    /// appended deltas (0 is treated as 1: compact on every append).
+    pub fn new(base: Checkpoint, checkpoint_every: usize) -> Self {
+        RecoveryLog {
+            base,
+            deltas: Vec::new(),
+            checkpoint_every: checkpoint_every.max(1),
+        }
+    }
+
+    /// Append one journaled delta, compacting at the checkpoint cadence.
+    pub fn append(&mut self, delta: JournalDelta) {
+        self.deltas.push(delta);
+        if self.deltas.len() >= self.checkpoint_every {
+            self.compact();
+        }
+    }
+
+    /// Fold every retained delta into the base checkpoint now.
+    pub fn compact(&mut self) {
+        for d in self.deltas.drain(..) {
+            self.base.apply(&d);
+        }
+    }
+
+    /// Deltas appended since the last checkpoint fold.
+    pub fn deltas_since_checkpoint(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// The current image: base checkpoint plus retained deltas.
+    pub fn image(&self) -> Checkpoint {
+        let mut ck = self.base.clone();
+        for d in &self.deltas {
+            ck.apply(d);
+        }
+        ck
+    }
+
+    /// Replay the log into a replacement instance over `core` (UDFs must
+    /// be re-registered by the caller — closures don't journal).
+    pub fn restore(&self, core: Arc<ProgramCore>) -> Transducer {
+        Transducer::restore(core, &self.image())
     }
 }
 
@@ -815,11 +993,12 @@ impl Transducer {
     }
 
     /// Enqueue a message under a caller-assigned id. Used by the sharded
-    /// driver, which owns the global id sequence so that responses across
-    /// shards correlate exactly like a single transducer's would. The
-    /// local counter is advanced past `id` so locally-assigned ids can
-    /// never collide with driver-assigned ones.
-    pub(crate) fn enqueue_with_id(
+    /// driver (and the deployment layer's journal replay), which owns the
+    /// global id sequence so that responses across shards correlate
+    /// exactly like a single transducer's would. The local counter is
+    /// advanced past `id` so locally-assigned ids can never collide with
+    /// driver-assigned ones.
+    pub fn enqueue_with_id(
         &mut self,
         id: u64,
         mailbox: &str,
@@ -838,6 +1017,118 @@ impl Transducer {
     /// Total messages pending across all mailboxes.
     pub fn pending_total(&self) -> usize {
         self.mailboxes.values().map(Vec::len).sum()
+    }
+
+    // ---- recovery journal ------------------------------------------------
+
+    /// Enable or disable the recovery journal. While enabled, every
+    /// committed base-state mutation (tables, scalars, mailbox queues) is
+    /// noted first-touch, and [`Transducer::take_journal_delta`] drains
+    /// the notes into replayable [`JournalDelta`] records. Off by default;
+    /// independent of the evaluation mode.
+    pub fn set_journaling(&mut self, on: bool) {
+        if on {
+            if self.pending.journal.is_none() {
+                self.pending.journal = Some(JournalNotes {
+                    last_next_msg_id: self.next_msg_id,
+                    last_tick_no: self.tick_no,
+                    ..JournalNotes::default()
+                });
+            }
+        } else {
+            self.pending.journal = None;
+        }
+    }
+
+    /// Whether the recovery journal is currently recording.
+    pub fn journaling(&self) -> bool {
+        self.pending.journal.is_some()
+    }
+
+    /// Capture a full [`Checkpoint`] of the current replayable state.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            state: self.state.clone(),
+            mailboxes: self.mailboxes.clone(),
+            next_msg_id: self.next_msg_id,
+            tick_no: self.tick_no,
+        }
+    }
+
+    /// Drain the recovery journal into one [`JournalDelta`] covering every
+    /// change since the previous drain (or since journaling was enabled).
+    /// Returns `None` when journaling is off or literally nothing happened
+    /// — no noted mutation and unchanged counters. Note that `tick_no`
+    /// advances on every tick, so a live instance yields a (possibly
+    /// state-empty) record per tick: the delta stream doubles as a
+    /// liveness signal for whoever consumes it.
+    ///
+    /// Entries carry *final* values and are sorted, so the same history
+    /// always drains to the same bytes.
+    pub fn take_journal_delta(&mut self) -> Option<JournalDelta> {
+        let j = self.pending.journal.as_mut()?;
+        if j.tables.is_empty()
+            && j.scalars.is_empty()
+            && j.mailboxes.is_empty()
+            && j.last_next_msg_id == self.next_msg_id
+            && j.last_tick_no == self.tick_no
+        {
+            return None;
+        }
+        let tables = std::mem::take(&mut j.tables);
+        let scalars = std::mem::take(&mut j.scalars);
+        let mailboxes = std::mem::take(&mut j.mailboxes);
+        j.last_next_msg_id = self.next_msg_id;
+        j.last_tick_no = self.tick_no;
+
+        let mut delta = JournalDelta {
+            next_msg_id: self.next_msg_id,
+            tick_no: self.tick_no,
+            ..JournalDelta::default()
+        };
+        for (table, keys) in tables {
+            let current = self.state.tables.get(&table);
+            for (key, old) in keys {
+                let new = current.and_then(|t| t.get(&key));
+                if old.as_ref() == new {
+                    continue; // rolled back / rewritten to the original
+                }
+                delta.tables.push((table.clone(), key, new.cloned()));
+            }
+        }
+        delta.tables.sort();
+        for (name, old) in scalars {
+            let current = self.state.scalars.get(&name);
+            if current == Some(&old) {
+                continue;
+            }
+            if let Some(v) = current {
+                delta.scalars.push((name, v.clone()));
+            }
+        }
+        delta.scalars.sort();
+        for m in mailboxes {
+            let queue = self.mailboxes.get(&m).cloned().unwrap_or_default();
+            delta.mailboxes.push((m, queue));
+        }
+        delta.mailboxes.sort_by(|a, b| a.0.cmp(&b.0));
+        Some(delta)
+    }
+
+    /// Rebuild a replacement instance over `core` from a checkpoint image:
+    /// [`Transducer::from_core`] with the captured tables, scalars,
+    /// mailbox queues and counters installed. Evaluation state is rebuilt
+    /// lazily from the restored base on the next tick, so the replacement
+    /// is observably bit-identical to the checkpointed instance. UDFs must
+    /// be re-registered by the caller (closures don't journal), and
+    /// journaling starts off.
+    pub fn restore(core: Arc<ProgramCore>, checkpoint: &Checkpoint) -> Transducer {
+        let mut t = Transducer::from_core(core);
+        t.state = checkpoint.state.clone();
+        t.mailboxes = checkpoint.mailboxes.clone();
+        t.next_msg_id = checkpoint.next_msg_id;
+        t.tick_no = checkpoint.tick_no;
+        t
     }
 
     /// Whether a mailbox exists on this transducer (handler or declared).
@@ -916,10 +1207,15 @@ impl Transducer {
         };
 
         // Fold the journal into deltas. First-touch originals are compared
-        // against final state, so rolled-back effects vanish here.
-        let pending = std::mem::take(&mut self.pending);
+        // against final state, so rolled-back effects vanish here. The
+        // three eval maps are drained individually — `pending.journal`
+        // (the recovery journal) has its own drain cycle and must survive
+        // the tick.
+        let pending_tables = std::mem::take(&mut self.pending.tables);
+        let pending_scalars = std::mem::take(&mut self.pending.scalars);
+        let pending_mailboxes = std::mem::take(&mut self.pending.mailboxes);
         let mut changed: FxHashMap<String, RelDelta> = FxHashMap::default();
-        for (table, keys) in pending.tables {
+        for (table, keys) in pending_tables {
             let current = self.state.tables.get(&table);
             let mut delta = RelDelta::default();
             let mut touched = false;
@@ -940,7 +1236,7 @@ impl Transducer {
                 changed.insert(table, delta);
             }
         }
-        for m in pending.mailboxes {
+        for m in pending_mailboxes {
             // Diff the queue against the materialized mailbox relation
             // without materializing a cloned `Relation` first: membership
             // goes through borrowed-row hash sets, so a resident message
@@ -975,7 +1271,7 @@ impl Transducer {
             }
         }
         let mut changed_scalars: FxHashSet<String> = FxHashSet::default();
-        for (name, old) in pending.scalars {
+        for (name, old) in pending_scalars {
             let current = self.state.scalars.get(&name);
             if current != Some(&old) {
                 changed_scalars.insert(name.clone());
@@ -1345,6 +1641,8 @@ impl Transducer {
                         out.sends.push(SendOut {
                             mailbox: mailbox.clone(),
                             row,
+                            handler: handler.name.clone(),
+                            source_msg: msg_id.unwrap_or(0),
                         });
                     }
                 }
@@ -1359,6 +1657,8 @@ impl Transducer {
                         out.sends.push(SendOut {
                             mailbox: response_mailbox(&handler.name),
                             row: vec![Value::Int(id as i64), value],
+                            handler: handler.name.clone(),
+                            source_msg: id,
                         });
                     }
                 }

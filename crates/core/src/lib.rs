@@ -42,6 +42,8 @@ pub mod shard;
 pub mod value;
 
 pub use ast::Program;
-pub use interp::{EvalMode, ProgramCore, TickOutput, Transducer};
+pub use interp::{
+    Checkpoint, EvalMode, JournalDelta, ProgramCore, RecoveryLog, TickOutput, Transducer,
+};
 pub use shard::{partition_hash, Route, RoutingSpec, ShardedTransducer};
 pub use value::Value;

@@ -19,8 +19,10 @@
 //! * [`ShardedTransducer::tick`] ticks every shard — untouched shards
 //!   no-op in microseconds thanks to cross-tick incremental maintenance —
 //!   and merges the per-shard [`TickOutput`]s deterministically: responses
-//!   are interleaved per handler in message-id order (reconstructing the
-//!   single-node order), sends and warnings concatenate in shard order;
+//!   are interleaved per handler in message-id order and sends per handler
+//!   in source-message-id order off their recorded provenance — both
+//!   reconstruct the exact single-node emission order — while warnings
+//!   concatenate in shard order;
 //! * [`ShardedTransducer::run_to_quiescence`] rewrites cross-shard `send`
 //!   effects into routed re-enqueues: a send whose destination mailbox is
 //!   local to the program goes back through the router, landing on the
@@ -276,8 +278,45 @@ impl ShardedTransducer {
                 }
             }
         }
+        // Sends: same reconstruction, keyed by the producing invocation's
+        // provenance ([`crate::interp::SendOut::handler`] +
+        // [`crate::interp::SendOut::source_msg`]). Each shard emits its
+        // sends in (handler program order, message id, statement order);
+        // bucketing by handler and merging each handler's per-shard runs
+        // by source message id — keeping one invocation's sends contiguous
+        // — is exactly the single-node emission order. Condition-handler
+        // sends (source id 0) only ever come from shard 0, so they can't
+        // collide across runs.
+        let mut send_buckets: Vec<Vec<Vec<&crate::interp::SendOut>>> =
+            vec![vec![Vec::new(); outs.len()]; handlers.len()];
+        for (shard, out) in outs.iter().enumerate() {
+            for s in &out.sends {
+                let hi = handler_idx[s.handler.as_str()];
+                send_buckets[hi][shard].push(s);
+            }
+        }
+        for per_shard in &send_buckets {
+            let mut runs: Vec<std::iter::Peekable<_>> = per_shard
+                .iter()
+                .map(|ss| ss.iter().peekable())
+                .collect();
+            loop {
+                let next = runs
+                    .iter_mut()
+                    .enumerate()
+                    .filter_map(|(i, it)| it.peek().map(|s| (s.source_msg, i)))
+                    .min();
+                let Some((id, i)) = next else { break };
+                while let Some(s) = runs[i].peek() {
+                    if s.source_msg != id {
+                        break;
+                    }
+                    merged.sends.push((**s).clone());
+                    runs[i].next();
+                }
+            }
+        }
         for out in outs {
-            merged.sends.extend(out.sends);
             merged.warnings.extend(out.warnings);
         }
         merged
@@ -326,17 +365,11 @@ impl ShardedTransducer {
     /// re-enqueue" rewrite). External sends accumulate in the returned
     /// output. Stops when quiescent or after `max_ticks`.
     ///
-    /// **Ordering caveat.** Within one drained tick, locally-destined
-    /// sends re-enqueue in the deterministic *shard-order* merge, not in
-    /// single-node processing order, so messages re-enqueued for
-    /// *different* keys can receive different ids (and interleave
-    /// differently) than a single transducer's `run_to_quiescence` would
-    /// assign. Sends produced by one shard keep their relative order, so
-    /// per-key sequences from a single producing shard are stable; the
-    /// multiset of delivered messages and, for programs whose cross-key
-    /// effects commute, the final state still match. Exact send
-    /// provenance (which message produced which send) would be needed to
-    /// reconstruct the single-node interleaving — a recorded follow-up.
+    /// Because [`Self::tick`] merges sends in exact single-node emission
+    /// order (via [`crate::interp::SendOut`] provenance), the re-enqueues
+    /// here assign the same message ids a single transducer's
+    /// `run_to_quiescence` would — cross-shard message cascades replay the
+    /// single-node interleaving exactly, not just as a multiset.
     pub fn run_to_quiescence(&mut self, max_ticks: usize) -> Result<TickOutput, TransducerError> {
         let mut all = TickOutput::default();
         for _ in 0..max_ticks {

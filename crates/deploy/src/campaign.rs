@@ -1,0 +1,431 @@
+//! Deterministic fault-injection campaigns over replicated sharded
+//! deployments.
+//!
+//! A campaign derives a kill/isolate/heal/revive schedule and a mixed
+//! put/get workload from one seed, runs them interleaved against a
+//! [`crate::deploy_sharded`] KVS with
+//! [`crate::DeployConfig::replicate_shards`] on, and checks the three
+//! properties the replication protocol promises (see the module docs of
+//! [`crate::deployment`]):
+//!
+//! 1. **Zero acked-request loss** — every uniquely-keyed `put` whose `ok`
+//!    reply the client saw is present in the surviving owners' state after
+//!    the dust settles.
+//! 2. **Replay fidelity** — the owners' final state (hot register aside,
+//!    whose order is the linearizability checker's business) equals a
+//!    never-faulted differential reference run of the same workload.
+//! 3. **Linearizability** — the multi-client history against one hot,
+//!    contended key passes the exact [`crate::consistency::linearizable`]
+//!    checker, faults and retries notwithstanding.
+//!
+//! The campaign also measures **recovery time**: virtual µs from each kill
+//! to the router's promotion of the victim's backup.
+//!
+//! Fault shapes are fail-stop kills (optionally revived — a revived node
+//! is dormant, its timers died with it) and full isolations healed only
+//! after the victim has outlived its backup-abandon timeout, so a healed
+//! old primary releases its stale held outputs into the cut, not at
+//! clients. Asymmetric partitions are deliberately out of scope, as is
+//! relaying (cross-shard forwards are at-most-once under failover).
+
+use crate::consistency::{linearizable, Op, OpKind};
+use crate::deployment::{deploy_sharded, DeployConfig, ShardedDeployment};
+use hydro_core::ast::Program;
+use hydro_core::eval::Row;
+use hydro_core::Value;
+use hydro_net::{run_with_faults, FaultAction, FaultSchedule, SimTime};
+use std::collections::BTreeMap;
+
+/// The campaign workload program: a put/get KVS partitioned by key. No
+/// relay handler on purpose — held forwards are at-most-once under
+/// failover, and campaigns assert exactly-once end to end.
+pub fn campaign_kvs_program() -> Program {
+    use hydro_core::builder::dsl::*;
+    use hydro_core::builder::ProgramBuilder;
+    ProgramBuilder::new()
+        .table(
+            "kv",
+            vec![("k", atom()), ("val", atom())],
+            &["k"],
+            Some("k"),
+        )
+        .on(
+            "put",
+            &["k", "v"],
+            vec![insert("kv", vec![v("k"), v("v")]), ret(s("ok"))],
+        )
+        .on("get", &["k"], vec![ret(field("kv", v("k"), "val"))])
+        .build()
+}
+
+/// Campaign shape. Everything is derived deterministically from `seed`:
+/// the same config replays bit-identically.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Seed for the fault schedule, workload mix, and simulator.
+    pub seed: u64,
+    /// Shard count (each shard gets an AZ-independent backup).
+    pub shard_count: usize,
+    /// Uniquely-keyed puts — the zero-loss / differential population.
+    pub unique_puts: usize,
+    /// Operations against the single hot key (history size for the exact
+    /// linearizability checker; keep ≤ 61, one initial put is added).
+    pub hot_ops: usize,
+    /// Pseudo-clients issuing the hot-key ops.
+    pub clients: u64,
+    /// Primaries killed mid-load (distinct victims, ≤ shard_count).
+    pub kills: usize,
+    /// Primaries isolated mid-load and healed after the backup-abandon
+    /// timeout (distinct from kill victims).
+    pub isolations: usize,
+    /// Revive killed primaries before the drain (they stay dormant).
+    pub revive: bool,
+    /// Virtual µs between workload submissions.
+    pub gap_us: SimTime,
+    /// Deployment knobs; `replicate_shards` is forced on.
+    pub deploy: DeployConfig,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seed: 0,
+            shard_count: 4,
+            unique_puts: 40,
+            hot_ops: 24,
+            clients: 4,
+            kills: 1,
+            isolations: 1,
+            revive: true,
+            gap_us: 3_000,
+            deploy: DeployConfig::default(),
+        }
+    }
+}
+
+/// What a campaign run observed. The three `bool`s are the acceptance
+/// criteria; the counters are diagnostics.
+#[derive(Clone, Debug)]
+pub struct CampaignReport {
+    /// Requests submitted / answered (campaigns demand equality).
+    pub submitted: usize,
+    /// Requests with any reply, including error replies.
+    pub answered: usize,
+    /// Replies that were `OVERLOADED` / `UNAVAILABLE` errors.
+    pub error_replies: usize,
+    /// Acked unique-key puts whose row is MISSING from the final owners —
+    /// the acked-request-loss count. Must be 0.
+    pub lost_acks: usize,
+    /// Owners' final unique-key rows equal the never-faulted reference.
+    pub state_matches_reference: bool,
+    /// The hot-key multi-client history is linearizable.
+    pub linearizable: bool,
+    /// Kill time → promotion latency (µs) per killed/isolated shard that
+    /// failed over.
+    pub recovery_us: Vec<SimTime>,
+    /// Router retransmissions during the run.
+    pub retries: u64,
+    /// Requests shed / abandoned by the router.
+    pub shed: u64,
+    /// Requests the router gave up on (must be 0 in zero-loss campaigns).
+    pub gave_up: u64,
+    /// The fault schedule that ran, for reproduction in failure reports.
+    pub faults: Vec<(SimTime, FaultAction)>,
+}
+
+impl CampaignReport {
+    /// The conjunction of the campaign's acceptance criteria.
+    pub fn passed(&self) -> bool {
+        self.submitted == self.answered
+            && self.error_replies == 0
+            && self.lost_acks == 0
+            && self.state_matches_reference
+            && self.linearizable
+            && self.gave_up == 0
+    }
+}
+
+/// SplitMix64 — tiny, seedable, good enough to diversify schedules.
+struct Prng(u64);
+
+impl Prng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// One submitted request, replayed identically against the reference.
+enum Work {
+    UniquePut { key: i64, val: i64 },
+    HotPut { client: u64, val: i64 },
+    HotGet { client: u64 },
+}
+
+const HOT_KEY: i64 = 0;
+
+fn submit(d: &mut ShardedDeployment, w: &Work) -> u64 {
+    match w {
+        Work::UniquePut { key, val } => {
+            d.client_request("put", vec![Value::Int(*key), Value::Int(*val)])
+        }
+        Work::HotPut { val, .. } => {
+            d.client_request("put", vec![Value::Int(HOT_KEY), Value::Int(*val)])
+        }
+        Work::HotGet { .. } => d.client_request("get", vec![Value::Int(HOT_KEY)]),
+    }
+}
+
+/// Merged `kv` rows across the current owners, hot key excluded.
+fn unique_rows(d: &ShardedDeployment) -> BTreeMap<Row, Row> {
+    let mut all = BTreeMap::new();
+    for i in 0..d.shards.len() {
+        let h = d.owner_handle(i);
+        let t = h.borrow();
+        if let Some(rows) = t.state().tables.get("kv") {
+            for (k, row) in rows {
+                if k != &vec![Value::Int(HOT_KEY)] {
+                    all.insert(k.clone(), row.clone());
+                }
+            }
+        }
+    }
+    all
+}
+
+/// Run one seeded fault-injection campaign; see the module docs for what
+/// it asserts. Deterministic: same config, same report.
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
+    assert!(cfg.shard_count >= 2, "campaigns need >= 2 shards");
+    assert!(
+        cfg.hot_ops < 61,
+        "hot history must stay within the exact checker's budget"
+    );
+    assert!(
+        cfg.kills + cfg.isolations <= cfg.shard_count,
+        "each faulted shard needs a distinct victim"
+    );
+    let mut deploy_cfg = cfg.deploy;
+    deploy_cfg.replicate_shards = true;
+    deploy_cfg.seed = cfg.seed;
+    let program = campaign_kvs_program();
+    let mut d = deploy_sharded(&program, deploy_cfg, cfg.shard_count, |_| {});
+    let mut prng = Prng(cfg.seed ^ 0xc0de);
+
+    // ---- Workload plan: unique puts and hot ops shuffled together.
+    let mut work: Vec<Work> = Vec::new();
+    for i in 0..cfg.unique_puts {
+        work.push(Work::UniquePut {
+            key: 1_000 + i as i64,
+            val: i as i64 * 7 + 1,
+        });
+    }
+    for i in 0..cfg.hot_ops {
+        let client = prng.below(cfg.clients.max(1));
+        // Distinct-valued hot puts, as the checker's model assumes.
+        if prng.below(2) == 0 {
+            work.push(Work::HotPut {
+                client,
+                val: 10_000 + i as i64,
+            });
+        } else {
+            work.push(Work::HotGet { client });
+        }
+    }
+    for i in (1..work.len()).rev() {
+        work.swap(i, prng.below(i as u64 + 1) as usize);
+    }
+
+    // ---- Fault plan: distinct victims, faults landing mid-load.
+    let load_start: SimTime = 10_000;
+    let load_end = load_start + (work.len() as SimTime + 1) * cfg.gap_us;
+    let mut victims: Vec<usize> = (0..cfg.shard_count).collect();
+    for i in (1..victims.len()).rev() {
+        victims.swap(i, prng.below(i as u64 + 1) as usize);
+    }
+    // Healing before this would let a stale primary release held outputs
+    // at live nodes; after it, the victim has abandoned its backup and
+    // holds nothing.
+    let abandon_us = 3 * deploy_cfg.heartbeat_timeout_us + 4 * deploy_cfg.heartbeat_us;
+    let mut events: Vec<(SimTime, FaultAction)> = Vec::new();
+    let mut faulted: Vec<usize> = Vec::new();
+    for (n, &v) in victims.iter().take(cfg.kills).enumerate() {
+        let span = (load_end - load_start) / (cfg.kills as SimTime + 1);
+        let at = load_start + span * (n as SimTime + 1) + prng.below(span / 2);
+        events.push((at, FaultAction::Kill(d.shards[v])));
+        if cfg.revive {
+            events.push((load_end + 20_000, FaultAction::Revive(d.shards[v])));
+        }
+        faulted.push(v);
+    }
+    for (n, &v) in victims
+        .iter()
+        .skip(cfg.kills)
+        .take(cfg.isolations)
+        .enumerate()
+    {
+        let span = (load_end - load_start) / (cfg.isolations as SimTime + 1);
+        let at = load_start + span * (n as SimTime + 1) + prng.below(span / 2);
+        events.push((at, FaultAction::Isolate(d.shards[v])));
+        events.push((at + abandon_us, FaultAction::Heal));
+        faulted.push(v);
+    }
+    let kill_times: Vec<(usize, SimTime)> = events
+        .iter()
+        .filter_map(|(t, a)| match a {
+            FaultAction::Kill(n) | FaultAction::Isolate(n) => {
+                Some((d.shards.iter().position(|s| s == n).unwrap(), *t))
+            }
+            _ => None,
+        })
+        .collect();
+    let mut faults = FaultSchedule::new(events);
+    let fault_log = faults.events().to_vec();
+
+    // ---- Warm-up: the hot register starts defined, acked before faults.
+    let seed_put = d.client_request("put", vec![Value::Int(HOT_KEY), Value::Int(9_999)]);
+    d.run_for(load_start);
+    assert_eq!(
+        d.reply(seed_put),
+        Some(Value::Str("ok".into())),
+        "hot-key seed put must be acked before the faults start"
+    );
+
+    // ---- Load interleaved with the schedule.
+    let mut ids: Vec<u64> = Vec::new();
+    for w in &work {
+        let due = d.sim.now() + cfg.gap_us;
+        run_with_faults(&mut d.sim, &mut faults, due);
+        ids.push(submit(&mut d, w));
+    }
+    // Remaining faults (revives, heals), then a drain long enough for the
+    // full retry backoff ladder.
+    run_with_faults(&mut d.sim, &mut faults, load_end + 40_000);
+    d.run_for(2_000_000);
+
+    // ---- Reference run: same workload, no faults, no replication.
+    let mut reference = deploy_sharded(&program, cfg.deploy, cfg.shard_count, |_| {});
+    reference.client_request("put", vec![Value::Int(HOT_KEY), Value::Int(9_999)]);
+    for w in &work {
+        reference.run_for(cfg.gap_us);
+        submit(&mut reference, w);
+    }
+    reference.run_for(300_000);
+
+    // ---- Checks.
+    let final_rows = unique_rows(&d);
+    let mut lost_acks = 0;
+    let mut error_replies = 0;
+    let mut answered = 0;
+    let mut history: Vec<Op> = vec![Op {
+        client: u64::MAX, // the warm-up writer
+        invoke: 0,
+        complete: load_start,
+        kind: OpKind::Put(9_999),
+    }];
+    let ledger = d.ledger.borrow();
+    for (w, id) in work.iter().zip(&ids) {
+        let Some((invoke, Some((complete, value)))) = ledger.get(id).cloned() else {
+            continue; // unanswered; reflected in `answered`
+        };
+        answered += 1;
+        if matches!(&value, Value::Str(s) if s == "OVERLOADED" || s == "UNAVAILABLE") {
+            error_replies += 1;
+            continue;
+        }
+        match w {
+            Work::UniquePut { key, val } => {
+                let row = final_rows.get(&vec![Value::Int(*key)]);
+                if row.map(|r| &r[1]) != Some(&Value::Int(*val)) {
+                    lost_acks += 1;
+                }
+            }
+            Work::HotPut { client, val } => history.push(Op {
+                client: *client,
+                invoke,
+                complete,
+                kind: OpKind::Put(*val),
+            }),
+            Work::HotGet { client } => history.push(Op {
+                client: *client,
+                invoke,
+                complete,
+                kind: OpKind::Get(match value {
+                    Value::Int(v) => Some(v),
+                    _ => None,
+                }),
+            }),
+        }
+    }
+    drop(ledger);
+    let answered = answered + 1; // the warm-up put
+    let submitted = ids.len() + 1;
+
+    let status = d.status.borrow().clone();
+    let recovery_us = kill_times
+        .iter()
+        .filter_map(|(shard, t)| status.promoted_at[*shard].map(|p| p.saturating_sub(*t)))
+        .collect();
+
+    CampaignReport {
+        submitted,
+        answered,
+        error_replies,
+        lost_acks,
+        state_matches_reference: final_rows == unique_rows(&reference),
+        linearizable: linearizable(&history),
+        recovery_us,
+        retries: status.retries,
+        shed: status.shed,
+        gave_up: status.gave_up,
+        faults: fault_log,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_campaign_passes_all_checks() {
+        let report = run_campaign(&CampaignConfig::default());
+        assert_eq!(report.submitted, report.answered, "{report:?}");
+        assert_eq!(report.lost_acks, 0, "{report:?}");
+        assert!(report.state_matches_reference, "{report:?}");
+        assert!(report.linearizable, "{report:?}");
+        assert!(report.passed(), "{report:?}");
+        assert_eq!(
+            report.recovery_us.len(),
+            2,
+            "both faulted shards must fail over: {report:?}"
+        );
+    }
+
+    #[test]
+    fn campaigns_are_deterministic() {
+        let a = run_campaign(&CampaignConfig::default());
+        let b = run_campaign(&CampaignConfig::default());
+        assert_eq!(a.recovery_us, b.recovery_us);
+        assert_eq!(a.retries, b.retries);
+        assert_eq!(a.faults, b.faults);
+    }
+
+    #[test]
+    fn kill_only_campaign_with_two_shards_passes() {
+        let report = run_campaign(&CampaignConfig {
+            seed: 7,
+            shard_count: 2,
+            kills: 2,
+            isolations: 0,
+            ..CampaignConfig::default()
+        });
+        assert!(report.passed(), "{report:?}");
+    }
+}

@@ -8,10 +8,66 @@
 //! sequencer (the §7.2 "heavyweight" mechanism), while CALM-monotone
 //! handlers go straight to the replicas coordination-free — the same
 //! program, two wire protocols, chosen per-endpoint by analysis.
+//!
+//! # Sharded fault tolerance: the shard replication protocol
+//!
+//! With [`DeployConfig::replicate_shards`], [`deploy_sharded`] pairs every
+//! partition's primary with one AZ-independent passive backup (f = 1 per
+//! partition) and arms the router as the failure detector:
+//!
+//! 1. **Journal streaming.** Each primary runs its transducer with
+//!    journaling on. After every tick it drains the journal delta — the
+//!    final values of everything the tick touched — and ships it to its
+//!    backup as a sequenced `ReplDelta`, together with the replies served
+//!    by that tick and a snapshot of the still-pending request queue. The
+//!    backup folds records *in order* into a [`hydro_core::RecoveryLog`]
+//!    (base checkpoint + deltas, compacted every
+//!    [`DeployConfig::checkpoint_every`] records) and acks cumulatively;
+//!    gaps are buffered, duplicates re-acked.
+//! 2. **Output holding.** A primary *holds* every externally visible
+//!    output (replies, forwards, external sends) of tick *n* until the
+//!    backup has acked record *n*. A client therefore never observes a
+//!    response whose effects could die with the primary: acked-request
+//!    loss is zero by construction. Unacked records are retransmitted on
+//!    [`crate::node::REPL_TIMER`]; a backup silent past its timeout is
+//!    abandoned (journaling off, held outputs released) — safe, because
+//!    promotion is triggered by the *primary's* heartbeats, not the
+//!    backup's.
+//! 3. **Failure detection and promotion.** Primaries beacon
+//!    `Heartbeat{shard}` to the router every
+//!    [`DeployConfig::heartbeat_us`]; the router's staleness sweep runs at
+//!    half [`DeployConfig::heartbeat_timeout_us`]. When a partition's
+//!    owner goes silent past the timeout, the router sends `Promote`,
+//!    re-targets the partition at the backup, and the backup replays its
+//!    log: `RecoveryLog::restore` rebuilds a bit-identical transducer
+//!    (same state, mailboxes, message-id and tick counters), the pending
+//!    request queue and served-reply cache are installed from the last
+//!    record, and the backup starts ticking and heartbeating as the new
+//!    owner. Heartbeats from a node that is *not* the current owner are
+//!    ignored, so a revived old primary cannot reclaim the partition.
+//! 4. **Retry, dedup, and shedding.** The router retries unanswered
+//!    requests with bounded exponential backoff
+//!    ([`DeployConfig::retry_base_us`] doubling up to
+//!    [`DeployConfig::retry_max_us`], at most
+//!    [`DeployConfig::retry_budget`] attempts), always toward the
+//!    partition's *current* owner. Shards deduplicate by request id —
+//!    in-flight duplicates are dropped, already-served ones get the
+//!    cached reply — so retries are exactly-once. A partition with no
+//!    live owner left sheds requests with an immediate `OVERLOADED`
+//!    reply; an exhausted budget yields `UNAVAILABLE`. Both are counted
+//!    in [`crate::node::RouterStatusInner`].
+//!
+//! Known limits: held *forwards* (cross-shard sends) are at-most-once
+//! under failover — a primary dying between tick and release loses them,
+//! and replaying them from the backup could double-apply at the peer.
+//! Asymmetric partitions (primary cut from router but not from clients)
+//! are out of scope; the fault campaigns use fail-stop kills and full
+//! cuts.
 
 use crate::node::{
-    ledger, NetMsg, ProxyLedger, ProxyNode, RouterNode, SequencerNode, TransducerHandle,
-    TransducerNode, TICK_TIMER,
+    ledger, BackupNode, NetMsg, ProxyLedger, ProxyNode, RetryCfg, RouterNode, RouterStatus,
+    SequencerNode, TransducerHandle, TransducerNode, HB_CHECK_TIMER, HB_TIMER, REPL_TIMER,
+    TICK_TIMER,
 };
 use hydro_analysis::classify;
 use hydro_analysis::partition::{partition, PartitionReport};
@@ -37,6 +93,22 @@ pub struct DeployConfig {
     /// Force coordination (sequencer) for *all* handlers — the
     /// "conservative baseline" arm of experiments E2/E10.
     pub coordinate_everything: bool,
+    /// Give every shard an AZ-independent journal-streaming backup and
+    /// arm the router with heartbeat failover + request retry (see the
+    /// module docs for the protocol).
+    pub replicate_shards: bool,
+    /// Owner heartbeat period (µs).
+    pub heartbeat_us: SimTime,
+    /// Router declares an owner dead after this much heartbeat silence.
+    pub heartbeat_timeout_us: SimTime,
+    /// First router retry fires this long after a request is forwarded.
+    pub retry_base_us: SimTime,
+    /// Router retry backoff ceiling.
+    pub retry_max_us: SimTime,
+    /// Router retries per request before answering `UNAVAILABLE`.
+    pub retry_budget: u32,
+    /// Backup log compaction cadence (deltas per checkpoint).
+    pub checkpoint_every: usize,
 }
 
 impl Default for DeployConfig {
@@ -46,6 +118,13 @@ impl Default for DeployConfig {
             seed: 0,
             tick_every_us: 1_000,
             coordinate_everything: false,
+            replicate_shards: false,
+            heartbeat_us: 5_000,
+            heartbeat_timeout_us: 20_000,
+            retry_base_us: 15_000,
+            retry_max_us: 120_000,
+            retry_budget: 8,
+            checkpoint_every: 32,
         }
     }
 }
@@ -280,6 +359,13 @@ pub struct ShardedDeployment {
     pub ledger: ProxyLedger,
     /// The partition analysis the placement was synthesized from.
     pub report: PartitionReport,
+    /// Backup nodes, index = shard id (empty unless
+    /// [`DeployConfig::replicate_shards`]).
+    pub backups: Vec<NodeId>,
+    /// Handles to backup transducers (meaningful after promotion).
+    pub backup_handles: Vec<TransducerHandle>,
+    /// Router fault-handling counters (promotions, sheds, retries).
+    pub status: RouterStatus,
     next_request: u64,
 }
 
@@ -292,19 +378,22 @@ pub fn deploy_sharded(
     program: &Program,
     config: DeployConfig,
     shard_count: usize,
-    register_udfs: impl Fn(&mut Transducer),
+    register_udfs: impl Fn(&mut Transducer) + 'static,
 ) -> ShardedDeployment {
     assert!(shard_count >= 1, "a sharded deployment needs >= 1 shard");
     let mut sim = Sim::new(config.link, config.seed);
     let report = partition(program);
     let routing = report.routing();
+    let register_udfs: Rc<dyn Fn(&mut Transducer)> = Rc::new(register_udfs);
 
     let core = ProgramCore::new(program.clone()).expect("program validated");
     // Node ids are allocated sequentially on the fresh sim: shards take
-    // 0..shard_count, the router takes shard_count. Knowing the router id
-    // up front lets every shard's send routing point at it before the
-    // nodes are moved into the simulator.
+    // 0..shard_count, the router takes shard_count, and (when replicated)
+    // backups take shard_count+1 .. 2*shard_count+1. Knowing every id up
+    // front lets the shards' send routing and replication targets be
+    // wired before the nodes are moved into the simulator.
     let router_id: NodeId = shard_count;
+    let backup_id = |i: usize| -> NodeId { shard_count + 1 + i };
     let local_mailboxes: Vec<String> = program
         .handlers
         .iter()
@@ -319,6 +408,9 @@ pub fn deploy_sharded(
         if i > 0 {
             t.set_run_condition_handlers(false);
         }
+        if config.replicate_shards {
+            t.set_journaling(true);
+        }
         register_udfs(&mut t);
         let mut node = TransducerNode::new(Rc::new(RefCell::new(t)), config.tick_every_us);
         // Every program-local mailbox forwards through the router, which
@@ -326,19 +418,90 @@ pub fn deploy_sharded(
         for m in &local_mailboxes {
             node.route(m, vec![router_id]);
         }
+        if config.replicate_shards {
+            node.with_heartbeat(router_id, config.heartbeat_us, i);
+            node.with_replication(
+                i,
+                backup_id(i),
+                // Retransmit well inside the failure-detection window;
+                // abandon a backup only after the router would long have
+                // declared *it* irrelevant by promoting it or not.
+                2 * config.heartbeat_us,
+                3 * config.heartbeat_timeout_us,
+            );
+        }
         shard_handles.push(node.handle());
         external_handles.push(node.external_handle());
         let id = sim.add_node(node, DomainPath::new(i as u32, 0, 0));
         shards.push(id);
     }
     const INFRA_AZ: u32 = u32::MAX;
-    let router_node = RouterNode::new(shards.clone(), routing);
+    let mut router_node = RouterNode::new(shards.clone(), routing);
+    if config.replicate_shards {
+        router_node = router_node
+            .with_failover(
+                (0..shard_count).map(|i| Some(backup_id(i))).collect(),
+                config.heartbeat_timeout_us,
+            )
+            .with_retry(RetryCfg {
+                base_us: config.retry_base_us,
+                max_us: config.retry_max_us,
+                budget: config.retry_budget,
+            });
+    }
     let ledger = router_node.ledger();
+    let status = router_node.status();
     let router = sim.add_node(router_node, DomainPath::new(INFRA_AZ, 0, 0));
     assert_eq!(router, router_id, "router id must match the pre-wired routes");
 
+    let mut backups = Vec::new();
+    let mut backup_handles = Vec::new();
+    if config.replicate_shards {
+        for i in 0..shard_count {
+            // The dormant serving node the backup becomes on promotion:
+            // same routes and heartbeat identity as the primary it covers.
+            let t = Transducer::from_core(Arc::clone(&core));
+            let mut inner = TransducerNode::new(Rc::new(RefCell::new(t)), config.tick_every_us);
+            for m in &local_mailboxes {
+                inner.route(m, vec![router_id]);
+            }
+            inner.with_heartbeat(router_id, config.heartbeat_us, i);
+            let node = BackupNode::new(
+                i,
+                Arc::clone(&core),
+                config.checkpoint_every,
+                inner,
+                Rc::clone(&register_udfs),
+            );
+            backup_handles.push(node.handle());
+            // AZ-independent placement: the backup must not share a
+            // failure domain with the primary it covers.
+            let primary_path = DomainPath::new(i as u32, 0, 0);
+            let backup_az = if shard_count == 1 {
+                1
+            } else {
+                ((i + 1) % shard_count) as u32
+            };
+            let backup_path = DomainPath::new(backup_az, 0, 1);
+            assert!(
+                primary_path.az_independent(&backup_path),
+                "backup placement must be AZ-independent of its primary"
+            );
+            let id = sim.add_node(node, backup_path);
+            assert_eq!(id, backup_id(i), "backup id must match the wiring");
+            backups.push(id);
+        }
+    }
+
     for &s in &shards {
         sim.start_timer(s, TICK_TIMER, config.tick_every_us);
+        if config.replicate_shards {
+            sim.start_timer(s, HB_TIMER, config.heartbeat_us);
+            sim.start_timer(s, REPL_TIMER, 2 * config.heartbeat_us);
+        }
+    }
+    if config.replicate_shards {
+        sim.start_timer(router, HB_CHECK_TIMER, config.heartbeat_timeout_us / 2);
     }
 
     ShardedDeployment {
@@ -349,6 +512,9 @@ pub fn deploy_sharded(
         external_handles,
         ledger,
         report,
+        backups,
+        backup_handles,
+        status,
         next_request: 0,
     }
 }
@@ -386,20 +552,35 @@ impl ShardedDeployment {
         ledger::reply(&self.ledger, request_id)
     }
 
-    /// Rows of `table` summed across shards (partitioned tables are
-    /// disjoint, global tables live on shard 0 only).
+    /// Handle to the transducer currently owning `shard`: the promoted
+    /// backup after a failover, the primary otherwise.
+    pub fn owner_handle(&self, shard: usize) -> &TransducerHandle {
+        if self.status.borrow().promoted_at[shard].is_some() {
+            &self.backup_handles[shard]
+        } else {
+            &self.shard_handles[shard]
+        }
+    }
+
+    /// When `shard` failed over to its backup, if it did.
+    pub fn promoted_at(&self, shard: usize) -> Option<SimTime> {
+        self.status.borrow().promoted_at[shard]
+    }
+
+    /// Rows of `table` summed across the current partition owners
+    /// (partitioned tables are disjoint, global tables live on shard 0
+    /// only).
     pub fn table_len(&self, table: &str) -> usize {
-        self.shard_handles
-            .iter()
-            .map(|h| h.borrow().table_len(table))
+        (0..self.shards.len())
+            .map(|i| self.owner_handle(i).borrow().table_len(table))
             .sum()
     }
 
-    /// Per-shard row counts of `table` — the partition skew view.
+    /// Per-shard row counts of `table` — the partition skew view, over
+    /// the current owners.
     pub fn table_len_by_shard(&self, table: &str) -> Vec<usize> {
-        self.shard_handles
-            .iter()
-            .map(|h| h.borrow().table_len(table))
+        (0..self.shards.len())
+            .map(|i| self.owner_handle(i).borrow().table_len(table))
             .collect()
     }
 
@@ -565,6 +746,172 @@ mod tests {
             d.run_for(30_000);
             assert_eq!(d.reply(r), Some(Value::Int(k * 100)));
         }
+    }
+
+    #[test]
+    fn killed_primary_fails_over_with_no_acked_request_loss() {
+        let program = sharded_kvs_program();
+        let cfg = DeployConfig {
+            replicate_shards: true,
+            ..DeployConfig::default()
+        };
+        let mut d = deploy_sharded(&program, cfg, 4, |_| {});
+        assert_eq!(d.backups.len(), 4);
+        let n = 32i64;
+        let mut put_ids = Vec::new();
+        for k in 0..n {
+            put_ids.push(d.client_request("put", vec![int(k), int(k * 10)]));
+        }
+        d.run_for(100_000);
+        let acked_before: Vec<u64> = put_ids
+            .iter()
+            .copied()
+            .filter(|r| d.reply(*r) == Some(Value::Str("ok".into())))
+            .collect();
+        assert!(!acked_before.is_empty(), "load must be acked before the kill");
+
+        // Kill a loaded partition's primary mid-run.
+        let victim = d
+            .table_len_by_shard("kv")
+            .iter()
+            .position(|&c| c > 0)
+            .expect("some shard holds rows");
+        d.sim.kill(d.shards[victim]);
+        d.run_for(300_000);
+        assert!(
+            d.promoted_at(victim).is_some(),
+            "router must promote the victim's backup"
+        );
+
+        // Every key — including every one acked before the kill — is
+        // still readable with its exact value, through the new owner.
+        for k in 0..n {
+            let r = d.client_request("get", vec![int(k)]);
+            d.run_for(40_000);
+            assert_eq!(d.reply(r), Some(Value::Int(k * 10)), "key {k} lost");
+        }
+        assert_eq!(d.table_len("kv"), n as usize);
+    }
+
+    #[test]
+    fn promoted_backup_matches_a_never_killed_reference() {
+        let program = sharded_kvs_program();
+        let cfg = DeployConfig {
+            replicate_shards: true,
+            ..DeployConfig::default()
+        };
+        let mut faulty = deploy_sharded(&program, cfg, 2, |_| {});
+        let mut reference = deploy_sharded(&program, DeployConfig::default(), 2, |_| {});
+        for k in 0..24i64 {
+            faulty.client_request("put", vec![int(k), int(k + 100)]);
+            reference.client_request("put", vec![int(k), int(k + 100)]);
+        }
+        faulty.run_for(120_000);
+        reference.run_for(120_000);
+        faulty.sim.kill(faulty.shards[1]);
+        faulty.run_for(300_000);
+        assert!(faulty.promoted_at(1).is_some());
+        // The replayed shard-1 state is bit-identical to the shard that
+        // was never killed.
+        assert_eq!(
+            faulty.owner_handle(1).borrow().state(),
+            reference.owner_handle(1).borrow().state(),
+            "journal replay must rebuild the exact pre-kill state"
+        );
+    }
+
+    #[test]
+    fn partition_with_no_live_owner_sheds_and_recovers_nothing_extra() {
+        let program = sharded_kvs_program();
+        let cfg = DeployConfig {
+            replicate_shards: true,
+            ..DeployConfig::default()
+        };
+        let mut d = deploy_sharded(&program, cfg, 2, |_| {});
+        let routing = d.report.routing();
+        // A key owned by shard 1 (shard 0 also hosts the global handlers).
+        let k = (1..100i64)
+            .find(|k| routing.shard_of("put", &vec![int(*k), int(0)], 2) == 1)
+            .unwrap();
+        d.client_request("put", vec![int(k), int(7)]);
+        d.run_for(60_000);
+
+        // Kill primary AND backup: the partition has no live owner left.
+        d.sim.kill(d.shards[1]);
+        d.sim.kill(d.backups[1]);
+        // First sweep promotes the (dead) backup, the next ones mark the
+        // partition down.
+        d.run_for(120_000);
+        let r = d.client_request("put", vec![int(k), int(8)]);
+        d.run_for(40_000);
+        assert_eq!(
+            d.reply(r),
+            Some(Value::Str("OVERLOADED".into())),
+            "a dead partition must shed, not hang"
+        );
+        assert!(d.status.borrow().shed >= 1);
+        // Shard 0 keeps serving untouched.
+        let k0 = (1..100i64)
+            .find(|k| routing.shard_of("put", &vec![int(*k), int(0)], 2) == 0)
+            .unwrap();
+        let r0 = d.client_request("put", vec![int(k0), int(9)]);
+        d.run_for(40_000);
+        assert_eq!(d.reply(r0), Some(Value::Str("ok".into())));
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_answers_unavailable() {
+        let program = sharded_kvs_program();
+        let cfg = DeployConfig {
+            replicate_shards: true,
+            // Heartbeat monitoring effectively off: the owner is dead but
+            // never failed over, so retries burn their whole budget.
+            heartbeat_timeout_us: 10_000_000,
+            retry_base_us: 5_000,
+            retry_max_us: 10_000,
+            retry_budget: 3,
+            ..DeployConfig::default()
+        };
+        let mut d = deploy_sharded(&program, cfg, 2, |_| {});
+        let routing = d.report.routing();
+        let k = (1..100i64)
+            .find(|k| routing.shard_of("put", &vec![int(*k), int(0)], 2) == 1)
+            .unwrap();
+        d.sim.kill(d.shards[1]);
+        let r = d.client_request("put", vec![int(k), int(1)]);
+        d.run_for(200_000);
+        assert_eq!(
+            d.reply(r),
+            Some(Value::Str("UNAVAILABLE".into())),
+            "an exhausted retry budget must answer, not hang"
+        );
+        assert_eq!(d.status.borrow().gave_up, 1);
+        assert!(d.status.borrow().retries >= 3);
+    }
+
+    #[test]
+    fn replication_changes_nothing_without_faults() {
+        let program = sharded_kvs_program();
+        let cfg = DeployConfig {
+            replicate_shards: true,
+            ..DeployConfig::default()
+        };
+        let mut replicated = deploy_sharded(&program, cfg, 4, |_| {});
+        let mut plain = deploy_sharded(&program, DeployConfig::default(), 4, |_| {});
+        for k in 0..16i64 {
+            replicated.client_request("relay", vec![int(k), int(k * 3)]);
+            plain.client_request("relay", vec![int(k), int(k * 3)]);
+        }
+        replicated.run_for(150_000);
+        plain.run_for(150_000);
+        for i in 0..4 {
+            assert_eq!(
+                replicated.owner_handle(i).borrow().state(),
+                plain.owner_handle(i).borrow().state(),
+                "shard {i} diverged under fault-free replication"
+            );
+        }
+        assert_eq!(replicated.answered(), 16);
     }
 
     #[test]

@@ -18,16 +18,25 @@
 //!   single-point-of-failure sequencer);
 //! * [`consistency`] — client-centric checkers (read-your-writes,
 //!   monotonic reads, exact linearizability) validating what clients could
-//!   observe, per the paper's client-centric consistency thrust (§1.2).
+//!   observe, per the paper's client-centric consistency thrust (§1.2);
+//! * [`campaign`] — seeded fault-injection campaigns (kill / isolate /
+//!   heal / revive interleaved with client load) exercising the sharded
+//!   replication-and-failover protocol end to end, checked for zero
+//!   acked-request loss, replay fidelity, and linearizability.
 
 // Dataflow builders and pluggable node logic are callback-heavy; the
 // closure/handle types read clearer inline than behind aliases.
 #![allow(clippy::type_complexity)]
+pub mod campaign;
 pub mod consensus;
 pub mod consistency;
 pub mod deployment;
 pub mod node;
 pub mod twopc;
 
+pub use campaign::{run_campaign, CampaignConfig, CampaignReport};
 pub use deployment::{deploy, deploy_sharded, DeployConfig, Deployment, ShardedDeployment};
-pub use node::{NetMsg, ProxyNode, RouterNode, SequencerNode, TransducerNode};
+pub use node::{
+    BackupNode, NetMsg, ProxyNode, RetryCfg, RouterNode, RouterStatus, RouterStatusInner,
+    SequencerNode, TransducerNode,
+};

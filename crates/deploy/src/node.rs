@@ -15,6 +15,7 @@ use hydro_net::{Ctx, NodeId, NodeLogic};
 use rustc_hash::FxHashMap;
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Shared handle to a deployed transducer, for state inspection between
 /// simulator events (single-threaded, so `Rc<RefCell>` suffices).
@@ -105,10 +106,97 @@ pub enum NetMsg {
         /// Transaction id.
         txid: u64,
     },
+    /// Primary → backup: one recovery-journal record, plus the
+    /// deploy-layer request state committed with it (see the module docs
+    /// of [`crate::deployment`] for the replication protocol).
+    ReplDelta {
+        /// Partition this stream replicates.
+        shard: usize,
+        /// Position in the primary's delta sequence (applied in order).
+        seq: u64,
+        /// The journaled state delta (boxed: it dwarfs other variants).
+        delta: Box<hydro_core::JournalDelta>,
+        /// Replies this delta's tick produced: `(request_id, value)` —
+        /// replicated *before* release so a promoted backup can re-serve
+        /// them to retries.
+        served: Vec<(u64, Value)>,
+        /// Post-tick snapshot of unanswered requests:
+        /// `(message_id, request_id, reply_to)`.
+        pending: Vec<(u64, u64, NodeId)>,
+    },
+    /// Backup → primary: cumulative acknowledgment — every delta with
+    /// `seq <= ack` is applied durably on the backup.
+    ReplAck {
+        /// Partition.
+        shard: usize,
+        /// Highest contiguously applied sequence number.
+        seq: u64,
+    },
+    /// Shard owner → router: liveness beacon.
+    Heartbeat {
+        /// Partition the sender currently owns.
+        shard: usize,
+    },
+    /// Router → backup: the primary's heartbeats stopped; replay the log
+    /// and take the partition over.
+    Promote {
+        /// Partition to assume.
+        shard: usize,
+    },
 }
 
 /// Timer id used for the transducer tick loop.
 pub const TICK_TIMER: u64 = 1;
+/// Timer id for a shard owner's heartbeat beacon.
+pub const HB_TIMER: u64 = 2;
+/// Timer id for primary → backup retransmission of unacked deltas.
+pub const REPL_TIMER: u64 = 3;
+/// Timer id for the router's periodic heartbeat staleness check.
+pub const HB_CHECK_TIMER: u64 = 2;
+/// High-bit flag marking a router timer as a per-request retry alarm;
+/// the low bits carry the request id. Request ids stay well below 2^63.
+pub const RETRY_TIMER_FLAG: u64 = 1 << 63;
+
+/// One output a tick produced, possibly held back until the backup acks
+/// the journal record covering it (synchronous replication).
+enum Outbound {
+    /// A reply to a client/router request.
+    Reply {
+        to: NodeId,
+        request_id: u64,
+        value: Value,
+    },
+    /// A routed asynchronous send.
+    Forward {
+        to: NodeId,
+        mailbox: String,
+        row: Row,
+    },
+    /// A send to an external endpoint.
+    External { mailbox: String, row: Row },
+}
+
+/// Primary-side replication state toward one backup.
+struct Repl {
+    /// Partition this node owns.
+    shard: usize,
+    /// The backup node receiving the delta stream.
+    backup: NodeId,
+    /// Next sequence number to assign.
+    next_seq: u64,
+    /// Sent but unacked records, kept for retransmission.
+    unacked: std::collections::BTreeMap<u64, NetMsg>,
+    /// Outputs held until the record covering them is acked.
+    held: std::collections::BTreeMap<u64, Vec<Outbound>>,
+    /// Virtual time of the last ack received.
+    last_ack_us: u64,
+    /// Retransmit cadence for unacked records.
+    retransmit_every_us: u64,
+    /// Give up on the backup after this long without an ack (the router
+    /// only promotes when the *primary* goes silent, so abandoning a dead
+    /// backup and running unreplicated is safe — no second writer).
+    backup_timeout_us: u64,
+}
 
 /// A transducer hosted on a simulated node.
 pub struct TransducerNode {
@@ -123,6 +211,19 @@ pub struct TransducerNode {
     next_seq: u64,
     /// Out-of-order sequenced operations buffered until their turn.
     seq_buffer: FxHashMap<u64, (u64, String, Row, NodeId)>,
+    /// Exactly-once request dedup: released replies by request id. A
+    /// retried request whose reply was already sent gets the cached value
+    /// re-sent instead of a second enqueue.
+    served: FxHashMap<u64, Value>,
+    /// Request ids accepted but not yet *released* (enqueued, or answered
+    /// with the reply still held for replication). Retries of these are
+    /// dropped — answering early would break the ack-before-reply
+    /// invariant.
+    enqueued: rustc_hash::FxHashSet<u64>,
+    /// Heartbeat beacon: (router, period µs, owned partition).
+    heartbeat: Option<(NodeId, u64, usize)>,
+    /// Primary → backup replication, when this node is a primary.
+    repl: Option<Repl>,
     tick_every_us: u64,
     /// Count of ticks executed.
     pub ticks: u64,
@@ -138,6 +239,10 @@ impl TransducerNode {
             pending: FxHashMap::default(),
             next_seq: 0,
             seq_buffer: FxHashMap::default(),
+            served: FxHashMap::default(),
+            enqueued: rustc_hash::FxHashSet::default(),
+            heartbeat: None,
+            repl: None,
             tick_every_us,
             ticks: 0,
         }
@@ -146,6 +251,35 @@ impl TransducerNode {
     /// Route async sends to `mailbox` toward `nodes`.
     pub fn route(&mut self, mailbox: &str, nodes: Vec<NodeId>) {
         self.placement.insert(mailbox.to_string(), nodes);
+    }
+
+    /// Beacon liveness for `shard` to `router` every `every_us`. The
+    /// deployment must also start the [`HB_TIMER`] loop.
+    pub fn with_heartbeat(&mut self, router: NodeId, every_us: u64, shard: usize) {
+        self.heartbeat = Some((router, every_us, shard));
+    }
+
+    /// Stream journal deltas for `shard` to `backup`, holding every
+    /// output until the covering record is acked. The caller must enable
+    /// journaling on the wrapped transducer and start the [`REPL_TIMER`]
+    /// loop.
+    pub fn with_replication(
+        &mut self,
+        shard: usize,
+        backup: NodeId,
+        retransmit_every_us: u64,
+        backup_timeout_us: u64,
+    ) {
+        self.repl = Some(Repl {
+            shard,
+            backup,
+            next_seq: 0,
+            unacked: std::collections::BTreeMap::new(),
+            held: std::collections::BTreeMap::new(),
+            last_ack_us: 0,
+            retransmit_every_us,
+            backup_timeout_us,
+        });
     }
 
     /// Shared handle to the wrapped transducer.
@@ -161,6 +295,68 @@ impl TransducerNode {
     fn enqueue_request(&mut self, request_id: u64, mailbox: &str, row: Row, reply_to: NodeId) {
         if let Ok(msg_id) = self.transducer.borrow_mut().enqueue(mailbox, row) {
             self.pending.insert(msg_id, (request_id, reply_to));
+            self.enqueued.insert(request_id);
+        }
+    }
+
+    /// Handle an inbound request with exactly-once dedup: a request id
+    /// still in flight is dropped (its reply will arrive — answering a
+    /// retry early would leak a reply the backup hasn't covered), an
+    /// already-served id gets its cached reply re-sent, and only a fresh
+    /// id is enqueued.
+    fn on_request(
+        &mut self,
+        ctx: &mut Ctx<NetMsg>,
+        request_id: u64,
+        mailbox: &str,
+        row: Row,
+        reply_to: NodeId,
+    ) {
+        if self.enqueued.contains(&request_id) {
+            return;
+        }
+        if let Some(value) = self.served.get(&request_id) {
+            ctx.send(
+                reply_to,
+                NetMsg::Reply {
+                    request_id,
+                    replica: ctx.self_id,
+                    value: value.clone(),
+                },
+            );
+            return;
+        }
+        self.enqueue_request(request_id, mailbox, row, reply_to);
+    }
+
+    /// Emit released outputs onto the network. Releasing a reply retires
+    /// its request id from the in-flight set (retries now hit the served
+    /// cache instead of being dropped).
+    fn release(&mut self, ctx: &mut Ctx<NetMsg>, outbound: Vec<Outbound>) {
+        for o in outbound {
+            match o {
+                Outbound::Reply {
+                    to,
+                    request_id,
+                    value,
+                } => {
+                    self.enqueued.remove(&request_id);
+                    ctx.send(
+                        to,
+                        NetMsg::Reply {
+                            request_id,
+                            replica: ctx.self_id,
+                            value,
+                        },
+                    );
+                }
+                Outbound::Forward { to, mailbox, row } => {
+                    ctx.send(to, NetMsg::Forward { mailbox, row });
+                }
+                Outbound::External { mailbox, row } => {
+                    self.external.borrow_mut().push((mailbox, row));
+                }
+            }
         }
     }
 
@@ -169,16 +365,20 @@ impl TransducerNode {
             return;
         };
         self.ticks += 1;
+        let mut outbound: Vec<Outbound> = Vec::new();
+        let mut served_now: Vec<(u64, Value)> = Vec::new();
         for resp in out.responses {
             if let Some((request_id, reply_to)) = self.pending.remove(&resp.message_id) {
-                ctx.send(
-                    reply_to,
-                    NetMsg::Reply {
-                        request_id,
-                        replica: ctx.self_id,
-                        value: resp.value,
-                    },
-                );
+                // Served is recorded at *tick* time, atomically with the
+                // effects — it travels in the same ReplDelta, so a backup
+                // that has the effects can also re-serve the reply.
+                self.served.insert(request_id, resp.value.clone());
+                served_now.push((request_id, resp.value.clone()));
+                outbound.push(Outbound::Reply {
+                    to: reply_to,
+                    request_id,
+                    value: resp.value,
+                });
             }
         }
         for send in out.sends {
@@ -189,30 +389,116 @@ impl TransducerNode {
             match self.placement.get(&send.mailbox) {
                 Some(nodes) => {
                     for &n in nodes {
-                        ctx.send(
-                            n,
-                            NetMsg::Forward {
-                                mailbox: send.mailbox.clone(),
-                                row: send.row.clone(),
-                            },
-                        );
+                        outbound.push(Outbound::Forward {
+                            to: n,
+                            mailbox: send.mailbox.clone(),
+                            row: send.row.clone(),
+                        });
                     }
                 }
-                None => self.external.borrow_mut().push((send.mailbox, send.row)),
+                None => outbound.push(Outbound::External {
+                    mailbox: send.mailbox,
+                    row: send.row,
+                }),
             }
         }
+
+        if self.repl.is_some() {
+            let delta = self.transducer.borrow_mut().take_journal_delta();
+            match delta {
+                Some(delta) => {
+                    let mut pending_snapshot: Vec<(u64, u64, NodeId)> = self
+                        .pending
+                        .iter()
+                        .map(|(msg_id, (rid, reply_to))| (*msg_id, *rid, *reply_to))
+                        .collect();
+                    pending_snapshot.sort_unstable();
+                    let repl = self.repl.as_mut().expect("checked above");
+                    let seq = repl.next_seq;
+                    repl.next_seq += 1;
+                    let msg = NetMsg::ReplDelta {
+                        shard: repl.shard,
+                        seq,
+                        delta: Box::new(delta),
+                        served: served_now,
+                        pending: pending_snapshot,
+                    };
+                    repl.unacked.insert(seq, msg.clone());
+                    repl.held.insert(seq, outbound);
+                    let backup = repl.backup;
+                    ctx.send(backup, msg);
+                }
+                // No journal record at all (journaling was switched off):
+                // nothing to cover the outputs, release directly.
+                None => self.release(ctx, outbound),
+            }
+        } else {
+            self.release(ctx, outbound);
+        }
+    }
+
+    /// Process a cumulative ack from the backup: drop retransmit state
+    /// and release every held batch covered by it, in sequence order.
+    fn on_repl_ack(&mut self, ctx: &mut Ctx<NetMsg>, seq: u64) {
+        let mut batches: Vec<Vec<Outbound>> = Vec::new();
+        if let Some(repl) = self.repl.as_mut() {
+            repl.last_ack_us = ctx.now;
+            while let Some((&s, _)) = repl.unacked.first_key_value() {
+                if s > seq {
+                    break;
+                }
+                repl.unacked.remove(&s);
+            }
+            while let Some((&s, _)) = repl.held.first_key_value() {
+                if s > seq {
+                    break;
+                }
+                batches.push(repl.held.remove(&s).expect("peeked"));
+            }
+        }
+        for b in batches {
+            self.release(ctx, b);
+        }
+    }
+
+    /// Retransmit unacked records; abandon a backup that has been silent
+    /// past its timeout (release everything held and run unreplicated).
+    fn on_repl_timer(&mut self, ctx: &mut Ctx<NetMsg>) {
+        let Some(repl) = self.repl.as_ref() else {
+            return; // replication abandoned: let the timer loop die
+        };
+        let silent_too_long = !repl.unacked.is_empty()
+            && ctx.now.saturating_sub(repl.last_ack_us) > repl.backup_timeout_us;
+        if silent_too_long {
+            let repl = self.repl.take().expect("checked above");
+            self.transducer.borrow_mut().set_journaling(false);
+            for (_, batch) in repl.held {
+                self.release(ctx, batch);
+            }
+            return;
+        }
+        let retx: Vec<(NodeId, NetMsg)> = repl
+            .unacked
+            .values()
+            .map(|m| (repl.backup, m.clone()))
+            .collect();
+        let every = repl.retransmit_every_us;
+        for (to, m) in retx {
+            ctx.send(to, m);
+        }
+        ctx.set_timer(every, REPL_TIMER);
     }
 }
 
 impl NodeLogic<NetMsg> for TransducerNode {
-    fn on_message(&mut self, _ctx: &mut Ctx<NetMsg>, _src: NodeId, msg: NetMsg) {
+    fn on_message(&mut self, ctx: &mut Ctx<NetMsg>, _src: NodeId, msg: NetMsg) {
         match msg {
             NetMsg::Request {
                 request_id,
                 mailbox,
                 row,
                 reply_to,
-            } => self.enqueue_request(request_id, &mailbox, row, reply_to),
+            } => self.on_request(ctx, request_id, &mailbox, row, reply_to),
             NetMsg::Forward { mailbox, row } => {
                 let _ = self.transducer.borrow_mut().enqueue(&mailbox, row);
             }
@@ -232,6 +518,7 @@ impl NodeLogic<NetMsg> for TransducerNode {
                     self.next_seq += 1;
                 }
             }
+            NetMsg::ReplAck { seq, .. } => self.on_repl_ack(ctx, seq),
             // Transducer replicas ignore protocol traffic not meant for
             // them; coordination roles live in dedicated node types.
             _ => {}
@@ -239,9 +526,179 @@ impl NodeLogic<NetMsg> for TransducerNode {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<NetMsg>, timer: u64) {
-        if timer == TICK_TIMER {
-            self.run_tick(ctx);
-            ctx.set_timer(self.tick_every_us, TICK_TIMER);
+        match timer {
+            TICK_TIMER => {
+                self.run_tick(ctx);
+                ctx.set_timer(self.tick_every_us, TICK_TIMER);
+            }
+            HB_TIMER => {
+                if let Some((router, every_us, shard)) = self.heartbeat {
+                    ctx.send(router, NetMsg::Heartbeat { shard });
+                    ctx.set_timer(every_us, HB_TIMER);
+                }
+            }
+            REPL_TIMER => self.on_repl_timer(ctx),
+            _ => {}
+        }
+    }
+}
+
+/// A passive, AZ-independent replica of one shard: applies the primary's
+/// [`NetMsg::ReplDelta`] stream into a [`hydro_core::RecoveryLog`]
+/// (checkpoint + deltas, compacted at the checkpoint cadence) and acks
+/// cumulatively. On [`NetMsg::Promote`] it replays the log into a
+/// bit-identical replacement transducer, installs the replicated request
+/// state (served replies, unanswered requests), and becomes an ordinary
+/// serving [`TransducerNode`] — heartbeating as the partition's new
+/// owner. Everything after promotion delegates to the inner node.
+pub struct BackupNode {
+    shard: usize,
+    core: Arc<hydro_core::ProgramCore>,
+    log: hydro_core::RecoveryLog,
+    /// Next replication sequence number expected.
+    next_seq: u64,
+    /// Out-of-order delta records buffered until their turn.
+    buffer: std::collections::BTreeMap<u64, NetMsg>,
+    /// Replicated released/held replies by request id.
+    served: FxHashMap<u64, Value>,
+    /// Replicated post-tick pending snapshot: (msg id, request id, node).
+    pending: Vec<(u64, u64, NodeId)>,
+    /// The dormant serving node (placement routes and heartbeat already
+    /// wired); its transducer is replaced by the replayed one on promote.
+    inner: TransducerNode,
+    active: bool,
+    /// How the replayed transducer re-binds its UDFs (closures don't
+    /// journal; re-registration is the caller's recovery obligation).
+    register_udfs: Rc<dyn Fn(&mut Transducer)>,
+}
+
+impl BackupNode {
+    /// A backup for `shard`, replaying over `core` with a fresh-instance
+    /// base checkpoint and `checkpoint_every` compaction cadence. `inner`
+    /// must be a fully-wired (routes, heartbeat) but idle serving node.
+    pub fn new(
+        shard: usize,
+        core: Arc<hydro_core::ProgramCore>,
+        checkpoint_every: usize,
+        inner: TransducerNode,
+        register_udfs: Rc<dyn Fn(&mut Transducer)>,
+    ) -> Self {
+        let base = Transducer::from_core(Arc::clone(&core)).checkpoint();
+        BackupNode {
+            shard,
+            core,
+            log: hydro_core::RecoveryLog::new(base, checkpoint_every),
+            next_seq: 0,
+            buffer: std::collections::BTreeMap::new(),
+            served: FxHashMap::default(),
+            pending: Vec::new(),
+            inner,
+            active: false,
+            register_udfs,
+        }
+    }
+
+    /// Shared handle to the inner transducer (meaningful after promotion;
+    /// before it, the instance is the untouched placeholder).
+    pub fn handle(&self) -> TransducerHandle {
+        self.inner.handle()
+    }
+
+    /// Shared handle to externally-addressed sends (post-promotion).
+    pub fn external_handle(&self) -> Rc<RefCell<Vec<(String, Row)>>> {
+        self.inner.external_handle()
+    }
+
+    /// Whether this backup has been promoted to partition owner.
+    pub fn promoted(&self) -> bool {
+        self.active
+    }
+
+    /// Apply one in-order delta record.
+    fn apply(&mut self, msg: NetMsg) {
+        let NetMsg::ReplDelta {
+            delta,
+            served,
+            pending,
+            ..
+        } = msg
+        else {
+            return;
+        };
+        self.log.append(*delta);
+        self.served.extend(served);
+        self.pending = pending;
+        self.next_seq += 1;
+    }
+
+    /// Replay the log and take over the partition.
+    fn promote(&mut self, ctx: &mut Ctx<NetMsg>) {
+        let mut t = self.log.restore(Arc::clone(&self.core));
+        t.set_run_condition_handlers(self.shard == 0);
+        (self.register_udfs)(&mut t);
+        *self.inner.transducer.borrow_mut() = t;
+        self.inner.pending = self
+            .pending
+            .iter()
+            .map(|(msg_id, rid, reply_to)| (*msg_id, (*rid, *reply_to)))
+            .collect();
+        self.inner.enqueued = self.pending.iter().map(|(_, rid, _)| *rid).collect();
+        self.inner.served = self.served.clone();
+        self.active = true;
+        // Start serving: tick loop now, ownership beacon immediately so
+        // the router's staleness clock resets to the real owner.
+        ctx.set_timer(self.inner.tick_every_us, TICK_TIMER);
+        if self.inner.heartbeat.is_some() {
+            ctx.set_timer(1, HB_TIMER);
+        }
+    }
+}
+
+impl NodeLogic<NetMsg> for BackupNode {
+    fn on_message(&mut self, ctx: &mut Ctx<NetMsg>, src: NodeId, msg: NetMsg) {
+        if self.active {
+            match msg {
+                // Late replication traffic from a revived old primary is
+                // ignored: this node owns the partition now.
+                NetMsg::ReplDelta { .. } | NetMsg::Promote { .. } => {}
+                other => self.inner.on_message(ctx, src, other),
+            }
+            return;
+        }
+        match msg {
+            NetMsg::ReplDelta { shard, seq, .. } => {
+                debug_assert_eq!(shard, self.shard);
+                if seq >= self.next_seq {
+                    self.buffer.insert(seq, msg);
+                    while let Some(m) = self.buffer.remove(&self.next_seq) {
+                        self.apply(m);
+                    }
+                }
+                // Cumulative ack — also re-acks retransmitted duplicates.
+                if self.next_seq > 0 {
+                    ctx.send(
+                        src,
+                        NetMsg::ReplAck {
+                            shard: self.shard,
+                            seq: self.next_seq - 1,
+                        },
+                    );
+                }
+            }
+            NetMsg::Promote { shard } => {
+                debug_assert_eq!(shard, self.shard);
+                self.promote(ctx);
+            }
+            // Passive backups serve nothing: requests and forwards are
+            // dropped (the router's retry loop re-sends them after
+            // promotion flips ownership).
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<NetMsg>, timer: u64) {
+        if self.active {
+            self.inner.on_timer(ctx, timer);
         }
     }
 }
@@ -389,21 +846,100 @@ pub mod ledger {
 /// router too, which is how a cross-shard send becomes a routed
 /// re-enqueue on the owning shard.
 pub struct RouterNode {
-    /// Shard nodes, index = shard id (shard 0 is the global shard).
+    /// Current owner per partition, index = shard id (shard 0 global).
+    /// Failover swaps the entry to the promoted backup.
     pub shards: Vec<NodeId>,
     routing: hydro_core::shard::RoutingSpec,
     /// request id → (submit time, first reply time+value).
     completed: ProxyLedger,
+    /// AZ-independent backup per partition (`None` = unreplicated).
+    backups: Vec<Option<NodeId>>,
+    /// Whether the partition already failed over (one promotion per
+    /// partition: f = 1).
+    promoted: Vec<bool>,
+    /// Partition has no live owner left — new requests are shed.
+    down: Vec<bool>,
+    /// Last heartbeat received from the *current* owner.
+    last_heard: Vec<u64>,
+    /// Heartbeat staleness threshold (0 = failover monitoring off).
+    hb_timeout_us: u64,
+    /// Per-request retry policy, when enabled.
+    retry: Option<RetryCfg>,
+    /// Unanswered requests eligible for retry.
+    outstanding: FxHashMap<u64, OutstandingReq>,
+    /// Shared fault-handling counters.
+    status: RouterStatus,
 }
+
+/// Bounded-exponential-backoff retry policy for router requests.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryCfg {
+    /// First retry fires this long after the request is forwarded.
+    pub base_us: u64,
+    /// Backoff ceiling.
+    pub max_us: u64,
+    /// Retries after which the router gives up and answers `UNAVAILABLE`.
+    pub budget: u32,
+}
+
+struct OutstandingReq {
+    mailbox: String,
+    row: Row,
+    attempts: u32,
+}
+
+/// Shared, inspectable fault-handling state of a [`RouterNode`].
+#[derive(Clone, Debug, Default)]
+pub struct RouterStatusInner {
+    /// Promotion time per partition (`None` = primary still owns it).
+    pub promoted_at: Vec<Option<u64>>,
+    /// Requests shed with an immediate `OVERLOADED` reply.
+    pub shed: u64,
+    /// Retransmissions performed.
+    pub retries: u64,
+    /// Requests abandoned after exhausting the retry budget.
+    pub gave_up: u64,
+}
+
+/// Shared handle to a router's fault-handling counters.
+pub type RouterStatus = Rc<RefCell<RouterStatusInner>>;
 
 impl RouterNode {
     /// A router over `shards` applying `routing`.
     pub fn new(shards: Vec<NodeId>, routing: hydro_core::shard::RoutingSpec) -> Self {
+        let n = shards.len();
         RouterNode {
             shards,
             routing,
             completed: Rc::new(RefCell::new(FxHashMap::default())),
+            backups: vec![None; n],
+            promoted: vec![false; n],
+            down: vec![false; n],
+            last_heard: vec![0; n],
+            hb_timeout_us: 0,
+            retry: None,
+            outstanding: FxHashMap::default(),
+            status: Rc::new(RefCell::new(RouterStatusInner {
+                promoted_at: vec![None; n],
+                ..RouterStatusInner::default()
+            })),
         }
+    }
+
+    /// Monitor owner heartbeats with staleness threshold `hb_timeout_us`
+    /// and fail a silent partition over to its backup. The deployment
+    /// must start the [`HB_CHECK_TIMER`] loop.
+    pub fn with_failover(mut self, backups: Vec<Option<NodeId>>, hb_timeout_us: u64) -> Self {
+        assert_eq!(backups.len(), self.shards.len());
+        self.backups = backups;
+        self.hb_timeout_us = hb_timeout_us;
+        self
+    }
+
+    /// Retry unanswered requests per `cfg`.
+    pub fn with_retry(mut self, cfg: RetryCfg) -> Self {
+        self.retry = Some(cfg);
+        self
     }
 
     /// Shared handle to the request ledger.
@@ -411,13 +947,51 @@ impl RouterNode {
         Rc::clone(&self.completed)
     }
 
-    fn shard_of(&self, mailbox: &str, row: &Row) -> NodeId {
-        self.shards[self.routing.shard_of(mailbox, row, self.shards.len())]
+    /// Shared handle to the fault-handling counters.
+    pub fn status(&self) -> RouterStatus {
+        Rc::clone(&self.status)
+    }
+
+    fn shard_ix(&self, mailbox: &str, row: &Row) -> usize {
+        self.routing.shard_of(mailbox, row, self.shards.len())
+    }
+
+    /// Complete a request locally (shed / gave-up), first-reply-wins.
+    fn complete_local(&self, now: u64, request_id: u64, value: Value) {
+        if let Some((_, reply)) = self.completed.borrow_mut().get_mut(&request_id) {
+            if reply.is_none() {
+                *reply = Some((now, value));
+            }
+        }
+    }
+
+    /// The heartbeat staleness sweep: a silent partition fails over to
+    /// its backup once; a partition whose promoted owner also goes silent
+    /// (or that never had a backup) is marked down and sheds until its
+    /// owner's heartbeats resume.
+    fn check_heartbeats(&mut self, ctx: &mut Ctx<NetMsg>) {
+        for si in 0..self.shards.len() {
+            if ctx.now.saturating_sub(self.last_heard[si]) <= self.hb_timeout_us {
+                continue;
+            }
+            if !self.promoted[si] {
+                if let Some(b) = self.backups[si] {
+                    self.promoted[si] = true;
+                    self.shards[si] = b;
+                    // Grace for the backup's replay before the next sweep.
+                    self.last_heard[si] = ctx.now;
+                    self.status.borrow_mut().promoted_at[si] = Some(ctx.now);
+                    ctx.send(b, NetMsg::Promote { shard: si });
+                    continue;
+                }
+            }
+            self.down[si] = true;
+        }
     }
 }
 
 impl NodeLogic<NetMsg> for RouterNode {
-    fn on_message(&mut self, ctx: &mut Ctx<NetMsg>, _src: NodeId, msg: NetMsg) {
+    fn on_message(&mut self, ctx: &mut Ctx<NetMsg>, src: NodeId, msg: NetMsg) {
         match msg {
             NetMsg::Request {
                 request_id,
@@ -428,9 +1002,27 @@ impl NodeLogic<NetMsg> for RouterNode {
                 self.completed
                     .borrow_mut()
                     .insert(request_id, (ctx.now, None));
-                let shard = self.shard_of(&mailbox, &row);
+                let si = self.shard_ix(&mailbox, &row);
+                if self.down[si] {
+                    // Graceful degradation: no live owner — shed with an
+                    // immediate error reply instead of queueing unboundedly.
+                    self.status.borrow_mut().shed += 1;
+                    self.complete_local(ctx.now, request_id, Value::Str("OVERLOADED".into()));
+                    return;
+                }
+                if let Some(r) = self.retry {
+                    self.outstanding.insert(
+                        request_id,
+                        OutstandingReq {
+                            mailbox: mailbox.clone(),
+                            row: row.clone(),
+                            attempts: 0,
+                        },
+                    );
+                    ctx.set_timer(r.base_us, RETRY_TIMER_FLAG | request_id);
+                }
                 ctx.send(
-                    shard,
+                    self.shards[si],
                     NetMsg::Request {
                         request_id,
                         mailbox,
@@ -442,6 +1034,7 @@ impl NodeLogic<NetMsg> for RouterNode {
             NetMsg::Reply {
                 request_id, value, ..
             } => {
+                self.outstanding.remove(&request_id);
                 if let Some((_, reply)) = self.completed.borrow_mut().get_mut(&request_id) {
                     if reply.is_none() {
                         *reply = Some((ctx.now, value));
@@ -451,11 +1044,63 @@ impl NodeLogic<NetMsg> for RouterNode {
             // A shard's asynchronous send to a program-local mailbox:
             // re-route it to the shard owning the destination key.
             NetMsg::Forward { mailbox, row } => {
-                let shard = self.shard_of(&mailbox, &row);
-                ctx.send(shard, NetMsg::Forward { mailbox, row });
+                let si = self.shard_ix(&mailbox, &row);
+                ctx.send(self.shards[si], NetMsg::Forward { mailbox, row });
+            }
+            // Only the current owner's beacon counts — a revived old
+            // primary keeps heartbeating, but ownership moved on.
+            NetMsg::Heartbeat { shard }
+                if shard < self.shards.len() && src == self.shards[shard] =>
+            {
+                self.last_heard[shard] = ctx.now;
+                self.down[shard] = false;
             }
             _ => {}
         }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<NetMsg>, timer: u64) {
+        if timer == HB_CHECK_TIMER {
+            if self.hb_timeout_us == 0 {
+                return;
+            }
+            self.check_heartbeats(ctx);
+            ctx.set_timer(self.hb_timeout_us / 2, HB_CHECK_TIMER);
+            return;
+        }
+        if timer & RETRY_TIMER_FLAG == 0 {
+            return;
+        }
+        let request_id = timer & !RETRY_TIMER_FLAG;
+        let Some(r) = self.retry else { return };
+        let Some(o) = self.outstanding.get_mut(&request_id) else {
+            return; // answered meanwhile
+        };
+        o.attempts += 1;
+        if o.attempts > r.budget {
+            self.outstanding.remove(&request_id);
+            self.status.borrow_mut().gave_up += 1;
+            self.complete_local(ctx.now, request_id, Value::Str("UNAVAILABLE".into()));
+            return;
+        }
+        let (mailbox, row, attempts) = (o.mailbox.clone(), o.row.clone(), o.attempts);
+        let si = self.shard_ix(&mailbox, &row);
+        self.status.borrow_mut().retries += 1;
+        ctx.send(
+            self.shards[si],
+            NetMsg::Request {
+                request_id,
+                mailbox,
+                row,
+                reply_to: ctx.self_id,
+            },
+        );
+        // Bounded exponential backoff toward the ceiling.
+        let delay = r
+            .base_us
+            .saturating_mul(1u64 << attempts.min(16))
+            .min(r.max_us);
+        ctx.set_timer(delay, RETRY_TIMER_FLAG | request_id);
     }
 }
 

@@ -1,0 +1,67 @@
+//! Property-based fault-injection campaigns: random seeded kill /
+//! isolate / heal / revive schedules over replicated sharded deployments
+//! of 2 and 4 shards, interleaved with client load. Every campaign must
+//! uphold the replication protocol's promises:
+//!
+//! (a) zero acked-request loss — every `put` acked to a client survives
+//!     the failovers;
+//! (b) replay fidelity — the surviving owners' state equals a
+//!     never-faulted differential reference of the same workload;
+//! (c) the multi-client history against the hot contended key passes the
+//!     exact linearizability checker.
+
+use hydro_deploy::campaign::{run_campaign, CampaignConfig};
+use proptest::prelude::*;
+
+fn check(cfg: CampaignConfig) {
+    let report = run_campaign(&cfg);
+    assert_eq!(
+        report.submitted, report.answered,
+        "unanswered requests: {report:?}"
+    );
+    assert_eq!(report.lost_acks, 0, "acked-request loss: {report:?}");
+    assert!(
+        report.state_matches_reference,
+        "diverged from the no-fault reference: {report:?}"
+    );
+    assert!(report.linearizable, "non-linearizable history: {report:?}");
+    assert!(report.passed(), "campaign failed: {report:?}");
+}
+
+proptest! {
+    // Each case runs a faulted deployment plus its differential
+    // reference; a small case count still covers many schedules because
+    // the seed drives the workload shuffle, fault times, and victims.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_campaigns_over_two_shards_hold_all_guarantees(
+        seed in any::<u64>(),
+        kills in 1usize..=2,
+    ) {
+        check(CampaignConfig {
+            seed,
+            shard_count: 2,
+            kills,
+            isolations: 2 - kills,
+            unique_puts: 24,
+            hot_ops: 16,
+            ..CampaignConfig::default()
+        });
+    }
+
+    #[test]
+    fn random_campaigns_over_four_shards_hold_all_guarantees(
+        seed in any::<u64>(),
+        kills in 1usize..=3,
+        isolations in 0usize..=1,
+    ) {
+        check(CampaignConfig {
+            seed,
+            shard_count: 4,
+            kills,
+            isolations,
+            ..CampaignConfig::default()
+        });
+    }
+}

@@ -125,8 +125,16 @@ pub struct NetStats {
     pub sent: u64,
     /// Messages delivered to live nodes.
     pub delivered: u64,
-    /// Messages dropped (loss, partition, or dead destination).
+    /// Messages dropped for any reason (always the sum of the three
+    /// per-cause counters below).
     pub dropped: u64,
+    /// Dropped by random link loss ([`LinkModel::drop_prob`]).
+    pub dropped_by_loss: u64,
+    /// Dropped because the endpoints were partitioned — at send time or,
+    /// for in-flight messages crossing a cut, at delivery time.
+    pub dropped_by_partition: u64,
+    /// Dropped because the destination node was dead at delivery time.
+    pub dropped_by_dead: u64,
     /// Timer events fired.
     pub timers_fired: u64,
 }
@@ -231,6 +239,18 @@ impl<M: 'static> Sim<M> {
 
     /// Partition two groups: messages between them are dropped until
     /// [`Sim::heal`].
+    ///
+    /// **Cut semantics.** The cut is checked at *both* send and delivery
+    /// time: a message crosses only if the link is open at both moments.
+    /// In particular, a message already in flight when the partition
+    /// lands is **dropped** (a cut severs the wire; packets in transit
+    /// are lost, not parked), and symmetrically a message sent during
+    /// the partition stays dropped even if [`Sim::heal`] runs before its
+    /// would-be delivery time. Both cases count as
+    /// [`NetStats::dropped_by_partition`]. Recovery protocols must
+    /// therefore tolerate the loss of messages sent *near* the cut, not
+    /// just during it — which is what retry/retransmission layers are
+    /// for.
     pub fn partition(&mut self, a: &[NodeId], b: &[NodeId]) {
         for &x in a {
             for &y in b {
@@ -259,10 +279,12 @@ impl<M: 'static> Sim<M> {
         self.stats.sent += 1;
         if self.partitions.contains(&(src, dst)) {
             self.stats.dropped += 1;
+            self.stats.dropped_by_partition += 1;
             return;
         }
         if self.link.drop_prob > 0.0 && self.rng.gen_bool(self.link.drop_prob) {
             self.stats.dropped += 1;
+            self.stats.dropped_by_loss += 1;
             return;
         }
         let latency = self.latency_between(src, dst);
@@ -310,8 +332,16 @@ impl<M: 'static> Sim<M> {
         let event = self.events[slot].take().expect("event taken once");
         match event {
             Event::Deliver { src, dst, msg } => {
+                // In-flight messages crossing a cut are lost (see
+                // [`Sim::partition`] for the full cut semantics).
+                if self.partitions.contains(&(src, dst)) {
+                    self.stats.dropped += 1;
+                    self.stats.dropped_by_partition += 1;
+                    return true;
+                }
                 if !self.nodes[dst].alive {
                     self.stats.dropped += 1;
+                    self.stats.dropped_by_dead += 1;
                     return true;
                 }
                 self.stats.delivered += 1;
@@ -387,6 +417,104 @@ impl<M: 'static> Sim<M> {
     pub fn start_timer(&mut self, node: NodeId, timer: u64, delay: SimTime) {
         self.schedule_timer(node, timer, delay);
     }
+}
+
+/// One scheduled fault-injection action (see [`FaultSchedule`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Crash a node ([`Sim::kill`]).
+    Kill(NodeId),
+    /// Restart a node; its logic keeps whatever state it retained
+    /// ([`Sim::revive`]).
+    Revive(NodeId),
+    /// Cut one node off from every other node, both directions — the
+    /// partition shape of an unreachable-but-running machine.
+    Isolate(NodeId),
+    /// Partition two explicit groups ([`Sim::partition`]).
+    Partition(Vec<NodeId>, Vec<NodeId>),
+    /// Remove every cut ([`Sim::heal`]).
+    Heal,
+}
+
+/// A time-ordered schedule of fault actions against a [`Sim`] — the
+/// deterministic fault-injection campaign driver. Build one from explicit
+/// `(virtual time, action)` pairs (typically derived from a seed by the
+/// campaign harness), then either call [`FaultSchedule::apply_due`]
+/// inside your own event loop or hand the whole run to
+/// [`run_with_faults`]. The same schedule over the same seeded simulator
+/// replays bit-identically.
+#[derive(Clone, Debug, Default)]
+pub struct FaultSchedule {
+    events: Vec<(SimTime, FaultAction)>,
+    next: usize,
+}
+
+impl FaultSchedule {
+    /// A schedule from `(time, action)` pairs; sorted by time, ties keep
+    /// their given order.
+    pub fn new(mut events: Vec<(SimTime, FaultAction)>) -> Self {
+        events.sort_by_key(|(t, _)| *t);
+        FaultSchedule { events, next: 0 }
+    }
+
+    /// The scheduled events, in application order.
+    pub fn events(&self) -> &[(SimTime, FaultAction)] {
+        &self.events
+    }
+
+    /// Virtual time of the next unapplied action, if any.
+    pub fn next_at(&self) -> Option<SimTime> {
+        self.events.get(self.next).map(|(t, _)| *t)
+    }
+
+    /// Whether every action has been applied.
+    pub fn is_done(&self) -> bool {
+        self.next >= self.events.len()
+    }
+
+    /// Apply every action due at or before `sim.now()`; returns how many
+    /// were applied.
+    pub fn apply_due<M: 'static>(&mut self, sim: &mut Sim<M>) -> usize {
+        let mut applied = 0;
+        while let Some((t, action)) = self.events.get(self.next) {
+            if *t > sim.now() {
+                break;
+            }
+            match action {
+                FaultAction::Kill(n) => sim.kill(*n),
+                FaultAction::Revive(n) => sim.revive(*n),
+                FaultAction::Isolate(n) => {
+                    let others: Vec<NodeId> =
+                        (0..sim.node_count()).filter(|m| m != n).collect();
+                    sim.partition(&[*n], &others);
+                }
+                FaultAction::Partition(a, b) => sim.partition(a, b),
+                FaultAction::Heal => sim.heal(),
+            }
+            self.next += 1;
+            applied += 1;
+        }
+        applied
+    }
+}
+
+/// Drive `sim` until `deadline`, injecting `faults` at their scheduled
+/// virtual times: the simulator runs up to each fault's timestamp, the
+/// fault lands, and the run continues — so a kill scheduled mid-flight
+/// interleaves with deliveries exactly as the timestamps dictate.
+pub fn run_with_faults<M: 'static>(
+    sim: &mut Sim<M>,
+    faults: &mut FaultSchedule,
+    deadline: SimTime,
+) {
+    while let Some(t) = faults.next_at() {
+        if t > deadline {
+            break;
+        }
+        sim.run_until(t);
+        faults.apply_due(sim);
+    }
+    sim.run_until(deadline);
 }
 
 #[cfg(test)]
@@ -495,6 +623,94 @@ mod tests {
         sim.send_internal(0, 1, 9);
         sim.run_to_quiescence(10);
         assert_eq!(log.borrow().len(), 1);
+    }
+
+    #[test]
+    fn partition_drops_in_flight_messages_crossing_the_cut() {
+        // The message is in flight when the cut lands: delivery-time
+        // check drops it, counted as a partition drop.
+        let (mut sim, log) = two_nodes(3, LinkModel::default());
+        sim.send_internal(0, 1, 9);
+        sim.partition(&[0], &[1]);
+        sim.run_to_quiescence(10);
+        assert!(log.borrow().is_empty());
+        assert_eq!(sim.stats().dropped_by_partition, 1);
+        assert_eq!(sim.stats().dropped, 1);
+    }
+
+    #[test]
+    fn heal_before_delivery_restores_in_flight_messages() {
+        // Cut and heal both happen while the message is in flight: the
+        // link is open at send and at delivery, so it goes through.
+        let (mut sim, log) = two_nodes(3, LinkModel::default());
+        sim.send_internal(0, 1, 9);
+        sim.partition(&[0], &[1]);
+        sim.heal();
+        sim.run_to_quiescence(10);
+        assert_eq!(log.borrow().len(), 1);
+        assert_eq!(sim.stats().dropped, 0);
+    }
+
+    #[test]
+    fn drop_causes_are_counted_separately() {
+        let (mut sim, _log) = two_nodes(3, LinkModel::default());
+        sim.partition(&[0], &[1]);
+        sim.send_internal(0, 1, 9); // partition drop (send-time)
+        sim.heal();
+        sim.kill(1);
+        sim.send_internal(0, 1, 9); // dead-destination drop
+        sim.run_to_quiescence(10);
+        let s = sim.stats();
+        assert_eq!(s.dropped_by_partition, 1);
+        assert_eq!(s.dropped_by_dead, 1);
+        assert_eq!(s.dropped_by_loss, 0);
+        assert_eq!(s.dropped, 2);
+    }
+
+    #[test]
+    fn fault_schedule_applies_actions_at_their_times() {
+        let (mut sim, log) = two_nodes(3, LinkModel::default());
+        // Node 1 dies at t=10_000 and revives at t=30_000; messages sent
+        // while it is down are lost, later ones arrive.
+        let mut faults = FaultSchedule::new(vec![
+            (30_000, FaultAction::Revive(1)),
+            (10_000, FaultAction::Kill(1)),
+        ]);
+        assert_eq!(faults.next_at(), Some(10_000)); // sorted by time
+        sim.send_internal(0, 1, 9); // delivered before the kill
+        run_with_faults(&mut sim, &mut faults, 20_000);
+        assert!(!sim.is_alive(1));
+        sim.send_internal(0, 1, 9); // dropped: node 1 is down
+        run_with_faults(&mut sim, &mut faults, 40_000);
+        assert!(faults.is_done());
+        assert!(sim.is_alive(1));
+        sim.send_internal(0, 1, 9); // delivered after revive
+        sim.run_to_quiescence(10);
+        assert_eq!(log.borrow().len(), 2);
+        assert_eq!(sim.stats().dropped_by_dead, 1);
+    }
+
+    #[test]
+    fn isolate_cuts_a_node_off_and_heal_restores() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim: Sim<u32> = Sim::new(LinkModel::default(), 7);
+        for vm in 0..3 {
+            sim.add_node(Echo { log: log.clone() }, DomainPath::new(0, 0, vm));
+        }
+        let mut faults = FaultSchedule::new(vec![
+            (0, FaultAction::Isolate(1)),
+            (50_000, FaultAction::Heal),
+        ]);
+        faults.apply_due(&mut sim);
+        sim.send_internal(0, 1, 9); // into the isolated node: dropped
+        sim.send_internal(0, 2, 9); // unaffected pair: delivered
+        sim.run_until(40_000);
+        assert_eq!(log.borrow().len(), 1);
+        run_with_faults(&mut sim, &mut faults, 60_000);
+        sim.send_internal(0, 1, 9);
+        sim.run_to_quiescence(10);
+        assert_eq!(log.borrow().len(), 2);
+        assert_eq!(sim.stats().dropped_by_partition, 1);
     }
 
     #[test]

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Perf smoke: run the E1/E8/E15/E16 interpreter sweeps, record trajectory.
+# Perf smoke: run the E1/E8/E15/E16/E17 interpreter sweeps, record
+# trajectory.
 #
 # Builds the release report binary, prints the E1 (COVID tracker), E8
-# (transitive closure), E15 (cross-tick steady state) and E16 (sharded
-# scale-out) tables, and writes BENCH_interp.json at the repo root:
+# (transitive closure), E15 (cross-tick steady state), E16 (sharded
+# scale-out) and E17 (failover campaign) tables, and writes
+# BENCH_interp.json at the repo root:
 # [{workload, n, wall_ms, items_processed}, ...] covering the incremental
 # interpreter, the fresh-per-tick semi-naive path, the retained naive
 # reference, the compiled Hydroflow path, and per-tick steady-state wall
@@ -28,7 +30,7 @@ if [[ -f "$out" ]]; then
 fi
 
 cargo build --release -p hydro-bench --bin report
-./target/release/report e01 e08 e15 e16 --bench-json="$out"
+./target/release/report e01 e08 e15 e16 e17 --bench-json="$out"
 
 echo
 echo "== $out =="

@@ -26,6 +26,14 @@ echo "== cargo test -q --workspace =="
 cargo test -q --workspace
 
 echo
+echo "== seeded fault-injection campaigns =="
+# The randomized failover campaigns are part of the workspace suite
+# above; run them by name too so a campaign failure is unmissable in CI
+# output rather than buried in the workspace wall.
+cargo test -q -p hydro-deploy --test fault_campaigns
+cargo test -q -p hydro-deploy campaign
+
+echo
 echo "== examples (catch example rot) =="
 # Run the examples that exercise the public API end-to-end; each must
 # exit 0. Output is captured and only shown on failure.
