@@ -20,35 +20,70 @@
 //!   result), [`RuleClass::GlobalOnly`] (reads only global relations, so
 //!   it is complete on shard 0 and empty elsewhere), or
 //!   [`RuleClass::NeedsExchange`] — a join/negation/aggregation over
-//!   partitioned inputs that a shard cannot answer from its own slice
-//!   without a broadcast or shuffle. The runtime has no exchange operator
-//!   yet, so the analysis *demotes to global* any state a shard-partial
-//!   view could leak into: the classification is where a future exchange
-//!   planner plugs in.
+//!   partitioned inputs that a shard cannot answer from its own slice.
+//!
+//! **The exchange plan.** A `NeedsExchange` view no longer automatically
+//! demotes its partitioned sources to the global shard: when every global
+//! consumption of the affected relations is *order- and
+//! timing-insensitive*, the analysis instead lowers a delta-exchange plan
+//! ([`ExchangeSpec`]) — the source tables stay partitioned, non-gather
+//! shards ship each tick's net row deltas to shard 0 at the tick barrier,
+//! and shard 0 alone evaluates the affected views over local + shipped
+//! foreign rows (the other shards skip those view heads). Shipping at
+//! tick barriers makes foreign rows exactly as fresh as a single node's
+//! tick-start snapshot, so the plan is sound precisely when nothing
+//! observes *order* or *mid-tick* state of the exchanged relations. A
+//! candidate table `t` (with taint set = `t` plus every view transitively
+//! reading it) therefore still **demotes** when:
+//!
+//! * a global handler iterates a tainted relation in emission order (a
+//!   `Send`/`ForEach` select scan — row order is observable there, and a
+//!   local+foreign concatenation orders differently than a single node's
+//!   interleaved insertions; `CollectSet`, negation and keyed lookups are
+//!   content-based and safe);
+//! * a global handler *writes* `t` by key (rows would materialize on
+//!   shard 0 that hash-belong to another shard, breaking disjointness);
+//! * a *serialized* global handler (Serializable level, or any handler
+//!   carrying invariants) reads or writes `t` by key — serialized
+//!   execution observes same-tick commits through the tick mirror and
+//!   monitors preconditions against owned state, and foreign rows are
+//!   only barrier-fresh;
+//! * a tainted view calls a UDF (stateful, per-instance: the gather
+//!   shard's host would see different invocation streams than the
+//!   owner's);
+//! * or exchange is disabled by [`ExchangePolicy::Demote`] (the
+//!   sim-based deployment layer keeps the demote-only plan: its ticks
+//!   are not barrier-synchronized across nodes).
 //!
 //! Classification runs to a **demotion fixpoint**: a table shared between
-//! a local and a global handler forces the local handler global; anything
-//! a global handler reads — transitively through rule bodies — must be
-//! global, so partitioned sources reachable from a global reader demote
-//! their handlers too; tables carrying a functional dependency whose
-//! determinant *omits* the partition key stay global so FD monitoring
-//! sees whole tables (such an FD can be violated by rows on different
-//! shards), while FDs whose determinant contains the partition key are
-//! checked per-shard — equal-determinant rows share the partition value
-//! and therefore a shard, so the local monitor sees every violating pair.
+//! a local and a global handler forces the local handler global *unless
+//! the sharing is exchange-admissible* (above); anything a global handler
+//! reads — transitively through rule bodies — must likewise be global or
+//! exchange-shipped; a local handler whose mailbox relation is read from
+//! the global shard demotes (mailbox relations never ship); tables
+//! carrying a functional dependency whose determinant *omits* the
+//! partition key stay global so FD monitoring sees whole tables (such an
+//! FD can be violated by rows on different shards), while FDs whose
+//! determinant contains the partition key are checked per-shard —
+//! equal-determinant rows share the partition value and therefore a
+//! shard, so the local monitor sees every violating pair.
 //!
-//! The result lowers to a [`RoutingSpec`] for
-//! [`hydro_core::shard::ShardedTransducer`]; [`sharded`] is the one-call
-//! convenience. The differential suite
-//! (`tests/sharded_differential.rs`) pins the soundness of exactly this
-//! pipeline: for analysis-produced specs, a sharded run is
-//! indistinguishable from the single transducer.
+//! The result lowers to a [`RoutingSpec`] (routes + exchange plan) for
+//! [`hydro_core::shard::ShardedTransducer`] and
+//! [`hydro_core::shard::ParallelShardedTransducer`]; [`sharded`] and
+//! [`parallel_sharded`] are the one-call conveniences. The differential
+//! suite (`tests/sharded_differential.rs`) pins the soundness of exactly
+//! this pipeline — serial and parallel drivers alike — for
+//! analysis-produced specs: a sharded run is indistinguishable from the
+//! single transducer, exchange plans included.
 
 use hydro_core::ast::{
     AssignTarget, BodyAtom, Expr, Handler, MergeTarget, Program, Select, Stmt, Term, Trigger,
 };
-use hydro_core::facets::Invariant;
-use hydro_core::shard::{Route, RoutingSpec, ShardedTransducer};
+use hydro_core::facets::{ConsistencyLevel, Invariant};
+use hydro_core::shard::{
+    ExchangeSpec, ParallelShardedTransducer, Route, RoutingSpec, ShardedTransducer,
+};
 use hydro_core::interp::TransducerError;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -90,6 +125,19 @@ pub enum RuleClass {
     NeedsExchange,
 }
 
+/// Whether the analysis may plan delta exchanges, or must fall back to
+/// PR 4's demote-to-global behavior (see the module docs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExchangePolicy {
+    /// Plan delta exchanges for admissible `NeedsExchange` views.
+    #[default]
+    Enabled,
+    /// Never exchange; demote partitioned state observed from the global
+    /// shard. Used by deployments whose ticks are not barrier-synchronized
+    /// (the network-sim deployment layer).
+    Demote,
+}
+
 /// The full partition analysis of one program.
 #[derive(Clone, Debug)]
 pub struct PartitionReport {
@@ -99,16 +147,23 @@ pub struct PartitionReport {
     pub tables: BTreeMap<String, TableClass>,
     /// Per-view-head classification (worst rule wins for shared heads).
     pub rules: BTreeMap<String, RuleClass>,
-    /// Human-readable findings (demotions and exchange requirements).
+    /// The lowered delta-exchange plan (empty when nothing exchanges —
+    /// every global observation is either of global state or demoted).
+    pub exchange: ExchangeSpec,
+    /// Human-readable findings (demotions and exchange plans).
     pub notes: Vec<String>,
 }
 
 impl PartitionReport {
     /// Lower to the runtime routing spec: local handlers hash-route by
     /// their routing parameter, everything else (global handlers and
-    /// declared mailboxes) pins to shard 0.
+    /// declared mailboxes) pins to shard 0; the exchange plan rides
+    /// along for the shard drivers to configure delta shipping.
     pub fn routing(&self) -> RoutingSpec {
-        let mut spec = RoutingSpec::default();
+        let mut spec = RoutingSpec {
+            exchange: self.exchange.clone(),
+            ..RoutingSpec::default()
+        };
         for (name, class) in &self.handlers {
             let route = match class {
                 HandlerClass::Local { param } => Route::ByParam(*param),
@@ -143,15 +198,39 @@ impl PartitionReport {
 struct Facts {
     /// Relations read whole (scans in selects, negation, comprehensions).
     scans: BTreeSet<String>,
-    /// Keyed table accesses: `(table, Some(param))` when the key
-    /// expression is exactly that message parameter, `None` otherwise.
-    keyed: Vec<(String, Option<String>)>,
+    /// Relations scanned where *row order is observable*: top-level scan
+    /// atoms of `Send`/`ForEach` select bodies, whose match enumeration
+    /// order determines emission/iteration order. `CollectSet` bodies and
+    /// negation are content-based and excluded. Exchange-shipped foreign
+    /// rows concatenate after local ones, so ordered scans are
+    /// exchange-inadmissible.
+    ordered_scans: BTreeSet<String>,
+    /// Keyed table *reads* (`FieldOf`/`RowOf`/`HasKey`, `HasKey`
+    /// invariants): `(table, Some(param))` when the key expression is
+    /// exactly that message parameter, `None` otherwise.
+    keyed_reads: Vec<(String, Option<String>)>,
+    /// Keyed table *writes* (insert/delete/field assign/field merge),
+    /// same alignment encoding.
+    keyed_writes: Vec<(String, Option<String>)>,
     /// Reads or writes any scalar (scalars are global by nature).
     scalar_touch: bool,
     /// Calls a UDF (stateful, per-instance — shard-unsafe).
     udf: bool,
     /// Clears a declared mailbox (declared mailboxes are global).
     clears: bool,
+}
+
+impl Facts {
+    /// All keyed accesses, reads and writes alike (alignment checks and
+    /// table-ownership tracking treat them identically).
+    fn keyed(&self) -> impl Iterator<Item = &(String, Option<String>)> {
+        self.keyed_reads.iter().chain(self.keyed_writes.iter())
+    }
+
+    /// Whether this handler reads or writes `table` by key.
+    fn keyed_touches(&self, table: &str) -> bool {
+        self.keyed().any(|(t, _)| t == table)
+    }
 }
 
 fn param_of(key: &Expr, params: &BTreeSet<String>) -> Option<String> {
@@ -173,10 +252,11 @@ fn walk_expr(e: &Expr, params: &BTreeSet<String>, f: &mut Facts) {
         Expr::FieldOf { table, key, .. }
         | Expr::RowOf { table, key }
         | Expr::HasKey { table, key } => {
-            f.keyed.push((table.clone(), param_of(key, params)));
+            f.keyed_reads.push((table.clone(), param_of(key, params)));
             walk_expr(key, params, f);
         }
-        Expr::CollectSet(sel) => walk_select(sel, params, f),
+        // A collected set is order-insensitive (it *is* a set).
+        Expr::CollectSet(sel) => walk_select(sel, params, f, false),
         Expr::Cmp(_, l, r)
         | Expr::Arith(_, l, r)
         | Expr::And(l, r)
@@ -217,7 +297,11 @@ fn select_bound(body: &[BodyAtom]) -> BTreeSet<String> {
     bound
 }
 
-fn walk_select(sel: &Select, params: &BTreeSet<String>, f: &mut Facts) {
+/// Walk a select. `ordered` marks contexts where the row enumeration
+/// order of the select's scans is observable (`Send`/`ForEach` bodies);
+/// nested `CollectSet` selects reset it — aggregating into a set erases
+/// order again.
+fn walk_select(sel: &Select, params: &BTreeSet<String>, f: &mut Facts, ordered: bool) {
     let inner: BTreeSet<String> = params
         .difference(&select_bound(&sel.body))
         .cloned()
@@ -226,6 +310,9 @@ fn walk_select(sel: &Select, params: &BTreeSet<String>, f: &mut Facts) {
         match atom {
             BodyAtom::Scan { rel, .. } => {
                 f.scans.insert(rel.clone());
+                if ordered {
+                    f.ordered_scans.insert(rel.clone());
+                }
             }
             BodyAtom::Neg { rel, args } => {
                 f.scans.insert(rel.clone());
@@ -269,7 +356,7 @@ fn walk_stmts(program: &Program, params: &BTreeSet<String>, stmts: &[Stmt], f: &
                 match target {
                     MergeTarget::Scalar(_) => f.scalar_touch = true,
                     MergeTarget::TableField { table, key, .. } => {
-                        f.keyed.push((table.clone(), param_of(key, params)));
+                        f.keyed_writes.push((table.clone(), param_of(key, params)));
                         walk_expr(key, params, f);
                     }
                 }
@@ -279,7 +366,7 @@ fn walk_stmts(program: &Program, params: &BTreeSet<String>, stmts: &[Stmt], f: &
                 match target {
                     AssignTarget::Scalar(_) => f.scalar_touch = true,
                     AssignTarget::TableField { table, key, .. } => {
-                        f.keyed.push((table.clone(), param_of(key, params)));
+                        f.keyed_writes.push((table.clone(), param_of(key, params)));
                         walk_expr(key, params, f);
                     }
                 }
@@ -288,14 +375,16 @@ fn walk_stmts(program: &Program, params: &BTreeSet<String>, stmts: &[Stmt], f: &
                 for e in values {
                     walk_expr(e, params, f);
                 }
-                f.keyed
+                f.keyed_writes
                     .push((table.clone(), insert_alignment(program, table, values, params)));
             }
             Stmt::Delete { table, key } => {
-                f.keyed.push((table.clone(), param_of(key, params)));
+                f.keyed_writes.push((table.clone(), param_of(key, params)));
                 walk_expr(key, params, f);
             }
-            Stmt::Send { select, .. } => walk_select(select, params, f),
+            // `send` emits one message per matched row: scan order is
+            // observable emission order.
+            Stmt::Send { select, .. } => walk_select(select, params, f, true),
             Stmt::Return(e) => walk_expr(e, params, f),
             Stmt::If { cond, then, els } => {
                 walk_expr(cond, params, f);
@@ -303,7 +392,8 @@ fn walk_stmts(program: &Program, params: &BTreeSet<String>, stmts: &[Stmt], f: &
                 walk_stmts(program, params, els, f);
             }
             Stmt::ForEach { select, stmts } => {
-                walk_select(select, params, f);
+                // Body statements execute once per row, in scan order.
+                walk_select(select, params, f, true);
                 let inner: BTreeSet<String> = params
                     .difference(&select_bound(&select.body))
                     .cloned()
@@ -326,7 +416,7 @@ fn handler_facts(program: &Program, h: &Handler) -> Facts {
         match inv {
             Invariant::HasKey { table, key_param } => {
                 let aligned = params.contains(key_param).then(|| key_param.clone());
-                f.keyed.push((table.clone(), aligned));
+                f.keyed_reads.push((table.clone(), aligned));
             }
             Invariant::NonNegative(_) => f.scalar_touch = true,
         }
@@ -352,7 +442,7 @@ fn initial_class(h: &Handler, facts: &Facts) -> HandlerClass {
         return global(format!("scans whole relation {rel:?}"));
     }
     let mut routing: BTreeSet<&String> = BTreeSet::new();
-    for (table, aligned) in &facts.keyed {
+    for (table, aligned) in facts.keyed() {
         match aligned {
             Some(p) => {
                 routing.insert(p);
@@ -438,8 +528,44 @@ fn body_rels(body: &[BodyAtom], extra: &[&Expr], out: &mut BTreeSet<String>) {
     }
 }
 
-/// Run the key-partition analysis (see module docs).
+/// Does any expression of a rule body (plus extras) call a UDF?
+fn exprs_call_udf(body: &[BodyAtom], extra: &[&Expr]) -> bool {
+    fn expr_calls(e: &Expr) -> bool {
+        match e {
+            Expr::Call(_, _) => true,
+            Expr::CollectSet(sel) => {
+                exprs_call_udf(&sel.body, &sel.projection.iter().collect::<Vec<_>>())
+            }
+            Expr::FieldOf { key, .. } | Expr::RowOf { key, .. } | Expr::HasKey { key, .. } => {
+                expr_calls(key)
+            }
+            Expr::Cmp(_, l, r)
+            | Expr::Arith(_, l, r)
+            | Expr::And(l, r)
+            | Expr::Or(l, r)
+            | Expr::Contains(l, r) => expr_calls(l) || expr_calls(r),
+            Expr::Not(e) | Expr::Len(e) | Expr::Index(e, _) => expr_calls(e),
+            Expr::Tuple(items) | Expr::SetBuild(items) => items.iter().any(expr_calls),
+            Expr::Const(_) | Expr::Var(_) | Expr::Scalar(_) => false,
+        }
+    }
+    body.iter().any(|atom| match atom {
+        BodyAtom::Scan { .. } => false,
+        BodyAtom::Neg { args, .. } => args.iter().any(expr_calls),
+        BodyAtom::Guard(e) | BodyAtom::Let { expr: e, .. } | BodyAtom::Flatten { set: e, .. } => {
+            expr_calls(e)
+        }
+    }) || extra.iter().any(|e| expr_calls(e))
+}
+
+/// Run the key-partition analysis with exchange planning enabled (see
+/// module docs).
 pub fn partition(program: &Program) -> PartitionReport {
+    partition_with(program, ExchangePolicy::Enabled)
+}
+
+/// Run the key-partition analysis under an explicit [`ExchangePolicy`].
+pub fn partition_with(program: &Program, policy: ExchangePolicy) -> PartitionReport {
     let facts: BTreeMap<String, Facts> = program
         .handlers
         .iter()
@@ -465,6 +591,60 @@ pub fn partition(program: &Program) -> PartitionReport {
         body_rels(&r.body, &extra, rule_reads.entry(r.head.clone()).or_default());
     }
 
+    // Transitive read closure per head (exchange taint needs "does this
+    // view read that table through any chain of views").
+    let mut trans_reads = rule_reads.clone();
+    loop {
+        let snapshot = trans_reads.clone();
+        let mut grew = false;
+        for reads in trans_reads.values_mut() {
+            let mut add: BTreeSet<String> = BTreeSet::new();
+            for r in reads.iter() {
+                if let Some(rr) = snapshot.get(r) {
+                    add.extend(rr.iter().cloned());
+                }
+            }
+            let before = reads.len();
+            reads.extend(add);
+            grew |= reads.len() > before;
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    // View heads whose rules call UDFs (exchange-inadmissible: the UDF
+    // host is per-instance state).
+    let mut udf_heads: BTreeSet<String> = BTreeSet::new();
+    for r in &program.rules {
+        let extra: Vec<&Expr> = r.head_exprs.iter().collect();
+        if exprs_call_udf(&r.body, &extra) {
+            udf_heads.insert(r.head.clone());
+        }
+    }
+    for r in &program.agg_rules {
+        let mut extra: Vec<&Expr> = r.group_exprs.iter().collect();
+        extra.push(&r.over);
+        if exprs_call_udf(&r.body, &extra) {
+            udf_heads.insert(r.head.clone());
+        }
+    }
+
+    // Handlers that execute serially against current state (the §7
+    // enforcement path: Serializable level, or any carried invariant) —
+    // their keyed reads go through the mid-tick mirror and their
+    // preconditions monitor owned state, so barrier-fresh foreign rows
+    // are not equivalent for them.
+    let serialized: BTreeSet<&str> = program
+        .handlers
+        .iter()
+        .filter(|h| {
+            let c = program.consistency_of(&h.name);
+            c.level == ConsistencyLevel::Serializable || !c.invariants.is_empty()
+        })
+        .map(|h| h.name.as_str())
+        .collect();
+
     // Demotion fixpoint.
     loop {
         let mut demote: Vec<(String, String)> = Vec::new();
@@ -474,7 +654,7 @@ pub fn partition(program: &Program) -> PartitionReport {
         let mut local_tables: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
         let mut global_tables: BTreeSet<&str> = BTreeSet::new();
         for h in &program.handlers {
-            for (table, _) in &facts[&h.name].keyed {
+            for (table, _) in facts[&h.name].keyed() {
                 if is_local(&classes[&h.name]) {
                     local_tables.entry(table).or_default().push(&h.name);
                 } else {
@@ -483,14 +663,73 @@ pub fn partition(program: &Program) -> PartitionReport {
             }
         }
 
-        // A table cannot be both partitioned and read/written from shard 0.
+        // Exchange admissibility of a globally-observed partitioned table:
+        // `None` means every global observation of it — and of every view
+        // transitively reading it — can be served by shipping tick-barrier
+        // deltas to the gather shard; `Some(reason)` names the first
+        // disqualifier (the module docs walk through each one).
+        let exchange_blocker = |table: &str| -> Option<String> {
+            if policy == ExchangePolicy::Demote {
+                return Some("exchange disabled by policy".into());
+            }
+            // Taint: the table plus every view transitively reading it.
+            let mut taint: BTreeSet<&str> = BTreeSet::new();
+            taint.insert(table);
+            for (head, reads) in &trans_reads {
+                if reads.contains(table) {
+                    taint.insert(head);
+                }
+            }
+            if let Some(head) = taint.iter().find(|h| udf_heads.contains(**h)) {
+                return Some(format!("view {head:?} over it calls a UDF"));
+            }
+            for h in &program.handlers {
+                let f = &facts[&h.name];
+                if is_local(&classes[&h.name]) {
+                    // A shard-local consumer of a tainted *view* would read
+                    // a head that only the gather shard evaluates.
+                    if let Some(v) = taint.iter().find(|v| **v != table && f.keyed_touches(v)) {
+                        return Some(format!(
+                            "local handler {:?} reads derived view {v:?} over it",
+                            h.name
+                        ));
+                    }
+                    continue;
+                }
+                if let Some(rel) = taint.iter().find(|r| f.ordered_scans.contains(**r)) {
+                    return Some(format!(
+                        "global handler {:?} iterates {rel:?} in emission order",
+                        h.name
+                    ));
+                }
+                if f.keyed_writes.iter().any(|(t, _)| t == table) {
+                    return Some(format!("global handler {:?} writes it by key", h.name));
+                }
+                if serialized.contains(h.name.as_str()) && f.keyed_touches(table) {
+                    return Some(format!(
+                        "serialized handler {:?} reads it outside the tick snapshot",
+                        h.name
+                    ));
+                }
+            }
+            None
+        };
+
+        // A table cannot be both partitioned and read/written from shard 0
+        // — unless the global side's accesses are exchange-admissible, in
+        // which case the table stays partitioned and ships deltas.
         for (table, owners) in &local_tables {
             if global_tables.contains(*table) {
-                for o in owners {
-                    demote.push((
-                        o.to_string(),
-                        format!("table {table:?} is shared with a global handler"),
-                    ));
+                if let Some(block) = exchange_blocker(table) {
+                    for o in owners {
+                        demote.push((
+                            o.to_string(),
+                            format!(
+                                "table {table:?} is shared with a global handler \
+                                 and cannot exchange: {block}"
+                            ),
+                        ));
+                    }
                 }
             }
             // FD monitoring is per-shard, so an FD is only checkable
@@ -530,7 +769,7 @@ pub fn partition(program: &Program) -> PartitionReport {
             }
             let f = &facts[&h.name];
             closure.extend(f.scans.iter().cloned());
-            closure.extend(f.keyed.iter().map(|(t, _)| t.clone()));
+            closure.extend(f.keyed().map(|(t, _)| t.clone()));
         }
         loop {
             let mut grew = false;
@@ -547,11 +786,16 @@ pub fn partition(program: &Program) -> PartitionReport {
         }
         for rel in &closure {
             if let Some(owners) = local_tables.get(rel.as_str()) {
-                for o in owners {
-                    demote.push((
-                        o.to_string(),
-                        format!("table {rel:?} is read (transitively) from the global shard"),
-                    ));
+                if let Some(block) = exchange_blocker(rel) {
+                    for o in owners {
+                        demote.push((
+                            o.to_string(),
+                            format!(
+                                "table {rel:?} is read (transitively) from the global \
+                                 shard and cannot exchange: {block}"
+                            ),
+                        ));
+                    }
                 }
             }
             // A local handler's mailbox relation read by a global consumer
@@ -585,7 +829,7 @@ pub fn partition(program: &Program) -> PartitionReport {
         .collect();
     for h in &program.handlers {
         if matches!(classes[&h.name], HandlerClass::Local { .. }) {
-            for (table, _) in &facts[&h.name].keyed {
+            for (table, _) in facts[&h.name].keyed() {
                 if let Some(slot) = tables.get_mut(table) {
                     *slot = TableClass::Partitioned;
                 }
@@ -593,8 +837,8 @@ pub fn partition(program: &Program) -> PartitionReport {
         }
     }
 
-    // Rule classification (reporting + the hook for a future exchange
-    // planner): fixpoint over heads, worst rule wins.
+    // Rule classification (reporting + input to the exchange plan):
+    // fixpoint over heads, worst rule wins.
     let partitioned_rel = |rel: &str,
                            heads: &BTreeMap<String, RuleClass>|
      -> bool {
@@ -670,8 +914,55 @@ pub fn partition(program: &Program) -> PartitionReport {
             break;
         }
     }
+    // The exchange plan: recompute the global observation closure over the
+    // *final* classes. Partitioned tables inside it are exactly the ones
+    // that survived demotion because exchange is admissible — they ship
+    // per-tick deltas, and every view head transitively reading a shipped
+    // table evaluates only on the gather shard (the others skip it).
+    let mut observed: BTreeSet<String> = BTreeSet::new();
+    for h in &program.handlers {
+        if matches!(classes[&h.name], HandlerClass::Local { .. }) {
+            continue;
+        }
+        let f = &facts[&h.name];
+        observed.extend(f.scans.iter().cloned());
+        observed.extend(f.keyed().map(|(t, _)| t.clone()));
+    }
+    loop {
+        let mut grew = false;
+        for (head, reads) in &rule_reads {
+            if observed.contains(head) {
+                for r in reads {
+                    grew |= observed.insert(r.clone());
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    let ship_tables: BTreeSet<String> = observed
+        .iter()
+        .filter(|t| tables.get(*t) == Some(&TableClass::Partitioned))
+        .cloned()
+        .collect();
+    let gather_views: BTreeSet<String> = trans_reads
+        .iter()
+        .filter(|(_, reads)| reads.iter().any(|r| ship_tables.contains(r)))
+        .map(|(head, _)| head.clone())
+        .collect();
+
     for (head, class) in &rules {
-        if *class == RuleClass::NeedsExchange {
+        if *class != RuleClass::NeedsExchange {
+            continue;
+        }
+        if gather_views.contains(head) {
+            notes.push(format!(
+                "view {head:?} executes via delta exchange: its partitioned inputs \
+                 ship per-tick deltas to the gather shard, which alone evaluates it \
+                 over local + foreign rows"
+            ));
+        } else {
             notes.push(format!(
                 "view {head:?} requires broadcast/exchange over partitioned inputs; \
                  per-shard derivations are partial (sound only while no global reader \
@@ -679,11 +970,23 @@ pub fn partition(program: &Program) -> PartitionReport {
             ));
         }
     }
+    if !ship_tables.is_empty() {
+        notes.push(format!(
+            "exchange plan: tables {:?} ship tick-barrier deltas; views {:?} \
+             evaluate on the gather shard only",
+            ship_tables.iter().collect::<Vec<_>>(),
+            gather_views.iter().collect::<Vec<_>>(),
+        ));
+    }
 
     PartitionReport {
         handlers: classes,
         tables,
         rules,
+        exchange: ExchangeSpec {
+            ship_tables,
+            gather_views,
+        },
         notes,
     }
 }
@@ -693,4 +996,14 @@ pub fn partition(program: &Program) -> PartitionReport {
 pub fn sharded(program: &Program, shards: usize) -> Result<ShardedTransducer, TransducerError> {
     let routing = partition(program).routing();
     ShardedTransducer::new(program.clone(), routing, shards)
+}
+
+/// One-call convenience: analyze `program`, lower the report, and spin up
+/// the N-worker [`ParallelShardedTransducer`] over it.
+pub fn parallel_sharded(
+    program: &Program,
+    shards: usize,
+) -> Result<ParallelShardedTransducer, TransducerError> {
+    let routing = partition(program).routing();
+    ParallelShardedTransducer::new(program.clone(), routing, shards)
 }

@@ -1,31 +1,42 @@
-//! Differential testing of the key-partitioned [`ShardedTransducer`]
-//! against the single [`Transducer`].
+//! Differential testing of the key-partitioned shard drivers — the serial
+//! [`ShardedTransducer`] *and* the worker-thread
+//! [`ParallelShardedTransducer`] — against the single [`Transducer`].
 //!
 //! The sharding contract: under an analysis-produced routing spec, a
 //! sharded run is indistinguishable from the single-node run — identical
 //! responses (exact sequence after the deterministic merge), identical
 //! sends and warnings as multisets, and a merged state equal to the
 //! single transducer's, over randomized insert / delete / message / abort
-//! sequences. With one shard the entire [`TickOutput`] must be
-//! bit-identical. Three program shapes are covered:
+//! sequences. Every property runs *three-way*: single vs serial driver vs
+//! parallel driver, so thread scheduling can never reach an observable
+//! output. With one shard the entire [`TickOutput`] must be
+//! bit-identical. Four program shapes are covered:
 //!
 //! * a **partitionable KVS** — keyed puts/deletes/reads/updates, a
 //!   transactional `reserve` with a `HasKey` invariant (exercising
 //!   aligned abort/rollback under sharding), and a shard-local view;
 //! * a **broadcast-requiring program** — a handler that scans the table
-//!   whole plus an aggregation over it; the analysis must pin everything
-//!   to shard 0 ([`PartitionReport::requires_broadcast`]) and the run
-//!   still matches;
+//!   whole *in emission order* plus an aggregation over it; the analysis
+//!   must pin everything to shard 0
+//!   ([`PartitionReport::requires_broadcast`] — the ordered scan blocks
+//!   delta exchange) and the run still matches;
 //! * a **mixed program** — partitioned KVS alongside global scalar
 //!   handlers and a condition-triggered alert, proving local handlers
 //!   stay local while global effects fire exactly once (not once per
-//!   shard).
+//!   shard);
+//! * an **exchange program** — partitioned KVS plus an aggregation read
+//!   only through an order-insensitive `CollectSet`; the analysis must
+//!   keep `kv` partitioned and plan a delta exchange (PR 4 demoted this
+//!   shape), and the partitioned run must still match the single node
+//!   exactly.
 
-use hydro_analysis::partition::{partition, HandlerClass, RuleClass, TableClass};
+use hydro_analysis::partition::{
+    partition, partition_with, ExchangePolicy, HandlerClass, RuleClass, TableClass,
+};
 use hydro_core::builder::dsl::*;
 use hydro_core::builder::ProgramBuilder;
 use hydro_core::facets::{ConsistencyReq, Invariant};
-use hydro_core::shard::ShardedTransducer;
+use hydro_core::shard::{ParallelShardedTransducer, ShardedTransducer};
 use hydro_core::{Program, TickOutput, Transducer, Value};
 use proptest::prelude::*;
 
@@ -156,6 +167,42 @@ fn mixed_program() -> Program {
         .build()
 }
 
+/// Partitioned KVS plus a count aggregate consumed only through an
+/// order-insensitive `CollectSet`: the exchange-classified shape. `kv`
+/// must stay [`TableClass::Partitioned`] with `count_kv` evaluated on the
+/// gather shard over shipped deltas — under PR 4's analysis, `stats`'s
+/// transitive read of `kv` demoted every handler to global.
+fn exchange_program() -> Program {
+    ProgramBuilder::new()
+        .table(
+            "kv",
+            vec![("k", atom()), ("val", atom())],
+            &["k"],
+            Some("k"),
+        )
+        .agg_rule(
+            "count_kv",
+            vec![i(0)],
+            hydro_core::ast::AggFun::Count,
+            v("x"),
+            vec![scan("kv", &["x", "y"])],
+        )
+        .on("put", &["k", "v"], vec![insert("kv", vec![v("k"), v("v")])])
+        .on("del", &["k"], vec![delete("kv", v("k"))])
+        .on("get", &["k"], vec![ret(field("kv", v("k"), "val"))])
+        // Reads the aggregate as a *set* — content-based, no observable
+        // row order — so the global observation is exchange-admissible.
+        .on(
+            "stats",
+            &["q"],
+            vec![ret(collect_set(select(
+                vec![scan("count_kv", &["g", "c"])],
+                vec![v("c")],
+            )))],
+        )
+        .build()
+}
+
 /// One decoded client operation.
 #[derive(Clone, Debug)]
 enum Op {
@@ -166,6 +213,7 @@ enum Op {
     Reserve(i64, i64),
     Dump(i64),
     AddTotal(i64),
+    Stats(i64),
     /// Tick both sides and compare everything.
     Tick,
 }
@@ -181,9 +229,11 @@ fn decode(raw: &[(u8, i64, i64)], program: &Program) -> Vec<Op> {
             3 => Op::Get(a),
             4 if has("bump") => Op::Bump(a, b),
             4 if has("add_total") => Op::AddTotal(b),
+            4 if has("stats") => Op::Stats(a),
             5 if has("reserve") => Op::Reserve(a, b * 40),
             5 if has("dump") => Op::Dump(a * 30),
             5 if has("add_total") => Op::AddTotal(a),
+            5 if has("stats") => Op::Stats(b),
             6 => Op::Tick,
             _ => Op::Put(a, b * 25),
         })
@@ -199,6 +249,7 @@ fn apply(op: &Op) -> Option<(&'static str, Vec<Value>)> {
         Op::Reserve(k, d) => Some(("reserve", vec![int(*k), int(*d)])),
         Op::Dump(lo) => Some(("dump", vec![int(*lo)])),
         Op::AddTotal(d) => Some(("add_total", vec![int(*d)])),
+        Op::Stats(q) => Some(("stats", vec![int(*q)])),
         Op::Tick => None,
     }
 }
@@ -232,53 +283,67 @@ fn outputs_match(single: &TickOutput, shard: &TickOutput, ctx: &str) {
     );
 }
 
-/// Run the same op sequence through the single transducer and an N-shard
-/// partitioned one, comparing every tick's outputs and the final state.
+/// Run the same op sequence through the single transducer, the serial
+/// N-shard driver, and the parallel N-worker driver, comparing every
+/// tick's outputs and the merged states three-way.
 fn differential_run(program: &Program, raw: &[(u8, i64, i64)], shards: usize) {
     let report = partition(program);
     let routing = report.routing();
     let mut single = Transducer::new(program.clone()).expect("program validates");
-    let mut sharded = ShardedTransducer::new(program.clone(), routing, shards)
+    let mut sharded = ShardedTransducer::new(program.clone(), routing.clone(), shards)
         .expect("program validates");
+    let mut parallel = ParallelShardedTransducer::new(program.clone(), routing, shards)
+        .expect("program validates");
+
+    let compare = |single: &mut Transducer,
+                   sharded: &mut ShardedTransducer,
+                   parallel: &mut ParallelShardedTransducer,
+                   ctx: &str| {
+        let a = single.tick().expect("single tick");
+        let b = sharded.tick().expect("sharded tick");
+        let c = parallel.tick().expect("parallel tick");
+        if shards == 1 {
+            assert_eq!(a, b, "{ctx}: one serial shard must be bit-identical");
+            assert_eq!(a, c, "{ctx}: one parallel shard must be bit-identical");
+        }
+        outputs_match(&a, &b, &format!("{ctx} [serial]"));
+        outputs_match(&a, &c, &format!("{ctx} [parallel]"));
+        assert_eq!(
+            single.state(),
+            &sharded.merged_state(),
+            "{ctx}: serial merged state diverges"
+        );
+        assert_eq!(
+            single.state(),
+            &parallel.merged_state(),
+            "{ctx}: parallel merged state diverges"
+        );
+    };
 
     let ops = decode(raw, program);
     for (step, op) in ops.iter().enumerate() {
         match apply(op) {
             Some((mailbox, row)) => {
-                let a = single.enqueue(mailbox, row.clone());
-                let b = sharded.enqueue(mailbox, row);
-                assert_eq!(
-                    a.ok(),
-                    b.ok(),
-                    "step {step}: enqueue ids diverge for {op:?}"
-                );
+                let a = single.enqueue(mailbox, row.clone()).ok();
+                let b = sharded.enqueue(mailbox, row.clone()).ok();
+                let c = parallel.enqueue(mailbox, row).ok();
+                assert_eq!(a, b, "step {step}: serial enqueue ids diverge for {op:?}");
+                assert_eq!(a, c, "step {step}: parallel enqueue ids diverge for {op:?}");
             }
-            None => {
-                let a = single.tick().expect("single tick");
-                let b = sharded.tick().expect("sharded tick");
-                if shards == 1 {
-                    assert_eq!(a, b, "step {step}: one shard must be bit-identical");
-                }
-                outputs_match(&a, &b, &format!("step {step} ({op:?}, N={shards})"));
-                assert_eq!(
-                    single.state(),
-                    &sharded.merged_state(),
-                    "step {step}: merged state diverges"
-                );
-            }
+            None => compare(
+                &mut single,
+                &mut sharded,
+                &mut parallel,
+                &format!("step {step} ({op:?}, N={shards})"),
+            ),
         }
     }
     // Drain whatever is still queued.
-    let a = single.tick().expect("single final tick");
-    let b = sharded.tick().expect("sharded final tick");
-    if shards == 1 {
-        assert_eq!(a, b, "final tick: one shard must be bit-identical");
-    }
-    outputs_match(&a, &b, &format!("final tick (N={shards})"));
-    assert_eq!(
-        single.state(),
-        &sharded.merged_state(),
-        "final merged state diverges"
+    compare(
+        &mut single,
+        &mut sharded,
+        &mut parallel,
+        &format!("final tick (N={shards})"),
     );
 }
 
@@ -333,25 +398,95 @@ fn mixed_analysis_keeps_kvs_local_and_scalars_global() {
 }
 
 #[test]
+fn exchange_analysis_plans_delta_exchange_not_demotion() {
+    let report = partition(&exchange_program());
+    // PR 4 demoted this shape; the exchange plan must now keep the KVS
+    // handlers local and the table partitioned.
+    for h in ["put", "del", "get"] {
+        assert_eq!(
+            report.handlers[h],
+            HandlerClass::Local { param: 0 },
+            "handler {h} must stay shard-local under the exchange plan: {:?}",
+            report.notes
+        );
+    }
+    assert!(matches!(
+        report.handlers["stats"],
+        HandlerClass::Global { .. }
+    ));
+    assert_eq!(
+        report.tables["kv"],
+        TableClass::Partitioned,
+        "kv must stay partitioned: {:?}",
+        report.notes
+    );
+    assert_eq!(report.rules["count_kv"], RuleClass::NeedsExchange);
+    assert!(!report.requires_broadcast());
+    assert!(
+        report.exchange.ship_tables.contains("kv"),
+        "kv must ship tick-barrier deltas: {:?}",
+        report.exchange
+    );
+    assert!(
+        report.exchange.gather_views.contains("count_kv"),
+        "count_kv must evaluate on the gather shard only: {:?}",
+        report.exchange
+    );
+    assert!(
+        report.notes.iter().any(|n| n.contains("delta exchange")),
+        "the analysis notes must report exchange routing: {:?}",
+        report.notes
+    );
+}
+
+#[test]
+fn demote_policy_restores_global_fallback() {
+    let report = partition_with(&exchange_program(), ExchangePolicy::Demote);
+    assert!(report.requires_broadcast(), "policy off ⇒ PR 4 demotion");
+    assert_eq!(report.tables["kv"], TableClass::Global);
+    assert!(report.exchange.is_empty());
+}
+
+#[test]
+fn ordered_scan_still_blocks_exchange() {
+    // `dump` iterates kv in emission order: exchange is inadmissible and
+    // the broadcast program must demote exactly as before.
+    let report = partition(&broadcast_program());
+    assert!(report.exchange.is_empty(), "{:?}", report.exchange);
+    assert!(report
+        .notes
+        .iter()
+        .any(|n| n.contains("cannot exchange") && n.contains("emission order")));
+}
+
+#[test]
 fn condition_handler_fires_once_not_once_per_shard() {
     let program = mixed_program();
     let routing = partition(&program).routing();
     let mut single = Transducer::new(program.clone()).unwrap();
-    let mut sharded = ShardedTransducer::new(program, routing, 4).unwrap();
+    let mut sharded = ShardedTransducer::new(program.clone(), routing.clone(), 4).unwrap();
+    let mut parallel = ParallelShardedTransducer::new(program, routing, 4).unwrap();
     single.enqueue_ok("add_total", vec![int(30)]);
     sharded.enqueue_ok("add_total", vec![int(30)]);
+    parallel.enqueue_ok("add_total", vec![int(30)]);
     let a = single.tick().unwrap();
     let b = sharded.tick().unwrap();
-    outputs_match(&a, &b, "arming tick");
+    let c = parallel.tick().unwrap();
+    outputs_match(&a, &b, "arming tick [serial]");
+    outputs_match(&a, &c, "arming tick [parallel]");
     // total = 30 ≥ 25: the watch condition now holds; it must fire once.
     let a = single.tick().unwrap();
     let b = sharded.tick().unwrap();
-    outputs_match(&a, &b, "condition tick");
-    assert_eq!(
-        b.sends.iter().filter(|s| s.mailbox == "alert").count(),
-        1,
-        "condition handler must fire exactly once across 4 shards"
-    );
+    let c = parallel.tick().unwrap();
+    outputs_match(&a, &b, "condition tick [serial]");
+    outputs_match(&a, &c, "condition tick [parallel]");
+    for (out, driver) in [(&b, "serial"), (&c, "parallel")] {
+        assert_eq!(
+            out.sends.iter().filter(|s| s.mailbox == "alert").count(),
+            1,
+            "condition handler must fire exactly once across 4 {driver} shards"
+        );
+    }
 }
 
 #[test]
@@ -359,26 +494,32 @@ fn aligned_invariant_aborts_identically_under_sharding() {
     let program = kvs_program();
     let routing = partition(&program).routing();
     let mut single = Transducer::new(program.clone()).unwrap();
-    let mut sharded = ShardedTransducer::new(program, routing, 4).unwrap();
+    let mut sharded = ShardedTransducer::new(program.clone(), routing.clone(), 4).unwrap();
+    let mut parallel = ParallelShardedTransducer::new(program, routing, 4).unwrap();
     for t in 0..2 {
-        let (s, sh) = (&mut single, &mut sharded);
+        let (s, sh, p) = (&mut single, &mut sharded, &mut parallel);
         if t == 0 {
             // Seed two keys; key 7 is never inserted.
             for (k, v) in [(1, 50), (2, 80)] {
                 s.enqueue_ok("put", vec![int(k), int(v)]);
                 sh.enqueue_ok("put", vec![int(k), int(v)]);
+                p.enqueue_ok("put", vec![int(k), int(v)]);
             }
         } else {
             // One valid reserve, one precondition abort (missing key 7).
             for (k, d) in [(1, 10), (7, 5)] {
                 s.enqueue_ok("reserve", vec![int(k), int(d)]);
                 sh.enqueue_ok("reserve", vec![int(k), int(d)]);
+                p.enqueue_ok("reserve", vec![int(k), int(d)]);
             }
         }
         let a = s.tick().unwrap();
         let b = sh.tick().unwrap();
-        outputs_match(&a, &b, &format!("tick {t}"));
+        let c = p.tick().unwrap();
+        outputs_match(&a, &b, &format!("tick {t} [serial]"));
+        outputs_match(&a, &c, &format!("tick {t} [parallel]"));
         assert_eq!(s.state(), &sh.merged_state());
+        assert_eq!(s.state(), &p.merged_state());
         if t == 1 {
             assert!(
                 a.responses
@@ -425,6 +566,20 @@ proptest! {
         raw in prop::collection::vec((0u8..7, 0i64..9, -2i64..8), 0..36),
     ) {
         let program = mixed_program();
+        for shards in [1usize, 2, 4, 7] {
+            differential_run(&program, &raw, shards);
+        }
+    }
+
+    /// The exchange-classified program: `kv` stays partitioned, its
+    /// deltas ship to the gather shard at tick barriers, and `stats`'s
+    /// set-valued reads of the aggregate must match the single node
+    /// exactly — on both drivers.
+    #[test]
+    fn sharded_exchange_program_matches_single(
+        raw in prop::collection::vec((0u8..7, 0i64..9, -2i64..6), 0..40),
+    ) {
+        let program = exchange_program();
         for shards in [1usize, 2, 4, 7] {
             differential_run(&program, &raw, shards);
         }

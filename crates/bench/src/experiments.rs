@@ -676,53 +676,145 @@ fn scaleout_program() -> hydro_core::Program {
         .build()
 }
 
-/// One E16 run over either a single transducer or N shards: preload
-/// `resident` accounts, then `ticks` measured ticks of `batch` keyed
-/// updates each, every tick's batch confined to one hash region (mod 4 —
-/// temporal key locality, the access pattern partitioning rewards).
+/// The E18 exchange-heavy variant: the E16 account store plus a count
+/// aggregate consumed only through an order-insensitive `CollectSet` —
+/// the shape the partition analysis classifies for *delta exchange*
+/// (`accounts` stays partitioned; shards ship tick-barrier deltas to the
+/// gather shard, which alone maintains the aggregate).
+fn exchange_scale_program() -> hydro_core::Program {
+    use hydro_core::builder::dsl::*;
+    use hydro_core::builder::ProgramBuilder;
+    ProgramBuilder::new()
+        .table(
+            "accounts",
+            vec![("id", atom()), ("bal", atom())],
+            &["id"],
+            Some("id"),
+        )
+        .rule(
+            "overdrawn",
+            vec![v("k")],
+            vec![scan("accounts", &["k", "b"]), guard(lt(v("b"), i(0)))],
+        )
+        .agg_rule(
+            "n_accounts",
+            vec![i(0)],
+            hydro_core::ast::AggFun::Count,
+            v("k"),
+            vec![scan("accounts", &["k", "b"])],
+        )
+        .on("set", &["k", "v"], vec![insert("accounts", vec![v("k"), v("v")])])
+        .on("close", &["k"], vec![delete("accounts", v("k"))])
+        .on("bal", &["k"], vec![ret(field("accounts", v("k"), "bal"))])
+        .on(
+            "stats",
+            &["q"],
+            vec![ret(collect_set(select(
+                vec![scan("n_accounts", &["g", "c"])],
+                vec![v("c")],
+            )))],
+        )
+        .build()
+}
+
+/// Which runtime executes a scale-out benchmark run.
+enum ScaleDriver {
+    /// The plain single transducer.
+    Single,
+    /// The serial in-process sharded driver (one thread, N shard states).
+    Serial(usize),
+    /// The worker-thread parallel driver (N OS threads + router).
+    Parallel(usize),
+}
+
+/// One driver instance behind a uniform enqueue/tick/len surface, so the
+/// scale-out runs measure identical op streams on every runtime.
+enum ScaleArm {
+    Single(Box<Transducer>),
+    Sharded(hydro_core::ShardedTransducer),
+    Parallel(hydro_core::shard::ParallelShardedTransducer),
+}
+
+impl ScaleArm {
+    fn build(program: &hydro_core::Program, driver: &ScaleDriver) -> ScaleArm {
+        match driver {
+            ScaleDriver::Single => {
+                ScaleArm::Single(Box::new(Transducer::new(program.clone()).unwrap()))
+            }
+            ScaleDriver::Serial(n) => {
+                ScaleArm::Sharded(hydro_analysis::partition::sharded(program, *n).unwrap())
+            }
+            ScaleDriver::Parallel(n) => ScaleArm::Parallel(
+                hydro_analysis::partition::parallel_sharded(program, *n).unwrap(),
+            ),
+        }
+    }
+
+    fn enqueue(&mut self, mailbox: &str, row: Vec<Value>) {
+        match self {
+            ScaleArm::Single(t) => {
+                t.enqueue_ok(mailbox, row);
+            }
+            ScaleArm::Sharded(s) => {
+                s.enqueue_ok(mailbox, row);
+            }
+            ScaleArm::Parallel(p) => {
+                p.enqueue_ok(mailbox, row);
+            }
+        }
+    }
+
+    fn tick(&mut self) -> hydro_core::TickOutput {
+        match self {
+            ScaleArm::Single(t) => t.tick().unwrap(),
+            ScaleArm::Sharded(s) => s.tick().unwrap(),
+            ScaleArm::Parallel(p) => p.tick().unwrap(),
+        }
+    }
+
+    fn table_len(&self, table: &str) -> usize {
+        match self {
+            ScaleArm::Single(t) => t.table_len(table),
+            ScaleArm::Sharded(s) => s.table_len(table),
+            ScaleArm::Parallel(p) => p
+                .merged_state()
+                .tables
+                .get(table)
+                .map_or(0, std::collections::BTreeMap::len),
+        }
+    }
+}
+
+/// One scale-out run: preload `resident` accounts, then `ticks` measured
+/// ticks of `batch` keyed updates each, every tick's batch confined to
+/// one hash region (mod 4 — temporal key locality, the access pattern
+/// partitioning rewards). With `stats_probe`, each measured tick also
+/// carries one `stats` message — the exchange-gathered aggregate read.
 /// Returns (measured wall, messages processed, final account rows).
-fn scaleout_run(
+fn scaleout_run_on(
+    program: &hydro_core::Program,
     resident: i64,
     ticks: usize,
     batch: usize,
-    shards: Option<usize>,
+    driver: ScaleDriver,
+    stats_probe: bool,
 ) -> (std::time::Duration, u64, usize) {
     use hydro_core::shard::partition_hash;
-    let program = scaleout_program();
-    enum Arm {
-        Single(Box<Transducer>),
-        Sharded(hydro_core::ShardedTransducer),
-    }
-    let mut arm = match shards {
-        None => Arm::Single(Box::new(Transducer::new(program.clone()).unwrap())),
-        Some(n) => Arm::Sharded(hydro_analysis::partition::sharded(&program, n).unwrap()),
-    };
+    let mut arm = ScaleArm::build(program, &driver);
     // Region = hash bucket mod 4; consistent with shard assignment for
     // N ∈ {1, 2, 4} (hash % 4 determines hash % 2).
     let mut regions: Vec<Vec<i64>> = vec![Vec::new(); 4];
     for k in 0..resident {
         regions[(partition_hash(&Value::Int(k)) % 4) as usize].push(k);
     }
-    let enqueue = |arm: &mut Arm, mailbox: &str, row: Vec<Value>| match arm {
-        Arm::Single(t) => {
-            t.enqueue_ok(mailbox, row);
-        }
-        Arm::Sharded(s) => {
-            s.enqueue_ok(mailbox, row);
-        }
-    };
-    let tick = |arm: &mut Arm| match arm {
-        Arm::Single(t) => t.tick().unwrap(),
-        Arm::Sharded(s) => s.tick().unwrap(),
-    };
     for k in 0..resident {
-        enqueue(&mut arm, "set", ints(&[k, k % 97]));
+        arm.enqueue("set", ints(&[k, k % 97]));
     }
-    tick(&mut arm);
+    arm.tick();
     // The preload tick journals its 80k inserts; the *next* tick folds
     // them into the persistent views. Absorb that warm-up outside the
     // measurement so every arm starts from the same steady state.
-    tick(&mut arm);
+    arm.tick();
 
     let t0 = Instant::now();
     let mut processed = 0u64;
@@ -730,16 +822,32 @@ fn scaleout_run(
         let keys = &regions[t % 4];
         for m in 0..batch {
             let k = keys[(t * batch + m) % keys.len()];
-            enqueue(&mut arm, "set", ints(&[k, (t as i64) - 2]));
+            arm.enqueue("set", ints(&[k, (t as i64) - 2]));
         }
-        processed += tick(&mut arm).messages_processed as u64;
+        if stats_probe {
+            arm.enqueue("stats", ints(&[t as i64]));
+        }
+        processed += arm.tick().messages_processed as u64;
     }
     let wall = t0.elapsed();
-    let rows = match &arm {
-        Arm::Single(t) => t.table_len("accounts"),
-        Arm::Sharded(s) => s.table_len("accounts"),
-    };
+    let rows = arm.table_len("accounts");
     (wall, processed, rows)
+}
+
+/// The E16 run shape (kept for the existing callers): the plain
+/// partitionable program, no stats probe.
+fn scaleout_run(
+    resident: i64,
+    ticks: usize,
+    batch: usize,
+    shards: Option<usize>,
+) -> (std::time::Duration, u64, usize) {
+    let program = scaleout_program();
+    let driver = match shards {
+        None => ScaleDriver::Single,
+        Some(n) => ScaleDriver::Serial(n),
+    };
+    scaleout_run_on(&program, resident, ticks, batch, driver, false)
 }
 
 /// E16: key-partitioned scale-out — tick throughput of the sharded
@@ -771,6 +879,72 @@ pub fn e16_scaleout() -> Table {
     Table {
         title: "E16 key-partitioned scale-out: sharded vs single transducer \
                 (region-burst keyed workload)"
+            .into(),
+        headers: ["arm", "wall ms", "msgs/s", "speedup x", "work matches"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    }
+}
+
+/// E18: parallel scale-up — the E16 keyed workload on the worker-thread
+/// [`hydro_core::shard::ParallelShardedTransducer`] at 1/2/4 workers,
+/// plus the exchange-heavy program (a gathered aggregate over shipped
+/// deltas) at 4 workers. Where E16 measures *work isolation* on one
+/// thread, E18 adds real concurrency: shards tick simultaneously on their
+/// own cores, so multi-worker speedup reflects parallel wall-clock, not
+/// just skipped work. On a noisy or core-starved host read the speedups
+/// as trend-level; the "work matches" column is the hard invariant.
+pub fn e18_parallel() -> Table {
+    let (resident, ticks, batch) = (80_000i64, 20usize, 48usize);
+    let plain = scaleout_program();
+    let (base_wall, base_msgs, base_rows) =
+        scaleout_run_on(&plain, resident, ticks, batch, ScaleDriver::Single, false);
+    let mut rows = vec![vec![
+        "single".to_string(),
+        format!("{:.3}", base_wall.as_secs_f64() * 1e3),
+        format!("{:.0}", base_msgs as f64 / base_wall.as_secs_f64()),
+        "1.00".to_string(),
+        "true".to_string(),
+    ]];
+    for n in [1usize, 2, 4] {
+        let (wall, msgs, shard_rows) =
+            scaleout_run_on(&plain, resident, ticks, batch, ScaleDriver::Parallel(n), false);
+        rows.push(vec![
+            format!("workers={n}"),
+            format!("{:.3}", wall.as_secs_f64() * 1e3),
+            format!("{:.0}", msgs as f64 / wall.as_secs_f64()),
+            format!("{:.2}", base_wall.as_secs_f64() / wall.as_secs_f64()),
+            (msgs == base_msgs && shard_rows == base_rows).to_string(),
+        ]);
+    }
+    // The exchange-heavy arm: one gathered-aggregate probe per tick on
+    // top of the keyed burst. Its single-transducer baseline is separate
+    // (the probe adds work both sides).
+    let exchange = exchange_scale_program();
+    let (ex_base_wall, ex_base_msgs, ex_base_rows) =
+        scaleout_run_on(&exchange, resident, ticks, batch, ScaleDriver::Single, true);
+    rows.push(vec![
+        "exchange single".to_string(),
+        format!("{:.3}", ex_base_wall.as_secs_f64() * 1e3),
+        format!("{:.0}", ex_base_msgs as f64 / ex_base_wall.as_secs_f64()),
+        "1.00".to_string(),
+        "true".to_string(),
+    ]);
+    for n in [2usize, 4] {
+        let (wall, msgs, shard_rows) =
+            scaleout_run_on(&exchange, resident, ticks, batch, ScaleDriver::Parallel(n), true);
+        rows.push(vec![
+            format!("exchange workers={n}"),
+            format!("{:.3}", wall.as_secs_f64() * 1e3),
+            format!("{:.0}", msgs as f64 / wall.as_secs_f64()),
+            format!("{:.2}", ex_base_wall.as_secs_f64() / wall.as_secs_f64()),
+            (msgs == ex_base_msgs && shard_rows == ex_base_rows).to_string(),
+        ]);
+    }
+    Table {
+        title: "E18 parallel scale-up: worker-thread shards vs single transducer \
+                (region-burst keyed workload + delta-exchange aggregate)"
             .into(),
         headers: ["arm", "wall ms", "msgs/s", "speedup x", "work matches"]
             .map(String::from)
@@ -904,6 +1078,45 @@ pub fn interp_bench_records() -> Vec<BenchRecord> {
         for n in [1usize, 2, 4] {
             let (wall, msgs, _) = scaleout_run(resident, ticks, batch, Some(n));
             records.push(rec("e16_scaleout_sharded", n as i64, wall, msgs));
+        }
+    }
+
+    // E18: parallel scale-up on worker threads. n is the worker count
+    // (0 = single-transducer baseline); items the messages processed.
+    // `e18_exchange_*` is the delta-exchange workload (gathered aggregate
+    // probed every tick); its baseline is separate since the probe adds
+    // work to both sides.
+    {
+        let (resident, ticks, batch) = (80_000i64, 20usize, 48usize);
+        let plain = scaleout_program();
+        let (wall, msgs, _) =
+            scaleout_run_on(&plain, resident, ticks, batch, ScaleDriver::Single, false);
+        records.push(rec("e18_parallel_single", 0, wall, msgs));
+        for n in [1usize, 2, 4] {
+            let (wall, msgs, _) = scaleout_run_on(
+                &plain,
+                resident,
+                ticks,
+                batch,
+                ScaleDriver::Parallel(n),
+                false,
+            );
+            records.push(rec("e18_parallel_workers", n as i64, wall, msgs));
+        }
+        let exchange = exchange_scale_program();
+        let (wall, msgs, _) =
+            scaleout_run_on(&exchange, resident, ticks, batch, ScaleDriver::Single, true);
+        records.push(rec("e18_exchange_single", 0, wall, msgs));
+        for n in [2usize, 4] {
+            let (wall, msgs, _) = scaleout_run_on(
+                &exchange,
+                resident,
+                ticks,
+                batch,
+                ScaleDriver::Parallel(n),
+                true,
+            );
+            records.push(rec("e18_exchange_workers", n as i64, wall, msgs));
         }
     }
 
@@ -1487,6 +1700,7 @@ pub fn experiment_registry() -> Vec<(&'static str, fn() -> Table)> {
         ("e15", e15_steady),
         ("e16", e16_scaleout),
         ("e17", e17_failover),
+        ("e18", e18_parallel),
     ]
 }
 

@@ -2797,6 +2797,17 @@ pub struct ProgramPlan {
     ruleset: RuleSet,
 }
 
+// One compiled plan is shared behind an `Arc` by every shard worker
+// thread of the parallel driver; keep the compiled forms free of
+// thread-unsafe interior state (the *runtime* `ScanCache`/`UdfHost` are
+// per-instance and deliberately not `Send`).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ProgramPlan>();
+    assert_send_sync::<RuleSet>();
+    assert_send_sync::<EvalUnit>();
+};
+
 impl ProgramPlan {
     /// Compile a program's rules. Fails iff the program is unstratifiable.
     pub fn compile(program: &Program) -> Result<Self, EvalError> {
@@ -3058,6 +3069,11 @@ pub struct EvalState {
     row_counts: FxHashMap<String, FxHashMap<Row, u32>>,
     cache: ScanCache,
     initialized: bool,
+    /// View heads excluded from evaluation: units deriving any of these
+    /// are skipped wholesale. Exchange shards set this for views the
+    /// gather shard computes from shipped deltas instead (units are
+    /// SCC-closed, so one tainted head taints the whole unit).
+    skip_heads: std::collections::BTreeSet<String>,
 }
 
 impl EvalState {
@@ -3100,7 +3116,16 @@ impl EvalState {
             row_counts: FxHashMap::default(),
             cache: ScanCache::default(),
             initialized: false,
+            skip_heads: std::collections::BTreeSet::new(),
         }
+    }
+
+    /// Exclude view heads from evaluation (see the `skip_heads` field).
+    /// Valid only before the first [`EvalState::evaluate`] — install at
+    /// (re)build time, like seeding.
+    pub fn set_skip_heads(&mut self, heads: impl IntoIterator<Item = String>) {
+        debug_assert!(!self.initialized);
+        self.skip_heads = heads.into_iter().collect();
     }
 
     /// Bulk-load one base-relation row during (re)construction, bypassing
@@ -3204,6 +3229,11 @@ impl EvalState {
         let mut frame = Frame::default();
         for u in 0..self.plan.units.len() {
             let unit = &self.plan.units[u];
+            if !self.skip_heads.is_empty()
+                && unit.heads.iter().any(|h| self.skip_heads.contains(h))
+            {
+                continue;
+            }
             let mode = if force_all
                 || unit.volatile
                 || unit.reads_scalar.iter().any(|s| changed_scalars.contains(s))

@@ -717,6 +717,16 @@ impl JournalDelta {
     }
 }
 
+/// One tick's net changes to a shard's exchange-shipped tables:
+/// `(table, [(key, final row — None = deleted)])`, sorted by table and
+/// key. Like [`JournalDelta`], entries carry **final** values, so
+/// application is idempotent; rolled-back transactions fold to "no
+/// change" and never ship. Produced by [`Transducer::exchange_delta`] on
+/// the owning shard after a tick, consumed by
+/// [`Transducer::apply_exchange_delta`] on the gather shard before its
+/// next tick — the delta-exchange operator's wire format.
+pub type ExchangeDelta = Vec<(String, Vec<(Row, Option<Row>)>)>;
+
 /// A replayable recovery log: a base [`Checkpoint`] plus the
 /// [`JournalDelta`]s committed since. Appending folds the log into a
 /// fresh base every `checkpoint_every` records (the checkpoint cadence),
@@ -829,6 +839,18 @@ impl ProgramCore {
     }
 }
 
+// The parallel shard driver shares one `Arc<ProgramCore>` across worker
+// threads; keep that capability from silently regressing (e.g. an `Rc`
+// or `RefCell` creeping into the compiled plan).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ProgramCore>();
+    assert_send_sync::<State>();
+    assert_send_sync::<TickOutput>();
+    assert_send_sync::<Checkpoint>();
+    assert_send_sync::<TransducerError>();
+};
+
 /// The HydroLogic interpreter for one logical node: the per-instance
 /// mutable half ([`State`], mailboxes, journal, evaluation state, UDFs)
 /// over a shared [`ProgramCore`].
@@ -852,6 +874,24 @@ pub struct Transducer {
     /// analysis pins to shard 0 — letting every shard evaluate the
     /// condition against its slice would fire the handler once per shard.
     run_condition_handlers: bool,
+    /// Tables whose per-tick net changes this instance exports as
+    /// [`ExchangeDelta`]s (the *sender* half of the delta-exchange
+    /// operator; empty outside exchange-configured shard drivers).
+    exchange_tables: std::collections::BTreeSet<String>,
+    /// Foreign rows received via [`Transducer::apply_exchange_delta`]
+    /// (the *receiver* half): a persistent per-table mirror of other
+    /// shards' partitions, keyed like [`State::tables`]. Disjoint from
+    /// the local partition by construction (hash routing), merged into
+    /// every snapshot and evaluation-state rebuild.
+    foreign: BTreeMap<String, BTreeMap<Row, Row>>,
+    /// Foreign-row transitions received since the last tick, folded into
+    /// the incremental engine's deltas at the next tick (last-wins per
+    /// key, exactly like the local journal's first-touch fold).
+    exchange_in: FxHashMap<String, FxHashMap<Row, Option<Row>>>,
+    /// View heads this instance must not evaluate (their inputs are
+    /// shipped away to the gather shard instead). Installed into the
+    /// evaluation state at rebuild.
+    skip_view_heads: std::collections::BTreeSet<String>,
 }
 
 impl Transducer {
@@ -890,6 +930,10 @@ impl Transducer {
             eval: None,
             pending: PendingDeltas::default(),
             run_condition_handlers: true,
+            exchange_tables: std::collections::BTreeSet::new(),
+            foreign: BTreeMap::new(),
+            exchange_in: FxHashMap::default(),
+            skip_view_heads: std::collections::BTreeSet::new(),
         }
     }
 
@@ -1019,6 +1063,90 @@ impl Transducer {
         self.mailboxes.values().map(Vec::len).sum()
     }
 
+    // ---- delta exchange --------------------------------------------------
+
+    /// Configure the tables whose per-tick net changes this instance
+    /// exports via [`Transducer::exchange_delta`]. Exchange piggybacks on
+    /// the incremental engine's effect journal, so it only functions in
+    /// [`EvalMode::Incremental`] (the default). Used by the shard drivers
+    /// for tables feeding `NeedsExchange` views.
+    pub fn set_exchange_tables(
+        &mut self,
+        tables: impl IntoIterator<Item = String>,
+    ) {
+        self.exchange_tables = tables.into_iter().collect();
+    }
+
+    /// Configure view heads this instance must *not* evaluate: the
+    /// exchange plan computes them on the gather shard from shipped
+    /// deltas, so evaluating them here would derive partial (and wasted)
+    /// results. Drops the persistent evaluation state; the next tick
+    /// rebuilds it with the exclusion installed.
+    pub fn set_skip_view_heads(&mut self, heads: impl IntoIterator<Item = String>) {
+        self.skip_view_heads = heads.into_iter().collect();
+        self.eval = None;
+    }
+
+    /// Export the last tick's net changes to the configured exchange
+    /// tables, without consuming the underlying journal (the incremental
+    /// engine still drains it at the next tick). Mirrors
+    /// [`Transducer::take_journal_delta`]'s fold: first-touch originals
+    /// against final state, rolled-back effects vanish, entries carry
+    /// final values and are sorted — the same tick always exports the
+    /// same bytes. Call between ticks, after the tick whose changes are
+    /// being shipped.
+    pub fn exchange_delta(&self) -> ExchangeDelta {
+        debug_assert!(
+            self.exchange_tables.is_empty() || self.eval_mode == EvalMode::Incremental,
+            "delta exchange requires the incremental engine's journal"
+        );
+        let mut out = ExchangeDelta::new();
+        for table in &self.exchange_tables {
+            let Some(keys) = self.pending.tables.get(table) else {
+                continue;
+            };
+            let current = self.state.tables.get(table);
+            let mut rows: Vec<(Row, Option<Row>)> = Vec::new();
+            for (key, old) in keys {
+                let new = current.and_then(|t| t.get(key));
+                if old.as_ref() == new {
+                    continue; // rolled back / rewritten to the original
+                }
+                rows.push((key.clone(), new.cloned()));
+            }
+            if rows.is_empty() {
+                continue;
+            }
+            rows.sort();
+            out.push((table.clone(), rows));
+        }
+        out
+    }
+
+    /// Receive another shard's [`ExchangeDelta`]: update the persistent
+    /// foreign mirror immediately (snapshots and rebuilds see it) and
+    /// queue the transitions for the incremental engine's next delta
+    /// fold. Last-wins per key, so applying several shards' deltas (or a
+    /// retransmission of the same delta) before the next tick is safe —
+    /// shard partitions are key-disjoint and entries are idempotent.
+    pub fn apply_exchange_delta(&mut self, delta: ExchangeDelta) {
+        for (table, rows) in delta {
+            let mirror = self.foreign.entry(table.clone()).or_default();
+            let queued = self.exchange_in.entry(table).or_default();
+            for (key, new) in rows {
+                match &new {
+                    Some(row) => {
+                        mirror.insert(key.clone(), row.clone());
+                    }
+                    None => {
+                        mirror.remove(&key);
+                    }
+                }
+                queued.insert(key, new);
+            }
+        }
+    }
+
     // ---- recovery journal ------------------------------------------------
 
     /// Enable or disable the recovery journal. While enabled, every
@@ -1136,13 +1264,19 @@ impl Transducer {
         self.mailboxes.contains_key(name)
     }
 
-    /// Build the snapshot database: tables + mailbox relations.
+    /// Build the snapshot database: tables (local partition plus any
+    /// exchange-received foreign mirror) + mailbox relations.
     fn snapshot_db(&self) -> Database {
         let mut db = Database::default();
         for (name, rows) in &self.state.tables {
+            let foreign = self.foreign.get(name);
             db.insert(
                 name.clone(),
-                Relation::from_rows(rows.values().cloned()),
+                Relation::from_rows(
+                    rows.values()
+                        .cloned()
+                        .chain(foreign.into_iter().flat_map(|f| f.values().cloned())),
+                ),
             );
         }
         for (name, msgs) in &self.mailboxes {
@@ -1236,6 +1370,28 @@ impl Transducer {
                 changed.insert(table, delta);
             }
         }
+        // Fold exchange-received foreign transitions exactly like local
+        // journal entries: previous foreign value looked up in the
+        // persistent key index (shard partitions are key-disjoint, so a
+        // foreign key can never collide with a local fold above), no-op
+        // transitions skipped, deltas merged with any local delta for the
+        // same table.
+        for (table, keys) in std::mem::take(&mut self.exchange_in) {
+            let locally_touched = changed.contains_key(&table);
+            let mut delta = changed.remove(&table).unwrap_or_default();
+            let mut touched = locally_touched;
+            for (key, new) in keys {
+                let old = eval.key_index.get(&table).and_then(|t| t.get(&key)).cloned();
+                if old.as_ref() == new.as_ref() {
+                    continue;
+                }
+                touched = true;
+                eval.note_key_transition(&table, key, old, new.as_ref(), &mut delta);
+            }
+            if touched {
+                changed.insert(table, delta);
+            }
+        }
         for m in pending_mailboxes {
             // Diff the queue against the materialized mailbox relation
             // without materializing a cloned `Relation` first: membership
@@ -1318,10 +1474,20 @@ impl Transducer {
                 eval.seed_table_row(name, key.clone(), row.clone());
             }
         }
+        // Exchange-received foreign rows are part of this instance's view
+        // of the table, just not of its owned partition.
+        for (name, rows) in &self.foreign {
+            for (key, row) in rows {
+                eval.seed_table_row(name, key.clone(), row.clone());
+            }
+        }
         for (name, msgs) in &self.mailboxes {
             for m in msgs {
                 eval.seed_row(name, m.row.clone());
             }
+        }
+        if !self.skip_view_heads.is_empty() {
+            eval.set_skip_heads(self.skip_view_heads.iter().cloned());
         }
         Ok(eval)
     }

@@ -35,7 +35,9 @@ pub mod node;
 pub mod twopc;
 
 pub use campaign::{run_campaign, CampaignConfig, CampaignReport};
-pub use deployment::{deploy, deploy_sharded, DeployConfig, Deployment, ShardedDeployment};
+pub use deployment::{
+    deploy, deploy_parallel, deploy_sharded, DeployConfig, Deployment, ShardedDeployment,
+};
 pub use node::{
     BackupNode, NetMsg, ProxyNode, RetryCfg, RouterNode, RouterStatus, RouterStatusInner,
     SequencerNode, TransducerNode,

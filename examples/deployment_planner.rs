@@ -1,11 +1,16 @@
 //! The target facet's deployment optimizer (§9): Fig. 3's targets solved
-//! as an integer program, with backtracking and adaptive re-optimization.
+//! as an integer program, with backtracking and adaptive re-optimization —
+//! plus the key-partition analysis (§4–5) that decides each handler's
+//! *placement*: shard-local routing, delta exchange, or the global shard.
 //!
 //! Run with: `cargo run --example deployment_planner`
 
+use hydro::analysis::partition::{partition, HandlerClass};
 use hydro::compiler::target::{
     demo_catalog, reoptimize, solve, HandlerLoad, ImplVariant,
 };
+use hydro::logic::builder::dsl::*;
+use hydro::logic::builder::ProgramBuilder;
 use hydro::logic::examples::covid_program;
 
 fn loads(rps: f64) -> Vec<HandlerLoad> {
@@ -92,5 +97,47 @@ fn main() {
     match solve(&catalog, &loads(4000.0), &tight, 128, None) {
         Ok(_) => println!("unexpectedly feasible"),
         Err(e) => println!("solver: {e}"),
+    }
+
+    // Placement: the partition analysis on an exchange-classified program
+    // — a keyed store whose count aggregate is read only through an
+    // order-insensitive set, so the table stays partitioned and ships
+    // tick-barrier deltas instead of demoting everything to one shard.
+    println!("\n== key-partition placement: delta exchange (§4-5) ==");
+    let kvs = ProgramBuilder::new()
+        .table("kv", vec![("k", atom()), ("val", atom())], &["k"], Some("k"))
+        .agg_rule(
+            "count_kv",
+            vec![i(0)],
+            hydro::logic::ast::AggFun::Count,
+            v("x"),
+            vec![scan("kv", &["x", "y"])],
+        )
+        .on("put", &["k", "v"], vec![insert("kv", vec![v("k"), v("v")])])
+        .on("get", &["k"], vec![ret(field("kv", v("k"), "val"))])
+        .on(
+            "stats",
+            &["q"],
+            vec![ret(collect_set(select(
+                vec![scan("count_kv", &["g", "c"])],
+                vec![v("c")],
+            )))],
+        )
+        .build();
+    let report = partition(&kvs);
+    for (name, class) in &report.handlers {
+        match class {
+            HandlerClass::Local { param } => {
+                println!("  {name:<8} shard-local, routed by parameter {param}")
+            }
+            HandlerClass::Global { reason } => println!("  {name:<8} global shard: {reason}"),
+        }
+    }
+    println!(
+        "  exchange: ship {:?} -> gather {:?}",
+        report.exchange.ship_tables, report.exchange.gather_views
+    );
+    for note in &report.notes {
+        println!("  note: {note}");
     }
 }

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
-# Perf smoke: run the E1/E8/E15/E16/E17 interpreter sweeps, record
+# Perf smoke: run the E1/E8/E15/E16/E17/E18 interpreter sweeps, record
 # trajectory.
 #
 # Builds the release report binary, prints the E1 (COVID tracker), E8
 # (transitive closure), E15 (cross-tick steady state), E16 (sharded
-# scale-out) and E17 (failover campaign) tables, and writes
+# scale-out), E17 (failover campaign) and E18 (parallel worker-thread
+# scale-up + delta exchange) tables, and writes
 # BENCH_interp.json at the repo root:
 # [{workload, n, wall_ms, items_processed}, ...] covering the incremental
 # interpreter, the fresh-per-tick semi-naive path, the retained naive
@@ -30,7 +31,7 @@ if [[ -f "$out" ]]; then
 fi
 
 cargo build --release -p hydro-bench --bin report
-./target/release/report e01 e08 e15 e16 e17 --bench-json="$out"
+./target/release/report e01 e08 e15 e16 e17 e18 --bench-json="$out"
 
 echo
 echo "== $out =="

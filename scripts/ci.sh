@@ -34,6 +34,36 @@ cargo test -q -p hydro-deploy --test fault_campaigns
 cargo test -q -p hydro-deploy campaign
 
 echo
+echo "== parallel-driver determinism tripwire =="
+# Run the sharded differential suite (single vs serial vs worker-thread
+# driver) twice and diff the normalized outputs. The vendored proptest
+# harness seeds each test's RNG from its name, so both runs generate
+# IDENTICAL op sequences: any divergence between the two runs — one
+# failing, or failing differently — is a thread-scheduling leak in the
+# parallel driver (a race reaching an observable output), not a
+# test-input difference. Wall-clock lines are stripped before the diff.
+det_a="$(mktemp)"
+det_b="$(mktemp)"
+trap 'rm -f "$det_a" "$det_b"' EXIT
+det_failed=0
+for out in "$det_a" "$det_b"; do
+  cargo test -q -p hydro-analysis --test sharded_differential 2>&1 \
+    | sed -E 's/finished in [0-9.]+s//; /^\s*(Compiling|Finished|Running)/d' \
+    >"$out" || det_failed=1
+done
+if ! diff -u "$det_a" "$det_b"; then
+  echo "identically-seeded parallel differential runs diverged:" >&2
+  echo "the worker-thread driver leaked scheduling nondeterminism" >&2
+  exit 1
+fi
+if [[ "$det_failed" == 1 ]]; then
+  cat "$det_a"
+  echo "sharded differential suite failed under the determinism tripwire" >&2
+  exit 1
+fi
+rm -f "$det_a" "$det_b"
+
+echo
 echo "== examples (catch example rot) =="
 # Run the examples that exercise the public API end-to-end; each must
 # exit 0. Output is captured and only shown on failure.

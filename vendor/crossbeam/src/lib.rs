@@ -1,9 +1,17 @@
 //! Minimal stand-in for `crossbeam`: MPMC channels on a mutex + condvar.
 //!
 //! Only `channel::{bounded, unbounded, Sender, Receiver}` are provided —
-//! the surface the sharded KVS uses. Senders and receivers are cloneable;
-//! `recv` blocks; dropping every sender disconnects the channel so worker
-//! loops (`while let Ok(cmd) = rx.recv()`) terminate.
+//! the surface the sharded KVS and the parallel shard driver use. Senders
+//! and receivers are cloneable; `recv` blocks; dropping every sender
+//! disconnects the channel so worker loops (`while let Ok(cmd) =
+//! rx.recv()`) terminate, and dropping every receiver disconnects it the
+//! other way so blocked or future `send`s return the value instead of
+//! queueing into the void.
+//!
+//! `bounded(cap)` applies real backpressure: a `send` on a full channel
+//! blocks until a receiver drains a slot (or every receiver is gone).
+//! The parallel shard driver relies on this for its per-shard inboxes —
+//! a fast router cannot run unboundedly ahead of a slow worker.
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -12,10 +20,15 @@ pub mod channel {
     struct State<T> {
         queue: VecDeque<T>,
         senders: usize,
+        receivers: usize,
     }
 
     struct Chan<T> {
         state: Mutex<State<T>>,
+        /// Capacity bound (`None` = unbounded). Immutable after creation.
+        cap: Option<usize>,
+        /// Signalled on every queue/handle transition; senders wait on it
+        /// for space, receivers for data.
         cv: Condvar,
     }
 
@@ -29,8 +42,8 @@ pub mod channel {
         chan: Arc<Chan<T>>,
     }
 
-    /// Error: the channel is disconnected (all receivers gone). This shim
-    /// never reports it — sends always enqueue — but callers match on it.
+    /// Error: the channel is disconnected (all receivers gone); the
+    /// unsent value is handed back.
     #[derive(Debug)]
     pub struct SendError<T>(pub T);
 
@@ -60,19 +73,44 @@ pub mod channel {
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
+            self.chan.state.lock().expect("channel lock").receivers += 1;
             Receiver {
                 chan: Arc::clone(&self.chan),
             }
         }
     }
 
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.state.lock().expect("channel lock");
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                drop(st);
+                // Wake senders blocked on capacity so they can bail out.
+                self.chan.cv.notify_all();
+            }
+        }
+    }
+
     impl<T> Sender<T> {
-        /// Enqueue `value` and wake one receiver.
+        /// Enqueue `value`, blocking while the channel is at capacity.
+        /// Fails (returning the value) once every receiver is dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut st = self.chan.state.lock().expect("channel lock");
+            if let Some(cap) = self.chan.cap {
+                while st.queue.len() >= cap {
+                    if st.receivers == 0 {
+                        return Err(SendError(value));
+                    }
+                    st = self.chan.cv.wait(st).expect("channel lock");
+                }
+            }
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
             st.queue.push_back(value);
             drop(st);
-            self.chan.cv.notify_one();
+            self.chan.cv.notify_all();
             Ok(())
         }
     }
@@ -83,6 +121,9 @@ pub mod channel {
             let mut st = self.chan.state.lock().expect("channel lock");
             loop {
                 if let Some(v) = st.queue.pop_front() {
+                    drop(st);
+                    // A slot opened: wake senders blocked on capacity.
+                    self.chan.cv.notify_all();
                     return Ok(v);
                 }
                 if st.senders == 0 {
@@ -95,16 +136,25 @@ pub mod channel {
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, RecvError> {
             let mut st = self.chan.state.lock().expect("channel lock");
-            st.queue.pop_front().ok_or(RecvError)
+            match st.queue.pop_front() {
+                Some(v) => {
+                    drop(st);
+                    self.chan.cv.notify_all();
+                    Ok(v)
+                }
+                None => Err(RecvError),
+            }
         }
     }
 
-    fn new_chan<T>() -> (Sender<T>, Receiver<T>) {
+    fn new_chan<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let chan = Arc::new(Chan {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
                 senders: 1,
+                receivers: 1,
             }),
+            cap,
             cv: Condvar::new(),
         });
         (
@@ -117,20 +167,22 @@ pub mod channel {
 
     /// A channel with no capacity bound.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        new_chan()
+        new_chan(None)
     }
 
-    /// A nominally bounded channel. This shim does not apply backpressure
-    /// (the KVS uses capacity-1 channels purely as one-shot reply slots,
-    /// where blocking-on-full is unreachable).
-    pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
-        new_chan()
+    /// A bounded channel: `send` blocks while `cap` values are queued.
+    /// A zero capacity is treated as one (this shim has no rendezvous
+    /// mode).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        new_chan(Some(cap.max(1)))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::channel::{bounded, unbounded, RecvError};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
 
     #[test]
     fn send_recv_across_threads() {
@@ -159,9 +211,43 @@ mod tests {
     }
 
     #[test]
+    fn disconnect_on_all_receivers_dropped() {
+        let (tx, rx) = bounded::<u64>(1);
+        drop(rx);
+        assert!(tx.send(1).is_err(), "no receiver can ever drain this");
+    }
+
+    #[test]
     fn oneshot_reply_pattern() {
         let (tx, rx) = bounded::<Option<u64>>(1);
         std::thread::spawn(move || tx.send(Some(9)).unwrap());
         assert_eq!(rx.recv().ok().flatten(), Some(9));
+    }
+
+    #[test]
+    fn bounded_applies_backpressure() {
+        let (tx, rx) = bounded::<u64>(2);
+        let sent = Arc::new(AtomicUsize::new(0));
+        let sent2 = Arc::clone(&sent);
+        let h = std::thread::spawn(move || {
+            for i in 0..6 {
+                tx.send(i).unwrap();
+                sent2.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        // Give the sender time to fill the channel; it must stall at the
+        // capacity of 2, not run ahead.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(
+            sent.load(Ordering::SeqCst) <= 2,
+            "sender ran past the capacity bound: {}",
+            sent.load(Ordering::SeqCst)
+        );
+        let mut got = Vec::new();
+        while got.len() < 6 {
+            got.push(rx.recv().unwrap());
+        }
+        h.join().unwrap();
+        assert_eq!(got, (0..6).collect::<Vec<_>>());
     }
 }
