@@ -64,6 +64,33 @@ impl CalmReport {
     pub fn coordinated(&self) -> impl Iterator<Item = &HandlerClass> {
         self.handlers.iter().filter(|h| !h.coordination_free())
     }
+
+    /// Render the CALM verdicts as diagnostics: one `HY201` warning per
+    /// coordinated handler, the non-monotone findings as the why-chain.
+    pub fn diagnostics(&self) -> Vec<crate::diag::Diagnostic> {
+        use crate::diag::{sort_diagnostics, Diagnostic, Loc, Severity};
+        let mut diags: Vec<Diagnostic> = self
+            .coordinated()
+            .map(|h| {
+                let mut d = Diagnostic::new(
+                    "HY201",
+                    Severity::Warning,
+                    Loc::Handler(h.handler.clone()),
+                    format!(
+                        "requires coordination: state tone {:?}, output tone {:?} \
+                         (CALM: replicas running it without consensus may diverge)",
+                        h.state_tone, h.output_tone
+                    ),
+                );
+                for f in &h.findings {
+                    d = d.because(f.reason.clone());
+                }
+                d
+            })
+            .collect();
+        sort_diagnostics(&mut diags);
+        diags
+    }
 }
 
 /// Classify every handler in the program.

@@ -1,0 +1,630 @@
+//! Dead-program detection: unreachable views, unused relations and
+//! columns, rules whose bodies can never match — plus the static
+//! reference/arity checks that make those verdicts meaningful (a `send`
+//! to the wrong width, a `FieldOf` on a column that doesn't exist).
+//!
+//! Codes emitted here: `HY005` (send arity, Error), `HY006` (unknown
+//! table/column/scalar/mailbox reference, bad insert width; Error),
+//! `HY101` (unreachable view), `HY102` (unused relation), `HY103`
+//! (unused column), `HY104` (rule can never match) — the last three as
+//! Warnings with a why-chain explaining the derivation.
+
+use crate::diag::{sort_diagnostics, Diagnostic, Loc, Severity};
+use hydro_core::ast::{
+    AssignTarget, BodyAtom, Expr, MergeTarget, Program, Select, Stmt, Trigger,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Run the pass. Output is sorted/deduped canonical order.
+pub fn analyze(program: &Program) -> Vec<Diagnostic> {
+    let usage = Usage::collect(program);
+    let mut diags = usage.diags;
+
+    // ---- Reachability: which relations does any handler observe? ----
+    //
+    // Roots are relations a handler reads (scans in its selects and
+    // comprehensions, keyed reads, trigger conditions). A view is *used*
+    // when a handler reads it or a used view's body reads it; the
+    // closure below propagates use downward through rule bodies.
+    let view_heads: BTreeSet<&str> = program
+        .rules
+        .iter()
+        .map(|r| r.head.as_str())
+        .chain(program.agg_rules.iter().map(|r| r.head.as_str()))
+        .collect();
+    let mut used: BTreeSet<String> = usage.handler_reads.clone();
+    loop {
+        let mut grew = false;
+        for r in &program.rules {
+            if used.contains(&r.head) {
+                for dep in body_rels(&r.body) {
+                    grew |= used.insert(dep);
+                }
+            }
+        }
+        for r in &program.agg_rules {
+            if used.contains(&r.head) {
+                for dep in body_rels(&r.body) {
+                    grew |= used.insert(dep);
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    for head in &view_heads {
+        if !used.contains(*head) {
+            diags.push(
+                Diagnostic::new(
+                    "HY101",
+                    Severity::Warning,
+                    Loc::View(head.to_string()),
+                    "unreachable view: no handler reads it, directly or through another view",
+                )
+                .because("views are only materialized for their readers; this one has none")
+                .because(
+                    "reachability = closure from handler-read relations through rule bodies",
+                ),
+            );
+        }
+    }
+
+    // ---- Unused relations: declared but never referenced at all. ----
+    for t in &program.tables {
+        let name = t.name.as_str();
+        let referenced = usage.all_reads.contains(name) || usage.writes.contains(name);
+        if !referenced {
+            diags.push(
+                Diagnostic::new(
+                    "HY102",
+                    Severity::Warning,
+                    Loc::Table(name.to_string()),
+                    "table is never read or written by any rule or handler",
+                )
+                .because("no scan, keyed read, insert, delete, merge, or assignment names it"),
+            );
+        }
+    }
+    for mb in &program.mailboxes {
+        let name = mb.name.as_str();
+        if !usage.all_reads.contains(name) && !usage.sends.contains_key(name) {
+            diags.push(
+                Diagnostic::new(
+                    "HY102",
+                    Severity::Warning,
+                    Loc::Mailbox(name.to_string()),
+                    "mailbox is never scanned and never sent to",
+                )
+                .because("declared handler-less mailboxes exist only to buffer sends for scans"),
+            );
+        }
+    }
+
+    // ---- Unused columns. ----
+    //
+    // Positional scans and whole-row reads (`RowOf`) consume every
+    // column, so only tables accessed purely by key are candidates. Key
+    // and partition columns carry row identity/placement and are exempt.
+    for t in &program.tables {
+        if usage.scanned.contains(t.name.as_str()) || usage.row_read.contains(t.name.as_str()) {
+            continue;
+        }
+        for (i, col) in t.columns.iter().enumerate() {
+            if t.key.contains(&i) || t.partition_by == Some(i) {
+                continue;
+            }
+            let touched = usage
+                .fields
+                .get(t.name.as_str())
+                .is_some_and(|cols| cols.contains(col.name.as_str()));
+            if !touched {
+                diags.push(
+                    Diagnostic::new(
+                        "HY103",
+                        Severity::Warning,
+                        Loc::Column {
+                            table: t.name.clone(),
+                            column: col.name.clone(),
+                        },
+                        "column is never read, merged, or assigned by name",
+                    )
+                    .because(format!(
+                        "table {:?} is only accessed by key, so unreferenced non-key columns are dead weight",
+                        t.name
+                    )),
+                );
+            }
+        }
+    }
+
+    // ---- Rules that can never match. ----
+    //
+    // Fixpoint over "possibly non-empty": mailboxes can always receive
+    // messages; a table needs at least one insert site; a view needs at
+    // least one matchable rule (all scanned inputs possibly non-empty,
+    // no constant-false guard). Negation never blocks matchability.
+    let mut nonempty: BTreeSet<String> = BTreeSet::new();
+    for h in &program.handlers {
+        nonempty.insert(h.name.clone());
+    }
+    for mb in &program.mailboxes {
+        nonempty.insert(mb.name.clone());
+    }
+    for t in &program.tables {
+        if usage.inserted.contains(t.name.as_str()) {
+            nonempty.insert(t.name.clone());
+        }
+    }
+    let rule_matchable = |body: &[BodyAtom], nonempty: &BTreeSet<String>| -> Result<(), String> {
+        for atom in body {
+            match atom {
+                BodyAtom::Scan { rel, .. } if !nonempty.contains(rel) => {
+                    return Err(if view_heads.contains(rel.as_str()) {
+                        format!("it scans view {rel:?}, which has no matchable rule")
+                    } else if program.tables.iter().any(|t| t.name == *rel) {
+                        format!("it scans table {rel:?}, which no handler ever inserts into")
+                    } else {
+                        format!("it scans relation {rel:?}, which can never hold rows")
+                    });
+                }
+                BodyAtom::Guard(Expr::Const(v)) if v.truthy() == Some(false) => {
+                    return Err("it contains a constant-false guard".to_string());
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    };
+    loop {
+        let mut grew = false;
+        for r in &program.rules {
+            if !nonempty.contains(&r.head) && rule_matchable(&r.body, &nonempty).is_ok() {
+                nonempty.insert(r.head.clone());
+                grew = true;
+            }
+        }
+        for r in &program.agg_rules {
+            if !nonempty.contains(&r.head) && rule_matchable(&r.body, &nonempty).is_ok() {
+                nonempty.insert(r.head.clone());
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    for (i, r) in program.rules.iter().enumerate() {
+        if let Err(why) = rule_matchable(&r.body, &nonempty) {
+            diags.push(
+                Diagnostic::new(
+                    "HY104",
+                    Severity::Warning,
+                    Loc::Rule {
+                        head: r.head.clone(),
+                        index: i,
+                    },
+                    "rule body can never match",
+                )
+                .because(why)
+                .because(
+                    "possibly-non-empty fixpoint: mailboxes always fillable, tables need an \
+                     insert site, views need a matchable rule",
+                ),
+            );
+        }
+    }
+    for (i, r) in program.agg_rules.iter().enumerate() {
+        if let Err(why) = rule_matchable(&r.body, &nonempty) {
+            diags.push(
+                Diagnostic::new(
+                    "HY104",
+                    Severity::Warning,
+                    Loc::AggRule {
+                        head: r.head.clone(),
+                        index: i,
+                    },
+                    "aggregation body can never match",
+                )
+                .because(why)
+                .because(
+                    "possibly-non-empty fixpoint: mailboxes always fillable, tables need an \
+                     insert site, views need a matchable rule",
+                ),
+            );
+        }
+    }
+
+    sort_diagnostics(&mut diags);
+    diags
+}
+
+/// Relations a body reads (scans and negations, including nested
+/// comprehensions).
+fn body_rels(body: &[BodyAtom]) -> Vec<String> {
+    let mut out = Vec::new();
+    fn walk_expr(e: &Expr, out: &mut Vec<String>) {
+        match e {
+            Expr::CollectSet(sel) => {
+                walk_body(&sel.body, out);
+                for p in &sel.projection {
+                    walk_expr(p, out);
+                }
+            }
+            Expr::FieldOf { table, key, .. }
+            | Expr::RowOf { table, key }
+            | Expr::HasKey { table, key } => {
+                out.push(table.clone());
+                walk_expr(key, out);
+            }
+            Expr::Cmp(_, l, r)
+            | Expr::Arith(_, l, r)
+            | Expr::And(l, r)
+            | Expr::Or(l, r)
+            | Expr::Contains(l, r) => {
+                walk_expr(l, out);
+                walk_expr(r, out);
+            }
+            Expr::Not(e) | Expr::Len(e) | Expr::Index(e, _) => walk_expr(e, out),
+            Expr::Tuple(items) | Expr::SetBuild(items) | Expr::Call(_, items) => {
+                for e in items {
+                    walk_expr(e, out);
+                }
+            }
+            Expr::Const(_) | Expr::Var(_) | Expr::Scalar(_) => {}
+        }
+    }
+    fn walk_body(body: &[BodyAtom], out: &mut Vec<String>) {
+        for atom in body {
+            match atom {
+                BodyAtom::Scan { rel, .. } | BodyAtom::Neg { rel, .. } => out.push(rel.clone()),
+                BodyAtom::Guard(e) => walk_expr(e, out),
+                BodyAtom::Let { expr, .. } => walk_expr(expr, out),
+                BodyAtom::Flatten { set, .. } => walk_expr(set, out),
+            }
+        }
+        for atom in body {
+            if let BodyAtom::Neg { args, .. } = atom {
+                for a in args {
+                    walk_expr(a, out);
+                }
+            }
+        }
+    }
+    walk_body(body, &mut out);
+    out
+}
+
+/// Whole-program usage facts plus the reference/arity errors found while
+/// collecting them.
+struct Usage {
+    /// Relations scanned or negated anywhere (rules + handlers).
+    scanned: BTreeSet<String>,
+    /// Tables read whole-row (`RowOf`) anywhere.
+    row_read: BTreeSet<String>,
+    /// Every read of a relation by any means (scan, neg, keyed read).
+    all_reads: BTreeSet<String>,
+    /// Relations handlers read (reachability roots).
+    handler_reads: BTreeSet<String>,
+    /// Tables written by any statement (insert/delete/merge/assign).
+    writes: BTreeSet<String>,
+    /// Tables with at least one `Insert` site (row-creating writes).
+    inserted: BTreeSet<String>,
+    /// table → named columns touched via FieldOf / merge / assign.
+    fields: BTreeMap<String, BTreeSet<String>>,
+    /// mailbox → send widths seen.
+    sends: BTreeMap<String, BTreeSet<usize>>,
+    /// Reference/arity errors found during collection.
+    diags: Vec<Diagnostic>,
+}
+
+impl Usage {
+    fn collect(program: &Program) -> Usage {
+        let mut u = Usage {
+            scanned: BTreeSet::new(),
+            row_read: BTreeSet::new(),
+            all_reads: BTreeSet::new(),
+            handler_reads: BTreeSet::new(),
+            writes: BTreeSet::new(),
+            inserted: BTreeSet::new(),
+            fields: BTreeMap::new(),
+            sends: BTreeMap::new(),
+            diags: Vec::new(),
+        };
+        let mut cx = Ctx {
+            program,
+            loc: Loc::Program,
+            as_handler_root: false,
+        };
+        for (i, r) in program.rules.iter().enumerate() {
+            cx.loc = Loc::Rule {
+                head: r.head.clone(),
+                index: i,
+            };
+            u.walk_body(&r.body, &cx);
+            for e in &r.head_exprs {
+                u.walk_expr(e, &cx);
+            }
+        }
+        for (i, r) in program.agg_rules.iter().enumerate() {
+            cx.loc = Loc::AggRule {
+                head: r.head.clone(),
+                index: i,
+            };
+            u.walk_body(&r.body, &cx);
+            for e in &r.group_exprs {
+                u.walk_expr(e, &cx);
+            }
+            u.walk_expr(&r.over, &cx);
+        }
+        for h in program.handlers.iter() {
+            cx.loc = Loc::Handler(h.name.clone());
+            cx.as_handler_root = true;
+            if let Trigger::OnCondition(cond) = &h.trigger {
+                u.walk_expr(cond, &cx);
+            }
+            u.walk_stmts(&h.body, &cx);
+        }
+
+        // Send-width checks against declared mailbox / handler arities.
+        for (mb, widths) in &u.sends {
+            let declared = program
+                .mailboxes
+                .iter()
+                .find(|m| m.name == *mb)
+                .map(|m| m.arity)
+                .or_else(|| program.handler(mb).map(|h| h.params.len()));
+            match declared {
+                // Not an error: sends to names the program doesn't declare
+                // leave the program as external outputs (§3.1 — Fig. 3's
+                // `send alert …` goes to a notification service).
+                None => u.diags.push(
+                    Diagnostic::new(
+                        "HY105",
+                        Severity::Info,
+                        Loc::Mailbox(mb.clone()),
+                        "send targets no local mailbox or handler: treated as an external endpoint",
+                    )
+                    .because("rows sent here appear in the tick's outputs and are never consumed locally"),
+                ),
+                Some(a) => {
+                    for &w in widths {
+                        if w != a {
+                            u.diags.push(
+                                Diagnostic::new(
+                                    "HY005",
+                                    Severity::Error,
+                                    Loc::Mailbox(mb.clone()),
+                                    format!(
+                                        "send projects {w} values but the mailbox's declared arity is {a}"
+                                    ),
+                                )
+                                .because("handlers bind message values positionally; a width mismatch makes dispatch fail"),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        u
+    }
+
+    fn table<'p>(&mut self, cx: &Ctx<'p>, name: &str) -> Option<&'p hydro_core::ast::TableDecl> {
+        let t = cx.program.tables.iter().find(|t| t.name == name);
+        if t.is_none() {
+            self.diags.push(
+                Diagnostic::new(
+                    "HY006",
+                    Severity::Error,
+                    cx.loc.clone(),
+                    format!("references unknown table {name:?}"),
+                )
+                .because("keyed reads and mutations require a declared table"),
+            );
+        }
+        t
+    }
+
+    fn field(&mut self, cx: &Ctx<'_>, table: &str, column: &str) {
+        if let Some(t) = self.table(cx, table) {
+            if t.column_index(column).is_none() {
+                self.diags.push(
+                    Diagnostic::new(
+                        "HY006",
+                        Severity::Error,
+                        cx.loc.clone(),
+                        format!("references unknown column {table:?}.{column}"),
+                    )
+                    .because(format!(
+                        "table {table:?} declares columns {:?}",
+                        t.columns.iter().map(|c| c.name.as_str()).collect::<Vec<_>>()
+                    )),
+                );
+            }
+        }
+        self.fields
+            .entry(table.to_string())
+            .or_default()
+            .insert(column.to_string());
+    }
+
+    fn scalar(&mut self, cx: &Ctx<'_>, name: &str) {
+        if !cx.program.scalars.iter().any(|s| s.name == name) {
+            self.diags.push(Diagnostic::new(
+                "HY006",
+                Severity::Error,
+                cx.loc.clone(),
+                format!("references unknown scalar {name:?}"),
+            ));
+        }
+    }
+
+    fn read(&mut self, cx: &Ctx<'_>, rel: &str) {
+        self.all_reads.insert(rel.to_string());
+        if cx.as_handler_root {
+            self.handler_reads.insert(rel.to_string());
+        }
+    }
+
+    fn walk_body(&mut self, body: &[BodyAtom], cx: &Ctx<'_>) {
+        for atom in body {
+            match atom {
+                BodyAtom::Scan { rel, .. } | BodyAtom::Neg { rel, .. } => {
+                    self.scanned.insert(rel.clone());
+                    self.read(cx, rel);
+                }
+                BodyAtom::Guard(e) => self.walk_expr(e, cx),
+                BodyAtom::Let { expr, .. } => self.walk_expr(expr, cx),
+                BodyAtom::Flatten { set, .. } => self.walk_expr(set, cx),
+            }
+        }
+        for atom in body {
+            if let BodyAtom::Neg { args, .. } = atom {
+                for a in args {
+                    self.walk_expr(a, cx);
+                }
+            }
+        }
+    }
+
+    fn walk_select(&mut self, sel: &Select, cx: &Ctx<'_>) {
+        self.walk_body(&sel.body, cx);
+        for e in &sel.projection {
+            self.walk_expr(e, cx);
+        }
+    }
+
+    fn walk_expr(&mut self, e: &Expr, cx: &Ctx<'_>) {
+        match e {
+            Expr::CollectSet(sel) => self.walk_select(sel, cx),
+            Expr::FieldOf { table, key, field } => {
+                self.field(cx, table, field);
+                self.read(cx, table);
+                self.walk_expr(key, cx);
+            }
+            Expr::RowOf { table, key } => {
+                self.table(cx, table);
+                self.row_read.insert(table.clone());
+                self.read(cx, table);
+                self.walk_expr(key, cx);
+            }
+            Expr::HasKey { table, key } => {
+                self.table(cx, table);
+                self.read(cx, table);
+                self.walk_expr(key, cx);
+            }
+            Expr::Scalar(name) => self.scalar(cx, name),
+            Expr::Cmp(_, l, r)
+            | Expr::Arith(_, l, r)
+            | Expr::And(l, r)
+            | Expr::Or(l, r)
+            | Expr::Contains(l, r) => {
+                self.walk_expr(l, cx);
+                self.walk_expr(r, cx);
+            }
+            Expr::Not(e) | Expr::Len(e) | Expr::Index(e, _) => self.walk_expr(e, cx),
+            Expr::Tuple(items) | Expr::SetBuild(items) | Expr::Call(_, items) => {
+                for e in items {
+                    self.walk_expr(e, cx);
+                }
+            }
+            Expr::Const(_) | Expr::Var(_) => {}
+        }
+    }
+
+    fn walk_stmts(&mut self, stmts: &[Stmt], cx: &Ctx<'_>) {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Merge(target, e) => {
+                    match target {
+                        MergeTarget::Scalar(s) => self.scalar(cx, s),
+                        MergeTarget::TableField { table, key, field } => {
+                            self.field(cx, table, field);
+                            self.writes.insert(table.clone());
+                            self.walk_expr(key, cx);
+                        }
+                    }
+                    self.walk_expr(e, cx);
+                }
+                Stmt::Assign(target, e) => {
+                    match target {
+                        AssignTarget::Scalar(s) => self.scalar(cx, s),
+                        AssignTarget::TableField { table, key, field } => {
+                            self.field(cx, table, field);
+                            self.writes.insert(table.clone());
+                            self.walk_expr(key, cx);
+                        }
+                    }
+                    self.walk_expr(e, cx);
+                }
+                Stmt::Insert { table, values } => {
+                    if let Some(t) = self.table(cx, table) {
+                        let arity = t.arity();
+                        if values.len() != arity {
+                            self.diags.push(
+                                Diagnostic::new(
+                                    "HY006",
+                                    Severity::Error,
+                                    cx.loc.clone(),
+                                    format!(
+                                        "insert into {table:?} supplies {} values for {arity} columns",
+                                        values.len()
+                                    ),
+                                )
+                                .because("inserts are positional over the full declared row"),
+                            );
+                        }
+                    }
+                    self.writes.insert(table.clone());
+                    self.inserted.insert(table.clone());
+                    for e in values {
+                        self.walk_expr(e, cx);
+                    }
+                }
+                Stmt::Delete { table, key } => {
+                    self.table(cx, table);
+                    self.writes.insert(table.clone());
+                    self.walk_expr(key, cx);
+                }
+                Stmt::Send { mailbox, select } => {
+                    self.sends
+                        .entry(mailbox.clone())
+                        .or_default()
+                        .insert(select.projection.len());
+                    self.walk_select(select, cx);
+                }
+                Stmt::Return(e) => self.walk_expr(e, cx),
+                Stmt::If { cond, then, els } => {
+                    self.walk_expr(cond, cx);
+                    self.walk_stmts(then, cx);
+                    self.walk_stmts(els, cx);
+                }
+                Stmt::ForEach { select, stmts } => {
+                    self.walk_select(select, cx);
+                    self.walk_stmts(stmts, cx);
+                }
+                Stmt::ClearMailbox(mb) => {
+                    if !cx.program.mailboxes.iter().any(|m| m.name == *mb) {
+                        self.diags.push(
+                            Diagnostic::new(
+                                "HY006",
+                                Severity::Error,
+                                cx.loc.clone(),
+                                format!("clears unknown mailbox {mb:?}"),
+                            )
+                            .because("only declared handler-less mailboxes can be cleared"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Traversal context: which unit we're inside and whether its reads count
+/// as reachability roots.
+struct Ctx<'p> {
+    program: &'p Program,
+    loc: Loc,
+    as_handler_root: bool,
+}

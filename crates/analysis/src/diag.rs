@@ -1,0 +1,204 @@
+//! The shared diagnostic model every analysis pass emits into.
+//!
+//! A [`Diagnostic`] carries a **stable lint code** (`HYnnn`, the contract
+//! CI and editors key on), a [`Severity`], a structured program
+//! [`Loc`]ation, a one-line message, and a **why-chain**: the ordered
+//! list of facts the pass derived the verdict from (e.g. a partition
+//! demotion's table → blocker → fixpoint-round derivation). The chain is
+//! what turns "your handler is global" into something a user can act on.
+//!
+//! Ordering is part of the contract: [`sort_diagnostics`] sorts by
+//! (code, location, message) and dedups, so any two runs over the same
+//! program render byte-identical reports — ci.sh's double-run diff
+//! covers analysis output because of this.
+//!
+//! The full code table lives in the crate docs ([`crate`]).
+
+use std::fmt;
+
+/// How bad a finding is. `Error` means the program will (or can) fail at
+/// runtime and preflight exits non-zero; `Warning` flags likely mistakes
+/// or lost performance; `Info` records facts worth surfacing (e.g. an
+/// exchange plan) without judgement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational fact.
+    Info,
+    /// Likely mistake or lost capability; program still runs.
+    Warning,
+    /// Will (or can) fail at runtime; gates CI.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// A structured program location — the declaration or derived unit a
+/// diagnostic is about. HydroLogic has no source spans (programs are
+/// built by API or parsed from `.hydro` text), so locations name program
+/// *objects*, which are stable across formatting.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Loc {
+    /// The program as a whole.
+    Program,
+    /// A declared table.
+    Table(String),
+    /// One column of a declared table.
+    Column {
+        /// Table name.
+        table: String,
+        /// Column name.
+        column: String,
+    },
+    /// A scalar/lattice variable.
+    Scalar(String),
+    /// A declared mailbox.
+    Mailbox(String),
+    /// Plain rule `index` deriving `head` (index into `Program::rules`).
+    Rule {
+        /// Head relation.
+        head: String,
+        /// Index into `Program::rules`.
+        index: usize,
+    },
+    /// Aggregation rule `index` deriving `head` (index into
+    /// `Program::agg_rules`).
+    AggRule {
+        /// Head relation.
+        head: String,
+        /// Index into `Program::agg_rules`.
+        index: usize,
+    },
+    /// A derived view (all rules with this head collectively).
+    View(String),
+    /// An event handler.
+    Handler(String),
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Loc::Program => write!(f, "program"),
+            Loc::Table(t) => write!(f, "table {t:?}"),
+            Loc::Column { table, column } => write!(f, "column {table:?}.{column}"),
+            Loc::Scalar(s) => write!(f, "scalar {s:?}"),
+            Loc::Mailbox(m) => write!(f, "mailbox {m:?}"),
+            Loc::Rule { head, index } => write!(f, "rule {head:?}#{index}"),
+            Loc::AggRule { head, index } => write!(f, "agg rule {head:?}#{index}"),
+            Loc::View(v) => write!(f, "view {v:?}"),
+            Loc::Handler(h) => write!(f, "handler {h:?}"),
+        }
+    }
+}
+
+/// One finding from one pass. See the module docs for field semantics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable lint code (`"HY001"`, …) — the CI/editor contract.
+    pub code: &'static str,
+    /// Finding severity.
+    pub severity: Severity,
+    /// What the finding is about.
+    pub loc: Loc,
+    /// One-line human summary.
+    pub message: String,
+    /// Derivation chain: the ordered facts the verdict follows from,
+    /// outermost cause first.
+    pub why: Vec<String>,
+}
+
+impl Diagnostic {
+    /// Construct a diagnostic with an empty why-chain.
+    pub fn new(code: &'static str, severity: Severity, loc: Loc, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity,
+            loc,
+            message: message.into(),
+            why: Vec::new(),
+        }
+    }
+
+    /// Builder-style: append one step to the why-chain.
+    pub fn because(mut self, step: impl Into<String>) -> Self {
+        self.why.push(step.into());
+        self
+    }
+
+    /// Render as the canonical multi-line text form:
+    ///
+    /// ```text
+    /// error[HY001] rule "big"#0: scans unknown relation "kvz"
+    ///   = note: ...
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{}[{}] {}: {}",
+            self.severity, self.code, self.loc, self.message
+        );
+        for step in &self.why {
+            out.push_str("\n  = note: ");
+            out.push_str(step);
+        }
+        out
+    }
+
+    /// Render as a single JSON object (the analysis crate carries no
+    /// serde; the hand-rolled writer emits one stable key order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"code\":\"{}\",", self.code));
+        out.push_str(&format!("\"severity\":\"{}\",", self.severity));
+        out.push_str(&format!("\"loc\":\"{}\",", json_escape(&self.loc.to_string())));
+        out.push_str(&format!("\"message\":\"{}\",", json_escape(&self.message)));
+        out.push_str("\"why\":[");
+        for (i, step) in self.why.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\"", json_escape(step)));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Escape a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Canonical emission order: sort by (code, location, message, why) and
+/// drop exact duplicates. Every report goes through this before the user
+/// sees it, making analysis output deterministic byte-for-byte.
+pub fn sort_diagnostics(diags: &mut Vec<Diagnostic>) {
+    diags.sort_by(|a, b| {
+        (a.code, &a.loc, &a.message, &a.why).cmp(&(b.code, &b.loc, &b.message, &b.why))
+    });
+    diags.dedup();
+}

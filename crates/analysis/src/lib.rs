@@ -17,13 +17,65 @@
 //!   derive each handler's routing parameter and each table's partition
 //!   class, classify views as shard-local vs requiring broadcast/exchange,
 //!   and lower the result to a `RoutingSpec` for the sharded runtime.
+//! * [`dead`] — dead-program detection: unreachable views, unused
+//!   relations and columns, rules whose bodies can never match, and the
+//!   static reference/arity checks underneath those verdicts.
+//! * [`diag`] + [`preflight`] — the unified diagnostics model and the
+//!   lint driver that runs every pass and folds the findings into one
+//!   deterministic, sorted report.
+//!
+//! ## The diagnostics model
+//!
+//! Every pass renders its findings as [`diag::Diagnostic`]s: a **stable
+//! lint code**, a [`diag::Severity`] (`Error` gates CI; `Warning` flags
+//! likely mistakes; `Info` records facts), a structured [`diag::Loc`]
+//! naming the program object concerned, a one-line message, and a
+//! **why-chain** — the ordered derivation the verdict follows from (e.g.
+//! a partition demotion's table → blocker → fixpoint-round chain).
+//! Reports are sorted by (code, location, message) and deduped before
+//! emission, so analysis output is byte-deterministic across runs.
+//!
+//! ## Lint codes
+//!
+//! | Code  | Severity | Meaning |
+//! |-------|----------|---------|
+//! | HY001 | Error    | scan/negation of an unknown relation |
+//! | HY002 | Error    | pattern arity ≠ declared arity; conflicting head arities |
+//! | HY003 | Error    | expression reads a variable before any atom binds it |
+//! | HY004 | Info     | reorder-safety summary: rules proven free of binding/arity errors under any admissible atom order (the per-rule license for join reordering / SIP / counting maintenance, recorded on `ProgramCore`) |
+//! | HY005 | Error    | send width ≠ the target mailbox's declared arity |
+//! | HY006 | Error    | unknown table/column/scalar/mailbox reference; bad insert width |
+//! | HY007 | Error    | program not stratifiable (or failed to compile) |
+//! | HY008 | Error    | head derived by both plain and aggregation rules |
+//! | HY101 | Warning  | unreachable view: no handler reads it, even transitively |
+//! | HY102 | Warning  | unused table/mailbox: never referenced at all |
+//! | HY103 | Warning  | dead column of a keyed-access-only table |
+//! | HY104 | Warning  | rule body can never match (empty-forever input or constant-false guard) |
+//! | HY105 | Info     | send targets no local mailbox/handler: an external endpoint |
+//! | HY201 | Warning  | CALM: handler requires coordination (non-monotone state/output) |
+//! | HY210 | Info     | tone: derived view is non-monotone (may retract rows) |
+//! | HY301 | Warning  | metaconsistency: declared level undercut by a call path |
+//! | HY401 | Warning  | partition: handler demoted to global (why-chain: table → blocker → fixpoint round) |
+//! | HY402 | Info     | partition: view executes via delta exchange |
+//! | HY403 | Info     | partition: view needs broadcast/exchange, shards hold partial derivations |
+//! | HY404 | Info     | partition: the lowered exchange plan |
+//! | HY405 | Info     | partition: handler pinned to the global shard by initial classification |
+//!
+//! [`preflight::preflight`] runs everything; `examples/preflight.rs` is
+//! the CLI over `.hydro` files (`--json` for machine consumption), wired
+//! into `scripts/ci.sh` as an error-severity gate over every example.
 
 pub mod calm;
+pub mod dead;
+pub mod diag;
 pub mod meta;
 pub mod partition;
+pub mod preflight;
 pub mod tone;
 
 pub use calm::{check_confluent, check_invariant_confluent, classify, standard_orders, CalmReport, HandlerClass};
+pub use diag::{Diagnostic, Loc, Severity};
 pub use meta::{analyze as metaconsistency, MetaReport};
 pub use partition::{partition, sharded, PartitionReport, RuleClass, TableClass};
+pub use preflight::{preflight, PreflightReport};
 pub use tone::{expr_tone, relation_tone, select_tone, StateProfile, Tone};

@@ -59,6 +59,36 @@ impl MetaReport {
         }
         suggest
     }
+
+    /// Render the violations as diagnostics: one `HY301` warning per
+    /// broken endpoint declaration, with the offending path, the weakest
+    /// hop, and the suggested repair as the why-chain.
+    pub fn diagnostics(&self) -> Vec<crate::diag::Diagnostic> {
+        use crate::diag::{sort_diagnostics, Diagnostic, Loc, Severity};
+        let mut diags: Vec<Diagnostic> = self
+            .violations
+            .iter()
+            .map(|v| {
+                Diagnostic::new(
+                    "HY301",
+                    Severity::Warning,
+                    Loc::Handler(v.endpoint.clone()),
+                    format!(
+                        "declares {:?} consistency but its call path provides only {:?}",
+                        v.declared, v.provided
+                    ),
+                )
+                .because(format!("path: {}", v.path.join(" -> ")))
+                .because(format!("weakest hop: {:?}", v.weakest_hop))
+                .because(format!(
+                    "repair: raise {:?} to at least {:?} (white-box flexibility, §7.2)",
+                    v.weakest_hop, v.declared
+                ))
+            })
+            .collect();
+        sort_diagnostics(&mut diags);
+        diags
+    }
 }
 
 fn sends_of(stmts: &[Stmt], out: &mut Vec<String>) {

@@ -77,6 +77,7 @@
 //! analysis-produced specs: a sharded run is indistinguishable from the
 //! single transducer, exchange plans included.
 
+use crate::diag::{sort_diagnostics, Diagnostic, Loc, Severity};
 use hydro_core::ast::{
     AssignTarget, BodyAtom, Expr, Handler, MergeTarget, Program, Select, Stmt, Term, Trigger,
 };
@@ -150,8 +151,16 @@ pub struct PartitionReport {
     /// The lowered delta-exchange plan (empty when nothing exchanges —
     /// every global observation is either of global state or demoted).
     pub exchange: ExchangeSpec,
-    /// Human-readable findings (demotions and exchange plans).
+    /// Human-readable findings (demotions and exchange plans), rendered
+    /// from [`PartitionReport::diagnostics`] in its canonical sorted
+    /// order — kept for callers that grep for plain strings.
     pub notes: Vec<String>,
+    /// Structured findings: demotions (`HY401`, with a full table →
+    /// blocker → fixpoint-round why-chain), exchange placements
+    /// (`HY402`/`HY403`), the plan summary (`HY404`), and initial
+    /// global-pinning reasons (`HY405`). Sorted canonically (see
+    /// [`crate::diag::sort_diagnostics`]), so emission is deterministic.
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl PartitionReport {
@@ -576,7 +585,20 @@ pub fn partition_with(program: &Program, policy: ExchangePolicy) -> PartitionRep
         .iter()
         .map(|h| (h.name.clone(), initial_class(h, &facts[&h.name])))
         .collect();
-    let mut notes: Vec<String> = Vec::new();
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    for h in &program.handlers {
+        if let HandlerClass::Global { reason } = &classes[&h.name] {
+            diags.push(
+                Diagnostic::new(
+                    "HY405",
+                    Severity::Info,
+                    Loc::Handler(h.name.clone()),
+                    format!("pinned to the global shard by initial classification: {reason}"),
+                )
+                .because("initial classification inspects the handler alone, before the demotion fixpoint"),
+            );
+        }
+    }
 
     // Rule read sets, head → everything its bodies read (for the global
     // read closure).
@@ -645,9 +667,13 @@ pub fn partition_with(program: &Program, policy: ExchangePolicy) -> PartitionRep
         .map(|h| h.name.as_str())
         .collect();
 
-    // Demotion fixpoint.
+    // Demotion fixpoint. Each entry carries the one-line reason (stored
+    // on the class and in the legacy note) plus the structured derivation
+    // steps for the HY401 why-chain.
+    let mut round = 0usize;
     loop {
-        let mut demote: Vec<(String, String)> = Vec::new();
+        round += 1;
+        let mut demote: Vec<(String, String, Vec<String>)> = Vec::new();
         let is_local = |c: &HandlerClass| matches!(c, HandlerClass::Local { .. });
 
         // Tables touched (keyed) per side of the divide.
@@ -728,6 +754,13 @@ pub fn partition_with(program: &Program, policy: ExchangePolicy) -> PartitionRep
                                 "table {table:?} is shared with a global handler \
                                  and cannot exchange: {block}"
                             ),
+                            vec![
+                                format!(
+                                    "table {table:?} is keyed by this shard-local handler \
+                                     and also accessed from the global shard"
+                                ),
+                                format!("delta exchange is blocked: {block}"),
+                            ],
                         ));
                     }
                 }
@@ -754,6 +787,16 @@ pub fn partition_with(program: &Program, policy: ExchangePolicy) -> PartitionRep
                                 "table {table:?} declares functional dependencies \
                                  not determined by the partition key"
                             ),
+                            vec![
+                                format!(
+                                    "table {table:?} carries an FD whose determinant \
+                                     omits the partition key column"
+                                ),
+                                "FD monitoring is per-shard; rows agreeing on that \
+                                 determinant could land on different shards, so the \
+                                 violating pair would go unobserved"
+                                    .to_string(),
+                            ],
                         ));
                     }
                 }
@@ -794,6 +837,13 @@ pub fn partition_with(program: &Program, policy: ExchangePolicy) -> PartitionRep
                                 "table {rel:?} is read (transitively) from the global \
                                  shard and cannot exchange: {block}"
                             ),
+                            vec![
+                                format!(
+                                    "table {rel:?} is in the global read closure \
+                                     (a global handler reaches it through rule bodies)"
+                                ),
+                                format!("delta exchange is blocked: {block}"),
+                            ],
                         ));
                     }
                 }
@@ -804,14 +854,29 @@ pub fn partition_with(program: &Program, policy: ExchangePolicy) -> PartitionRep
                 demote.push((
                     rel.clone(),
                     "its mailbox relation is read (transitively) from the global shard".into(),
+                    vec![
+                        "a rule or global handler scans this handler's mailbox relation".into(),
+                        "mailbox relations never ship deltas; per-shard contents would be \
+                         partial on the gather shard"
+                            .into(),
+                    ],
                 ));
             }
         }
 
         let mut changed = false;
-        for (name, reason) in demote {
+        for (name, reason, why) in demote {
             if matches!(classes[&name], HandlerClass::Local { .. }) {
-                notes.push(format!("handler {name:?} demoted to global: {reason}"));
+                let mut d = Diagnostic::new(
+                    "HY401",
+                    Severity::Warning,
+                    Loc::Handler(name.clone()),
+                    format!("demoted to global: {reason}"),
+                );
+                for step in why {
+                    d = d.because(step);
+                }
+                diags.push(d.because(format!("decided in demotion fixpoint round {round}")));
                 classes.insert(name, HandlerClass::Global { reason });
                 changed = true;
             }
@@ -957,27 +1022,60 @@ pub fn partition_with(program: &Program, policy: ExchangePolicy) -> PartitionRep
             continue;
         }
         if gather_views.contains(head) {
-            notes.push(format!(
-                "view {head:?} executes via delta exchange: its partitioned inputs \
-                 ship per-tick deltas to the gather shard, which alone evaluates it \
-                 over local + foreign rows"
-            ));
+            let shipped: Vec<&String> = trans_reads
+                .get(head)
+                .map(|reads| reads.iter().filter(|r| ship_tables.contains(*r)).collect())
+                .unwrap_or_default();
+            diags.push(
+                Diagnostic::new(
+                    "HY402",
+                    Severity::Info,
+                    Loc::View(head.clone()),
+                    "executes via delta exchange: its partitioned inputs \
+                     ship per-tick deltas to the gather shard, which alone evaluates it \
+                     over local + foreign rows",
+                )
+                .because(format!("partitioned inputs shipping deltas: {shipped:?}"))
+                .because(
+                    "every global observation of those tables is exchange-admissible \
+                     (the demotion fixpoint found no blocker)",
+                ),
+            );
         } else {
-            notes.push(format!(
-                "view {head:?} requires broadcast/exchange over partitioned inputs; \
-                 per-shard derivations are partial (sound only while no global reader \
-                 observes them — enforced by the demotion fixpoint)"
-            ));
+            diags.push(
+                Diagnostic::new(
+                    "HY403",
+                    Severity::Info,
+                    Loc::View(head.clone()),
+                    "requires broadcast/exchange over partitioned inputs; \
+                     per-shard derivations are partial (sound only while no global reader \
+                     observes them — enforced by the demotion fixpoint)",
+                )
+                .because(
+                    "it joins, negates, or aggregates over partitioned relations \
+                     outside the lowered exchange plan",
+                ),
+            );
         }
     }
     if !ship_tables.is_empty() {
-        notes.push(format!(
-            "exchange plan: tables {:?} ship tick-barrier deltas; views {:?} \
-             evaluate on the gather shard only",
-            ship_tables.iter().collect::<Vec<_>>(),
-            gather_views.iter().collect::<Vec<_>>(),
+        diags.push(Diagnostic::new(
+            "HY404",
+            Severity::Info,
+            Loc::Program,
+            format!(
+                "exchange plan: tables {:?} ship tick-barrier deltas; views {:?} \
+                 evaluate on the gather shard only",
+                ship_tables.iter().collect::<Vec<_>>(),
+                gather_views.iter().collect::<Vec<_>>(),
+            ),
         ));
     }
+
+    // Canonical order, then render the legacy note strings from it — so
+    // `notes` inherits the same determinism the diagnostics carry.
+    sort_diagnostics(&mut diags);
+    let notes = diags.iter().filter_map(legacy_note).collect();
 
     PartitionReport {
         handlers: classes,
@@ -988,6 +1086,24 @@ pub fn partition_with(program: &Program, policy: ExchangePolicy) -> PartitionRep
             gather_views,
         },
         notes,
+        diagnostics: diags,
+    }
+}
+
+/// The pre-diagnostic note string for one finding (`None` for codes that
+/// never appeared in `notes`, like the `HY405` initial pinnings).
+fn legacy_note(d: &Diagnostic) -> Option<String> {
+    match d.code {
+        "HY401" => match &d.loc {
+            Loc::Handler(name) => Some(format!("handler {name:?} {}", d.message)),
+            _ => None,
+        },
+        "HY402" | "HY403" => match &d.loc {
+            Loc::View(head) => Some(format!("view {head:?} {}", d.message)),
+            _ => None,
+        },
+        "HY404" => Some(d.message.clone()),
+        _ => None,
     }
 }
 

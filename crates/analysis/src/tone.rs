@@ -374,6 +374,43 @@ fn relation_tone_rec(
     }
 }
 
+/// Render the tone verdicts as diagnostics: one `HY210` info per view
+/// whose derived relation is not monotone — the §8.2 "typecheck
+/// monotonicity" signal that the view cannot stream coordination-free.
+pub fn diagnostics(program: &Program) -> Vec<crate::diag::Diagnostic> {
+    use crate::diag::{sort_diagnostics, Diagnostic, Loc, Severity};
+    let profile = StateProfile::of(program);
+    let heads: std::collections::BTreeSet<&str> = program
+        .rules
+        .iter()
+        .map(|r| r.head.as_str())
+        .chain(program.agg_rules.iter().map(|r| r.head.as_str()))
+        .collect();
+    let mut diags: Vec<Diagnostic> = heads
+        .into_iter()
+        .filter_map(|head| {
+            let tone = relation_tone(head, program, &profile);
+            if tone.is_monotone() {
+                return None;
+            }
+            Some(
+                Diagnostic::new(
+                    "HY210",
+                    Severity::Info,
+                    Loc::View(head.to_string()),
+                    format!("derived relation is {tone:?}: it may retract rows as state grows"),
+                )
+                .because(
+                    "non-monotone views cannot stream coordination-free (CALM); \
+                     downstream consumers must tolerate retractions or coordinate",
+                ),
+            )
+        })
+        .collect();
+    sort_diagnostics(&mut diags);
+    diags
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

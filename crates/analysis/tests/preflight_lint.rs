@@ -1,0 +1,315 @@
+//! The preflight lint driver: lint codes, severities, the why-chains,
+//! deterministic ordering, and the text/JSON renderings.
+
+use hydro_analysis::diag::{sort_diagnostics, Diagnostic, Loc, Severity};
+use hydro_analysis::preflight::{preflight, reports_to_json};
+use hydro_core::builder::dsl::*;
+use hydro_core::builder::ProgramBuilder;
+use hydro_core::examples::covid_program_with_vaccines;
+use hydro_core::value::Value;
+
+fn kv_base() -> ProgramBuilder {
+    ProgramBuilder::new()
+        .table("kv", vec![("k", atom()), ("val", atom())], &["k"], Some("k"))
+        .on(
+            "put",
+            &["k", "v"],
+            vec![insert("kv", vec![v("k"), v("v")]), ret(s("ok"))],
+        )
+}
+
+#[test]
+fn covid_program_preflights_clean() {
+    let report = preflight(&covid_program_with_vaccines(100));
+    assert!(
+        report.passes(),
+        "errors: {:?}",
+        report.errors().collect::<Vec<_>>()
+    );
+    // The reorder-safety summary is always present.
+    assert!(report.diagnostics.iter().any(|d| d.code == "HY004"));
+    assert!(report.reorder.all_safe());
+}
+
+#[test]
+fn severity_orders_info_warning_error() {
+    assert!(Severity::Info < Severity::Warning);
+    assert!(Severity::Warning < Severity::Error);
+    assert_eq!(Severity::Error.to_string(), "error");
+}
+
+#[test]
+fn unknown_relation_is_hy001() {
+    let p = kv_base()
+        .rule("view", vec![v("x")], vec![scan("kvz", &["x", "y"])])
+        .build();
+    let report = preflight(&p);
+    assert!(!report.passes());
+    let d = report.errors().find(|d| d.code == "HY001").expect("HY001");
+    assert_eq!(
+        d.loc,
+        Loc::Rule {
+            head: "view".into(),
+            index: 0
+        }
+    );
+    assert!(d.message.contains("kvz"));
+}
+
+#[test]
+fn arity_mismatch_is_hy002_and_unbound_is_hy003() {
+    let p = kv_base()
+        .rule("wide", vec![v("x")], vec![scan("kv", &["x", "y", "z"])])
+        .rule("loose", vec![v("q")], vec![scan("kv", &["x", "y"])])
+        .build();
+    let report = preflight(&p);
+    assert!(report.errors().any(|d| d.code == "HY002"));
+    assert!(report
+        .errors()
+        .any(|d| d.code == "HY003" && d.message.contains("\"q\"")));
+}
+
+#[test]
+fn unreachable_view_is_hy101() {
+    let p = kv_base()
+        .rule("orphan", vec![v("x")], vec![scan("kv", &["x", "y"])])
+        .build();
+    let report = preflight(&p);
+    assert!(report.passes(), "warnings only");
+    assert!(report
+        .warnings()
+        .any(|d| d.code == "HY101" && d.loc == Loc::View("orphan".into())));
+}
+
+#[test]
+fn unused_table_and_mailbox_are_hy102() {
+    let p = kv_base()
+        .table("ghost", vec![("a", atom())], &["a"], None)
+        .mailbox("void", 2)
+        .build();
+    let report = preflight(&p);
+    assert!(report
+        .warnings()
+        .any(|d| d.code == "HY102" && d.loc == Loc::Table("ghost".into())));
+    assert!(report
+        .warnings()
+        .any(|d| d.code == "HY102" && d.loc == Loc::Mailbox("void".into())));
+}
+
+#[test]
+fn dead_column_of_keyed_table_is_hy103() {
+    // `extra` is never read by name; kv is only accessed by key (no scans
+    // once no rule exists), so the column is provably dead.
+    let p = ProgramBuilder::new()
+        .table(
+            "kv",
+            vec![("k", atom()), ("val", atom()), ("extra", atom())],
+            &["k"],
+            Some("k"),
+        )
+        .on(
+            "put",
+            &["k", "v"],
+            vec![insert("kv", vec![v("k"), v("v"), i(0)]), ret(s("ok"))],
+        )
+        .on("get", &["k"], vec![ret(field("kv", v("k"), "val"))])
+        .build();
+    let report = preflight(&p);
+    assert!(report.warnings().any(|d| d.code == "HY103"
+        && d.loc
+            == Loc::Column {
+                table: "kv".into(),
+                column: "extra".into()
+            }));
+    // `val` is read by name; no warning for it.
+    assert!(!report.diagnostics.iter().any(|d| d.loc
+        == Loc::Column {
+            table: "kv".into(),
+            column: "val".into()
+        }));
+}
+
+#[test]
+fn never_matching_rule_is_hy104_with_why_chain() {
+    // `silent` is declared but no handler ever inserts into it.
+    let p = kv_base()
+        .table("silent", vec![("a", atom())], &["a"], None)
+        .rule("view", vec![v("a")], vec![scan("silent", &["a"])])
+        .on(
+            "probe",
+            &["x"],
+            vec![ret(collect_set(select(
+                vec![scan("view", &["a"])],
+                vec![v("a")],
+            )))],
+        )
+        .build();
+    let report = preflight(&p);
+    let d = report
+        .warnings()
+        .find(|d| d.code == "HY104")
+        .expect("HY104");
+    assert!(d.why.iter().any(|w| w.contains("no handler ever inserts")));
+}
+
+#[test]
+fn send_width_mismatch_is_hy005() {
+    let p = kv_base()
+        .mailbox("audit", 3)
+        .on(
+            "log",
+            &["k"],
+            vec![send_row("audit", vec![v("k"), i(1)]), ret(s("ok"))],
+        )
+        .build();
+    let report = preflight(&p);
+    let d = report.errors().find(|d| d.code == "HY005").expect("HY005");
+    assert!(d.message.contains("2") && d.message.contains("3"));
+}
+
+#[test]
+fn bad_references_are_hy006() {
+    let p = kv_base()
+        .on("bad_field", &["k"], vec![ret(field("kv", v("k"), "nope"))])
+        .on(
+            "bad_insert",
+            &["k"],
+            vec![insert("kv", vec![v("k")]), ret(s("ok"))],
+        )
+        .build();
+    let report = preflight(&p);
+    let hy006: Vec<_> = report.errors().filter(|d| d.code == "HY006").collect();
+    assert!(hy006.iter().any(|d| d.message.contains("nope")));
+    assert!(hy006.iter().any(|d| d.message.contains("1 values")));
+}
+
+#[test]
+fn unstratifiable_program_is_hy007() {
+    // `odd` depends on itself through negation.
+    let p = kv_base()
+        .rule(
+            "odd",
+            vec![v("x")],
+            vec![scan("kv", &["x", "y"]), neg("odd", vec![v("x")])],
+        )
+        .build();
+    let report = preflight(&p);
+    assert!(report.errors().any(|d| d.code == "HY007"));
+}
+
+#[test]
+fn reorder_summary_names_unsafe_rules() {
+    let p = kv_base()
+        .rule("fine", vec![v("x")], vec![scan("kv", &["x", "y"])])
+        .rule("broken", vec![v("x")], vec![scan("nope", &["x"])])
+        .build();
+    let report = preflight(&p);
+    let summary = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == "HY004")
+        .expect("summary");
+    assert!(summary.message.contains("1/2 rules"));
+    assert!(summary
+        .why
+        .iter()
+        .any(|w| w.contains("not safe") && w.contains("broken")));
+}
+
+#[test]
+fn reports_are_deterministic_and_sorted() {
+    let p = covid_program_with_vaccines(7);
+    let a = preflight(&p);
+    let b = preflight(&p);
+    assert_eq!(a.diagnostics, b.diagnostics);
+    assert_eq!(a.render(), b.render());
+    // Canonical order: (code, loc, message) non-decreasing.
+    for w in a.diagnostics.windows(2) {
+        assert!(
+            (w[0].code, &w[0].loc, &w[0].message) <= (w[1].code, &w[1].loc, &w[1].message),
+            "out of order: {} then {}",
+            w[0].render(),
+            w[1].render()
+        );
+    }
+}
+
+#[test]
+fn sort_diagnostics_dedups() {
+    let d = Diagnostic::new("HY001", Severity::Error, Loc::Program, "dup");
+    let mut v = vec![d.clone(), d.clone()];
+    sort_diagnostics(&mut v);
+    assert_eq!(v.len(), 1);
+}
+
+#[test]
+fn render_and_json_shapes() {
+    let d = Diagnostic::new(
+        "HY001",
+        Severity::Error,
+        Loc::View("a \"quoted\" name".into()),
+        "line1\nline2",
+    )
+    .because("step one");
+    let text = d.render();
+    assert!(text.starts_with("error[HY001]"));
+    assert!(text.contains("= note: step one"));
+    let json = d.to_json();
+    // Loc's Display already debug-quotes the name; JSON escapes it again.
+    assert!(json.contains(r#"\"a \\\"quoted\\\" name\""#), "json: {json}");
+    assert!(json.contains("line1\\nline2"));
+    assert!(json.contains("\"why\":[\"step one\"]"));
+}
+
+#[test]
+fn multi_file_json_report_shape() {
+    let p = kv_base().build();
+    let results = vec![
+        ("a.hydro".to_string(), preflight(&p)),
+        ("b.hydro".to_string(), preflight(&p)),
+    ];
+    let json = reports_to_json(&results);
+    assert!(json.starts_with("[{\"file\":\"a.hydro\",\"pass\":true"));
+    assert!(json.contains("\"file\":\"b.hydro\""));
+    assert!(json.ends_with("]}]"));
+}
+
+#[test]
+fn preflight_report_value_is_usable_for_gating() {
+    // The exact shape ci.sh relies on: a clean program passes, an
+    // erroneous one fails, warnings alone never gate.
+    let clean = kv_base().build();
+    assert!(preflight(&clean).passes());
+    let warned = kv_base()
+        .rule("orphan", vec![v("x")], vec![scan("kv", &["x", "y"])])
+        .build();
+    let report = preflight(&warned);
+    assert!(report.passes() && report.warnings().count() > 0);
+    let broken = kv_base()
+        .rule("bad", vec![v("z")], vec![scan("kv", &["x", "y"])])
+        .build();
+    assert!(!preflight(&broken).passes());
+}
+
+#[test]
+fn handler_binding_errors_surface_as_hy003() {
+    let p = kv_base()
+        .on("oops", &["k"], vec![ret(v("undefined_var"))])
+        .build();
+    let report = preflight(&p);
+    assert!(report
+        .errors()
+        .any(|d| d.code == "HY003" && d.loc == Loc::Handler("oops".into())));
+}
+
+#[test]
+fn condition_triggers_are_checked_against_empty_scope() {
+    let p = kv_base()
+        .var("total", Value::Int(0))
+        .on_condition("watch", ge(v("phantom"), i(3)), vec![ret(s("hi"))])
+        .build();
+    let report = preflight(&p);
+    assert!(report
+        .errors()
+        .any(|d| d.code == "HY003" && d.loc == Loc::Handler("watch".into())));
+}

@@ -1157,6 +1157,28 @@ pub fn interp_bench_records() -> Vec<BenchRecord> {
         ));
         records.push(rec("e08_tc_interp_naive", n, run.naive, run.tc_rows as u64));
     }
+
+    // Preflight: full lint-driver cost (all passes, including the
+    // reorder-safety proofs) over the E1/E8/E16 program shapes, so the
+    // static-analysis budget has a perf trajectory too. n distinguishes
+    // the program; items = diagnostics emitted. Warm once, best of 5.
+    for (n, program) in [
+        (1i64, hydro_core::examples::covid_program_with_vaccines(100)),
+        (8, tc_program()),
+        (16, scaleout_program()),
+    ] {
+        let _warm = hydro_analysis::preflight(&program);
+        let mut best = std::time::Duration::MAX;
+        let mut items = 0u64;
+        for _ in 0..5 {
+            let start = Instant::now();
+            let report = hydro_analysis::preflight(&program);
+            best = best.min(start.elapsed());
+            items = report.diagnostics.len() as u64;
+            assert!(report.passes(), "bench programs must lint clean");
+        }
+        records.push(rec("preflight_analysis", n, best, items));
+    }
     records
 }
 

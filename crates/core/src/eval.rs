@@ -1295,7 +1295,7 @@ pub fn evaluate_views(
 ) -> Result<Database, EvalError> {
     let strata = stratify(program)?;
     let max_stratum = strata.values().copied().max().unwrap_or(0);
-    let ruleset = RuleSet::compile(program);
+    let ruleset = RuleSet::compile(program, &crate::reorder::ReorderReport::analyze(program));
 
     let mut db = seed_views(program, base);
     let key_index = build_key_indexes(program, base);
@@ -1432,7 +1432,7 @@ pub fn evaluate_views_naive(
 ) -> Result<Database, EvalError> {
     let strata = stratify(program)?;
     let max_stratum = strata.values().copied().max().unwrap_or(0);
-    let ruleset = RuleSet::compile(program);
+    let ruleset = RuleSet::compile(program, &crate::reorder::ReorderReport::analyze(program));
 
     let mut db = seed_views(program, base);
     let key_index = build_key_indexes(program, base);
@@ -2476,6 +2476,10 @@ impl CompiledQuery {
 struct CompiledRule {
     head: String,
     query: CompiledQuery,
+    /// Statically proven ([`crate::reorder`]) that no binding/arity error
+    /// is reachable under any admissible atom order — the license a join
+    /// reorderer / SIP pass needs before permuting this body.
+    reorder_safe: bool,
 }
 
 /// One aggregation rule, slot-compiled (projection = groups then `over`).
@@ -2484,6 +2488,8 @@ struct CompiledAgg {
     head: String,
     agg: AggFun,
     query: CompiledQuery,
+    /// See [`CompiledRule::reorder_safe`].
+    reorder_safe: bool,
 }
 
 /// Every rule of a program compiled once — **the one resolver** all three
@@ -2497,19 +2503,22 @@ struct RuleSet {
 }
 
 impl RuleSet {
-    fn compile(program: &Program) -> Self {
+    fn compile(program: &Program, reorder: &crate::reorder::ReorderReport) -> Self {
         let rules = program
             .rules
             .iter()
-            .map(|r| CompiledRule {
+            .enumerate()
+            .map(|(i, r)| CompiledRule {
                 head: r.head.clone(),
                 query: CompiledQuery::compile(&r.body, &r.head_exprs),
+                reorder_safe: reorder.rules[i].reorder_safe(),
             })
             .collect();
         let aggs = program
             .agg_rules
             .iter()
-            .map(|r| {
+            .enumerate()
+            .map(|(i, r)| {
                 let projection: Vec<Expr> = r
                     .group_exprs
                     .iter()
@@ -2520,6 +2529,7 @@ impl RuleSet {
                     head: r.head.clone(),
                     agg: r.agg,
                     query: CompiledQuery::compile(&r.body, &projection),
+                    reorder_safe: reorder.agg_rules[i].reorder_safe(),
                 }
             })
             .collect();
@@ -2795,6 +2805,9 @@ enum UnitMode {
 pub struct ProgramPlan {
     units: Vec<EvalUnit>,
     ruleset: RuleSet,
+    /// Static reorder-safety verdicts, computed once at compile time
+    /// (see [`crate::reorder`]).
+    reorder: crate::reorder::ReorderReport,
 }
 
 // One compiled plan is shared behind an `Arc` by every shard worker
@@ -2872,10 +2885,30 @@ impl ProgramPlan {
                 units.push(build_rule_unit(program, &comp));
             }
         }
+        let reorder = crate::reorder::ReorderReport::analyze(program);
         Ok(ProgramPlan {
             units,
-            ruleset: RuleSet::compile(program),
+            ruleset: RuleSet::compile(program, &reorder),
+            reorder,
         })
+    }
+
+    /// The static reorder-safety report computed at compile time.
+    pub fn reorder(&self) -> &crate::reorder::ReorderReport {
+        &self.reorder
+    }
+
+    /// Whether plain rule `index` (into `Program::rules`) is proven
+    /// reorder-safe: no `UnboundVar`/`UnknownRelation`/`ArityMismatch`
+    /// is reachable under any admissible permutation of its body atoms.
+    pub fn rule_reorder_safe(&self, index: usize) -> bool {
+        self.ruleset.rules[index].reorder_safe
+    }
+
+    /// Whether aggregation rule `index` (into `Program::agg_rules`) is
+    /// proven reorder-safe.
+    pub fn agg_reorder_safe(&self, index: usize) -> bool {
+        self.ruleset.aggs[index].reorder_safe
     }
 }
 

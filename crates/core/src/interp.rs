@@ -837,6 +837,25 @@ impl ProgramCore {
         self.program.handler(name).is_some()
             || self.program.mailboxes.iter().any(|m| m.name == name)
     }
+
+    /// The static reorder-safety report computed when this core's plan
+    /// was compiled (see [`crate::reorder`]).
+    pub fn reorder(&self) -> &crate::reorder::ReorderReport {
+        self.plan.reorder()
+    }
+
+    /// Whether plain rule `index` (into `Program::rules`) is proven
+    /// reorder-safe — the per-rule license for join reordering, sideways
+    /// information passing, and counting maintenance (ROADMAP item 3).
+    pub fn rule_reorder_safe(&self, index: usize) -> bool {
+        self.plan.rule_reorder_safe(index)
+    }
+
+    /// Whether aggregation rule `index` (into `Program::agg_rules`) is
+    /// proven reorder-safe.
+    pub fn agg_reorder_safe(&self, index: usize) -> bool {
+        self.plan.agg_reorder_safe(index)
+    }
 }
 
 // The parallel shard driver shares one `Arc<ProgramCore>` across worker

@@ -38,10 +38,12 @@ pub mod eval;
 pub mod examples;
 pub mod facets;
 pub mod interp;
+pub mod reorder;
 pub mod shard;
 pub mod value;
 
 pub use ast::Program;
+pub use reorder::ReorderReport;
 pub use interp::{
     Checkpoint, EvalMode, JournalDelta, ProgramCore, RecoveryLog, TickOutput, Transducer,
 };

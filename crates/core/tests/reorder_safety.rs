@@ -1,0 +1,276 @@
+//! Static reorder-safety: the verdicts of `hydro_core::reorder`, their
+//! exposure as per-rule flags on the compiled plan (`ProgramCore`), and
+//! the order-independence property they certify — a proven-safe rule
+//! evaluates without binding/arity errors under *any* admissible
+//! permutation of its body atoms, and all admissible orders agree.
+
+use hydro_core::builder::dsl::*;
+use hydro_core::builder::ProgramBuilder;
+use hydro_core::interp::{EvalMode, ProgramCore, Transducer};
+use hydro_core::reorder::{ReorderIssue, ReorderReport, RuleKind};
+use hydro_core::value::Value;
+use hydro_core::Program;
+
+/// kv(k, val) + aux(k, tag), a put handler for each, and a probe handler
+/// reading the `joined` view. The view is the join under test.
+fn join_program(body: Vec<hydro_core::ast::BodyAtom>) -> Program {
+    ProgramBuilder::new()
+        .table("kv", vec![("k", atom()), ("val", atom())], &["k"], Some("k"))
+        .table("aux", vec![("k", atom()), ("tag", atom())], &["k"], Some("k"))
+        .rule("joined", vec![v("x"), v("y"), v("t")], body)
+        .on(
+            "put",
+            &["k", "v"],
+            vec![insert("kv", vec![v("k"), v("v")]), ret(s("ok"))],
+        )
+        .on(
+            "tag",
+            &["k", "t"],
+            vec![insert("aux", vec![v("k"), v("t")]), ret(s("ok"))],
+        )
+        .on(
+            "probe",
+            &["ignored"],
+            vec![ret(collect_set(select(
+                vec![scan("joined", &["a", "b", "c"])],
+                vec![v("a"), v("b"), v("c")],
+            )))],
+        )
+        .build()
+}
+
+#[test]
+fn clean_join_is_reorder_safe_and_flagged_on_core() {
+    let program = join_program(vec![
+        scan("kv", &["x", "y"]),
+        scan("aux", &["x", "t"]),
+        guard(ge(v("y"), i(0))),
+    ]);
+    let report = ReorderReport::analyze(&program);
+    assert!(report.all_safe(), "issues: {:?}", report);
+    assert_eq!(report.rules.len(), 1);
+    assert_eq!(report.rules[0].provenance.kind, RuleKind::Rule);
+    assert_eq!(report.rules[0].provenance.head, "joined");
+
+    let core = ProgramCore::new(program).unwrap();
+    assert!(core.rule_reorder_safe(0));
+    assert!(core.reorder().all_safe());
+}
+
+#[test]
+fn unknown_relation_breaks_the_proof() {
+    let program = join_program(vec![scan("kvz", &["x", "y"]), scan("aux", &["x", "t"])]);
+    let report = ReorderReport::analyze(&program);
+    assert!(report.rules[0]
+        .issues
+        .iter()
+        .any(|i| matches!(i, ReorderIssue::UnknownRelation { rel } if rel == "kvz")));
+
+    let core = ProgramCore::new(program).unwrap();
+    assert!(!core.rule_reorder_safe(0));
+}
+
+#[test]
+fn pattern_arity_mismatch_breaks_the_proof() {
+    // kv has arity 2; a 3-wide pattern would only error at runtime if the
+    // scan enumerates a row — exactly the order-dependence we exclude.
+    let program = join_program(vec![
+        scan("kv", &["x", "y", "t"]),
+        scan("aux", &["x", "t"]),
+    ]);
+    let report = ReorderReport::analyze(&program);
+    assert!(report.rules[0].issues.iter().any(|i| matches!(
+        i,
+        ReorderIssue::PatternArity { rel, pattern: 3, declared: 2 } if rel == "kv"
+    )));
+}
+
+#[test]
+fn guard_before_binder_is_not_admissible() {
+    let program = join_program(vec![
+        guard(ge(v("y"), i(0))),
+        scan("kv", &["x", "y"]),
+        scan("aux", &["x", "t"]),
+    ]);
+    let report = ReorderReport::analyze(&program);
+    assert!(report.rules[0]
+        .issues
+        .iter()
+        .any(|i| matches!(i, ReorderIssue::UnboundVar { var, .. } if var == "y")));
+}
+
+#[test]
+fn unbound_head_projection_is_flagged() {
+    let program = ProgramBuilder::new()
+        .table("kv", vec![("k", atom()), ("val", atom())], &["k"], None)
+        .rule("view", vec![v("z")], vec![scan("kv", &["x", "y"])])
+        .build();
+    let report = ReorderReport::analyze(&program);
+    assert!(report.rules[0].issues.iter().any(|i| matches!(
+        i,
+        ReorderIssue::UnboundVar { var, context } if var == "z" && context == "head projection"
+    )));
+}
+
+#[test]
+fn negation_args_must_be_pre_bound() {
+    let program = ProgramBuilder::new()
+        .table("kv", vec![("k", atom()), ("val", atom())], &["k"], None)
+        .rule(
+            "view",
+            vec![i(0)],
+            vec![neg("kv", vec![v("x"), i(0)]), scan("kv", &["x", "y"])],
+        )
+        .build();
+    let report = ReorderReport::analyze(&program);
+    assert!(report.rules[0]
+        .issues
+        .iter()
+        .any(|i| matches!(i, ReorderIssue::UnboundVar { var, .. } if var == "x")));
+}
+
+#[test]
+fn conflicting_head_arities_are_flagged() {
+    let program = ProgramBuilder::new()
+        .table("kv", vec![("k", atom()), ("val", atom())], &["k"], None)
+        .rule("view", vec![v("x")], vec![scan("kv", &["x", "y"])])
+        .rule("view", vec![v("x"), v("y")], vec![scan("kv", &["x", "y"])])
+        .build();
+    let report = ReorderReport::analyze(&program);
+    // The first definition establishes arity 1; the second conflicts.
+    assert!(report.rules[0].reorder_safe());
+    assert!(report.rules[1].issues.iter().any(|i| matches!(
+        i,
+        ReorderIssue::HeadArityConflict { head, arity: 2, prior: 1 } if head == "view"
+    )));
+}
+
+#[test]
+fn comprehension_bindings_are_scoped() {
+    // `inner` is bound inside the collect_set comprehension only; a later
+    // guard reading it is unbound.
+    let program = ProgramBuilder::new()
+        .table("kv", vec![("k", atom()), ("val", atom())], &["k"], None)
+        .rule(
+            "view",
+            vec![v("x")],
+            vec![
+                scan("kv", &["x", "y"]),
+                let_(
+                    "set",
+                    collect_set(select(vec![scan("kv", &["k2", "inner"])], vec![v("inner")])),
+                ),
+                guard(ge(v("inner"), i(0))),
+            ],
+        )
+        .build();
+    let report = ReorderReport::analyze(&program);
+    assert!(report.rules[0]
+        .issues
+        .iter()
+        .any(|i| matches!(i, ReorderIssue::UnboundVar { var, .. } if var == "inner")));
+}
+
+#[test]
+fn handler_bodies_are_checked_too() {
+    let program = ProgramBuilder::new()
+        .table("kv", vec![("k", atom()), ("val", atom())], &["k"], None)
+        .on("good", &["k"], vec![ret(v("k"))])
+        .on("bad", &["k"], vec![ret(v("nope"))])
+        .build();
+    let report = ReorderReport::analyze(&program);
+    assert_eq!(report.handlers.len(), 2);
+    assert!(report.handlers[0].reorder_safe());
+    assert!(report.handlers[1]
+        .issues
+        .iter()
+        .any(|i| matches!(i, ReorderIssue::UnboundVar { var, .. } if var == "nope")));
+
+    let core = ProgramCore::new(program).unwrap();
+    assert!(!core.reorder().all_safe());
+}
+
+#[test]
+fn agg_rules_get_verdicts_and_core_flags() {
+    let program = ProgramBuilder::new()
+        .table("kv", vec![("k", atom()), ("val", atom())], &["k"], None)
+        .agg_rule(
+            "counts",
+            vec![v("x")],
+            hydro_core::ast::AggFun::Count,
+            v("y"),
+            vec![scan("kv", &["x", "y"])],
+        )
+        .agg_rule(
+            "bad_counts",
+            vec![v("x")],
+            hydro_core::ast::AggFun::Count,
+            v("missing"),
+            vec![scan("kv", &["x", "y"])],
+        )
+        .build();
+    let report = ReorderReport::analyze(&program);
+    assert!(report.agg_rules[0].reorder_safe());
+    assert!(!report.agg_rules[1].reorder_safe());
+
+    let core = ProgramCore::new(program).unwrap();
+    assert!(core.agg_reorder_safe(0));
+    assert!(!core.agg_reorder_safe(1));
+}
+
+/// The property the flag certifies: every admissible permutation of a
+/// proven-safe body evaluates without binding/arity errors, and all
+/// orders derive the same view — across all three engines.
+#[test]
+fn admissible_permutations_agree_across_engines() {
+    let orders: Vec<Vec<hydro_core::ast::BodyAtom>> = vec![
+        // Source order.
+        vec![
+            scan("kv", &["x", "y"]),
+            scan("aux", &["x", "t"]),
+            guard(ge(v("y"), i(0))),
+        ],
+        // Scans swapped (still admissible: guard's `y` bound by atom 2).
+        vec![
+            scan("aux", &["x", "t"]),
+            scan("kv", &["x", "y"]),
+            guard(ge(v("y"), i(0))),
+        ],
+        // Guard sunk between the scans' swap.
+        vec![
+            scan("kv", &["x", "y"]),
+            guard(ge(v("y"), i(0))),
+            scan("aux", &["x", "t"]),
+        ],
+    ];
+    let mut probe_values: Vec<Value> = Vec::new();
+    for body in orders {
+        let program = join_program(body);
+        assert!(
+            ReorderReport::analyze(&program).rules[0].reorder_safe(),
+            "every tested order must be admissible"
+        );
+        for mode in [
+            EvalMode::Incremental,
+            EvalMode::FreshSemiNaive,
+            EvalMode::FreshNaive,
+        ] {
+            let mut t = Transducer::new(program.clone()).unwrap();
+            t.set_eval_mode(mode);
+            for k in 0..6i64 {
+                t.enqueue_ok("put", vec![Value::Int(k), Value::Int(k * 10 - 20)]);
+                t.enqueue_ok("tag", vec![Value::Int(k), Value::Int(k % 3)]);
+            }
+            t.tick().unwrap();
+            t.enqueue_ok("probe", vec![Value::Int(0)]);
+            let out = t.tick().unwrap();
+            assert_eq!(out.responses.len(), 1, "probe must answer");
+            probe_values.push(out.responses[0].value.clone());
+        }
+    }
+    // 3 orders × 3 engines: every evaluation derived the same join.
+    assert!(
+        probe_values.windows(2).all(|w| w[0] == w[1]),
+        "admissible orders diverged: {probe_values:?}"
+    );
+}

@@ -1,0 +1,74 @@
+//! Preflight: lint any `.hydro` program from the command line.
+//!
+//! Runs every static pass (compile/stratification, reorder-safety
+//! proofs, dead-program detection, CALM, tone, metaconsistency,
+//! partition) and prints the unified diagnostic report — the lint-code
+//! table lives in the `hydro_analysis` crate docs.
+//!
+//! Usage:
+//!   cargo run --example preflight -- [--json] <file.hydro>...
+//!
+//! Exit status: 0 when every file parses and lints with zero
+//! error-severity diagnostics, 1 otherwise (the ci.sh gate).
+
+use hydro::analysis::preflight::{preflight, reports_to_json, PreflightReport};
+use hydro::lang::parse_program;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut files: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag: {other}");
+                eprintln!("usage: preflight [--json] <file.hydro>...");
+                return ExitCode::FAILURE;
+            }
+            other => files.push(other.to_string()),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: preflight [--json] <file.hydro>...");
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = false;
+    let mut results: Vec<(String, PreflightReport)> = Vec::new();
+    for file in &files {
+        let src = match std::fs::read_to_string(file) {
+            Ok(src) => src,
+            Err(e) => {
+                eprintln!("{file}: cannot read: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let program = match parse_program(&src) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{file}: parse error: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let report = preflight(&program);
+        failed |= !report.passes();
+        results.push((file.clone(), report));
+    }
+
+    if json {
+        println!("{}", reports_to_json(&results));
+    } else {
+        for (file, report) in &results {
+            println!("== {file} ==");
+            print!("{}", report.render());
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -77,6 +77,36 @@ for ex in quickstart kvs_demo deployment_planner; do
 done
 
 echo
+echo "== preflight lint over examples/*.hydro =="
+# Lint every textual HydroLogic program; any error-severity diagnostic
+# fails CI (warnings/infos are allowed). Run TWICE and diff the reports:
+# analysis output is sorted canonically (diag::sort_diagnostics), so any
+# divergence is nondeterminism in an analysis pass. Capture stdout only —
+# cargo's stderr compile-progress lines differ between runs.
+pre_a="$(mktemp)"
+pre_b="$(mktemp)"
+trap 'rm -f "$pre_a" "$pre_b"' EXIT
+for out in "$pre_a" "$pre_b"; do
+  if ! cargo run --release -p hydro --example preflight -- examples/*.hydro >"$out"; then
+    cat "$out"
+    echo "preflight found error-severity diagnostics (or failed to parse an example)" >&2
+    exit 1
+  fi
+done
+if ! diff -u "$pre_a" "$pre_b"; then
+  echo "preflight reports diverged between identical runs:" >&2
+  echo "an analysis pass leaked nondeterministic ordering" >&2
+  exit 1
+fi
+rm -f "$pre_a" "$pre_b"
+# JSON mode must stay parseable for machine consumers (spot-check shape).
+if ! cargo run --release -p hydro --example preflight -- --json examples/*.hydro \
+    | grep -q '^\[{"file":'; then
+  echo "preflight --json did not produce the expected JSON array" >&2
+  exit 1
+fi
+
+echo
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
