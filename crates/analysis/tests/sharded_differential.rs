@@ -679,4 +679,36 @@ proptest! {
             differential_run(&program, &raw, shards);
         }
     }
+
+    /// Churn under sharding: a ~50/50 insert/delete steady state over
+    /// the exchange-classified program at N ∈ {1, 2, 4}. Counting/DRed
+    /// maintenance runs inside every shard (including the gather shard's
+    /// exchanged aggregate) and the net signed rows flowing through
+    /// `apply_exchange_delta` must keep all three drivers identical.
+    #[test]
+    fn sharded_churn_matches_single(
+        raw in prop::collection::vec((0u8..10, 0i64..6, -2i64..6), 0..40),
+    ) {
+        // Reweight the op codes so deletions are as likely as inserts
+        // and ticks are frequent (decode: 0=put, 2=del, 3=get,
+        // 4=stats, 6=tick). Keys collide on 0..6 so deletions hit
+        // resident rows, not misses.
+        let churned: Vec<(u8, i64, i64)> = raw
+            .iter()
+            .map(|&(k, a, b)| {
+                let code = match k {
+                    0..=2 => 0,
+                    3..=5 => 2,
+                    6 => 3,
+                    7 => 4,
+                    _ => 6,
+                };
+                (code, a, b)
+            })
+            .collect();
+        let program = exchange_program();
+        for shards in [1usize, 2, 4] {
+            differential_run(&program, &churned, shards);
+        }
+    }
 }

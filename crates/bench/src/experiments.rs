@@ -6,7 +6,9 @@
 //! quantity (E4 store timings, E8/E9 throughput).
 
 use hydro_analysis::{check_confluent, classify};
-use hydro_core::examples::{cart_program, covid_program, covid_program_with_vaccines};
+use hydro_core::examples::{
+    cart_program, covid_churn_program, covid_program, covid_program_with_vaccines,
+};
 use hydro_core::interp::{EvalMode, Transducer};
 use hydro_core::Value;
 use hydro_deploy::deploy as deploy_program;
@@ -614,6 +616,19 @@ fn avg_ms(ts: &[std::time::Duration]) -> f64 {
     ts.iter().map(std::time::Duration::as_secs_f64).sum::<f64>() * 1e3 / ts.len() as f64
 }
 
+/// Median tick time: sub-0.1ms steady-state ticks on this shared host
+/// see occasional multi-x scheduler/allocator spikes, which a mean over
+/// a short run amplifies — the median is the honest steady-state cost.
+fn median(ts: &[std::time::Duration]) -> std::time::Duration {
+    let mut sorted = ts.to_vec();
+    sorted.sort();
+    sorted.get(sorted.len() / 2).copied().unwrap_or_default()
+}
+
+fn median_ms(ts: &[std::time::Duration]) -> f64 {
+    median(ts).as_secs_f64() * 1e3
+}
+
 /// E15: cross-tick incremental view maintenance — per-tick cost of small
 /// message batches (and of no-op ticks) against large resident state,
 /// incremental engine vs fresh-per-tick re-derivation.
@@ -649,6 +664,126 @@ pub fn e15_steady() -> Table {
         .to_vec(),
         rows,
     }
+}
+
+/// One measured churn run: per-tick wall times and the final population.
+struct ChurnRun {
+    ticks: Vec<std::time::Duration>,
+    people: usize,
+}
+
+/// The E19 churn workload: the E15 resident state reshaped into contact
+/// clusters of four (so the closure stays population-linear and every
+/// delta is cluster-local), then steady-state ticks that each *delete* a
+/// resident person and add a replacement — a 50/50 insert/delete mix
+/// against large resident state. `counting = false` pins the
+/// unit-recompute fallback ([`Transducer::set_counting`]); `deletes =
+/// false` runs the matching insert-only ticks the deletion path is
+/// measured against.
+fn covid_churn_run(n: i64, churn: usize, counting: bool, deletes: bool) -> ChurnRun {
+    // Four-person batches per tick (one whole contact cluster out, one
+    // in) keep every measured tick well above the host's ~50us timer
+    // noise floor while the per-tick work stays O(batch), not O(n).
+    assert!((churn as i64 + 2) * 4 <= n, "victims must be resident");
+    let mut app = Transducer::new(covid_churn_program()).unwrap();
+    app.set_eval_mode(EvalMode::Incremental);
+    app.set_counting(counting);
+    for p in 1..=n {
+        app.enqueue_ok("add_person", ints(&[p]));
+    }
+    app.tick().unwrap();
+    // Clusters of four: link i→i+1 except across multiples of 4, so the
+    // transitive closure is O(n) rows and a deletion's DRed wave stays
+    // inside one cluster.
+    for p in 1..n {
+        if p % 4 != 0 {
+            app.enqueue_ok("add_contact", ints(&[p, p + 1]));
+        }
+    }
+    app.tick().unwrap();
+    // Settle tick (effects land at end-of-tick; see covid_steady_run).
+    app.tick().unwrap();
+    let mut run = ChurnRun {
+        ticks: Vec::with_capacity(churn),
+        people: 0,
+    };
+    // Two unmeasured warm batches: a tick pays for the *previous*
+    // batch's maintenance fold (see covid_steady_run), and the first
+    // deletion's fold additionally builds the head-bound check-probe
+    // indexes — one-off setup cost, not steady state.
+    for t in 0..churn + 2 {
+        for j in 1..=4i64 {
+            if deletes {
+                app.enqueue_ok("remove_person", ints(&[t as i64 * 4 + j]));
+            }
+            let fresh = n + t as i64 * 4 + j;
+            app.enqueue_ok("add_person", ints(&[fresh]));
+            if fresh % 4 != 1 {
+                app.enqueue_ok("add_contact", ints(&[fresh - 1, fresh]));
+            }
+        }
+        let t0 = Instant::now();
+        app.tick().unwrap();
+        if t > 1 {
+            run.ticks.push(t0.elapsed());
+        }
+    }
+    run.people = app.table_len("people");
+    run
+}
+
+/// E19: steady-state churn — per-tick cost of a 50/50 insert/delete mix
+/// against resident state, counting/DRed maintenance vs the
+/// unit-recompute fallback vs matching insert-only ticks.
+pub fn e19_churn() -> Table {
+    let mut rows = Vec::new();
+    for n in [200i64, 2000] {
+        let counting = best_churn_run(n, 24, true, true);
+        let recompute = best_churn_run(n, 24, false, true);
+        let insert_only = best_churn_run(n, 24, true, false);
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.3}", median_ms(&counting.ticks)),
+            format!("{:.3}", median_ms(&recompute.ticks)),
+            format!(
+                "{:.1}",
+                median_ms(&recompute.ticks) / median_ms(&counting.ticks).max(1e-9)
+            ),
+            format!("{:.3}", median_ms(&insert_only.ticks)),
+            format!(
+                "{:.2}",
+                median_ms(&counting.ticks) / median_ms(&insert_only.ticks).max(1e-9)
+            ),
+        ]);
+    }
+    Table {
+        title: "E19 churn ticks: counting/DRed maintenance vs unit recompute vs insert-only"
+            .into(),
+        headers: [
+            "resident n",
+            "counting ms",
+            "recompute ms",
+            "speedup x",
+            "insert-only ms",
+            "delete/insert x",
+        ]
+        .map(String::from)
+        .to_vec(),
+        rows,
+    }
+}
+
+/// Best-of-three churn runs, keyed by median tick time. The E19
+/// acceptance gate compares ratios across variants measured at
+/// different moments; on a shared host a load burst hitting one
+/// variant but not another skews the ratio even though each run's
+/// median is internally robust. Taking the quietest of three repeats
+/// per variant pairs the ratio on unloaded measurements.
+fn best_churn_run(n: i64, churn: usize, counting: bool, deletes: bool) -> ChurnRun {
+    (0..3)
+        .map(|_| covid_churn_run(n, churn, counting, deletes))
+        .min_by_key(|run| median(&run.ticks))
+        .expect("at least one churn repeat")
 }
 
 /// The E16 scale-out program: a keyed account store whose every handler
@@ -1065,6 +1200,22 @@ pub fn interp_bench_records() -> Vec<BenchRecord> {
                 *d,
                 run.people as u64,
             ));
+        }
+    }
+
+    // E19: steady-state churn — the E15 resident state under a 50/50
+    // insert/delete mix. One record per (variant, n): wall is the *median
+    // churn tick*, items the resident population, so bench_smoke can
+    // hold the counting engine to its ratios (≥5× over unit recompute,
+    // within ~2× of the matching insert-only tick).
+    for n in [200i64, 2000] {
+        for (label, counting, deletes) in [
+            ("e19_churn_counting", true, true),
+            ("e19_churn_recompute", false, true),
+            ("e19_churn_insert_only", true, false),
+        ] {
+            let run = best_churn_run(n, 24, counting, deletes);
+            records.push(rec(label, n, median(&run.ticks), run.people as u64));
         }
     }
 
@@ -1723,6 +1874,7 @@ pub fn experiment_registry() -> Vec<(&'static str, fn() -> Table)> {
         ("e16", e16_scaleout),
         ("e17", e17_failover),
         ("e18", e18_parallel),
+        ("e19", e19_churn),
     ]
 }
 

@@ -92,28 +92,46 @@
 //! connected components ([`EvalUnit`]s) in dependency order, with
 //! delta-variant tables and per-atom probe layouts ([`ProbeLayout`])
 //! precomputed. At tick start, the effects committed by the previous tick
-//! become per-relation [`RelDelta`]s, and each unit is classified:
+//! become per-relation *signed* [`RelDelta`]s (additions and
+//! retractions), and each unit is classified by its shape and by what
+//! actually changed:
 //!
-//! * **clean** — no dirty input: skipped entirely (the fast path that
-//!   makes a no-op tick O(1) in the database size);
-//! * **incremental** — insert-only changes feeding only monotone
-//!   (positively scanned) atoms: semi-naive rounds seeded by the input
-//!   deltas, starting from the materialized views;
-//! * **recompute** — a deletion, a changed relation read under negation /
-//!   aggregation / a nested comprehension / a keyed table expression, a
-//!   changed scalar, or a UDF call: the unit's heads are re-derived from
-//!   scratch and *diffed* against their previous contents, so retraction
-//!   propagates to the units above as removal deltas while everything
-//!   untouched stays incremental. This is the per-stratum (per-unit)
-//!   fallback rule; counting-based per-row maintenance could narrow it
-//!   further for non-recursive monotone rules.
+//! | unit shape | change | mode | mechanism |
+//! |---|---|---|---|
+//! | any | none | [`UnitMode::Clean`] | skipped entirely — a no-op tick is O(1) in the database size |
+//! | any | scalar read changed, or UDF-calling rules | [`UnitMode::Recompute`] | stateful/unbounded invalidation: re-derive and diff |
+//! | any | changed relation read under negation / nested comprehension / keyed table expression | [`UnitMode::Recompute`] | non-monotone read: any change can flip it, and it isn't delta-keyed |
+//! | non-recursive rules | inserts and/or deletes on positive scans | [`UnitMode::Counting`] | per-row **support counts**: signed delta variants adjust each derived row's derivation count; rows crossing zero appear/retract and cascade as signed deltas ([`run_unit_counting`]) |
+//! | recursive SCC | any delete on a positive scan | [`UnitMode::Dred`] | **DRed**: over-delete the downward closure, re-derive survivors via head-bound checks, then the insertion fixpoint; the emitted delta is net ([`run_unit_dred`]) |
+//! | recursive SCC | inserts only | [`UnitMode::Incremental`] | cross-tick semi-naive rounds seeded by the input deltas |
+//! | aggregations (one rule per head) | inserts/deletes on positive scans only | [`UnitMode::CountingAgg`] | **delta-keyed groups**: signed weights land in persistent per-group multisets ([`AggGroup`]); only touched groups re-fold and replace their head row ([`run_unit_agg_counting`]) |
+//! | aggregations | non-monotone input changed, or multiple rules share a head | [`UnitMode::Recompute`] | group ownership is ambiguous or the body isn't delta-keyed: re-derive and diff |
 //!
-//! Known cost edge: an input delta feeding a rule at atom position *p*
-//! evaluates that delta variant in source order, paying for the scans
-//! before *p* (e.g. `tc(a,c) :- tc(a,b), Δcp(b,c)` walks `tc` once).
-//! Sideways information passing could push the delta's bindings into the
-//! prefix, but only under an error-semantics story, since skipping prefix
-//! bindings changes which errors and UDF calls are reachable.
+//! Why these boundaries: counting is exact only where every derivation is
+//! a finite conjunction of *current* facts — recursion breaks that (a
+//! cyclic derivation supports itself, so counts never reach zero), hence
+//! DRed for cyclic SCCs. Deletion maintenance needs multiplicities, so
+//! once a unit has live support counts even insert-only ticks route
+//! through counting (semi-naive dedups; counts must not). Support and
+//! group state is built lazily on a unit's first counting tick and
+//! dropped on any recompute (a recompute cannot tell which derivations
+//! survived). [`EvalState::set_counting`]`(false)` disables the whole
+//! deletion path — retractions then recompute per unit, which is kept as
+//! the differential reference and the E19 benchmark baseline.
+//!
+//! **Sideways information passing.** An input delta feeding a rule at
+//! atom position *p* used to evaluate that delta variant in source order,
+//! paying for the scans before *p* (`tc(a,c) :- tc(a,b), Δcp(b,c)` walked
+//! `tc` in full). Where the static reorder proof ([`crate::reorder`], PR 7)
+//! licenses it — `rule_reorder_safe == true`, meaning no binding/arity
+//! error is reachable under any admissible order — the delta atom is
+//! hoisted first and the remaining atoms follow a greedy bound-column
+//! order ([`sip_order`]), so each subsequent scan probes the
+//! [`ScanCache`] index on the columns the delta row already bound.
+//! Rules without the proof keep source order and the old cost. The same
+//! machinery compiles DRed's per-row derivability checks ([`CheckQuery`]):
+//! the head's variables are pre-bound, so a check is a keyed probe chain,
+//! not a full rule evaluation.
 
 use crate::ast::{AggFun, AggRule, BodyAtom, ArithOp, CmpOp, Expr, Program, Rule, Select, Term};
 use crate::value::Value;
@@ -222,9 +240,13 @@ impl Relation {
         &self.rows[i]
     }
 
-    /// Whether tombstones dominate enough to be worth reclaiming.
+    /// Whether tombstones are worth reclaiming. The ratio trigger keeps a
+    /// delete-heavy resident relation's storage bounded at ~1.25× its
+    /// live size (plus a small constant floor that stops tiny relations
+    /// from compacting on every removal): reclaiming `len/4` tombstones
+    /// pays one O(len) rebuild per `len/4` removals — amortized O(1).
     pub fn should_compact(&self) -> bool {
-        self.dead > 64 && self.dead > self.len()
+        self.dead > 64 && self.dead * 4 >= self.len()
     }
 
     /// Drop tombstones, renumbering storage positions (insertion order is
@@ -2471,6 +2493,173 @@ impl CompiledQuery {
     }
 }
 
+/// A rule body compiled with the head's variables pre-bound: the
+/// derivability check DRed's re-derivation phase runs per over-deleted
+/// row. Binding a candidate row's values into `head_slots` before the
+/// walk turns every scan whose columns the head covers into a keyed
+/// probe, so one check costs a fraction of a full rule evaluation.
+#[derive(Clone, Debug)]
+struct CheckQuery {
+    /// Body in SIP order seeded by the head bindings; empty projection
+    /// (the check only asks whether any assignment exists).
+    query: CompiledQuery,
+    /// Frame slot per head column, in head-projection order.
+    head_slots: Vec<u32>,
+}
+
+/// Greedy sideways-information-passing order over a rule body: starting
+/// from `bound` (the delta atom's variables, or a check's head
+/// variables), repeatedly pick the best *admissible* atom — one whose
+/// free variables are all bound. Filters (guards, negation) run as early
+/// as possible, then `let` bindings, then the scan probing the most
+/// bound columns; flattens and unconstrained scans go last. Ties break
+/// to source position, keeping the order deterministic and as close to
+/// the source as the heuristic allows.
+///
+/// Some atom is always admissible: the smallest-index remaining atom has
+/// every source predecessor already placed, and the source order itself
+/// is admissible (a precondition — callers only pass reorder-safe
+/// bodies, whose proof includes source-order admissibility).
+fn sip_order(
+    body: &[BodyAtom],
+    mut bound: BTreeSet<String>,
+    first: Option<usize>,
+) -> Vec<usize> {
+    let meta: Vec<crate::reorder::AtomBindings> =
+        body.iter().map(crate::reorder::atom_bindings).collect();
+    let mut order = Vec::with_capacity(body.len());
+    if let Some(f) = first {
+        bound.extend(meta[f].binds.iter().cloned());
+        order.push(f);
+    }
+    let mut remaining: Vec<usize> = (0..body.len()).filter(|i| Some(*i) != first).collect();
+    while !remaining.is_empty() {
+        let mut best: Option<(usize, (u8, i64, usize))> = None;
+        for (ri, &i) in remaining.iter().enumerate() {
+            if !meta[i].needs.is_subset(&bound) {
+                continue;
+            }
+            let key = match &body[i] {
+                BodyAtom::Guard(_) | BodyAtom::Neg { .. } => (0, 0, i),
+                BodyAtom::Let { .. } => (1, 0, i),
+                BodyAtom::Scan { terms, .. } => {
+                    let score = terms
+                        .iter()
+                        .filter(|t| match t {
+                            Term::Const(_) => true,
+                            Term::Var(v) => bound.contains(v),
+                            Term::Wildcard => false,
+                        })
+                        .count() as i64;
+                    if score > 0 {
+                        (2, -score, i)
+                    } else {
+                        (4, 0, i)
+                    }
+                }
+                BodyAtom::Flatten { .. } => (3, 0, i),
+            };
+            if best.as_ref().is_none_or(|(_, bk)| key < *bk) {
+                best = Some((ri, key));
+            }
+        }
+        let (ri, _) = best.expect("source order is admissible, so some atom always is");
+        let i = remaining.remove(ri);
+        bound.extend(meta[i].binds.iter().cloned());
+        order.push(i);
+    }
+    order
+}
+
+/// Build the per-scan-position SIP variants of a reorder-safe body:
+/// for each scan atom, the body re-ordered so that atom runs first
+/// (the delta seed) and the rest follow in [`sip_order`]. Positions
+/// whose SIP order equals the source order are omitted — the plain
+/// compiled query is already optimal there.
+fn compile_sip_variants(body: &[BodyAtom], projection: &[Expr]) -> FxHashMap<usize, CompiledQuery> {
+    let mut sip = FxHashMap::default();
+    for pos in 0..body.len() {
+        if !matches!(body[pos], BodyAtom::Scan { .. }) {
+            continue;
+        }
+        let order = sip_order(body, BTreeSet::new(), Some(pos));
+        if order.iter().copied().eq(0..body.len()) {
+            continue;
+        }
+        let permuted: Vec<BodyAtom> = order.iter().map(|&i| body[i].clone()).collect();
+        sip.insert(pos, CompiledQuery::compile(&permuted, projection));
+    }
+    sip
+}
+
+/// Build a rule's [`CheckQuery`], if its shape admits one: reorder-safe
+/// (the permutation license) and a pure-variable head projection (so a
+/// candidate row's values bind head slots directly).
+fn compile_check(body: &[BodyAtom], head_exprs: &[Expr], reorder_safe: bool) -> Option<CheckQuery> {
+    if !reorder_safe || !head_exprs.iter().all(|e| matches!(e, Expr::Var(_))) {
+        return None;
+    }
+    let mut sc = SlotCompiler::new();
+    let mut head_vars: BTreeSet<String> = BTreeSet::new();
+    let head_slots: Vec<u32> = head_exprs
+        .iter()
+        .map(|e| {
+            let Expr::Var(name) = e else { unreachable!("checked above") };
+            head_vars.insert(name.clone());
+            let s = sc.slot(name);
+            sc.mark_bound(s);
+            s
+        })
+        .collect();
+    let order = sip_order(body, head_vars, None);
+    let permuted: Vec<BodyAtom> = order.iter().map(|&i| body[i].clone()).collect();
+    let (cbody, _) = sc.compile_body(&permuted);
+    Some(CheckQuery {
+        query: CompiledQuery {
+            select: CSelect {
+                body: cbody,
+                projection: Vec::new(),
+            },
+            names: sc.into_names(),
+        },
+        head_slots,
+    })
+}
+
+/// Whether any assignment satisfies `check`'s body with the candidate
+/// row's values bound into the head slots. A repeated head variable
+/// whose columns disagree can never match.
+fn check_derivable(
+    check: &CheckQuery,
+    row: &Row,
+    frame: &mut Frame,
+    ctx: &mut EvalCtx<'_>,
+) -> Result<bool, EvalError> {
+    frame.reset(check.query.names.len());
+    for (i, &s) in check.head_slots.iter().enumerate() {
+        match &frame.slots[s as usize] {
+            Some(v) if *v != row[i] => return Ok(false),
+            Some(_) => {}
+            None => {
+                frame.replace(s, Some(row[i].clone()));
+            }
+        }
+    }
+    let mut found = false;
+    eval_cbody(
+        &CPlan::full(&check.query.select.body),
+        0,
+        &check.query.names,
+        frame,
+        ctx,
+        &mut |_, _| {
+            found = true;
+            Ok(())
+        },
+    )?;
+    Ok(found)
+}
+
 /// One plain rule, slot-compiled.
 #[derive(Clone, Debug)]
 struct CompiledRule {
@@ -2480,6 +2669,17 @@ struct CompiledRule {
     /// is reachable under any admissible atom order — the license a join
     /// reorderer / SIP pass needs before permuting this body.
     reorder_safe: bool,
+    /// Sideways-information-passing delta variants, keyed by the scan
+    /// atom's *source* position: the body re-ordered so that scan runs
+    /// first (the compiled delta atom is always position 0 of the
+    /// variant) and later scans probe on the delta row's bindings. Built
+    /// only for reorder-safe rules, and only for positions where SIP
+    /// actually changes the order.
+    sip: FxHashMap<usize, CompiledQuery>,
+    /// Per-row derivability check for DRed re-derivation (`None` when
+    /// the rule isn't reorder-safe or its head projection isn't pure
+    /// variables — those rules re-derive via a full evaluation instead).
+    check: Option<CheckQuery>,
 }
 
 /// One aggregation rule, slot-compiled (projection = groups then `over`).
@@ -2490,6 +2690,9 @@ struct CompiledAgg {
     query: CompiledQuery,
     /// See [`CompiledRule::reorder_safe`].
     reorder_safe: bool,
+    /// See [`CompiledRule::sip`] — used by delta-keyed aggregate
+    /// maintenance to find the body matches an input delta gains/loses.
+    sip: FxHashMap<usize, CompiledQuery>,
 }
 
 /// Every rule of a program compiled once — **the one resolver** all three
@@ -2508,10 +2711,21 @@ impl RuleSet {
             .rules
             .iter()
             .enumerate()
-            .map(|(i, r)| CompiledRule {
-                head: r.head.clone(),
-                query: CompiledQuery::compile(&r.body, &r.head_exprs),
-                reorder_safe: reorder.rules[i].reorder_safe(),
+            .map(|(i, r)| {
+                let reorder_safe = reorder.rules[i].reorder_safe();
+                CompiledRule {
+                    head: r.head.clone(),
+                    query: CompiledQuery::compile(&r.body, &r.head_exprs),
+                    // SIP permutations and head-bound checks only ever
+                    // compile for rules with the static reorder license.
+                    sip: if reorder_safe {
+                        compile_sip_variants(&r.body, &r.head_exprs)
+                    } else {
+                        FxHashMap::default()
+                    },
+                    check: compile_check(&r.body, &r.head_exprs, reorder_safe),
+                    reorder_safe,
+                }
             })
             .collect();
         let aggs = program
@@ -2525,11 +2739,17 @@ impl RuleSet {
                     .cloned()
                     .chain(std::iter::once(r.over.clone()))
                     .collect();
+                let reorder_safe = reorder.agg_rules[i].reorder_safe();
                 CompiledAgg {
                     head: r.head.clone(),
                     agg: r.agg,
                     query: CompiledQuery::compile(&r.body, &projection),
-                    reorder_safe: reorder.agg_rules[i].reorder_safe(),
+                    sip: if reorder_safe {
+                        compile_sip_variants(&r.body, &projection)
+                    } else {
+                        FxHashMap::default()
+                    },
+                    reorder_safe,
                 }
             })
             .collect();
@@ -2771,7 +2991,8 @@ struct EvalUnit {
     rec_variants: Vec<Vec<(usize, String)>>,
     /// Outside-unit positively scanned relation → `(rule slot, atom
     /// position)` list, in first-occurrence order: the delta-variant
-    /// candidates fed by cross-tick input deltas.
+    /// candidates fed by cross-tick input deltas. For agg units the slot
+    /// indexes `aggs` instead of `rules` (delta-keyed group maintenance).
     input_variants: Vec<(String, Vec<(usize, usize)>)>,
     /// Outside-unit positive reads.
     reads_pos: FxHashSet<String>,
@@ -2782,6 +3003,17 @@ struct EvalUnit {
     reads_scalar: FxHashSet<String>,
     /// Whether any rule calls a UDF (recompute every tick).
     volatile: bool,
+    /// Whether any rule scans a same-unit head (the SCC has a cycle):
+    /// retractions then need DRed, not per-row counting.
+    recursive: bool,
+    /// Agg units only: the *truly* non-monotone reads (negation, nested
+    /// comprehensions, keyed table expressions) — `reads_nonmono` holds
+    /// every read for classification, but only changes to these defeat
+    /// delta-keyed group maintenance.
+    agg_nonmono: FxHashSet<String>,
+    /// Agg units only: every head has exactly one agg rule, so a group's
+    /// output row is owned by one rule and can be replaced in place.
+    agg_unique_heads: bool,
 }
 
 /// How a unit runs this tick.
@@ -2792,9 +3024,22 @@ enum UnitMode {
     /// Insert-only monotone change: cross-tick semi-naive from the
     /// input deltas.
     Incremental,
-    /// Deletion, non-monotone read of a changed relation, changed
-    /// scalar, or volatile rules: re-derive this unit from scratch
-    /// (the per-stratum fallback).
+    /// Non-recursive rule unit with retraction-bearing (or support-
+    /// tracked) monotone change: per-row support counting — signed delta
+    /// variants adjust each derived row's derivation count, and rows
+    /// whose support hits zero retract, cascading downstream.
+    Counting,
+    /// Agg unit whose changed inputs are all positive body scans:
+    /// delta-keyed group maintenance — only the groups the input delta
+    /// touches re-fold, from persistent per-group multisets.
+    CountingAgg,
+    /// Recursive rule unit with retractions: over-delete the downward
+    /// closure of the removed rows, then re-derive survivors
+    /// (delete-and-rederive), then run the insertion phase.
+    Dred,
+    /// Non-monotone read of a changed relation, changed scalar, or
+    /// volatile rules — or counting disabled: re-derive this unit from
+    /// scratch (the per-stratum fallback).
     Recompute,
 }
 
@@ -2840,7 +3085,9 @@ impl ProgramPlan {
             if !aggs.is_empty() {
                 let mut reads = ReadSets::default();
                 let mut heads = Vec::new();
-                for &i in &aggs {
+                let mut input_variants: Vec<(String, Vec<(usize, usize)>)> = Vec::new();
+                let mut input_slot: FxHashMap<String, usize> = FxHashMap::default();
+                for (slot, &i) in aggs.iter().enumerate() {
                     let rule = &program.agg_rules[i];
                     collect_body_reads(&rule.body, &mut reads);
                     collect_expr_reads(&rule.over, &mut reads);
@@ -2850,10 +3097,24 @@ impl ProgramPlan {
                     if !heads.contains(&rule.head) {
                         heads.push(rule.head.clone());
                     }
+                    for (pos, atom) in rule.body.iter().enumerate() {
+                        if let BodyAtom::Scan { rel, .. } = atom {
+                            let at = *input_slot.entry(rel.clone()).or_insert_with(|| {
+                                input_variants.push((rel.clone(), Vec::new()));
+                                input_variants.len() - 1
+                            });
+                            input_variants[at].1.push((slot, pos));
+                        }
+                    }
                 }
                 // An aggregate must re-fold whenever *any* input changed
                 // (a lost row can shrink a count), so every read counts
-                // as non-monotone.
+                // as non-monotone for classification; the truly
+                // non-monotone subset is kept separately, since changes
+                // confined to positive body scans admit delta-keyed
+                // group maintenance instead of a full re-fold.
+                let agg_unique_heads = heads.len() == aggs.len();
+                let agg_nonmono = reads.nonmono.clone();
                 let mut nonmono = reads.nonmono;
                 nonmono.extend(reads.pos);
                 units.push(EvalUnit {
@@ -2861,11 +3122,14 @@ impl ProgramPlan {
                     aggs,
                     heads,
                     rec_variants: Vec::new(),
-                    input_variants: Vec::new(),
+                    input_variants,
                     reads_pos: FxHashSet::default(),
                     reads_nonmono: nonmono,
                     reads_scalar: reads.scalars,
                     volatile: reads.volatile,
+                    recursive: false,
+                    agg_nonmono,
+                    agg_unique_heads,
                 });
             }
 
@@ -3052,6 +3316,7 @@ fn build_rule_unit(program: &Program, rule_ids: &[usize]) -> EvalUnit {
     for h in &heads {
         reads_pos.remove(h);
     }
+    let recursive = rec_variants.iter().any(|v| !v.is_empty());
     EvalUnit {
         rules: rule_ids.to_vec(),
         aggs: Vec::new(),
@@ -3062,6 +3327,9 @@ fn build_rule_unit(program: &Program, rule_ids: &[usize]) -> EvalUnit {
         reads_nonmono: reads.nonmono,
         reads_scalar: reads.scalars,
         volatile: reads.volatile,
+        recursive,
+        agg_nonmono: FxHashSet::default(),
+        agg_unique_heads: false,
     }
 }
 
@@ -3102,6 +3370,25 @@ pub struct EvalState {
     row_counts: FxHashMap<String, FxHashMap<Row, u32>>,
     cache: ScanCache,
     initialized: bool,
+    /// Per-head derived-row support counts for counting-maintained
+    /// units: how many distinct rule-body assignments currently derive
+    /// each row. Lazily built the first tick a unit takes the counting
+    /// path, dropped whenever the unit recomputes (a recompute can't
+    /// tell which derivations survived).
+    supports: FxHashMap<String, FxHashMap<Row, i64>>,
+    /// Per-agg-rule persistent group state (keyed by the rule's index
+    /// into `Program::agg_rules`) for delta-keyed aggregate maintenance.
+    /// Same lifecycle as `supports`.
+    agg_state: FxHashMap<usize, FxHashMap<Row, AggGroup>>,
+    /// Whether counting/DRed maintenance is enabled. Off, every
+    /// retraction falls back to unit recompute — the differential
+    /// reference mode (and the E19 bench comparison point).
+    counting: bool,
+    /// Recycled journal-fold scratch: the per-tick `changed` map and its
+    /// `RelDelta`s, drained and cleared after each evaluation so the
+    /// next tick's fold allocates nothing.
+    changed_scratch: FxHashMap<String, RelDelta>,
+    delta_pool: Vec<RelDelta>,
     /// View heads excluded from evaluation: units deriving any of these
     /// are skipped wholesale. Exchange shards set this for views the
     /// gather shard computes from shipped deltas instead (units are
@@ -3149,8 +3436,48 @@ impl EvalState {
             row_counts: FxHashMap::default(),
             cache: ScanCache::default(),
             initialized: false,
+            supports: FxHashMap::default(),
+            agg_state: FxHashMap::default(),
+            counting: true,
+            changed_scratch: FxHashMap::default(),
+            delta_pool: Vec::new(),
             skip_heads: std::collections::BTreeSet::new(),
         }
+    }
+
+    /// Enable or disable counting/DRed maintenance (on by default).
+    /// Disabled, retraction-bearing units fall back to unit-local
+    /// recompute — retained as the differential-testing reference and
+    /// the bench comparison point. Disabling drops the support and group
+    /// state; re-enabling rebuilds it lazily.
+    pub fn set_counting(&mut self, on: bool) {
+        self.counting = on;
+        if !on {
+            self.supports.clear();
+            self.agg_state.clear();
+        }
+    }
+
+    /// Take the recycled `changed`-map scratch for this tick's journal
+    /// fold (returned to the pool by [`EvalState::evaluate`]). The map
+    /// and the deltas from [`EvalState::pooled_delta`] retain their
+    /// capacity across ticks, so steady-state folding allocates nothing.
+    pub fn take_changed_scratch(&mut self) -> FxHashMap<String, RelDelta> {
+        std::mem::take(&mut self.changed_scratch)
+    }
+
+    /// A cleared [`RelDelta`] from the recycling pool (or a fresh one).
+    pub fn pooled_delta(&mut self) -> RelDelta {
+        self.delta_pool.pop().unwrap_or_default()
+    }
+
+    /// Return an unused delta to the pool (deltas handed to
+    /// [`EvalState::evaluate`] inside the `changed` map recycle
+    /// automatically).
+    pub fn recycle_delta(&mut self, mut d: RelDelta) {
+        d.added.clear();
+        d.removed.clear();
+        self.delta_pool.push(d);
     }
 
     /// Exclude view heads from evaluation (see the `skip_heads` field).
@@ -3260,79 +3587,202 @@ impl EvalState {
         let force_all = !self.initialized;
         self.initialized = true;
         let mut frame = Frame::default();
-        for u in 0..self.plan.units.len() {
-            let unit = &self.plan.units[u];
+        let plan = self.plan.clone();
+        for unit in &plan.units {
             if !self.skip_heads.is_empty()
                 && unit.heads.iter().any(|h| self.skip_heads.contains(h))
             {
                 continue;
             }
-            let mode = if force_all
-                || unit.volatile
-                || unit.reads_scalar.iter().any(|s| changed_scalars.contains(s))
-                || unit.reads_nonmono.iter().any(|r| changed.contains_key(r))
-                || unit
-                    .reads_pos
-                    .iter()
-                    .any(|r| changed.get(r).is_some_and(|d| !d.removed.is_empty()))
-            {
-                UnitMode::Recompute
-            } else if unit
+            let scalar_hit = unit.reads_scalar.iter().any(|s| changed_scalars.contains(s));
+            // Non-monotone reads trigger on *touched* relations, not
+            // non-empty deltas: a key transition can swap rows between
+            // keys with no set-level change, which still invalidates
+            // keyed reads of the table.
+            let nonmono_hit = unit.reads_nonmono.iter().any(|r| changed.contains_key(r));
+            let pos_removed = unit
                 .reads_pos
                 .iter()
-                .any(|r| changed.get(r).is_some_and(|d| !d.added.is_empty()))
-            {
-                UnitMode::Incremental
+                .any(|r| changed.get(r).is_some_and(|d| !d.removed.is_empty()));
+            let pos_added = unit
+                .reads_pos
+                .iter()
+                .any(|r| changed.get(r).is_some_and(|d| !d.added.is_empty()));
+            let mode = if force_all || unit.volatile || scalar_hit {
+                UnitMode::Recompute
+            } else if !unit.aggs.is_empty() {
+                if !nonmono_hit {
+                    UnitMode::Clean
+                } else if self.counting
+                    && unit.agg_unique_heads
+                    && !unit.agg_nonmono.iter().any(|r| changed.contains_key(r))
+                {
+                    UnitMode::CountingAgg
+                } else {
+                    UnitMode::Recompute
+                }
+            } else if nonmono_hit {
+                UnitMode::Recompute
+            } else if pos_removed {
+                if !self.counting {
+                    UnitMode::Recompute
+                } else if unit.recursive {
+                    UnitMode::Dred
+                } else {
+                    UnitMode::Counting
+                }
+            } else if pos_added {
+                // Adds-only runs plain semi-naive — unless the unit has
+                // live support counts, which only the counting path
+                // keeps exact (semi-naive dedups; counts must not).
+                if self.counting
+                    && !unit.recursive
+                    && unit.heads.iter().any(|h| self.supports.contains_key(h))
+                {
+                    UnitMode::Counting
+                } else {
+                    UnitMode::Incremental
+                }
             } else {
                 UnitMode::Clean
             };
             if mode == UnitMode::Clean {
                 continue;
             }
-            // Recompute takes the old head contents out (diffed below so
-            // downstream units see what actually changed).
-            let mut olds: Vec<(String, Relation)> = Vec::new();
             if mode == UnitMode::Recompute {
-                for h in &self.plan.units[u].heads {
-                    let old = std::mem::take(self.db.entry(h.clone()).or_default());
-                    self.cache.invalidate(h);
-                    olds.push((h.clone(), old));
+                // A recompute can't tell which derivations survived, so
+                // any support/group state for this unit is now stale.
+                for h in &unit.heads {
+                    self.supports.remove(h);
+                }
+                for ai in &unit.aggs {
+                    self.agg_state.remove(ai);
                 }
             }
-            let cache = std::mem::take(&mut self.cache);
-            let mut inserted: FxHashMap<String, Vec<Row>> = FxHashMap::default();
-            let run = run_unit(
-                &self.plan.units[u],
-                &self.plan.ruleset,
-                program,
-                &mut self.db,
-                cache,
-                &self.scalars,
-                &self.key_index,
-                udfs,
-                &mut frame,
-                (mode == UnitMode::Incremental).then_some(&changed),
-                &mut inserted,
-            );
-            self.cache = run?;
             match mode {
-                UnitMode::Incremental => {
-                    for (h, rows) in inserted {
-                        changed.entry(h).or_default().added.extend(rows);
+                UnitMode::Counting => {
+                    let cache = std::mem::take(&mut self.cache);
+                    let mut out: Vec<(String, RelDelta)> = Vec::new();
+                    let run = run_unit_counting(
+                        unit,
+                        &plan.ruleset,
+                        program,
+                        &mut self.db,
+                        cache,
+                        &self.scalars,
+                        &self.key_index,
+                        udfs,
+                        &mut frame,
+                        &changed,
+                        &mut self.supports,
+                        &mut out,
+                    );
+                    self.cache = run?;
+                    for (h, d) in out {
+                        changed.insert(h, d);
                     }
                 }
-                UnitMode::Recompute => {
-                    for (h, old) in olds {
-                        let new = self.db.get(&h).expect("head relation exists");
-                        let delta = RelDelta::diff(&old, new);
-                        if !delta.is_empty() {
-                            changed.insert(h, delta);
+                UnitMode::CountingAgg => {
+                    let cache = std::mem::take(&mut self.cache);
+                    let mut out: Vec<(String, RelDelta)> = Vec::new();
+                    let run = run_unit_agg_counting(
+                        unit,
+                        &plan.ruleset,
+                        program,
+                        &mut self.db,
+                        cache,
+                        &self.scalars,
+                        &self.key_index,
+                        udfs,
+                        &mut frame,
+                        &changed,
+                        &mut self.agg_state,
+                        &mut out,
+                    );
+                    self.cache = run?;
+                    for (h, d) in out {
+                        changed.insert(h, d);
+                    }
+                }
+                UnitMode::Dred => {
+                    let cache = std::mem::take(&mut self.cache);
+                    let mut out: Vec<(String, RelDelta)> = Vec::new();
+                    let run = run_unit_dred(
+                        unit,
+                        &plan.ruleset,
+                        program,
+                        &mut self.db,
+                        cache,
+                        &self.scalars,
+                        &self.key_index,
+                        udfs,
+                        &mut frame,
+                        &changed,
+                        &mut out,
+                    );
+                    self.cache = run?;
+                    for (h, d) in out {
+                        changed.insert(h, d);
+                    }
+                }
+                UnitMode::Incremental | UnitMode::Recompute => {
+                    // Recompute takes the old head contents out (diffed
+                    // below so downstream units see what actually
+                    // changed).
+                    let mut olds: Vec<(String, Relation)> = Vec::new();
+                    if mode == UnitMode::Recompute {
+                        for h in &unit.heads {
+                            let old = std::mem::take(self.db.entry(h.clone()).or_default());
+                            self.cache.invalidate(h);
+                            olds.push((h.clone(), old));
                         }
+                    }
+                    let cache = std::mem::take(&mut self.cache);
+                    let mut inserted: FxHashMap<String, Vec<Row>> = FxHashMap::default();
+                    let run = run_unit(
+                        unit,
+                        &plan.ruleset,
+                        program,
+                        &mut self.db,
+                        cache,
+                        &self.scalars,
+                        &self.key_index,
+                        udfs,
+                        &mut frame,
+                        (mode == UnitMode::Incremental).then_some(&changed),
+                        &mut inserted,
+                    );
+                    self.cache = run?;
+                    match mode {
+                        UnitMode::Incremental => {
+                            for (h, rows) in inserted {
+                                changed.entry(h).or_default().added.extend(rows);
+                            }
+                        }
+                        UnitMode::Recompute => {
+                            for (h, old) in olds {
+                                let new = self.db.get(&h).expect("head relation exists");
+                                let delta = RelDelta::diff(&old, new);
+                                if !delta.is_empty() {
+                                    changed.insert(h, delta);
+                                }
+                            }
+                        }
+                        _ => unreachable!(),
                     }
                 }
                 UnitMode::Clean => unreachable!(),
             }
         }
+        // Recycle the fold scratch: the next tick's journal fold reuses
+        // the map and its deltas via `take_changed_scratch`/`pooled_delta`
+        // instead of rebuilding per-relation maps.
+        self.delta_pool.extend(changed.drain().map(|(_, mut d)| {
+            d.added.clear();
+            d.removed.clear();
+            d
+        }));
+        self.changed_scratch = changed;
         Ok(())
     }
 }
@@ -3423,12 +3873,20 @@ fn run_unit(
                     let drel = Relation::from_rows(d.added.iter().cloned());
                     for &(slot, pos) in positions {
                         let rule = &ruleset.rules[unit.rules[slot]];
+                        // Sideways information passing: where the static
+                        // reorder proof licenses it, run the variant with
+                        // the delta atom hoisted first so the remaining
+                        // scans probe on its bindings.
+                        let (query, dpos) = match rule.sip.get(&pos) {
+                            Some(q) => (q, 0),
+                            None => (&rule.query, pos),
+                        };
                         let plan = CPlan {
-                            body: &rule.query.select.body,
-                            delta: Some((pos, &drel)),
+                            body: &query.select.body,
+                            delta: Some((dpos, &drel)),
                             use_indexes: true,
                         };
-                        for row in eval_rule_query(&rule.query, &plan, frame, &mut ctx)? {
+                        for row in eval_rule_query(query, &plan, frame, &mut ctx)? {
                             derived.push((slot, row));
                         }
                     }
@@ -3483,12 +3941,19 @@ fn run_unit(
                         continue;
                     }
                     let rule = &ruleset.rules[r];
+                    // SIP only in incremental mode: recompute-mode rounds
+                    // must keep the fresh engines' atom order so volatile
+                    // units observe identical stateful-UDF call sequences.
+                    let (query, dpos) = match rule.sip.get(pos) {
+                        Some(q) if track_inserted => (q, 0),
+                        _ => (&rule.query, *pos),
+                    };
                     let plan = CPlan {
-                        body: &rule.query.select.body,
-                        delta: Some((*pos, d)),
+                        body: &query.select.body,
+                        delta: Some((dpos, d)),
                         use_indexes: true,
                     };
-                    for row in eval_rule_query(&rule.query, &plan, frame, &mut ctx)? {
+                    for row in eval_rule_query(query, &plan, frame, &mut ctx)? {
                         derived.push((slot, row));
                     }
                 }
@@ -3496,6 +3961,892 @@ fn run_unit(
             cache = ctx.scan_cache;
         }
         delta = apply(derived, db, &mut cache, inserted);
+    }
+    Ok(cache)
+}
+
+/// Persistent per-group aggregate state for delta-keyed maintenance: the
+/// group's `over` values as a multiset, plus the running totals the cheap
+/// folds read directly.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct AggGroup {
+    /// `over` value → multiplicity of body matches producing it.
+    counts: FxHashMap<Value, i64>,
+    /// Total body-match multiplicity (the group's `Count`).
+    n: i64,
+    /// Wrapping sum of integer `over` values (maintained for `Sum`).
+    sum: i64,
+}
+
+/// Fold one signed body-match weight into a group's state.
+fn agg_group_add(g: &mut AggGroup, agg: AggFun, over: &Value, w: i64) -> Result<(), EvalError> {
+    g.n += w;
+    if matches!(agg, AggFun::Sum) {
+        g.sum = g.sum.wrapping_add(int_of(over.clone())?.wrapping_mul(w));
+    }
+    let c = g.counts.entry(over.clone()).or_insert(0);
+    *c += w;
+    debug_assert!(*c >= 0, "aggregate multiset count went negative");
+    if *c == 0 {
+        g.counts.remove(over);
+    }
+    Ok(())
+}
+
+/// The head row a group currently emits. Must match [`eval_cagg`]'s fold
+/// bit-for-bit — the differential suites pin counting against recompute.
+/// (Wrapping addition is commutative mod 2⁶⁴, so the incrementally
+/// maintained `sum` equals the recompute fold in any match order.)
+fn emit_agg_row(agg: AggFun, group: &Row, g: &AggGroup) -> Row {
+    let v = match agg {
+        AggFun::Count => Value::Int(g.n),
+        AggFun::Sum => Value::Int(g.sum),
+        AggFun::Min => g.counts.keys().min().cloned().unwrap_or(Value::Null),
+        AggFun::Max => g.counts.keys().max().cloned().unwrap_or(Value::Null),
+        AggFun::CollectSet => Value::Set(g.counts.keys().cloned().collect()),
+    };
+    let mut row = group.clone();
+    row.push(v);
+    row
+}
+
+/// Temporarily restore a relation's pre-tick contents by inverting its
+/// already-applied delta. No compaction: the forward re-application
+/// ([`reapply_delta`]) follows within the same unit evaluation.
+fn unapply_delta(db: &mut Database, cache: &mut ScanCache, rel: &str, delta: &RelDelta) {
+    let r = db.entry(rel.to_string()).or_default();
+    for row in &delta.added {
+        if let Some(pos) = r.remove(row) {
+            cache.note_remove(rel, row, pos);
+        }
+    }
+    for row in &delta.removed {
+        if r.insert(row.clone()) {
+            cache.note_insert(rel, row, r.storage_len() - 1);
+        }
+    }
+}
+
+/// Re-apply a relation's delta after [`unapply_delta`], compacting if the
+/// round trip left the relation tombstone-heavy.
+fn reapply_delta(db: &mut Database, cache: &mut ScanCache, rel: &str, delta: &RelDelta) {
+    let r = db.entry(rel.to_string()).or_default();
+    for row in &delta.removed {
+        if let Some(pos) = r.remove(row) {
+            cache.note_remove(rel, row, pos);
+        }
+    }
+    for row in &delta.added {
+        if r.insert(row.clone()) {
+            cache.note_insert(rel, row, r.storage_len() - 1);
+        }
+    }
+    if r.should_compact() {
+        r.compact();
+        cache.invalidate(rel);
+    }
+}
+
+/// The unit's changed input relations as `(input_variants index, delta)`,
+/// in `input_variants` (first-occurrence) order — the fixed relation
+/// order the mixed-state delta expansion walks.
+fn dirty_inputs<'c>(
+    unit: &EvalUnit,
+    changed: &'c FxHashMap<String, RelDelta>,
+) -> Vec<(usize, &'c RelDelta)> {
+    unit.input_variants
+        .iter()
+        .enumerate()
+        .filter_map(|(i, (rel, _))| changed.get(rel).filter(|d| !d.is_empty()).map(|d| (i, d)))
+        .collect()
+}
+
+/// Rule slots that scan one changed relation at two or more positions:
+/// the per-relation delta expansion assumes each changed relation appears
+/// exactly once per derivation term, so these recount exactly instead
+/// (full evaluation against the old state weighted −1, against the new
+/// state weighted +1). Sorted for deterministic evaluation order.
+fn self_join_slots(
+    unit: &EvalUnit,
+    dirty: &[(usize, &RelDelta)],
+) -> Vec<usize> {
+    let mut recount: Vec<usize> = Vec::new();
+    for &(iv, _) in dirty {
+        let mut seen: FxHashSet<usize> = FxHashSet::default();
+        for &(slot, _) in &unit.input_variants[iv].1 {
+            if !seen.insert(slot) {
+                recount.push(slot);
+            }
+        }
+    }
+    recount.sort_unstable();
+    recount.dedup();
+    recount
+}
+
+/// Counting-based maintenance of a non-recursive rule unit: signed delta
+/// variants adjust each derived row's support count (how many body
+/// assignments currently derive it); rows whose support crosses zero
+/// retract or appear, and the net change cascades downstream as a signed
+/// delta. The mixed-state walk evaluates the changed relations in a
+/// fixed order — relation *i*'s delta runs with relations before it in
+/// the new state and relations after it in the old state — so each
+/// derivation's net weight change is counted exactly once. Support
+/// tables are built lazily (one full evaluation against the pre-tick
+/// state) the first tick the unit takes this path.
+#[allow(clippy::too_many_arguments)]
+fn run_unit_counting(
+    unit: &EvalUnit,
+    ruleset: &RuleSet,
+    program: &Program,
+    db: &mut Database,
+    mut cache: ScanCache,
+    scalars: &FxHashMap<String, Value>,
+    key_index: &FxHashMap<String, FxHashMap<Row, Row>>,
+    udfs: &mut UdfHost,
+    frame: &mut Frame,
+    changed: &FxHashMap<String, RelDelta>,
+    supports: &mut FxHashMap<String, FxHashMap<Row, i64>>,
+    out: &mut Vec<(String, RelDelta)>,
+) -> Result<ScanCache, EvalError> {
+    let dirty = dirty_inputs(unit, changed);
+    let recount = self_join_slots(unit, &dirty);
+
+    // Restore the unit's inputs to their pre-tick state.
+    for &(iv, d) in &dirty {
+        unapply_delta(db, &mut cache, &unit.input_variants[iv].0, d);
+    }
+
+    // Signed per-head derivation-count changes this tick.
+    let mut acc: FxHashMap<&str, FxHashMap<Row, i64>> = FxHashMap::default();
+    let need_init = unit.heads.iter().any(|h| !supports.contains_key(h));
+    {
+        let mut ctx = EvalCtx {
+            program,
+            db,
+            scalars,
+            key_index,
+            udfs,
+            scan_cache: cache,
+        };
+        if need_init {
+            for h in &unit.heads {
+                supports.insert(h.clone(), FxHashMap::default());
+            }
+            for &r in &unit.rules {
+                let rule = &ruleset.rules[r];
+                let plan = CPlan::full(&rule.query.select.body);
+                for row in eval_rule_query(&rule.query, &plan, frame, &mut ctx)? {
+                    *supports
+                        .get_mut(&rule.head)
+                        .expect("inserted above")
+                        .entry(row)
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+        // Old-state half of the exact recount for self-join slots.
+        for &slot in &recount {
+            let rule = &ruleset.rules[unit.rules[slot]];
+            let plan = CPlan::full(&rule.query.select.body);
+            for row in eval_rule_query(&rule.query, &plan, frame, &mut ctx)? {
+                *acc.entry(rule.head.as_str()).or_default().entry(row).or_insert(0) -= 1;
+            }
+        }
+        cache = ctx.scan_cache;
+    }
+
+    // The mixed-state walk: per changed relation, signed delta variants,
+    // then advance that relation to its new state.
+    for &(iv, d) in &dirty {
+        let (rel, positions) = &unit.input_variants[iv];
+        {
+            let mut ctx = EvalCtx {
+                program,
+                db,
+                scalars,
+                key_index,
+                udfs,
+                scan_cache: cache,
+            };
+            let added = Relation::from_rows(d.added.iter().cloned());
+            let removed = Relation::from_rows(d.removed.iter().cloned());
+            for &(slot, pos) in positions {
+                if recount.binary_search(&slot).is_ok() {
+                    continue;
+                }
+                let rule = &ruleset.rules[unit.rules[slot]];
+                let (query, dpos) = match rule.sip.get(&pos) {
+                    Some(q) => (q, 0),
+                    None => (&rule.query, pos),
+                };
+                for (drel, weight) in [(&added, 1i64), (&removed, -1i64)] {
+                    if drel.is_empty() {
+                        continue;
+                    }
+                    let plan = CPlan {
+                        body: &query.select.body,
+                        delta: Some((dpos, drel)),
+                        use_indexes: true,
+                    };
+                    for row in eval_rule_query(query, &plan, frame, &mut ctx)? {
+                        *acc.entry(rule.head.as_str()).or_default().entry(row).or_insert(0) +=
+                            weight;
+                    }
+                }
+            }
+            cache = ctx.scan_cache;
+        }
+        reapply_delta(db, &mut cache, rel, d);
+    }
+
+    // New-state half of the self-join recounts.
+    if !recount.is_empty() {
+        let mut ctx = EvalCtx {
+            program,
+            db,
+            scalars,
+            key_index,
+            udfs,
+            scan_cache: cache,
+        };
+        for &slot in &recount {
+            let rule = &ruleset.rules[unit.rules[slot]];
+            let plan = CPlan::full(&rule.query.select.body);
+            for row in eval_rule_query(&rule.query, &plan, frame, &mut ctx)? {
+                *acc.entry(rule.head.as_str()).or_default().entry(row).or_insert(0) += 1;
+            }
+        }
+        cache = ctx.scan_cache;
+    }
+
+    // Fold the signed changes into the support table; rows crossing zero
+    // materialize or retract, in sorted order for determinism.
+    for h in &unit.heads {
+        let Some(hacc) = acc.remove(h.as_str()) else { continue };
+        let mut rows: Vec<(Row, i64)> = hacc.into_iter().filter(|(_, w)| *w != 0).collect();
+        if rows.is_empty() {
+            continue;
+        }
+        rows.sort();
+        let sup = supports.get_mut(h).expect("initialized above or pre-existing");
+        let rel = db.entry(h.clone()).or_default();
+        let mut delta = RelDelta::default();
+        for (row, w) in rows {
+            let before = sup.get(&row).copied().unwrap_or(0);
+            let after = before + w;
+            debug_assert!(after >= 0, "support count went negative for {h}");
+            if after == 0 {
+                sup.remove(&row);
+            } else {
+                sup.insert(row.clone(), after);
+            }
+            if before <= 0 && after > 0 {
+                if rel.insert(row.clone()) {
+                    cache.note_insert(h, &row, rel.storage_len() - 1);
+                    delta.added.push(row);
+                }
+            } else if before > 0 && after <= 0 {
+                if let Some(pos) = rel.remove(&row) {
+                    cache.note_remove(h, &row, pos);
+                    delta.removed.push(row);
+                }
+            }
+        }
+        if rel.should_compact() {
+            rel.compact();
+            cache.invalidate(h);
+        }
+        if !delta.is_empty() {
+            out.push((h.clone(), delta));
+        }
+    }
+    Ok(cache)
+}
+
+/// Delta-keyed maintenance of an aggregation unit: the same mixed-state
+/// signed delta expansion as [`run_unit_counting`], but the signed
+/// weights land in persistent per-group multisets ([`AggGroup`]) and only
+/// the groups an input delta touches re-fold and re-emit — untouched
+/// groups' head rows stand.
+#[allow(clippy::too_many_arguments)]
+fn run_unit_agg_counting(
+    unit: &EvalUnit,
+    ruleset: &RuleSet,
+    program: &Program,
+    db: &mut Database,
+    mut cache: ScanCache,
+    scalars: &FxHashMap<String, Value>,
+    key_index: &FxHashMap<String, FxHashMap<Row, Row>>,
+    udfs: &mut UdfHost,
+    frame: &mut Frame,
+    changed: &FxHashMap<String, RelDelta>,
+    agg_state: &mut FxHashMap<usize, FxHashMap<Row, AggGroup>>,
+    out: &mut Vec<(String, RelDelta)>,
+) -> Result<ScanCache, EvalError> {
+    let dirty = dirty_inputs(unit, changed);
+    let recount = self_join_slots(unit, &dirty);
+
+    for &(iv, d) in &dirty {
+        unapply_delta(db, &mut cache, &unit.input_variants[iv].0, d);
+    }
+
+    // Signed per-slot (group ++ over) match-weight changes this tick.
+    let mut acc: FxHashMap<usize, FxHashMap<Row, i64>> = FxHashMap::default();
+    {
+        let mut ctx = EvalCtx {
+            program,
+            db,
+            scalars,
+            key_index,
+            udfs,
+            scan_cache: cache,
+        };
+        for &ai in &unit.aggs {
+            if agg_state.contains_key(&ai) {
+                continue;
+            }
+            let rule = &ruleset.aggs[ai];
+            let mut state: FxHashMap<Row, AggGroup> = FxHashMap::default();
+            let plan = CPlan::full(&rule.query.select.body);
+            for mut row in eval_rule_query(&rule.query, &plan, frame, &mut ctx)? {
+                let over = row.pop().expect("projection includes `over`");
+                agg_group_add(state.entry(row).or_default(), rule.agg, &over, 1)?;
+            }
+            agg_state.insert(ai, state);
+        }
+        for &slot in &recount {
+            let rule = &ruleset.aggs[unit.aggs[slot]];
+            let plan = CPlan::full(&rule.query.select.body);
+            for row in eval_rule_query(&rule.query, &plan, frame, &mut ctx)? {
+                *acc.entry(slot).or_default().entry(row).or_insert(0) -= 1;
+            }
+        }
+        cache = ctx.scan_cache;
+    }
+
+    for &(iv, d) in &dirty {
+        let (rel, positions) = &unit.input_variants[iv];
+        {
+            let mut ctx = EvalCtx {
+                program,
+                db,
+                scalars,
+                key_index,
+                udfs,
+                scan_cache: cache,
+            };
+            let added = Relation::from_rows(d.added.iter().cloned());
+            let removed = Relation::from_rows(d.removed.iter().cloned());
+            for &(slot, pos) in positions {
+                if recount.binary_search(&slot).is_ok() {
+                    continue;
+                }
+                let rule = &ruleset.aggs[unit.aggs[slot]];
+                let (query, dpos) = match rule.sip.get(&pos) {
+                    Some(q) => (q, 0),
+                    None => (&rule.query, pos),
+                };
+                for (drel, weight) in [(&added, 1i64), (&removed, -1i64)] {
+                    if drel.is_empty() {
+                        continue;
+                    }
+                    let plan = CPlan {
+                        body: &query.select.body,
+                        delta: Some((dpos, drel)),
+                        use_indexes: true,
+                    };
+                    for row in eval_rule_query(query, &plan, frame, &mut ctx)? {
+                        *acc.entry(slot).or_default().entry(row).or_insert(0) += weight;
+                    }
+                }
+            }
+            cache = ctx.scan_cache;
+        }
+        reapply_delta(db, &mut cache, rel, d);
+    }
+
+    if !recount.is_empty() {
+        let mut ctx = EvalCtx {
+            program,
+            db,
+            scalars,
+            key_index,
+            udfs,
+            scan_cache: cache,
+        };
+        for &slot in &recount {
+            let rule = &ruleset.aggs[unit.aggs[slot]];
+            let plan = CPlan::full(&rule.query.select.body);
+            for row in eval_rule_query(&rule.query, &plan, frame, &mut ctx)? {
+                *acc.entry(slot).or_default().entry(row).or_insert(0) += 1;
+            }
+        }
+        cache = ctx.scan_cache;
+    }
+
+    // Re-fold the touched groups, replacing each one's emitted head row.
+    for (slot, &ai) in unit.aggs.iter().enumerate() {
+        let Some(sacc) = acc.remove(&slot) else { continue };
+        let mut items: Vec<(Row, i64)> = sacc.into_iter().filter(|(_, w)| *w != 0).collect();
+        if items.is_empty() {
+            continue;
+        }
+        items.sort();
+        let rule = &ruleset.aggs[ai];
+        let state = agg_state.get_mut(&ai).expect("initialized above or pre-existing");
+        // Stash each touched group's previously emitted row before the
+        // first weight mutates its state.
+        let mut touched: Vec<Row> = Vec::new();
+        let mut old_rows: FxHashMap<Row, Option<Row>> = FxHashMap::default();
+        for (mut prow, w) in items {
+            let over = prow.pop().expect("projection includes `over`");
+            let group = prow;
+            if !old_rows.contains_key(&group) {
+                let old = state.get(&group).map(|g| emit_agg_row(rule.agg, &group, g));
+                old_rows.insert(group.clone(), old);
+                touched.push(group.clone());
+            }
+            agg_group_add(state.entry(group).or_default(), rule.agg, &over, w)?;
+        }
+        touched.sort();
+        let relh = db.entry(rule.head.clone()).or_default();
+        let mut delta = RelDelta::default();
+        for group in touched {
+            let old = old_rows.remove(&group).expect("stashed above");
+            let new = match state.get(&group) {
+                Some(g) if g.n > 0 => Some(emit_agg_row(rule.agg, &group, g)),
+                _ => None,
+            };
+            if new.is_none() {
+                state.remove(&group);
+            }
+            if old == new {
+                continue;
+            }
+            if let Some(o) = old {
+                if let Some(pos) = relh.remove(&o) {
+                    cache.note_remove(&rule.head, &o, pos);
+                    delta.removed.push(o);
+                }
+            }
+            if let Some(n) = new {
+                if relh.insert(n.clone()) {
+                    cache.note_insert(&rule.head, &n, relh.storage_len() - 1);
+                    delta.added.push(n);
+                }
+            }
+        }
+        if relh.should_compact() {
+            relh.compact();
+            cache.invalidate(&rule.head);
+        }
+        if !delta.is_empty() {
+            out.push((rule.head.clone(), delta));
+        }
+    }
+    Ok(cache)
+}
+
+/// Delete-and-rederive (DRed) maintenance of a recursive rule unit.
+/// Counting can't maintain recursion (a cyclic derivation supports
+/// itself), so retractions run in phases: over-delete the downward
+/// closure of the removed input rows, re-derive the survivors (rows with
+/// an alternative derivation that avoids everything deleted), then run
+/// the normal insertion fixpoint for the added input rows — a row
+/// rejoining its head cancels its pending retraction, so the emitted
+/// delta is net.
+#[allow(clippy::too_many_arguments)]
+fn run_unit_dred(
+    unit: &EvalUnit,
+    ruleset: &RuleSet,
+    program: &Program,
+    db: &mut Database,
+    mut cache: ScanCache,
+    scalars: &FxHashMap<String, Value>,
+    key_index: &FxHashMap<String, FxHashMap<Row, Row>>,
+    udfs: &mut UdfHost,
+    frame: &mut Frame,
+    changed: &FxHashMap<String, RelDelta>,
+    out: &mut Vec<(String, RelDelta)>,
+) -> Result<ScanCache, EvalError> {
+    let dirty = dirty_inputs(unit, changed);
+
+    // Phase 0: restore the unit's inputs to their pre-tick state.
+    for &(iv, d) in &dirty {
+        unapply_delta(db, &mut cache, &unit.input_variants[iv].0, d);
+    }
+
+    // Phase 1: over-delete. Mark every head row with a derivation through
+    // a removed input row (or a previously marked head row), evaluating
+    // against the *full* pre-tick database without mutating it — deleting
+    // as we go would miss multi-hop derivations and under-delete.
+    let mut deleted: FxHashMap<&str, FxHashSet<Row>> = FxHashMap::default();
+    {
+        let mut ctx = EvalCtx {
+            program,
+            db,
+            scalars,
+            key_index,
+            udfs,
+            scan_cache: cache,
+        };
+        let mut wave: FxHashMap<String, Relation> = FxHashMap::default();
+        for &(iv, d) in &dirty {
+            if d.removed.is_empty() {
+                continue;
+            }
+            let positions = &unit.input_variants[iv].1;
+            let drel = Relation::from_rows(d.removed.iter().cloned());
+            for &(slot, pos) in positions {
+                let rule = &ruleset.rules[unit.rules[slot]];
+                let (query, dpos) = match rule.sip.get(&pos) {
+                    Some(q) => (q, 0),
+                    None => (&rule.query, pos),
+                };
+                let plan = CPlan {
+                    body: &query.select.body,
+                    delta: Some((dpos, &drel)),
+                    use_indexes: true,
+                };
+                for row in eval_rule_query(query, &plan, frame, &mut ctx)? {
+                    let head = rule.head.as_str();
+                    if ctx.db.get(head).is_some_and(|r| r.contains(&row))
+                        && deleted.entry(head).or_default().insert(row.clone())
+                    {
+                        wave.entry(head.to_string()).or_default().insert(row);
+                    }
+                }
+            }
+        }
+        while !wave.is_empty() {
+            let mut derived: Vec<(usize, Row)> = Vec::new();
+            for (slot, &r) in unit.rules.iter().enumerate() {
+                for (pos, rel) in &unit.rec_variants[slot] {
+                    let Some(d) = wave.get(rel) else { continue };
+                    if d.is_empty() {
+                        continue;
+                    }
+                    let rule = &ruleset.rules[r];
+                    let (query, dpos) = match rule.sip.get(pos) {
+                        Some(q) => (q, 0),
+                        None => (&rule.query, *pos),
+                    };
+                    let plan = CPlan {
+                        body: &query.select.body,
+                        delta: Some((dpos, d)),
+                        use_indexes: true,
+                    };
+                    for row in eval_rule_query(query, &plan, frame, &mut ctx)? {
+                        derived.push((slot, row));
+                    }
+                }
+            }
+            let mut next: FxHashMap<String, Relation> = FxHashMap::default();
+            for (slot, row) in derived {
+                let head = ruleset.rules[unit.rules[slot]].head.as_str();
+                if ctx.db.get(head).is_some_and(|r| r.contains(&row))
+                    && deleted.entry(head).or_default().insert(row.clone())
+                {
+                    next.entry(head.to_string()).or_default().insert(row);
+                }
+            }
+            wave = next;
+        }
+        cache = ctx.scan_cache;
+    }
+
+    // Phase 2: apply the over-deletions (sorted — the marking sets hash in
+    // arbitrary order) and the input removals; the database now holds the
+    // post-deletion world DRed re-derives against.
+    let mut deleted_sorted: Vec<(String, Vec<Row>)> = Vec::new();
+    for h in &unit.heads {
+        let Some(set) = deleted.remove(h.as_str()) else { continue };
+        let mut rows: Vec<Row> = set.into_iter().collect();
+        rows.sort();
+        deleted_sorted.push((h.clone(), rows));
+    }
+    for (h, rows) in &deleted_sorted {
+        let rel = db.entry(h.clone()).or_default();
+        for row in rows {
+            if let Some(pos) = rel.remove(row) {
+                cache.note_remove(h, row, pos);
+            }
+        }
+    }
+    for &(iv, d) in &dirty {
+        let rel = &unit.input_variants[iv].0;
+        let r = db.entry(rel.clone()).or_default();
+        for row in &d.removed {
+            if let Some(pos) = r.remove(row) {
+                cache.note_remove(rel, row, pos);
+            }
+        }
+    }
+
+    // Rows still retracted; survivors of re-derivation leave this set.
+    let mut removed_sets: FxHashMap<String, FxHashSet<Row>> = deleted_sorted
+        .iter()
+        .map(|(h, rows)| (h.clone(), rows.iter().cloned().collect()))
+        .collect();
+
+    // Phase 3: re-derive. An over-deleted row survives if some rule still
+    // derives it in the deleted world — the per-row head-bound check
+    // answers that with keyed probes; rules without a check contribute
+    // one full evaluation, computed lazily and shared across rows.
+    let mut reinsert: Vec<(String, Vec<Row>)> = Vec::new();
+    {
+        let mut ctx = EvalCtx {
+            program,
+            db,
+            scalars,
+            key_index,
+            udfs,
+            scan_cache: cache,
+        };
+        let mut full_sets: FxHashMap<usize, FxHashSet<Row>> = FxHashMap::default();
+        for (h, rows) in &deleted_sorted {
+            let mut alive: Vec<Row> = Vec::new();
+            for row in rows {
+                let mut derivable = false;
+                for (slot, &r) in unit.rules.iter().enumerate() {
+                    let rule = &ruleset.rules[r];
+                    if rule.head != *h {
+                        continue;
+                    }
+                    match &rule.check {
+                        Some(check) => {
+                            if check_derivable(check, row, frame, &mut ctx)? {
+                                derivable = true;
+                                break;
+                            }
+                        }
+                        None => {
+                            if let std::collections::hash_map::Entry::Vacant(e) =
+                                full_sets.entry(slot)
+                            {
+                                let plan = CPlan::full(&rule.query.select.body);
+                                let set: FxHashSet<Row> =
+                                    eval_rule_query(&rule.query, &plan, frame, &mut ctx)?
+                                        .into_iter()
+                                        .collect();
+                                e.insert(set);
+                            }
+                            if full_sets[&slot].contains(row) {
+                                derivable = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if derivable {
+                    alive.push(row.clone());
+                }
+            }
+            if !alive.is_empty() {
+                reinsert.push((h.clone(), alive));
+            }
+        }
+        cache = ctx.scan_cache;
+    }
+
+    // Land the survivors, then propagate them through the recursive rules
+    // to fixpoint: anything a survivor re-derives was itself over-deleted
+    // (inputs have only shrunk so far), so each round re-derives more of
+    // the marked set and nothing else.
+    let mut wave: FxHashMap<String, Relation> = FxHashMap::default();
+    for (h, rows) in reinsert {
+        let rel = db.entry(h.clone()).or_default();
+        for row in rows {
+            if rel.insert(row.clone()) {
+                cache.note_insert(&h, &row, rel.storage_len() - 1);
+                removed_sets.get_mut(&h).expect("over-deleted head").remove(&row);
+                wave.entry(h.clone()).or_default().insert(row);
+            }
+        }
+    }
+    while !wave.is_empty() {
+        let mut derived: Vec<(usize, Row)> = Vec::new();
+        {
+            let mut ctx = EvalCtx {
+                program,
+                db,
+                scalars,
+                key_index,
+                udfs,
+                scan_cache: cache,
+            };
+            for (slot, &r) in unit.rules.iter().enumerate() {
+                for (pos, rel) in &unit.rec_variants[slot] {
+                    let Some(d) = wave.get(rel) else { continue };
+                    if d.is_empty() {
+                        continue;
+                    }
+                    let rule = &ruleset.rules[r];
+                    let (query, dpos) = match rule.sip.get(pos) {
+                        Some(q) => (q, 0),
+                        None => (&rule.query, *pos),
+                    };
+                    let plan = CPlan {
+                        body: &query.select.body,
+                        delta: Some((dpos, d)),
+                        use_indexes: true,
+                    };
+                    for row in eval_rule_query(query, &plan, frame, &mut ctx)? {
+                        derived.push((slot, row));
+                    }
+                }
+            }
+            cache = ctx.scan_cache;
+        }
+        let mut next: FxHashMap<String, Relation> = FxHashMap::default();
+        for (slot, row) in derived {
+            let head = &ruleset.rules[unit.rules[slot]].head;
+            let rel = db.entry(head.clone()).or_default();
+            if rel.insert(row.clone()) {
+                cache.note_insert(head, &row, rel.storage_len() - 1);
+                if let Some(s) = removed_sets.get_mut(head) {
+                    s.remove(&row);
+                }
+                next.entry(head.clone()).or_default().insert(row);
+            }
+        }
+        wave = next;
+    }
+
+    // Phase 4: apply the input additions.
+    for &(iv, d) in &dirty {
+        let rel = &unit.input_variants[iv].0;
+        let r = db.entry(rel.clone()).or_default();
+        for row in &d.added {
+            if r.insert(row.clone()) {
+                cache.note_insert(rel, row, r.storage_len() - 1);
+            }
+        }
+        if r.should_compact() {
+            r.compact();
+            cache.invalidate(rel);
+        }
+    }
+
+    // Phase 5: insertion — delta variants seeded by the added input rows,
+    // then the recursive fixpoint. A row rejoining its head cancels its
+    // pending retraction instead of counting as added.
+    let mut added_out: FxHashMap<String, Vec<Row>> = FxHashMap::default();
+    let land = |derived: Vec<(usize, Row)>,
+                    db: &mut Database,
+                    cache: &mut ScanCache,
+                    removed_sets: &mut FxHashMap<String, FxHashSet<Row>>,
+                    added_out: &mut FxHashMap<String, Vec<Row>>|
+     -> FxHashMap<String, Relation> {
+        let mut next: FxHashMap<String, Relation> = FxHashMap::default();
+        for (slot, row) in derived {
+            let head = &ruleset.rules[unit.rules[slot]].head;
+            let rel = db.entry(head.clone()).or_default();
+            if rel.insert(row.clone()) {
+                cache.note_insert(head, &row, rel.storage_len() - 1);
+                let cancelled = removed_sets.get_mut(head).is_some_and(|s| s.remove(&row));
+                if !cancelled {
+                    added_out.entry(head.clone()).or_default().push(row.clone());
+                }
+                next.entry(head.clone()).or_default().insert(row);
+            }
+        }
+        next
+    };
+    let mut derived: Vec<(usize, Row)> = Vec::new();
+    {
+        let mut ctx = EvalCtx {
+            program,
+            db,
+            scalars,
+            key_index,
+            udfs,
+            scan_cache: cache,
+        };
+        for &(iv, d) in &dirty {
+            if d.added.is_empty() {
+                continue;
+            }
+            let positions = &unit.input_variants[iv].1;
+            let drel = Relation::from_rows(d.added.iter().cloned());
+            for &(slot, pos) in positions {
+                let rule = &ruleset.rules[unit.rules[slot]];
+                let (query, dpos) = match rule.sip.get(&pos) {
+                    Some(q) => (q, 0),
+                    None => (&rule.query, pos),
+                };
+                let plan = CPlan {
+                    body: &query.select.body,
+                    delta: Some((dpos, &drel)),
+                    use_indexes: true,
+                };
+                for row in eval_rule_query(query, &plan, frame, &mut ctx)? {
+                    derived.push((slot, row));
+                }
+            }
+        }
+        cache = ctx.scan_cache;
+    }
+    let mut wave = land(derived, db, &mut cache, &mut removed_sets, &mut added_out);
+    while !wave.is_empty() {
+        let mut derived: Vec<(usize, Row)> = Vec::new();
+        {
+            let mut ctx = EvalCtx {
+                program,
+                db,
+                scalars,
+                key_index,
+                udfs,
+                scan_cache: cache,
+            };
+            for (slot, &r) in unit.rules.iter().enumerate() {
+                for (pos, rel) in &unit.rec_variants[slot] {
+                    let Some(d) = wave.get(rel) else { continue };
+                    if d.is_empty() {
+                        continue;
+                    }
+                    let rule = &ruleset.rules[r];
+                    let (query, dpos) = match rule.sip.get(pos) {
+                        Some(q) => (q, 0),
+                        None => (&rule.query, *pos),
+                    };
+                    let plan = CPlan {
+                        body: &query.select.body,
+                        delta: Some((dpos, d)),
+                        use_indexes: true,
+                    };
+                    for row in eval_rule_query(query, &plan, frame, &mut ctx)? {
+                        derived.push((slot, row));
+                    }
+                }
+            }
+            cache = ctx.scan_cache;
+        }
+        wave = land(derived, db, &mut cache, &mut removed_sets, &mut added_out);
+    }
+
+    // Emit the net per-head deltas (sorted for determinism) and reclaim
+    // tombstones the retraction phase left behind.
+    for h in &unit.heads {
+        let rel = db.entry(h.clone()).or_default();
+        if rel.should_compact() {
+            rel.compact();
+            cache.invalidate(h);
+        }
+        let mut delta = RelDelta::default();
+        if let Some(set) = removed_sets.remove(h) {
+            let mut rows: Vec<Row> = set.into_iter().collect();
+            rows.sort();
+            delta.removed = rows;
+        }
+        if let Some(mut rows) = added_out.remove(h) {
+            rows.sort();
+            delta.added = rows;
+        }
+        if !delta.is_empty() {
+            out.push((h.clone(), delta));
+        }
     }
     Ok(cache)
 }
@@ -3621,5 +4972,100 @@ mod tests {
             .map(|r| r.iter().map(|x| Value::Int(*x)).collect())
             .collect();
         assert_eq!(got, expect);
+    }
+
+    /// Sustained churn on a resident relation must keep storage bounded
+    /// by the live size: the ratio trigger (dead > live/4, past a small
+    /// floor) compacts a delete-heavy table instead of letting tombstones
+    /// accumulate forever, which the old insert-tuned cadence allowed.
+    #[test]
+    fn relation_compaction_bounds_churn_storage() {
+        let mut rel = Relation::new();
+        let resident = 400i64;
+        for i in 0..resident {
+            rel.insert(vec![Value::Int(i)]);
+        }
+        // 10k churn cycles: delete one resident row, add a fresh one —
+        // live size stays constant while tombstones accrue.
+        for i in 0..10_000i64 {
+            rel.remove(&[Value::Int(i)]);
+            rel.insert(vec![Value::Int(resident + i)]);
+            if rel.should_compact() {
+                rel.compact();
+            }
+        }
+        assert_eq!(rel.len(), resident as usize);
+        // Ratio trigger: storage ≤ live + live/4 + floor (+1 hysteresis).
+        let bound = rel.len() + rel.len() / 4 + 64 + 1;
+        assert!(
+            rel.storage_len() <= bound,
+            "churned relation kept {} storage slots for {} live rows (bound {})",
+            rel.storage_len(),
+            rel.len(),
+            bound
+        );
+        // Content survives the compaction cycles intact.
+        for i in 10_000..10_000 + resident {
+            assert!(rel.contains(&[Value::Int(i)]));
+        }
+    }
+
+    /// SIP delta-probe variants and DRed check queries compile only for
+    /// rules carrying the static reorder license — an unsafe rule keeps
+    /// its source order on every path, so reordering can never change
+    /// its error reachability.
+    #[test]
+    fn sip_and_check_queries_are_gated_on_reorder_safety() {
+        use crate::builder::dsl::atom;
+
+        let safe = ProgramBuilder::new()
+            .table(
+                "e",
+                vec![("a", atom()), ("b", atom())],
+                &["a", "b"],
+                None,
+            )
+            .rule("tc", vec![v("a"), v("b")], vec![scan("e", &["a", "b"])])
+            .rule(
+                "tc",
+                vec![v("a"), v("c")],
+                vec![scan("tc", &["a", "b"]), scan("e", &["b", "c"])],
+            )
+            .build();
+        let plan = ProgramPlan::compile(&safe).expect("safe program compiles");
+        assert!(plan.rule_reorder_safe(1));
+        let rule = &plan.ruleset.rules[1];
+        assert!(
+            rule.sip.contains_key(&1),
+            "safe two-scan rule gets a SIP variant for the non-leading scan"
+        );
+        assert!(
+            rule.check.is_some(),
+            "safe var-headed rule gets a DRed check query"
+        );
+
+        // Same shape, but the second scan's pattern width disagrees with
+        // the declared arity: the arity error is only reachable when that
+        // scan enumerates a row, which depends on atom order — so the
+        // rule is unsafe and must never be reordered.
+        let unsafe_prog = ProgramBuilder::new()
+            .table(
+                "e",
+                vec![("a", atom()), ("b", atom())],
+                &["a", "b"],
+                None,
+            )
+            .rule("tc", vec![v("a"), v("b")], vec![scan("e", &["a", "b"])])
+            .rule(
+                "tc",
+                vec![v("a"), v("c")],
+                vec![scan("tc", &["a", "b"]), scan("e", &["b", "c", "d"])],
+            )
+            .build();
+        let plan = ProgramPlan::compile(&unsafe_prog).expect("still compiles");
+        assert!(!plan.rule_reorder_safe(1));
+        let rule = &plan.ruleset.rules[1];
+        assert!(rule.sip.is_empty(), "unsafe rule gets no SIP variants");
+        assert!(rule.check.is_none(), "unsafe rule gets no check query");
     }
 }

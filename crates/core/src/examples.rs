@@ -6,7 +6,7 @@
 //! coordination-free by client-side sealing. Both are used across the test
 //! suites, examples, and benchmarks (experiments E1, E2, E6, E10).
 
-use crate::ast::{Expr, Program};
+use crate::ast::{Expr, Handler, Program, Trigger};
 use crate::builder::dsl::*;
 use crate::builder::ProgramBuilder;
 use crate::facets::{
@@ -168,6 +168,25 @@ pub fn covid_program_with_vaccines(vaccine_count: i64) -> Program {
         )
         .udf("covid_predict")
         .build()
+}
+
+/// [`covid_program`] plus a `remove_person(pid)` handler — the churn
+/// variant the deletion-maintenance work (counting + DRed) is exercised
+/// and benchmarked against (experiment E19). Deleting a person retracts
+/// their `people` row, which cascades: their `contact_pairs` edges
+/// retract by support counting, and the affected part of the recursive
+/// `transitive` closure retracts by delete-and-rederive — paths that
+/// survive via other contacts stay put.
+pub fn covid_churn_program() -> Program {
+    let mut p = covid_program();
+    p.handlers.push(Handler {
+        name: "remove_person".to_string(),
+        params: vec!["pid".to_string()],
+        trigger: Trigger::OnMessage,
+        body: vec![delete("people", v("pid")), ret(Expr::Const(Value::ok()))],
+        consistency: None,
+    });
+    p
 }
 
 /// §7.1's shopping cart with client-side sealing.

@@ -567,6 +567,10 @@ struct PendingDeltas {
     /// regardless of `enabled`: the recovery journal tracks committed
     /// state for replay, whatever evaluation engine runs the ticks.
     journal: Option<JournalNotes>,
+    /// Recycled per-table first-touch maps: the incremental tick's fold
+    /// drains `tables` and returns the emptied inner maps here, so a
+    /// steady-state tick's journal recording allocates no fresh maps.
+    table_pool: Vec<FxHashMap<Row, Option<Row>>>,
 }
 
 /// First-touch notes for the recovery journal, relative to the last
@@ -590,13 +594,17 @@ impl Default for PendingDeltas {
             scalars: FxHashMap::default(),
             mailboxes: FxHashSet::default(),
             journal: None,
+            table_pool: Vec::new(),
         }
     }
 }
 
 impl PendingDeltas {
     fn clear(&mut self) {
-        self.tables.clear();
+        for (_, mut m) in self.tables.drain() {
+            m.clear();
+            self.table_pool.push(m);
+        }
         self.scalars.clear();
         self.mailboxes.clear();
     }
@@ -606,7 +614,8 @@ impl PendingDeltas {
     fn note_table(&mut self, table: &str, key: &Row, old: Option<&Row>) {
         if self.enabled {
             if !self.tables.contains_key(table) {
-                self.tables.insert(table.to_string(), FxHashMap::default());
+                let slot = self.table_pool.pop().unwrap_or_default();
+                self.tables.insert(table.to_string(), slot);
             }
             let slot = self.tables.get_mut(table).expect("just inserted");
             if !slot.contains_key(key) {
@@ -911,6 +920,10 @@ pub struct Transducer {
     /// shipped away to the gather shard instead). Installed into the
     /// evaluation state at rebuild.
     skip_view_heads: std::collections::BTreeSet<String>,
+    /// Whether counting/DRed deletion maintenance is enabled (see
+    /// [`EvalState::set_counting`]). On by default; off, retractions fall
+    /// back to unit recompute — the differential reference.
+    counting: bool,
 }
 
 impl Transducer {
@@ -953,6 +966,7 @@ impl Transducer {
             foreign: BTreeMap::new(),
             exchange_in: FxHashMap::default(),
             skip_view_heads: std::collections::BTreeSet::new(),
+            counting: true,
         }
     }
 
@@ -973,6 +987,18 @@ impl Transducer {
     pub fn set_eval_mode(&mut self, mode: EvalMode) {
         self.eval_mode = mode;
         self.pending.enabled = mode == EvalMode::Incremental;
+    }
+
+    /// Enable or disable counting/DRed deletion maintenance in the
+    /// incremental engine (on by default). Off, every retraction falls
+    /// back to unit-local recompute — the differential-testing reference
+    /// and the E19 benchmark comparison point. Semantics are identical;
+    /// only cost differs.
+    pub fn set_counting(&mut self, on: bool) {
+        self.counting = on;
+        if let Some(eval) = &mut self.eval {
+            eval.set_counting(on);
+        }
     }
 
     /// Evaluate views with the retained naive reference evaluator instead
@@ -1150,6 +1176,15 @@ impl Transducer {
     /// shard partitions are key-disjoint and entries are idempotent.
     pub fn apply_exchange_delta(&mut self, delta: ExchangeDelta) {
         for (table, rows) in delta {
+            // Exchange deltas ship *net* signed rows (`Some` = upsert,
+            // `None` = retraction), sorted and key-unique by construction
+            // in `exchange_delta` — the counting/DRed engine consumes the
+            // fold directly, so a duplicated or unsorted key would
+            // corrupt its support accounting. Assert the wire invariant.
+            debug_assert!(
+                rows.windows(2).all(|w| w[0].0 < w[1].0),
+                "exchange delta rows must be sorted and key-unique"
+            );
             let mirror = self.foreign.entry(table.clone()).or_default();
             let queued = self.exchange_in.entry(table).or_default();
             for (key, new) in rows {
@@ -1364,15 +1399,19 @@ impl Transducer {
         // three eval maps are drained individually — `pending.journal`
         // (the recovery journal) has its own drain cycle and must survive
         // the tick.
-        let pending_tables = std::mem::take(&mut self.pending.tables);
+        // Scratch maps and deltas come from the evaluation state's
+        // recycling pools (refilled after each evaluation), so this fold
+        // allocates nothing in the steady state; the emptied first-touch
+        // maps return to the journal's own pool the same way.
+        let mut pending_tables = std::mem::take(&mut self.pending.tables);
         let pending_scalars = std::mem::take(&mut self.pending.scalars);
         let pending_mailboxes = std::mem::take(&mut self.pending.mailboxes);
-        let mut changed: FxHashMap<String, RelDelta> = FxHashMap::default();
-        for (table, keys) in pending_tables {
+        let mut changed: FxHashMap<String, RelDelta> = eval.take_changed_scratch();
+        for (table, mut keys) in pending_tables.drain() {
             let current = self.state.tables.get(&table);
-            let mut delta = RelDelta::default();
+            let mut delta = eval.pooled_delta();
             let mut touched = false;
-            for (key, old) in keys {
+            for (key, old) in keys.drain() {
                 let new = current.and_then(|t| t.get(&key));
                 if old.as_ref() == new {
                     continue;
@@ -1380,6 +1419,7 @@ impl Transducer {
                 touched = true;
                 eval.note_key_transition(&table, key, old, new, &mut delta);
             }
+            self.pending.table_pool.push(keys);
             // A key transition can net to an *empty* row-set delta (two
             // keys holding identical rows), yet still change what keyed
             // expressions (`FieldOf`/`RowOf`/`HasKey`) observe — so any
@@ -1387,8 +1427,11 @@ impl Transducer {
             // classification, not just tables whose row set moved.
             if touched {
                 changed.insert(table, delta);
+            } else {
+                eval.recycle_delta(delta);
             }
         }
+        self.pending.tables = pending_tables;
         // Fold exchange-received foreign transitions exactly like local
         // journal entries: previous foreign value looked up in the
         // persistent key index (shard partitions are key-disjoint, so a
@@ -1397,7 +1440,9 @@ impl Transducer {
         // same table.
         for (table, keys) in std::mem::take(&mut self.exchange_in) {
             let locally_touched = changed.contains_key(&table);
-            let mut delta = changed.remove(&table).unwrap_or_default();
+            let mut delta = changed
+                .remove(&table)
+                .unwrap_or_else(|| eval.pooled_delta());
             let mut touched = locally_touched;
             for (key, new) in keys {
                 let old = eval.key_index.get(&table).and_then(|t| t.get(&key)).cloned();
@@ -1409,6 +1454,8 @@ impl Transducer {
             }
             if touched {
                 changed.insert(table, delta);
+            } else {
+                eval.recycle_delta(delta);
             }
         }
         for m in pending_mailboxes {
@@ -1422,12 +1469,12 @@ impl Transducer {
             // produced them: removals in materialized insertion order,
             // additions in queue first-occurrence order.
             let queue: &[Message] = self.mailboxes.get(&m).map_or(&[], Vec::as_slice);
-            let old = eval.db.get(&m);
-            if queue.is_empty() && old.is_none_or(Relation::is_empty) {
+            if queue.is_empty() && eval.db.get(&m).is_none_or(Relation::is_empty) {
                 continue;
             }
+            let mut delta = eval.pooled_delta();
+            let old = eval.db.get(&m);
             let queue_rows: FxHashSet<&Row> = queue.iter().map(|msg| &msg.row).collect();
-            let mut delta = RelDelta::default();
             if let Some(old) = old {
                 for row in old.iter() {
                     if !queue_rows.contains(row) {
@@ -1443,6 +1490,8 @@ impl Transducer {
             }
             if !delta.is_empty() {
                 changed.insert(m, delta);
+            } else {
+                eval.recycle_delta(delta);
             }
         }
         let mut changed_scalars: FxHashSet<String> = FxHashSet::default();
@@ -1508,6 +1557,7 @@ impl Transducer {
         if !self.skip_view_heads.is_empty() {
             eval.set_skip_heads(self.skip_view_heads.iter().cloned());
         }
+        eval.set_counting(self.counting);
         Ok(eval)
     }
 

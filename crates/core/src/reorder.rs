@@ -158,6 +158,115 @@ impl fmt::Display for ReorderIssue {
     }
 }
 
+/// Variable-binding footprint of one body atom: the variables it needs
+/// already bound to evaluate, and the variables it binds for atoms that
+/// run after it. This is the per-atom metadata an admissible-order
+/// planner consumes: a permutation is admissible iff every atom's
+/// `needs` set is covered by the union of `binds` of the atoms placed
+/// before it (plus any externally pre-bound variables, e.g. a delta
+/// row's columns or a DRed check's head values).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AtomBindings {
+    /// Variables the atom reads; all must be bound before it runs.
+    pub needs: BTreeSet<String>,
+    /// Variables bound (or confirmed bound) once the atom has run.
+    pub binds: BTreeSet<String>,
+}
+
+/// Compute the binding footprint of a single body atom.
+///
+/// Scan variable terms appear in `binds` only: an already-bound variable
+/// at a scan position degrades to an equality check, never an error, so
+/// a scan imposes no ordering constraint of its own. A nested
+/// comprehension ([`Expr::CollectSet`]) contributes its *free* variables
+/// — those its own body does not bind internally.
+pub fn atom_bindings(atom: &BodyAtom) -> AtomBindings {
+    let mut ab = AtomBindings::default();
+    match atom {
+        BodyAtom::Scan { terms, .. } => {
+            for t in terms {
+                if let Term::Var(v) = t {
+                    ab.binds.insert(v.clone());
+                }
+            }
+        }
+        BodyAtom::Neg { args, .. } => {
+            for a in args {
+                expr_free_vars(a, &mut ab.needs);
+            }
+        }
+        BodyAtom::Guard(e) => expr_free_vars(e, &mut ab.needs),
+        BodyAtom::Let { var, expr } => {
+            expr_free_vars(expr, &mut ab.needs);
+            ab.binds.insert(var.clone());
+        }
+        BodyAtom::Flatten { var, set } => {
+            expr_free_vars(set, &mut ab.needs);
+            ab.binds.insert(var.clone());
+        }
+    }
+    ab
+}
+
+/// Collect the free variables of an expression into `out`. Nested
+/// comprehensions bind into a child scope, so only variables their body
+/// leaves unbound count as free.
+pub fn expr_free_vars(e: &Expr, out: &mut BTreeSet<String>) {
+    match e {
+        Expr::Var(name) => {
+            out.insert(name.clone());
+        }
+        Expr::CollectSet(sel) => select_free_vars(sel, out),
+        Expr::FieldOf { key, .. } | Expr::RowOf { key, .. } | Expr::HasKey { key, .. } => {
+            expr_free_vars(key, out);
+        }
+        Expr::Cmp(_, l, r)
+        | Expr::Arith(_, l, r)
+        | Expr::And(l, r)
+        | Expr::Or(l, r)
+        | Expr::Contains(l, r) => {
+            expr_free_vars(l, out);
+            expr_free_vars(r, out);
+        }
+        Expr::Not(e) | Expr::Len(e) | Expr::Index(e, _) => expr_free_vars(e, out),
+        Expr::Tuple(items) | Expr::SetBuild(items) => {
+            for e in items {
+                expr_free_vars(e, out);
+            }
+        }
+        Expr::Call(_, args) => {
+            for a in args {
+                expr_free_vars(a, out);
+            }
+        }
+        Expr::Const(_) | Expr::Scalar(_) => {}
+    }
+}
+
+/// Free variables of a comprehension: needs of its body atoms and
+/// projection not satisfied by earlier binders *within* the body.
+fn select_free_vars(sel: &Select, out: &mut BTreeSet<String>) {
+    let mut local: BTreeSet<String> = BTreeSet::new();
+    for atom in &sel.body {
+        let ab = atom_bindings(atom);
+        for n in &ab.needs {
+            if !local.contains(n) {
+                out.insert(n.clone());
+            }
+        }
+        local.extend(ab.binds);
+    }
+    let mut pvars = BTreeSet::new();
+    for e in &sel.projection {
+        expr_free_vars(e, &mut pvars);
+    }
+    for n in pvars {
+        if !local.contains(&n) {
+            out.insert(n);
+        }
+    }
+}
+
 /// The verdict for one rule, aggregation rule, or handler body.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RuleVerdict {
@@ -165,6 +274,12 @@ pub struct RuleVerdict {
     pub provenance: Provenance,
     /// Everything preventing the safety proof (empty ⇒ safe).
     pub issues: Vec<ReorderIssue>,
+    /// Per-atom binding footprints, index-aligned with the unit's body
+    /// (empty for handlers, whose statements are sequential). Combined
+    /// with an empty `issues` list this is everything a join reorderer
+    /// or sideways-information-passing planner needs to enumerate
+    /// admissible orders.
+    pub atoms: Vec<AtomBindings>,
 }
 
 impl RuleVerdict {
@@ -252,6 +367,7 @@ impl ReorderReport {
                     index: i,
                 },
                 issues: chk.finish(),
+                atoms: r.body.iter().map(atom_bindings).collect(),
             });
         }
         for (i, r) in program.agg_rules.iter().enumerate() {
@@ -275,6 +391,7 @@ impl ReorderReport {
                     index: i,
                 },
                 issues: chk.finish(),
+                atoms: r.body.iter().map(atom_bindings).collect(),
             });
         }
         for (i, h) in program.handlers.iter().enumerate() {
@@ -285,6 +402,7 @@ impl ReorderReport {
                     index: i,
                 },
                 issues: check_handler(&arities, h),
+                atoms: Vec::new(),
             });
         }
         report

@@ -422,6 +422,66 @@ fn ticks_agree(program: &Program, batches: &[Vec<Op>], reference: EvalMode) {
     }
 }
 
+/// Three-way variant of [`ticks_agree`]: the counting/DRed engine (the
+/// incremental default) against the unit-recompute incremental engine
+/// (`set_counting(false)`, the pre-counting fallback every retraction
+/// used to take) against a fresh-per-tick reference. Pinning all three
+/// to the same observables means a counting bug cannot hide behind a
+/// matching recompute bug or vice versa.
+fn ticks_agree3(program: &Program, batches: &[Vec<Op>]) {
+    let mut counting = Transducer::new(program.clone()).unwrap();
+    counting.set_eval_mode(EvalMode::Incremental);
+    let mut recompute = Transducer::new(program.clone()).unwrap();
+    recompute.set_eval_mode(EvalMode::Incremental);
+    recompute.set_counting(false);
+    let mut fresh = Transducer::new(program.clone()).unwrap();
+    fresh.set_eval_mode(EvalMode::FreshSemiNaive);
+    for (t, batch) in batches.iter().enumerate() {
+        for (mailbox, row) in batch {
+            counting.enqueue_ok(mailbox, row.clone());
+            recompute.enqueue_ok(mailbox, row.clone());
+            fresh.enqueue_ok(mailbox, row.clone());
+        }
+        let a = counting.tick().unwrap();
+        let b = recompute.tick().unwrap();
+        let c = fresh.tick().unwrap();
+        let canon = |out: &TickOutput| {
+            let mut sends: Vec<(String, Vec<Value>)> = out
+                .sends
+                .iter()
+                .map(|s| (s.mailbox.clone(), s.row.clone()))
+                .collect();
+            sends.sort();
+            (
+                out.responses.clone(),
+                sends,
+                out.warnings.clone(),
+                out.messages_processed,
+            )
+        };
+        assert_eq!(
+            canon(&a),
+            canon(&b),
+            "tick {t}: counting vs recompute outputs disagree"
+        );
+        assert_eq!(
+            canon(&a),
+            canon(&c),
+            "tick {t}: counting vs fresh outputs disagree"
+        );
+        assert_eq!(
+            counting.state(),
+            recompute.state(),
+            "tick {t}: counting vs recompute states disagree"
+        );
+        assert_eq!(
+            counting.state(),
+            fresh.state(),
+            "tick {t}: counting vs fresh states disagree"
+        );
+    }
+}
+
 /// Decode a proptest-generated op stream for [`graph_program`].
 fn graph_ops(raw: &[(u8, i64, i64)]) -> Vec<Vec<Op>> {
     // Chunk into ticks of up to 3 ops; kind 6 is "end tick early", which
@@ -447,6 +507,83 @@ fn graph_ops(raw: &[(u8, i64, i64)]) -> Vec<Vec<Op>> {
     // Always end with an ask plus a no-op tick so the final view state is
     // observed after the last mutation settled.
     batches.push(vec![("ask", vec![Value::Int(0)]), ("ask", vec![Value::Int(1)])]);
+    batches.push(Vec::new());
+    batches
+}
+
+/// A churn program with two aggregation heads over one keyed table, so
+/// delta-keyed group maintenance must replace aggregate rows in place:
+/// `Sum` folds retractions directly (invertible), `Min` has to recount
+/// the group, and re-putting a live key retracts the old base row and
+/// inserts the new one inside a single tick.
+fn agg_churn_program() -> Program {
+    ProgramBuilder::new()
+        .table(
+            "m",
+            vec![("k", atom()), ("g", atom()), ("x", atom())],
+            &["k"],
+            None,
+        )
+        .agg_rule(
+            "sums",
+            vec![v("g")],
+            AggFun::Sum,
+            v("x"),
+            vec![scan("m", &["_", "g", "x"])],
+        )
+        .agg_rule(
+            "mins",
+            vec![v("g")],
+            AggFun::Min,
+            v("x"),
+            vec![scan("m", &["_", "g", "x"])],
+        )
+        .on(
+            "put",
+            &["k", "g", "x"],
+            vec![insert("m", vec![v("k"), v("g"), v("x")])],
+        )
+        .on("rm", &["k"], vec![delete("m", v("k"))])
+        .on(
+            "ask",
+            &[],
+            vec![
+                send(
+                    "out",
+                    select(vec![scan("sums", &["g", "s"])], vec![v("g"), v("s")]),
+                ),
+                send(
+                    "out",
+                    select(vec![scan("mins", &["g", "s"])], vec![v("g"), v("s")]),
+                ),
+            ],
+        )
+        .build()
+}
+
+/// Decode a proptest-generated op stream for [`agg_churn_program`]. Keys
+/// collide on a small range so puts overwrite live rows and deletions
+/// hit both live and absent keys; groups collide harder, so a retraction
+/// usually leaves its group non-empty (a recount) but sometimes empties
+/// it (the group's aggregate row itself must retract).
+fn agg_ops(raw: &[(u8, i64, i64)]) -> Vec<Vec<Op>> {
+    let mut batches: Vec<Vec<Op>> = vec![Vec::new()];
+    for &(kind, a, b) in raw {
+        let op: Option<Op> = match kind % 6 {
+            0..=2 => Some(("put", vec![Value::Int(a), Value::Int(b % 3), Value::Int(b)])),
+            3 => Some(("rm", vec![Value::Int(a)])),
+            4 => Some(("ask", vec![])),
+            _ => None,
+        };
+        match op {
+            Some(op) if batches.last().unwrap().len() < 3 => {
+                batches.last_mut().unwrap().push(op)
+            }
+            Some(op) => batches.push(vec![op]),
+            None => batches.push(Vec::new()),
+        }
+    }
+    batches.push(vec![("ask", vec![])]);
     batches.push(Vec::new());
     batches
 }
@@ -514,6 +651,58 @@ fn deletion_retracts_derived_rows_across_ticks() {
         out.responses[0].value.as_set().unwrap().is_empty(),
         "blocked edge leaves 0 isolated"
     );
+}
+
+/// DRed re-derivation: deleting one arm of a diamond over-deletes every
+/// closure row derived through it, and the re-derivation phase must
+/// resurrect exactly the rows that still have an alternative derivation.
+/// `tc(1,4)` holds via both 1→2→4 and 1→3→4; removing edge 2→4 must keep
+/// it while retracting `tc(2,4)`, whose only derivation died.
+#[test]
+fn dred_keeps_rows_with_alternative_derivations() {
+    let program = graph_program();
+    let mut app = Transducer::new(program.clone()).unwrap();
+    app.set_eval_mode(EvalMode::Incremental);
+    for (a, b) in [(1i64, 2i64), (1, 3), (2, 4), (3, 4)] {
+        app.enqueue_ok("add", vec![Value::Int(a), Value::Int(b)]);
+    }
+    app.tick().unwrap();
+
+    app.enqueue_ok("rm", vec![Value::Int(2), Value::Int(4)]);
+    app.tick().unwrap();
+
+    app.enqueue_ok("ask", vec![Value::Int(1)]);
+    app.enqueue_ok("ask", vec![Value::Int(2)]);
+    let out = app.tick().unwrap();
+    let from_1: BTreeSet<Value> = out.responses[0]
+        .value
+        .as_set()
+        .unwrap()
+        .iter()
+        .cloned()
+        .collect();
+    assert_eq!(
+        from_1,
+        [2i64, 3, 4].into_iter().map(Value::Int).collect(),
+        "tc(1,4) survives the deletion via the 1→3→4 derivation"
+    );
+    assert!(
+        out.responses[1].value.as_set().unwrap().is_empty(),
+        "tc(2,4) had only the deleted derivation and must retract"
+    );
+
+    // The same scenario differentially, three ways, observing the
+    // intermediate states too.
+    let i = |x: i64| Value::Int(x);
+    let batches: Vec<Vec<Op>> = vec![
+        vec![("add", vec![i(1), i(2)]), ("add", vec![i(1), i(3)])],
+        vec![("add", vec![i(2), i(4)]), ("add", vec![i(3), i(4)])],
+        vec![("ask", vec![i(1)])],
+        vec![("rm", vec![i(2), i(4)])],
+        vec![("ask", vec![i(1)]), ("ask", vec![i(2)])],
+        vec![],
+    ];
+    ticks_agree3(&program, &batches);
 }
 
 /// The same deterministic scenario, differentially against both fresh
@@ -962,6 +1151,42 @@ proptest! {
     ) {
         let program = graph_program();
         ticks_agree(&program, &graph_ops(&raw), EvalMode::FreshSemiNaive);
+    }
+
+    /// The counting/DRed engine against the unit-recompute fallback and
+    /// the fresh reference at once, over the full graph workload:
+    /// counting on the negation-fed `live` stratum, DRed on the recursive
+    /// `tc` stratum, delta-keyed groups on the `reach` aggregate, and
+    /// negation *over* the recursion in `dead_end` — all under randomized
+    /// insert/delete/block/unblock churn.
+    #[test]
+    fn counting_dred_agree_with_recompute_and_fresh(
+        raw in prop::collection::vec((0u8..7, 0i64..5, 0i64..5), 0..28),
+    ) {
+        let program = graph_program();
+        ticks_agree3(&program, &graph_ops(&raw));
+    }
+
+    /// Delta-keyed aggregate-group maintenance under key churn: Sum
+    /// (fold retractions directly) and Min (group recount) over an
+    /// upserted keyed table, counting vs recompute vs fresh.
+    #[test]
+    fn counting_agg_groups_agree_with_recompute_and_fresh(
+        raw in prop::collection::vec((0u8..6, 0i64..4, 0i64..7), 0..28),
+    ) {
+        let program = agg_churn_program();
+        ticks_agree3(&program, &agg_ops(&raw));
+    }
+
+    /// The bank workload three ways: serialized-group rollbacks
+    /// interleave with counting maintenance, so an aborted group must
+    /// leave support counts exactly as if it never ran.
+    #[test]
+    fn bank_counting_agrees_with_recompute_and_fresh(
+        raw in prop::collection::vec((0u8..8, 0i64..4, 0i64..6), 0..28),
+    ) {
+        let program = bank_program();
+        ticks_agree3(&program, &bank_ops(&raw));
     }
 
     /// Rollback under the partial snapshot: randomized invariant-violating

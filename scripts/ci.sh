@@ -34,6 +34,22 @@ cargo test -q -p hydro-deploy --test fault_campaigns
 cargo test -q -p hydro-deploy campaign
 
 echo
+echo "== deletion-maintenance differential suites =="
+# The counting/DRed engine's pinning tests, by name, so a maintenance
+# divergence is unmissable in CI output: three-way (counting vs
+# unit-recompute vs fresh) proptests over graph churn, aggregate-group
+# churn, and rollback interleavings; the DRed alternative-derivation
+# scenario; SIP gating on the static reorder proof; and the N∈{1,2,4}
+# sharded churn runs.
+cargo test -q -p hydro-core --test seminaive_differential -- \
+  counting_dred_agree_with_recompute_and_fresh \
+  counting_agg_groups_agree_with_recompute_and_fresh \
+  bank_counting_agrees_with_recompute_and_fresh \
+  dred_keeps_rows_with_alternative_derivations
+cargo test -q -p hydro-core --lib sip_and_check_queries_are_gated_on_reorder_safety
+cargo test -q -p hydro-analysis --test sharded_differential sharded_churn_matches_single
+
+echo
 echo "== parallel-driver determinism tripwire =="
 # Run the sharded differential suite (single vs serial vs worker-thread
 # driver) twice and diff the normalized outputs. The vendored proptest
