@@ -1,0 +1,451 @@
+//! Differential testing of the open-loop serving layer
+//! ([`hydro_core::serve::ServeLoop`]) against direct driver runs.
+//!
+//! Two properties pin the micro-batching contract (see `serve.rs`
+//! module docs):
+//!
+//! * **Batched = serial at the same boundaries.** A `ServeLoop` run over
+//!   the serial or parallel N-shard driver (N ∈ {1, 2, 4}), with the
+//!   adaptive controller picking whatever batch boundaries it likes,
+//!   must be *bit-identical* — responses, sends, warnings, merged state
+//!   — to a single `Transducer` fed exactly those recorded batches, one
+//!   tick per batch. This is the serving-layer extension of the sharded
+//!   differential contract: the loop adds queueing and batching but no
+//!   observable semantics.
+//!
+//! * **Batch splits are invisible to the serialized single-entry
+//!   shape.** For the E20 serving shape — one `Serializable` `req`
+//!   multiplexer handler — *any* two batch partitions of the same
+//!   request sequence produce the same responses (per message), sends,
+//!   and final state, because each message executes against committed
+//!   mid-tick state and within-tick order is arrival order. (With
+//!   *multiple* serialized handlers the interpreter runs mailboxes
+//!   handler-major within a tick, so cross-handler arrival order — and
+//!   hence batch grouping — is observable; and snapshot-consistency
+//!   programs observe boundaries by design. For both, the
+//!   same-boundaries property above is the one that holds.)
+//!
+//! Everything runs on [`ServiceModel::Fixed`], so runs are bit-for-bit
+//! reproducible — `ci.sh` double-runs this suite and diffs the output.
+
+use hydro_core::builder::dsl::*;
+use hydro_core::builder::ProgramBuilder;
+use hydro_core::facets::ConsistencyReq;
+use hydro_core::serve::{
+    BatchPolicy, OfferOutcome, ServeConfig, ServeLoop, ServiceModel,
+};
+use hydro_core::shard::{ParallelShardedTransducer, RoutingSpec, ShardedTransducer};
+use hydro_core::{Program, TickOutput, Transducer, Value};
+use hydro_analysis::partition::{partition, HandlerClass, TableClass};
+use proptest::prelude::*;
+
+fn int(x: i64) -> Value {
+    Value::Int(x)
+}
+
+/// The E20 serving program shape: a keyed account store where every
+/// handler is `Serializable` — each message sees all previously
+/// committed effects, so micro-batch boundaries are unobservable
+/// (read-your-writes holds *within* a batch, which the eventual-
+/// consistency E16 shape deliberately does not give).
+fn serving_program() -> Program {
+    let ser = || Some(ConsistencyReq::serializable(vec![]));
+    ProgramBuilder::new()
+        .table(
+            "accounts",
+            vec![("id", atom()), ("bal", atom())],
+            &["id"],
+            Some("id"),
+        )
+        .rule(
+            "overdrawn",
+            vec![v("x")],
+            vec![scan("accounts", &["x", "b"]), guard(lt(v("b"), i(0)))],
+        )
+        .on_with(
+            "set",
+            &["k", "v"],
+            vec![insert("accounts", vec![v("k"), v("v")])],
+            ser(),
+        )
+        .on_with("close", &["k"], vec![delete("accounts", v("k"))], ser())
+        .on_with(
+            "bal",
+            &["k"],
+            vec![if_(
+                has_key("accounts", v("k")),
+                vec![ret(field("accounts", v("k"), "bal"))],
+                vec![ret(s("miss"))],
+            )],
+            ser(),
+        )
+        .build()
+}
+
+/// The E20 shape proper: the same account store behind a *single*
+/// serialized `req(op, k, v)` multiplexer (op 0 = set, 1 = close,
+/// else = balance read). With one entry handler, within-tick execution
+/// order is exactly arrival order, which is what makes *arbitrary*
+/// batch partitions unobservable (see module docs).
+fn req_program() -> Program {
+    ProgramBuilder::new()
+        .table(
+            "accounts",
+            vec![("id", atom()), ("bal", atom())],
+            &["id"],
+            Some("id"),
+        )
+        .rule(
+            "overdrawn",
+            vec![v("x")],
+            vec![scan("accounts", &["x", "b"]), guard(lt(v("b"), i(0)))],
+        )
+        .on_with(
+            "req",
+            &["op", "k", "v"],
+            vec![if_(
+                eq(v("op"), i(0)),
+                vec![insert("accounts", vec![v("k"), v("v")])],
+                vec![if_(
+                    eq(v("op"), i(1)),
+                    vec![delete("accounts", v("k"))],
+                    vec![if_(
+                        has_key("accounts", v("k")),
+                        vec![ret(field("accounts", v("k"), "bal"))],
+                        vec![ret(s("miss"))],
+                    )],
+                )],
+            )],
+            Some(ConsistencyReq::serializable(vec![])),
+        )
+        .build()
+}
+
+/// Decoded client request.
+#[derive(Clone, Debug)]
+enum Op {
+    Set(i64, i64),
+    Close(i64),
+    Bal(i64),
+}
+
+fn decode(raw: &[(u8, i64, i64)]) -> Vec<Op> {
+    raw.iter()
+        .map(|&(code, a, b)| match code % 4 {
+            0 | 1 => Op::Set(a, b),
+            2 => Op::Close(a),
+            _ => Op::Bal(a),
+        })
+        .collect()
+}
+
+fn request(op: &Op) -> (&'static str, Vec<Value>) {
+    match op {
+        Op::Set(k, v) => ("set", vec![int(*k), int(*v)]),
+        Op::Close(k) => ("close", vec![int(*k)]),
+        Op::Bal(k) => ("bal", vec![int(*k)]),
+    }
+}
+
+/// The same request encoded for the single-entry `req` multiplexer.
+fn req_request(op: &Op) -> (&'static str, Vec<Value>) {
+    match op {
+        Op::Set(k, v) => ("req", vec![int(0), int(*k), int(*v)]),
+        Op::Close(k) => ("req", vec![int(1), int(*k), int(0)]),
+        Op::Bal(k) => ("req", vec![int(2), int(*k), int(0)]),
+    }
+}
+
+/// Fixed, fully deterministic service model for differential runs.
+fn fixed_cfg() -> ServeConfig {
+    ServeConfig {
+        queue_cap: 1 << 16,
+        batch: BatchPolicy::Adaptive { cap: 8 },
+        batch_bytes: 1 << 16,
+        latency_target_ns: 1_000_000,
+        flush_delay_ns: 100_000,
+        service: ServiceModel::Fixed {
+            tick_ns: 50_000,
+            per_msg_ns: 5_000,
+        },
+        record_batches: true,
+    }
+}
+
+/// Replay recorded batch boundaries against a fresh single `Transducer`:
+/// one tick per batch, accumulating every output — the reference the
+/// serving loop must match bit-for-bit.
+fn replay_reference(program: &Program, batches: &[Vec<(String, Vec<Value>)>]) -> (TickOutput, Transducer) {
+    let mut t = Transducer::new(program.clone()).expect("program validates");
+    let mut acc = TickOutput::default();
+    for batch in batches {
+        for (mailbox, row) in batch {
+            t.enqueue(mailbox, row.clone()).expect("enqueue");
+        }
+        let out = t.tick().expect("tick");
+        acc.responses.extend(out.responses);
+        acc.sends.extend(out.sends);
+        acc.warnings.extend(out.warnings);
+        acc.messages_processed += out.messages_processed;
+    }
+    (acc, t)
+}
+
+/// Drive a serving loop over `ops` with proptest-chosen arrival gaps,
+/// drain it, and return (collected output, batch boundaries, merged
+/// state via `state_of`).
+#[allow(clippy::type_complexity)]
+fn serve_run<D: hydro_core::serve::ServeDriver>(
+    driver: D,
+    routing: RoutingSpec,
+    ops: &[Op],
+    gaps_ns: &[u64],
+) -> (TickOutput, Vec<Vec<(String, Vec<Value>)>>, ServeLoop<D>) {
+    let mut lp = ServeLoop::new(driver, routing, fixed_cfg());
+    let mut t = 0u64;
+    for (i, op) in ops.iter().enumerate() {
+        t += gaps_ns.get(i).copied().unwrap_or(10_000);
+        let (mailbox, row) = request(op);
+        let outcome = lp.offer(t, mailbox, row).expect("offer");
+        assert_eq!(outcome, OfferOutcome::Accepted, "queue_cap sized above load");
+    }
+    lp.drain().expect("drain");
+    let out = lp.take_output();
+    let batches = lp.take_batch_log();
+    (out, batches, lp)
+}
+
+/// The core differential: serving loop over the serial and parallel
+/// N-shard drivers vs the single-transducer replay of the loop's own
+/// batch boundaries.
+fn differential_serve(raw: &[(u8, i64, i64)], gaps: &[u64], shards: usize) {
+    let program = serving_program();
+    let report = partition(&program);
+    let routing = report.routing();
+    let ops = decode(raw);
+
+    let serial = ShardedTransducer::new(program.clone(), routing.clone(), shards)
+        .expect("program validates");
+    let (out_serial, batches_serial, lp_serial) =
+        serve_run(serial, routing.clone(), &ops, gaps);
+    let (ref_out, ref_t) = replay_reference(&program, &batches_serial);
+    assert_eq!(
+        out_serial, ref_out,
+        "serving loop over serial {shards}-shard driver diverges from the \
+         single-transducer replay of its own batches"
+    );
+    assert_eq!(
+        &lp_serial.driver().merged_state(),
+        ref_t.state(),
+        "merged state diverges after serving run (serial, N={shards})"
+    );
+
+    let parallel = ParallelShardedTransducer::new(program.clone(), routing.clone(), shards)
+        .expect("program validates");
+    let (out_par, batches_par, lp_par) = serve_run(parallel, routing.clone(), &ops, gaps);
+    // Batch boundaries are decided by the loop's virtual clock alone —
+    // identical across drivers under the Fixed model.
+    assert_eq!(
+        batches_serial, batches_par,
+        "batch boundaries must not depend on the driver (N={shards})"
+    );
+    assert_eq!(
+        out_par, ref_out,
+        "serving loop over parallel {shards}-worker driver diverges (N={shards})"
+    );
+    assert_eq!(
+        &lp_par.driver().merged_state(),
+        ref_t.state(),
+        "merged state diverges after serving run (parallel, N={shards})"
+    );
+}
+
+/// Tick a single transducer over `ops` split at the given batch sizes
+/// (cycled); returns accumulated output + final state. For comparing two
+/// arbitrary partitions of the same request stream.
+fn split_run(program: &Program, ops: &[Op], splits: &[usize]) -> (TickOutput, Transducer) {
+    let mut t = Transducer::new(program.clone()).expect("program validates");
+    let mut acc = TickOutput::default();
+    let mut i = 0usize;
+    let mut s = 0usize;
+    while i < ops.len() {
+        let take = splits.get(s % splits.len()).copied().unwrap_or(1).clamp(1, 64);
+        s += 1;
+        for op in ops.iter().skip(i).take(take) {
+            let (mailbox, row) = req_request(op);
+            t.enqueue(mailbox, row).expect("enqueue");
+        }
+        i += take;
+        let out = t.tick().expect("tick");
+        acc.responses.extend(out.responses);
+        acc.sends.extend(out.sends);
+        acc.warnings.extend(out.warnings);
+        acc.messages_processed += out.messages_processed;
+    }
+    (acc, t)
+}
+
+#[test]
+fn serving_program_partitions_shard_local() {
+    let report = partition(&serving_program());
+    for h in ["set", "close", "bal"] {
+        assert_eq!(
+            report.handlers[h],
+            HandlerClass::Local { param: 0 },
+            "serialized keyed handler {h} must stay shard-local: {:?}",
+            report.notes
+        );
+    }
+    assert_eq!(report.tables["accounts"], TableClass::Partitioned);
+    assert!(!report.requires_broadcast());
+
+    // The single-entry multiplexer shape is keyed by its second param.
+    let report = partition(&req_program());
+    assert_eq!(
+        report.handlers["req"],
+        HandlerClass::Local { param: 1 },
+        "req multiplexer must stay shard-local on k: {:?}",
+        report.notes
+    );
+    assert_eq!(report.tables["accounts"], TableClass::Partitioned);
+}
+
+#[test]
+fn backpressure_rejects_at_queue_cap_with_distinct_counter() {
+    let program = serving_program();
+    let routing = partition(&program).routing();
+    let driver = ShardedTransducer::new(program, routing.clone(), 2).expect("validates");
+    let mut cfg = fixed_cfg();
+    cfg.queue_cap = 4;
+    cfg.batch = BatchPolicy::Fixed(1);
+    // Make the server slow enough that a same-instant burst must pile up.
+    cfg.service = ServiceModel::Fixed {
+        tick_ns: 1_000_000,
+        per_msg_ns: 0,
+    };
+    let mut lp = ServeLoop::new(driver, routing, cfg);
+    let mut rejected = 0u64;
+    for k in 0..64 {
+        // All arrivals at t=1: no service can complete between offers.
+        match lp.offer(1, "set", vec![int(k), int(k)]).expect("offer") {
+            OfferOutcome::Accepted => {}
+            OfferOutcome::Overloaded => rejected += 1,
+        }
+    }
+    assert!(rejected > 0, "a 64-burst into 2×4 queue slots must shed");
+    let stats = lp.stats();
+    assert_eq!(stats.rejected_queue_full, rejected);
+    assert_eq!(stats.accepted + stats.rejected_queue_full, 64);
+    lp.drain().expect("drain");
+    let stats = lp.stats();
+    assert_eq!(
+        stats.completed, stats.accepted,
+        "every accepted request must eventually be served"
+    );
+    assert_eq!(lp.histogram().count(), stats.accepted);
+}
+
+#[test]
+fn fixed_model_runs_are_bit_identical_across_repeats() {
+    let raw: Vec<(u8, i64, i64)> = (0..200)
+        .map(|i| ((i % 7) as u8, (i * 13 % 23) as i64, (i * 5 % 11) as i64))
+        .collect();
+    let gaps: Vec<u64> = (0..200).map(|i| (i as u64 * 7919) % 40_000).collect();
+    let run = || {
+        let program = serving_program();
+        let routing = partition(&program).routing();
+        let driver =
+            ShardedTransducer::new(program, routing.clone(), 4).expect("validates");
+        let (out, batches, lp) = serve_run(driver, routing, &decode(&raw), &gaps);
+        let h = lp.histogram();
+        (
+            out,
+            batches,
+            lp.stats(),
+            (h.count(), h.max(), h.mean(), h.percentile(0.5), h.percentile(0.999)),
+            lp.virtual_now(),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0, "outputs must be bit-identical under the Fixed model");
+    assert_eq!(a.1, b.1, "batch boundaries must be bit-identical");
+    assert_eq!(a.2, b.2, "stats must be bit-identical");
+    assert_eq!(a.3, b.3, "histogram observables must be bit-identical");
+    assert_eq!(a.4, b.4, "virtual clocks must agree");
+}
+
+#[test]
+fn adaptive_batching_outpaces_batch_one_at_saturation_in_virtual_time() {
+    // Under a fixed service model with a dominant per-tick cost, a
+    // saturating burst must finish in far less virtual time with
+    // adaptive batching than at batch=1 — the deterministic mirror of
+    // the E20 saturation gate.
+    let n = 2_000i64;
+    let run = |batch: BatchPolicy| {
+        let program = serving_program();
+        let routing = partition(&program).routing();
+        let driver = ShardedTransducer::new(program, routing.clone(), 2).expect("validates");
+        let mut cfg = fixed_cfg();
+        cfg.batch = batch;
+        cfg.record_batches = false;
+        let mut lp = ServeLoop::new(driver, routing, cfg);
+        for k in 0..n {
+            lp.offer(1, "set", vec![int(k % 512), int(k)]).expect("offer");
+        }
+        lp.drain().expect("drain");
+        assert_eq!(lp.stats().completed, n as u64);
+        lp.virtual_now()
+    };
+    let t_one = run(BatchPolicy::Fixed(1));
+    let t_adaptive = run(BatchPolicy::Adaptive { cap: 512 });
+    assert!(
+        t_adaptive * 2 <= t_one,
+        "adaptive batching must be ≥2× faster at saturation: batch1={t_one}ns adaptive={t_adaptive}ns"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Batched (loop-chosen boundaries) = serial replay of those
+    /// boundaries, for the serial and parallel drivers at N ∈ {1, 2, 4}.
+    #[test]
+    fn serving_loop_matches_batch_replay(
+        raw in proptest::collection::vec((0u8..8, 0i64..24, -4i64..40), 1..80),
+        gaps in proptest::collection::vec(0u64..120_000, 1..80),
+        shards in prop_oneof![Just(1usize), Just(2), Just(4)],
+    ) {
+        differential_serve(&raw, &gaps, shards);
+    }
+
+    /// For the serialized single-entry-handler shape, any two batch
+    /// partitions of the same request stream agree on responses, sends,
+    /// and state. (Multi-handler programs don't get this — within a
+    /// tick, mailboxes run handler-major — which is why E20 serves
+    /// through one `req` multiplexer.)
+    #[test]
+    fn batch_splits_invisible_to_serialized_program(
+        raw in proptest::collection::vec((0u8..8, 0i64..16, -4i64..40), 1..100),
+        splits_a in proptest::collection::vec(1usize..9, 1..8),
+        splits_b in proptest::collection::vec(1usize..9, 1..8),
+    ) {
+        let program = req_program();
+        let ops = decode(&raw);
+        let (out_a, t_a) = split_run(&program, &ops, &splits_a);
+        let (out_b, t_b) = split_run(&program, &ops, &splits_b);
+        // Tick grouping may reorder responses across handlers within a
+        // tick, but each message's own responses are fixed: compare
+        // keyed by message id.
+        let key = |o: &TickOutput| {
+            let mut r = o.responses.clone();
+            r.sort_by_key(|x| x.message_id);
+            let mut s = o.sends.clone();
+            s.sort_by_key(|x| x.source_msg);
+            (r, s)
+        };
+        prop_assert_eq!(key(&out_a), key(&out_b), "batch split changed observable outputs");
+        prop_assert_eq!(out_a.messages_processed, out_b.messages_processed);
+        prop_assert_eq!(t_a.state(), t_b.state(), "batch split changed final state");
+    }
+}

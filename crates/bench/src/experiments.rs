@@ -1088,6 +1088,254 @@ pub fn e18_parallel() -> Table {
     }
 }
 
+/// The E20 serving program: the E16 account store behind a *single*
+/// serialized `req(op, k, v)` multiplexer (op 0 = upsert, 1 = close,
+/// else = balance read). One serialized entry handler is what makes
+/// micro-batch boundaries provably unobservable — within a tick,
+/// execution order equals arrival order and every message commits
+/// against mid-tick state (see `hydro_core::serve`'s module docs and
+/// the `serve_batching` differential suite) — so the serving layer may
+/// batch as aggressively as it likes without changing semantics.
+fn e20_serving_program() -> hydro_core::Program {
+    use hydro_core::builder::dsl::*;
+    use hydro_core::builder::ProgramBuilder;
+    use hydro_core::facets::ConsistencyReq;
+    ProgramBuilder::new()
+        .table(
+            "accounts",
+            vec![("id", atom()), ("bal", atom())],
+            &["id"],
+            Some("id"),
+        )
+        .rule(
+            "overdrawn",
+            vec![v("x")],
+            vec![scan("accounts", &["x", "b"]), guard(lt(v("b"), i(0)))],
+        )
+        .on_with(
+            "req",
+            &["op", "k", "v"],
+            vec![if_(
+                eq(v("op"), i(0)),
+                vec![insert("accounts", vec![v("k"), v("v")])],
+                vec![if_(
+                    eq(v("op"), i(1)),
+                    vec![delete("accounts", v("k"))],
+                    vec![if_(
+                        has_key("accounts", v("k")),
+                        vec![ret(field("accounts", v("k"), "bal"))],
+                        vec![ret(s("miss"))],
+                    )],
+                )],
+            )],
+            Some(ConsistencyReq::serializable(vec![])),
+        )
+        .build()
+}
+
+/// Measured outcomes of one E20 serving arm.
+struct E20Arm {
+    wall: std::time::Duration,
+    completed: u64,
+    p50_ns: u64,
+    p99_ns: u64,
+    p999_ns: u64,
+}
+
+/// Drive `n_ops` requests through a fresh [`hydro_core::serve::ServeLoop`]
+/// over `driver` and measure it. `open_rate` `Some(r)` draws open-loop
+/// Poisson arrivals at `r` msgs/sec (inter-arrival gaps from the vendored
+/// `rand_distr::Exp`); `None` offers the whole burst at one instant — the
+/// saturation shape. The op mix is 70% keyed upserts / 30% balance reads
+/// over the resident population (no closes, so the population is stable).
+/// Returns the measurements plus the driver for the next arm.
+fn e20_arm(
+    driver: hydro_core::shard::ParallelShardedTransducer,
+    routing: hydro_core::shard::RoutingSpec,
+    batch: hydro_core::serve::BatchPolicy,
+    resident: i64,
+    n_ops: usize,
+    open_rate: Option<f64>,
+    seed: u64,
+) -> (E20Arm, hydro_core::shard::ParallelShardedTransducer) {
+    use hydro_core::serve::{OfferOutcome, ServeConfig, ServeLoop, ServiceModel};
+    use rand::RngCore;
+    use rand_distr::{Distribution, Exp};
+    let cfg = ServeConfig {
+        queue_cap: 1 << 17,
+        batch,
+        latency_target_ns: 10_000_000,
+        service: ServiceModel::Measured,
+        record_batches: false,
+        ..ServeConfig::default()
+    };
+    let mut lp = ServeLoop::new(driver, routing, cfg);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gap = open_rate.map(|r| Exp::new(r / 1e9).expect("positive arrival rate"));
+    let mut t_ns = 0u64;
+    let t0 = Instant::now();
+    for _ in 0..n_ops {
+        if let Some(g) = &gap {
+            t_ns += g.sample(&mut rng) as u64;
+        }
+        let k = (rng.next_u64() % resident as u64) as i64;
+        let (op, val) = if rng.next_u64() % 10 < 7 { (0, k % 97) } else { (2, 0) };
+        let outcome = lp
+            .offer(
+                t_ns,
+                "req",
+                vec![Value::Int(op), Value::Int(k), Value::Int(val)],
+            )
+            .expect("offer");
+        assert_eq!(outcome, OfferOutcome::Accepted, "queue is sized above the burst");
+    }
+    lp.drain().expect("drain");
+    let wall = t0.elapsed();
+    let _ = lp.take_output();
+    let stats = lp.stats();
+    assert_eq!(stats.completed, n_ops as u64, "every accepted request served");
+    let h = lp.histogram();
+    let arm = E20Arm {
+        wall,
+        completed: stats.completed,
+        p50_ns: h.percentile(0.5),
+        p99_ns: h.percentile(0.99),
+        p999_ns: h.percentile(0.999),
+    };
+    (arm, lp.into_inner())
+}
+
+/// One full E20 run at a worker count: preload the resident population,
+/// then three arms over the *same* warm driver — saturation at batch=1,
+/// saturation with adaptive batching (identical op stream), and an
+/// open-loop Poisson arm at half the measured adaptive saturation rate
+/// (the sustainable-rate latency measurement).
+struct E20Run {
+    batch1: E20Arm,
+    adaptive: E20Arm,
+    open: E20Arm,
+    open_rate: f64,
+    rows: usize,
+    preload_wall: std::time::Duration,
+}
+
+fn e20_run(workers: usize, resident: i64, burst: usize) -> E20Run {
+    use hydro_core::serve::BatchPolicy;
+    let program = e20_serving_program();
+    let routing = hydro_analysis::partition::partition(&program).routing();
+    let mut driver =
+        hydro_analysis::partition::parallel_sharded(&program, workers).expect("program validates");
+    let t0 = Instant::now();
+    let chunk = 250_000i64;
+    let mut k = 0i64;
+    while k < resident {
+        let hi = (k + chunk).min(resident);
+        for key in k..hi {
+            driver.enqueue_ok("req", vec![Value::Int(0), Value::Int(key), Value::Int(key % 97)]);
+        }
+        driver.tick().expect("preload tick");
+        k = hi;
+    }
+    // Absorb the deferred view fold outside the measurement, as E16 does.
+    driver.tick().expect("warm-up tick");
+    let preload_wall = t0.elapsed();
+
+    let (batch1, driver) = e20_arm(
+        driver,
+        routing.clone(),
+        BatchPolicy::Fixed(1),
+        resident,
+        burst,
+        None,
+        0xE20,
+    );
+    let (adaptive, driver) = e20_arm(
+        driver,
+        routing.clone(),
+        BatchPolicy::Adaptive { cap: 512 },
+        resident,
+        burst,
+        None,
+        0xE20,
+    );
+    let sat_rate = adaptive.completed as f64 / adaptive.wall.as_secs_f64();
+    let open_rate = sat_rate * 0.5;
+    let (open, driver) = e20_arm(
+        driver,
+        routing,
+        BatchPolicy::Adaptive { cap: 512 },
+        resident,
+        burst,
+        Some(open_rate),
+        0xE21,
+    );
+    let rows = driver
+        .merged_state()
+        .tables
+        .get("accounts")
+        .map_or(0, std::collections::BTreeMap::len);
+    E20Run {
+        batch1,
+        adaptive,
+        open,
+        open_rate,
+        rows,
+        preload_wall,
+    }
+}
+
+/// E20: the open-loop serving layer — event-loop ingress with adaptive
+/// micro-batching over the worker-thread sharded runtime at 1M resident
+/// keys. Saturation arms compare sustained msgs/sec at batch=1 vs the
+/// adaptive controller (identical op streams); the open-loop arm measures
+/// enqueue→reply latency percentiles (virtual clock over measured tick
+/// service) under Poisson arrivals at half the measured saturation rate.
+/// On a noisy host read absolute latencies as trend-level; the
+/// batch1-vs-adaptive ratio is the headline.
+pub fn e20_serving() -> Table {
+    let (resident, burst) = (1_000_000i64, 6_000usize);
+    let mut rows = Vec::new();
+    for w in [1usize, 2, 4] {
+        let run = e20_run(w, resident, burst);
+        assert_eq!(run.rows as i64, resident, "resident population intact");
+        let rate = |a: &E20Arm| a.completed as f64 / a.wall.as_secs_f64();
+        let ms = |ns: u64| format!("{:.3}", ns as f64 / 1e6);
+        rows.push(vec![
+            "sat batch=1".into(),
+            format!("{w}"),
+            format!("{:.0}", rate(&run.batch1)),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+        ]);
+        rows.push(vec![
+            "sat adaptive".into(),
+            format!("{w}"),
+            format!("{:.0}", rate(&run.adaptive)),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+        ]);
+        rows.push(vec![
+            format!("open-loop @{:.0}/s", run.open_rate),
+            format!("{w}"),
+            format!("{:.0}", rate(&run.open)),
+            ms(run.open.p50_ns),
+            ms(run.open.p99_ns),
+            ms(run.open.p999_ns),
+        ]);
+    }
+    Table {
+        title: "E20 open-loop serving: adaptive micro-batching vs batch=1 \
+                at 1M resident keys (event-loop ingress, Poisson arrivals)"
+            .into(),
+        headers: ["arm", "workers", "msgs/s", "p50 ms", "p99 ms", "p999 ms"]
+            .map(String::from)
+            .to_vec(),
+        rows,
+    }
+}
+
 /// E17: fault-tolerant failover — seeded kill/isolate campaigns against
 /// the replicated sharded deployment. Measures recovery time (virtual µs
 /// from kill to the router promoting the backup) and verifies the
@@ -1268,6 +1516,49 @@ pub fn interp_bench_records() -> Vec<BenchRecord> {
                 true,
             );
             records.push(rec("e18_exchange_workers", n as i64, wall, msgs));
+        }
+    }
+
+    // E20: open-loop serving at 1M resident keys. n is the worker count.
+    // `e20_sat_*` are the saturation arms (items = messages served; the
+    // adaptive/batch1 msgs-per-sec ratio is bench_smoke's gate);
+    // `e20_open_p*` records carry the open-loop latency percentile in
+    // wall_ms (items = messages served at half the measured saturation
+    // rate); `e20_resident_keys` pins the population (items = rows) and
+    // carries the preload wall time.
+    {
+        let (resident, burst) = (1_000_000i64, 6_000usize);
+        for w in [1usize, 2, 4] {
+            let run = e20_run(w, resident, burst);
+            assert_eq!(
+                run.rows as i64, resident,
+                "E20 resident population must survive the serving arms"
+            );
+            records.push(rec("e20_sat_batch1", w as i64, run.batch1.wall, run.batch1.completed));
+            records.push(rec(
+                "e20_sat_adaptive",
+                w as i64,
+                run.adaptive.wall,
+                run.adaptive.completed,
+            ));
+            for (label, ns) in [
+                ("e20_open_p50", run.open.p50_ns),
+                ("e20_open_p99", run.open.p99_ns),
+                ("e20_open_p999", run.open.p999_ns),
+            ] {
+                records.push(rec(
+                    label,
+                    w as i64,
+                    std::time::Duration::from_nanos(ns),
+                    run.open.completed,
+                ));
+            }
+            records.push(rec(
+                "e20_resident_keys",
+                w as i64,
+                run.preload_wall,
+                run.rows as u64,
+            ));
         }
     }
 
@@ -1875,6 +2166,7 @@ pub fn experiment_registry() -> Vec<(&'static str, fn() -> Table)> {
         ("e17", e17_failover),
         ("e18", e18_parallel),
         ("e19", e19_churn),
+        ("e20", e20_serving),
     ]
 }
 

@@ -496,9 +496,13 @@ pub struct State {
 
 /// Hash-map mirrors of the parts of [`State`] that *serialized* handlers
 /// read mid-tick (table key indexes and scalars). Built at most once per
-/// tick — on the first serialized message — and maintained incrementally
-/// as each effect commits, instead of re-snapshotting the whole state per
-/// message (the old `build_key_indexes`-from-scratch path).
+/// **transducer** — on the first serialized message, by cloning the
+/// tick-start snapshot — then kept on [`Transducer::serial_mirror`] and
+/// maintained incrementally as each effect commits (serialized *and*
+/// deferred), instead of re-snapshotting the whole state per tick. The
+/// one-time clone costs O(resident state); every subsequent tick pays
+/// only O(effects), which is what lets serialized handlers serve
+/// million-key tables at micro-batch granularity.
 #[derive(Clone, Default)]
 struct TickMirror {
     key_index: FxHashMap<String, FxHashMap<Row, Row>>,
@@ -567,9 +571,10 @@ struct PendingDeltas {
     /// regardless of `enabled`: the recovery journal tracks committed
     /// state for replay, whatever evaluation engine runs the ticks.
     journal: Option<JournalNotes>,
-    /// Recycled per-table first-touch maps: the incremental tick's fold
-    /// drains `tables` and returns the emptied inner maps here, so a
-    /// steady-state tick's journal recording allocates no fresh maps.
+    /// Recycled per-table first-touch maps, shared by both consumers: the
+    /// incremental tick's fold and [`Transducer::take_journal_delta`]
+    /// drain their `tables` and return the emptied inner maps here, so a
+    /// steady-state tick's delta recording allocates no fresh maps.
     table_pool: Vec<FxHashMap<Row, Option<Row>>>,
 }
 
@@ -623,7 +628,11 @@ impl PendingDeltas {
             }
         }
         if let Some(j) = &mut self.journal {
-            let slot = j.tables.entry(table.to_string()).or_default();
+            if !j.tables.contains_key(table) {
+                let slot = self.table_pool.pop().unwrap_or_default();
+                j.tables.insert(table.to_string(), slot);
+            }
+            let slot = j.tables.get_mut(table).expect("just inserted");
             if !slot.contains_key(key) {
                 slot.insert(key.clone(), old.cloned());
             }
@@ -924,6 +933,17 @@ pub struct Transducer {
     /// [`EvalState::set_counting`]). On by default; off, retractions fall
     /// back to unit recompute — the differential reference.
     counting: bool,
+    /// Persistent serialized-handler mirror (see [`TickMirror`]): built
+    /// once — a clone of the key indexes and scalars on the first
+    /// serialized message this instance ever runs — then maintained
+    /// incrementally through every committed effect, including the
+    /// deferred end-of-tick commits. Without persistence the serving hot
+    /// path would re-clone the full key index every tick that carries a
+    /// serialized message, a cost proportional to *resident state* (ruinous
+    /// at millions of keys) rather than to the tick's batch. Dropped (and
+    /// lazily rebuilt) when state changes outside the effect pipeline:
+    /// exchange-received foreign rows and evaluation errors.
+    serial_mirror: Option<TickMirror>,
 }
 
 impl Transducer {
@@ -967,6 +987,7 @@ impl Transducer {
             exchange_in: FxHashMap::default(),
             skip_view_heads: std::collections::BTreeSet::new(),
             counting: true,
+            serial_mirror: None,
         }
     }
 
@@ -1175,6 +1196,12 @@ impl Transducer {
     /// retransmission of the same delta) before the next tick is safe —
     /// shard partitions are key-disjoint and entries are idempotent.
     pub fn apply_exchange_delta(&mut self, delta: ExchangeDelta) {
+        // Foreign rows land in the key indexes that serialized handlers
+        // read, but arrive outside the effect pipeline that maintains the
+        // persistent mirror — drop it and let the next serialized message
+        // re-clone. (Exchange-configured gather shards paid the per-tick
+        // clone before this mirror persisted; they are no worse off.)
+        self.serial_mirror = None;
         for (table, rows) in delta {
             // Exchange deltas ship *net* signed rows (`Some` = upsert,
             // `None` = retraction), sorted and key-unique by construction
@@ -1257,9 +1284,15 @@ impl Transducer {
         {
             return None;
         }
-        let tables = std::mem::take(&mut j.tables);
-        let scalars = std::mem::take(&mut j.scalars);
-        let mailboxes = std::mem::take(&mut j.mailboxes);
+        // Take the note maps out (releasing the `self.pending` borrow so
+        // state lookups below can run), drain them rather than consuming
+        // them, and hand the emptied maps back — the outer maps to the
+        // journal, the per-table first-touch maps to the shared
+        // `table_pool` — so a steady-state drain cycle allocates no fresh
+        // maps (the serving loop drains once per micro-batch tick).
+        let mut tables = std::mem::take(&mut j.tables);
+        let mut scalars = std::mem::take(&mut j.scalars);
+        let mut mailboxes = std::mem::take(&mut j.mailboxes);
         j.last_next_msg_id = self.next_msg_id;
         j.last_tick_no = self.tick_no;
 
@@ -1268,18 +1301,19 @@ impl Transducer {
             tick_no: self.tick_no,
             ..JournalDelta::default()
         };
-        for (table, keys) in tables {
+        for (table, mut keys) in tables.drain() {
             let current = self.state.tables.get(&table);
-            for (key, old) in keys {
+            for (key, old) in keys.drain() {
                 let new = current.and_then(|t| t.get(&key));
                 if old.as_ref() == new {
                     continue; // rolled back / rewritten to the original
                 }
                 delta.tables.push((table.clone(), key, new.cloned()));
             }
+            self.pending.table_pool.push(keys);
         }
         delta.tables.sort();
-        for (name, old) in scalars {
+        for (name, old) in scalars.drain() {
             let current = self.state.scalars.get(&name);
             if current == Some(&old) {
                 continue;
@@ -1289,11 +1323,15 @@ impl Transducer {
             }
         }
         delta.scalars.sort();
-        for m in mailboxes {
+        for m in mailboxes.drain() {
             let queue = self.mailboxes.get(&m).cloned().unwrap_or_default();
             delta.mailboxes.push((m, queue));
         }
         delta.mailboxes.sort_by(|a, b| a.0.cmp(&b.0));
+        let j = self.pending.journal.as_mut().expect("journal still on");
+        j.tables = tables;
+        j.scalars = scalars;
+        j.mailboxes = mailboxes;
         Some(delta)
     }
 
@@ -1573,12 +1611,15 @@ impl Transducer {
         // 3: run handlers against the snapshot, recording effects. Tables
         // written anywhere this tick are collected for FD monitoring.
         // Serialized handlers additionally read committed mid-tick state
-        // through `mirror`, built lazily on the first serialized message
-        // and updated incrementally as effects land.
+        // through `mirror` — the *persistent* mirror carried across ticks
+        // on `self.serial_mirror` (taken here, put back at the end), built
+        // lazily on the first serialized message ever and updated
+        // incrementally as effects land. An early error return leaves it
+        // `None`; the next serialized message re-clones.
         let mut groups: Vec<EffectGroup> = Vec::new();
         let mut touched: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
         let mut out = TickOutput::default();
-        let mut mirror: Option<TickMirror> = None;
+        let mut mirror: Option<TickMirror> = self.serial_mirror.take();
         // One frame for the whole handler phase: reset (cheap — a handful
         // of slots) and refilled per invocation. Param binding is an
         // indexed store; no per-message map allocation or string hashing.
@@ -1715,14 +1756,16 @@ impl Transducer {
         }
 
         // 4: apply effects atomically; invariant groups transactionally.
-        // The serialized-handler mirror is dead past this point, so these
-        // commits skip mirror maintenance.
+        // The serialized-handler mirror survives the tick now, so these
+        // commits maintain it too — it must keep tracking committed state
+        // for the next tick's serialized messages.
         for group in &groups {
             touched.extend(touched_tables(&group.effects));
         }
         for group in groups {
-            self.apply_group(group, &mut out, None)?;
+            self.apply_group(group, &mut out, mirror.as_mut())?;
         }
+        self.serial_mirror = mirror;
 
         // 5: functional dependencies (§5 relational constraints) are
         // monitored on every table written this tick. Transactional

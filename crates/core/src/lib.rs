@@ -39,6 +39,7 @@ pub mod examples;
 pub mod facets;
 pub mod interp;
 pub mod reorder;
+pub mod serve;
 pub mod shard;
 pub mod value;
 

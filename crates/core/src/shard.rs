@@ -185,6 +185,7 @@ pub struct ShardedTransducer {
     routing: RoutingSpec,
     shards: Vec<Transducer>,
     next_msg_id: u64,
+    merge_scratch: MergeScratch,
 }
 
 impl ShardedTransducer {
@@ -209,6 +210,7 @@ impl ShardedTransducer {
             routing,
             shards,
             next_msg_id: 1,
+            merge_scratch: MergeScratch::default(),
         }
     }
 
@@ -293,7 +295,7 @@ impl ShardedTransducer {
                 }
             }
         }
-        Ok(merge_tick_outputs(&self.core, outs))
+        Ok(merge_tick_outputs(&self.core, outs, &mut self.merge_scratch))
     }
 
     /// The union of all shards' states: partitioned tables are disjoint
@@ -346,99 +348,140 @@ fn merge_states(mut states: Vec<State>) -> State {
     state
 }
 
+/// Pooled scratch for [`merge_tick_outputs`]: the handler × shard bucket
+/// vectors and the handler-name index, owned by each sharded driver and
+/// reused across ticks. Buckets hold `u32` *indices* into the per-shard
+/// outputs rather than borrows, so the scratch has no lifetime tie to any
+/// one tick and a steady-state merge allocates nothing (the serving loop
+/// merges once per micro-batch tick — this was the top per-tick
+/// allocation hot spot at batch=1).
+#[derive(Default)]
+struct MergeScratch {
+    /// handler → shard → indices into that shard's `responses`.
+    resp: Vec<Vec<Vec<u32>>>,
+    /// handler → shard → indices into that shard's `sends`.
+    send: Vec<Vec<Vec<u32>>>,
+    /// Handler name → program-order index, built on first use (the
+    /// handler set is fixed per core).
+    handler_idx: rustc_hash::FxHashMap<String, usize>,
+}
+
+impl MergeScratch {
+    /// Size the buckets for this tick's shape and clear them in place
+    /// (inner vectors keep their capacity).
+    fn reset(&mut self, core: &ProgramCore, shards: usize) {
+        let handlers = &core.program().handlers;
+        if self.handler_idx.is_empty() {
+            for (i, h) in handlers.iter().enumerate() {
+                self.handler_idx.insert(h.name.clone(), i);
+            }
+        }
+        for buckets in [&mut self.resp, &mut self.send] {
+            buckets.resize_with(handlers.len(), Vec::new);
+            for per_shard in buckets.iter_mut() {
+                per_shard.resize_with(shards, Vec::new);
+                for idxs in per_shard.iter_mut() {
+                    idxs.clear();
+                }
+            }
+        }
+    }
+}
+
 /// Deterministically merge per-shard tick outputs, `outs` in shard order
 /// (see the module docs). Shared by the serial and parallel drivers —
 /// bit-identical merging is the whole determinism story, so there is
 /// exactly one implementation.
-fn merge_tick_outputs(core: &ProgramCore, outs: Vec<TickOutput>) -> TickOutput {
+fn merge_tick_outputs(
+    core: &ProgramCore,
+    outs: Vec<TickOutput>,
+    scratch: &mut MergeScratch,
+) -> TickOutput {
     let mut merged = TickOutput {
         messages_processed: outs.iter().map(|o| o.messages_processed).sum(),
         ..TickOutput::default()
     };
+    scratch.reset(core, outs.len());
     // Responses: the single-node order is (handler in program order,
     // then message id). Each shard already emits that order over its
     // message subset, so bucketing every response by handler in one
     // pass and then merging each handler's per-shard runs by leading
     // message id reconstructs it exactly; responses of one message
     // stay contiguous (they come from a single shard).
-    let handlers = &core.program().handlers;
-    let handler_idx: std::collections::BTreeMap<&str, usize> = handlers
-            .iter()
-            .enumerate()
-            .map(|(i, h)| (h.name.as_str(), i))
-            .collect();
-        let mut buckets: Vec<Vec<Vec<&crate::interp::Response>>> =
-            vec![vec![Vec::new(); outs.len()]; handlers.len()];
-        for (shard, out) in outs.iter().enumerate() {
-            for r in &out.responses {
-                let hi = handler_idx[r.handler.as_str()];
-                buckets[hi][shard].push(r);
-            }
+    for (shard, out) in outs.iter().enumerate() {
+        debug_assert!(out.responses.len() < u32::MAX as usize);
+        for (i, r) in out.responses.iter().enumerate() {
+            let hi = scratch.handler_idx[r.handler.as_str()];
+            scratch.resp[hi][shard].push(i as u32);
         }
-        for per_shard in &buckets {
-            let mut runs: Vec<std::iter::Peekable<_>> = per_shard
-                .iter()
-                .map(|rs| rs.iter().peekable())
-                .collect();
-            loop {
-                let next = runs
-                    .iter_mut()
-                    .enumerate()
-                    .filter_map(|(i, it)| it.peek().map(|r| (r.message_id, i)))
-                    .min();
-                let Some((id, i)) = next else { break };
-                while let Some(r) = runs[i].peek() {
-                    if r.message_id != id {
-                        break;
-                    }
-                    merged.responses.push((**r).clone());
-                    runs[i].next();
-                }
-            }
-        }
-        // Sends: same reconstruction, keyed by the producing invocation's
-        // provenance ([`crate::interp::SendOut::handler`] +
-        // [`crate::interp::SendOut::source_msg`]). Each shard emits its
-        // sends in (handler program order, message id, statement order);
-        // bucketing by handler and merging each handler's per-shard runs
-        // by source message id — keeping one invocation's sends contiguous
-        // — is exactly the single-node emission order. Condition-handler
-        // sends (source id 0) only ever come from shard 0, so they can't
-        // collide across runs.
-        let mut send_buckets: Vec<Vec<Vec<&crate::interp::SendOut>>> =
-            vec![vec![Vec::new(); outs.len()]; handlers.len()];
-        for (shard, out) in outs.iter().enumerate() {
-            for s in &out.sends {
-                let hi = handler_idx[s.handler.as_str()];
-                send_buckets[hi][shard].push(s);
-            }
-        }
-        for per_shard in &send_buckets {
-            let mut runs: Vec<std::iter::Peekable<_>> = per_shard
-                .iter()
-                .map(|ss| ss.iter().peekable())
-                .collect();
-            loop {
-                let next = runs
-                    .iter_mut()
-                    .enumerate()
-                    .filter_map(|(i, it)| it.peek().map(|s| (s.source_msg, i)))
-                    .min();
-                let Some((id, i)) = next else { break };
-                while let Some(s) = runs[i].peek() {
-                    if s.source_msg != id {
-                        break;
-                    }
-                    merged.sends.push((**s).clone());
-                    runs[i].next();
-                }
-            }
-        }
-        for out in outs {
-            merged.warnings.extend(out.warnings);
-        }
-        merged
     }
+    for per_shard in &scratch.resp {
+        let mut runs: Vec<std::iter::Peekable<std::slice::Iter<'_, u32>>> =
+            per_shard.iter().map(|idxs| idxs.iter().peekable()).collect();
+        loop {
+            let next = runs
+                .iter_mut()
+                .enumerate()
+                .filter_map(|(i, it)| {
+                    it.peek()
+                        .map(|&&idx| (outs[i].responses[idx as usize].message_id, i))
+                })
+                .min();
+            let Some((id, i)) = next else { break };
+            while let Some(&&idx) = runs[i].peek() {
+                let r = &outs[i].responses[idx as usize];
+                if r.message_id != id {
+                    break;
+                }
+                merged.responses.push(r.clone());
+                runs[i].next();
+            }
+        }
+    }
+    // Sends: same reconstruction, keyed by the producing invocation's
+    // provenance ([`crate::interp::SendOut::handler`] +
+    // [`crate::interp::SendOut::source_msg`]). Each shard emits its
+    // sends in (handler program order, message id, statement order);
+    // bucketing by handler and merging each handler's per-shard runs
+    // by source message id — keeping one invocation's sends contiguous
+    // — is exactly the single-node emission order. Condition-handler
+    // sends (source id 0) only ever come from shard 0, so they can't
+    // collide across runs.
+    for (shard, out) in outs.iter().enumerate() {
+        debug_assert!(out.sends.len() < u32::MAX as usize);
+        for (i, s) in out.sends.iter().enumerate() {
+            let hi = scratch.handler_idx[s.handler.as_str()];
+            scratch.send[hi][shard].push(i as u32);
+        }
+    }
+    for per_shard in &scratch.send {
+        let mut runs: Vec<std::iter::Peekable<std::slice::Iter<'_, u32>>> =
+            per_shard.iter().map(|idxs| idxs.iter().peekable()).collect();
+        loop {
+            let next = runs
+                .iter_mut()
+                .enumerate()
+                .filter_map(|(i, it)| {
+                    it.peek()
+                        .map(|&&idx| (outs[i].sends[idx as usize].source_msg, i))
+                })
+                .min();
+            let Some((id, i)) = next else { break };
+            while let Some(&&idx) = runs[i].peek() {
+                let s = &outs[i].sends[idx as usize];
+                if s.source_msg != id {
+                    break;
+                }
+                merged.sends.push(s.clone());
+                runs[i].next();
+            }
+        }
+    }
+    for out in outs {
+        merged.warnings.extend(out.warnings);
+    }
+    merged
+}
 
 impl ShardedTransducer {
     /// Read a scalar (scalars are global: shard 0 owns them).
@@ -572,6 +615,7 @@ pub struct ParallelShardedTransducer {
     last_pending: Vec<usize>,
     /// Messages routed since the last tick (they drain at the next one).
     enqueued_since: usize,
+    merge_scratch: MergeScratch,
 }
 
 impl ParallelShardedTransducer {
@@ -621,6 +665,7 @@ impl ParallelShardedTransducer {
             workers,
             last_pending: vec![0; shards],
             enqueued_since: 0,
+            merge_scratch: MergeScratch::default(),
         }
     }
 
@@ -725,7 +770,7 @@ impl ParallelShardedTransducer {
             .into_iter()
             .map(|o| o.expect("every shard reported exactly once"))
             .collect();
-        Ok(merge_tick_outputs(&self.core, outs))
+        Ok(merge_tick_outputs(&self.core, outs, &mut self.merge_scratch))
     }
 
     /// Snapshot and merge every shard's state (see

@@ -65,9 +65,9 @@
 //! cuts.
 
 use crate::node::{
-    ledger, BackupNode, NetMsg, ProxyLedger, ProxyNode, RetryCfg, RouterNode, RouterStatus,
-    SequencerNode, TransducerHandle, TransducerNode, HB_CHECK_TIMER, HB_TIMER, REPL_TIMER,
-    TICK_TIMER,
+    ledger, BackupNode, IngressCfg, NetMsg, ProxyLedger, ProxyNode, RetryCfg, RouterNode,
+    RouterStatus, SequencerNode, TransducerHandle, TransducerNode, HB_CHECK_TIMER, HB_TIMER,
+    INGRESS_TIMER, REPL_TIMER, TICK_TIMER,
 };
 use hydro_analysis::classify;
 use hydro_analysis::partition::{partition, partition_with, ExchangePolicy, PartitionReport};
@@ -109,6 +109,12 @@ pub struct DeployConfig {
     pub retry_budget: u32,
     /// Backup log compaction cadence (deltas per checkpoint).
     pub checkpoint_every: usize,
+    /// Bounded per-shard ingress queueing at the router (`None` =
+    /// forward immediately, the historical behavior). When set, the
+    /// router parks requests and flushes them in micro-batches; a full
+    /// queue sheds with `OVERLOADED`, counted distinctly in
+    /// [`crate::node::RouterStatusInner::shed_queue_full`].
+    pub ingress: Option<IngressCfg>,
 }
 
 impl Default for DeployConfig {
@@ -125,6 +131,7 @@ impl Default for DeployConfig {
             retry_max_us: 120_000,
             retry_budget: 8,
             checkpoint_every: 32,
+            ingress: None,
         }
     }
 }
@@ -454,6 +461,9 @@ pub fn deploy_sharded(
                 budget: config.retry_budget,
             });
     }
+    if let Some(ing) = config.ingress {
+        router_node = router_node.with_ingress(ing);
+    }
     let ledger = router_node.ledger();
     let status = router_node.status();
     let router = sim.add_node(router_node, DomainPath::new(INFRA_AZ, 0, 0));
@@ -508,6 +518,9 @@ pub fn deploy_sharded(
     if config.replicate_shards {
         sim.start_timer(router, HB_CHECK_TIMER, config.heartbeat_timeout_us / 2);
     }
+    if let Some(ing) = config.ingress {
+        sim.start_timer(router, INGRESS_TIMER, ing.flush_every_us.max(1));
+    }
 
     ShardedDeployment {
         sim,
@@ -537,6 +550,26 @@ impl ShardedDeployment {
                 row,
                 reply_to: self.router,
             },
+        );
+        request_id
+    }
+
+    /// Submit a client request scheduled to *arrive* at the router at an
+    /// absolute virtual time — the open-loop injection path: an arrival
+    /// process can stamp its whole schedule up front, independent of how
+    /// fast the cluster drains. Returns the request id.
+    pub fn client_request_at(&mut self, mailbox: &str, row: Row, at: SimTime) -> u64 {
+        let request_id = self.next_request;
+        self.next_request += 1;
+        self.sim.send_external_at(
+            self.router,
+            NetMsg::Request {
+                request_id,
+                mailbox: mailbox.to_string(),
+                row,
+                reply_to: self.router,
+            },
+            at,
         );
         request_id
     }

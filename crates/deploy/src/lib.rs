@@ -39,6 +39,6 @@ pub use deployment::{
     deploy, deploy_parallel, deploy_sharded, DeployConfig, Deployment, ShardedDeployment,
 };
 pub use node::{
-    BackupNode, NetMsg, ProxyNode, RetryCfg, RouterNode, RouterStatus, RouterStatusInner,
-    SequencerNode, TransducerNode,
+    BackupNode, IngressCfg, NetMsg, ProxyNode, RetryCfg, RouterNode, RouterStatus,
+    RouterStatusInner, SequencerNode, TransducerNode,
 };

@@ -156,6 +156,8 @@ pub const HB_CHECK_TIMER: u64 = 2;
 /// High-bit flag marking a router timer as a per-request retry alarm;
 /// the low bits carry the request id. Request ids stay well below 2^63.
 pub const RETRY_TIMER_FLAG: u64 = 1 << 63;
+/// Timer id for the router's ingress micro-batch flush loop.
+pub const INGRESS_TIMER: u64 = 4;
 
 /// One output a tick produced, possibly held back until the backup acks
 /// the journal record covering it (synchronous replication).
@@ -867,6 +869,8 @@ pub struct RouterNode {
     retry: Option<RetryCfg>,
     /// Unanswered requests eligible for retry.
     outstanding: FxHashMap<u64, OutstandingReq>,
+    /// Bounded per-shard ingress queues, when enabled.
+    ingress: Option<IngressState>,
     /// Shared fault-handling counters.
     status: RouterStatus,
 }
@@ -888,13 +892,54 @@ struct OutstandingReq {
     attempts: u32,
 }
 
+/// Bounded per-shard ingress queueing at the router (the deploy-layer
+/// mirror of `hydro_core::serve`'s backpressure contract): requests are
+/// parked in a per-shard queue and flushed to the owning shard in
+/// micro-batches on a timer, and a full queue sheds with an immediate
+/// `OVERLOADED` reply counted in
+/// [`RouterStatusInner::shed_queue_full`].
+#[derive(Clone, Copy, Debug)]
+pub struct IngressCfg {
+    /// Per-shard queue capacity; arrivals beyond it are shed.
+    pub queue_cap: usize,
+    /// Flush cadence (µs of virtual time).
+    pub flush_every_us: u64,
+    /// Max requests forwarded to one shard per flush.
+    pub batch_max: usize,
+}
+
+impl Default for IngressCfg {
+    fn default() -> Self {
+        IngressCfg {
+            queue_cap: 1024,
+            flush_every_us: 500,
+            batch_max: 64,
+        }
+    }
+}
+
+struct IngressState {
+    cfg: IngressCfg,
+    /// Parked requests per shard: (request id, mailbox, row).
+    queues: Vec<std::collections::VecDeque<(u64, String, Row)>>,
+}
+
 /// Shared, inspectable fault-handling state of a [`RouterNode`].
 #[derive(Clone, Debug, Default)]
 pub struct RouterStatusInner {
     /// Promotion time per partition (`None` = primary still owns it).
     pub promoted_at: Vec<Option<u64>>,
-    /// Requests shed with an immediate `OVERLOADED` reply.
+    /// Requests shed with an immediate `OVERLOADED` reply because the
+    /// target partition had **no live owner**. Backpressure sheds are
+    /// counted separately in [`shed_queue_full`](Self::shed_queue_full) —
+    /// the two have different remedies (capacity vs. repair), so folding
+    /// them together would make the operator signal useless.
     pub shed: u64,
+    /// Requests shed with an immediate `OVERLOADED` reply because the
+    /// owning shard's bounded ingress queue was full (see
+    /// [`RouterNode::with_ingress`]): the load signal, distinct from the
+    /// availability signal above.
+    pub shed_queue_full: u64,
     /// Retransmissions performed.
     pub retries: u64,
     /// Requests abandoned after exhausting the retry budget.
@@ -919,6 +964,7 @@ impl RouterNode {
             hb_timeout_us: 0,
             retry: None,
             outstanding: FxHashMap::default(),
+            ingress: None,
             status: Rc::new(RefCell::new(RouterStatusInner {
                 promoted_at: vec![None; n],
                 ..RouterStatusInner::default()
@@ -942,6 +988,19 @@ impl RouterNode {
         self
     }
 
+    /// Park requests in bounded per-shard queues, flushed in micro-batches
+    /// on the [`INGRESS_TIMER`] loop (the deployment must start it). A
+    /// full queue sheds with `OVERLOADED`, counted distinctly in
+    /// [`RouterStatusInner::shed_queue_full`].
+    pub fn with_ingress(mut self, cfg: IngressCfg) -> Self {
+        let n = self.shards.len();
+        self.ingress = Some(IngressState {
+            cfg,
+            queues: (0..n).map(|_| std::collections::VecDeque::new()).collect(),
+        });
+        self
+    }
+
     /// Shared handle to the request ledger.
     pub fn ledger(&self) -> ProxyLedger {
         Rc::clone(&self.completed)
@@ -962,6 +1021,66 @@ impl RouterNode {
             if reply.is_none() {
                 *reply = Some((now, value));
             }
+        }
+    }
+
+    /// Forward a request to the current owner of shard `si`, arming the
+    /// retry alarm when retries are enabled.
+    fn forward_request(
+        &mut self,
+        ctx: &mut Ctx<NetMsg>,
+        si: usize,
+        request_id: u64,
+        mailbox: String,
+        row: Row,
+    ) {
+        if let Some(r) = self.retry {
+            self.outstanding.insert(
+                request_id,
+                OutstandingReq {
+                    mailbox: mailbox.clone(),
+                    row: row.clone(),
+                    attempts: 0,
+                },
+            );
+            ctx.set_timer(r.base_us, RETRY_TIMER_FLAG | request_id);
+        }
+        ctx.send(
+            self.shards[si],
+            NetMsg::Request {
+                request_id,
+                mailbox,
+                row,
+                reply_to: ctx.self_id,
+            },
+        );
+    }
+
+    /// The ingress micro-batch flush: drain up to `batch_max` parked
+    /// requests per shard toward its current owner.
+    fn flush_ingress(&mut self, ctx: &mut Ctx<NetMsg>) {
+        let Some(ing) = self.ingress.as_mut() else {
+            return;
+        };
+        let batch_max = ing.cfg.batch_max.max(1);
+        let mut due: Vec<(usize, u64, String, Row)> = Vec::new();
+        for (si, q) in ing.queues.iter_mut().enumerate() {
+            for _ in 0..batch_max {
+                let Some((rid, mailbox, row)) = q.pop_front() else {
+                    break;
+                };
+                due.push((si, rid, mailbox, row));
+            }
+        }
+        for (si, rid, mailbox, row) in due {
+            if self.down[si] {
+                // Owner died while the request was parked: shed late
+                // rather than hold it forever.
+                self.status.borrow_mut().shed += 1;
+                self.complete_local(ctx.now, rid, Value::Str("OVERLOADED".into()));
+                continue;
+            }
+            self.forward_request(ctx, si, rid, mailbox, row);
         }
     }
 
@@ -1010,26 +1129,23 @@ impl NodeLogic<NetMsg> for RouterNode {
                     self.complete_local(ctx.now, request_id, Value::Str("OVERLOADED".into()));
                     return;
                 }
-                if let Some(r) = self.retry {
-                    self.outstanding.insert(
-                        request_id,
-                        OutstandingReq {
-                            mailbox: mailbox.clone(),
-                            row: row.clone(),
-                            attempts: 0,
-                        },
-                    );
-                    ctx.set_timer(r.base_us, RETRY_TIMER_FLAG | request_id);
+                if let Some(ing) = self.ingress.as_mut() {
+                    // Bounded ingress: park for the next micro-batch
+                    // flush, or shed (distinct counter — this is load,
+                    // not a dead partition).
+                    if ing.queues[si].len() >= ing.cfg.queue_cap {
+                        self.status.borrow_mut().shed_queue_full += 1;
+                        self.complete_local(
+                            ctx.now,
+                            request_id,
+                            Value::Str("OVERLOADED".into()),
+                        );
+                        return;
+                    }
+                    ing.queues[si].push_back((request_id, mailbox, row));
+                    return;
                 }
-                ctx.send(
-                    self.shards[si],
-                    NetMsg::Request {
-                        request_id,
-                        mailbox,
-                        row,
-                        reply_to: ctx.self_id,
-                    },
-                );
+                self.forward_request(ctx, si, request_id, mailbox, row);
             }
             NetMsg::Reply {
                 request_id, value, ..
@@ -1066,6 +1182,13 @@ impl NodeLogic<NetMsg> for RouterNode {
             }
             self.check_heartbeats(ctx);
             ctx.set_timer(self.hb_timeout_us / 2, HB_CHECK_TIMER);
+            return;
+        }
+        if timer == INGRESS_TIMER {
+            if let Some(every) = self.ingress.as_ref().map(|i| i.cfg.flush_every_us) {
+                self.flush_ingress(ctx);
+                ctx.set_timer(every.max(1), INGRESS_TIMER);
+            }
             return;
         }
         if timer & RETRY_TIMER_FLAG == 0 {

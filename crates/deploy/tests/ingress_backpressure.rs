@@ -1,0 +1,121 @@
+//! Router-side backpressure: bounded per-shard ingress queues with
+//! micro-batch flushing ([`hydro_deploy::IngressCfg`]), the deploy-layer
+//! mirror of `hydro_core::serve`'s contract. Pins two things:
+//!
+//! * a same-instant burst beyond the queue capacity sheds with an
+//!   immediate `OVERLOADED` reply, counted in the **distinct**
+//!   `shed_queue_full` counter (not folded into the dead-partition
+//!   `shed` counter — capacity problems and availability problems have
+//!   different remedies);
+//! * a paced open-loop schedule (injected with `client_request_at`)
+//!   under the capacity drains completely through the flush loop with
+//!   zero sheds of either kind.
+
+use hydro_deploy::campaign::campaign_kvs_program;
+use hydro_deploy::{deploy_sharded, DeployConfig, IngressCfg};
+use hydro_core::Value;
+
+fn cfg(ingress: IngressCfg) -> DeployConfig {
+    DeployConfig {
+        ingress: Some(ingress),
+        ..DeployConfig::default()
+    }
+}
+
+#[test]
+fn burst_beyond_queue_cap_sheds_with_distinct_counter() {
+    let program = campaign_kvs_program();
+    let mut d = deploy_sharded(
+        &program,
+        cfg(IngressCfg {
+            queue_cap: 8,
+            flush_every_us: 1_000,
+            batch_max: 4,
+        }),
+        2,
+        |_| {},
+    );
+    // 96 puts land at the router within one link-latency window — far
+    // more than the 2×8 queue slots available before the first flush.
+    let n = 96i64;
+    let ids: Vec<u64> = (0..n)
+        .map(|k| d.client_request("put", vec![Value::Int(k), Value::Int(k * 3)]))
+        .collect();
+    d.run_for(2_000_000);
+
+    assert_eq!(d.answered(), n as usize, "every request gets *some* reply");
+    let overloaded = ids
+        .iter()
+        .filter(|id| d.reply(**id) == Some(Value::Str("OVERLOADED".into())))
+        .count() as u64;
+    let ok = ids
+        .iter()
+        .filter(|id| d.reply(**id) == Some(Value::Str("ok".into())))
+        .count() as u64;
+    assert_eq!(overloaded + ok, n as u64, "replies are ok or OVERLOADED only");
+    let status = d.status.borrow().clone();
+    assert!(
+        status.shed_queue_full > 0,
+        "a 96-burst into 16 queue slots must shed: {status:?}"
+    );
+    assert_eq!(
+        status.shed_queue_full, overloaded,
+        "every queue-full shed surfaces as an OVERLOADED reply: {status:?}"
+    );
+    assert_eq!(
+        status.shed, 0,
+        "no partition was down — availability sheds must stay at zero: {status:?}"
+    );
+}
+
+#[test]
+fn paced_open_loop_schedule_drains_without_sheds() {
+    let program = campaign_kvs_program();
+    let mut d = deploy_sharded(
+        &program,
+        cfg(IngressCfg {
+            queue_cap: 64,
+            flush_every_us: 500,
+            batch_max: 16,
+        }),
+        2,
+        |_| {},
+    );
+    // Open-loop: the whole arrival schedule is stamped up front at a
+    // rate the flush loop sustains (one arrival per 2ms).
+    let n = 40i64;
+    let put_ids: Vec<u64> = (0..n)
+        .map(|k| {
+            d.client_request_at(
+                "put",
+                vec![Value::Int(k), Value::Int(k + 100)],
+                (k as u64 + 1) * 2_000,
+            )
+        })
+        .collect();
+    let get_ids: Vec<u64> = (0..n)
+        .map(|k| {
+            d.client_request_at(
+                "get",
+                vec![Value::Int(k)],
+                200_000 + (k as u64 + 1) * 2_000,
+            )
+        })
+        .collect();
+    d.run_for(1_000_000);
+
+    assert_eq!(d.answered(), 2 * n as usize);
+    for id in &put_ids {
+        assert_eq!(d.reply(*id), Some(Value::Str("ok".into())));
+    }
+    for (k, id) in get_ids.iter().enumerate() {
+        assert_eq!(
+            d.reply(*id),
+            Some(Value::Int(k as i64 + 100)),
+            "get {k} must read the routed put through the ingress queue"
+        );
+    }
+    let status = d.status.borrow().clone();
+    assert_eq!(status.shed_queue_full, 0, "under-capacity load must not shed");
+    assert_eq!(status.shed, 0);
+}

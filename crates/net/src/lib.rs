@@ -272,6 +272,17 @@ impl<M: 'static> Sim<M> {
         self.schedule_deliver(EXTERNAL, dst, msg, latency);
     }
 
+    /// Inject a client message scheduled to *arrive* at an absolute
+    /// virtual time — the open-loop injection primitive: an arrival
+    /// process (e.g. Poisson) can pre-compute its whole schedule and
+    /// stamp each request onto the clock without a feedback loop through
+    /// delivery latency. If `at` is already in the past the message
+    /// arrives now. No jitter is applied; the caller owns the schedule.
+    pub fn send_external_at(&mut self, dst: NodeId, msg: M, at: SimTime) {
+        let latency = at.saturating_sub(self.now);
+        self.schedule_deliver(EXTERNAL, dst, msg, latency);
+    }
+
     /// Route a message between nodes, applying loss, partitions and
     /// latency. Internal API used by node activations; exposed for drivers
     /// that orchestrate protocols externally.

@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
-# Perf smoke: run the E1/E8/E15/E16/E17/E18/E19 interpreter sweeps,
+# Perf smoke: run the E1/E8/E15/E16/E17/E18/E19/E20 interpreter sweeps,
 # record trajectory.
 #
 # Builds the release report binary, prints the E1 (COVID tracker), E8
 # (transitive closure), E15 (cross-tick steady state), E16 (sharded
 # scale-out), E17 (failover campaign), E18 (parallel worker-thread
-# scale-up + delta exchange) and E19 (insert/delete churn) tables, and
+# scale-up + delta exchange), E19 (insert/delete churn) and E20
+# (open-loop serving with adaptive micro-batching) tables, and
 # writes BENCH_interp.json at the repo root:
 # [{workload, n, wall_ms, items_processed}, ...] covering the incremental
 # interpreter, the fresh-per-tick semi-naive path, the retained naive
@@ -31,7 +32,7 @@ if [[ -f "$out" ]]; then
 fi
 
 cargo build --release -p hydro-bench --bin report
-./target/release/report e01 e08 e15 e16 e17 e18 e19 --bench-json="$out"
+./target/release/report e01 e08 e15 e16 e17 e18 e19 e20 --bench-json="$out"
 
 echo
 echo "== $out =="
@@ -68,6 +69,48 @@ awk '
       if (r / c < 5.0) { print "E19 FAIL: counting tick not >=5x faster than recompute at n=" n; bad = 1 }
       if (n + 0 == maxn && c / i > 3.5) { print "E19 FAIL: deletion tick more than 3.5x the insert-only tick at n=" n; bad = 1 }
     }
+    if (bad) exit 1
+  }
+' "$out"
+
+# E20 acceptance gates (open-loop serving, per worker count n):
+#
+# (a) saturation: adaptive micro-batching must sustain >= 2x the
+#     msgs/sec of batch=1 on the identical burst at SOME worker count
+#     (the headline amortization claim; measured ratios run 2-5x), and
+#     >= 1.3x at EVERY worker count (the two arms are timed minutes
+#     apart on a shared 1-core host, so per-count ratios can compress
+#     by ~30% under a load burst — the per-count gate is a sanity
+#     floor, the >=2x gate carries the claim). Both arms serve the same
+#     message count, so the rate ratio is the wall ratio.
+# (b) tail latency: the open-loop arm (Poisson arrivals at half the
+#     measured saturation rate) must keep p999 <= 50 ms — the
+#     controller steers at a 10 ms target; the 5x headroom absorbs
+#     shared-host scheduling noise (measured p999 runs 1-4 ms).
+# (c) scale: the serving arms must run against >= 1M resident keys.
+awk '
+  /"workload":/        { gsub(/[",]/, ""); w = $2 }
+  /"n":/               { gsub(/[",]/, ""); n = $2 }
+  /"wall_ms":/         { gsub(/[",]/, ""); ms[w ":" n] = $2; if (w ~ /^e20_/) workers[n] = 1 }
+  /"items_processed":/ { gsub(/[",]/, ""); items[w ":" n] = $2 }
+  END {
+    bad = 0
+    best = 0
+    for (n in workers) {
+      b1 = ms["e20_sat_batch1:" n]
+      ad = ms["e20_sat_adaptive:" n]
+      p999 = ms["e20_open_p999:" n]
+      keys = items["e20_resident_keys:" n]
+      if (b1 <= 0 || ad <= 0 || p999 == "" || keys == "") { print "E20 FAIL: missing records for workers=" n; bad = 1; continue }
+      ratio = b1 / ad
+      if (ratio > best) best = ratio
+      printf "e20 workers=%s adaptive/batch1 %.2fx  open-loop p999 %.3f ms  resident %d keys\n", n, ratio, p999, keys
+      if (ratio < 1.3) { print "E20 FAIL: adaptive batching under 1.3x batch=1 at workers=" n; bad = 1 }
+      if (p999 + 0 > 50.0) { print "E20 FAIL: open-loop p999 above 50 ms at workers=" n; bad = 1 }
+      if (keys + 0 < 1000000) { print "E20 FAIL: fewer than 1M resident keys at workers=" n; bad = 1 }
+    }
+    if (length(workers) == 0) { print "E20 FAIL: no e20 records found"; bad = 1 }
+    if (best < 2.0 && !bad) { print "E20 FAIL: adaptive batching never reached 2x batch=1 at saturation"; bad = 1 }
     if (bad) exit 1
   }
 ' "$out"

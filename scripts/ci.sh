@@ -50,22 +50,39 @@ cargo test -q -p hydro-core --lib sip_and_check_queries_are_gated_on_reorder_saf
 cargo test -q -p hydro-analysis --test sharded_differential sharded_churn_matches_single
 
 echo
+echo "== serving-layer differential suites =="
+# The open-loop serving loop's pinning tests, by name, so a batching
+# divergence is unmissable in CI output: the loop-vs-replay differential
+# over the serial and parallel drivers at N∈{1,2,4}, the batch-split
+# invariance proptest for the serialized single-entry shape, and the
+# router-side bounded-ingress backpressure contract.
+cargo test -q -p hydro-analysis --test serve_batching -- \
+  serving_loop_matches_batch_replay \
+  batch_splits_invisible_to_serialized_program \
+  backpressure_rejects_at_queue_cap_with_distinct_counter
+cargo test -q -p hydro-deploy --test ingress_backpressure
+
+echo
 echo "== parallel-driver determinism tripwire =="
 # Run the sharded differential suite (single vs serial vs worker-thread
-# driver) twice and diff the normalized outputs. The vendored proptest
-# harness seeds each test's RNG from its name, so both runs generate
-# IDENTICAL op sequences: any divergence between the two runs — one
-# failing, or failing differently — is a thread-scheduling leak in the
-# parallel driver (a race reaching an observable output), not a
-# test-input difference. Wall-clock lines are stripped before the diff.
+# driver) and the serving-layer suite (whose runs are fully determined
+# by ServiceModel::Fixed) twice each, and diff the normalized outputs.
+# The vendored proptest harness seeds each test's RNG from its name, so
+# both runs generate IDENTICAL op sequences: any divergence between the
+# two runs — one failing, or failing differently — is a
+# thread-scheduling leak in the parallel driver (a race reaching an
+# observable output), not a test-input difference. Wall-clock lines are
+# stripped before the diff.
 det_a="$(mktemp)"
 det_b="$(mktemp)"
 trap 'rm -f "$det_a" "$det_b"' EXIT
 det_failed=0
 for out in "$det_a" "$det_b"; do
-  cargo test -q -p hydro-analysis --test sharded_differential 2>&1 \
-    | sed -E 's/finished in [0-9.]+s//; /^\s*(Compiling|Finished|Running)/d' \
-    >"$out" || det_failed=1
+  {
+    cargo test -q -p hydro-analysis --test sharded_differential 2>&1 || det_failed=1
+    cargo test -q -p hydro-analysis --test serve_batching 2>&1 || det_failed=1
+  } | sed -E 's/finished in [0-9.]+s//; /^\s*(Compiling|Finished|Running)/d' \
+    >"$out"
 done
 if ! diff -u "$det_a" "$det_b"; then
   echo "identically-seeded parallel differential runs diverged:" >&2

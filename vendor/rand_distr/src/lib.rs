@@ -1,5 +1,6 @@
-//! Minimal stand-in for `rand_distr`: the `Distribution` trait and a
-//! CDF-table `Zipf` sampler (the only distribution this workspace uses).
+//! Minimal stand-in for `rand_distr`: the `Distribution` trait, a
+//! CDF-table `Zipf` sampler, and an inverse-CDF `Exp` sampler (the only
+//! distributions this workspace uses).
 
 use rand::RngCore;
 
@@ -71,6 +72,52 @@ impl Distribution<f64> for Zipf {
     }
 }
 
+/// Errors constructing an [`Exp`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExpError {
+    /// The rate must be finite and positive.
+    BadLambda,
+}
+
+impl std::fmt::Display for ExpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExpError::BadLambda => write!(f, "exponential rate must be finite and > 0"),
+        }
+    }
+}
+
+impl std::error::Error for ExpError {}
+
+/// Exponential distribution with rate `λ`: `P(x > t) = e^(-λt)`, mean
+/// `1/λ`. Inter-arrival gaps drawn from `Exp(λ)` yield a Poisson arrival
+/// process of rate `λ` — the open-loop load model the serving benchmarks
+/// use.
+///
+/// Sampling is inverse-CDF: `-ln(1 - U) / λ` with `U` uniform on
+/// `[0, 1)`, so `1 - U ∈ (0, 1]` and the log is always finite.
+#[derive(Clone, Copy, Debug)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Distribution with rate `lambda` (mean `1 / lambda`).
+    pub fn new(lambda: f64) -> Result<Self, ExpError> {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(ExpError::BadLambda);
+        }
+        Ok(Exp { lambda })
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore>(&self, rng: &mut R) -> f64 {
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        -(1.0 - u).ln() / self.lambda
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,5 +145,24 @@ mod tests {
     fn rejects_degenerate_parameters() {
         assert_eq!(Zipf::new(0, 1.0).unwrap_err(), ZipfError::EmptyDomain);
         assert_eq!(Zipf::new(5, 0.0).unwrap_err(), ZipfError::BadExponent);
+        assert_eq!(Exp::new(0.0).unwrap_err(), ExpError::BadLambda);
+        assert_eq!(Exp::new(f64::NAN).unwrap_err(), ExpError::BadLambda);
+    }
+
+    #[test]
+    fn exp_mean_matches_rate() {
+        let e = Exp::new(4.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let draws = 50_000;
+        let mut total = 0.0f64;
+        for _ in 0..draws {
+            let x = e.sample(&mut rng);
+            assert!(x.is_finite() && x >= 0.0);
+            total += x;
+        }
+        let mean = total / draws as f64;
+        // True mean is 1/4; the sample mean at 50k draws sits well inside
+        // ±5%.
+        assert!((mean - 0.25).abs() < 0.0125, "sample mean {mean}");
     }
 }
